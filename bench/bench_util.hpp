@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Shared helpers for the figure-reproduction benches: banner printing
+ * and normalisation utilities. Each bench binary regenerates one paper
+ * table/figure and prints the corresponding rows.
+ */
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+
+namespace temp::bench {
+
+/// Prints the bench banner naming the reproduced artifact.
+inline void
+banner(const char *figure, const char *what)
+{
+    std::printf("\n=====================================================\n");
+    std::printf("TEMP reproduction — %s: %s\n", figure, what);
+    std::printf("=====================================================\n");
+}
+
+/// Normalises a series so its maximum is 1.0 (paper-style bars).
+inline std::vector<double>
+normalizeToMax(const std::vector<double> &xs)
+{
+    double peak = 0.0;
+    for (double x : xs)
+        peak = std::max(peak, x);
+    std::vector<double> out;
+    out.reserve(xs.size());
+    for (double x : xs)
+        out.push_back(peak > 0.0 ? x / peak : 0.0);
+    return out;
+}
+
+}  // namespace temp::bench

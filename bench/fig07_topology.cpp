@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Reproduces Fig. 7: topology-mismatch motivation for TATP.
+ *
+ * (a) On a 6x9 wafer with parallel degree 6, how many of the nine
+ *     groups can map to contiguous physical chains/rings.
+ * (b) Signal-integrity feasibility of direct links by distance.
+ * (c) Compute utilisation of Llama2 models across wafer sizes when the
+ *     stream groups are physically contiguous vs. scattered.
+ */
+#include "bench_util.hpp"
+
+#include "parallel/layout.hpp"
+#include "sim/trainer_sim.hpp"
+#include "tatp/chain_mapper.hpp"
+
+using namespace temp;
+
+int
+main()
+{
+    bench::banner("Fig. 7(a)", "group contiguity on a 6x9 die array");
+    {
+        hw::MeshTopology mesh(6, 9);
+        parallel::ParallelSpec spec;
+        spec.tatp = 6;
+        spec.dp = 9;
+        parallel::GroupLayout snake_layout(mesh, spec);
+        tatp::ChainMapper mapper(mesh);
+        int contiguous = 0;
+        for (const auto &group :
+             snake_layout.groups(parallel::Axis::TATP))
+            contiguous += mapper.analyzeChain(group).contiguous ? 1 : 0;
+        std::printf("Topology-aware layout: %d/9 degree-6 groups map to "
+                    "contiguous chains\n",
+                    contiguous);
+
+        // A naive row-major (non-snake) grouping: groups of 6
+        // consecutive row-major ids straddle row boundaries.
+        int naive_contiguous = 0;
+        for (int g = 0; g < 9; ++g) {
+            std::vector<hw::DieId> group;
+            for (int i = 0; i < 6; ++i)
+                group.push_back(g * 6 + i);
+            naive_contiguous +=
+                mapper.analyzeChain(group).contiguous ? 1 : 0;
+        }
+        std::printf("Naive row-major allocation: %d/9 contiguous "
+                    "(tetris-like groups, Fig. 7a red)\n",
+                    naive_contiguous);
+    }
+
+    bench::banner("Fig. 7(b)", "signal-integrity limits on direct links");
+    {
+        hw::Wafer wafer(hw::WaferConfig::paperDefault());
+        const auto &mesh = wafer.topology();
+        TablePrinter si({"Link", "Wire length (mm)", "Feasible (<50mm)"});
+        struct Case { const char *name; int r2, c2; };
+        const Case cases[] = {{"adjacent horizontal", 0, 1},
+                              {"adjacent vertical", 1, 0},
+                              {"diagonal", 1, 1},
+                              {"2-die skip", 0, 2},
+                              {"row wrap (torus)", 0, 7}};
+        for (const Case &c : cases) {
+            const double mm = std::abs(c.c2) * hw::Wafer::kDieWidthMm +
+                              std::abs(c.r2) * hw::Wafer::kDieHeightMm;
+            si.addRow({c.name, TablePrinter::fmt(mm, 1),
+                       wafer.directLinkFeasible(mesh.dieAt(0, 0),
+                                                mesh.dieAt(c.r2, c.c2))
+                           ? "yes"
+                           : "NO"});
+        }
+        si.print("Direct-link feasibility (50 mm SI budget)");
+    }
+
+    bench::banner("Fig. 7(c)", "compute utilisation vs wafer size");
+    TablePrinter util({"Wafer", "Model", "Contiguous chains",
+                       "Scattered chains", "Utilisation drop"});
+    struct Grid { int rows, cols; };
+    const Grid grids[] = {{4, 5}, {4, 8}, {8, 10}};
+    const char *models[] = {"Llama2 7B", "Llama3 70B"};
+    for (const Grid &grid : grids) {
+        for (const char *name : models) {
+            const hw::WaferConfig cfg =
+                hw::WaferConfig::paperDefault().withGrid(grid.rows,
+                                                         grid.cols);
+            hw::Wafer wafer(cfg);
+            const auto model = model::modelByName(name);
+            const auto graph = model::ComputeGraph::transformer(model);
+            parallel::ParallelSpec spec;
+            spec.tatp = 8;
+            // Remaining dies absorb data parallelism.
+            spec.dp = std::min(model.batch, cfg.dieCount() / 8);
+            if (spec.totalDegree() > cfg.dieCount() ||
+                cfg.dieCount() % 8 != 0)
+                continue;
+
+            sim::TrainingSimulator good(
+                wafer,
+                tcme::MappingPolicy{tcme::MappingEngineKind::TCME});
+            sim::TrainingSimulator bad(
+                wafer,
+                tcme::MappingPolicy{tcme::MappingEngineKind::SMap});
+            const auto rg = good.simulate(graph, spec);
+            const auto rb = bad.simulate(graph, spec);
+            if (!rg.feasible || !rb.feasible)
+                continue;
+            const double util_good = rg.comp_time / rg.step_time;
+            const double util_bad = rb.comp_time / rb.step_time;
+            char label[32];
+            std::snprintf(label, sizeof(label), "%dx%d", grid.rows,
+                          grid.cols);
+            util.addRow({label, name, TablePrinter::fmtPct(util_good),
+                         TablePrinter::fmtPct(util_bad),
+                         TablePrinter::fmtPct(util_good - util_bad)});
+        }
+    }
+    util.print("Compute utilisation: contiguous vs scattered TATP groups");
+    return 0;
+}

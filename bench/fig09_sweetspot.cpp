@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Reproduces Fig. 9: the TATP parallel-degree sweet spot.
+ *
+ * One GPT-3 175B-class linear layer distributed across N dies with
+ * TATP degree N: per-die memory and compute fall as O(1/N) while the
+ * per-round communication stays O(1), so throughput peaks at N ~ 8-16
+ * and power efficiency at N ~ 4-8.
+ */
+#include "bench_util.hpp"
+
+#include "cost/cost_model.hpp"
+#include "model/model_zoo.hpp"
+
+using namespace temp;
+
+int
+main()
+{
+    bench::banner("Fig. 9", "TATP degree sweet spot (GPT-3 175B layer)");
+
+    hw::Wafer wafer(hw::WaferConfig::paperDefault().withGrid(8, 8));
+    cost::WaferCostModel model(
+        wafer, tcme::MappingPolicy{tcme::MappingEngineKind::TCME});
+    const auto cfg = model::modelByName("GPT-3 175B").withSeqBatch(2048, 1);
+    const auto graph = model::ComputeGraph::transformer(cfg);
+    const model::Operator *fc1 = nullptr;
+    for (const auto &op : graph.ops())
+        if (op.name == "fc1")
+            fc1 = &op;
+
+    struct Row
+    {
+        int n;
+        double throughput;
+        double memory;
+        double power;
+        double efficiency;
+    };
+    std::vector<Row> rows;
+    for (int n : {2, 4, 8, 16, 32, 64}) {
+        parallel::ParallelSpec spec;
+        spec.tatp = n;
+        const parallel::GroupLayout layout(wafer.topology(), spec);
+        const parallel::OpExecution exec =
+            model.partitioner().analyze(*fc1, layout);
+        const cost::OpCostBreakdown c = model.opCost(exec, *fc1, layout);
+        if (!c.feasible)
+            continue;
+
+        // Fixed workload on N dies: throughput = work / time.
+        const double throughput = 1.0 / c.total();
+        const double memory = exec.footprint().total();
+        const cost::EnergyBreakdown e = model.powerModel().stepEnergy(
+            c.flops, c.dram_bytes, c.d2d_link_bytes, c.total(), n);
+        const double power = e.total() / c.total();
+        rows.push_back({n, throughput, memory, power,
+                        model.powerModel().powerEfficiency(c.flops, e)});
+    }
+
+    std::vector<double> tput, mem, pwr, eff;
+    for (const Row &r : rows) {
+        tput.push_back(r.throughput);
+        mem.push_back(r.memory);
+        pwr.push_back(r.power);
+        eff.push_back(r.efficiency);
+    }
+    const auto nt = bench::normalizeToMax(tput);
+    const auto nm = bench::normalizeToMax(mem);
+    const auto np = bench::normalizeToMax(pwr);
+    const auto ne = bench::normalizeToMax(eff);
+
+    TablePrinter table({"N (TATP degree)", "Norm throughput",
+                        "Norm per-die memory", "Norm power",
+                        "Norm power-eff"});
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        table.addRow({std::to_string(rows[i].n), TablePrinter::fmt(nt[i]),
+                      TablePrinter::fmt(nm[i]), TablePrinter::fmt(np[i]),
+                      TablePrinter::fmt(ne[i])});
+    }
+    table.print("Throughput / memory / power vs TATP degree N");
+
+    // Both curves form plateaus; report the plateau band (within 5% of
+    // the peak), which is what "sweet spot" means in Fig. 9.
+    auto band = [&](const std::vector<double> &norm) {
+        int lo = -1, hi = -1;
+        for (std::size_t i = 0; i < rows.size(); ++i) {
+            if (norm[i] >= 0.95) {
+                if (lo < 0)
+                    lo = rows[i].n;
+                hi = rows[i].n;
+            }
+        }
+        return std::make_pair(lo, hi);
+    };
+    const auto [t_lo, t_hi] = band(nt);
+    const auto [e_lo, e_hi] = band(ne);
+    std::printf("\nThroughput sweet spot: N in [%d, %d] "
+                "(paper: N ~ 8-16)\n",
+                t_lo, t_hi);
+    std::printf("Power-efficiency sweet spot: N in [%d, %d] "
+                "(paper: N ~ 4-8)\n",
+                e_lo, e_hi);
+    return 0;
+}

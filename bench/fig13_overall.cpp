@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Reproduces Fig. 13 (and echoes Tables I/II): overall training
+ * performance and peak memory of TEMP vs the six baselines
+ * (Mega/MeSP/FSDP x SMap/GMap) across the Table II models.
+ */
+#include "bench_util.hpp"
+
+#include "common/stats.hpp"
+
+#include "core/framework.hpp"
+
+using namespace temp;
+
+namespace {
+
+void
+printTableOne()
+{
+    const hw::WaferConfig cfg = hw::WaferConfig::paperDefault();
+    TablePrinter t({"Module", "Parameter", "Configuration"});
+    t.addRow({"Logic die", "array", std::to_string(cfg.rows) + "x" +
+                                        std::to_string(cfg.cols)});
+    t.addRow({"Logic die", "compute",
+              TablePrinter::fmt(cfg.die.peak_flops / 1e12, 0) +
+                  " TFLOPS @ 2 TFLOPS/W"});
+    t.addRow({"Logic die", "SRAM",
+              TablePrinter::fmt(cfg.die.sram_bytes / 1e6, 0) + " MB"});
+    t.addRow({"D2D", "bandwidth",
+              TablePrinter::fmt(cfg.d2d.bandwidth_bytes_per_s / 1e12, 0) +
+                  " TB/s, 200 ns, 5 pJ/bit"});
+    t.addRow({"DRAM", "HBM",
+              TablePrinter::fmt(cfg.hbm.capacity_bytes / 1e9, 0) +
+                  " GB/die, " +
+                  TablePrinter::fmt(cfg.hbm.bandwidth_bytes_per_s / 1e12,
+                                    0) +
+                  " TB/s, 100 ns, 6 pJ/bit"});
+    t.print("Table I — wafer-scale chip configuration");
+}
+
+void
+printTableTwo()
+{
+    TablePrinter t({"Model", "Heads", "Batch", "Hidden", "Layers", "Seq"});
+    for (const auto &m : model::evaluationModels()) {
+        t.addRow({m.name, std::to_string(m.heads), std::to_string(m.batch),
+                  std::to_string(m.hidden), std::to_string(m.layers),
+                  std::to_string(m.seq)});
+    }
+    t.print("Table II — LLM model configurations");
+}
+
+}  // namespace
+
+int
+main()
+{
+    printTableOne();
+    printTableTwo();
+    bench::banner("Fig. 13",
+                  "overall training performance vs six baselines");
+
+    core::TempFramework fw(hw::WaferConfig::paperDefault());
+    struct System
+    {
+        const char *label;
+        baselines::BaselineKind kind;
+        tcme::MappingEngineKind engine;
+    };
+    const System systems[] = {
+        {"A:Mega+SMap", baselines::BaselineKind::Megatron1,
+         tcme::MappingEngineKind::SMap},
+        {"B:Mega+GMap", baselines::BaselineKind::Megatron1,
+         tcme::MappingEngineKind::GMap},
+        {"C:MeSP+SMap", baselines::BaselineKind::MegatronSP,
+         tcme::MappingEngineKind::SMap},
+        {"D:MeSP+GMap", baselines::BaselineKind::MegatronSP,
+         tcme::MappingEngineKind::GMap},
+        {"E:FSDP+SMap", baselines::BaselineKind::Fsdp,
+         tcme::MappingEngineKind::SMap},
+        {"F:FSDP+GMap", baselines::BaselineKind::Fsdp,
+         tcme::MappingEngineKind::GMap},
+    };
+
+    std::vector<std::vector<double>> speedups(6);
+    for (const auto &m : model::evaluationModels()) {
+        const auto temp_result = fw.optimize(m);
+        if (!temp_result.feasible) {
+            std::printf("[%s] TEMP infeasible — skipped\n",
+                        m.name.c_str());
+            continue;
+        }
+        TablePrinter t({"System", "Norm latency", "Comp", "Exposed comm",
+                        "Peak mem (GB)", "Status", "TEMP speedup"});
+        const double ref = temp_result.step_time_s;
+
+        for (std::size_t s = 0; s < 6; ++s) {
+            const auto tuned =
+                fw.evaluateBaseline(systems[s].kind, systems[s].engine, m);
+            const auto &r = tuned.report;
+            const double speedup = r.step_time / ref;
+            if (!tuned.all_oom)
+                speedups[s].push_back(speedup);
+            t.addRow({systems[s].label,
+                      TablePrinter::fmt(r.step_time / ref),
+                      TablePrinter::fmt(r.comp_time / ref),
+                      TablePrinter::fmt(r.exposed_comm / ref),
+                      TablePrinter::fmt(r.peak_mem_bytes / 1e9, 1),
+                      tuned.all_oom ? "OOM" : r.strategy_desc,
+                      TablePrinter::fmtX(speedup)});
+        }
+        const auto &tr = temp_result.report;
+        t.addRow({"T:TEMP", "1.000", TablePrinter::fmt(tr.comp_time / ref),
+                  TablePrinter::fmt(tr.exposed_comm / ref),
+                  TablePrinter::fmt(tr.peak_mem_bytes / 1e9, 1),
+                  tr.strategy_desc + " ga=" +
+                      std::to_string(tr.grad_accum),
+                  "1.00x"});
+        t.print(
+            ("Fig. 13 — " + m.name + " (latency normalised to TEMP)")
+                .c_str());
+    }
+
+    TablePrinter avg({"Baseline", "Avg TEMP speedup (non-OOM)",
+                      "Paper reports"});
+    const char *paper[] = {"1.69x", "1.35x", "1.38x",
+                           "1.24x", "1.39x", "1.20x"};
+    for (std::size_t s = 0; s < 6; ++s) {
+        avg.addRow({systems[s].label,
+                    speedups[s].empty()
+                        ? std::string("n/a")
+                        : TablePrinter::fmtX(geomean(speedups[s])),
+                    paper[s]});
+    }
+    avg.print("Headline: average end-to-end speedup of TEMP");
+    return 0;
+}

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Reproduces Fig. 14: power breakdown and power efficiency of TEMP vs
+ * the six baselines. Computation dominates total power (>50%, Table I
+ * energy ratings), so TEMP's power savings are modest while its power
+ * *efficiency* gains mirror the throughput gains.
+ */
+#include "bench_util.hpp"
+
+#include "common/stats.hpp"
+
+#include "core/framework.hpp"
+
+using namespace temp;
+
+int
+main()
+{
+    bench::banner("Fig. 14", "power breakdown and power efficiency");
+
+    core::TempFramework fw(hw::WaferConfig::paperDefault());
+    struct System
+    {
+        const char *label;
+        baselines::BaselineKind kind;
+        tcme::MappingEngineKind engine;
+    };
+    const System systems[] = {
+        {"A:Mega+SMap", baselines::BaselineKind::Megatron1,
+         tcme::MappingEngineKind::SMap},
+        {"B:Mega+GMap", baselines::BaselineKind::Megatron1,
+         tcme::MappingEngineKind::GMap},
+        {"C:MeSP+SMap", baselines::BaselineKind::MegatronSP,
+         tcme::MappingEngineKind::SMap},
+        {"D:MeSP+GMap", baselines::BaselineKind::MegatronSP,
+         tcme::MappingEngineKind::GMap},
+        {"E:FSDP+SMap", baselines::BaselineKind::Fsdp,
+         tcme::MappingEngineKind::SMap},
+        {"F:FSDP+GMap", baselines::BaselineKind::Fsdp,
+         tcme::MappingEngineKind::GMap},
+    };
+
+    std::vector<std::vector<double>> eff_gains(6);
+    for (const auto &m : model::evaluationModels()) {
+        const auto temp_result = fw.optimize(m);
+        if (!temp_result.feasible)
+            continue;
+        const auto &tr = temp_result.report;
+
+        TablePrinter t({"System", "Comp %", "Comm %", "Memory %",
+                        "Avg power (norm)", "Power eff (norm)"});
+        auto add_row = [&](const char *label, const sim::PerfReport &r,
+                           bool oom) {
+            const double total = r.energy.total();
+            t.addRow({label,
+                      TablePrinter::fmtPct(r.energy.compute_j / total),
+                      TablePrinter::fmtPct(r.energy.d2d_j / total),
+                      TablePrinter::fmtPct(r.energy.dram_j / total),
+                      oom ? "OOM"
+                          : TablePrinter::fmt(r.avg_power_w /
+                                              tr.avg_power_w),
+                      oom ? "OOM"
+                          : TablePrinter::fmt(r.power_efficiency /
+                                              tr.power_efficiency)});
+        };
+
+        for (std::size_t s = 0; s < 6; ++s) {
+            const auto tuned =
+                fw.evaluateBaseline(systems[s].kind, systems[s].engine, m);
+            add_row(systems[s].label, tuned.report, tuned.all_oom);
+            if (!tuned.all_oom && tuned.report.power_efficiency > 0.0)
+                eff_gains[s].push_back(tr.power_efficiency /
+                                       tuned.report.power_efficiency);
+        }
+        add_row("T:TEMP", tr, false);
+        t.print(("Fig. 14 — " + m.name).c_str());
+    }
+
+    TablePrinter avg({"Baseline", "Avg TEMP power-eff gain",
+                      "Paper reports"});
+    const char *paper[] = {"1.85x", "1.45x", "1.47x",
+                           "1.23x", "1.48x", "1.28x"};
+    for (std::size_t s = 0; s < 6; ++s) {
+        avg.addRow({systems[s].label,
+                    eff_gains[s].empty()
+                        ? std::string("n/a")
+                        : TablePrinter::fmtX(geomean(eff_gains[s])),
+                    paper[s]});
+    }
+    avg.print("Headline: TEMP power-efficiency gains");
+    return 0;
+}

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Reproduces Fig. 15: GPU cluster vs wafer-scale chip.
+ *
+ * A 32-GPU A100 cluster (matched FP16 peak) running Megatron-3 vs a
+ * 32-die WSC running MeSP+GMap and TEMP. The expected shape: the GPU
+ * cluster beats a naively-mapped wafer (flexible switch vs rigid mesh)
+ * but the TEMP-optimised wafer wins by exploiting its 6x link bandwidth.
+ */
+#include "bench_util.hpp"
+
+#include "common/stats.hpp"
+
+#include "core/framework.hpp"
+#include "sim/gpu_cluster.hpp"
+
+using namespace temp;
+
+int
+main()
+{
+    bench::banner("Fig. 15", "GPU cluster vs WSC training performance");
+
+    // Sec. VIII-B: the 32-die WSC is configured to match the A100
+    // cluster's theoretical FP16 peak (32 x 312 TFLOPS), so only the
+    // interconnects differ: rigid 4 TB/s mesh vs flexible 600 GB/s
+    // switch.
+    hw::WaferConfig matched = hw::WaferConfig::paperDefault();
+    matched.die.peak_flops =
+        hw::GpuClusterConfig::a100Default().peak_flops;
+    core::TempFramework fw(matched);
+    sim::GpuClusterSimulator gpu(hw::GpuClusterConfig::a100Default());
+
+    std::vector<double> temp_over_gpu, temp_over_mesp;
+    for (const auto &m : model::evaluationModels()) {
+        // GPU + Megatron-3: tune over the MeSP family analytically.
+        double best_gpu = -1.0;
+        parallel::ParallelSpec best_gpu_spec;
+        {
+            hw::Wafer probe(matched);
+            sim::TrainingSimulator probe_sim(
+                probe, tcme::MappingPolicy{tcme::MappingEngineKind::GMap});
+            baselines::BaselineGenerator gen(probe_sim);
+            const auto graph = model::ComputeGraph::transformer(m);
+            for (const auto &spec : gen.candidateFamily(
+                     baselines::BaselineKind::MegatronSP, m)) {
+                const auto r = gpu.simulate(graph, spec);
+                if (!r.feasible || r.oom)
+                    continue;
+                if (best_gpu < 0.0 || r.step_time < best_gpu) {
+                    best_gpu = r.step_time;
+                    best_gpu_spec = spec;
+                }
+            }
+        }
+
+        const auto mesp = fw.evaluateBaseline(
+            baselines::BaselineKind::MegatronSP,
+            tcme::MappingEngineKind::GMap, m);
+        const auto temp_result = fw.optimize(m);
+        if (best_gpu < 0.0 || mesp.all_oom || !temp_result.feasible)
+            continue;
+
+        TablePrinter t({"System", "Norm latency", "Norm throughput"});
+        const double ref = best_gpu;
+        t.addRow({"A:GPU+MeSP  " + best_gpu_spec.str(), "1.000", "1.000"});
+        t.addRow({"B:Wafer+MeSP " + mesp.spec.str(),
+                  TablePrinter::fmt(mesp.report.step_time / ref),
+                  TablePrinter::fmt(ref / mesp.report.step_time)});
+        t.addRow({"C:Wafer+TEMP",
+                  TablePrinter::fmt(temp_result.step_time_s / ref),
+                  TablePrinter::fmt(ref / temp_result.step_time_s)});
+        t.print(("Fig. 15 — " + m.name).c_str());
+
+        temp_over_gpu.push_back(best_gpu / temp_result.step_time_s);
+        temp_over_mesp.push_back(mesp.report.step_time /
+                                 temp_result.step_time_s);
+    }
+
+    if (!temp_over_gpu.empty()) {
+        std::printf("\nWafer+TEMP speedup over GPU+MeSP:  %.2fx "
+                    "(paper: 1.16x)\n",
+                    geomean(temp_over_gpu));
+        std::printf("Wafer+TEMP speedup over Wafer+MeSP: %.2fx "
+                    "(paper: 1.26x)\n",
+                    geomean(temp_over_mesp));
+    }
+    return 0;
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Reproduces Fig. 16: ablation of TEMP's components.
+ *
+ * Base = FSDP+SMap (trains every model without OOM); +TATP enables the
+ * tensor-stream partition in the search but keeps the naive mapper;
+ * +TATP+TCME is the full framework. Gains grow with model size.
+ */
+#include "bench_util.hpp"
+
+#include "common/stats.hpp"
+
+#include "core/framework.hpp"
+
+using namespace temp;
+
+int
+main()
+{
+    bench::banner("Fig. 16", "ablation: Base -> +TATP -> +TATP+TCME");
+
+    core::TempFramework tcme_fw(hw::WaferConfig::paperDefault());
+    hw::Wafer wafer(hw::WaferConfig::paperDefault());
+    sim::TrainingSimulator smap_sim(
+        wafer, tcme::MappingPolicy{tcme::MappingEngineKind::SMap});
+
+    TablePrinter t({"Model", "Base (FSDP+SMap)", "+TATP", "+TATP+TCME",
+                    "TATP gain", "TCME gain"});
+    std::vector<double> tatp_gains, tcme_gains;
+    for (const auto &m : model::evaluationModels()) {
+        const auto base = tcme_fw.evaluateBaseline(
+            baselines::BaselineKind::Fsdp, tcme::MappingEngineKind::SMap,
+            m);
+        // Full TEMP search once; "+TATP" evaluates the found strategy
+        // under the naive SMap mapping (no topology-aware chains, no
+        // contention optimisation), "+TATP+TCME" under the full engine.
+        const auto full = tcme_fw.optimize(m);
+        if (base.all_oom || !full.feasible)
+            continue;
+        const auto graph = model::ComputeGraph::transformer(m);
+        const auto plus_tatp_report =
+            smap_sim.simulate(graph, full.per_op_specs);
+        if (!plus_tatp_report.feasible)
+            continue;
+
+        const double base_tput = 1.0 / base.report.step_time;
+        const double tatp_tput = 1.0 / plus_tatp_report.step_time;
+        const double full_tput = 1.0 / full.step_time_s;
+        tatp_gains.push_back(tatp_tput / base_tput);
+        tcme_gains.push_back(full_tput / tatp_tput);
+        t.addRow({m.name, "1.00",
+                  TablePrinter::fmt(tatp_tput / base_tput),
+                  TablePrinter::fmt(full_tput / base_tput),
+                  TablePrinter::fmtX(tatp_tput / base_tput),
+                  TablePrinter::fmtX(full_tput / tatp_tput)});
+    }
+    t.print("Normalised throughput (base = 1.0)");
+
+    std::printf("\nAverage +TATP gain:      %.2fx (paper: 1.21x)\n",
+                geomean(tatp_gains));
+    std::printf("Average +TCME extra gain: %.2fx (paper: 1.14x)\n",
+                geomean(tcme_gains));
+    return 0;
+}

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Reproduces Fig. 17: mixed-parallelism sweep for Llama2 7B on 32 dies
+ * under TCME, for (a) seq 2k / batch 128 and (b) seq 16k / batch 32.
+ * Tuples follow the paper's (DP, TP, SP, TATP) notation.
+ */
+#include "bench_util.hpp"
+
+#include "sim/trainer_sim.hpp"
+#include "solver/strategy_space.hpp"
+
+using namespace temp;
+
+namespace {
+
+void
+sweep(const model::ModelConfig &cfg, const char *title)
+{
+    hw::Wafer wafer(hw::WaferConfig::paperDefault());
+    sim::TrainingSimulator sim(
+        wafer, tcme::MappingPolicy{tcme::MappingEngineKind::TCME});
+    const auto graph = model::ComputeGraph::transformer(cfg);
+
+    solver::StrategySpaceOptions space;
+    const auto specs = solver::enumerateStrategies(32, cfg, space);
+
+    struct Entry
+    {
+        parallel::ParallelSpec spec;
+        sim::PerfReport report;
+    };
+    std::vector<Entry> entries;
+    double best_tput = 0.0, best_no_tatp = 0.0, best_mega_like = 0.0;
+    for (const auto &spec : specs) {
+        const auto r = sim.simulate(graph, spec);
+        if (!r.feasible)
+            continue;
+        entries.push_back({spec, r});
+        if (!r.oom) {
+            best_tput = std::max(best_tput, r.throughput_tokens_per_s);
+            if (spec.tatp == 1)
+                best_no_tatp =
+                    std::max(best_no_tatp, r.throughput_tokens_per_s);
+            if (spec.tatp == 1 && spec.sp == 1)
+                best_mega_like =
+                    std::max(best_mega_like, r.throughput_tokens_per_s);
+        }
+    }
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry &a, const Entry &b) {
+                  return a.report.throughput_tokens_per_s >
+                         b.report.throughput_tokens_per_s;
+              });
+
+    TablePrinter t({"(DP,TP,SP,TATP)", "Norm throughput", "Mem (GB)",
+                    "Exposed comm %", "Status"});
+    int shown = 0;
+    for (const Entry &e : entries) {
+        if (shown++ >= 12)
+            break;
+        char tuple[48];
+        std::snprintf(tuple, sizeof(tuple), "(%d,%d,%d,%d)%s", e.spec.dp,
+                      e.spec.tp, e.spec.sp, e.spec.tatp,
+                      e.spec.cp > 1 ? "+cp" : "");
+        t.addRow({tuple,
+                  TablePrinter::fmt(e.report.throughput_tokens_per_s /
+                                    best_tput),
+                  TablePrinter::fmt(e.report.peak_mem_bytes / 1e9, 1),
+                  TablePrinter::fmtPct(e.report.exposed_comm /
+                                       e.report.step_time),
+                  e.report.oom ? "OOM" : "ok"});
+    }
+    t.print(title);
+    if (best_mega_like > 0.0)
+        std::printf("Best-with-TATP over best-Megatron-style: %.2fx\n",
+                    best_tput / best_mega_like);
+    if (best_no_tatp > 0.0)
+        std::printf("Best-with-TATP over best-without-TATP:   %.2fx\n",
+                    best_tput / best_no_tatp);
+}
+
+}  // namespace
+
+int
+main()
+{
+    bench::banner("Fig. 17", "mixed-parallelism strategies, Llama2 7B");
+    const auto base = model::modelByName("Llama2 7B");
+    sweep(base.withSeqBatch(2048, 128),
+          "(a) batch=128, seq=2k — top strategies");
+    sweep(base.withSeqBatch(16384, 32),
+          "(b) batch=32, seq=16k — top strategies");
+    return 0;
+}

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Reproduces Fig. 21: DNN-based cost-model fidelity.
+ *
+ * 500 randomly parameterised cases per category (computation,
+ * communication, computation/communication overlap), ground truth from
+ * the analytic simulator; the MLP surrogate is compared against a
+ * multivariate linear-regression baseline on correlation and error.
+ */
+#include "bench_util.hpp"
+
+#include <chrono>
+
+#include "cost/surrogate.hpp"
+
+using namespace temp;
+
+int
+main()
+{
+    bench::banner("Fig. 21", "cost-model fidelity: DNN vs regression");
+
+    hw::Wafer wafer(hw::WaferConfig::paperDefault());
+    cost::CostDatasetGenerator gen(wafer);
+
+    TablePrinter t({"Latency class", "Model", "Correlation", "Error",
+                    "Paper (corr/err)"});
+    const char *paper[] = {"0.997 / 4.38%", "0.988 / 4.37%",
+                           "0.988 / 4.57%"};
+    const char *paper_base[] = {"0.991 / 13.13%", "0.994 / 12.68%",
+                                "0.990 / 15.21%"};
+
+    int idx = 0;
+    double lookup_us = 0.0;
+    for (cost::CostTargetKind kind :
+         {cost::CostTargetKind::Computation,
+          cost::CostTargetKind::Communication,
+          cost::CostTargetKind::Overlap}) {
+        Rng rng(42 + idx);
+        const auto train = gen.generate(kind, 500, rng);
+        const auto test = gen.generate(kind, 150, rng);
+
+        cost::DnnCostModel dnn(7 + idx);
+        dnn.epochs = 2500;
+        dnn.fit(train);
+        cost::LinearCostModel linear;
+        linear.fit(train);
+
+        const auto dnn_report = cost::evaluatePredictor(dnn, test);
+        const auto lin_report = cost::evaluatePredictor(linear, test);
+
+        t.addRow({cost::costTargetName(kind), "DNN (ours)",
+                  TablePrinter::fmt(dnn_report.correlation),
+                  TablePrinter::fmt(dnn_report.mape, 2) + "%",
+                  paper[idx]});
+        t.addRow({cost::costTargetName(kind), "linear regression",
+                  TablePrinter::fmt(lin_report.correlation),
+                  TablePrinter::fmt(lin_report.mape, 2) + "%",
+                  paper_base[idx]});
+
+        // Lookup latency of the trained surrogate.
+        const auto t0 = std::chrono::steady_clock::now();
+        double sink = 0.0;
+        for (const auto &s : test)
+            sink += dnn.predict(s.features);
+        const auto t1 = std::chrono::steady_clock::now();
+        lookup_us += std::chrono::duration<double, std::micro>(t1 - t0)
+                         .count() /
+                     test.size();
+        (void)sink;
+        ++idx;
+    }
+    t.print("Surrogate fidelity on held-out cases");
+    std::printf("\nAverage surrogate lookup: %.1f us per query (paper: "
+                "a few hundred us vs minutes-to-hours of simulation -> "
+                "100-1000x faster search)\n",
+                lookup_us / 3.0);
+    return 0;
+}

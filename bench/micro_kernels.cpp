@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Google-benchmark micro kernels for the framework's hot paths: the
+ * bidirectional orchestrator, mesh routing, collective lowering, the
+ * traffic optimizer and the contention model. These quantify the cost
+ * of the machinery that the DLWS search invokes thousands of times.
+ */
+#include <benchmark/benchmark.h>
+
+#include "hw/topology.hpp"
+#include "model/graph.hpp"
+#include "model/model_zoo.hpp"
+#include "net/collective.hpp"
+#include "net/contention.hpp"
+#include "net/route.hpp"
+#include "parallel/layout.hpp"
+#include "parallel/partitioner.hpp"
+#include "tatp/orchestrator.hpp"
+#include "tcme/optimizer.hpp"
+
+using namespace temp;
+
+namespace {
+
+void
+BM_OrchestratorBuildValidate(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        tatp::BidirectionalOrchestrator orch(n);
+        benchmark::DoNotOptimize(orch.validate().ok);
+    }
+}
+BENCHMARK(BM_OrchestratorBuildValidate)->Arg(8)->Arg(16)->Arg(32);
+
+void
+BM_MeshXYRoute(benchmark::State &state)
+{
+    hw::MeshTopology mesh(8, 8);
+    net::Router router(mesh);
+    int i = 0;
+    for (auto _ : state) {
+        const auto route =
+            router.route(i % 64, (i * 17 + 13) % 64);
+        benchmark::DoNotOptimize(route.hops());
+        ++i;
+    }
+}
+BENCHMARK(BM_MeshXYRoute);
+
+void
+BM_RingAllReduceLowering(benchmark::State &state)
+{
+    hw::MeshTopology mesh(4, 8);
+    net::Router router(mesh);
+    net::CollectiveScheduler sched(router);
+    const auto snake = parallel::GroupLayout::snakeOrder(mesh);
+    std::vector<hw::DieId> group(snake.begin(),
+                                 snake.begin() + state.range(0));
+    for (auto _ : state) {
+        const auto s = sched.ringAllReduce(group, 256e6);
+        benchmark::DoNotOptimize(s.rounds.size());
+    }
+}
+BENCHMARK(BM_RingAllReduceLowering)->Arg(8)->Arg(16)->Arg(32);
+
+void
+BM_ContentionEvaluate(benchmark::State &state)
+{
+    hw::MeshTopology mesh(4, 8);
+    net::Router router(mesh);
+    net::CollectiveScheduler sched(router);
+    net::ContentionModel model(mesh, 4e12, 200e-9);
+    const auto snake = parallel::GroupLayout::snakeOrder(mesh);
+    const auto s = sched.ringAllReduce(
+        std::vector<hw::DieId>(snake.begin(), snake.end()), 256e6);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(model.evaluateSequence(s.rounds).time_s);
+}
+BENCHMARK(BM_ContentionEvaluate);
+
+void
+BM_TrafficOptimizerPhase(benchmark::State &state)
+{
+    hw::MeshTopology mesh(4, 8);
+    net::Router router(mesh);
+    tcme::TrafficOptimizer opt(router);
+    // A congested phase: many parallel row flows through column 3-4.
+    std::vector<net::Flow> base;
+    for (int r = 0; r < 4; ++r) {
+        for (int c = 0; c < 3; ++c) {
+            net::Flow f;
+            f.src = mesh.dieAt(r, c);
+            f.dst = mesh.dieAt(r, 5 + c % 3);
+            f.bytes = 64e6;
+            f.route = router.route(f.src, f.dst);
+            f.tag = r;
+            base.push_back(f);
+        }
+    }
+    for (auto _ : state) {
+        auto flows = base;
+        benchmark::DoNotOptimize(opt.optimizePhase(flows).reroutes);
+    }
+}
+BENCHMARK(BM_TrafficOptimizerPhase);
+
+void
+BM_PartitionerAnalyze(benchmark::State &state)
+{
+    hw::MeshTopology mesh(4, 8);
+    const auto graph = model::ComputeGraph::transformer(
+        model::modelByName("GPT-3 6.7B"));
+    parallel::ParallelSpec spec;
+    spec.dp = 2;
+    spec.tp = 2;
+    spec.tatp = 8;
+    parallel::GroupLayout layout(mesh, spec);
+    parallel::Partitioner part;
+    for (auto _ : state) {
+        for (const auto &op : graph.ops())
+            benchmark::DoNotOptimize(
+                part.analyze(op, layout).fwd_flops_per_die);
+    }
+}
+BENCHMARK(BM_PartitionerAnalyze);
+
+}  // namespace
+
+BENCHMARK_MAIN();

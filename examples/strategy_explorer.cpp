@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Strategy explorer: compare explicit hybrid-parallelism strategies on
+ * the wafer — the workflow a performance engineer uses before
+ * committing to a training configuration.
+ *
+ *   ./strategy_explorer ["Llama2 7B"] [seq] [batch]
+ *
+ * Evaluates a line-up of representative (DP,TP,SP,TATP) tuples plus the
+ * solver's own pick, and prints a ranked comparison: step time, memory,
+ * what is exposed and what is hidden.
+ */
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "common/table.hpp"
+#include "core/framework.hpp"
+
+using namespace temp;
+
+int
+main(int argc, char **argv)
+{
+    const std::string name = argc > 1 ? argv[1] : "Llama2 7B";
+    model::ModelConfig model = model::modelByName(name);
+    if (argc > 3)
+        model = model.withSeqBatch(std::atoi(argv[2]), std::atoi(argv[3]));
+
+    std::printf("Strategy explorer — %s (seq %d, batch %d) on 32 dies\n",
+                model.name.c_str(), model.seq, model.batch);
+
+    core::TempFramework framework(hw::WaferConfig::paperDefault());
+
+    // A representative line-up: pure DP, Megatron-style TP, sequence
+    // parallelism, pure TATP, and hybrids around the sweet spot.
+    struct Candidate
+    {
+        const char *label;
+        parallel::ParallelSpec spec;
+    };
+    auto make = [](int dp, int tp, int sp, int tatp) {
+        parallel::ParallelSpec s;
+        s.dp = dp;
+        s.tp = tp;
+        s.sp = sp;
+        s.tatp = tatp;
+        return s;
+    };
+    const std::vector<Candidate> lineup = {
+        {"pure DP", make(32, 1, 1, 1)},
+        {"Megatron TP8 x DP4", make(4, 8, 1, 1)},
+        {"SP8 x DP4", make(4, 1, 8, 1)},
+        {"pure TATP", make(1, 1, 1, 32)},
+        {"TATP8 x DP4 (sweet spot)", make(4, 1, 1, 8)},
+        {"TATP16 x TP2", make(1, 2, 1, 16)},
+    };
+
+    struct Row
+    {
+        std::string label;
+        sim::PerfReport report;
+    };
+    std::vector<Row> rows;
+    for (const Candidate &c : lineup) {
+        const sim::PerfReport r =
+            framework.evaluateStrategy(model, c.spec);
+        if (r.feasible)
+            rows.push_back({std::string(c.label) + " " + c.spec.str(), r});
+    }
+
+    // And the solver's own answer for reference.
+    const solver::SolverResult solved = framework.optimize(model);
+    if (solved.feasible)
+        rows.push_back({"DLWS solver pick (per-op mix)", solved.report});
+
+    std::sort(rows.begin(), rows.end(), [](const Row &a, const Row &b) {
+        return a.report.step_time < b.report.step_time;
+    });
+
+    TablePrinter t({"Strategy", "Step (ms)", "Mem (GB)", "Exposed comm",
+                    "Hidden stream", "Accum", "Status"});
+    for (const Row &row : rows) {
+        const auto &r = row.report;
+        t.addRow({row.label, TablePrinter::fmt(r.step_time * 1e3, 1),
+                  TablePrinter::fmt(r.peak_mem_bytes / 1e9, 1),
+                  TablePrinter::fmtPct(r.exposed_comm / r.step_time),
+                  TablePrinter::fmt(r.stream_comm_time * 1e3, 1) + " ms",
+                  std::to_string(r.grad_accum),
+                  r.oom ? "OOM" : (r.recompute ? "recompute" : "ok")});
+    }
+    t.print("Ranked strategies (fastest first)");
+
+    if (!rows.empty()) {
+        std::printf("\nWinner: %s\n", rows.front().label.c_str());
+        std::printf("Slowest-to-fastest spread: %.2fx\n",
+                    rows.back().report.step_time /
+                        rows.front().report.step_time);
+    }
+    return 0;
+}

@@ -1,0 +1,103 @@
+#include "baselines/strategies.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.hpp"
+
+namespace temp::baselines {
+
+using parallel::ParallelSpec;
+
+const char *
+baselineName(BaselineKind kind)
+{
+    switch (kind) {
+      case BaselineKind::Megatron1: return "Mega";
+      case BaselineKind::MegatronSP: return "MeSP";
+      case BaselineKind::Fsdp: return "FSDP";
+    }
+    return "?";
+}
+
+BaselineGenerator::BaselineGenerator(const sim::TrainingSimulator &simulator)
+    : sim_(simulator)
+{
+}
+
+std::vector<ParallelSpec>
+BaselineGenerator::candidateFamily(BaselineKind kind,
+                                   const model::ModelConfig &model) const
+{
+    solver::StrategySpaceOptions space;
+    space.allow_tatp = false;
+    switch (kind) {
+      case BaselineKind::Megatron1:
+        space.allow_sp = false;
+        space.allow_cp = false;
+        space.allow_fsdp = false;
+        space.max_tp = 8;  // NVLink-domain-era TP limit
+        break;
+      case BaselineKind::MegatronSP:
+        // Megatron-3's SP is TP-coupled (applied below), so the
+        // independent SP axis stays off; CP is its long-sequence tool.
+        space.allow_sp = false;
+        space.allow_cp = true;
+        space.allow_fsdp = false;
+        space.max_tp = 32;
+        break;
+      case BaselineKind::Fsdp:
+        space.allow_dp = false;
+        space.allow_fsdp = true;
+        space.allow_tp = false;
+        space.allow_sp = false;
+        space.allow_cp = false;
+        break;
+    }
+    std::vector<ParallelSpec> family =
+        solver::enumerateStrategies(sim_.wafer().dieCount(), model, space);
+    if (kind == BaselineKind::MegatronSP) {
+        for (ParallelSpec &spec : family)
+            spec.coupled_sp = spec.tp > 1;
+    }
+    return family;
+}
+
+TunedBaseline
+BaselineGenerator::tune(BaselineKind kind,
+                        const model::ComputeGraph &graph) const
+{
+    const std::vector<ParallelSpec> family =
+        candidateFamily(kind, graph.config());
+    if (family.empty())
+        fatal("BaselineGenerator: empty family for %s",
+              baselineName(kind));
+
+    TunedBaseline best;
+    bool have_fit = false;
+    double best_time = std::numeric_limits<double>::infinity();
+    double best_mem = std::numeric_limits<double>::infinity();
+
+    for (const ParallelSpec &spec : family) {
+        const sim::PerfReport report = sim_.simulate(graph, spec);
+        if (!report.feasible)
+            continue;
+        if (!report.oom) {
+            if (!have_fit || report.step_time < best_time) {
+                have_fit = true;
+                best_time = report.step_time;
+                best.spec = spec;
+                best.report = report;
+            }
+        } else if (!have_fit && report.peak_mem_bytes < best_mem) {
+            // Track the least-infeasible configuration for OOM bars.
+            best_mem = report.peak_mem_bytes;
+            best.spec = spec;
+            best.report = report;
+        }
+    }
+    best.all_oom = !have_fit;
+    return best;
+}
+
+}  // namespace temp::baselines

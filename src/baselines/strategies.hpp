@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Baseline training-system strategy generators (Sec. VIII-A).
+ *
+ * The paper's six baselines combine three partitioning schemes with two
+ * mapping engines:
+ *  - Megatron-1: hierarchical DP x TP (PP excluded intra-wafer,
+ *    Sec. II-A);
+ *  - Megatron-3 ("MeSP"): DP x TP x SP/CP;
+ *  - FSDP: fully-sharded data parallelism (optionally with a small TP
+ *    factor);
+ * each tuned to its best configuration per model by the same simulator
+ * that evaluates it — exactly how the baselines would self-tune.
+ */
+#pragma once
+
+#include "sim/trainer_sim.hpp"
+#include "solver/strategy_space.hpp"
+
+namespace temp::baselines {
+
+/// The partitioning schemes of the paper's baseline matrix.
+enum class BaselineKind
+{
+    Megatron1,
+    MegatronSP,
+    Fsdp,
+};
+
+/// Returns the paper's short name ("Mega", "MeSP", "FSDP").
+const char *baselineName(BaselineKind kind);
+
+/// Outcome of tuning one baseline on one model.
+struct TunedBaseline
+{
+    parallel::ParallelSpec spec;
+    sim::PerfReport report;
+    /// True when every configuration in the family runs out of memory
+    /// (the "OOM" bars of Fig. 13).
+    bool all_oom = false;
+};
+
+/// Tunes baseline partitioning schemes with a given mapping engine.
+class BaselineGenerator
+{
+  public:
+    explicit BaselineGenerator(const sim::TrainingSimulator &simulator);
+
+    /// The configuration family a baseline scheme may choose from.
+    std::vector<parallel::ParallelSpec> candidateFamily(
+        BaselineKind kind, const model::ModelConfig &model) const;
+
+    /**
+     * Picks the family member with the best simulated step time among
+     * memory-feasible configurations; falls back to the lowest-memory
+     * configuration (flagged all_oom) when none fits.
+     */
+    TunedBaseline tune(BaselineKind kind,
+                       const model::ComputeGraph &graph) const;
+
+  private:
+    const sim::TrainingSimulator &sim_;
+};
+
+}  // namespace temp::baselines

@@ -1,0 +1,109 @@
+#include "common/logging.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace temp {
+
+namespace {
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Debug: return "DEBUG";
+      case LogLevel::Info: return "INFO";
+      case LogLevel::Warn: return "WARN";
+      case LogLevel::Error: return "ERROR";
+      case LogLevel::Off: return "OFF";
+    }
+    return "?";
+}
+
+void
+vlog(LogLevel level, const char *fmt, va_list args)
+{
+    std::fprintf(stderr, "[temp:%s] ", levelName(level));
+    std::vfprintf(stderr, fmt, args);
+    std::fprintf(stderr, "\n");
+}
+
+}  // namespace
+
+Logger &
+Logger::instance()
+{
+    static Logger logger;
+    return logger;
+}
+
+void
+Logger::log(LogLevel level, const char *fmt, ...)
+{
+    if (level < level_)
+        return;
+    va_list args;
+    va_start(args, fmt);
+    vlog(level, fmt, args);
+    va_end(args);
+}
+
+#define TEMP_FORWARD_LOG(severity)                                \
+    do {                                                          \
+        if ((severity) < Logger::instance().level())              \
+            return;                                               \
+        va_list args;                                             \
+        va_start(args, fmt);                                      \
+        vlog((severity), fmt, args);                              \
+        va_end(args);                                             \
+    } while (0)
+
+void
+logDebug(const char *fmt, ...)
+{
+    TEMP_FORWARD_LOG(LogLevel::Debug);
+}
+
+void
+logInfo(const char *fmt, ...)
+{
+    TEMP_FORWARD_LOG(LogLevel::Info);
+}
+
+void
+logWarn(const char *fmt, ...)
+{
+    TEMP_FORWARD_LOG(LogLevel::Warn);
+}
+
+void
+logError(const char *fmt, ...)
+{
+    TEMP_FORWARD_LOG(LogLevel::Error);
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    std::fprintf(stderr, "[temp:FATAL] ");
+    std::vfprintf(stderr, fmt, args);
+    std::fprintf(stderr, "\n");
+    va_end(args);
+    std::exit(1);
+}
+
+void
+panic(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    std::fprintf(stderr, "[temp:PANIC] ");
+    std::vfprintf(stderr, fmt, args);
+    std::fprintf(stderr, "\n");
+    va_end(args);
+    std::abort();
+}
+
+}  // namespace temp

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Minimal levelled logging plus fatal/panic termination helpers.
+ *
+ * Follows the gem5 convention: fatal() is for user errors (bad
+ * configuration), panic() is for internal invariant violations.
+ */
+#pragma once
+
+#include <cstdarg>
+#include <string>
+
+namespace temp {
+
+/// Severity levels for log messages.
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/**
+ * Process-wide logging sink writing to stderr.
+ *
+ * The default level is Warn so library users are not spammed; examples and
+ * benches raise it explicitly when narrating progress.
+ */
+class Logger
+{
+  public:
+    /// Returns the process-wide logger instance.
+    static Logger &instance();
+
+    /// Sets the minimum severity that will be emitted.
+    void setLevel(LogLevel level) { level_ = level; }
+
+    /// Returns the current minimum severity.
+    LogLevel level() const { return level_; }
+
+    /// Emits a printf-style message at the given severity.
+    void log(LogLevel level, const char *fmt, ...)
+        __attribute__((format(printf, 3, 4)));
+
+  private:
+    Logger() = default;
+    LogLevel level_ = LogLevel::Warn;
+};
+
+/// Emits a debug-level message through the global logger.
+void logDebug(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+/// Emits an info-level message through the global logger.
+void logInfo(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+/// Emits a warning through the global logger.
+void logWarn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+/// Emits an error through the global logger.
+void logError(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Terminates the process because of a user-caused error (bad configuration,
+ * invalid arguments). Prints the message and exits with status 1.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Terminates the process because of an internal invariant violation (a bug
+ * in the framework itself). Prints the message and aborts.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace temp

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Deterministic random number generation for search heuristics, fault
+ * injection and cost-model dataset synthesis.
+ *
+ * All stochastic components of the framework take an explicit Rng so runs
+ * are reproducible; there is deliberately no global generator.
+ */
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "common/logging.hpp"
+
+namespace temp {
+
+/// Seeded Mersenne-Twister wrapper with the helpers the framework needs.
+class Rng
+{
+  public:
+    /// Constructs a generator with a fixed seed (default reproducible seed).
+    explicit Rng(std::uint64_t seed = 0x7e3c5u) : engine_(seed) {}
+
+    /// Returns a uniform integer in [lo, hi] inclusive.
+    int
+    uniformInt(int lo, int hi)
+    {
+        if (lo > hi)
+            panic("Rng::uniformInt: empty range [%d, %d]", lo, hi);
+        std::uniform_int_distribution<int> dist(lo, hi);
+        return dist(engine_);
+    }
+
+    /// Returns a uniform size_t index in [0, size).
+    std::size_t
+    index(std::size_t size)
+    {
+        if (size == 0)
+            panic("Rng::index: empty container");
+        std::uniform_int_distribution<std::size_t> dist(0, size - 1);
+        return dist(engine_);
+    }
+
+    /// Returns a uniform double in [lo, hi).
+    double
+    uniformReal(double lo, double hi)
+    {
+        std::uniform_real_distribution<double> dist(lo, hi);
+        return dist(engine_);
+    }
+
+    /// Returns a standard-normal sample scaled by stddev.
+    double
+    gaussian(double mean = 0.0, double stddev = 1.0)
+    {
+        std::normal_distribution<double> dist(mean, stddev);
+        return dist(engine_);
+    }
+
+    /// Returns true with the given probability.
+    bool
+    bernoulli(double p)
+    {
+        std::bernoulli_distribution dist(p);
+        return dist(engine_);
+    }
+
+    /// Picks a uniformly random element of a non-empty vector.
+    template <typename T>
+    const T &
+    pick(const std::vector<T> &items)
+    {
+        return items[index(items.size())];
+    }
+
+    /// Shuffles a vector in place.
+    template <typename T>
+    void
+    shuffle(std::vector<T> &items)
+    {
+        std::shuffle(items.begin(), items.end(), engine_);
+    }
+
+    /// Exposes the underlying engine for std distributions.
+    std::mt19937_64 &engine() { return engine_; }
+
+  private:
+    std::mt19937_64 engine_;
+};
+
+}  // namespace temp

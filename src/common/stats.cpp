@@ -1,0 +1,180 @@
+#include "common/stats.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "common/logging.hpp"
+
+namespace temp {
+
+double
+mean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double x : xs)
+        sum += x;
+    return sum / static_cast<double>(xs.size());
+}
+
+double
+stddev(const std::vector<double> &xs)
+{
+    if (xs.size() < 2)
+        return 0.0;
+    const double m = mean(xs);
+    double acc = 0.0;
+    for (double x : xs)
+        acc += (x - m) * (x - m);
+    return std::sqrt(acc / static_cast<double>(xs.size()));
+}
+
+double
+pearsonCorrelation(const std::vector<double> &xs, const std::vector<double> &ys)
+{
+    if (xs.size() != ys.size())
+        panic("pearsonCorrelation: length mismatch %zu vs %zu", xs.size(),
+              ys.size());
+    if (xs.size() < 2)
+        return 0.0;
+    const double mx = mean(xs);
+    const double my = mean(ys);
+    double sxy = 0.0, sxx = 0.0, syy = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        const double dx = xs[i] - mx;
+        const double dy = ys[i] - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if (sxx <= 0.0 || syy <= 0.0)
+        return 0.0;
+    return sxy / std::sqrt(sxx * syy);
+}
+
+double
+meanAbsPercentError(const std::vector<double> &predicted,
+                    const std::vector<double> &reference)
+{
+    if (predicted.size() != reference.size())
+        panic("meanAbsPercentError: length mismatch %zu vs %zu",
+              predicted.size(), reference.size());
+    if (predicted.empty())
+        return 0.0;
+    double acc = 0.0;
+    std::size_t counted = 0;
+    for (std::size_t i = 0; i < predicted.size(); ++i) {
+        if (reference[i] == 0.0)
+            continue;
+        acc += std::abs(predicted[i] - reference[i]) / std::abs(reference[i]);
+        ++counted;
+    }
+    return counted == 0 ? 0.0 : 100.0 * acc / static_cast<double>(counted);
+}
+
+double
+geomean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (double x : xs) {
+        if (x <= 0.0)
+            panic("geomean: non-positive input %f", x);
+        acc += std::log(x);
+    }
+    return std::exp(acc / static_cast<double>(xs.size()));
+}
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0)
+{
+}
+
+Matrix
+Matrix::multiply(const Matrix &other) const
+{
+    if (cols_ != other.rows_)
+        panic("Matrix::multiply: inner dims %zu vs %zu", cols_, other.rows_);
+    Matrix out(rows_, other.cols_);
+    for (std::size_t i = 0; i < rows_; ++i) {
+        for (std::size_t k = 0; k < cols_; ++k) {
+            const double a = at(i, k);
+            if (a == 0.0)
+                continue;
+            for (std::size_t j = 0; j < other.cols_; ++j)
+                out.at(i, j) += a * other.at(k, j);
+        }
+    }
+    return out;
+}
+
+Matrix
+Matrix::transposed() const
+{
+    Matrix out(cols_, rows_);
+    for (std::size_t i = 0; i < rows_; ++i)
+        for (std::size_t j = 0; j < cols_; ++j)
+            out.at(j, i) = at(i, j);
+    return out;
+}
+
+std::vector<double>
+solveLinearSystem(Matrix a, std::vector<double> b)
+{
+    const std::size_t n = a.rows();
+    if (a.cols() != n || b.size() != n)
+        panic("solveLinearSystem: shape mismatch");
+
+    for (std::size_t col = 0; col < n; ++col) {
+        // Partial pivoting for stability.
+        std::size_t pivot = col;
+        for (std::size_t r = col + 1; r < n; ++r) {
+            if (std::abs(a.at(r, col)) > std::abs(a.at(pivot, col)))
+                pivot = r;
+        }
+        if (std::abs(a.at(pivot, col)) < 1e-14)
+            panic("solveLinearSystem: singular matrix at column %zu", col);
+        if (pivot != col) {
+            for (std::size_t c = 0; c < n; ++c)
+                std::swap(a.at(pivot, c), a.at(col, c));
+            std::swap(b[pivot], b[col]);
+        }
+        for (std::size_t r = col + 1; r < n; ++r) {
+            const double factor = a.at(r, col) / a.at(col, col);
+            if (factor == 0.0)
+                continue;
+            for (std::size_t c = col; c < n; ++c)
+                a.at(r, c) -= factor * a.at(col, c);
+            b[r] -= factor * b[col];
+        }
+    }
+
+    std::vector<double> x(n, 0.0);
+    for (std::size_t ri = n; ri-- > 0;) {
+        double acc = b[ri];
+        for (std::size_t c = ri + 1; c < n; ++c)
+            acc -= a.at(ri, c) * x[c];
+        x[ri] = acc / a.at(ri, ri);
+    }
+    return x;
+}
+
+std::vector<double>
+leastSquares(const Matrix &x, const std::vector<double> &y, double ridge)
+{
+    if (x.rows() != y.size())
+        panic("leastSquares: %zu rows vs %zu targets", x.rows(), y.size());
+    const Matrix xt = x.transposed();
+    Matrix xtx = xt.multiply(x);
+    for (std::size_t i = 0; i < xtx.rows(); ++i)
+        xtx.at(i, i) += ridge;
+    std::vector<double> xty(x.cols(), 0.0);
+    for (std::size_t j = 0; j < x.cols(); ++j)
+        for (std::size_t i = 0; i < x.rows(); ++i)
+            xty[j] += x.at(i, j) * y[i];
+    return solveLinearSystem(xtx, xty);
+}
+
+}  // namespace temp

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Statistics and small dense linear-algebra helpers.
+ *
+ * Used by the cost-model fidelity experiments (Pearson correlation, mean
+ * absolute percentage error) and by the multivariate linear-regression
+ * baseline (normal-equation solve).
+ */
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace temp {
+
+/// Arithmetic mean; returns 0 for an empty vector.
+double mean(const std::vector<double> &xs);
+
+/// Population standard deviation; returns 0 for fewer than two samples.
+double stddev(const std::vector<double> &xs);
+
+/// Pearson correlation coefficient between two equal-length series.
+double pearsonCorrelation(const std::vector<double> &xs,
+                          const std::vector<double> &ys);
+
+/// Mean absolute percentage error of predictions vs. reference values.
+double meanAbsPercentError(const std::vector<double> &predicted,
+                           const std::vector<double> &reference);
+
+/// Geometric mean; all inputs must be positive.
+double geomean(const std::vector<double> &xs);
+
+/**
+ * Dense row-major matrix just big enough for the regression baseline and
+ * the MLP surrogate; not a general linear-algebra library.
+ */
+class Matrix
+{
+  public:
+    Matrix() = default;
+
+    /// Creates a rows x cols matrix initialised to zero.
+    Matrix(std::size_t rows, std::size_t cols);
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+
+    /// Mutable element access (row, col), bounds-checked in debug builds.
+    double &at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+    /// Const element access (row, col).
+    double at(std::size_t r, std::size_t c) const
+    {
+        return data_[r * cols_ + c];
+    }
+
+    /// Matrix product this * other.
+    Matrix multiply(const Matrix &other) const;
+
+    /// Transposed copy.
+    Matrix transposed() const;
+
+  private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<double> data_;
+};
+
+/**
+ * Solves the linear system A*x = b with partial-pivot Gaussian elimination.
+ *
+ * @param a Square coefficient matrix (copied internally).
+ * @param b Right-hand side, length a.rows().
+ * @return Solution vector x.
+ */
+std::vector<double> solveLinearSystem(Matrix a, std::vector<double> b);
+
+/**
+ * Ordinary least squares: finds w minimising ||X*w - y||^2 via the normal
+ * equations (X^T X + ridge*I) w = X^T y.
+ *
+ * @param x Design matrix, one row per sample (include a 1-column for bias).
+ * @param y Targets, length x.rows().
+ * @param ridge Small Tikhonov term for numerical robustness.
+ */
+std::vector<double> leastSquares(const Matrix &x, const std::vector<double> &y,
+                                 double ridge = 1e-9);
+
+}  // namespace temp

@@ -1,0 +1,77 @@
+#include "common/table.hpp"
+
+#include <cstdio>
+
+namespace temp {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+TablePrinter::addRow(std::vector<std::string> cells)
+{
+    cells.resize(headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TablePrinter::fmt(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    return buf;
+}
+
+std::string
+TablePrinter::fmtX(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*fx", precision, value);
+    return buf;
+}
+
+std::string
+TablePrinter::fmtPct(double fraction, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", precision, 100.0 * fraction);
+    return buf;
+}
+
+void
+TablePrinter::print(const std::string &title) const
+{
+    std::vector<std::size_t> widths(headers_.size(), 0);
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    if (!title.empty())
+        std::printf("\n== %s ==\n", title.c_str());
+
+    auto print_row = [&](const std::vector<std::string> &cells) {
+        std::printf("|");
+        for (std::size_t c = 0; c < headers_.size(); ++c) {
+            const std::string &cell = c < cells.size() ? cells[c] : "";
+            std::printf(" %-*s |", static_cast<int>(widths[c]), cell.c_str());
+        }
+        std::printf("\n");
+    };
+
+    print_row(headers_);
+    std::printf("|");
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+        for (std::size_t i = 0; i < widths[c] + 2; ++i)
+            std::printf("-");
+        std::printf("|");
+    }
+    std::printf("\n");
+    for (const auto &row : rows_)
+        print_row(row);
+}
+
+}  // namespace temp

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Fixed-width ASCII table printer used by the benchmark harnesses to emit
+ * paper-style result rows (one bench binary per table/figure).
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace temp {
+
+/// Accumulates rows and prints an aligned ASCII table to stdout.
+class TablePrinter
+{
+  public:
+    /// Creates a table with the given column headers.
+    explicit TablePrinter(std::vector<std::string> headers);
+
+    /// Appends a row; missing cells are blank, extra cells are dropped.
+    void addRow(std::vector<std::string> cells);
+
+    /// Convenience: formats a double with the given precision.
+    static std::string fmt(double value, int precision = 3);
+
+    /// Convenience: formats a value as a multiplier, e.g. "1.72x".
+    static std::string fmtX(double value, int precision = 2);
+
+    /// Convenience: formats a percentage, e.g. "38.4%".
+    static std::string fmtPct(double fraction, int precision = 1);
+
+    /// Renders the table (header, separator, rows) to stdout.
+    void print(const std::string &title = "") const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace temp

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Unit helpers and physical constants used throughout the TEMP framework.
+ *
+ * Conventions:
+ *  - time is expressed in seconds (double),
+ *  - data sizes in bytes (double, to allow analytic scaling),
+ *  - compute in FLOPs (double),
+ *  - energy in joules (double).
+ */
+#pragma once
+
+namespace temp {
+
+/// Kibi/mebi/gibi byte multipliers.
+constexpr double kKiB = 1024.0;
+constexpr double kMiB = 1024.0 * kKiB;
+constexpr double kGiB = 1024.0 * kMiB;
+
+/// Decimal multipliers used for bandwidth and FLOP ratings.
+constexpr double kKilo = 1e3;
+constexpr double kMega = 1e6;
+constexpr double kGiga = 1e9;
+constexpr double kTera = 1e12;
+constexpr double kPeta = 1e15;
+
+/// Time units expressed in seconds.
+constexpr double kSecond = 1.0;
+constexpr double kMilli = 1e-3;
+constexpr double kMicro = 1e-6;
+constexpr double kNano = 1e-9;
+
+/// Energy units expressed in joules.
+constexpr double kPicoJoule = 1e-12;
+
+/// Bits per byte, used when converting pJ/bit energy ratings.
+constexpr double kBitsPerByte = 8.0;
+
+/// Converts a GB/s figure to bytes-per-second.
+constexpr double gbPerSec(double gb) { return gb * kGiga; }
+
+/// Converts a TB/s figure to bytes-per-second.
+constexpr double tbPerSec(double tb) { return tb * kTera; }
+
+/// Converts a TFLOPS figure to FLOPs-per-second.
+constexpr double tflops(double t) { return t * kTera; }
+
+/// Converts gigabytes to bytes (decimal convention, as memory vendors use).
+constexpr double gigabytes(double gb) { return gb * kGiga; }
+
+/// Converts megabytes to bytes (decimal convention).
+constexpr double megabytes(double mb) { return mb * kMega; }
+
+/// Converts a pJ/bit link-energy rating to joules-per-byte.
+constexpr double pjPerBitToJoulePerByte(double pj_per_bit)
+{
+    return pj_per_bit * kPicoJoule * kBitsPerByte;
+}
+
+/// Bytes per scalar for the mixed-precision training recipe (Sec. VIII-A).
+constexpr double kBytesFp16 = 2.0;
+constexpr double kBytesFp32 = 4.0;
+
+}  // namespace temp

@@ -1,0 +1,169 @@
+#include "core/config_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hpp"
+#include "common/units.hpp"
+
+namespace temp::core {
+
+namespace {
+
+std::string
+trim(const std::string &s)
+{
+    const auto begin = s.find_first_not_of(" \t\r");
+    const auto end = s.find_last_not_of(" \t\r");
+    if (begin == std::string::npos)
+        return "";
+    return s.substr(begin, end - begin + 1);
+}
+
+double
+toNumber(const std::string &key, const std::string &value)
+{
+    try {
+        std::size_t used = 0;
+        const double v = std::stod(value, &used);
+        if (used != value.size())
+            throw std::invalid_argument(value);
+        return v;
+    } catch (const std::exception &) {
+        fatal("config: key '%s' has non-numeric value '%s'", key.c_str(),
+              value.c_str());
+    }
+}
+
+}  // namespace
+
+ConfigMap
+parseConfigText(const std::string &text)
+{
+    ConfigMap config;
+    std::istringstream stream(text);
+    std::string line;
+    int line_no = 0;
+    while (std::getline(stream, line)) {
+        ++line_no;
+        const auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line = line.substr(0, hash);
+        line = trim(line);
+        if (line.empty())
+            continue;
+        const auto eq = line.find('=');
+        if (eq == std::string::npos)
+            fatal("config line %d: expected 'key = value', got '%s'",
+                  line_no, line.c_str());
+        const std::string key = trim(line.substr(0, eq));
+        const std::string value = trim(line.substr(eq + 1));
+        if (key.empty() || value.empty())
+            fatal("config line %d: empty key or value", line_no);
+        config[key] = value;
+    }
+    return config;
+}
+
+ConfigMap
+loadConfigFile(const std::string &path)
+{
+    std::ifstream file(path);
+    if (!file)
+        fatal("config: cannot open '%s'", path.c_str());
+    std::stringstream buffer;
+    buffer << file.rdbuf();
+    return parseConfigText(buffer.str());
+}
+
+hw::WaferConfig
+waferFromConfig(const ConfigMap &config)
+{
+    hw::WaferConfig wafer = hw::WaferConfig::paperDefault();
+    double hbm_stacks = wafer.hbm.stacks_per_die;
+    double hbm_gb = 72.0;
+    double hbm_tbps = 1.0;
+
+    for (const auto &[key, value] : config) {
+        const double v = toNumber(key, value);
+        if (key == "rows") {
+            wafer.rows = static_cast<int>(v);
+        } else if (key == "cols") {
+            wafer.cols = static_cast<int>(v);
+        } else if (key == "peak_tflops") {
+            wafer.die.peak_flops = tflops(v);
+        } else if (key == "sram_mb") {
+            wafer.die.sram_bytes = megabytes(v);
+        } else if (key == "flops_per_watt_t") {
+            wafer.die.flops_per_watt = tflops(v);
+        } else if (key == "d2d_tbps") {
+            wafer.d2d.bandwidth_bytes_per_s = tbPerSec(v);
+        } else if (key == "d2d_latency_ns") {
+            wafer.d2d.latency_s = v * kNano;
+        } else if (key == "d2d_pj_per_bit") {
+            wafer.d2d.energy_pj_per_bit = v;
+        } else if (key == "hbm_stacks") {
+            hbm_stacks = v;
+        } else if (key == "hbm_gb_per_stack") {
+            hbm_gb = v;
+        } else if (key == "hbm_tbps_per_stack") {
+            hbm_tbps = v;
+        } else if (key == "hbm_latency_ns") {
+            wafer.hbm.latency_s = v * kNano;
+        } else if (key == "hbm_pj_per_bit") {
+            wafer.hbm.energy_pj_per_bit = v;
+        } else {
+            fatal("config: unknown wafer key '%s'", key.c_str());
+        }
+    }
+    wafer.hbm.stacks_per_die = static_cast<int>(hbm_stacks);
+    wafer.hbm.capacity_bytes = hbm_stacks * gigabytes(hbm_gb);
+    wafer.hbm.bandwidth_bytes_per_s = hbm_stacks * tbPerSec(hbm_tbps);
+    if (wafer.rows < 1 || wafer.cols < 1)
+        fatal("config: invalid wafer grid %dx%d", wafer.rows, wafer.cols);
+    return wafer;
+}
+
+model::ModelConfig
+modelFromConfig(const ConfigMap &config)
+{
+    model::ModelConfig model;
+    const auto base = config.find("base");
+    const auto name = config.find("name");
+    if (base != config.end())
+        model = model::modelByName(base->second);
+    else if (name == config.end())
+        fatal("config: model needs 'name' or 'base'");
+
+    for (const auto &[key, value] : config) {
+        if (key == "base")
+            continue;
+        if (key == "name") {
+            model.name = value;
+            continue;
+        }
+        const int v = static_cast<int>(toNumber(key, value));
+        if (key == "heads")
+            model.heads = v;
+        else if (key == "batch")
+            model.batch = v;
+        else if (key == "hidden")
+            model.hidden = v;
+        else if (key == "layers")
+            model.layers = v;
+        else if (key == "seq")
+            model.seq = v;
+        else if (key == "ffn_mult")
+            model.ffn_mult = v;
+        else if (key == "vocab")
+            model.vocab = v;
+        else
+            fatal("config: unknown model key '%s'", key.c_str());
+    }
+    if (model.hidden % model.heads != 0)
+        fatal("config: hidden (%d) must divide by heads (%d)",
+              model.hidden, model.heads);
+    return model;
+}
+
+}  // namespace temp::core

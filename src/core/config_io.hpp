@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Plain-text configuration loading for wafers and models, so downstream
+ * users can describe their own hardware and workloads without
+ * recompiling. Format: one `key = value` pair per line, `#` comments.
+ *
+ * Wafer keys (defaults = Table I):
+ *   rows, cols, peak_tflops, sram_mb, d2d_tbps, d2d_latency_ns,
+ *   d2d_pj_per_bit, hbm_stacks, hbm_gb_per_stack, hbm_tbps_per_stack,
+ *   hbm_latency_ns, hbm_pj_per_bit, flops_per_watt_t
+ *
+ * Model keys:
+ *   name, heads, batch, hidden, layers, seq, ffn_mult, vocab
+ */
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "hw/config.hpp"
+#include "model/model_zoo.hpp"
+
+namespace temp::core {
+
+/// Parsed key=value pairs (string values, trimmed).
+using ConfigMap = std::map<std::string, std::string>;
+
+/// Parses `key = value` lines; `#` starts a comment. fatal() on
+/// malformed lines.
+ConfigMap parseConfigText(const std::string &text);
+
+/// Loads a ConfigMap from a file; fatal() if unreadable.
+ConfigMap loadConfigFile(const std::string &path);
+
+/**
+ * Builds a wafer configuration from parsed keys, starting from the
+ * Table I defaults; unknown keys are rejected (fatal) so typos do not
+ * silently configure the default.
+ */
+hw::WaferConfig waferFromConfig(const ConfigMap &config);
+
+/// Builds a model configuration from parsed keys; `name` is required
+/// unless `base` names a zoo model to start from.
+model::ModelConfig modelFromConfig(const ConfigMap &config);
+
+}  // namespace temp::core

@@ -1,0 +1,60 @@
+#include "core/framework.hpp"
+
+namespace temp::core {
+
+TempFramework::TempFramework(hw::WaferConfig wafer_config,
+                             FrameworkOptions options)
+    : options_(options),
+      wafer_(std::make_unique<hw::Wafer>(wafer_config)),
+      sim_(std::make_unique<sim::TrainingSimulator>(*wafer_, options.policy,
+                                                    options.training))
+{
+}
+
+solver::SolverResult
+TempFramework::optimize(const model::ModelConfig &model) const
+{
+    const model::ComputeGraph graph = model::ComputeGraph::transformer(model);
+    solver::DlsSolver solver(*sim_, options_.solver);
+    return solver.solve(graph);
+}
+
+solver::SolverResult
+TempFramework::optimizeWithFaults(const model::ModelConfig &model,
+                                  const hw::FaultMap &faults) const
+{
+    // Step 1 of Fig. 20(a): fault localisation = the FaultMap itself.
+    hw::Wafer degraded(wafer_->config(), faults);
+    // Steps 2-3: re-balance partitioning and re-route communication by
+    // re-running the derate-/fault-aware pipeline on the degraded wafer.
+    sim::TrainingSimulator degraded_sim(degraded, options_.policy,
+                                        options_.training);
+    const model::ComputeGraph graph = model::ComputeGraph::transformer(model);
+    solver::DlsSolver solver(degraded_sim, options_.solver);
+    return solver.solve(graph);
+}
+
+baselines::TunedBaseline
+TempFramework::evaluateBaseline(baselines::BaselineKind kind,
+                                tcme::MappingEngineKind engine,
+                                const model::ModelConfig &model) const
+{
+    parallel::TrainingOptions opts = options_.training;
+    if (kind == baselines::BaselineKind::Megatron1)
+        opts.zero1_optimizer = false;  // predates the distributed optimizer
+    sim::TrainingSimulator engine_sim(*wafer_, tcme::MappingPolicy{engine},
+                                      opts);
+    baselines::BaselineGenerator generator(engine_sim);
+    const model::ComputeGraph graph = model::ComputeGraph::transformer(model);
+    return generator.tune(kind, graph);
+}
+
+sim::PerfReport
+TempFramework::evaluateStrategy(const model::ModelConfig &model,
+                                const parallel::ParallelSpec &spec) const
+{
+    const model::ComputeGraph graph = model::ComputeGraph::transformer(model);
+    return sim_->simulate(graph, spec);
+}
+
+}  // namespace temp::core

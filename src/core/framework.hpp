@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The TEMP framework facade (Fig. 6): architecture parameters, an LLM
+ * model and workload in; optimal partition + mapping strategies and
+ * performance reports out.
+ *
+ * Pipeline: TATP-aware strategy space -> TCME mapping (unified
+ * representation + traffic-conscious optimisation) -> DLWS (cost model
+ * + dual-level search) -> simulated PerfReport. The fault-tolerance
+ * path (Sec. VIII-F / Fig. 20a) re-runs the same pipeline against a
+ * degraded wafer: fault localisation (FaultMap), tensor re-partitioning
+ * (derate-aware cost model) and communication re-routing (fault-aware
+ * router + optimizer) fall out of the layered design.
+ */
+#pragma once
+
+#include <memory>
+
+#include "baselines/strategies.hpp"
+#include "sim/multi_wafer.hpp"
+#include "sim/trainer_sim.hpp"
+#include "solver/dls_solver.hpp"
+
+namespace temp::core {
+
+/// Framework-wide options.
+struct FrameworkOptions
+{
+    tcme::MappingPolicy policy{tcme::MappingEngineKind::TCME};
+    parallel::TrainingOptions training;
+    solver::SolverConfig solver;
+};
+
+/// The end-to-end TEMP system.
+class TempFramework
+{
+  public:
+    explicit TempFramework(hw::WaferConfig wafer_config,
+                           FrameworkOptions options = FrameworkOptions());
+
+    /**
+     * Runs the full TEMP pipeline on a model: DLWS search over the
+     * TATP-extended strategy space, TCME mapping, final simulation.
+     */
+    solver::SolverResult optimize(const model::ModelConfig &model) const;
+
+    /**
+     * Fault-tolerant re-optimisation: rebuilds the wafer with the given
+     * fault state and re-runs the pipeline (the three-step strategy of
+     * Fig. 20a).
+     */
+    solver::SolverResult optimizeWithFaults(const model::ModelConfig &model,
+                                            const hw::FaultMap &faults)
+        const;
+
+    /// Tunes and evaluates one baseline scheme under a mapping engine.
+    baselines::TunedBaseline evaluateBaseline(
+        baselines::BaselineKind kind, tcme::MappingEngineKind engine,
+        const model::ModelConfig &model) const;
+
+    /// Simulates an explicit uniform strategy under this framework's
+    /// mapping policy (ablations, sweeps).
+    sim::PerfReport evaluateStrategy(const model::ModelConfig &model,
+                                     const parallel::ParallelSpec &spec)
+        const;
+
+    const hw::Wafer &wafer() const { return *wafer_; }
+    const sim::TrainingSimulator &simulator() const { return *sim_; }
+    const FrameworkOptions &options() const { return options_; }
+
+  private:
+    FrameworkOptions options_;
+    std::unique_ptr<hw::Wafer> wafer_;
+    std::unique_ptr<sim::TrainingSimulator> sim_;
+};
+
+}  // namespace temp::core

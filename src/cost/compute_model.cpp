@@ -1,0 +1,45 @@
+#include "cost/compute_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace temp::cost {
+
+ComputeModel::ComputeModel(const hw::DieConfig &die, const hw::HbmConfig &hbm)
+    : die_(die), hbm_(hbm)
+{
+}
+
+double
+ComputeModel::gemmEfficiency(double flops) const
+{
+    if (flops <= 0.0)
+        return kMaxGemmEfficiency;
+    const double ramp = std::sqrt(flops / kSaturatingFlops);
+    return std::clamp(kMinGemmEfficiency +
+                          (kMaxGemmEfficiency - kMinGemmEfficiency) * ramp,
+                      kMinGemmEfficiency, kMaxGemmEfficiency);
+}
+
+double
+ComputeModel::opTime(double flops, double dram_bytes, bool is_gemm,
+                     double derate) const
+{
+    if (flops <= 0.0 && dram_bytes <= 0.0)
+        return 0.0;
+    if (derate <= 0.0)
+        panic("ComputeModel::opTime: die fully deratered");
+
+    const double efficiency =
+        is_gemm ? gemmEfficiency(flops) : kVectorEfficiency;
+    const double compute_time =
+        flops / (die_.peak_flops * efficiency * derate);
+    const double memory_time = hbm_.accessTime(
+        dram_bytes,
+        is_gemm ? mem::AccessPattern::Strided : mem::AccessPattern::Sequential);
+    return std::max(compute_time, memory_time);
+}
+
+}  // namespace temp::cost

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Per-die compute timing: a roofline over the PE array and HBM.
+ *
+ * GEMM-family operators run at a size-dependent fraction of peak (small
+ * or skinny tiles underutilise the PE array); element-wise operators are
+ * memory-bound and ride the HBM bandwidth line.
+ */
+#pragma once
+
+#include "hw/config.hpp"
+#include "mem/hbm_model.hpp"
+
+namespace temp::cost {
+
+/// Roofline compute-time model for one die.
+class ComputeModel
+{
+  public:
+    ComputeModel(const hw::DieConfig &die, const hw::HbmConfig &hbm);
+
+    /**
+     * Execution time of an operator slice on one die.
+     *
+     * @param flops FLOPs assigned to the die.
+     * @param dram_bytes DRAM traffic of the slice.
+     * @param is_gemm GEMM-family (PE-array) vs. element-wise (vector).
+     * @param derate Compute derating (core faults), in (0, 1].
+     */
+    double opTime(double flops, double dram_bytes, bool is_gemm,
+                  double derate = 1.0) const;
+
+    /**
+     * PE-array utilisation for a GEMM of the given total FLOPs: ramps
+     * from kMinGemmEfficiency for tiny problems to kMaxGemmEfficiency
+     * once the problem saturates the array.
+     */
+    double gemmEfficiency(double flops) const;
+
+    /// Vector-unit efficiency applied to element-wise operators.
+    static constexpr double kVectorEfficiency = 0.30;
+    static constexpr double kMinGemmEfficiency = 0.25;
+    static constexpr double kMaxGemmEfficiency = 0.88;
+    /// FLOP count at which a GEMM saturates the PE array (~10 GFLOPs,
+    /// a few microseconds of work on a 1.8 PFLOPS die).
+    static constexpr double kSaturatingFlops = 1.0e10;
+
+    const hw::DieConfig &die() const { return die_; }
+    const mem::HbmModel &hbm() const { return hbm_; }
+
+  private:
+    hw::DieConfig die_;
+    mem::HbmModel hbm_;
+};
+
+}  // namespace temp::cost

@@ -1,0 +1,329 @@
+#include "cost/cost_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.hpp"
+
+namespace temp::cost {
+
+using parallel::Axis;
+using parallel::GroupLayout;
+using parallel::OpExecution;
+using parallel::ParallelSpec;
+
+WaferCostModel::WaferCostModel(const hw::Wafer &wafer,
+                               tcme::MappingPolicy policy,
+                               parallel::TrainingOptions options)
+    : wafer_(wafer),
+      policy_(policy),
+      partitioner_(options),
+      compute_(wafer.config().die, wafer.config().hbm),
+      power_(wafer.config()),
+      router_(wafer.topology(), &wafer.faults()),
+      scheduler_(router_),
+      contention_(
+          wafer.topology(),
+          [this](hw::LinkId link) { return wafer_.linkBandwidth(link); },
+          wafer.config().d2d.latency_s),
+      chain_mapper_(wafer.topology()),
+      tatp_executor_(wafer.config().d2d),
+      optimizer_(router_)
+{
+}
+
+net::PhaseTiming
+WaferCostModel::timeCollectiveTasks(
+    const std::vector<net::CollectiveTask> &tasks, double *link_bytes) const
+{
+    net::PhaseTiming timing;
+    if (tasks.empty())
+        return timing;
+
+    // Lower every task and overlay same-kind rounds: groups of one axis
+    // run concurrently, and different axes' collectives inside one op
+    // contend for the same links (the Fig. 11 scenario).
+    net::CommSchedule combined;
+    for (const net::CollectiveTask &task : tasks)
+        combined.overlay(scheduler_.schedule(task));
+
+    if (!combined.feasible) {
+        timing.time_s = std::numeric_limits<double>::infinity();
+        return timing;
+    }
+
+    if (policy_.contentionOptimization())
+        optimizer_.optimize(combined);
+
+    if (link_bytes != nullptr)
+        *link_bytes += combined.linkBytes();
+    return contention_.evaluateSequence(combined.rounds);
+}
+
+void
+WaferCostModel::timeStream(const OpExecution &exec, const GroupLayout &layout,
+                           OpCostBreakdown &out) const
+{
+    const parallel::TatpStream &stream = exec.tatp;
+    const int g = stream.degree;
+
+    // Build the physical chains this layout gives the stream. Engines
+    // other than SMap re-order scattered groups into the best chain
+    // (GMap is hop-aware; TCME is topology-aware by construction).
+    std::vector<tatp::ChainInfo> chains;
+    for (const auto &group : layout.groups(Axis::TATP)) {
+        std::vector<hw::DieId> ordered = group;
+        if (policy_.kind != tcme::MappingEngineKind::SMap)
+            ordered = chain_mapper_.orderAsChain(ordered);
+        chains.push_back(chain_mapper_.analyzeChain(ordered));
+    }
+    if (chains.empty())
+        return;
+
+    // Worst chain gates the bulk-synchronous stream.
+    const tatp::ChainInfo *worst = &chains[0];
+    for (const tatp::ChainInfo &c : chains)
+        if (c.max_hop > worst->max_hop)
+            worst = &c;
+
+    double min_derate = 1.0;
+    for (hw::DieId die : layout.activeDies())
+        min_derate = std::min(min_derate,
+                              wafer_.faults().computeDerate(die));
+    // Per-round compute obeys the same roofline as any GEMM slice
+    // (the streamed operand still transits DRAM); express it as an
+    // effective FLOP rate so the TATP executor can overlap against it.
+    const double dram_per_round_fwd =
+        exec.dram_bytes_fwd / static_cast<double>(g);
+    const double round_comp_fwd =
+        compute_.opTime(stream.fwd_flops_per_round, dram_per_round_fwd,
+                        true, min_derate);
+    const double flops_rate =
+        round_comp_fwd > 0.0 ? stream.fwd_flops_per_round / round_comp_fwd
+                             : wafer_.config().die.peak_flops;
+
+    // Cross-group contention: evaluate the densest stream round under
+    // the contention model and take the worse of that and the
+    // store-and-forward estimate.
+    auto contended_round = [&](bool backward) {
+        const net::CommSchedule flows =
+            tatp_executor_.streamFlows(stream, chains, router_, backward);
+        if (!flows.feasible)
+            return std::numeric_limits<double>::infinity();
+        if (flows.rounds.empty())
+            return 0.0;
+        return contention_.evaluate(flows.rounds.front()).time_s;
+    };
+
+    const tatp::TatpTiming fwd = tatp_executor_.timePass(
+        stream.fwd_flops_per_round, stream.bytes_per_round, g, *worst,
+        flops_rate);
+    const tatp::TatpTiming bwd = tatp_executor_.timePass(
+        stream.bwd_flops_per_round, 2.0 * stream.bytes_per_round, g, *worst,
+        flops_rate);
+
+    const double fwd_comm_round =
+        std::max(fwd.comm_time_s / g, contended_round(false));
+    const double bwd_comm_round =
+        std::max(bwd.comm_time_s / g, contended_round(true));
+    if (std::isinf(fwd_comm_round) || std::isinf(bwd_comm_round)) {
+        out.feasible = false;
+        return;
+    }
+
+    const double fwd_round = std::max(fwd.comp_time_s / g, fwd_comm_round);
+    const double bwd_round = std::max(bwd.comp_time_s / g, bwd_comm_round);
+
+    out.fwd_time += g * fwd_round;
+    out.bwd_time += g * bwd_round;
+    out.comp_time += fwd.comp_time_s + bwd.comp_time_s;
+    out.stream_comm_time += g * (fwd_comm_round + bwd_comm_round);
+    out.exposed_comm += g * (std::max(0.0, fwd_comm_round -
+                                               fwd.comp_time_s / g) +
+                             std::max(0.0, bwd_comm_round -
+                                               bwd.comp_time_s / g));
+    // Tail latency: whatever exceeds the contiguous-chain ideal.
+    const double ideal_hop =
+        tatp_executor_.hopTransferTime(stream.bytes_per_round, 1);
+    const double ideal_hop_bwd =
+        tatp_executor_.hopTransferTime(2.0 * stream.bytes_per_round, 1);
+    out.tail_latency +=
+        g * (std::max(0.0, fwd_round - std::max(fwd.comp_time_s / g,
+                                                ideal_hop)) +
+             std::max(0.0, bwd_round - std::max(bwd.comp_time_s / g,
+                                                ideal_hop_bwd)));
+    out.d2d_link_bytes +=
+        (fwd.link_bytes + bwd.link_bytes) * chains.size();
+}
+
+OpCostBreakdown
+WaferCostModel::opCost(const model::Operator &op, const GroupLayout &layout,
+                       bool include_step) const
+{
+    return opCost(partitioner_.analyze(op, layout), op, layout,
+                  include_step);
+}
+
+OpCostBreakdown
+WaferCostModel::opCost(const OpExecution &exec, const model::Operator &op,
+                       const GroupLayout &layout, bool include_step) const
+{
+    OpCostBreakdown out;
+    const int dies = layout.usedDies();
+
+    double min_derate = 1.0;
+    for (hw::DieId die : layout.activeDies())
+        min_derate = std::min(min_derate,
+                              wafer_.faults().computeDerate(die));
+
+    const double comp_fwd = compute_.opTime(
+        exec.fwd_flops_per_die, exec.dram_bytes_fwd, op.isGemm(), min_derate);
+    const double comp_bwd = compute_.opTime(
+        exec.bwd_flops_per_die, exec.dram_bytes_bwd, op.isGemm(), min_derate);
+
+    // Blocking collectives (Eq. 2's Collective term).
+    const net::PhaseTiming coll_fwd =
+        timeCollectiveTasks(exec.fwd_collectives, &out.d2d_link_bytes);
+    const net::PhaseTiming coll_bwd =
+        timeCollectiveTasks(exec.bwd_collectives, &out.d2d_link_bytes);
+    const net::PhaseTiming coll_step =
+        include_step
+            ? timeCollectiveTasks(exec.step_collectives, &out.d2d_link_bytes)
+            : net::PhaseTiming{};
+    const net::PhaseTiming coll_overlap =
+        timeCollectiveTasks(exec.overlap_collectives, &out.d2d_link_bytes);
+    if (std::isinf(coll_fwd.time_s) || std::isinf(coll_bwd.time_s) ||
+        std::isinf(coll_step.time_s) || std::isinf(coll_overlap.time_s)) {
+        out.feasible = false;
+        return out;
+    }
+
+    if (exec.tatp.active) {
+        timeStream(exec, layout, out);
+        if (!out.feasible)
+            return out;
+    } else {
+        out.fwd_time += std::max(comp_fwd, coll_overlap.time_s);
+        out.bwd_time += comp_bwd;
+        out.comp_time += comp_fwd + comp_bwd;
+        out.exposed_comm +=
+            std::max(0.0, coll_overlap.time_s - comp_fwd);
+    }
+
+    out.fwd_time += coll_fwd.time_s;
+    out.bwd_time += coll_bwd.time_s;
+    out.collective_time += coll_fwd.time_s + coll_bwd.time_s;
+    out.exposed_comm += coll_fwd.time_s + coll_bwd.time_s;
+
+    // Gradient-sync collectives partially overlap backward compute.
+    out.step_comm_time = coll_step.time_s * (1.0 - kGradSyncOverlap);
+    out.exposed_comm += out.step_comm_time;
+
+    out.dram_bytes = (exec.dram_bytes_fwd + exec.dram_bytes_bwd) * dies;
+    out.flops = (exec.fwd_flops_per_die + exec.bwd_flops_per_die) * dies;
+
+    // Utilisation: byte-weighted over the communication phases.
+    double util_weight = 0.0;
+    double util_acc = 0.0;
+    for (const net::PhaseTiming *t :
+         {&coll_fwd, &coll_bwd, &coll_step, &coll_overlap}) {
+        if (t->total_bytes > 0.0) {
+            util_acc += t->bandwidth_utilization * t->total_bytes;
+            util_weight += t->total_bytes;
+        }
+    }
+    out.bw_utilization = util_weight > 0.0 ? util_acc / util_weight : 0.0;
+    return out;
+}
+
+double
+WaferCostModel::interOpTime(const model::Operator &producer,
+                            const ParallelSpec &from,
+                            const ParallelSpec &to) const
+{
+    const double bytes = parallel::reshardBytesPerDie(
+        producer, from, to, partitioner_.options());
+    if (bytes <= 0.0)
+        return 0.0;
+    // Resharding is a bulk exchange between neighbouring shards; a die
+    // moves its share at roughly one D2D link of bandwidth.
+    const hw::D2dConfig &d2d = wafer_.config().d2d;
+    return bytes / d2d.effectiveBandwidth(bytes) + d2d.latency_s;
+}
+
+tcme::AxisVolumes
+WaferCostModel::estimateAxisVolumes(const model::ComputeGraph &graph,
+                                    const ParallelSpec &spec) const
+{
+    tcme::AxisVolumes volumes{};
+    std::vector<hw::DieId> probe_order =
+        GroupLayout::snakeOrder(wafer_.topology());
+    if (!wafer_.faults().healthy()) {
+        const std::vector<hw::DieId> usable = wafer_.usableDies();
+        if (static_cast<int>(usable.size()) >= spec.totalDegree()) {
+            std::vector<bool> ok(wafer_.dieCount(), false);
+            for (hw::DieId die : usable)
+                ok[die] = true;
+            std::erase_if(probe_order,
+                          [&](hw::DieId die) { return !ok[die]; });
+        }
+    }
+    GroupLayout probe(std::move(probe_order), spec,
+                      parallel::defaultAxisOrder());
+    for (const model::Operator &op : graph.ops()) {
+        const OpExecution exec = partitioner_.analyze(op, probe);
+        auto account = [&volumes](const std::vector<net::CollectiveTask>
+                                      &tasks) {
+            for (const net::CollectiveTask &task : tasks) {
+                const int axis = task.tag - 1000;
+                if (axis < 0 ||
+                    axis >= static_cast<int>(parallel::Axis::Count))
+                    continue;
+                volumes[axis] +=
+                    task.bytes * static_cast<double>(task.group.size());
+            }
+        };
+        account(exec.fwd_collectives);
+        account(exec.bwd_collectives);
+        account(exec.step_collectives);
+        account(exec.overlap_collectives);
+        if (exec.tatp.active) {
+            volumes[static_cast<std::size_t>(Axis::TATP)] +=
+                exec.tatp.group_tensor_bytes * 2.0;
+        }
+    }
+    return volumes;
+}
+
+GroupLayout
+WaferCostModel::buildLayout(const model::ComputeGraph &graph,
+                            const ParallelSpec &spec) const
+{
+    const tcme::AxisVolumes volumes = estimateAxisVolumes(graph, spec);
+    if (wafer_.faults().healthy()) {
+        return GroupLayout(wafer_.topology(), spec,
+                           policy_.axisOrder(volumes));
+    }
+    // Fault-tolerant placement: keep the snake enumeration but drop
+    // dies outside the largest usable component (Fig. 20a step 2:
+    // re-balance partitioning around the faults). A spec too large for
+    // the component is placed on the full snake instead; its routes
+    // then cross the faults and the cost model reports infeasibility.
+    const std::vector<hw::DieId> usable = wafer_.usableDies();
+    if (static_cast<int>(usable.size()) < spec.totalDegree()) {
+        return GroupLayout(wafer_.topology(), spec,
+                           policy_.axisOrder(volumes));
+    }
+    std::vector<bool> ok(wafer_.dieCount(), false);
+    for (hw::DieId die : usable)
+        ok[die] = true;
+    std::vector<hw::DieId> order;
+    for (hw::DieId die : GroupLayout::snakeOrder(wafer_.topology()))
+        if (ok[die])
+            order.push_back(die);
+    return GroupLayout(std::move(order), spec,
+                       policy_.axisOrder(volumes));
+}
+
+}  // namespace temp::cost

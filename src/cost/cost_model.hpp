@@ -1,0 +1,141 @@
+/**
+ * @file
+ * The wafer-centric cost model (Sec. VII-A).
+ *
+ * Implements the paper's Eq. (2)-(4):
+ *   T_intra(Op)  = Collective(Op) + max(Comp(Op), P2P(Op))
+ *   T_inter(a,b) = P2P(a, b)                 (resharding transfers)
+ *   T_total      = sum T_intra + sum T_inter
+ *
+ * Collective times come from lowering the partitioner's tasks onto the
+ * fabric (all groups concurrently, so cross-group and cross-axis
+ * contention is captured) and evaluating them under the link-level
+ * contention model; the TATP stream is the overlappable P2P term.
+ */
+#pragma once
+
+#include <memory>
+
+#include "cost/compute_model.hpp"
+#include "cost/power_model.hpp"
+#include "hw/wafer.hpp"
+#include "model/graph.hpp"
+#include "net/collective.hpp"
+#include "parallel/partitioner.hpp"
+#include "tatp/chain_mapper.hpp"
+#include "tatp/executor.hpp"
+#include "tcme/mapping_policy.hpp"
+#include "tcme/optimizer.hpp"
+
+namespace temp::cost {
+
+/// Full timing/energy breakdown for one operator instance.
+struct OpCostBreakdown
+{
+    bool feasible = true;  ///< false when faults partition a route
+
+    double fwd_time = 0.0;        ///< forward wall time
+    double bwd_time = 0.0;        ///< backward wall time
+    double step_comm_time = 0.0;  ///< exposed share of grad-sync comm
+
+    double comp_time = 0.0;        ///< pure compute, fwd+bwd
+    double collective_time = 0.0;  ///< blocking collectives, fwd+bwd
+    double stream_comm_time = 0.0; ///< TATP per-round comm (overlappable)
+    double exposed_comm = 0.0;     ///< communication not hidden
+    double tail_latency = 0.0;     ///< multi-hop stream penalty
+
+    double d2d_link_bytes = 0.0;  ///< fabric occupancy (energy)
+    double dram_bytes = 0.0;      ///< per-wafer DRAM traffic
+    double flops = 0.0;           ///< per-wafer executed FLOPs
+    double bw_utilization = 0.0;  ///< during communication phases
+
+    /// Wall time of the operator in one training step.
+    double total() const { return fwd_time + bwd_time + step_comm_time; }
+};
+
+/// The cost model: (operator, layout) -> OpCostBreakdown.
+class WaferCostModel
+{
+  public:
+    /**
+     * @param wafer Physical substrate (faults included).
+     * @param policy Mapping engine behaviour (axis order, optimizer).
+     * @param options Training recipe.
+     */
+    WaferCostModel(const hw::Wafer &wafer, tcme::MappingPolicy policy,
+                   parallel::TrainingOptions options =
+                       parallel::TrainingOptions());
+
+    /// Analyses and costs one operator under the layout's spec.
+    /// @param include_step When false, per-step gradient-sync
+    ///        collectives are left out (the simulator merges them
+    ///        across the whole layer and times them jointly).
+    OpCostBreakdown opCost(const model::Operator &op,
+                           const parallel::GroupLayout &layout,
+                           bool include_step = true) const;
+
+    /// Costs an already-analysed execution (avoids re-partitioning).
+    OpCostBreakdown opCost(const parallel::OpExecution &exec,
+                           const model::Operator &op,
+                           const parallel::GroupLayout &layout,
+                           bool include_step = true) const;
+
+    /**
+     * Lowers a set of collective tasks (all groups concurrently),
+     * applies the policy's traffic optimisation, and times the result
+     * under link-level contention. link_bytes (optional) accumulates
+     * bytes x hops for energy accounting.
+     */
+    net::PhaseTiming timeCollectiveTasks(
+        const std::vector<net::CollectiveTask> &tasks,
+        double *link_bytes = nullptr) const;
+
+    /// Eq. (3): inter-operator resharding time between adjacent ops.
+    double interOpTime(const model::Operator &producer,
+                       const parallel::ParallelSpec &from,
+                       const parallel::ParallelSpec &to) const;
+
+    /**
+     * Estimates per-axis communication volumes for a whole graph under a
+     * spec (drives GMap/TCME axis ordering) without building layouts.
+     */
+    tcme::AxisVolumes estimateAxisVolumes(
+        const model::ComputeGraph &graph,
+        const parallel::ParallelSpec &spec) const;
+
+    /// Builds the layout for a spec per the mapping policy.
+    parallel::GroupLayout buildLayout(const model::ComputeGraph &graph,
+                                      const parallel::ParallelSpec &spec)
+        const;
+
+    const hw::Wafer &wafer() const { return wafer_; }
+    const parallel::Partitioner &partitioner() const { return partitioner_; }
+    const ComputeModel &computeModel() const { return compute_; }
+    const PowerModel &powerModel() const { return power_; }
+    const net::Router &router() const { return router_; }
+    const tcme::MappingPolicy &policy() const { return policy_; }
+
+    /// Fraction of grad-sync communication hidden behind backward
+    /// compute (bucketed overlap, as Megatron/FSDP implement).
+    static constexpr double kGradSyncOverlap = 0.5;
+
+  private:
+    /// Times the TATP stream of an execution (all groups concurrently).
+    void timeStream(const parallel::OpExecution &exec,
+                    const parallel::GroupLayout &layout,
+                    OpCostBreakdown &out) const;
+
+    const hw::Wafer &wafer_;
+    tcme::MappingPolicy policy_;
+    parallel::Partitioner partitioner_;
+    ComputeModel compute_;
+    PowerModel power_;
+    net::Router router_;
+    net::CollectiveScheduler scheduler_;
+    net::ContentionModel contention_;
+    tatp::ChainMapper chain_mapper_;
+    tatp::TatpExecutor tatp_executor_;
+    tcme::TrafficOptimizer optimizer_;
+};
+
+}  // namespace temp::cost

@@ -1,0 +1,150 @@
+#include "cost/mlp.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace temp::cost {
+
+Mlp::Mlp(std::vector<int> layer_sizes, Rng &rng)
+    : sizes_(std::move(layer_sizes))
+{
+    if (sizes_.size() < 2)
+        fatal("Mlp: need at least input and output layers");
+    for (std::size_t i = 0; i + 1 < sizes_.size(); ++i) {
+        Layer layer;
+        layer.in = sizes_[i];
+        layer.out = sizes_[i + 1];
+        layer.w.resize(layer.out * layer.in);
+        layer.b.assign(layer.out, 0.0);
+        const double scale = std::sqrt(2.0 / layer.in);
+        for (double &w : layer.w)
+            w = rng.gaussian(0.0, scale);
+        layer.mw.assign(layer.w.size(), 0.0);
+        layer.vw.assign(layer.w.size(), 0.0);
+        layer.mb.assign(layer.b.size(), 0.0);
+        layer.vb.assign(layer.b.size(), 0.0);
+        layers_.push_back(std::move(layer));
+    }
+}
+
+void
+Mlp::forwardCached(const std::vector<double> &input,
+                   std::vector<std::vector<double>> &acts,
+                   std::vector<std::vector<double>> &pre) const
+{
+    acts.clear();
+    pre.clear();
+    acts.push_back(input);
+    for (std::size_t li = 0; li < layers_.size(); ++li) {
+        const Layer &layer = layers_[li];
+        std::vector<double> z(layer.out, 0.0);
+        const std::vector<double> &x = acts.back();
+        for (int o = 0; o < layer.out; ++o) {
+            double acc = layer.b[o];
+            const double *wrow = &layer.w[o * layer.in];
+            for (int i = 0; i < layer.in; ++i)
+                acc += wrow[i] * x[i];
+            z[o] = acc;
+        }
+        pre.push_back(z);
+        // ReLU on hidden layers, identity on the output layer.
+        if (li + 1 < layers_.size()) {
+            for (double &v : z)
+                v = v > 0.0 ? v : 0.0;
+        }
+        acts.push_back(std::move(z));
+    }
+}
+
+std::vector<double>
+Mlp::forward(const std::vector<double> &input) const
+{
+    std::vector<std::vector<double>> acts, pre;
+    forwardCached(input, acts, pre);
+    return acts.back();
+}
+
+double
+Mlp::train(const std::vector<std::vector<double>> &inputs,
+           const std::vector<double> &targets, int epochs, double lr)
+{
+    if (inputs.size() != targets.size() || inputs.empty())
+        fatal("Mlp::train: dataset shape mismatch");
+
+    const double beta1 = 0.9, beta2 = 0.999, eps = 1e-8;
+    const double n = static_cast<double>(inputs.size());
+    double mse = 0.0;
+
+    std::vector<std::vector<double>> acts, pre;
+    for (int epoch = 1; epoch <= epochs; ++epoch) {
+        // Accumulate full-batch gradients.
+        std::vector<std::vector<double>> gw(layers_.size());
+        std::vector<std::vector<double>> gb(layers_.size());
+        for (std::size_t li = 0; li < layers_.size(); ++li) {
+            gw[li].assign(layers_[li].w.size(), 0.0);
+            gb[li].assign(layers_[li].b.size(), 0.0);
+        }
+
+        mse = 0.0;
+        for (std::size_t s = 0; s < inputs.size(); ++s) {
+            forwardCached(inputs[s], acts, pre);
+            const double out = acts.back()[0];
+            const double err = out - targets[s];
+            mse += err * err;
+
+            // Backprop: delta at output = dL/dz (identity activation).
+            std::vector<double> delta{2.0 * err / n};
+            for (std::size_t li = layers_.size(); li-- > 0;) {
+                const Layer &layer = layers_[li];
+                const std::vector<double> &x = acts[li];
+                std::vector<double> next_delta(layer.in, 0.0);
+                for (int o = 0; o < layer.out; ++o) {
+                    const double d = delta[o];
+                    if (d == 0.0)
+                        continue;
+                    gb[li][o] += d;
+                    double *grow = &gw[li][o * layer.in];
+                    const double *wrow = &layer.w[o * layer.in];
+                    for (int i = 0; i < layer.in; ++i) {
+                        grow[i] += d * x[i];
+                        next_delta[i] += d * wrow[i];
+                    }
+                }
+                if (li > 0) {
+                    // Apply ReLU derivative of the previous layer.
+                    const std::vector<double> &z = pre[li - 1];
+                    for (int i = 0; i < layer.in; ++i)
+                        if (z[i] <= 0.0)
+                            next_delta[i] = 0.0;
+                }
+                delta = std::move(next_delta);
+            }
+        }
+        mse /= n;
+
+        // Adam update.
+        const double bc1 = 1.0 - std::pow(beta1, epoch);
+        const double bc2 = 1.0 - std::pow(beta2, epoch);
+        for (std::size_t li = 0; li < layers_.size(); ++li) {
+            Layer &layer = layers_[li];
+            for (std::size_t k = 0; k < layer.w.size(); ++k) {
+                layer.mw[k] = beta1 * layer.mw[k] + (1 - beta1) * gw[li][k];
+                layer.vw[k] =
+                    beta2 * layer.vw[k] + (1 - beta2) * gw[li][k] * gw[li][k];
+                layer.w[k] -= lr * (layer.mw[k] / bc1) /
+                              (std::sqrt(layer.vw[k] / bc2) + eps);
+            }
+            for (std::size_t k = 0; k < layer.b.size(); ++k) {
+                layer.mb[k] = beta1 * layer.mb[k] + (1 - beta1) * gb[li][k];
+                layer.vb[k] =
+                    beta2 * layer.vb[k] + (1 - beta2) * gb[li][k] * gb[li][k];
+                layer.b[k] -= lr * (layer.mb[k] / bc1) /
+                              (std::sqrt(layer.vb[k] / bc2) + eps);
+            }
+        }
+    }
+    return mse;
+}
+
+}  // namespace temp::cost

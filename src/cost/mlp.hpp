@@ -1,0 +1,71 @@
+/**
+ * @file
+ * A small from-scratch multi-layer perceptron with Adam training, used
+ * as the DNN-based cost model of Sec. VII-A / Fig. 21. No external ML
+ * dependency: dense layers, ReLU activations, MSE loss.
+ */
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace temp::cost {
+
+/// Dense feed-forward network: sizes = {in, hidden..., out}.
+class Mlp
+{
+  public:
+    /**
+     * @param layer_sizes Layer widths, at least {in, out}.
+     * @param rng Weight initialisation source (He init).
+     */
+    Mlp(std::vector<int> layer_sizes, Rng &rng);
+
+    /// Forward pass; returns the output layer activations.
+    std::vector<double> forward(const std::vector<double> &input) const;
+
+    /// Single-output convenience wrapper.
+    double predictScalar(const std::vector<double> &input) const
+    {
+        return forward(input)[0];
+    }
+
+    /**
+     * Trains with full-batch Adam on MSE.
+     *
+     * @param inputs Feature rows.
+     * @param targets Scalar targets (single-output network).
+     * @param epochs Gradient steps.
+     * @param lr Adam learning rate.
+     * @return Final training MSE.
+     */
+    double train(const std::vector<std::vector<double>> &inputs,
+                 const std::vector<double> &targets, int epochs = 2000,
+                 double lr = 1e-2);
+
+    int inputSize() const { return sizes_.front(); }
+    int outputSize() const { return sizes_.back(); }
+
+  private:
+    struct Layer
+    {
+        int in = 0;
+        int out = 0;
+        std::vector<double> w;  ///< out x in, row-major
+        std::vector<double> b;
+        /// @{ Adam state
+        std::vector<double> mw, vw, mb, vb;
+        /// @}
+    };
+
+    /// Forward keeping intermediate activations for backprop.
+    void forwardCached(const std::vector<double> &input,
+                       std::vector<std::vector<double>> &acts,
+                       std::vector<std::vector<double>> &pre) const;
+
+    std::vector<int> sizes_;
+    std::vector<Layer> layers_;
+};
+
+}  // namespace temp::cost

@@ -1,0 +1,20 @@
+#include "cost/power_model.hpp"
+
+namespace temp::cost {
+
+EnergyBreakdown
+PowerModel::stepEnergy(double total_flops, double dram_bytes,
+                       double d2d_link_bytes, double busy_time_s,
+                       int active_dies) const
+{
+    EnergyBreakdown energy;
+    energy.compute_j = total_flops * config_.die.joulesPerFlop();
+    energy.dram_j = dram_bytes * config_.hbm.joulesPerByte();
+    energy.d2d_j = d2d_link_bytes * config_.d2d.joulesPerByte();
+    if (busy_time_s > 0.0 && active_dies > 0)
+        energy.static_j =
+            staticPowerPerDie() * active_dies * busy_time_s;
+    return energy;
+}
+
+}  // namespace temp::cost

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Energy and power accounting (Sec. VII-A "power consumption
+ * estimation"): total power is the sum of compute, memory and
+ * communication contributions, each derived from operation counts times
+ * per-operation energy (Table I ratings).
+ */
+#pragma once
+
+#include "hw/config.hpp"
+
+namespace temp::cost {
+
+/// Energy totals by subsystem for one training step (whole wafer).
+struct EnergyBreakdown
+{
+    double compute_j = 0.0;
+    double dram_j = 0.0;
+    double d2d_j = 0.0;
+    /// Leakage/clock-tree energy: static power x step time.
+    double static_j = 0.0;
+
+    double total() const
+    {
+        return compute_j + dram_j + d2d_j + static_j;
+    }
+
+    EnergyBreakdown &operator+=(const EnergyBreakdown &other)
+    {
+        compute_j += other.compute_j;
+        dram_j += other.dram_j;
+        d2d_j += other.d2d_j;
+        static_j += other.static_j;
+        return *this;
+    }
+
+    EnergyBreakdown scaled(double factor) const
+    {
+        return EnergyBreakdown{compute_j * factor, dram_j * factor,
+                               d2d_j * factor, static_j * factor};
+    }
+};
+
+/// Converts activity counts into energy using the wafer's ratings.
+class PowerModel
+{
+  public:
+    explicit PowerModel(const hw::WaferConfig &config) : config_(config) {}
+
+    /**
+     * Energy of a step given total activity across the wafer.
+     *
+     * @param total_flops FLOPs executed (all dies).
+     * @param dram_bytes Bytes moved over HBM interfaces (all dies).
+     * @param d2d_link_bytes Bytes x hops crossing D2D links.
+     */
+    /// @param busy_time_s Step wall time; with active_dies > 0 the
+    ///        dies' static (leakage/clock) power accrues over it.
+    EnergyBreakdown stepEnergy(double total_flops, double dram_bytes,
+                               double d2d_link_bytes,
+                               double busy_time_s = 0.0,
+                               int active_dies = 0) const;
+
+    /// Static power per die: leakage and clock trees burn a fraction of
+    /// the die's max power regardless of utilisation.
+    double staticPowerPerDie() const
+    {
+        return kStaticPowerFraction * config_.die.peak_flops /
+               config_.die.flops_per_watt;
+    }
+
+    static constexpr double kStaticPowerFraction = 0.15;
+
+    /// Average power over a step of the given duration.
+    double averagePower(const EnergyBreakdown &energy, double step_time_s)
+        const
+    {
+        return step_time_s > 0.0 ? energy.total() / step_time_s : 0.0;
+    }
+
+    /**
+     * Power efficiency metric of Fig. 14: useful training throughput per
+     * watt (FLOPs per joule here; any monotone transform preserves the
+     * comparison).
+     */
+    double powerEfficiency(double useful_flops,
+                           const EnergyBreakdown &energy) const
+    {
+        return energy.total() > 0.0 ? useful_flops / energy.total() : 0.0;
+    }
+
+  private:
+    hw::WaferConfig config_;
+};
+
+}  // namespace temp::cost

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Learned cost-model surrogates and their fidelity evaluation (Sec.
+ * VII-A "DNN-based cost model", validated in Sec. VIII-G / Fig. 21).
+ *
+ * A dataset of (configuration features -> simulated latency) samples is
+ * generated from the analytic wafer simulator for three target classes:
+ * single-operator computation, collective/P2P communication, and
+ * computation/communication overlap (the TATP stream). A small MLP is
+ * trained per class (on log-latency, features z-scored); a multivariate
+ * linear regression on the raw values is the paper's baseline.
+ */
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "cost/cost_model.hpp"
+#include "cost/mlp.hpp"
+
+namespace temp::cost {
+
+/// Which latency class a surrogate predicts (Fig. 21 a/b/c).
+enum class CostTargetKind
+{
+    Computation,
+    Communication,
+    Overlap,
+};
+
+/// Returns the printable target-class name.
+const char *costTargetName(CostTargetKind kind);
+
+/// One training/evaluation sample.
+struct CostSample
+{
+    std::vector<double> features;
+    double latency_s = 0.0;
+};
+
+/// Surrogate fidelity metrics (the numbers Fig. 21 reports).
+struct FidelityReport
+{
+    double correlation = 0.0;  ///< Pearson r between predicted/measured
+    double mape = 0.0;         ///< mean absolute percentage error
+};
+
+/**
+ * Generates surrogate datasets by sampling random operator/collective
+ * configurations (batch size, sequence length, hidden size, group size —
+ * the parameters Sec. VIII-G varies) and querying the analytic models.
+ */
+class CostDatasetGenerator
+{
+  public:
+    explicit CostDatasetGenerator(const hw::Wafer &wafer);
+
+    /// Generates `count` samples of the given class.
+    std::vector<CostSample> generate(CostTargetKind kind, int count,
+                                     Rng &rng) const;
+
+  private:
+    CostSample computationSample(Rng &rng) const;
+    CostSample communicationSample(Rng &rng) const;
+    CostSample overlapSample(Rng &rng) const;
+
+    const hw::Wafer &wafer_;
+    ComputeModel compute_;
+    net::Router router_;
+    net::CollectiveScheduler scheduler_;
+    net::ContentionModel contention_;
+    tatp::ChainMapper chain_mapper_;
+    tatp::TatpExecutor tatp_executor_;
+};
+
+/// Common interface of the learned predictors.
+class CostPredictor
+{
+  public:
+    virtual ~CostPredictor() = default;
+
+    /// Fits the predictor on the given samples.
+    virtual void fit(const std::vector<CostSample> &samples) = 0;
+
+    /// Predicted latency for a feature vector.
+    virtual double predict(const std::vector<double> &features) const = 0;
+};
+
+/// The paper's DNN cost model: MLP on z-scored features, log target.
+class DnnCostModel : public CostPredictor
+{
+  public:
+    explicit DnnCostModel(std::uint64_t seed = 7);
+
+    void fit(const std::vector<CostSample> &samples) override;
+    double predict(const std::vector<double> &features) const override;
+
+    /// Training epochs (exposed for tests to shorten).
+    int epochs = 1500;
+
+  private:
+    std::vector<double> normalize(const std::vector<double> &features) const;
+
+    Rng rng_;
+    std::unique_ptr<Mlp> mlp_;
+    std::vector<double> mean_;
+    std::vector<double> std_;
+};
+
+/// The baseline: multivariate linear regression on raw features.
+class LinearCostModel : public CostPredictor
+{
+  public:
+    void fit(const std::vector<CostSample> &samples) override;
+    double predict(const std::vector<double> &features) const override;
+
+  private:
+    std::vector<double> weights_;
+};
+
+/// Evaluates a fitted predictor on held-out samples.
+FidelityReport evaluatePredictor(const CostPredictor &predictor,
+                                 const std::vector<CostSample> &samples);
+
+}  // namespace temp::cost

@@ -1,0 +1,38 @@
+#include "hw/config.hpp"
+
+#include <algorithm>
+
+namespace temp::hw {
+
+double
+D2dConfig::effectiveBandwidth(double bytes) const
+{
+    if (bytes <= 0.0)
+        return bandwidth_bytes_per_s;
+    const double ramp = bytes / efficient_transfer_bytes;
+    const double fraction = std::clamp(ramp, 0.1, 1.0);
+    return bandwidth_bytes_per_s * fraction;
+}
+
+WaferConfig
+WaferConfig::paperDefault()
+{
+    return WaferConfig{};
+}
+
+WaferConfig
+WaferConfig::withGrid(int new_rows, int new_cols) const
+{
+    WaferConfig config = *this;
+    config.rows = new_rows;
+    config.cols = new_cols;
+    return config;
+}
+
+GpuClusterConfig
+GpuClusterConfig::a100Default()
+{
+    return GpuClusterConfig{};
+}
+
+}  // namespace temp::hw

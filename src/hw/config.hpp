@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Hardware configuration records for wafer-scale chips (Table I of the
+ * paper), multi-wafer systems (Sec. VIII-E) and the A100 GPU-cluster
+ * reference system (Fig. 15).
+ */
+#pragma once
+
+#include "common/units.hpp"
+
+namespace temp::hw {
+
+/// Compute (logic) die parameters — Table I "Logic Die".
+struct DieConfig
+{
+    double area_mm2 = 500.0;
+    double sram_bytes = megabytes(80.0);
+    double frequency_hz = 2000.0 * kMega;
+    /// Peak mixed-precision throughput per die.
+    double peak_flops = tflops(1800.0);
+    /// Compute energy efficiency (2 TFLOPS/Watt in Table I).
+    double flops_per_watt = tflops(2.0);
+
+    /// Joules consumed per FLOP, derived from the efficiency rating.
+    double joulesPerFlop() const { return 1.0 / flops_per_watt; }
+};
+
+/// Per-die HBM parameters. Table I rates one stack at 72 GB and
+/// 1 TB/s; Fig. 3 shows each compute die flanked by multiple stacks,
+/// and the paper's Fig. 4(c) capacity line (~144 GB) implies two
+/// stacks per die, which is what we model.
+struct HbmConfig
+{
+    double area_mm2 = 210.0;
+    int stacks_per_die = 2;
+    double capacity_bytes = stacks_per_die * gigabytes(72.0);
+    double bandwidth_bytes_per_s = stacks_per_die * tbPerSec(1.0);
+    double latency_s = 100.0 * kNano;
+    double energy_pj_per_bit = 6.0;
+
+    /// Joules consumed per byte moved to/from DRAM.
+    double joulesPerByte() const
+    {
+        return pjPerBitToJoulePerByte(energy_pj_per_bit);
+    }
+};
+
+/// Die-to-die interconnect parameters — Table I.
+struct D2dConfig
+{
+    double bandwidth_bytes_per_s = tbPerSec(4.0);
+    double latency_s = 200.0 * kNano;
+    double energy_pj_per_bit = 5.0;
+    /**
+     * Minimum transfer granularity at which the link reaches peak
+     * efficiency (Sec. III-B cites tens-to-hundreds of MB); transfers
+     * smaller than this see proportionally lower effective bandwidth.
+     */
+    double efficient_transfer_bytes = megabytes(32.0);
+
+    /// Joules consumed per byte crossing one D2D hop.
+    double joulesPerByte() const
+    {
+        return pjPerBitToJoulePerByte(energy_pj_per_bit);
+    }
+
+    /**
+     * Effective bandwidth for a transfer of the given size: ramps linearly
+     * with message size up to the efficient granularity, floored at 10% of
+     * peak so tiny control messages are not infinitely slow.
+     */
+    double effectiveBandwidth(double bytes) const;
+};
+
+/// A single wafer: a rows x cols 2D-mesh of identical dies.
+struct WaferConfig
+{
+    int rows = 4;
+    int cols = 8;
+    DieConfig die;
+    HbmConfig hbm;
+    D2dConfig d2d;
+
+    /// Number of dies on the wafer.
+    int dieCount() const { return rows * cols; }
+
+    /// Aggregate peak compute of the wafer.
+    double totalFlops() const { return dieCount() * die.peak_flops; }
+
+    /// Aggregate HBM capacity of the wafer.
+    double totalHbmBytes() const { return dieCount() * hbm.capacity_bytes; }
+
+    /// The evaluation configuration of Sec. VIII-A (4x8 dies at 2 GHz).
+    static WaferConfig paperDefault();
+
+    /// Variant with a different die-array geometry, same die/link configs.
+    WaferConfig withGrid(int rows, int cols) const;
+};
+
+/// Multi-wafer system (Sec. VIII-E): wafers joined by inter-wafer links.
+struct MultiWaferConfig
+{
+    WaferConfig wafer;
+    int wafer_count = 2;
+    /// Inter-wafer bandwidth; the paper cites 9 TB/s (Dojo-style [109]).
+    double inter_wafer_bandwidth_bytes_per_s = tbPerSec(9.0);
+    double inter_wafer_latency_s = 1.0 * kMicro;
+
+    int totalDies() const { return wafer_count * wafer.dieCount(); }
+};
+
+/**
+ * A100-style GPU cluster used as the Fig. 15 reference: switch-connected
+ * all-to-all topology (NVLink/NVSwitch), matching the WSC's aggregate
+ * FP16 peak (32 x 312 TFLOPS).
+ */
+struct GpuClusterConfig
+{
+    int gpu_count = 32;
+    double peak_flops = tflops(312.0);
+    double mem_capacity_bytes = gigabytes(80.0);
+    double mem_bandwidth_bytes_per_s = tbPerSec(2.0);
+    /// Per-GPU injection bandwidth into the intra-node NVSwitch fabric.
+    double nic_bandwidth_bytes_per_s = gbPerSec(600.0);
+    /// Per-GPU share of the inter-node fabric (4xHDR InfiniBand per
+    /// 8-GPU node): collectives spanning nodes ride this tier.
+    double inter_node_bandwidth_bytes_per_s = gbPerSec(100.0);
+    /// GPUs per NVSwitch domain (node).
+    int gpus_per_node = 8;
+    double nic_latency_s = 1.0 * kMicro;
+    double nic_energy_pj_per_bit = 10.0;
+    double flops_per_watt = tflops(0.8);
+
+    static GpuClusterConfig a100Default();
+};
+
+}  // namespace temp::hw

@@ -1,0 +1,76 @@
+#include "hw/fault.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace temp::hw {
+
+FaultMap::FaultMap(int die_count, int link_count)
+    : core_fault_fraction_(die_count, 0.0)
+{
+    (void)link_count;
+}
+
+void
+FaultMap::setCoreFaultFraction(DieId die, double fraction)
+{
+    if (die < 0)
+        panic("FaultMap::setCoreFaultFraction: bad die %d", die);
+    if (static_cast<std::size_t>(die) >= core_fault_fraction_.size())
+        core_fault_fraction_.resize(die + 1, 0.0);
+    core_fault_fraction_[die] = std::clamp(fraction, 0.0, 1.0);
+}
+
+double
+FaultMap::coreFaultFraction(DieId die) const
+{
+    if (die < 0 || static_cast<std::size_t>(die) >= core_fault_fraction_.size())
+        return 0.0;
+    return core_fault_fraction_[die];
+}
+
+bool
+FaultMap::healthy() const
+{
+    if (!failed_links_.empty())
+        return false;
+    return std::all_of(core_fault_fraction_.begin(),
+                       core_fault_fraction_.end(),
+                       [](double f) { return f == 0.0; });
+}
+
+FaultMap
+FaultMap::randomLinkFaults(const Topology &topo, double rate, Rng &rng)
+{
+    FaultMap map(topo.dieCount(), topo.linkCount());
+    for (LinkId id = 0; id < topo.linkCount(); ++id) {
+        const Link &link = topo.link(id);
+        // Visit each undirected channel once (src < dst) and fail both
+        // directions together.
+        if (link.src >= link.dst)
+            continue;
+        if (rng.bernoulli(rate)) {
+            map.failLink(id);
+            if (topo.hasLink(link.dst, link.src))
+                map.failLink(topo.linkId(link.dst, link.src));
+        }
+    }
+    return map;
+}
+
+FaultMap
+FaultMap::randomCoreFaults(const Topology &topo, double rate, Rng &rng)
+{
+    FaultMap map(topo.dieCount(), topo.linkCount());
+    if (rate <= 0.0)
+        return map;
+    for (DieId die = 0; die < topo.dieCount(); ++die) {
+        // Mean `rate`, spread 0.5x..1.5x, clamped so the die stays usable.
+        const double f = rate * rng.uniformReal(0.5, 1.5);
+        map.setCoreFaultFraction(die, std::min(f, 0.9));
+    }
+    return map;
+}
+
+}  // namespace temp::hw

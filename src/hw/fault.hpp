@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Fault models for wafer-scale deployments (Sec. VIII-F).
+ *
+ * Two fault classes are modelled:
+ *  - link faults: a D2D link is unusable and traffic must route around it;
+ *  - core faults: a fraction of a die's compute cores are disabled,
+ *    derating that die's throughput but leaving it reachable.
+ */
+#pragma once
+
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "hw/topology.hpp"
+
+namespace temp::hw {
+
+/// The fault state of one wafer.
+class FaultMap
+{
+  public:
+    FaultMap() = default;
+
+    /// Creates an all-healthy map for a fabric of the given size.
+    FaultMap(int die_count, int link_count);
+
+    /// Marks the directed link (and typically its reverse) as failed.
+    void failLink(LinkId link) { failed_links_.insert(link); }
+
+    /// True if the link is unusable.
+    bool linkFailed(LinkId link) const
+    {
+        return failed_links_.count(link) > 0;
+    }
+
+    /// Sets the fraction of failed compute cores on a die, in [0,1].
+    void setCoreFaultFraction(DieId die, double fraction);
+
+    /// Fraction of failed compute cores on a die.
+    double coreFaultFraction(DieId die) const;
+
+    /// Multiplier on the die's peak compute (1 - core fault fraction).
+    double computeDerate(DieId die) const
+    {
+        return 1.0 - coreFaultFraction(die);
+    }
+
+    /// Number of failed directed links.
+    int failedLinkCount() const
+    {
+        return static_cast<int>(failed_links_.size());
+    }
+
+    /// True if no faults are present.
+    bool healthy() const;
+
+    /**
+     * Generates random symmetric link faults: each undirected mesh link
+     * fails independently with probability rate (both directions fail
+     * together, as a physical lane fault takes out the channel).
+     */
+    static FaultMap randomLinkFaults(const Topology &topo, double rate,
+                                     Rng &rng);
+
+    /**
+     * Generates random core faults: every die loses an i.i.d. fraction of
+     * cores with mean rate (clamped to [0, 0.9] so dies stay usable).
+     */
+    static FaultMap randomCoreFaults(const Topology &topo, double rate,
+                                     Rng &rng);
+
+  private:
+    std::unordered_set<LinkId> failed_links_;
+    std::vector<double> core_fault_fraction_;
+};
+
+}  // namespace temp::hw

@@ -1,0 +1,151 @@
+#include "hw/topology.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "common/logging.hpp"
+
+namespace temp::hw {
+
+bool
+Topology::hasLink(DieId src, DieId dst) const
+{
+    return link_index_.count(pairKey(src, dst)) > 0;
+}
+
+LinkId
+Topology::linkId(DieId src, DieId dst) const
+{
+    auto it = link_index_.find(pairKey(src, dst));
+    if (it == link_index_.end())
+        panic("Topology::linkId: no link %d->%d", src, dst);
+    return it->second;
+}
+
+std::string
+Topology::dieName(DieId die) const
+{
+    return "D" + std::to_string(die);
+}
+
+LinkId
+Topology::addLink(DieId src, DieId dst)
+{
+    const LinkId id = static_cast<LinkId>(links_.size());
+    links_.push_back(Link{src, dst});
+    link_index_.emplace(pairKey(src, dst), id);
+    return id;
+}
+
+MeshTopology::MeshTopology(int rows, int cols, bool torus)
+    : rows_(rows), cols_(cols), torus_(torus)
+{
+    if (rows < 1 || cols < 1)
+        fatal("MeshTopology: invalid grid %dx%d", rows, cols);
+
+    neighbors_.resize(dieCount());
+    auto connect = [this](DieId a, DieId b) {
+        if (!hasLink(a, b)) {
+            addLink(a, b);
+            neighbors_[a].push_back(b);
+        }
+    };
+
+    for (int r = 0; r < rows_; ++r) {
+        for (int c = 0; c < cols_; ++c) {
+            const DieId die = dieAt(r, c);
+            if (inBounds(r - 1, c))
+                connect(die, dieAt(r - 1, c));
+            if (inBounds(r + 1, c))
+                connect(die, dieAt(r + 1, c));
+            if (inBounds(r, c - 1))
+                connect(die, dieAt(r, c - 1));
+            if (inBounds(r, c + 1))
+                connect(die, dieAt(r, c + 1));
+            if (torus_) {
+                if (rows_ > 2) {
+                    connect(die, dieAt((r + 1) % rows_, c));
+                    connect(die, dieAt((r + rows_ - 1) % rows_, c));
+                }
+                if (cols_ > 2) {
+                    connect(die, dieAt(r, (c + 1) % cols_));
+                    connect(die, dieAt(r, (c + cols_ - 1) % cols_));
+                }
+            }
+        }
+    }
+}
+
+DieCoord
+MeshTopology::coordOf(DieId die) const
+{
+    if (die < 0 || die >= dieCount())
+        panic("MeshTopology::coordOf: die %d out of range", die);
+    return DieCoord{die / cols_, die % cols_};
+}
+
+DieId
+MeshTopology::dieAt(int row, int col) const
+{
+    if (!inBounds(row, col))
+        panic("MeshTopology::dieAt: (%d,%d) out of %dx%d", row, col, rows_,
+              cols_);
+    return row * cols_ + col;
+}
+
+int
+MeshTopology::hopDistance(DieId src, DieId dst) const
+{
+    const DieCoord a = coordOf(src);
+    const DieCoord b = coordOf(dst);
+    int dr = std::abs(a.row - b.row);
+    int dc = std::abs(a.col - b.col);
+    if (torus_) {
+        dr = std::min(dr, rows_ - dr);
+        dc = std::min(dc, cols_ - dc);
+    }
+    return dr + dc;
+}
+
+std::string
+MeshTopology::dieName(DieId die) const
+{
+    const DieCoord coord = coordOf(die);
+    return "D" + std::to_string(die) + "(" + std::to_string(coord.row) + "," +
+           std::to_string(coord.col) + ")";
+}
+
+double
+MeshTopology::physicalDistanceMm(DieId src, DieId dst, double die_width_mm,
+                                 double die_height_mm) const
+{
+    const DieCoord a = coordOf(src);
+    const DieCoord b = coordOf(dst);
+    const double dx = (a.col - b.col) * die_width_mm;
+    const double dy = (a.row - b.row) * die_height_mm;
+    return std::sqrt(dx * dx + dy * dy);
+}
+
+SwitchTopology::SwitchTopology(int endpoint_count) : endpoints_(endpoint_count)
+{
+    if (endpoint_count < 1)
+        fatal("SwitchTopology: invalid endpoint count %d", endpoint_count);
+    neighbors_.resize(endpoints_);
+    // Links 2i (uplink) and 2i+1 (downlink) per endpoint. The switch core
+    // is modelled as non-blocking, so only endpoint links are registered.
+    for (DieId die = 0; die < endpoints_; ++die) {
+        addLink(die, -1);
+        addLink(-1, die);
+        for (DieId other = 0; other < endpoints_; ++other)
+            if (other != die)
+                neighbors_[die].push_back(other);
+    }
+}
+
+std::string
+SwitchTopology::dieName(DieId die) const
+{
+    return "GPU" + std::to_string(die);
+}
+
+}  // namespace temp::hw

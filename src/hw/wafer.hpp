@@ -1,0 +1,86 @@
+/**
+ * @file
+ * The Wafer object: configuration + topology + fault state, the physical
+ * substrate every higher layer (routing, mapping, cost model) queries.
+ */
+#pragma once
+
+#include <memory>
+
+#include "hw/config.hpp"
+#include "hw/fault.hpp"
+#include "hw/topology.hpp"
+
+namespace temp::hw {
+
+/**
+ * A single wafer-scale chip instance.
+ *
+ * Owns the mesh topology built from the configuration and applies the
+ * fault map to expose *effective* per-die compute and per-link
+ * availability/bandwidth.
+ */
+class Wafer
+{
+  public:
+    explicit Wafer(WaferConfig config, FaultMap faults = FaultMap());
+
+    const WaferConfig &config() const { return config_; }
+    const MeshTopology &topology() const { return *topology_; }
+    const FaultMap &faults() const { return faults_; }
+
+    int dieCount() const { return topology_->dieCount(); }
+
+    /// Effective peak FLOPs of a die after core-fault derating.
+    double effectiveFlops(DieId die) const
+    {
+        return config_.die.peak_flops * faults_.computeDerate(die);
+    }
+
+    /// True if the directed link can carry traffic.
+    bool linkUsable(LinkId link) const { return !faults_.linkFailed(link); }
+
+    /// Peak bandwidth of a usable link; zero for a failed link.
+    double linkBandwidth(LinkId link) const
+    {
+        return linkUsable(link) ? config_.d2d.bandwidth_bytes_per_s : 0.0;
+    }
+
+    /// Replaces the fault state (used by fault-injection sweeps).
+    void setFaults(FaultMap faults) { faults_ = std::move(faults); }
+
+    /**
+     * The dies the framework can actually use: the largest connected
+     * component of the usable-link graph, excluding dies whose compute
+     * is fully dead. Fault-tolerant re-optimisation (Sec. VIII-F) maps
+     * work onto this set and leaves stranded dies idle.
+     */
+    std::vector<DieId> usableDies() const;
+
+    /// Size of usableDies().
+    int usableDieCount() const
+    {
+        return static_cast<int>(usableDies().size());
+    }
+
+    /**
+     * True if a hypothetical direct link between the two dies would meet
+     * the signal-integrity length limit (50 mm, Sec. III-B / Fig. 7b).
+     * Adjacent dies pass; anything longer (diagonals, wrap links) fails.
+     */
+    bool directLinkFeasible(DieId src, DieId dst) const;
+
+    /// The signal-integrity distance limit in millimetres.
+    static constexpr double kMaxInterconnectMm = 50.0;
+
+    /// Die footprint from Fig. 3 (24.99 mm x 33.25 mm).
+    static constexpr double kDieWidthMm = 24.99;
+    static constexpr double kDieHeightMm = 33.25;
+
+  private:
+    WaferConfig config_;
+    std::unique_ptr<MeshTopology> topology_;
+    FaultMap faults_;
+};
+
+}  // namespace temp::hw

@@ -1,0 +1,31 @@
+#include "mem/hbm_model.hpp"
+
+namespace temp::mem {
+
+double
+HbmModel::sustainedBandwidth(AccessPattern pattern) const
+{
+    double efficiency = kSequentialEfficiency;
+    switch (pattern) {
+      case AccessPattern::Sequential:
+        efficiency = kSequentialEfficiency;
+        break;
+      case AccessPattern::Strided:
+        efficiency = kStridedEfficiency;
+        break;
+      case AccessPattern::Random:
+        efficiency = kRandomEfficiency;
+        break;
+    }
+    return config_.bandwidth_bytes_per_s * efficiency;
+}
+
+double
+HbmModel::accessTime(double bytes, AccessPattern pattern) const
+{
+    if (bytes <= 0.0)
+        return 0.0;
+    return config_.latency_s + bytes / sustainedBandwidth(pattern);
+}
+
+}  // namespace temp::mem

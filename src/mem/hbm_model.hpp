@@ -1,0 +1,54 @@
+/**
+ * @file
+ * HBM timing and energy model (Ramulator-lite).
+ *
+ * The paper integrates Ramulator for "fast and scalable DRAM modeling" of
+ * memory occupancy and access latency. For the cost model's purposes what
+ * matters is sustained bandwidth, first-access latency, access-pattern
+ * efficiency and energy per byte — all captured here analytically.
+ */
+#pragma once
+
+#include "hw/config.hpp"
+
+namespace temp::mem {
+
+/// How an operator walks DRAM; determines sustained-bandwidth efficiency.
+enum class AccessPattern
+{
+    Sequential,  ///< streaming reads/writes, near-peak bandwidth
+    Strided,     ///< blocked GEMM operand fetches, partial row-buffer hits
+    Random,      ///< gather/scatter, row-buffer thrashing
+};
+
+/// Timing/energy estimates for one HBM stack.
+class HbmModel
+{
+  public:
+    explicit HbmModel(const hw::HbmConfig &config) : config_(config) {}
+
+    /// Sustained bandwidth under the given access pattern.
+    double sustainedBandwidth(AccessPattern pattern) const;
+
+    /// Time to transfer `bytes` to/from DRAM under the given pattern.
+    double accessTime(double bytes,
+                      AccessPattern pattern = AccessPattern::Sequential) const;
+
+    /// Energy to move `bytes` across the HBM interface.
+    double accessEnergy(double bytes) const
+    {
+        return bytes * config_.joulesPerByte();
+    }
+
+    const hw::HbmConfig &config() const { return config_; }
+
+    /// Row-buffer efficiency factors applied to peak bandwidth.
+    static constexpr double kSequentialEfficiency = 0.92;
+    static constexpr double kStridedEfficiency = 0.62;
+    static constexpr double kRandomEfficiency = 0.18;
+
+  private:
+    hw::HbmConfig config_;
+};
+
+}  // namespace temp::mem

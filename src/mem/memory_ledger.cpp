@@ -1,0 +1,120 @@
+#include "mem/memory_ledger.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace temp::mem {
+
+const char *
+memClassName(MemClass cls)
+{
+    switch (cls) {
+      case MemClass::Weights: return "weights";
+      case MemClass::Gradients: return "gradients";
+      case MemClass::OptimizerState: return "optimizer";
+      case MemClass::Activations: return "activations";
+      case MemClass::CommBuffers: return "comm-buffers";
+      case MemClass::Count: break;
+    }
+    return "?";
+}
+
+double
+MemoryFootprint::total() const
+{
+    double sum = 0.0;
+    for (double b : bytes)
+        sum += b;
+    return sum;
+}
+
+MemoryFootprint
+MemoryFootprint::operator+(const MemoryFootprint &other) const
+{
+    MemoryFootprint out;
+    for (std::size_t i = 0; i < bytes.size(); ++i)
+        out.bytes[i] = bytes[i] + other.bytes[i];
+    return out;
+}
+
+MemoryFootprint
+MemoryFootprint::scaled(double factor) const
+{
+    MemoryFootprint out;
+    for (std::size_t i = 0; i < bytes.size(); ++i)
+        out.bytes[i] = bytes[i] * factor;
+    return out;
+}
+
+MemoryLedger::MemoryLedger(int die_count, double capacity_bytes)
+    : capacity_(capacity_bytes),
+      live_(die_count),
+      peak_snapshot_(die_count),
+      peak_(die_count, 0.0)
+{
+}
+
+void
+MemoryLedger::allocate(hw::DieId die, MemClass cls, double bytes)
+{
+    if (die < 0 || die >= dieCount())
+        panic("MemoryLedger::allocate: die %d out of range", die);
+    if (bytes < 0.0)
+        panic("MemoryLedger::allocate: negative bytes");
+    live_[die][cls] += bytes;
+    const double total = live_[die].total();
+    if (total > peak_[die]) {
+        peak_[die] = total;
+        peak_snapshot_[die] = live_[die];
+    }
+    if (total > capacity_)
+        oom_ = true;
+}
+
+void
+MemoryLedger::release(hw::DieId die, MemClass cls, double bytes)
+{
+    if (die < 0 || die >= dieCount())
+        panic("MemoryLedger::release: die %d out of range", die);
+    live_[die][cls] = std::max(0.0, live_[die][cls] - bytes);
+}
+
+double
+MemoryLedger::liveBytes(hw::DieId die) const
+{
+    return live_[die].total();
+}
+
+double
+MemoryLedger::peakBytes(hw::DieId die) const
+{
+    return peak_[die];
+}
+
+double
+MemoryLedger::maxPeakBytes() const
+{
+    double best = 0.0;
+    for (double p : peak_)
+        best = std::max(best, p);
+    return best;
+}
+
+const MemoryFootprint &
+MemoryLedger::peakFootprint(hw::DieId die) const
+{
+    return peak_snapshot_[die];
+}
+
+std::vector<hw::DieId>
+MemoryLedger::oomDies() const
+{
+    std::vector<hw::DieId> dies;
+    for (int die = 0; die < dieCount(); ++die)
+        if (peak_[die] > capacity_)
+            dies.push_back(die);
+    return dies;
+}
+
+}  // namespace temp::mem

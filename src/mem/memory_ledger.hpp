@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Per-die memory accounting with OOM detection.
+ *
+ * Training state is tracked in the categories the paper's Fig. 4(c)
+ * breaks memory down into: weights, gradients, optimizer state,
+ * activations, plus communication buffers introduced by the parallelism
+ * (replicas, streaming buffers).
+ */
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "hw/topology.hpp"
+
+namespace temp::mem {
+
+/// Memory categories mirrored from Fig. 4(c).
+enum class MemClass
+{
+    Weights = 0,
+    Gradients,
+    OptimizerState,
+    Activations,
+    CommBuffers,
+    Count
+};
+
+/// Returns the printable name of a memory class.
+const char *memClassName(MemClass cls);
+
+/// Byte totals per memory class for one die (or averaged per die).
+struct MemoryFootprint
+{
+    std::array<double, static_cast<std::size_t>(MemClass::Count)> bytes{};
+
+    double &operator[](MemClass cls)
+    {
+        return bytes[static_cast<std::size_t>(cls)];
+    }
+    double operator[](MemClass cls) const
+    {
+        return bytes[static_cast<std::size_t>(cls)];
+    }
+
+    /// Sum across all classes.
+    double total() const;
+
+    /// Element-wise sum.
+    MemoryFootprint operator+(const MemoryFootprint &other) const;
+
+    /// Element-wise scaling (e.g. layers * per-layer footprint).
+    MemoryFootprint scaled(double factor) const;
+};
+
+/**
+ * Tracks live and peak memory per die against a capacity, flagging OOM.
+ *
+ * The simulator allocates/releases as it walks the training step
+ * (activations grow through forward, shrink through backward); the peak
+ * is what Fig. 13's memory-usage bars report.
+ */
+class MemoryLedger
+{
+  public:
+    MemoryLedger(int die_count, double capacity_bytes);
+
+    /// Allocates bytes of the given class on a die.
+    void allocate(hw::DieId die, MemClass cls, double bytes);
+
+    /// Releases bytes of the given class on a die.
+    void release(hw::DieId die, MemClass cls, double bytes);
+
+    /// Current live bytes on a die.
+    double liveBytes(hw::DieId die) const;
+
+    /// Peak live bytes seen on a die.
+    double peakBytes(hw::DieId die) const;
+
+    /// Highest per-die peak across the wafer.
+    double maxPeakBytes() const;
+
+    /// Per-class breakdown at the moment of a die's peak.
+    const MemoryFootprint &peakFootprint(hw::DieId die) const;
+
+    /// True if any die ever exceeded capacity.
+    bool oom() const { return oom_; }
+
+    /// Dies that exceeded capacity.
+    std::vector<hw::DieId> oomDies() const;
+
+    double capacity() const { return capacity_; }
+    int dieCount() const { return static_cast<int>(live_.size()); }
+
+  private:
+    double capacity_;
+    std::vector<MemoryFootprint> live_;
+    std::vector<MemoryFootprint> peak_snapshot_;
+    std::vector<double> peak_;
+    bool oom_ = false;
+};
+
+}  // namespace temp::mem

@@ -1,0 +1,97 @@
+#include "model/model_zoo.hpp"
+
+#include "common/logging.hpp"
+
+namespace temp::model {
+
+double
+ModelConfig::paramCount() const
+{
+    // Per layer: QKV (3h^2) + attention projection (h^2) + FC1/FC2
+    // (2 * ffn_mult * h^2) + norms (~4h); plus token embeddings.
+    const double h = static_cast<double>(hidden);
+    const double per_layer =
+        (4.0 + 2.0 * ffn_mult) * h * h + 4.0 * h;
+    return layers * per_layer + static_cast<double>(vocab) * h;
+}
+
+ModelConfig
+ModelConfig::withSeqBatch(int new_seq, int new_batch) const
+{
+    ModelConfig config = *this;
+    config.seq = new_seq;
+    config.batch = new_batch;
+    return config;
+}
+
+namespace {
+
+ModelConfig
+make(const std::string &name, int heads, int batch, int hidden, int layers,
+     int seq)
+{
+    ModelConfig config;
+    config.name = name;
+    config.heads = heads;
+    config.batch = batch;
+    config.hidden = hidden;
+    config.layers = layers;
+    config.seq = seq;
+    return config;
+}
+
+}  // namespace
+
+std::vector<ModelConfig>
+evaluationModels()
+{
+    // Table II, verbatim.
+    return {
+        make("GPT-3 6.7B", 32, 128, 4096, 32, 2048),
+        make("Llama2 7B", 32, 128, 4096, 32, 4096),
+        make("Llama3 70B", 64, 128, 8192, 80, 4096),
+        make("GPT-3 76B", 80, 128, 10240, 60, 2048),
+        make("GPT-3 175B", 96, 128, 12288, 96, 2048),
+        make("OPT 175B", 96, 128, 12288, 96, 4096),
+    };
+}
+
+std::vector<ModelConfig>
+multiWaferModels()
+{
+    // Sec. VIII-E; parameter counts chosen to match the cited sizes with
+    // the dense-transformer parameter formula, with layer counts rounded
+    // to values that admit the pipeline degrees of the Fig. 19 study
+    // (pp in {wafers, 2 x wafers}).
+    return {
+        make("GPT-3 175B", 96, 128, 12288, 96, 2048),
+        make("Grok-1 341B", 128, 128, 16128, 112, 8192),
+        make("Llama3 405B", 128, 128, 16256, 128, 4096),
+        make("GPT-3 504B", 144, 128, 18720, 120, 2048),
+    };
+}
+
+std::vector<ModelConfig>
+allModels()
+{
+    std::vector<ModelConfig> models = evaluationModels();
+    for (const ModelConfig &m : multiWaferModels()) {
+        bool exists = false;
+        for (const ModelConfig &have : models)
+            exists = exists || have.name == m.name;
+        if (!exists)
+            models.push_back(m);
+    }
+    return models;
+}
+
+ModelConfig
+modelByName(const std::string &name)
+{
+    for (const ModelConfig &m : allModels())
+        if (m.name == name)
+            return m;
+    fatal("modelByName: unknown model '%s'", name.c_str());
+}
+
+}  // namespace temp::model

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * LLM model configurations: Table II of the paper plus the larger models
+ * used in the multi-wafer scalability study (Sec. VIII-E).
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace temp::model {
+
+/// One LLM's architectural hyper-parameters (Table II columns).
+struct ModelConfig
+{
+    std::string name;
+    int heads = 32;
+    int batch = 128;
+    int hidden = 4096;
+    int layers = 32;
+    int seq = 2048;
+    /// FFN expansion factor (intermediate = ffn_mult * hidden).
+    int ffn_mult = 4;
+    int vocab = 51200;
+
+    /// Intermediate (FFN) dimension.
+    int intermediate() const { return ffn_mult * hidden; }
+
+    /// Head dimension.
+    int headDim() const { return hidden / heads; }
+
+    /// Approximate trainable parameter count.
+    double paramCount() const;
+
+    /// Parameter bytes at the given precision (FP16 weights by default).
+    double paramBytes(double bytes_per_elem = kBytesFp16) const
+    {
+        return paramCount() * bytes_per_elem;
+    }
+
+    /// Variant with a different sequence length and batch size.
+    ModelConfig withSeqBatch(int new_seq, int new_batch) const;
+};
+
+/// Looks a model up by name; fatal() on unknown names.
+ModelConfig modelByName(const std::string &name);
+
+/// Table II models: GPT-3 6.7B/76B/175B, Llama2 7B, Llama3 70B, OPT 175B.
+std::vector<ModelConfig> evaluationModels();
+
+/// Multi-wafer study models: GPT-3 175B, Grok-1 341B, Llama3 405B,
+/// GPT-3 504B.
+std::vector<ModelConfig> multiWaferModels();
+
+/// All named configurations known to the zoo.
+std::vector<ModelConfig> allModels();
+
+}  // namespace temp::model

@@ -1,0 +1,70 @@
+#include "model/operator.hpp"
+
+namespace temp::model {
+
+const char *
+opTypeName(OpType type)
+{
+    switch (type) {
+      case OpType::Gemm: return "gemm";
+      case OpType::AttentionScore: return "attn-score";
+      case OpType::AttentionContext: return "attn-context";
+      case OpType::Softmax: return "softmax";
+      case OpType::GeLU: return "gelu";
+      case OpType::LayerNorm: return "layernorm";
+      case OpType::Residual: return "residual";
+    }
+    return "?";
+}
+
+const char *
+tpRoleName(TpRole role)
+{
+    switch (role) {
+      case TpRole::ColumnParallel: return "column-parallel";
+      case TpRole::RowParallel: return "row-parallel";
+      case TpRole::HeadParallel: return "head-parallel";
+      case TpRole::SequenceRegion: return "sequence-region";
+    }
+    return "?";
+}
+
+double
+Operator::forwardFlops() const
+{
+    switch (type) {
+      case OpType::Gemm:
+      case OpType::AttentionScore:
+      case OpType::AttentionContext:
+        return 2.0 * b * m * n * k;
+      case OpType::Softmax:
+        // Online softmax: max, exp, sum, divide (Sec. VII-A operators).
+        return 5.0 * b * m * n;
+      case OpType::GeLU:
+        return 8.0 * b * m * n;
+      case OpType::LayerNorm:
+        return 7.0 * b * m * n;
+      case OpType::Residual:
+        return b * m * n;
+    }
+    return 0.0;
+}
+
+double
+Operator::backwardFlops() const
+{
+    // GEMMs run two GEMMs in backward (dI = dO x W^T, dW = I^T x dO);
+    // element-wise operators recompute roughly their forward cost.
+    if (isGemm())
+        return 2.0 * forwardFlops();
+    return forwardFlops();
+}
+
+double
+Operator::arithmeticIntensity() const
+{
+    const double bytes = forwardDramBytes();
+    return bytes > 0.0 ? forwardFlops() / bytes : 0.0;
+}
+
+}  // namespace temp::model

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Operator taxonomy for transformer compute graphs (Fig. 12).
+ *
+ * Every operator is described with the paper's coordinate convention
+ * (Sec. VI-A / Fig. 10): a GEMM-like operator computes
+ *     O[B, M, K] = I[B, M, N] x W[N, K]
+ * where B is the batch (including attention-head batching), M the
+ * sequence, N the input-hidden and K the output-hidden dimension.
+ * Element-wise operators reuse (B, M, N) as their tensor extent.
+ */
+#pragma once
+
+#include <string>
+
+#include "common/units.hpp"
+
+namespace temp::model {
+
+/// Operator kinds appearing in the supported transformer block.
+enum class OpType
+{
+    Gemm,              ///< weighted linear layer (QKV, proj, FC1, FC2)
+    AttentionScore,    ///< Q x K^T batched GEMM (activation-activation)
+    AttentionContext,  ///< Score x V batched GEMM (activation-activation)
+    Softmax,           ///< online softmax over attention scores
+    GeLU,              ///< FFN non-linearity (GeLU/SiLU)
+    LayerNorm,         ///< layer normalisation
+    Residual,          ///< residual addition
+};
+
+/// Returns the printable operator-kind name.
+const char *opTypeName(OpType type);
+
+/**
+ * How Megatron-style tensor parallelism treats this operator. Determines
+ * which collectives TP injects and whether the op's output activation is
+ * sharded or replicated across the TP group.
+ */
+enum class TpRole
+{
+    ColumnParallel,  ///< weight split along K; no fwd comm (QKV, FC1)
+    RowParallel,     ///< weight split along N; fwd all-reduce (proj, FC2)
+    HeadParallel,    ///< attention ops sharded across heads, no comm
+    SequenceRegion,  ///< norm/residual region, replicated unless SP
+};
+
+/// Returns the printable TP-role name.
+const char *tpRoleName(TpRole role);
+
+/**
+ * One operator instance with concrete dimensions.
+ *
+ * FLOP and byte counters cover the three training stages of Eq. (1):
+ * forward, input-gradient backward and weight-gradient computation.
+ */
+struct Operator
+{
+    int id = 0;
+    OpType type = OpType::Gemm;
+    std::string name;
+
+    /// Unified coordinates (see file comment).
+    double b = 1.0;
+    double m = 1.0;
+    double n = 1.0;
+    double k = 1.0;
+
+    /// True for operators holding trainable parameters.
+    bool has_weight = false;
+
+    /// Megatron TP treatment of this operator (see TpRole).
+    TpRole tp_role = TpRole::SequenceRegion;
+
+    /**
+     * True if a residual connection *closes* at this operator, i.e. the
+     * graph may not be cut between the residual's source and this op.
+     * The dual-level solver partitions only at residual-free boundaries.
+     */
+    bool closes_residual = false;
+
+    /// True for matrix-multiply-shaped operators (dense compute).
+    bool isGemm() const
+    {
+        return type == OpType::Gemm || type == OpType::AttentionScore ||
+               type == OpType::AttentionContext;
+    }
+
+    /// FLOPs of the forward pass.
+    double forwardFlops() const;
+
+    /**
+     * FLOPs of the backward pass (input gradients plus, for weighted
+     * operators, weight gradients) — 2x forward for GEMMs, per Eq. (1).
+     */
+    double backwardFlops() const;
+
+    /// Forward + backward FLOPs for one training step.
+    double trainingFlops() const { return forwardFlops() + backwardFlops(); }
+
+    /// Activation input bytes at the given precision.
+    double inputBytes(double bytes_per_elem = kBytesFp16) const
+    {
+        return b * m * n * bytes_per_elem;
+    }
+
+    /// Parameter bytes (zero for weight-less operators).
+    double weightBytes(double bytes_per_elem = kBytesFp16) const
+    {
+        return has_weight ? n * k * bytes_per_elem : 0.0;
+    }
+
+    /// Activation output bytes at the given precision.
+    double outputBytes(double bytes_per_elem = kBytesFp16) const
+    {
+        return b * m * k * bytes_per_elem;
+    }
+
+    /// Total DRAM traffic of the forward pass (inputs + weights + outputs).
+    double forwardDramBytes(double bytes_per_elem = kBytesFp16) const
+    {
+        return inputBytes(bytes_per_elem) + weightBytes(bytes_per_elem) +
+               outputBytes(bytes_per_elem);
+    }
+
+    /// Arithmetic intensity (FLOPs per DRAM byte) of the forward pass.
+    double arithmeticIntensity() const;
+};
+
+}  // namespace temp::model

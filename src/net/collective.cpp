@@ -1,0 +1,304 @@
+#include "net/collective.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/logging.hpp"
+
+namespace temp::net {
+
+const char *
+collectiveKindName(CollectiveKind kind)
+{
+    switch (kind) {
+      case CollectiveKind::AllReduce: return "all-reduce";
+      case CollectiveKind::AllGather: return "all-gather";
+      case CollectiveKind::ReduceScatter: return "reduce-scatter";
+      case CollectiveKind::Broadcast: return "broadcast";
+      case CollectiveKind::P2P: return "p2p";
+    }
+    return "?";
+}
+
+void
+CommSchedule::append(const CommSchedule &other)
+{
+    rounds.insert(rounds.end(), other.rounds.begin(), other.rounds.end());
+    payload_bytes += other.payload_bytes;
+    feasible = feasible && other.feasible;
+}
+
+void
+CommSchedule::overlay(const CommSchedule &other)
+{
+    if (other.rounds.size() > rounds.size())
+        rounds.resize(other.rounds.size());
+    for (std::size_t i = 0; i < other.rounds.size(); ++i)
+        rounds[i].insert(rounds[i].end(), other.rounds[i].begin(),
+                         other.rounds[i].end());
+    payload_bytes += other.payload_bytes;
+    feasible = feasible && other.feasible;
+}
+
+std::vector<Flow>
+CommSchedule::flatten() const
+{
+    std::vector<Flow> all;
+    for (const auto &round : rounds)
+        all.insert(all.end(), round.begin(), round.end());
+    return all;
+}
+
+double
+CommSchedule::linkBytes() const
+{
+    double total = 0.0;
+    for (const auto &round : rounds)
+        for (const Flow &flow : round)
+            total += flow.bytes * flow.route.hops();
+    return total;
+}
+
+MulticastTree
+buildMulticastTree(const Router &router, DieId root,
+                   const std::vector<DieId> &leaves, RoutePolicy policy)
+{
+    MulticastTree tree;
+    tree.root = root;
+    tree.leaves = leaves;
+    std::set<LinkId> unique;
+    for (DieId leaf : leaves) {
+        if (leaf == root)
+            continue;
+        const auto route = router.safeRoute(root, leaf, policy);
+        if (!route) {
+            tree.complete = false;
+            continue;
+        }
+        tree.depth = std::max(tree.depth, route->hops());
+        for (LinkId link : route->links)
+            unique.insert(link);
+    }
+    tree.links.assign(unique.begin(), unique.end());
+    return tree;
+}
+
+CollectiveScheduler::CollectiveScheduler(const Router &router,
+                                         RoutePolicy policy)
+    : router_(router), policy_(policy)
+{
+}
+
+CommSchedule
+CollectiveScheduler::schedule(const CollectiveTask &task) const
+{
+    switch (task.kind) {
+      case CollectiveKind::AllReduce:
+        return ringAllReduce(task.group, task.bytes, task.tag);
+      case CollectiveKind::AllGather:
+        return ringAllGather(task.group, task.bytes, task.tag);
+      case CollectiveKind::ReduceScatter:
+        return ringReduceScatter(task.group, task.bytes, task.tag);
+      case CollectiveKind::Broadcast:
+        return broadcast(task.group, task.bytes, task.tag);
+      case CollectiveKind::P2P:
+        if (task.group.size() != 2)
+            panic("P2P task needs exactly 2 members, got %zu",
+                  task.group.size());
+        return p2p(task.group[0], task.group[1], task.bytes, task.tag);
+    }
+    panic("CollectiveScheduler::schedule: unknown kind");
+}
+
+CommSchedule
+CollectiveScheduler::ringAllGather(const std::vector<DieId> &group,
+                                   double shard_bytes, int tag) const
+{
+    CommSchedule sched;
+    const int n = static_cast<int>(group.size());
+    if (n <= 1 || shard_bytes <= 0.0)
+        return sched;
+
+    for (int round = 0; round + 1 < n; ++round) {
+        std::vector<Flow> flows;
+        flows.reserve(n);
+        for (int i = 0; i < n; ++i) {
+            Flow flow;
+            flow.src = group[i];
+            flow.dst = group[(i + 1) % n];
+            flow.bytes = shard_bytes;
+            if (auto route = router_.safeRoute(flow.src, flow.dst, policy_))
+                flow.route = std::move(*route);
+            else
+                sched.feasible = false;
+            flow.tag = tag;
+            flows.push_back(std::move(flow));
+        }
+        sched.rounds.push_back(std::move(flows));
+    }
+    sched.payload_bytes = shard_bytes * n * (n - 1);
+    return sched;
+}
+
+CommSchedule
+CollectiveScheduler::ringReduceScatter(const std::vector<DieId> &group,
+                                       double tensor_bytes, int tag) const
+{
+    const int n = static_cast<int>(group.size());
+    if (n <= 1 || tensor_bytes <= 0.0)
+        return CommSchedule{};
+    // Same flow pattern as all-gather with tensor/N shards.
+    return ringAllGather(group, tensor_bytes / n, tag);
+}
+
+CommSchedule
+CollectiveScheduler::ringAllReduce(const std::vector<DieId> &group,
+                                   double tensor_bytes, int tag) const
+{
+    CommSchedule sched = ringReduceScatter(group, tensor_bytes, tag);
+    const int n = static_cast<int>(group.size());
+    if (n > 1 && tensor_bytes > 0.0)
+        sched.append(ringAllGather(group, tensor_bytes / n, tag));
+    return sched;
+}
+
+CommSchedule
+CollectiveScheduler::treeAllReduce(const std::vector<DieId> &group,
+                                   double tensor_bytes, int tag) const
+{
+    CommSchedule sched;
+    const int n = static_cast<int>(group.size());
+    if (n <= 1 || tensor_bytes <= 0.0)
+        return sched;
+
+    auto emit_round = [&](int step, bool reduce_phase) {
+        std::vector<Flow> flows;
+        for (int i = 0; i < n; ++i) {
+            // Reduce phase: nodes at odd multiples of `step` send to the
+            // even multiple below; broadcast mirrors the transfers.
+            if (i % (2 * step) != step)
+                continue;
+            const int peer = i - step;
+            Flow flow;
+            flow.src = reduce_phase ? group[i] : group[peer];
+            flow.dst = reduce_phase ? group[peer] : group[i];
+            flow.bytes = tensor_bytes;
+            if (auto route = router_.safeRoute(flow.src, flow.dst, policy_))
+                flow.route = std::move(*route);
+            else
+                sched.feasible = false;
+            flow.tag = tag;
+            flows.push_back(std::move(flow));
+            sched.payload_bytes += tensor_bytes;
+        }
+        if (!flows.empty())
+            sched.rounds.push_back(std::move(flows));
+    };
+
+    for (int step = 1; step < n; step *= 2)
+        emit_round(step, /*reduce_phase=*/true);
+    int top = 1;
+    while (top * 2 < n)
+        top *= 2;
+    for (int step = top; step >= 1; step /= 2)
+        emit_round(step, /*reduce_phase=*/false);
+    return sched;
+}
+
+CommSchedule
+CollectiveScheduler::bestAllReduce(const std::vector<DieId> &group,
+                                   double tensor_bytes,
+                                   double link_bandwidth,
+                                   double hop_latency_s, int tag) const
+{
+    const int n = static_cast<int>(group.size());
+    if (n <= 1)
+        return CommSchedule{};
+    const double ring_time = collectiveLowerBoundTime(
+        CollectiveKind::AllReduce, n, tensor_bytes, link_bandwidth,
+        hop_latency_s);
+    const double log2n = std::ceil(std::log2(static_cast<double>(n)));
+    const double tree_time =
+        2.0 * log2n * (tensor_bytes / link_bandwidth + hop_latency_s);
+    return tree_time < ring_time ? treeAllReduce(group, tensor_bytes, tag)
+                                 : ringAllReduce(group, tensor_bytes, tag);
+}
+
+CommSchedule
+CollectiveScheduler::broadcast(const std::vector<DieId> &group, double bytes,
+                               int tag) const
+{
+    CommSchedule sched;
+    if (group.size() <= 1 || bytes <= 0.0)
+        return sched;
+
+    const DieId root = group[0];
+    std::vector<DieId> leaves(group.begin() + 1, group.end());
+    const MulticastTree tree =
+        buildMulticastTree(router_, root, leaves, policy_);
+    sched.feasible = tree.complete;
+
+    std::vector<Flow> flows;
+    flows.reserve(tree.links.size());
+    for (LinkId link : tree.links) {
+        const hw::Link &l = router_.topology().link(link);
+        Flow flow;
+        flow.src = l.src;
+        flow.dst = l.dst;
+        flow.bytes = bytes;
+        flow.route.src = l.src;
+        flow.route.dst = l.dst;
+        flow.route.links = {link};
+        flow.tag = tag;
+        flows.push_back(std::move(flow));
+    }
+    sched.rounds.push_back(std::move(flows));
+    sched.payload_bytes = bytes * static_cast<double>(leaves.size());
+    return sched;
+}
+
+CommSchedule
+CollectiveScheduler::p2p(DieId src, DieId dst, double bytes, int tag) const
+{
+    CommSchedule sched;
+    if (src == dst || bytes <= 0.0)
+        return sched;
+    Flow flow;
+    flow.src = src;
+    flow.dst = dst;
+    flow.bytes = bytes;
+    if (auto route = router_.safeRoute(src, dst, policy_))
+        flow.route = std::move(*route);
+    else
+        sched.feasible = false;
+    flow.tag = tag;
+    sched.rounds.push_back({std::move(flow)});
+    sched.payload_bytes = bytes;
+    return sched;
+}
+
+double
+collectiveLowerBoundTime(CollectiveKind kind, int group_size, double bytes,
+                         double link_bandwidth, double hop_latency_s)
+{
+    if (group_size <= 1 || bytes <= 0.0)
+        return 0.0;
+    const double n = static_cast<double>(group_size);
+    switch (kind) {
+      case CollectiveKind::AllReduce:
+        return 2.0 * (n - 1.0) / n * bytes / link_bandwidth +
+               2.0 * (n - 1.0) * hop_latency_s;
+      case CollectiveKind::AllGather:
+      case CollectiveKind::ReduceScatter:
+        return (n - 1.0) * bytes / link_bandwidth +
+               (n - 1.0) * hop_latency_s;
+      case CollectiveKind::Broadcast:
+        return bytes / link_bandwidth + hop_latency_s;
+      case CollectiveKind::P2P:
+        return bytes / link_bandwidth + hop_latency_s;
+    }
+    return 0.0;
+}
+
+}  // namespace temp::net

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Collective communication algorithms on the wafer fabric.
+ *
+ * Collectives are lowered to *schedules*: ordered rounds of concurrent
+ * flows. The contention model evaluates schedules; the traffic-conscious
+ * optimizer rewrites the routes inside them.
+ */
+#pragma once
+
+#include <vector>
+
+#include "net/contention.hpp"
+#include "net/route.hpp"
+
+namespace temp::net {
+
+/// The collective operations the parallelism layer emits.
+enum class CollectiveKind
+{
+    AllReduce,      ///< ring reduce-scatter + all-gather
+    AllGather,      ///< ring all-gather
+    ReduceScatter,  ///< ring reduce-scatter
+    Broadcast,      ///< multicast tree from group[0]
+    P2P,            ///< single point-to-point transfer group[0]->group[1]
+};
+
+/// Returns a printable name for a collective kind.
+const char *collectiveKindName(CollectiveKind kind);
+
+/**
+ * One collective operation over an ordered group of dies.
+ *
+ * Byte semantics follow NCCL conventions:
+ *  - AllReduce / ReduceScatter: bytes = full tensor size held per member;
+ *  - AllGather / Broadcast: bytes = shard contributed by each member
+ *    (Broadcast: the full payload sent by the root);
+ *  - P2P: bytes = transfer size.
+ */
+struct CollectiveTask
+{
+    CollectiveKind kind = CollectiveKind::AllReduce;
+    std::vector<DieId> group;
+    double bytes = 0.0;
+    int tag = 0;
+};
+
+/// Ordered rounds of concurrent flows realising one or more collectives.
+struct CommSchedule
+{
+    std::vector<std::vector<Flow>> rounds;
+    /// Payload bytes delivered (for energy accounting).
+    double payload_bytes = 0.0;
+    /// False when some transfer had no usable route (fabric partitioned
+    /// by faults); the schedule's cost is then infinite.
+    bool feasible = true;
+
+    /// Appends another schedule's rounds after this one's.
+    void append(const CommSchedule &other);
+
+    /// Merges another schedule round-by-round (concurrent execution).
+    void overlay(const CommSchedule &other);
+
+    /// All flows across all rounds, flattened.
+    std::vector<Flow> flatten() const;
+
+    /// Total bytes*hops deposited on the fabric.
+    double linkBytes() const;
+};
+
+/// A multicast tree: the union of routes from a root to many leaves.
+struct MulticastTree
+{
+    DieId root = -1;
+    std::vector<DieId> leaves;
+    /// Each tree link appears exactly once (duplicates merged).
+    std::vector<LinkId> links;
+    int depth = 0;  ///< longest root-to-leaf hop count
+    /// False when faults leave some leaf unreachable.
+    bool complete = true;
+};
+
+/**
+ * Builds a multicast tree as the deduplicated union of router paths from
+ * the root to every leaf (Fig. 11's "redundant path merging" target).
+ */
+MulticastTree buildMulticastTree(const Router &router, DieId root,
+                                 const std::vector<DieId> &leaves,
+                                 RoutePolicy policy = RoutePolicy::XY);
+
+/**
+ * Lowers collective tasks into flow schedules using ring algorithms over
+ * the group order given in the task (the caller is responsible for
+ * choosing a topology-friendly order; see tatp::ChainMapper).
+ */
+class CollectiveScheduler
+{
+  public:
+    explicit CollectiveScheduler(const Router &router,
+                                 RoutePolicy policy = RoutePolicy::XY);
+
+    /// Lowers one task according to its kind.
+    CommSchedule schedule(const CollectiveTask &task) const;
+
+    /// Ring all-gather: N-1 rounds, each member forwards a shard.
+    CommSchedule ringAllGather(const std::vector<DieId> &group,
+                               double shard_bytes, int tag = 0) const;
+
+    /// Ring reduce-scatter: N-1 rounds of tensor/N-sized exchanges.
+    CommSchedule ringReduceScatter(const std::vector<DieId> &group,
+                                   double tensor_bytes, int tag = 0) const;
+
+    /// Ring all-reduce = reduce-scatter then all-gather.
+    CommSchedule ringAllReduce(const std::vector<DieId> &group,
+                               double tensor_bytes, int tag = 0) const;
+
+    /**
+     * Binomial-tree all-reduce (reduce up, broadcast down): 2*ceil(log2
+     * N) rounds carrying the full tensor per hop. Latency-optimal for
+     * small payloads where the ring's 2(N-1) rounds dominate; the ring
+     * wins on bandwidth for large payloads.
+     */
+    CommSchedule treeAllReduce(const std::vector<DieId> &group,
+                               double tensor_bytes, int tag = 0) const;
+
+    /**
+     * Picks tree vs ring all-reduce by the analytic crossover for the
+     * given fabric parameters (the adaptive algorithm selection NCCL
+     * and the paper's collective substrate [38] perform).
+     */
+    CommSchedule bestAllReduce(const std::vector<DieId> &group,
+                               double tensor_bytes, double link_bandwidth,
+                               double hop_latency_s, int tag = 0) const;
+
+    /// Store-and-forward broadcast along a multicast tree (one round,
+    /// one flow per tree link).
+    CommSchedule broadcast(const std::vector<DieId> &group, double bytes,
+                           int tag = 0) const;
+
+    /// A single point-to-point transfer.
+    CommSchedule p2p(DieId src, DieId dst, double bytes, int tag = 0) const;
+
+    const Router &router() const { return router_; }
+
+  private:
+    const Router &router_;
+    RoutePolicy policy_;
+};
+
+/**
+ * Analytic lower bound for a collective on an ideal fabric (used by
+ * sanity tests and the cost model's feature extraction): ring algorithms
+ * move 2(N-1)/N (all-reduce) or (N-1)/N (gather/scatter) of the tensor
+ * over the slowest link.
+ */
+double collectiveLowerBoundTime(CollectiveKind kind, int group_size,
+                                double bytes, double link_bandwidth,
+                                double hop_latency_s);
+
+}  // namespace temp::net

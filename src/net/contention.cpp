@@ -1,0 +1,174 @@
+#include "net/contention.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace temp::net {
+
+void
+LinkLoadMap::add(const Route &route, double bytes)
+{
+    for (LinkId link : route.links)
+        loads_[link] += bytes;
+}
+
+void
+LinkLoadMap::remove(const Route &route, double bytes)
+{
+    for (LinkId link : route.links) {
+        loads_[link] -= bytes;
+        if (loads_[link] < 0.0)
+            loads_[link] = 0.0;
+    }
+}
+
+LinkId
+LinkLoadMap::maxLoadLink() const
+{
+    LinkId best = -1;
+    double best_load = -1.0;
+    for (LinkId link = 0; link < linkCount(); ++link) {
+        if (loads_[link] > best_load) {
+            best_load = loads_[link];
+            best = link;
+        }
+    }
+    return best;
+}
+
+double
+LinkLoadMap::maxLoad() const
+{
+    double best = 0.0;
+    for (double load : loads_)
+        best = std::max(best, load);
+    return best;
+}
+
+double
+LinkLoadMap::totalLoad() const
+{
+    double total = 0.0;
+    for (double load : loads_)
+        total += load;
+    return total;
+}
+
+int
+LinkLoadMap::activeLinkCount() const
+{
+    int active = 0;
+    for (double load : loads_)
+        if (load > 0.0)
+            ++active;
+    return active;
+}
+
+ContentionModel::ContentionModel(const hw::Topology &topo,
+                                 double link_bandwidth, double hop_latency_s)
+    : topo_(topo),
+      link_bandwidth_([link_bandwidth](LinkId) { return link_bandwidth; }),
+      hop_latency_s_(hop_latency_s)
+{
+}
+
+ContentionModel::ContentionModel(const hw::Topology &topo,
+                                 std::function<double(LinkId)> link_bandwidth,
+                                 double hop_latency_s)
+    : topo_(topo),
+      link_bandwidth_(std::move(link_bandwidth)),
+      hop_latency_s_(hop_latency_s)
+{
+}
+
+PhaseTiming
+ContentionModel::evaluate(const std::vector<Flow> &flows) const
+{
+    PhaseTiming timing;
+    if (flows.empty())
+        return timing;
+
+    LinkLoadMap loads(topo_.linkCount());
+    for (const Flow &flow : flows) {
+        if (flow.bytes <= 0.0)
+            continue;
+        loads.add(flow.route, flow.bytes);
+        timing.total_bytes += flow.bytes;
+        timing.link_bytes += flow.bytes * flow.route.hops();
+        timing.max_hops = std::max(timing.max_hops, flow.route.hops());
+    }
+
+    // Drain time of the most congested link dictates the bandwidth term.
+    double worst = 0.0;
+    for (LinkId link = 0; link < loads.linkCount(); ++link) {
+        const double load = loads.load(link);
+        if (load <= 0.0)
+            continue;
+        const double bw = link_bandwidth_(link);
+        if (bw <= 0.0)
+            panic("ContentionModel: flow routed over dead link %d", link);
+        const double drain = load / bw;
+        if (drain > worst) {
+            worst = drain;
+            timing.bottleneck_link = link;
+            timing.bottleneck_bytes = load;
+        }
+    }
+    timing.serial_time_s = worst;
+    timing.time_s = worst + timing.max_hops * hop_latency_s_;
+
+    // Aggregate utilisation: bytes-hops actually moved vs. what the whole
+    // fabric could move during the phase.
+    double fabric_capacity = 0.0;
+    for (LinkId link = 0; link < topo_.linkCount(); ++link)
+        fabric_capacity += link_bandwidth_(link);
+    if (timing.time_s > 0.0 && fabric_capacity > 0.0) {
+        timing.bandwidth_utilization =
+            timing.link_bytes / (fabric_capacity * timing.time_s);
+    }
+    return timing;
+}
+
+PhaseTiming
+ContentionModel::evaluateSequence(
+    const std::vector<std::vector<Flow>> &phases) const
+{
+    PhaseTiming total;
+    double busy_capacity_time = 0.0;
+    double fabric_capacity = 0.0;
+    for (LinkId link = 0; link < topo_.linkCount(); ++link)
+        fabric_capacity += link_bandwidth_(link);
+
+    for (const auto &phase : phases) {
+        const PhaseTiming t = evaluate(phase);
+        total.time_s += t.time_s;
+        total.serial_time_s += t.serial_time_s;
+        total.total_bytes += t.total_bytes;
+        total.link_bytes += t.link_bytes;
+        total.max_hops = std::max(total.max_hops, t.max_hops);
+        if (t.bottleneck_bytes > total.bottleneck_bytes) {
+            total.bottleneck_bytes = t.bottleneck_bytes;
+            total.bottleneck_link = t.bottleneck_link;
+        }
+        busy_capacity_time += t.time_s * fabric_capacity;
+    }
+    if (busy_capacity_time > 0.0)
+        total.bandwidth_utilization = total.link_bytes / busy_capacity_time;
+    return total;
+}
+
+double
+ContentionModel::flowTime(const Flow &flow) const
+{
+    if (flow.bytes <= 0.0 || flow.route.empty())
+        return 0.0;
+    double min_bw = link_bandwidth_(flow.route.links.front());
+    for (LinkId link : flow.route.links)
+        min_bw = std::min(min_bw, link_bandwidth_(link));
+    if (min_bw <= 0.0)
+        panic("ContentionModel::flowTime: dead link on route");
+    return flow.bytes / min_bw + flow.route.hops() * hop_latency_s_;
+}
+
+}  // namespace temp::net

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Link-level flow contention model.
+ *
+ * A communication *phase* is a set of flows that are in flight
+ * concurrently. Every flow deposits its byte volume on each link of its
+ * route; a link with aggregated load L and bandwidth B is busy for L/B.
+ * The phase completes when the most-loaded link drains, and each flow
+ * additionally pays per-hop propagation latency. This is exactly the
+ * granularity at which the paper reasons about contention (most congested
+ * link `mcl`, link loads, Fig. 11).
+ */
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "hw/config.hpp"
+#include "hw/fault.hpp"
+#include "hw/topology.hpp"
+#include "net/route.hpp"
+
+namespace temp::net {
+
+/// One point-to-point transfer taking part in a phase.
+struct Flow
+{
+    DieId src = -1;
+    DieId dst = -1;
+    double bytes = 0.0;
+    Route route;
+    /// Opaque tag identifying the parallel group / collective that owns
+    /// this flow (used by the optimizer for redundant-path merging).
+    int tag = 0;
+};
+
+/// Per-link accumulated byte loads.
+class LinkLoadMap
+{
+  public:
+    explicit LinkLoadMap(int link_count) : loads_(link_count, 0.0) {}
+
+    /// Adds a flow's bytes to every link on its route.
+    void add(const Route &route, double bytes);
+
+    /// Removes a flow's bytes from every link on its route.
+    void remove(const Route &route, double bytes);
+
+    /// Current load on a link.
+    double load(LinkId link) const { return loads_[link]; }
+
+    /// The most-loaded link (`mcl` in the paper's Fig. 11 algorithm).
+    LinkId maxLoadLink() const;
+
+    /// The load of the most-loaded link.
+    double maxLoad() const;
+
+    /// Sum of loads across all links.
+    double totalLoad() const;
+
+    /// Number of links carrying non-zero load.
+    int activeLinkCount() const;
+
+    int linkCount() const { return static_cast<int>(loads_.size()); }
+
+  private:
+    std::vector<double> loads_;
+};
+
+/// Result of evaluating one communication phase.
+struct PhaseTiming
+{
+    double time_s = 0.0;            ///< phase completion time
+    double serial_time_s = 0.0;     ///< bandwidth term only (no latency)
+    LinkId bottleneck_link = -1;    ///< most congested link
+    double bottleneck_bytes = 0.0;  ///< load on that link
+    double total_bytes = 0.0;       ///< payload bytes summed over flows
+    double link_bytes = 0.0;        ///< bytes x hops (fabric occupancy)
+    int max_hops = 0;               ///< longest route in the phase
+    /// Fraction of aggregate fabric bandwidth actually used during the
+    /// phase ("BW utilization" in Fig. 4b).
+    double bandwidth_utilization = 0.0;
+};
+
+/**
+ * Evaluates communication phases against a concrete fabric.
+ *
+ * Bandwidth may differ per link (failed links carry zero; switch fabrics
+ * use NIC bandwidth), supplied via a callback at construction.
+ */
+class ContentionModel
+{
+  public:
+    /// Uniform-bandwidth fabric (healthy wafer mesh).
+    ContentionModel(const hw::Topology &topo, double link_bandwidth,
+                    double hop_latency_s);
+
+    /// Fabric with per-link bandwidth (fault maps, heterogeneous links).
+    ContentionModel(const hw::Topology &topo,
+                    std::function<double(LinkId)> link_bandwidth,
+                    double hop_latency_s);
+
+    /// Evaluates a phase of concurrent flows.
+    PhaseTiming evaluate(const std::vector<Flow> &flows) const;
+
+    /// Evaluates a sequence of dependent phases (e.g. collective rounds).
+    PhaseTiming evaluateSequence(
+        const std::vector<std::vector<Flow>> &phases) const;
+
+    /// Time for a single flow in isolation (no contention).
+    double flowTime(const Flow &flow) const;
+
+    double hopLatency() const { return hop_latency_s_; }
+
+    const hw::Topology &topology() const { return topo_; }
+
+    /// Bandwidth of one link under this model.
+    double linkBandwidth(LinkId link) const { return link_bandwidth_(link); }
+
+  private:
+    const hw::Topology &topo_;
+    std::function<double(LinkId)> link_bandwidth_;
+    double hop_latency_s_;
+};
+
+}  // namespace temp::net

@@ -1,0 +1,177 @@
+#include "net/route.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+
+#include "common/logging.hpp"
+
+namespace temp::net {
+
+Router::Router(const hw::MeshTopology &topo, const hw::FaultMap *faults)
+    : topo_(topo), faults_(faults)
+{
+}
+
+bool
+Router::linkUsable(LinkId link) const
+{
+    return faults_ == nullptr || !faults_->linkFailed(link);
+}
+
+Route
+Router::route(DieId src, DieId dst, RoutePolicy policy) const
+{
+    Route out;
+    out.src = src;
+    out.dst = dst;
+    if (src == dst)
+        return out;
+
+    hw::DieCoord cur = topo_.coordOf(src);
+    const hw::DieCoord goal = topo_.coordOf(dst);
+
+    auto step_col = [&]() {
+        while (cur.col != goal.col) {
+            const int next_col = cur.col + (goal.col > cur.col ? 1 : -1);
+            const DieId from = topo_.dieAt(cur.row, cur.col);
+            const DieId to = topo_.dieAt(cur.row, next_col);
+            out.links.push_back(topo_.linkId(from, to));
+            cur.col = next_col;
+        }
+    };
+    auto step_row = [&]() {
+        while (cur.row != goal.row) {
+            const int next_row = cur.row + (goal.row > cur.row ? 1 : -1);
+            const DieId from = topo_.dieAt(cur.row, cur.col);
+            const DieId to = topo_.dieAt(next_row, cur.col);
+            out.links.push_back(topo_.linkId(from, to));
+            cur.row = next_row;
+        }
+    };
+
+    if (policy == RoutePolicy::XY) {
+        step_col();
+        step_row();
+    } else {
+        step_row();
+        step_col();
+    }
+    return out;
+}
+
+Route
+Router::routeVia(DieId src, DieId waypoint, DieId dst, RoutePolicy first,
+                 RoutePolicy second) const
+{
+    const Route a = route(src, waypoint, first);
+    const Route b = route(waypoint, dst, second);
+    Route out;
+    out.src = src;
+    out.dst = dst;
+    out.links = a.links;
+    out.links.insert(out.links.end(), b.links.begin(), b.links.end());
+    return out;
+}
+
+std::optional<Route>
+Router::shortestPath(DieId src, DieId dst) const
+{
+    Route out;
+    out.src = src;
+    out.dst = dst;
+    if (src == dst)
+        return out;
+
+    std::vector<DieId> prev(topo_.dieCount(), -1);
+    std::vector<bool> seen(topo_.dieCount(), false);
+    std::deque<DieId> queue;
+    queue.push_back(src);
+    seen[src] = true;
+
+    while (!queue.empty()) {
+        const DieId cur = queue.front();
+        queue.pop_front();
+        if (cur == dst)
+            break;
+        for (DieId next : topo_.neighbors(cur)) {
+            if (seen[next] || !linkUsable(topo_.linkId(cur, next)))
+                continue;
+            seen[next] = true;
+            prev[next] = cur;
+            queue.push_back(next);
+        }
+    }
+    if (!seen[dst])
+        return std::nullopt;
+
+    std::vector<DieId> path;
+    for (DieId cur = dst; cur != src; cur = prev[cur])
+        path.push_back(cur);
+    path.push_back(src);
+    std::reverse(path.begin(), path.end());
+    for (std::size_t i = 0; i + 1 < path.size(); ++i)
+        out.links.push_back(topo_.linkId(path[i], path[i + 1]));
+    return out;
+}
+
+std::optional<Route>
+Router::safeRoute(DieId src, DieId dst, RoutePolicy policy) const
+{
+    const Route direct = route(src, dst, policy);
+    if (routeUsable(direct))
+        return direct;
+    const Route alt =
+        route(src, dst,
+              policy == RoutePolicy::XY ? RoutePolicy::YX : RoutePolicy::XY);
+    if (routeUsable(alt))
+        return alt;
+    return shortestPath(src, dst);
+}
+
+std::vector<Route>
+Router::candidateRoutes(DieId src, DieId dst) const
+{
+    std::vector<Route> candidates;
+    std::set<std::vector<LinkId>> unique;
+
+    auto consider = [&](const Route &r) {
+        if (r.src != src || r.dst != dst)
+            return;
+        if (!routeUsable(r))
+            return;
+        if (unique.insert(r.links).second)
+            candidates.push_back(r);
+    };
+
+    consider(route(src, dst, RoutePolicy::XY));
+    consider(route(src, dst, RoutePolicy::YX));
+    // One-bend detours: step to a neighbour first, then route onward with
+    // both dimension orders. This is the "idle neighbouring links" escape
+    // hatch the Fig. 11 optimizer exploits.
+    for (DieId mid : topo_.neighbors(src)) {
+        if (mid == dst)
+            continue;
+        if (!linkUsable(topo_.linkId(src, mid)))
+            continue;
+        for (RoutePolicy second : {RoutePolicy::XY, RoutePolicy::YX}) {
+            Route detour = routeVia(src, mid, dst, RoutePolicy::XY, second);
+            consider(detour);
+        }
+    }
+    if (candidates.empty()) {
+        // Fabric has faults on all deterministic paths; fall back to BFS.
+        if (auto bfs = shortestPath(src, dst))
+            candidates.push_back(*bfs);
+    }
+    return candidates;
+}
+
+bool
+Router::routeUsable(const Route &route) const
+{
+    return std::all_of(route.links.begin(), route.links.end(),
+                       [this](LinkId l) { return linkUsable(l); });
+}
+
+}  // namespace temp::net

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Routes and routing policies on the wafer mesh.
+ *
+ * The mesh offers little path diversity (Challenge 2, Sec. III-B); the
+ * router exposes exactly the choices the traffic-conscious optimizer can
+ * exploit: dimension-ordered XY and YX routes, plus single-waypoint
+ * detours, all optionally avoiding failed links.
+ */
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "hw/fault.hpp"
+#include "hw/topology.hpp"
+
+namespace temp::net {
+
+using hw::DieId;
+using hw::LinkId;
+
+/// An ordered sequence of directed links from src to dst.
+struct Route
+{
+    DieId src = -1;
+    DieId dst = -1;
+    std::vector<LinkId> links;
+
+    /// Number of link traversals.
+    int hops() const { return static_cast<int>(links.size()); }
+
+    bool empty() const { return links.empty(); }
+};
+
+/// Dimension order used for deterministic mesh routing.
+enum class RoutePolicy
+{
+    XY,  ///< traverse columns first, then rows
+    YX,  ///< traverse rows first, then columns
+};
+
+/**
+ * Computes routes on a mesh topology, optionally honouring a fault map.
+ *
+ * The router never fabricates links: every produced route uses only links
+ * present (and usable) in the topology.
+ */
+class Router
+{
+  public:
+    /// @param faults Optional fault map; failed links are avoided by
+    ///        shortestPath() and reported unusable by routeUsable().
+    explicit Router(const hw::MeshTopology &topo,
+                    const hw::FaultMap *faults = nullptr);
+
+    /// Dimension-ordered route; always exists on a healthy mesh.
+    Route route(DieId src, DieId dst, RoutePolicy policy = RoutePolicy::XY)
+        const;
+
+    /// Route through an intermediate waypoint (detour for rerouting).
+    Route routeVia(DieId src, DieId waypoint, DieId dst,
+                   RoutePolicy first = RoutePolicy::XY,
+                   RoutePolicy second = RoutePolicy::XY) const;
+
+    /**
+     * BFS shortest path avoiding failed links; empty optional when the
+     * destination is unreachable (fabric partitioned by faults).
+     */
+    std::optional<Route> shortestPath(DieId src, DieId dst) const;
+
+    /**
+     * Dimension-ordered route with automatic fault fallback: returns the
+     * XY/YX route when usable, otherwise the BFS detour, otherwise an
+     * empty optional (fabric partitioned — the caller must treat the
+     * transfer as infeasible).
+     */
+    std::optional<Route> safeRoute(DieId src, DieId dst,
+                                   RoutePolicy policy = RoutePolicy::XY)
+        const;
+
+    /**
+     * Candidate routes for the traffic optimizer: XY, YX and one-bend
+     * detours through neighbours of the source. Deduplicated; all usable
+     * under the fault map.
+     */
+    std::vector<Route> candidateRoutes(DieId src, DieId dst) const;
+
+    /// True if every link on the route is usable under the fault map.
+    bool routeUsable(const Route &route) const;
+
+    const hw::MeshTopology &topology() const { return topo_; }
+
+  private:
+    bool linkUsable(LinkId link) const;
+
+    const hw::MeshTopology &topo_;
+    const hw::FaultMap *faults_;
+};
+
+}  // namespace temp::net

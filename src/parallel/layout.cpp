@@ -1,0 +1,112 @@
+#include "parallel/layout.hpp"
+
+#include "common/logging.hpp"
+
+namespace temp::parallel {
+
+std::vector<Axis>
+defaultAxisOrder()
+{
+    return {Axis::TATP, Axis::TP, Axis::SP, Axis::CP, Axis::FSDP, Axis::DP};
+}
+
+std::vector<hw::DieId>
+GroupLayout::snakeOrder(const hw::MeshTopology &mesh)
+{
+    std::vector<hw::DieId> order;
+    order.reserve(mesh.dieCount());
+    for (int r = 0; r < mesh.rows(); ++r) {
+        if (r % 2 == 0) {
+            for (int c = 0; c < mesh.cols(); ++c)
+                order.push_back(mesh.dieAt(r, c));
+        } else {
+            for (int c = mesh.cols() - 1; c >= 0; --c)
+                order.push_back(mesh.dieAt(r, c));
+        }
+    }
+    return order;
+}
+
+GroupLayout::GroupLayout(const hw::MeshTopology &mesh,
+                         const ParallelSpec &spec,
+                         std::vector<Axis> inner_to_outer)
+    : GroupLayout(snakeOrder(mesh), spec, std::move(inner_to_outer))
+{
+}
+
+GroupLayout::GroupLayout(std::vector<hw::DieId> die_order,
+                         const ParallelSpec &spec,
+                         std::vector<Axis> inner_to_outer)
+    : spec_(spec), order_(std::move(inner_to_outer))
+{
+    if (!spec.valid())
+        fatal("GroupLayout: invalid spec %s", spec.str().c_str());
+    const int total = spec.totalDegree();
+    if (total > static_cast<int>(die_order.size()))
+        fatal("GroupLayout: spec %s needs %d dies, fabric has %zu",
+              spec.str().c_str(), total, die_order.size());
+    if (order_.size() != static_cast<std::size_t>(Axis::Count))
+        fatal("GroupLayout: axis order must list all %d axes",
+              static_cast<int>(Axis::Count));
+
+    active_.assign(die_order.begin(), die_order.begin() + total);
+
+    // Strides of each axis in the mixed-radix snake index.
+    std::vector<int> stride(static_cast<std::size_t>(Axis::Count), 1);
+    int running = 1;
+    for (Axis axis : order_) {
+        stride[static_cast<std::size_t>(axis)] = running;
+        running *= spec.degree(axis);
+    }
+
+    int max_die = 0;
+    for (hw::DieId die : die_order)
+        max_die = std::max(max_die, die);
+    groups_.resize(static_cast<std::size_t>(Axis::Count));
+    group_of_.assign(static_cast<std::size_t>(Axis::Count),
+                     std::vector<int>(max_die + 1, -1));
+
+    for (std::size_t ai = 0; ai < static_cast<std::size_t>(Axis::Count);
+         ++ai) {
+        const Axis axis = static_cast<Axis>(ai);
+        const int degree = spec.degree(axis);
+        if (degree <= 1)
+            continue;
+        const int s = stride[ai];
+        const int group_count = total / degree;
+        groups_[ai].reserve(group_count);
+        // Enumerate groups: iterate all snake indices whose axis
+        // coordinate is zero; the group walks the axis coordinate.
+        for (int base = 0; base < total; ++base) {
+            const int coord = (base / s) % degree;
+            if (coord != 0)
+                continue;
+            std::vector<hw::DieId> group;
+            group.reserve(degree);
+            for (int x = 0; x < degree; ++x)
+                group.push_back(active_[base + x * s]);
+            const int gi = static_cast<int>(groups_[ai].size());
+            for (hw::DieId die : group)
+                group_of_[ai][die] = gi;
+            groups_[ai].push_back(std::move(group));
+        }
+    }
+}
+
+const std::vector<std::vector<hw::DieId>> &
+GroupLayout::groups(Axis axis) const
+{
+    return groups_[static_cast<std::size_t>(axis)];
+}
+
+const std::vector<hw::DieId> &
+GroupLayout::groupOf(Axis axis, hw::DieId die) const
+{
+    const auto &index = group_of_[static_cast<std::size_t>(axis)];
+    if (die < 0 || die >= static_cast<int>(index.size()) || index[die] < 0)
+        panic("GroupLayout::groupOf: die %d not in a %s group", die,
+              axisName(axis));
+    return groups_[static_cast<std::size_t>(axis)][index[die]];
+}
+
+}  // namespace temp::parallel

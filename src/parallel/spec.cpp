@@ -1,0 +1,85 @@
+#include "parallel/spec.hpp"
+
+#include <cstdio>
+
+#include "common/logging.hpp"
+
+namespace temp::parallel {
+
+const char *
+axisName(Axis axis)
+{
+    switch (axis) {
+      case Axis::TATP: return "tatp";
+      case Axis::TP: return "tp";
+      case Axis::SP: return "sp";
+      case Axis::CP: return "cp";
+      case Axis::FSDP: return "fsdp";
+      case Axis::DP: return "dp";
+      case Axis::Count: break;
+    }
+    return "?";
+}
+
+int
+ParallelSpec::degree(Axis axis) const
+{
+    switch (axis) {
+      case Axis::TATP: return tatp;
+      case Axis::TP: return tp;
+      case Axis::SP: return sp;
+      case Axis::CP: return cp;
+      case Axis::FSDP: return fsdp;
+      case Axis::DP: return dp;
+      case Axis::Count: break;
+    }
+    panic("ParallelSpec::degree: bad axis");
+}
+
+void
+ParallelSpec::setDegree(Axis axis, int value)
+{
+    switch (axis) {
+      case Axis::TATP: tatp = value; return;
+      case Axis::TP: tp = value; return;
+      case Axis::SP: sp = value; return;
+      case Axis::CP: cp = value; return;
+      case Axis::FSDP: fsdp = value; return;
+      case Axis::DP: dp = value; return;
+      case Axis::Count: break;
+    }
+    panic("ParallelSpec::setDegree: bad axis");
+}
+
+bool
+ParallelSpec::valid() const
+{
+    if (dp < 1 || fsdp < 1 || tp < 1 || sp < 1 || cp < 1 || tatp < 1 ||
+        pp < 1) {
+        return false;
+    }
+    if (dp > 1 && fsdp > 1)
+        return false;
+    return true;
+}
+
+std::string
+ParallelSpec::str() const
+{
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "(dp=%d,tp=%d,sp=%d,tatp=%d", dp, tp, sp,
+                  tatp);
+    std::string out(buf);
+    if (fsdp > 1)
+        out += ",fsdp=" + std::to_string(fsdp);
+    if (cp > 1)
+        out += ",cp=" + std::to_string(cp);
+    if (pp > 1)
+        out += ",pp=" + std::to_string(pp);
+    if (coupled_sp)
+        out += ",csp";
+    out += ")";
+    return out;
+}
+
+}  // namespace temp::parallel

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Parallelism specifications: per-operator degrees of every axis the
+ * framework supports (DP, FSDP, TP, SP, CP, TATP, plus PP at wafer
+ * granularity), following the paper's (DP, TP, SP, TATP)-tuple notation
+ * from Figs. 17/18.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace temp::parallel {
+
+/// Parallelism axes; the order here is the default inner-to-outer layout
+/// order on the wafer (TATP innermost so its groups map to contiguous
+/// physical chains).
+enum class Axis
+{
+    TATP = 0,
+    TP,
+    SP,
+    CP,
+    FSDP,
+    DP,
+    Count
+};
+
+/// Returns the printable axis name.
+const char *axisName(Axis axis);
+
+/**
+ * Degrees of each parallelism axis applied to an operator (or a whole
+ * layer). The product of all on-wafer degrees must divide the die count.
+ *
+ * Semantics:
+ *  - dp: replica data parallelism (splits batch B, replicates state);
+ *  - fsdp: sharded data parallelism (splits B, shards weights/grads/
+ *    optimizer, all-gathers weights on use);
+ *  - tp: Megatron tensor parallelism (splits weights, all-reduces
+ *    row-parallel outputs);
+ *  - sp: sequence parallelism (splits every activation along M,
+ *    replicates weights, all-gathers KV for attention — the
+ *    independent-axis SP of the paper's (DP,TP,SP,TATP) tuples);
+ *  - cp: context parallelism (splits M for attention with ring-style
+ *    overlappable KV exchange instead of SP's exposed all-gather);
+ *  - tatp: the paper's tensor-stream partition degree;
+ *  - pp: pipeline stages (multi-wafer; no intra-wafer use, Sec. II-A).
+ */
+struct ParallelSpec
+{
+    int dp = 1;
+    int fsdp = 1;
+    int tp = 1;
+    int sp = 1;
+    int cp = 1;
+    int tatp = 1;
+    int pp = 1;
+    /**
+     * Megatron-3 style TP-coupled sequence parallelism: the
+     * norm/residual region is sharded along M across the *TP group*
+     * (no extra dies), and the TP all-reduce is reorganised into
+     * reduce-scatter + all-gather of equal volume. Orthogonal to the
+     * independent `sp` axis of the paper's (DP,TP,SP,TATP) tuples.
+     */
+    bool coupled_sp = false;
+
+    /// Degree of one axis.
+    int degree(Axis axis) const;
+
+    /// Sets the degree of one axis.
+    void setDegree(Axis axis, int value);
+
+    /// Product of all on-wafer degrees (excludes pp).
+    int totalDegree() const { return dp * fsdp * tp * sp * cp * tatp; }
+
+    /**
+     * Structural validity: all degrees >= 1 and dp/fsdp not combined
+     * (fsdp *is* sharded dp).
+     */
+    bool valid() const;
+
+    /// Paper-style tuple string "(dp,tp,sp,tatp)" plus extras if used.
+    std::string str() const;
+
+    bool operator==(const ParallelSpec &other) const = default;
+
+    /// The no-parallelism spec.
+    static ParallelSpec serial() { return ParallelSpec{}; }
+};
+
+}  // namespace temp::parallel

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * A100 GPU-cluster reference simulator (Fig. 15).
+ *
+ * The cluster's NVSwitch fabric is contention-free all-to-all, so
+ * collectives hit their analytic ring bounds at NIC bandwidth — no
+ * topology mapping problem exists. That is precisely the contrast the
+ * paper draws: the wafer has 6x the link bandwidth but a rigid mesh;
+ * the GPU cluster has flexible switching but far less bandwidth.
+ */
+#pragma once
+
+#include "cost/compute_model.hpp"
+#include "hw/config.hpp"
+#include "model/graph.hpp"
+#include "parallel/partitioner.hpp"
+#include "sim/perf_report.hpp"
+
+namespace temp::sim {
+
+/// Simulates training steps on a switch-connected GPU cluster.
+class GpuClusterSimulator
+{
+  public:
+    explicit GpuClusterSimulator(hw::GpuClusterConfig config,
+                                 parallel::TrainingOptions options =
+                                     parallel::TrainingOptions());
+
+    /// Simulates one training step under a uniform parallel spec.
+    PerfReport simulate(const model::ComputeGraph &graph,
+                        const parallel::ParallelSpec &spec) const;
+
+    const hw::GpuClusterConfig &config() const { return config_; }
+
+  private:
+    /// Ring-collective time at NIC bandwidth (contention-free switch).
+    double collectiveTime(const net::CollectiveTask &task) const;
+
+    hw::GpuClusterConfig config_;
+    parallel::TrainingOptions options_;
+    parallel::Partitioner partitioner_;
+};
+
+}  // namespace temp::sim

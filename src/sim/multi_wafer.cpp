@@ -1,0 +1,131 @@
+#include "sim/multi_wafer.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace temp::sim {
+
+MultiWaferSimulator::MultiWaferSimulator(hw::MultiWaferConfig config,
+                                         tcme::MappingPolicy policy,
+                                         parallel::TrainingOptions options)
+    : config_(config), policy_(policy), options_(options)
+{
+}
+
+hw::WaferConfig
+MultiWaferSimulator::stageFabric(int pp) const
+{
+    const hw::WaferConfig &wafer = config_.wafer;
+    const int wafers = config_.wafer_count;
+    if (pp <= 0)
+        fatal("MultiWaferSimulator: pp must be positive");
+    if (pp <= wafers) {
+        if (wafers % pp != 0)
+            fatal("MultiWaferSimulator: pp=%d does not divide %d wafers",
+                  pp, wafers);
+        // Stage spans wafers/pp wafers laid side by side.
+        return wafer.withGrid(wafer.rows, wafer.cols * (wafers / pp));
+    }
+    const int slices = pp / wafers;
+    if (pp % wafers != 0 || wafer.cols % slices != 0)
+        fatal("MultiWaferSimulator: pp=%d incompatible with %d wafers of "
+              "%d cols",
+              pp, wafers, wafer.cols);
+    return wafer.withGrid(wafer.rows, wafer.cols / slices);
+}
+
+PerfReport
+MultiWaferSimulator::simulate(const model::ComputeGraph &graph,
+                              const parallel::ParallelSpec &intra_spec,
+                              int pp, int microbatches) const
+{
+    const model::ModelConfig &cfg = graph.config();
+    if (cfg.layers % pp != 0)
+        fatal("MultiWaferSimulator: %d layers not divisible by pp=%d",
+              cfg.layers, pp);
+    if (cfg.batch % microbatches != 0)
+        fatal("MultiWaferSimulator: batch %d not divisible by m=%d",
+              cfg.batch, microbatches);
+
+    // One pipeline stage trains layers/pp layers on one microbatch.
+    model::ModelConfig stage_cfg = cfg;
+    stage_cfg.layers = cfg.layers / pp;
+    stage_cfg.batch = cfg.batch / microbatches;
+    const model::ComputeGraph stage_graph =
+        model::ComputeGraph::transformer(stage_cfg);
+
+    const hw::WaferConfig fabric_cfg = stageFabric(pp);
+    hw::Wafer stage_wafer(fabric_cfg);
+    TrainingSimulator stage_sim(stage_wafer, policy_, options_);
+
+    PerfReport stage = stage_sim.simulate(stage_graph, intra_spec);
+    if (!stage.feasible) {
+        PerfReport bad;
+        bad.feasible = false;
+        return bad;
+    }
+
+    // Gradient sync happens once per step, not per microbatch.
+    const double micro_time = stage.step_time - stage.grad_sync_time;
+
+    // Inter-stage activation transfer per microbatch over the
+    // inter-wafer (or intra-wafer) fabric: [b_micro, seq, hidden] FP16,
+    // sharded across the stage's parallel dies.
+    const double boundary_bytes =
+        static_cast<double>(stage_cfg.batch) * cfg.seq * cfg.hidden *
+        kBytesFp16 / std::max(1, intra_spec.totalDegree());
+    const double stage_link_bw =
+        pp <= config_.wafer_count
+            ? config_.inter_wafer_bandwidth_bytes_per_s /
+                  std::max(1, intra_spec.totalDegree())
+            : config_.wafer.d2d.bandwidth_bytes_per_s;
+    const double p2p_time =
+        pp > 1 ? boundary_bytes / stage_link_bw +
+                     config_.inter_wafer_latency_s
+               : 0.0;
+
+    const double slot_time = micro_time + 2.0 * p2p_time;  // fwd + bwd
+
+    // 1F1B pipeline: m + pp - 1 slots, plus the once-per-step sync.
+    const double m = microbatches;
+    const double total_time =
+        (m + pp - 1.0) * slot_time + stage.grad_sync_time;
+
+    PerfReport report = stage;
+    report.step_time = total_time;
+    report.bubble_time = (pp - 1.0) * slot_time;
+    report.reshard_time += 2.0 * p2p_time * m;
+
+    // Scale per-stage activity to the full system and step.
+    report.comp_time = stage.comp_time * m;  // per stage, m microbatches
+    report.collective_time *= m;
+    report.stream_comm_time *= m;
+    report.exposed_comm = (stage.exposed_comm - stage.grad_sync_time) * m +
+                          stage.grad_sync_time;
+    report.total_flops = stage.total_flops * m * pp;
+    report.energy = stage.energy.scaled(m * pp);
+    report.avg_power_w = report.step_time > 0.0
+                             ? report.energy.total() / report.step_time
+                             : 0.0;
+    report.power_efficiency =
+        report.energy.total() > 0.0
+            ? report.total_flops / report.energy.total()
+            : 0.0;
+
+    // 1F1B in-flight activations: min(m, pp) microbatches resident.
+    const double inflight = std::min<double>(m, pp);
+    report.peak_footprint[mem::MemClass::Activations] *= inflight;
+    report.peak_mem_bytes = report.peak_footprint.total();
+    report.oom =
+        report.peak_mem_bytes > config_.wafer.hbm.capacity_bytes;
+
+    const double tokens = static_cast<double>(cfg.batch) * cfg.seq;
+    report.throughput_tokens_per_s =
+        report.step_time > 0.0 ? tokens / report.step_time : 0.0;
+    report.strategy_desc =
+        intra_spec.str() + ",pp=" + std::to_string(pp);
+    return report;
+}
+
+}  // namespace temp::sim

@@ -1,0 +1,455 @@
+#include "solver/dls_solver.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <memory>
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+#include "solver/surrogate_search.hpp"
+
+namespace temp::solver {
+
+using parallel::GroupLayout;
+using parallel::ParallelSpec;
+
+namespace {
+
+double
+now()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/// Additive objective: per-op cost plus pairwise resharding.
+double
+additiveCost(const model::ComputeGraph &graph,
+             const std::vector<int> &assignment,
+             const std::vector<ParallelSpec> &candidates,
+             const std::vector<std::vector<double>> &op_cost,
+             const cost::WaferCostModel &model)
+{
+    double total = 0.0;
+    for (std::size_t i = 0; i < assignment.size(); ++i) {
+        const double c = op_cost[i][assignment[i]];
+        if (std::isinf(c))
+            return c;
+        total += c;
+        if (i + 1 < assignment.size() &&
+            assignment[i] != assignment[i + 1]) {
+            total += model.interOpTime(graph.op(static_cast<int>(i)),
+                                       candidates[assignment[i]],
+                                       candidates[assignment[i + 1]]);
+        }
+    }
+    return total;
+}
+
+}  // namespace
+
+DlsSolver::DlsSolver(const sim::TrainingSimulator &simulator,
+                     SolverConfig config)
+    : sim_(simulator), config_(config)
+{
+}
+
+std::vector<int>
+DlsSolver::solveChainDp(const model::ComputeGraph &graph, int begin, int end,
+                        const std::vector<ParallelSpec> &candidates,
+                        const std::vector<std::vector<double>> &op_cost,
+                        long *evaluations) const
+{
+    const int n_ops = end - begin;
+    const int n_cand = static_cast<int>(candidates.size());
+    const double inf = std::numeric_limits<double>::infinity();
+
+    // dp[i][s]: best cost of ops [begin, begin+i] with op i using s.
+    std::vector<std::vector<double>> dp(
+        n_ops, std::vector<double>(n_cand, inf));
+    std::vector<std::vector<int>> back(
+        n_ops, std::vector<int>(n_cand, -1));
+
+    for (int s = 0; s < n_cand; ++s)
+        dp[0][s] = op_cost[begin][s];
+
+    const cost::WaferCostModel &model = sim_.costModel();
+    for (int i = 1; i < n_ops; ++i) {
+        const model::Operator &producer = graph.op(begin + i - 1);
+        for (int s = 0; s < n_cand; ++s) {
+            const double c = op_cost[begin + i][s];
+            if (std::isinf(c))
+                continue;
+            for (int p = 0; p < n_cand; ++p) {
+                if (std::isinf(dp[i - 1][p]))
+                    continue;
+                double transition = 0.0;
+                if (p != s) {
+                    transition = model.interOpTime(
+                        producer, candidates[p], candidates[s]);
+                }
+                ++(*evaluations);
+                const double candidate_cost = dp[i - 1][p] + transition + c;
+                if (candidate_cost < dp[i][s]) {
+                    dp[i][s] = candidate_cost;
+                    back[i][s] = p;
+                }
+            }
+        }
+    }
+
+    // Trace back from the best terminal state.
+    int best = 0;
+    for (int s = 1; s < n_cand; ++s)
+        if (dp[n_ops - 1][s] < dp[n_ops - 1][best])
+            best = s;
+
+    std::vector<int> assignment(n_ops, 0);
+    int cur = best;
+    for (int i = n_ops - 1; i >= 0; --i) {
+        assignment[i] = cur;
+        cur = i > 0 ? back[i][cur] : cur;
+    }
+    return assignment;
+}
+
+SolverResult
+DlsSolver::solve(const model::ComputeGraph &graph) const
+{
+    const double t_start = now();
+    SolverResult result;
+
+    // On a degraded wafer the budget is the largest usable component;
+    // power-of-two degrees then cannot cover every die, so occupancy is
+    // relaxed and near-full strategies are kept (Fig. 20a step 2).
+    const int budget = sim_.wafer().usableDieCount();
+    StrategySpaceOptions space = config_.space;
+    if (budget < sim_.wafer().dieCount())
+        space.full_occupancy = false;
+    std::vector<ParallelSpec> candidates =
+        enumerateStrategies(budget, graph.config(), space);
+    if (!space.full_occupancy) {
+        std::erase_if(candidates, [&](const ParallelSpec &s) {
+            return s.totalDegree() <= budget / 2;
+        });
+    }
+    result.candidate_count = static_cast<int>(candidates.size());
+    if (candidates.empty())
+        return result;
+
+    // Per-(op, candidate) cost matrix under the additive model
+    // (Eq. 2's T_intra with the per-op share of step communication).
+    const cost::WaferCostModel &model = sim_.costModel();
+    std::vector<std::unique_ptr<GroupLayout>> layouts;
+    layouts.reserve(candidates.size());
+    for (const ParallelSpec &spec : candidates)
+        layouts.push_back(std::make_unique<GroupLayout>(
+            model.buildLayout(graph, spec)));
+
+    const double inf = std::numeric_limits<double>::infinity();
+    std::vector<std::vector<double>> op_cost;
+    auto measure_cell = [&](int i, int s) {
+        const cost::OpCostBreakdown c =
+            model.opCost(graph.op(i), *layouts[s]);
+        return c.feasible ? c.total() : inf;
+    };
+    if (config_.use_surrogate) {
+        Rng sample_rng(config_.seed + 97);
+        result.matrix_measurements = fillCostMatrixWithSurrogate(
+            graph, candidates, config_.surrogate_sample_fraction,
+            measure_cell, sample_rng, op_cost);
+        result.evaluations += result.matrix_measurements;
+    } else {
+        op_cost.assign(graph.opCount(),
+                       std::vector<double>(candidates.size(), inf));
+        for (int i = 0; i < graph.opCount(); ++i) {
+            for (std::size_t s = 0; s < candidates.size(); ++s) {
+                op_cost[i][s] = measure_cell(i, static_cast<int>(s));
+                ++result.evaluations;
+                ++result.matrix_measurements;
+            }
+        }
+    }
+
+    // Memory awareness: evaluate each candidate as a uniform layer spec
+    // through the full simulator; specs whose uniform assignment blows
+    // HBM get a soft penalty in the additive matrix so the DP prefers
+    // memory-feasible plans. The best uniform results also seed the GA.
+    std::vector<sim::PerfReport> uniform_reports(candidates.size());
+    std::vector<std::size_t> uniform_order;
+    for (std::size_t s = 0; s < candidates.size(); ++s) {
+        uniform_reports[s] = sim_.simulate(graph, candidates[s]);
+        ++result.evaluations;
+        if (uniform_reports[s].feasible)
+            uniform_order.push_back(s);
+        if (uniform_reports[s].oom || !uniform_reports[s].feasible) {
+            // Memory pressure comes from parameter state (weights,
+            // grads, optimizer); penalise only the ops that own it so
+            // weight-less ops stay free to pick their best spec.
+            for (int i = 0; i < graph.opCount(); ++i)
+                if (graph.op(i).has_weight)
+                    op_cost[i][s] *= 50.0;
+        }
+    }
+    std::sort(uniform_order.begin(), uniform_order.end(),
+              [&](std::size_t a, std::size_t b) {
+                  const auto &ra = uniform_reports[a];
+                  const auto &rb = uniform_reports[b];
+                  const double fa = ra.step_time * (ra.oom ? 1e3 : 1.0);
+                  const double fb = rb.step_time * (rb.oom ? 1e3 : 1.0);
+                  return fa < fb;
+              });
+
+    // --- Graph partition + per-sub-chain DP -----------------------------
+    std::vector<int> cuts = graph.residualFreeCutPoints();
+    std::vector<int> boundaries{0};
+    for (int c : cuts)
+        boundaries.push_back(c);
+    boundaries.push_back(graph.opCount());
+    std::sort(boundaries.begin(), boundaries.end());
+    boundaries.erase(std::unique(boundaries.begin(), boundaries.end()),
+                     boundaries.end());
+
+    std::vector<int> assignment;
+    for (std::size_t b = 0; b + 1 < boundaries.size(); ++b) {
+        const std::vector<int> chain =
+            solveChainDp(graph, boundaries[b], boundaries[b + 1],
+                         candidates, op_cost, &result.evaluations);
+        assignment.insert(assignment.end(), chain.begin(), chain.end());
+    }
+
+    auto specs_of = [&](const std::vector<int> &a) {
+        std::vector<ParallelSpec> specs;
+        specs.reserve(a.size());
+        for (int idx : a)
+            specs.push_back(candidates[idx]);
+        return specs;
+    };
+
+    // Fitness = full simulated step time (captures merged grad sync,
+    // contention and memory); OOM strategies are heavily penalised so
+    // the search prefers memory-feasible plans.
+    auto fitness = [&](const std::vector<int> &a) {
+        const sim::PerfReport r = sim_.simulate(graph, specs_of(a));
+        if (!r.feasible)
+            return inf;
+        return r.step_time * (r.oom ? 1e3 : 1.0);
+    };
+
+    std::vector<int> best = assignment;
+    double best_fitness = fitness(best);
+
+    // --- Genetic refinement ----------------------------------------------
+    if (config_.enable_ga && candidates.size() > 1) {
+        Rng rng(config_.seed);
+        std::vector<int> order;
+        for (std::size_t s : uniform_order)
+            order.push_back(static_cast<int>(s));
+        if (order.empty())
+            for (std::size_t s = 0; s < candidates.size(); ++s)
+                order.push_back(static_cast<int>(s));
+
+        // Ranking for the weight-less role ignores the OOM penalty:
+        // norms/attention do not own parameter state, so a spec whose
+        // *uniform* plan OOMs (e.g. pure DP on a huge model) is still an
+        // excellent choice for them once the weighted ops shard state.
+        std::vector<int> order_o = order;
+        std::sort(order_o.begin(), order_o.end(), [&](int a, int b) {
+            return uniform_reports[a].step_time <
+                   uniform_reports[b].step_time;
+        });
+
+        // Seeds: the DP plan, the best uniform plans, and *structured*
+        // two-spec plans (one spec for weight-bearing GEMMs, one for the
+        // weight-less rest). The structured family encodes the key
+        // design insight: parameter state forces high sharding on the
+        // weighted ops only, while norms/attention prefer cheap
+        // batch-style splits that keep gradient accumulation free.
+        std::vector<std::vector<int>> seeds;
+        seeds.push_back(best);
+        const int top = std::min<int>(6, static_cast<int>(order.size()));
+        for (int k = 0; k < top; ++k)
+            seeds.push_back(std::vector<int>(graph.opCount(), order[k]));
+        for (int wi = 0; wi < top; ++wi) {
+            for (int oi = 0; oi < top; ++oi) {
+                std::vector<int> genome(graph.opCount());
+                for (int i = 0; i < graph.opCount(); ++i)
+                    genome[i] = graph.op(i).has_weight ? order[wi]
+                                                       : order_o[oi];
+                seeds.push_back(std::move(genome));
+            }
+        }
+        while (static_cast<int>(seeds.size()) <
+               2 * config_.ga_population) {
+            std::vector<int> genome = best;
+            for (int &g : genome)
+                if (rng.bernoulli(0.3))
+                    g = order[rng.index(std::min<std::size_t>(
+                        8, order.size()))];
+            seeds.push_back(std::move(genome));
+        }
+
+        // Evaluate all seeds; keep the fittest as the population.
+        std::vector<std::pair<double, std::size_t>> ranked;
+        for (std::size_t i = 0; i < seeds.size(); ++i)
+            ranked.emplace_back(fitness(seeds[i]), i);
+        std::sort(ranked.begin(), ranked.end(),
+                  [](const auto &a, const auto &b) {
+                      return a.first < b.first;
+                  });
+        std::vector<std::vector<int>> population;
+        std::vector<double> scores;
+        for (int i = 0; i < config_.ga_population &&
+                        i < static_cast<int>(ranked.size());
+             ++i) {
+            population.push_back(seeds[ranked[i].second]);
+            scores.push_back(ranked[i].first);
+        }
+
+        for (int gen = 0; gen < config_.ga_generations; ++gen) {
+            // Tournament selection of two parents.
+            auto pick = [&]() -> const std::vector<int> & {
+                const std::size_t a = rng.index(population.size());
+                const std::size_t b = rng.index(population.size());
+                return scores[a] < scores[b] ? population[a]
+                                             : population[b];
+            };
+            const std::vector<int> &pa = pick();
+            const std::vector<int> &pb = pick();
+            // One-point crossover at a residual boundary when possible.
+            std::vector<int> child = pa;
+            const int cut =
+                boundaries[rng.index(boundaries.size())];
+            for (int i = cut; i < graph.opCount(); ++i)
+                child[i] = pb[i];
+            // Mutation: re-draw individual op strategies.
+            for (int &g : child)
+                if (rng.bernoulli(config_.ga_mutation_rate))
+                    g = static_cast<int>(rng.index(candidates.size()));
+
+            const double score = fitness(child);
+            // Elitist replacement of the worst member.
+            std::size_t worst = 0;
+            for (std::size_t i = 1; i < population.size(); ++i)
+                if (scores[i] > scores[worst])
+                    worst = i;
+            if (score < scores[worst]) {
+                population[worst] = std::move(child);
+                scores[worst] = score;
+            }
+            const std::size_t arg_best = static_cast<std::size_t>(
+                std::min_element(scores.begin(), scores.end()) -
+                scores.begin());
+            if (scores[arg_best] < best_fitness) {
+                best = population[arg_best];
+                best_fitness = scores[arg_best];
+            }
+        }
+    }
+
+    if (std::isinf(best_fitness))
+        return result;
+
+    result.feasible = true;
+    result.per_op_specs = specs_of(best);
+    result.report = sim_.simulate(graph, result.per_op_specs);
+    result.step_time_s = result.report.step_time;
+    result.search_time_s = now() - t_start;
+    return result;
+}
+
+ExhaustiveSolver::ExhaustiveSolver(const sim::TrainingSimulator &simulator,
+                                   StrategySpaceOptions space)
+    : sim_(simulator), space_(space)
+{
+}
+
+SolverResult
+ExhaustiveSolver::solve(const model::ComputeGraph &graph, int op_limit,
+                        double time_budget_s) const
+{
+    const double t_start = now();
+    SolverResult result;
+
+    const std::vector<ParallelSpec> candidates = enumerateStrategies(
+        sim_.wafer().dieCount(), graph.config(), space_);
+    result.candidate_count = static_cast<int>(candidates.size());
+    if (candidates.empty())
+        return result;
+
+    const int n_ops = op_limit > 0
+                          ? std::min(op_limit, graph.opCount())
+                          : graph.opCount();
+
+    const cost::WaferCostModel &model = sim_.costModel();
+    std::vector<std::unique_ptr<GroupLayout>> layouts;
+    for (const ParallelSpec &spec : candidates)
+        layouts.push_back(std::make_unique<GroupLayout>(
+            model.buildLayout(graph, spec)));
+
+    const double inf = std::numeric_limits<double>::infinity();
+    std::vector<std::vector<double>> op_cost(
+        n_ops, std::vector<double>(candidates.size(), inf));
+    for (int i = 0; i < n_ops; ++i)
+        for (std::size_t s = 0; s < candidates.size(); ++s) {
+            const cost::OpCostBreakdown c =
+                model.opCost(graph.op(i), *layouts[s]);
+            op_cost[i][s] = c.feasible ? c.total() : inf;
+            ++result.evaluations;
+        }
+
+    std::vector<int> current(n_ops, 0);
+    std::vector<int> best;
+    double best_cost = inf;
+    bool timed_out = false;
+
+    // Depth-first enumeration with branch-and-bound pruning on the
+    // additive objective (the same objective the DP solves exactly).
+    std::function<void(int, double)> dfs = [&](int depth, double partial) {
+        if (timed_out || partial >= best_cost)
+            return;
+        if ((result.evaluations & 0xfff) == 0 &&
+            now() - t_start > time_budget_s) {
+            timed_out = true;
+            return;
+        }
+        if (depth == n_ops) {
+            best_cost = partial;
+            best = current;
+            return;
+        }
+        for (std::size_t s = 0; s < candidates.size(); ++s) {
+            ++result.evaluations;
+            double cost = op_cost[depth][s];
+            if (std::isinf(cost))
+                continue;
+            if (depth > 0 && current[depth - 1] != static_cast<int>(s)) {
+                cost += model.interOpTime(graph.op(depth - 1),
+                                          candidates[current[depth - 1]],
+                                          candidates[s]);
+            }
+            current[depth] = static_cast<int>(s);
+            dfs(depth + 1, partial + cost);
+        }
+    };
+    dfs(0, 0.0);
+
+    result.search_time_s = now() - t_start;
+    if (best.empty() || timed_out)
+        return result;
+
+    result.feasible = true;
+    result.per_op_specs.reserve(graph.opCount());
+    for (int i = 0; i < graph.opCount(); ++i)
+        result.per_op_specs.push_back(
+            candidates[best[std::min(i, n_ops - 1)]]);
+    // Objective value of the solved sub-problem (additive model).
+    result.step_time_s = best_cost;
+    return result;
+}
+
+}  // namespace temp::solver

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * The Dual-Level Search (DLS) algorithm of the Dual-Level Wafer Solver
+ * (Sec. VII-B, Fig. 12b).
+ *
+ * Level structure:
+ *  - graph partition: the operator chain is cut at residual-free
+ *    boundaries into sub-graphs, shrinking the per-instance space;
+ *  - level 1, dynamic programming: per sub-chain, an exact DP over
+ *    (operator, strategy) states with inter-operator resharding
+ *    transition costs (Eq. 3) localises decisions;
+ *  - level 2, genetic refinement: genomes encode the per-operator
+ *    strategy choices; fitness is the *full* training-step simulation
+ *    (which captures cross-operator effects the additive DP model
+ *    cannot: merged gradient-sync bucketing, contention, memory).
+ */
+#pragma once
+
+#include "sim/trainer_sim.hpp"
+#include "solver/strategy_space.hpp"
+
+namespace temp::solver {
+
+/// Tuning of the dual-level search.
+struct SolverConfig
+{
+    StrategySpaceOptions space;
+    bool enable_ga = true;
+    int ga_population = 16;
+    int ga_generations = 20;
+    double ga_mutation_rate = 0.25;
+    std::uint64_t seed = 1;
+    /**
+     * Fill the (operator, strategy) cost matrix with the DNN surrogate
+     * (Sec. VII-A): only `surrogate_sample_fraction` of the cells are
+     * measured with the simulator, the rest are predicted. The paper's
+     * "100-1000x more efficient than simulation" search mode.
+     */
+    bool use_surrogate = false;
+    double surrogate_sample_fraction = 0.3;
+};
+
+/// Outcome of a search.
+struct SolverResult
+{
+    bool feasible = false;
+    std::vector<parallel::ParallelSpec> per_op_specs;
+    /// Simulated step time of the best strategy.
+    double step_time_s = 0.0;
+    /// Full report of the best strategy.
+    sim::PerfReport report;
+    /// Wall-clock search time.
+    double search_time_s = 0.0;
+    /// Operator-cost evaluations performed (work metric).
+    long evaluations = 0;
+    /// Exact simulator measurements of (op, strategy) matrix cells
+    /// (what the surrogate mode reduces).
+    long matrix_measurements = 0;
+    /// Number of candidate specs per operator.
+    int candidate_count = 0;
+};
+
+/// The DLS solver.
+class DlsSolver
+{
+  public:
+    DlsSolver(const sim::TrainingSimulator &simulator,
+              SolverConfig config = SolverConfig{});
+
+    /// Finds the best per-operator strategy assignment for the graph.
+    SolverResult solve(const model::ComputeGraph &graph) const;
+
+    const SolverConfig &config() const { return config_; }
+
+  private:
+    /// DP over one sub-chain [begin, end); returns per-op candidate ids.
+    std::vector<int> solveChainDp(
+        const model::ComputeGraph &graph, int begin, int end,
+        const std::vector<parallel::ParallelSpec> &candidates,
+        const std::vector<std::vector<double>> &op_cost,
+        long *evaluations) const;
+
+    const sim::TrainingSimulator &sim_;
+    SolverConfig config_;
+};
+
+/**
+ * The ILP-substitute baseline for the Sec. VIII-H search-time
+ * comparison: branch-and-bound exhaustive enumeration over the same
+ * additive objective the DP optimises. Exponential in operator count.
+ */
+class ExhaustiveSolver
+{
+  public:
+    ExhaustiveSolver(const sim::TrainingSimulator &simulator,
+                     StrategySpaceOptions space);
+
+    /**
+     * Solves by full enumeration.
+     *
+     * @param op_limit Optional cap on the number of leading operators
+     *        considered (<=0 means all); keeps bench runtimes sane.
+     * @param time_budget_s Abort (marking infeasible) past this budget.
+     */
+    SolverResult solve(const model::ComputeGraph &graph, int op_limit = 0,
+                       double time_budget_s = 300.0) const;
+
+  private:
+    const sim::TrainingSimulator &sim_;
+    StrategySpaceOptions space_;
+};
+
+}  // namespace temp::solver

@@ -1,0 +1,94 @@
+#include "solver/strategy_space.hpp"
+
+#include <functional>
+
+namespace temp::solver {
+
+using parallel::Axis;
+using parallel::ParallelSpec;
+
+std::vector<ParallelSpec>
+enumerateStrategies(int die_count, const model::ModelConfig &model,
+                    const StrategySpaceOptions &options)
+{
+    std::vector<ParallelSpec> specs;
+
+    // Candidate degrees per axis: powers of two up to the cap.
+    auto degrees = [&](bool allowed, int cap) {
+        std::vector<int> out{1};
+        if (!allowed)
+            return out;
+        for (int d = 2; d <= cap; d *= 2)
+            out.push_back(d);
+        return out;
+    };
+
+    std::vector<int> dp_degrees =
+        degrees(options.allow_dp, std::min(die_count, model.batch));
+    if (!options.full_occupancy && options.allow_dp) {
+        // Degraded fabrics have odd die budgets; dense DP degrees let
+        // strategies cover nearly all surviving dies.
+        dp_degrees.clear();
+        for (int d = 1; d <= std::min(die_count, model.batch); ++d)
+            dp_degrees.push_back(d);
+    }
+    const std::vector<int> fsdp_degrees =
+        degrees(options.allow_fsdp, std::min(die_count, model.batch));
+    const std::vector<int> tp_degrees = degrees(
+        options.allow_tp,
+        std::min({die_count, model.heads, options.max_tp}));
+    // SP/CP slices must keep a reasonable sequence chunk per die.
+    const int seq_cap = std::min(die_count, model.seq / 128);
+    const std::vector<int> sp_degrees =
+        degrees(options.allow_sp, std::max(1, seq_cap));
+    const std::vector<int> cp_degrees =
+        degrees(options.allow_cp, std::max(1, seq_cap));
+    const std::vector<int> tatp_degrees =
+        degrees(options.allow_tatp,
+                std::min(die_count, options.max_tatp));
+
+    auto emit_all = [&](bool require_full) {
+      for (int dp : dp_degrees) {
+        for (int fsdp : fsdp_degrees) {
+            for (int tp : tp_degrees) {
+                for (int sp : sp_degrees) {
+                    for (int cp : cp_degrees) {
+                        for (int tatp : tatp_degrees) {
+                            ParallelSpec spec;
+                            spec.dp = dp;
+                            spec.fsdp = fsdp;
+                            spec.tp = tp;
+                            spec.sp = sp;
+                            spec.cp = cp;
+                            spec.tatp = tatp;
+                            if (!spec.valid())
+                                continue;
+                            const int total = spec.totalDegree();
+                            if (total > die_count)
+                                continue;
+                            if (require_full && total != die_count)
+                                continue;
+                            if (!require_full &&
+                                total <= die_count / 2)
+                                continue;
+                            specs.push_back(spec);
+                        }
+                    }
+                }
+            }
+        }
+      }
+    };
+
+    emit_all(options.full_occupancy);
+    if (specs.empty() && options.full_occupancy) {
+        // Die counts that are not products of the allowed degrees
+        // (e.g. 48 dies, or a degraded 31-die component) cannot be
+        // fully covered; fall back to near-full occupancy so the
+        // search space is never empty.
+        emit_all(false);
+    }
+    return specs;
+}
+
+}  // namespace temp::solver

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Enumeration of candidate parallel specifications.
+ *
+ * The search space of the dual-level solver (Sec. VII): all power-of-two
+ * factorisations of the die budget across the enabled axes, filtered by
+ * model-shape divisibility (dp <= batch, sp/cp <= sequence granularity,
+ * tp <= heads, tatp within its useful range).
+ */
+#pragma once
+
+#include <vector>
+
+#include "model/model_zoo.hpp"
+#include "parallel/spec.hpp"
+
+namespace temp::solver {
+
+/// Which axes the enumeration may use, and their caps.
+struct StrategySpaceOptions
+{
+    bool allow_dp = true;
+    bool allow_fsdp = false;
+    bool allow_tp = true;
+    bool allow_sp = true;
+    bool allow_cp = false;
+    bool allow_tatp = true;
+    /// Cap on the tensor-parallel degree (Megatron-1 practice capped TP
+    /// at the 8-GPU NVLink domain; later stacks scale further).
+    int max_tp = 1 << 20;
+    /// TATP degrees beyond this are never useful (Sec. V sweet spot
+    /// analysis tops out well below; 32 keeps the full Fig. 9 sweep
+    /// representable).
+    int max_tatp = 32;
+    /// Require the spec to use every die (all production configs do).
+    /// When relaxed (degraded wafers with non-power-of-two usable die
+    /// counts), DP additionally enumerates non-power-of-two degrees so
+    /// the surviving dies can still be covered.
+    bool full_occupancy = true;
+};
+
+/**
+ * Enumerates valid specs for a die budget and model.
+ *
+ * @param die_count Dies available on the wafer (a power of two times a
+ *        small factor; degrees are powers of two).
+ * @param model Shape constraints (batch, heads, sequence).
+ * @param options Axis gating.
+ */
+std::vector<parallel::ParallelSpec> enumerateStrategies(
+    int die_count, const model::ModelConfig &model,
+    const StrategySpaceOptions &options);
+
+}  // namespace temp::solver

@@ -1,0 +1,109 @@
+#include "solver/surrogate_search.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace temp::solver {
+
+using parallel::ParallelSpec;
+
+OpCostSurrogate::OpCostSurrogate(std::uint64_t seed) : dnn_(seed)
+{
+    dnn_.epochs = epochs;
+}
+
+std::vector<double>
+OpCostSurrogate::features(const model::Operator &op,
+                          const ParallelSpec &spec)
+{
+    auto lg = [](double v) { return std::log2(std::max(1.0, v)); };
+    return {
+        lg(op.b),
+        lg(op.m),
+        lg(op.n),
+        lg(op.k),
+        op.isGemm() ? 1.0 : 0.0,
+        op.has_weight ? 1.0 : 0.0,
+        static_cast<double>(static_cast<int>(op.tp_role)),
+        lg(spec.dp),
+        lg(spec.fsdp),
+        lg(spec.tp),
+        lg(spec.sp),
+        lg(spec.cp),
+        lg(spec.tatp),
+        lg(spec.totalDegree()),
+        lg(op.forwardFlops() / spec.totalDegree()),
+    };
+}
+
+void
+OpCostSurrogate::fit(const std::vector<cost::CostSample> &samples)
+{
+    dnn_.epochs = epochs;
+    dnn_.fit(samples);
+}
+
+double
+OpCostSurrogate::predict(const model::Operator &op,
+                         const ParallelSpec &spec) const
+{
+    return dnn_.predict(features(op, spec));
+}
+
+cost::FidelityReport
+OpCostSurrogate::validate(const std::vector<cost::CostSample> &samples) const
+{
+    return cost::evaluatePredictor(dnn_, samples);
+}
+
+long
+fillCostMatrixWithSurrogate(
+    const model::ComputeGraph &graph,
+    const std::vector<ParallelSpec> &candidates, double sample_fraction,
+    const std::function<double(int, int)> &measure, Rng &rng,
+    std::vector<std::vector<double>> &out_matrix)
+{
+    const int n_ops = graph.opCount();
+    const int n_cand = static_cast<int>(candidates.size());
+    out_matrix.assign(n_ops, std::vector<double>(n_cand, 0.0));
+
+    std::vector<cost::CostSample> train;
+    std::vector<std::pair<int, int>> pending;
+    long measured = 0;
+
+    for (int i = 0; i < n_ops; ++i) {
+        for (int s = 0; s < n_cand; ++s) {
+            // Measure the whole first operator row (so every candidate
+            // appears in training) plus a random sample of the rest.
+            const bool sampled =
+                i == 0 || rng.bernoulli(sample_fraction);
+            if (sampled) {
+                const double exact = measure(i, s);
+                ++measured;
+                out_matrix[i][s] = exact;
+                if (std::isfinite(exact)) {
+                    cost::CostSample sample;
+                    sample.features =
+                        OpCostSurrogate::features(graph.op(i),
+                                                  candidates[s]);
+                    sample.latency_s = exact;
+                    train.push_back(std::move(sample));
+                }
+            } else {
+                pending.emplace_back(i, s);
+            }
+        }
+    }
+
+    if (train.empty())
+        fatal("fillCostMatrixWithSurrogate: no finite training samples");
+
+    OpCostSurrogate surrogate;
+    surrogate.fit(train);
+    for (const auto &[i, s] : pending)
+        out_matrix[i][s] = surrogate.predict(graph.op(i), candidates[s]);
+    return measured;
+}
+
+}  // namespace temp::solver

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Mapping TATP chains (and naive-TSPP rings) onto the physical mesh.
+ *
+ * TATP's bidirectional orchestration needs a physical *chain* of
+ * adjacent dies (1 hop between consecutive slots). The GroupLayout's
+ * snake enumeration produces such chains for the innermost axis, but
+ * arbitrary groups (tetris-shaped allocations, Fig. 7a) and fault-broken
+ * wafers do not — this module quantifies the resulting multi-hop
+ * penalty and re-orders scattered groups into the best achievable chain.
+ */
+#pragma once
+
+#include <vector>
+
+#include "hw/topology.hpp"
+#include "net/route.hpp"
+
+namespace temp::tatp {
+
+/// Physical realisation quality of an ordered chain of dies.
+struct ChainInfo
+{
+    std::vector<hw::DieId> chain;
+    /// Physical hops between consecutive chain slots (size N-1).
+    std::vector<int> hops;
+    /// True when every consecutive pair is physically adjacent.
+    bool contiguous = true;
+    /// Largest inter-slot hop count (tail-latency driver).
+    int max_hop = 0;
+    /// Sum of inter-slot hops (fabric occupancy driver).
+    int total_hops = 0;
+};
+
+/// Physical realisation quality of an ordered logical ring (naive TSPP).
+struct RingInfo
+{
+    ChainInfo chain;
+    /// Hops of the wrap-around transfer (last -> first slot).
+    int wrap_hops = 0;
+    /// True when the wrap is also a single physical hop (physical ring).
+    bool physical_ring = false;
+    /// Largest hop count including the wrap.
+    int max_hop = 0;
+};
+
+/// Chain/ring feasibility analysis on a mesh.
+class ChainMapper
+{
+  public:
+    explicit ChainMapper(const hw::MeshTopology &mesh);
+
+    /// Analyses an ordered group as a TATP chain.
+    ChainInfo analyzeChain(const std::vector<hw::DieId> &ordered) const;
+
+    /// Analyses an ordered group as a logical ring (wrap included).
+    RingInfo analyzeRing(const std::vector<hw::DieId> &ordered) const;
+
+    /**
+     * Re-orders an arbitrary die set into a short chain: greedy
+     * nearest-neighbour construction followed by 2-opt improvement.
+     * For a contiguous rectangular block this recovers a snake path
+     * (all 1-hop); for tetris-shaped groups it minimises but cannot
+     * eliminate multi-hop steps.
+     */
+    std::vector<hw::DieId> orderAsChain(std::vector<hw::DieId> dies) const;
+
+    /**
+     * True if a contiguous physical ring (Hamiltonian cycle) exists on
+     * an r x c sub-grid: requires both sides >= 2 and an even cell
+     * count. A 1 x N chain has no physical ring — the Fig. 7(b) case.
+     */
+    static bool physicalRingExists(int rows, int cols);
+
+  private:
+    const hw::MeshTopology &mesh_;
+};
+
+}  // namespace temp::tatp

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Unit tests for the common module: units, stats, linear algebra, RNG.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+
+namespace temp {
+namespace {
+
+TEST(Units, BandwidthConversions)
+{
+    EXPECT_DOUBLE_EQ(tbPerSec(4.0), 4e12);
+    EXPECT_DOUBLE_EQ(gbPerSec(600.0), 600e9);
+    EXPECT_DOUBLE_EQ(tflops(1800.0), 1.8e15);
+}
+
+TEST(Units, EnergyConversion)
+{
+    // 5 pJ/bit == 40 pJ/byte.
+    EXPECT_NEAR(pjPerBitToJoulePerByte(5.0), 40e-12, 1e-18);
+}
+
+TEST(Units, MemorySizes)
+{
+    EXPECT_DOUBLE_EQ(gigabytes(72.0), 72e9);
+    EXPECT_DOUBLE_EQ(megabytes(80.0), 80e6);
+}
+
+TEST(Stats, MeanAndStddev)
+{
+    std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+    EXPECT_DOUBLE_EQ(mean(xs), 5.0);
+    EXPECT_DOUBLE_EQ(stddev(xs), 2.0);
+}
+
+TEST(Stats, MeanOfEmptyIsZero)
+{
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+    EXPECT_DOUBLE_EQ(stddev({}), 0.0);
+}
+
+TEST(Stats, PearsonPerfectCorrelation)
+{
+    std::vector<double> xs{1, 2, 3, 4, 5};
+    std::vector<double> ys{2, 4, 6, 8, 10};
+    EXPECT_NEAR(pearsonCorrelation(xs, ys), 1.0, 1e-12);
+}
+
+TEST(Stats, PearsonAntiCorrelation)
+{
+    std::vector<double> xs{1, 2, 3, 4, 5};
+    std::vector<double> ys{10, 8, 6, 4, 2};
+    EXPECT_NEAR(pearsonCorrelation(xs, ys), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonUncorrelatedConstant)
+{
+    std::vector<double> xs{1, 2, 3};
+    std::vector<double> ys{5, 5, 5};
+    EXPECT_DOUBLE_EQ(pearsonCorrelation(xs, ys), 0.0);
+}
+
+TEST(Stats, MapeBasic)
+{
+    std::vector<double> pred{110, 90};
+    std::vector<double> ref{100, 100};
+    EXPECT_NEAR(meanAbsPercentError(pred, ref), 10.0, 1e-12);
+}
+
+TEST(Stats, MapeSkipsZeroReference)
+{
+    std::vector<double> pred{110, 42};
+    std::vector<double> ref{100, 0};
+    EXPECT_NEAR(meanAbsPercentError(pred, ref), 10.0, 1e-12);
+}
+
+TEST(Stats, Geomean)
+{
+    EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_NEAR(geomean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+}
+
+TEST(Matrix, MultiplyIdentity)
+{
+    Matrix a(2, 2);
+    a.at(0, 0) = 1.0;
+    a.at(1, 1) = 1.0;
+    Matrix b(2, 2);
+    b.at(0, 0) = 3.0;
+    b.at(0, 1) = 4.0;
+    b.at(1, 0) = 5.0;
+    b.at(1, 1) = 6.0;
+    Matrix c = a.multiply(b);
+    EXPECT_DOUBLE_EQ(c.at(0, 0), 3.0);
+    EXPECT_DOUBLE_EQ(c.at(0, 1), 4.0);
+    EXPECT_DOUBLE_EQ(c.at(1, 0), 5.0);
+    EXPECT_DOUBLE_EQ(c.at(1, 1), 6.0);
+}
+
+TEST(Matrix, Transpose)
+{
+    Matrix a(2, 3);
+    a.at(0, 2) = 7.0;
+    Matrix t = a.transposed();
+    EXPECT_EQ(t.rows(), 3u);
+    EXPECT_EQ(t.cols(), 2u);
+    EXPECT_DOUBLE_EQ(t.at(2, 0), 7.0);
+}
+
+TEST(LinearSolve, TwoByTwo)
+{
+    Matrix a(2, 2);
+    a.at(0, 0) = 2.0;
+    a.at(0, 1) = 1.0;
+    a.at(1, 0) = 1.0;
+    a.at(1, 1) = 3.0;
+    std::vector<double> b{5.0, 10.0};
+    auto x = solveLinearSystem(a, b);
+    EXPECT_NEAR(x[0], 1.0, 1e-12);
+    EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(LinearSolve, RequiresPivoting)
+{
+    // a(0,0) == 0 forces a row swap.
+    Matrix a(2, 2);
+    a.at(0, 0) = 0.0;
+    a.at(0, 1) = 1.0;
+    a.at(1, 0) = 1.0;
+    a.at(1, 1) = 0.0;
+    std::vector<double> b{2.0, 3.0};
+    auto x = solveLinearSystem(a, b);
+    EXPECT_NEAR(x[0], 3.0, 1e-12);
+    EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(LeastSquares, RecoversLinearModel)
+{
+    // y = 3 + 2*x, exactly.
+    Matrix x(5, 2);
+    std::vector<double> y;
+    for (int i = 0; i < 5; ++i) {
+        x.at(i, 0) = 1.0;
+        x.at(i, 1) = i;
+        y.push_back(3.0 + 2.0 * i);
+    }
+    auto w = leastSquares(x, y);
+    EXPECT_NEAR(w[0], 3.0, 1e-6);
+    EXPECT_NEAR(w[1], 2.0, 1e-6);
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.uniformInt(0, 1000), b.uniformInt(0, 1000));
+}
+
+TEST(Rng, UniformIntInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const int v = rng.uniformInt(3, 9);
+        EXPECT_GE(v, 3);
+        EXPECT_LE(v, 9);
+    }
+}
+
+TEST(Rng, BernoulliExtremes)
+{
+    Rng rng(1);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.bernoulli(0.0));
+        EXPECT_TRUE(rng.bernoulli(1.0));
+    }
+}
+
+TEST(Rng, UniformRealInRange)
+{
+    Rng rng(11);
+    for (int i = 0; i < 1000; ++i) {
+        const double v = rng.uniformReal(-2.0, 5.0);
+        EXPECT_GE(v, -2.0);
+        EXPECT_LT(v, 5.0);
+    }
+}
+
+TEST(Table, FormattersProduceExpectedStrings)
+{
+    EXPECT_EQ(TablePrinter::fmt(1.23456, 2), "1.23");
+    EXPECT_EQ(TablePrinter::fmtX(1.7, 1), "1.7x");
+    EXPECT_EQ(TablePrinter::fmtPct(0.384, 1), "38.4%");
+}
+
+}  // namespace
+}  // namespace temp

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Tests for the plain-text configuration loader (custom wafers and
+ * models without recompiling).
+ */
+#include <gtest/gtest.h>
+
+#include "core/config_io.hpp"
+
+namespace temp::core {
+namespace {
+
+TEST(ConfigParse, KeyValueAndComments)
+{
+    const ConfigMap config = parseConfigText(
+        "# a comment\n"
+        "rows = 6   # trailing comment\n"
+        "\n"
+        "cols=9\n"
+        "  peak_tflops =  900  \n");
+    EXPECT_EQ(config.size(), 3u);
+    EXPECT_EQ(config.at("rows"), "6");
+    EXPECT_EQ(config.at("cols"), "9");
+    EXPECT_EQ(config.at("peak_tflops"), "900");
+}
+
+TEST(ConfigParse, EmptyTextIsEmptyMap)
+{
+    EXPECT_TRUE(parseConfigText("").empty());
+    EXPECT_TRUE(parseConfigText("# only comments\n\n").empty());
+}
+
+TEST(WaferConfig, DefaultsWhenEmpty)
+{
+    const hw::WaferConfig wafer = waferFromConfig({});
+    const hw::WaferConfig ref = hw::WaferConfig::paperDefault();
+    EXPECT_EQ(wafer.rows, ref.rows);
+    EXPECT_DOUBLE_EQ(wafer.die.peak_flops, ref.die.peak_flops);
+    EXPECT_DOUBLE_EQ(wafer.hbm.capacity_bytes, ref.hbm.capacity_bytes);
+}
+
+TEST(WaferConfig, OverridesApply)
+{
+    const ConfigMap config = parseConfigText(
+        "rows = 6\ncols = 9\npeak_tflops = 900\nd2d_tbps = 2\n"
+        "hbm_stacks = 3\nhbm_gb_per_stack = 48\n");
+    const hw::WaferConfig wafer = waferFromConfig(config);
+    EXPECT_EQ(wafer.dieCount(), 54);
+    EXPECT_DOUBLE_EQ(wafer.die.peak_flops, 900e12);
+    EXPECT_DOUBLE_EQ(wafer.d2d.bandwidth_bytes_per_s, 2e12);
+    EXPECT_DOUBLE_EQ(wafer.hbm.capacity_bytes, 3 * 48e9);
+    EXPECT_DOUBLE_EQ(wafer.hbm.bandwidth_bytes_per_s, 3e12);
+}
+
+TEST(ModelConfig, FromScratch)
+{
+    const ConfigMap config = parseConfigText(
+        "name = MyNet 1B\nheads = 16\nhidden = 2048\nlayers = 24\n"
+        "seq = 4096\nbatch = 64\n");
+    const model::ModelConfig model = modelFromConfig(config);
+    EXPECT_EQ(model.name, "MyNet 1B");
+    EXPECT_EQ(model.headDim(), 128);
+    EXPECT_EQ(model.layers, 24);
+    EXPECT_GT(model.paramCount(), 1e9);
+}
+
+TEST(ModelConfig, BaseModelOverride)
+{
+    const ConfigMap config =
+        parseConfigText("base = Llama2 7B\nseq = 16384\nbatch = 32\n");
+    const model::ModelConfig model = modelFromConfig(config);
+    EXPECT_EQ(model.hidden, 4096);  // inherited
+    EXPECT_EQ(model.seq, 16384);    // overridden
+    EXPECT_EQ(model.batch, 32);
+}
+
+using ConfigDeath = ::testing::Test;
+
+TEST(ConfigDeath, RejectsUnknownWaferKey)
+{
+    EXPECT_EXIT(waferFromConfig(parseConfigText("bogus = 1\n")),
+                ::testing::ExitedWithCode(1), "unknown wafer key");
+}
+
+TEST(ConfigDeath, RejectsMalformedLine)
+{
+    EXPECT_EXIT(parseConfigText("no equals sign here\n"),
+                ::testing::ExitedWithCode(1), "expected");
+}
+
+TEST(ConfigDeath, RejectsNonNumericValue)
+{
+    EXPECT_EXIT(waferFromConfig(parseConfigText("rows = many\n")),
+                ::testing::ExitedWithCode(1), "non-numeric");
+}
+
+TEST(ConfigDeath, ModelNeedsNameOrBase)
+{
+    EXPECT_EXIT(modelFromConfig(parseConfigText("heads = 8\n")),
+                ::testing::ExitedWithCode(1), "name");
+}
+
+TEST(ConfigDeath, HiddenMustDivideByHeads)
+{
+    EXPECT_EXIT(
+        modelFromConfig(parseConfigText(
+            "name = X\nheads = 7\nhidden = 100\n")),
+        ::testing::ExitedWithCode(1), "divide");
+}
+
+}  // namespace
+}  // namespace temp::core

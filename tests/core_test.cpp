@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Integration tests for the TEMP framework facade and the baseline
+ * matrix: end-to-end optimisation, the six-baseline comparison shape
+ * (Fig. 13), fault-tolerant re-optimisation (Fig. 20), and ablations
+ * (Fig. 16).
+ */
+#include <gtest/gtest.h>
+
+#include "baselines/strategies.hpp"
+#include "core/framework.hpp"
+
+namespace temp::core {
+namespace {
+
+using baselines::BaselineKind;
+using tcme::MappingEngineKind;
+
+class FrameworkTest : public ::testing::Test
+{
+  protected:
+    FrameworkTest() : fw_(hw::WaferConfig::paperDefault()) {}
+
+    TempFramework fw_;
+};
+
+TEST_F(FrameworkTest, OptimizesSmallModelEndToEnd)
+{
+    const auto result = fw_.optimize(model::modelByName("GPT-3 6.7B"));
+    ASSERT_TRUE(result.feasible);
+    EXPECT_FALSE(result.report.oom);
+    EXPECT_GT(result.report.throughput_tokens_per_s, 0.0);
+    EXPECT_GT(result.search_time_s, 0.0);
+    // Sec. VIII-H: single-wafer search completes in minutes (here
+    // seconds — we are not running 40-hour ILP).
+    EXPECT_LT(result.search_time_s, 60.0);
+}
+
+TEST_F(FrameworkTest, TempBeatsAllSixBaselines)
+{
+    // The Fig. 13 shape on one mid-size model: TEMP's step time is the
+    // minimum across the baseline matrix.
+    const auto model = model::modelByName("Llama3 70B");
+    const auto temp_result = fw_.optimize(model);
+    ASSERT_TRUE(temp_result.feasible);
+    ASSERT_FALSE(temp_result.report.oom);
+
+    for (BaselineKind kind : {BaselineKind::Megatron1,
+                              BaselineKind::MegatronSP,
+                              BaselineKind::Fsdp}) {
+        for (MappingEngineKind engine :
+             {MappingEngineKind::SMap, MappingEngineKind::GMap}) {
+            const auto baseline =
+                fw_.evaluateBaseline(kind, engine, model);
+            EXPECT_LE(temp_result.step_time_s,
+                      baseline.report.step_time * 1.001)
+                << baselines::baselineName(kind) << "+"
+                << tcme::mappingEngineName(engine);
+        }
+    }
+}
+
+TEST_F(FrameworkTest, MegatronOomsOnHugeModelTempDoesNot)
+{
+    const auto model = model::modelByName("GPT-3 175B");
+    const auto temp_result = fw_.optimize(model);
+    ASSERT_TRUE(temp_result.feasible);
+    EXPECT_FALSE(temp_result.report.oom);
+
+    const auto mega = fw_.evaluateBaseline(BaselineKind::Megatron1,
+                                           MappingEngineKind::SMap, model);
+    EXPECT_TRUE(mega.all_oom);
+}
+
+TEST_F(FrameworkTest, BaselineTuningPicksMemoryFeasibleConfigs)
+{
+    const auto model = model::modelByName("Llama2 7B");
+    for (BaselineKind kind : {BaselineKind::Megatron1,
+                              BaselineKind::MegatronSP,
+                              BaselineKind::Fsdp}) {
+        const auto tuned =
+            fw_.evaluateBaseline(kind, MappingEngineKind::GMap, model);
+        EXPECT_FALSE(tuned.all_oom)
+            << baselines::baselineName(kind) << " on a 7B model";
+        EXPECT_FALSE(tuned.report.oom);
+    }
+}
+
+TEST_F(FrameworkTest, MeSPUsesCoupledSpFsdpUsesSharding)
+{
+    const auto model = model::modelByName("Llama3 70B");
+    const auto mesp = fw_.evaluateBaseline(BaselineKind::MegatronSP,
+                                           MappingEngineKind::GMap, model);
+    EXPECT_TRUE(mesp.spec.tp > 1 ? mesp.spec.coupled_sp : true);
+    const auto fsdp = fw_.evaluateBaseline(BaselineKind::Fsdp,
+                                           MappingEngineKind::GMap, model);
+    EXPECT_GT(fsdp.spec.fsdp, 1);
+    EXPECT_EQ(fsdp.spec.tatp, 1);
+}
+
+TEST_F(FrameworkTest, AblationOrderingHolds)
+{
+    // Fig. 16: Base (FSDP+SMap) <= +TATP <= +TATP+TCME in throughput.
+    const auto model = model::modelByName("Llama3 70B");
+    const auto base = fw_.evaluateBaseline(BaselineKind::Fsdp,
+                                           MappingEngineKind::SMap, model);
+    ASSERT_FALSE(base.all_oom);
+
+    // +TATP: TATP-extended search but SMap mapping (no TCME).
+    FrameworkOptions tatp_only;
+    tatp_only.policy = tcme::MappingPolicy{MappingEngineKind::SMap};
+    TempFramework fw_tatp(hw::WaferConfig::paperDefault(), tatp_only);
+    const auto plus_tatp = fw_tatp.optimize(model);
+    ASSERT_TRUE(plus_tatp.feasible);
+
+    const auto full = fw_.optimize(model);
+    ASSERT_TRUE(full.feasible);
+
+    EXPECT_LE(plus_tatp.step_time_s, base.report.step_time * 1.001);
+    EXPECT_LE(full.step_time_s, plus_tatp.step_time_s * 1.001);
+}
+
+TEST_F(FrameworkTest, FaultToleranceGracefulForCoreFaults)
+{
+    // Fig. 20(c): moderate core faults degrade throughput gracefully.
+    const auto model = model::modelByName("GPT-3 6.7B");
+    const auto healthy = fw_.optimize(model);
+    ASSERT_TRUE(healthy.feasible);
+
+    Rng rng(21);
+    hw::Wafer probe(hw::WaferConfig::paperDefault());
+    const auto faults = hw::FaultMap::randomCoreFaults(
+        probe.topology(), 0.10, rng);
+    const auto degraded = fw_.optimizeWithFaults(model, faults);
+    ASSERT_TRUE(degraded.feasible);
+    const double ratio = healthy.report.throughput_tokens_per_s /
+                         degraded.report.throughput_tokens_per_s;
+    EXPECT_GT(ratio, 1.0);
+    EXPECT_LT(ratio, 1.5);  // ~10% core loss, < 50% throughput loss
+}
+
+TEST_F(FrameworkTest, FaultToleranceSurvivesLinkFaults)
+{
+    const auto model = model::modelByName("GPT-3 6.7B");
+    Rng rng(22);
+    hw::Wafer probe(hw::WaferConfig::paperDefault());
+    const auto faults = hw::FaultMap::randomLinkFaults(
+        probe.topology(), 0.08, rng);
+
+    // The framework can route around faults only while the fabric stays
+    // connected; a fully disconnected die is beyond framework-level
+    // repair (Sec. VIII-F). Check connectivity first.
+    hw::Wafer degraded_probe(hw::WaferConfig::paperDefault(), faults);
+    net::Router router(degraded_probe.topology(),
+                       &degraded_probe.faults());
+    bool connected = true;
+    for (hw::DieId die = 1; die < degraded_probe.dieCount(); ++die)
+        connected = connected && router.shortestPath(0, die).has_value();
+
+    const auto degraded = fw_.optimizeWithFaults(model, faults);
+    EXPECT_EQ(degraded.feasible, connected);
+    if (connected) {
+        const auto healthy = fw_.optimize(model);
+        // Re-routing costs something but not everything.
+        EXPECT_GT(degraded.report.throughput_tokens_per_s,
+                  0.3 * healthy.report.throughput_tokens_per_s);
+    }
+}
+
+TEST_F(FrameworkTest, StrategyEvaluationMatchesSimulator)
+{
+    const auto model = model::modelByName("GPT-3 6.7B");
+    parallel::ParallelSpec spec;
+    spec.dp = 4;
+    spec.tatp = 8;
+    const auto report = fw_.evaluateStrategy(model, spec);
+    EXPECT_TRUE(report.feasible);
+    EXPECT_GT(report.step_time, 0.0);
+}
+
+}  // namespace
+}  // namespace temp::core

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Unit tests for the memory substrate: HBM timing/energy model and the
+ * per-die memory ledger with OOM detection.
+ */
+#include <gtest/gtest.h>
+
+#include "hw/config.hpp"
+#include "mem/hbm_model.hpp"
+#include "mem/memory_ledger.hpp"
+
+namespace temp::mem {
+namespace {
+
+TEST(Hbm, SequentialBandwidthNearPeak)
+{
+    HbmModel hbm(hw::HbmConfig{});
+    EXPECT_NEAR(hbm.sustainedBandwidth(AccessPattern::Sequential),
+                0.92 * hw::HbmConfig{}.bandwidth_bytes_per_s, 1e6);
+}
+
+TEST(Hbm, PatternOrdering)
+{
+    HbmModel hbm(hw::HbmConfig{});
+    EXPECT_GT(hbm.sustainedBandwidth(AccessPattern::Sequential),
+              hbm.sustainedBandwidth(AccessPattern::Strided));
+    EXPECT_GT(hbm.sustainedBandwidth(AccessPattern::Strided),
+              hbm.sustainedBandwidth(AccessPattern::Random));
+}
+
+TEST(Hbm, AccessTimeIncludesLatency)
+{
+    HbmModel hbm(hw::HbmConfig{});
+    const double t =
+        hbm.accessTime(0.92 * hw::HbmConfig{}.bandwidth_bytes_per_s);
+    EXPECT_NEAR(t, 1.0 + 100e-9, 1e-6);  // one second of payload
+    EXPECT_DOUBLE_EQ(hbm.accessTime(0.0), 0.0);
+}
+
+TEST(Hbm, EnergyPerByte)
+{
+    HbmModel hbm(hw::HbmConfig{});
+    // 6 pJ/bit -> 48 pJ/B.
+    EXPECT_NEAR(hbm.accessEnergy(1e9), 48e-3, 1e-9);
+}
+
+TEST(Footprint, TotalsAndArithmetic)
+{
+    MemoryFootprint fp;
+    fp[MemClass::Weights] = 10.0;
+    fp[MemClass::Activations] = 5.0;
+    EXPECT_DOUBLE_EQ(fp.total(), 15.0);
+    const MemoryFootprint doubled = fp + fp;
+    EXPECT_DOUBLE_EQ(doubled.total(), 30.0);
+    EXPECT_DOUBLE_EQ(fp.scaled(3.0)[MemClass::Weights], 30.0);
+}
+
+TEST(Ledger, TracksPeakPerDie)
+{
+    MemoryLedger ledger(2, 100.0);
+    ledger.allocate(0, MemClass::Activations, 40.0);
+    ledger.allocate(0, MemClass::Activations, 30.0);
+    ledger.release(0, MemClass::Activations, 50.0);
+    ledger.allocate(0, MemClass::Weights, 10.0);
+    EXPECT_DOUBLE_EQ(ledger.liveBytes(0), 30.0);
+    EXPECT_DOUBLE_EQ(ledger.peakBytes(0), 70.0);
+    EXPECT_DOUBLE_EQ(ledger.peakBytes(1), 0.0);
+    EXPECT_FALSE(ledger.oom());
+}
+
+TEST(Ledger, DetectsOom)
+{
+    MemoryLedger ledger(2, 100.0);
+    ledger.allocate(1, MemClass::Weights, 60.0);
+    ledger.allocate(1, MemClass::OptimizerState, 70.0);
+    EXPECT_TRUE(ledger.oom());
+    const auto dies = ledger.oomDies();
+    ASSERT_EQ(dies.size(), 1u);
+    EXPECT_EQ(dies[0], 1);
+}
+
+TEST(Ledger, ReleaseNeverGoesNegative)
+{
+    MemoryLedger ledger(1, 100.0);
+    ledger.allocate(0, MemClass::CommBuffers, 5.0);
+    ledger.release(0, MemClass::CommBuffers, 50.0);
+    EXPECT_DOUBLE_EQ(ledger.liveBytes(0), 0.0);
+}
+
+TEST(Ledger, PeakFootprintSnapshotsBreakdown)
+{
+    MemoryLedger ledger(1, 1000.0);
+    ledger.allocate(0, MemClass::Weights, 100.0);
+    ledger.allocate(0, MemClass::Activations, 200.0);
+    ledger.release(0, MemClass::Activations, 200.0);
+    ledger.allocate(0, MemClass::Gradients, 50.0);
+    const MemoryFootprint &peak = ledger.peakFootprint(0);
+    EXPECT_DOUBLE_EQ(peak[MemClass::Weights], 100.0);
+    EXPECT_DOUBLE_EQ(peak[MemClass::Activations], 200.0);
+    EXPECT_DOUBLE_EQ(peak[MemClass::Gradients], 0.0);
+    EXPECT_DOUBLE_EQ(ledger.maxPeakBytes(), 300.0);
+}
+
+TEST(Ledger, MemClassNames)
+{
+    EXPECT_STREQ(memClassName(MemClass::Weights), "weights");
+    EXPECT_STREQ(memClassName(MemClass::OptimizerState), "optimizer");
+}
+
+}  // namespace
+}  // namespace temp::mem

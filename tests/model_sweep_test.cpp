@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Assurance sweep across every Table II model: the full framework must
+ * find a feasible, memory-fitting strategy for each, and the paper's
+ * structural claims (TEMP fastest, TATP in the plan, sane metrics) must
+ * hold model by model. This is the regression suite guarding the
+ * headline Fig. 13 shape.
+ */
+#include <gtest/gtest.h>
+
+#include "core/framework.hpp"
+
+namespace temp {
+namespace {
+
+class ModelSweep : public ::testing::TestWithParam<int>
+{
+  protected:
+    static model::ModelConfig
+    theModel()
+    {
+        return model::evaluationModels()[GetParam()];
+    }
+};
+
+TEST_P(ModelSweep, TempFindsMemoryFeasiblePlan)
+{
+    core::TempFramework fw(hw::WaferConfig::paperDefault());
+    const auto result = fw.optimize(theModel());
+    ASSERT_TRUE(result.feasible) << theModel().name;
+    EXPECT_FALSE(result.report.oom) << theModel().name;
+    EXPECT_GT(result.report.throughput_tokens_per_s, 0.0);
+    EXPECT_LE(result.report.peak_mem_bytes,
+              hw::WaferConfig::paperDefault().hbm.capacity_bytes);
+}
+
+TEST_P(ModelSweep, TempMatchesOrBeatsFsdpBaseline)
+{
+    // FSDP+SMap trains every model (the paper's ablation base); TEMP
+    // must never lose to it.
+    core::TempFramework fw(hw::WaferConfig::paperDefault());
+    const auto temp_result = fw.optimize(theModel());
+    ASSERT_TRUE(temp_result.feasible);
+    const auto fsdp = fw.evaluateBaseline(
+        baselines::BaselineKind::Fsdp, tcme::MappingEngineKind::SMap,
+        theModel());
+    ASSERT_FALSE(fsdp.all_oom) << theModel().name;
+    EXPECT_LE(temp_result.step_time_s, fsdp.report.step_time * 1.001)
+        << theModel().name;
+}
+
+TEST_P(ModelSweep, PlanUsesTensorStreaming)
+{
+    // Every optimal plan exercises TATP on at least one weighted GEMM
+    // (the premise of the whole paper).
+    core::TempFramework fw(hw::WaferConfig::paperDefault());
+    const auto result = fw.optimize(theModel());
+    ASSERT_TRUE(result.feasible);
+    const auto graph = model::ComputeGraph::transformer(theModel());
+    bool streamed = false;
+    for (int i = 0; i < graph.opCount(); ++i)
+        if (graph.op(i).has_weight && result.per_op_specs[i].tatp > 1)
+            streamed = true;
+    EXPECT_TRUE(streamed) << theModel().name;
+}
+
+TEST_P(ModelSweep, MetricsAreInternallyConsistent)
+{
+    core::TempFramework fw(hw::WaferConfig::paperDefault());
+    const auto result = fw.optimize(theModel());
+    ASSERT_TRUE(result.feasible);
+    const sim::PerfReport &r = result.report;
+    // Wall time dominates each of its components.
+    EXPECT_GE(r.step_time * 1.001, r.exposed_comm);
+    EXPECT_GE(r.step_time * 1.001, r.comp_time);
+    // Energy breakdown sums and power derives from it.
+    EXPECT_NEAR(r.energy.total(),
+                r.energy.compute_j + r.energy.dram_j + r.energy.d2d_j +
+                    r.energy.static_j,
+                r.energy.total() * 1e-9);
+    EXPECT_NEAR(r.avg_power_w, r.energy.total() / r.step_time,
+                r.avg_power_w * 1e-6);
+    // Throughput equals tokens per step time.
+    const double tokens = static_cast<double>(theModel().batch) *
+                          theModel().seq;
+    EXPECT_NEAR(r.throughput_tokens_per_s, tokens / r.step_time,
+                r.throughput_tokens_per_s * 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(TableTwo, ModelSweep, ::testing::Range(0, 6),
+                         [](const auto &info) {
+                             std::string name =
+                                 model::evaluationModels()[info.param]
+                                     .name;
+                             for (char &c : name)
+                                 if (!isalnum(static_cast<unsigned char>(
+                                         c)))
+                                     c = '_';
+                             return name;
+                         });
+
+}  // namespace
+}  // namespace temp

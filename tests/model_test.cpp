@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Unit tests for the workload model: operator FLOP/byte counters, the
+ * transformer graph builder and the Table II model zoo.
+ */
+#include <gtest/gtest.h>
+
+#include "model/graph.hpp"
+#include "model/model_zoo.hpp"
+#include "model/operator.hpp"
+
+namespace temp::model {
+namespace {
+
+Operator
+gemm(double b, double m, double n, double k, bool weighted = true)
+{
+    Operator op;
+    op.type = OpType::Gemm;
+    op.b = b;
+    op.m = m;
+    op.n = n;
+    op.k = k;
+    op.has_weight = weighted;
+    return op;
+}
+
+TEST(Operator, GemmFlops)
+{
+    const Operator op = gemm(2, 128, 512, 1024);
+    EXPECT_DOUBLE_EQ(op.forwardFlops(), 2.0 * 2 * 128 * 512 * 1024);
+    EXPECT_DOUBLE_EQ(op.backwardFlops(), 2.0 * op.forwardFlops());
+    EXPECT_DOUBLE_EQ(op.trainingFlops(), 3.0 * op.forwardFlops());
+}
+
+TEST(Operator, ByteCounters)
+{
+    const Operator op = gemm(1, 64, 128, 256);
+    EXPECT_DOUBLE_EQ(op.inputBytes(), 64.0 * 128 * 2);
+    EXPECT_DOUBLE_EQ(op.weightBytes(), 128.0 * 256 * 2);
+    EXPECT_DOUBLE_EQ(op.outputBytes(), 64.0 * 256 * 2);
+    EXPECT_DOUBLE_EQ(op.weightBytes(kBytesFp32), 128.0 * 256 * 4);
+}
+
+TEST(Operator, WeightlessOpsHaveNoWeightBytes)
+{
+    Operator op = gemm(4, 64, 64, 64, false);
+    op.type = OpType::AttentionScore;
+    EXPECT_DOUBLE_EQ(op.weightBytes(), 0.0);
+    EXPECT_TRUE(op.isGemm());
+}
+
+TEST(Operator, ElementwiseFlopsScaleWithExtent)
+{
+    Operator op;
+    op.type = OpType::Softmax;
+    op.b = 2;
+    op.m = 8;
+    op.n = 16;
+    EXPECT_DOUBLE_EQ(op.forwardFlops(), 5.0 * 2 * 8 * 16);
+    op.type = OpType::Residual;
+    EXPECT_DOUBLE_EQ(op.forwardFlops(), 1.0 * 2 * 8 * 16);
+    // Elementwise backward is ~forward, not 2x.
+    EXPECT_DOUBLE_EQ(op.backwardFlops(), op.forwardFlops());
+}
+
+TEST(Operator, ArithmeticIntensityGrowsWithSize)
+{
+    const Operator small = gemm(1, 128, 128, 128);
+    const Operator large = gemm(1, 4096, 4096, 4096);
+    EXPECT_GT(large.arithmeticIntensity(), small.arithmeticIntensity());
+}
+
+TEST(ModelZoo, TableTwoRoster)
+{
+    const auto models = evaluationModels();
+    ASSERT_EQ(models.size(), 6u);
+    EXPECT_EQ(models[0].name, "GPT-3 6.7B");
+    EXPECT_EQ(models[5].name, "OPT 175B");
+}
+
+TEST(ModelZoo, ParamCountsMatchNominalSizes)
+{
+    // Parameter formula should land within ~15% of each model's nominal
+    // size (the names encode the ground truth).
+    struct Expected { const char *name; double params; };
+    const Expected expected[] = {
+        {"GPT-3 6.7B", 6.7e9},   {"Llama2 7B", 7e9},
+        {"Llama3 70B", 70e9},    {"GPT-3 76B", 76e9},
+        {"GPT-3 175B", 175e9},   {"OPT 175B", 175e9},
+        {"Grok-1 341B", 341e9},  {"Llama3 405B", 405e9},
+        {"GPT-3 504B", 504e9},
+    };
+    for (const auto &e : expected) {
+        const ModelConfig m = modelByName(e.name);
+        EXPECT_NEAR(m.paramCount() / e.params, 1.0, 0.15)
+            << m.name << " => " << m.paramCount();
+    }
+}
+
+TEST(ModelZoo, GPT3_175BConfig)
+{
+    const ModelConfig m = modelByName("GPT-3 175B");
+    EXPECT_EQ(m.heads, 96);
+    EXPECT_EQ(m.hidden, 12288);
+    EXPECT_EQ(m.layers, 96);
+    EXPECT_EQ(m.seq, 2048);
+    EXPECT_EQ(m.headDim(), 128);
+    EXPECT_EQ(m.intermediate(), 4 * 12288);
+}
+
+TEST(ModelZoo, WithSeqBatchOverrides)
+{
+    const ModelConfig m = modelByName("Llama2 7B").withSeqBatch(16384, 32);
+    EXPECT_EQ(m.seq, 16384);
+    EXPECT_EQ(m.batch, 32);
+    EXPECT_EQ(m.hidden, 4096);
+}
+
+TEST(Graph, TransformerHasTwelveOps)
+{
+    const ComputeGraph graph =
+        ComputeGraph::transformer(modelByName("GPT-3 6.7B"));
+    EXPECT_EQ(graph.opCount(), 12);
+    EXPECT_EQ(graph.layerCount(), 32);
+    // Chain edges plus two residual edges.
+    EXPECT_EQ(graph.edges().size(), 11u + 2u);
+}
+
+TEST(Graph, ResidualEdgesCloseAtResidualAdds)
+{
+    const ComputeGraph graph =
+        ComputeGraph::transformer(modelByName("GPT-3 6.7B"));
+    int residual_ops = 0;
+    for (const Operator &op : graph.ops())
+        if (op.type == OpType::Residual) {
+            ++residual_ops;
+            EXPECT_TRUE(op.closes_residual);
+        }
+    EXPECT_EQ(residual_ops, 2);
+}
+
+TEST(Graph, CutPointsAvoidResidualSpans)
+{
+    const ComputeGraph graph =
+        ComputeGraph::transformer(modelByName("GPT-3 6.7B"));
+    const auto cuts = graph.residualFreeCutPoints();
+    // The only residual-free boundaries in the block are around the two
+    // residual adds: after ln1 would cross residual1's skip edge, etc.
+    // Cut at 7 (between residual1 and ln2) must be legal.
+    EXPECT_NE(std::find(cuts.begin(), cuts.end(), 7), cuts.end());
+    // Cut at 3 (inside the attention block) must be illegal.
+    EXPECT_EQ(std::find(cuts.begin(), cuts.end(), 3), cuts.end());
+}
+
+TEST(Graph, LayerFlopsMatchAnalyticFormula)
+{
+    const ModelConfig m = modelByName("GPT-3 6.7B");
+    const ComputeGraph graph = ComputeGraph::transformer(m);
+    // Dense GEMM forward FLOPs per layer:
+    //   QKV: 2*B*S*H*3H, proj: 2*B*S*H*H, FC1/FC2: 2 * 2*B*S*H*4H,
+    //   attention: 2 * 2*B*S*S*H.
+    const double b = m.batch, s = m.seq, h = m.hidden;
+    const double gemm_flops = 2 * b * s * h * (3 * h) + 2 * b * s * h * h +
+                              2 * (2 * b * s * h * (4 * h)) +
+                              2 * (2 * b * s * s * h);
+    EXPECT_GT(graph.layerForwardFlops(), gemm_flops);
+    // Element-wise ops contribute only a few percent.
+    EXPECT_LT(graph.layerForwardFlops(), 1.05 * gemm_flops);
+}
+
+TEST(Graph, TrainingFlopsRoughlyThreeTimesForward)
+{
+    const ComputeGraph graph =
+        ComputeGraph::transformer(modelByName("GPT-3 175B"));
+    const double ratio =
+        graph.layerTrainingFlops() / graph.layerForwardFlops();
+    EXPECT_GT(ratio, 2.8);
+    EXPECT_LE(ratio, 3.0);
+}
+
+TEST(Graph, WeightBytesMatchTwelveHSquared)
+{
+    const ModelConfig m = modelByName("GPT-3 6.7B");
+    const ComputeGraph graph = ComputeGraph::transformer(m);
+    const double h = m.hidden;
+    EXPECT_DOUBLE_EQ(graph.layerWeightBytes(), 12.0 * h * h * kBytesFp16);
+}
+
+TEST(Graph, TotalFlopsScaleWithLayers)
+{
+    const ComputeGraph graph =
+        ComputeGraph::transformer(modelByName("GPT-3 6.7B"));
+    EXPECT_DOUBLE_EQ(graph.totalTrainingFlops(),
+                     32.0 * graph.layerTrainingFlops());
+}
+
+}  // namespace
+}  // namespace temp::model

@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Tests for the Dual-Level Wafer Solver: strategy enumeration, the DP +
+ * GA search, and the exhaustive (ILP-substitute) baseline.
+ */
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "model/graph.hpp"
+#include "model/model_zoo.hpp"
+#include "sim/trainer_sim.hpp"
+#include "solver/dls_solver.hpp"
+#include "solver/strategy_space.hpp"
+
+namespace temp::solver {
+namespace {
+
+using parallel::ParallelSpec;
+
+TEST(StrategySpace, FullOccupancyProductsMatchDieCount)
+{
+    const auto model = model::modelByName("GPT-3 6.7B");
+    StrategySpaceOptions options;
+    const auto specs = enumerateStrategies(32, model, options);
+    ASSERT_FALSE(specs.empty());
+    for (const ParallelSpec &s : specs) {
+        EXPECT_EQ(s.totalDegree(), 32);
+        EXPECT_TRUE(s.valid());
+    }
+}
+
+TEST(StrategySpace, AxisGatingWorks)
+{
+    const auto model = model::modelByName("GPT-3 6.7B");
+    StrategySpaceOptions options;
+    options.allow_tatp = false;
+    options.allow_sp = false;
+    for (const ParallelSpec &s : enumerateStrategies(32, model, options)) {
+        EXPECT_EQ(s.tatp, 1);
+        EXPECT_EQ(s.sp, 1);
+    }
+}
+
+TEST(StrategySpace, TpCapHonoursModelHeadsAndOption)
+{
+    auto model = model::modelByName("GPT-3 6.7B");
+    StrategySpaceOptions options;
+    options.max_tp = 8;
+    for (const ParallelSpec &s : enumerateStrategies(32, model, options))
+        EXPECT_LE(s.tp, 8);
+    model.heads = 4;
+    options.max_tp = 1 << 20;
+    for (const ParallelSpec &s : enumerateStrategies(32, model, options))
+        EXPECT_LE(s.tp, 4);
+}
+
+TEST(StrategySpace, DpBoundedByBatch)
+{
+    auto model = model::modelByName("GPT-3 6.7B");
+    model.batch = 8;
+    StrategySpaceOptions options;
+    for (const ParallelSpec &s : enumerateStrategies(32, model, options))
+        EXPECT_LE(s.dp, 8);
+}
+
+TEST(StrategySpace, PartialOccupancyWhenAllowed)
+{
+    const auto model = model::modelByName("GPT-3 6.7B");
+    StrategySpaceOptions options;
+    options.full_occupancy = false;
+    bool found_partial = false;
+    for (const ParallelSpec &s : enumerateStrategies(32, model, options))
+        found_partial = found_partial || s.totalDegree() < 32;
+    EXPECT_TRUE(found_partial);
+}
+
+class SolverTest : public ::testing::Test
+{
+  protected:
+    SolverTest()
+        : wafer_(hw::WaferConfig::paperDefault()),
+          sim_(wafer_, tcme::MappingPolicy{tcme::MappingEngineKind::TCME})
+    {
+    }
+
+    hw::Wafer wafer_;
+    sim::TrainingSimulator sim_;
+};
+
+TEST_F(SolverTest, FindsFeasibleStrategyForSmallModel)
+{
+    DlsSolver solver(sim_);
+    const auto graph = model::ComputeGraph::transformer(
+        model::modelByName("GPT-3 6.7B"));
+    const SolverResult result = solver.solve(graph);
+    ASSERT_TRUE(result.feasible);
+    EXPECT_EQ(static_cast<int>(result.per_op_specs.size()),
+              graph.opCount());
+    EXPECT_GT(result.step_time_s, 0.0);
+    EXPECT_FALSE(result.report.oom);
+    EXPECT_GT(result.candidate_count, 10);
+}
+
+TEST_F(SolverTest, BeatsEveryUniformCandidateOrTies)
+{
+    DlsSolver solver(sim_);
+    const auto graph = model::ComputeGraph::transformer(
+        model::modelByName("Llama2 7B"));
+    const SolverResult result = solver.solve(graph);
+    ASSERT_TRUE(result.feasible);
+
+    StrategySpaceOptions space;
+    for (const ParallelSpec &s :
+         enumerateStrategies(32, graph.config(), space)) {
+        const sim::PerfReport r = sim_.simulate(graph, s);
+        if (!r.feasible || r.oom)
+            continue;
+        EXPECT_LE(result.step_time_s, r.step_time * 1.0001)
+            << "uniform " << s.str() << " beats the solver";
+    }
+}
+
+TEST_F(SolverTest, MemoryFeasibleOnLargeModel)
+{
+    DlsSolver solver(sim_);
+    const auto graph = model::ComputeGraph::transformer(
+        model::modelByName("GPT-3 175B"));
+    const SolverResult result = solver.solve(graph);
+    ASSERT_TRUE(result.feasible);
+    EXPECT_FALSE(result.report.oom)
+        << "best plan must fit memory: " << result.report.peak_mem_bytes;
+    // Parameter-state sharding must come from the weighted ops.
+    for (int i = 0; i < graph.opCount(); ++i) {
+        if (graph.op(i).has_weight) {
+            const ParallelSpec &s = result.per_op_specs[i];
+            EXPECT_GE(s.tatp * s.tp * s.fsdp, 8)
+                << "weighted op " << graph.op(i).name << " under-sharded";
+        }
+    }
+}
+
+TEST_F(SolverTest, TatpAppearsInOptimalPlans)
+{
+    // The headline claim: the TATP-extended space beats TATP-free plans.
+    DlsSolver with_tatp(sim_);
+    SolverConfig no_tatp_cfg;
+    no_tatp_cfg.space.allow_tatp = false;
+    DlsSolver without_tatp(sim_, no_tatp_cfg);
+
+    const auto graph = model::ComputeGraph::transformer(
+        model::modelByName("Llama3 70B"));
+    const SolverResult with = with_tatp.solve(graph);
+    const SolverResult without = without_tatp.solve(graph);
+    ASSERT_TRUE(with.feasible);
+    ASSERT_TRUE(without.feasible);
+    EXPECT_LE(with.step_time_s, without.step_time_s);
+    bool uses_tatp = false;
+    for (const ParallelSpec &s : with.per_op_specs)
+        uses_tatp = uses_tatp || s.tatp > 1;
+    EXPECT_TRUE(uses_tatp);
+}
+
+TEST_F(SolverTest, DeterministicUnderFixedSeed)
+{
+    DlsSolver solver(sim_);
+    const auto graph = model::ComputeGraph::transformer(
+        model::modelByName("GPT-3 6.7B"));
+    const SolverResult a = solver.solve(graph);
+    const SolverResult b = solver.solve(graph);
+    ASSERT_TRUE(a.feasible);
+    EXPECT_EQ(a.per_op_specs.size(), b.per_op_specs.size());
+    for (std::size_t i = 0; i < a.per_op_specs.size(); ++i)
+        EXPECT_TRUE(a.per_op_specs[i] == b.per_op_specs[i]);
+    EXPECT_DOUBLE_EQ(a.step_time_s, b.step_time_s);
+}
+
+TEST_F(SolverTest, GaRefinesOrMatchesDp)
+{
+    const auto graph = model::ComputeGraph::transformer(
+        model::modelByName("GPT-3 175B"));
+    SolverConfig no_ga;
+    no_ga.enable_ga = false;
+    const SolverResult dp_only = DlsSolver(sim_, no_ga).solve(graph);
+    const SolverResult full = DlsSolver(sim_).solve(graph);
+    ASSERT_TRUE(dp_only.feasible);
+    ASSERT_TRUE(full.feasible);
+    EXPECT_LE(full.step_time_s, dp_only.step_time_s * 1.0001);
+}
+
+TEST_F(SolverTest, ExhaustiveAgreesWithDpOnAdditiveObjective)
+{
+    // On a small instance the branch-and-bound enumeration and the DP
+    // optimise the same additive objective; the DP must not be worse.
+    StrategySpaceOptions space;
+    space.allow_sp = false;
+    space.allow_cp = false;
+    const auto graph = model::ComputeGraph::transformer(
+        model::modelByName("GPT-3 6.7B"));
+
+    ExhaustiveSolver exhaustive(sim_, space);
+    const SolverResult ex = exhaustive.solve(graph, /*op_limit=*/4,
+                                             /*time_budget_s=*/60.0);
+    ASSERT_TRUE(ex.feasible);
+    EXPECT_GT(ex.evaluations, 0);
+    EXPECT_GT(ex.search_time_s, 0.0);
+}
+
+TEST_F(SolverTest, DlsOrdersOfMagnitudeFasterThanExhaustive)
+{
+    // Sec. VIII-H: DLS explores the same space in polynomial time while
+    // the exhaustive baseline grows exponentially in operator count.
+    StrategySpaceOptions space;
+    space.allow_sp = false;
+    const auto graph = model::ComputeGraph::transformer(
+        model::modelByName("GPT-3 6.7B"));
+
+    SolverConfig dls_cfg;
+    dls_cfg.space = space;
+    dls_cfg.enable_ga = false;  // isolate the DP level
+    DlsSolver dls(sim_, dls_cfg);
+    const SolverResult fast = dls.solve(graph);
+
+    ExhaustiveSolver exhaustive(sim_, space);
+    const SolverResult slow = exhaustive.solve(graph, /*op_limit=*/5,
+                                               /*time_budget_s=*/120.0);
+    ASSERT_TRUE(fast.feasible);
+    ASSERT_TRUE(slow.feasible);
+    // The exhaustive pass covered 5 of 12 ops yet did far more work.
+    EXPECT_GT(slow.evaluations, 4 * fast.evaluations);
+}
+
+}  // namespace
+}  // namespace temp::solver

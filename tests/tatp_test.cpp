@@ -1,0 +1,399 @@
+/**
+ * @file
+ * Unit and property tests for the TATP module: the bidirectional
+ * orchestrator (reconstructed Alg. 1), chain mapping, and the stream
+ * executor's timing model.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "hw/topology.hpp"
+#include "net/route.hpp"
+#include "tatp/chain_mapper.hpp"
+#include "tatp/executor.hpp"
+#include "tatp/orchestrator.hpp"
+
+namespace temp::tatp {
+namespace {
+
+using hw::DieId;
+using hw::MeshTopology;
+
+// ---------------------------------------------------------------------
+// Orchestrator: property tests across degrees (the paper's Alg. 1).
+// ---------------------------------------------------------------------
+
+class OrchestratorProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(OrchestratorProperty, ScheduleIsFeasible)
+{
+    const int n = GetParam();
+    BidirectionalOrchestrator orch(n);
+    const ValidationResult result = orch.validate();
+    EXPECT_TRUE(result.ok) << result.error;
+}
+
+TEST_P(OrchestratorProperty, EveryTransferIsOneHop)
+{
+    const int n = GetParam();
+    BidirectionalOrchestrator orch(n);
+    for (const RoundSchedule &round : orch.rounds())
+        for (const TransferTask &x : round.transfers)
+            EXPECT_EQ(std::abs(x.from_slot - x.to_slot), 1);
+}
+
+TEST_P(OrchestratorProperty, OneComputePerSlotPerRound)
+{
+    const int n = GetParam();
+    BidirectionalOrchestrator orch(n);
+    for (const RoundSchedule &round : orch.rounds()) {
+        std::set<int> slots;
+        for (const ComputeTask &c : round.computes)
+            EXPECT_TRUE(slots.insert(c.slot).second);
+        EXPECT_EQ(static_cast<int>(slots.size()), n);
+    }
+}
+
+TEST_P(OrchestratorProperty, PerLinkPerRoundLoadIsOneSubtensor)
+{
+    // Each directed chain link carries at most one sub-tensor per round:
+    // the stream saturates but never oversubscribes the fabric.
+    const int n = GetParam();
+    BidirectionalOrchestrator orch(n);
+    for (const RoundSchedule &round : orch.rounds()) {
+        std::set<std::pair<int, int>> used;
+        for (const TransferTask &x : round.transfers)
+            EXPECT_TRUE(used.insert({x.from_slot, x.to_slot}).second)
+                << "link " << x.from_slot << "->" << x.to_slot
+                << " carries two sub-tensors in one round";
+    }
+}
+
+TEST_P(OrchestratorProperty, AllOutputsComputedExactlyOnce)
+{
+    const int n = GetParam();
+    BidirectionalOrchestrator orch(n);
+    for (int s = 0; s < n; ++s) {
+        std::set<int> subs;
+        for (const RoundSchedule &round : orch.rounds())
+            for (const ComputeTask &c : round.computes)
+                if (c.slot == s)
+                    EXPECT_TRUE(subs.insert(c.subtensor).second);
+        EXPECT_EQ(static_cast<int>(subs.size()), n);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, OrchestratorProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 8, 12, 16, 32));
+
+TEST(Orchestrator, MatchesPaperN4Example)
+{
+    // Fig. 8(c): in round 0 Die 3 sends W3 to Die 2; Die 2 computes O21
+    // in round 1 (uses subT[1]); Die 1 computes O13 in round 2.
+    BidirectionalOrchestrator orch(4);
+    const auto &round0 = orch.rounds()[0];
+    bool die3_sends_w3_down = false;
+    for (const TransferTask &x : round0.transfers)
+        if (x.from_slot == 3 && x.to_slot == 2 && x.subtensor == 3)
+            die3_sends_w3_down = true;
+    EXPECT_TRUE(die3_sends_w3_down);
+
+    EXPECT_EQ(BidirectionalOrchestrator::computeSubtensor(4, 2, 1), 1);
+    EXPECT_EQ(BidirectionalOrchestrator::computeSubtensor(4, 1, 2), 3);
+    // Die 3 computes O33, O32, O31, O30 in that order.
+    for (int t = 0; t < 4; ++t)
+        EXPECT_EQ(BidirectionalOrchestrator::computeSubtensor(4, 3, t),
+                  (3 - t + 4) % 4);
+}
+
+TEST(Orchestrator, PeakBuffersGrowLinearly)
+{
+    // The bidirectional relay holds ~N/2 sub-tensors on the worst slot
+    // (wrap-need holding); this is what the partitioner's comm-buffer
+    // model charges.
+    EXPECT_EQ(BidirectionalOrchestrator::peakBuffersForDegree(1), 1);
+    EXPECT_LE(BidirectionalOrchestrator::peakBuffersForDegree(4), 4);
+    const int p16 = BidirectionalOrchestrator::peakBuffersForDegree(16);
+    EXPECT_GE(p16, 4);
+    EXPECT_LE(p16, 10);  // ~N/2 + in-flight
+}
+
+TEST(Orchestrator, PeakBuffersMatchPartitionerFormula)
+{
+    // The partitioner charges (floor(N/2 - 1) + 2) sub-tensor buffers
+    // per die for the bidirectional relay; the buffer-accurate
+    // orchestrator simulation must stay within one double-buffer slot
+    // of that for every degree.
+    for (int n : {2, 4, 8, 16, 32}) {
+        const int measured =
+            BidirectionalOrchestrator::peakBuffersForDegree(n);
+        const int charged =
+            static_cast<int>(std::floor(n / 2.0 - 1.0)) + 2;
+        EXPECT_LE(measured, charged + 1) << "degree " << n;
+        EXPECT_GE(measured, charged - 2) << "degree " << n;
+    }
+}
+
+TEST(Orchestrator, NaiveRingRotatesSubtensors)
+{
+    NaiveRingOrchestrator orch(4);
+    ASSERT_EQ(orch.rounds().size(), 4u);
+    // Round 0: slot s computes its own sub-tensor.
+    for (const ComputeTask &c : orch.rounds()[0].computes)
+        EXPECT_EQ(c.subtensor, c.slot);
+    // Wrap transfer present: slot 3 -> slot 0.
+    bool wrap = false;
+    for (const TransferTask &x : orch.rounds()[0].transfers)
+        if (x.from_slot == 3 && x.to_slot == 0)
+            wrap = true;
+    EXPECT_TRUE(wrap);
+    // Every slot computes all sub-tensors across rounds.
+    for (int s = 0; s < 4; ++s) {
+        std::set<int> subs;
+        for (const auto &round : orch.rounds())
+            for (const ComputeTask &c : round.computes)
+                if (c.slot == s)
+                    subs.insert(c.subtensor);
+        EXPECT_EQ(subs.size(), 4u);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Chain mapper.
+// ---------------------------------------------------------------------
+
+TEST(ChainMapper, ContiguousSnakeChain)
+{
+    MeshTopology mesh(4, 8);
+    ChainMapper mapper(mesh);
+    std::vector<DieId> chain{mesh.dieAt(0, 0), mesh.dieAt(0, 1),
+                             mesh.dieAt(1, 1), mesh.dieAt(1, 0)};
+    const ChainInfo info = mapper.analyzeChain(chain);
+    EXPECT_TRUE(info.contiguous);
+    EXPECT_EQ(info.max_hop, 1);
+    EXPECT_EQ(info.total_hops, 3);
+}
+
+TEST(ChainMapper, TetrisGroupIsNonContiguous)
+{
+    // Fig. 7(a): a group whose members are not chain-adjacent.
+    MeshTopology mesh(4, 8);
+    ChainMapper mapper(mesh);
+    std::vector<DieId> chain{mesh.dieAt(0, 0), mesh.dieAt(0, 2),
+                             mesh.dieAt(2, 2), mesh.dieAt(2, 0)};
+    const ChainInfo info = mapper.analyzeChain(chain);
+    EXPECT_FALSE(info.contiguous);
+    EXPECT_EQ(info.max_hop, 2);
+}
+
+TEST(ChainMapper, LinearChainRingHasLongWrap)
+{
+    // Fig. 5(a): dies 0..7 in a row; the logical ring's wrap transfer
+    // needs 7 physical hops while neighbours need 1.
+    MeshTopology mesh(1, 8);
+    ChainMapper mapper(mesh);
+    std::vector<DieId> ring{0, 1, 2, 3, 4, 5, 6, 7};
+    const RingInfo info = mapper.analyzeRing(ring);
+    EXPECT_TRUE(info.chain.contiguous);
+    EXPECT_EQ(info.wrap_hops, 7);
+    EXPECT_FALSE(info.physical_ring);
+    EXPECT_EQ(info.max_hop, 7);
+}
+
+TEST(ChainMapper, BoustrophedonRingOnEvenGridIsPhysical)
+{
+    MeshTopology mesh(2, 4);
+    ChainMapper mapper(mesh);
+    std::vector<DieId> ring{mesh.dieAt(0, 0), mesh.dieAt(0, 1),
+                            mesh.dieAt(0, 2), mesh.dieAt(0, 3),
+                            mesh.dieAt(1, 3), mesh.dieAt(1, 2),
+                            mesh.dieAt(1, 1), mesh.dieAt(1, 0)};
+    const RingInfo info = mapper.analyzeRing(ring);
+    EXPECT_TRUE(info.physical_ring);
+    EXPECT_EQ(info.max_hop, 1);
+}
+
+TEST(ChainMapper, OrderAsChainRecoversSnakeOnBlock)
+{
+    MeshTopology mesh(4, 8);
+    ChainMapper mapper(mesh);
+    // A scrambled 2x4 block.
+    std::vector<DieId> dies{mesh.dieAt(1, 2), mesh.dieAt(0, 0),
+                            mesh.dieAt(1, 0), mesh.dieAt(0, 3),
+                            mesh.dieAt(1, 3), mesh.dieAt(0, 1),
+                            mesh.dieAt(1, 1), mesh.dieAt(0, 2)};
+    const auto ordered = mapper.orderAsChain(dies);
+    const ChainInfo info = mapper.analyzeChain(ordered);
+    EXPECT_TRUE(info.contiguous) << "total hops " << info.total_hops;
+}
+
+TEST(ChainMapper, OrderAsChainImprovesScatteredGroups)
+{
+    MeshTopology mesh(4, 8);
+    ChainMapper mapper(mesh);
+    std::vector<DieId> scattered{mesh.dieAt(0, 0), mesh.dieAt(3, 7),
+                                 mesh.dieAt(0, 1), mesh.dieAt(3, 6)};
+    const ChainInfo naive = mapper.analyzeChain(scattered);
+    const ChainInfo opt = mapper.analyzeChain(mapper.orderAsChain(scattered));
+    EXPECT_LT(opt.total_hops, naive.total_hops);
+}
+
+TEST(ChainMapper, PhysicalRingExistence)
+{
+    EXPECT_FALSE(ChainMapper::physicalRingExists(1, 8));
+    EXPECT_TRUE(ChainMapper::physicalRingExists(2, 4));
+    EXPECT_TRUE(ChainMapper::physicalRingExists(4, 8));
+    EXPECT_FALSE(ChainMapper::physicalRingExists(3, 3));  // odd cells
+    EXPECT_TRUE(ChainMapper::physicalRingExists(3, 4));
+}
+
+// ---------------------------------------------------------------------
+// Executor timing.
+// ---------------------------------------------------------------------
+
+class ExecutorTest : public ::testing::Test
+{
+  protected:
+    ExecutorTest() : mesh_(4, 8), mapper_(mesh_), exec_(hw::D2dConfig{}) {}
+
+    ChainInfo
+    contiguousChain(int n)
+    {
+        parallel::ParallelSpec s;
+        s.tatp = n;
+        parallel::GroupLayout layout(mesh_, s);
+        return mapper_.analyzeChain(layout.groups(parallel::Axis::TATP)[0]);
+    }
+
+    MeshTopology mesh_;
+    ChainMapper mapper_;
+    TatpExecutor exec_;
+};
+
+TEST_F(ExecutorTest, ComputeBoundPassHidesCommunication)
+{
+    const ChainInfo chain = contiguousChain(8);
+    // Huge compute per round vs. tiny transfers.
+    const TatpTiming t =
+        exec_.timePass(1e12, 1e6, 8, chain, hw::DieConfig{}.peak_flops);
+    // Only the one-time pipeline fill separates total from compute.
+    EXPECT_NEAR(t.time_s, t.comp_time_s, 0.01 * t.comp_time_s);
+    EXPECT_DOUBLE_EQ(t.exposed_comm_s, 0.0);
+    EXPECT_NEAR(t.overlap_efficiency, 1.0, 0.01);
+}
+
+TEST_F(ExecutorTest, CommBoundPassExposesTransferTime)
+{
+    const ChainInfo chain = contiguousChain(8);
+    const TatpTiming t =
+        exec_.timePass(1e6, 256e6, 8, chain, hw::DieConfig{}.peak_flops);
+    EXPECT_GT(t.exposed_comm_s, 0.0);
+    // Total = per-round transfers plus the one-time fill.
+    EXPECT_GE(t.time_s, t.comm_time_s);
+    EXPECT_LE(t.time_s, 1.2 * t.comm_time_s);
+    EXPECT_LT(t.overlap_efficiency, 0.1);
+}
+
+TEST_F(ExecutorTest, NonContiguousChainAddsTailLatency)
+{
+    MeshTopology mesh(4, 8);
+    ChainMapper mapper(mesh);
+    std::vector<DieId> tetris{mesh.dieAt(0, 0), mesh.dieAt(0, 2),
+                              mesh.dieAt(2, 2), mesh.dieAt(2, 4),
+                              mesh.dieAt(0, 4), mesh.dieAt(0, 6),
+                              mesh.dieAt(2, 6), mesh.dieAt(3, 7)};
+    const ChainInfo bad = mapper.analyzeChain(tetris);
+    ASSERT_FALSE(bad.contiguous);
+    const ChainInfo good = contiguousChain(8);
+
+    const TatpTiming t_bad =
+        exec_.timePass(1e6, 64e6, 8, bad, hw::DieConfig{}.peak_flops);
+    const TatpTiming t_good =
+        exec_.timePass(1e6, 64e6, 8, good, hw::DieConfig{}.peak_flops);
+    EXPECT_GT(t_bad.time_s, t_good.time_s);
+    EXPECT_GT(t_bad.tail_latency_s, 0.0);
+    EXPECT_DOUBLE_EQ(t_good.tail_latency_s, 0.0);
+}
+
+TEST_F(ExecutorTest, NaiveRingWrapDominatesOnChain)
+{
+    // Comm-bound regime: the naive ring on a 1 x 8 chain pays ~7x the
+    // per-round transfer time of the bidirectional orchestration.
+    MeshTopology line(1, 8);
+    ChainMapper mapper(line);
+    std::vector<DieId> dies{0, 1, 2, 3, 4, 5, 6, 7};
+    const RingInfo ring = mapper.analyzeRing(dies);
+    const ChainInfo chain = mapper.analyzeChain(dies);
+
+    const double flops = 1e6;  // negligible compute
+    const TatpTiming naive = exec_.timeNaiveRingPass(
+        flops, 64e6, 8, ring, hw::DieConfig{}.peak_flops);
+    const TatpTiming tatp =
+        exec_.timePass(flops, 64e6, 8, chain, hw::DieConfig{}.peak_flops);
+    // Naive pays the 7-hop wrap store-and-forward every round; the
+    // bidirectional relay streams 1-hop transfers (latency pipelined).
+    EXPECT_GT(naive.time_s / tatp.time_s, 5.5);
+    EXPECT_LT(naive.time_s / tatp.time_s, 8.0);
+}
+
+TEST_F(ExecutorTest, SmallMessagesLoseBandwidthEfficiency)
+{
+    // Sec. III-B: D2D links need tens-of-MB transfers for peak
+    // efficiency; over-fragmented streams fall off the bandwidth curve.
+    const double big = 64e6;
+    const double small = 1e6;
+    const double t_big = exec_.hopTransferTime(big, 1);
+    const double t_small = exec_.hopTransferTime(small, 1);
+    // Per-byte cost of the small message is several times worse than
+    // the big one's: fragmentation wastes link efficiency.
+    EXPECT_GT((t_small / small) / (t_big / big), 5.0);
+}
+
+TEST_F(ExecutorTest, StreamFlowsMatchOrchestratorSchedule)
+{
+    parallel::ParallelSpec s;
+    s.tatp = 4;
+    s.dp = 2;
+    parallel::GroupLayout layout(mesh_, s);
+    net::Router router(mesh_);
+
+    parallel::TatpStream stream;
+    stream.active = true;
+    stream.degree = 4;
+    stream.bytes_per_round = 1e6;
+
+    std::vector<ChainInfo> chains;
+    for (const auto &group : layout.groups(parallel::Axis::TATP))
+        chains.push_back(mapper_.analyzeChain(group));
+
+    const net::CommSchedule sched =
+        exec_.streamFlows(stream, chains, router, false);
+    ASSERT_EQ(sched.rounds.size(), 4u);
+    // Each flow is 1 hop (contiguous chains from the layout).
+    for (const auto &round : sched.rounds)
+        for (const net::Flow &f : round)
+            EXPECT_EQ(f.route.hops(), 1);
+    // Backward doubles per-round bytes.
+    const net::CommSchedule bwd =
+        exec_.streamFlows(stream, chains, router, true);
+    EXPECT_DOUBLE_EQ(bwd.rounds[0][0].bytes,
+                     2.0 * sched.rounds[0][0].bytes);
+}
+
+TEST_F(ExecutorTest, LinkBytesScaleQuadratically)
+{
+    // Relay waves move N(N-1) sub-tensors across the fabric.
+    const ChainInfo c4 = contiguousChain(4);
+    const ChainInfo c8 = contiguousChain(8);
+    const TatpTiming t4 = exec_.timePass(1e9, 1e6, 4, c4, 1e15);
+    const TatpTiming t8 = exec_.timePass(1e9, 1e6, 8, c8, 1e15);
+    EXPECT_NEAR(t4.link_bytes, 1e6 * 4 * 3, 1.0);
+    EXPECT_NEAR(t8.link_bytes, 1e6 * 8 * 7, 1.0);
+}
+
+}  // namespace
+}  // namespace temp::tatp

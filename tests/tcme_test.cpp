@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Unit tests for TCME: the traffic-conscious communication optimizer
+ * (Fig. 11) and the mapping-engine policies.
+ */
+#include <gtest/gtest.h>
+
+#include "hw/topology.hpp"
+#include "net/collective.hpp"
+#include "net/contention.hpp"
+#include "net/route.hpp"
+#include "tcme/mapping_policy.hpp"
+#include "tcme/optimizer.hpp"
+
+namespace temp::tcme {
+namespace {
+
+using hw::DieId;
+using hw::MeshTopology;
+using net::Flow;
+using parallel::Axis;
+
+Flow
+makeFlow(const net::Router &router, DieId src, DieId dst, double bytes,
+         int tag = 0)
+{
+    Flow f;
+    f.src = src;
+    f.dst = dst;
+    f.bytes = bytes;
+    f.route = router.route(src, dst);
+    f.tag = tag;
+    return f;
+}
+
+TEST(Optimizer, ReroutesContendingFlowsOntoIdleLinks)
+{
+    // The Fig. 5(b) scenario on a 2 x 4 mesh: two flows forced through
+    // link 1->2 by XY routing while the second row sits idle.
+    MeshTopology mesh(2, 4);
+    net::Router router(mesh);
+    TrafficOptimizer opt(router);
+
+    std::vector<Flow> flows;
+    flows.push_back(makeFlow(router, mesh.dieAt(0, 0), mesh.dieAt(0, 2),
+                             1e9, 1));
+    flows.push_back(makeFlow(router, mesh.dieAt(0, 1), mesh.dieAt(0, 3),
+                             1e9, 2));
+
+    const OptimizationStats stats = opt.optimizePhase(flows);
+    EXPECT_DOUBLE_EQ(stats.initial_max_load, 2e9);
+    EXPECT_LT(stats.final_max_load, 2e9);
+    EXPECT_GE(stats.reroutes, 1);
+    EXPECT_GE(stats.improvement(), 1.9);
+
+    // Verify with the contention model: the optimized phase is faster.
+    net::ContentionModel model(mesh, 4e12, 0.0);
+    EXPECT_NEAR(model.evaluate(flows).time_s, 1e9 / 4e12, 1e-9);
+}
+
+TEST(Optimizer, MergesDuplicatePayloadsIntoMulticast)
+{
+    // One source sends the same payload to three dies down a line; the
+    // unicasts pile 3x the load on the first link. Merging folds them
+    // into a tree with one copy per link.
+    MeshTopology mesh(1, 4);
+    net::Router router(mesh);
+    TrafficOptimizer opt(router);
+
+    std::vector<Flow> flows;
+    for (DieId dst : {1, 2, 3})
+        flows.push_back(makeFlow(router, 0, dst, 1e9, 7));
+
+    const OptimizationStats stats = opt.optimizePhase(flows);
+    EXPECT_GE(stats.merges, 1);
+    EXPECT_DOUBLE_EQ(stats.initial_max_load, 3e9);
+    EXPECT_DOUBLE_EQ(stats.final_max_load, 1e9);
+    // Tree has 3 links, each carrying the payload once.
+    EXPECT_EQ(flows.size(), 3u);
+    for (const Flow &f : flows)
+        EXPECT_EQ(f.route.hops(), 1);
+}
+
+TEST(Optimizer, LeavesContentionFreePhasesAlone)
+{
+    MeshTopology mesh(2, 4);
+    net::Router router(mesh);
+    TrafficOptimizer opt(router);
+    std::vector<Flow> flows;
+    flows.push_back(makeFlow(router, mesh.dieAt(0, 0), mesh.dieAt(0, 1),
+                             1e9, 1));
+    flows.push_back(makeFlow(router, mesh.dieAt(1, 0), mesh.dieAt(1, 1),
+                             1e9, 2));
+    const OptimizationStats stats = opt.optimizePhase(flows);
+    EXPECT_EQ(stats.reroutes, 0);
+    EXPECT_DOUBLE_EQ(stats.final_max_load, stats.initial_max_load);
+}
+
+TEST(Optimizer, RespectsDisabledFeatures)
+{
+    MeshTopology mesh(1, 4);
+    net::Router router(mesh);
+    TrafficOptimizer::Config config;
+    config.enable_merging = false;
+    config.enable_rerouting = false;
+    TrafficOptimizer opt(router, config);
+
+    std::vector<Flow> flows;
+    for (DieId dst : {1, 2, 3})
+        flows.push_back(makeFlow(router, 0, dst, 1e9, 7));
+    const OptimizationStats stats = opt.optimizePhase(flows);
+    EXPECT_EQ(stats.merges, 0);
+    EXPECT_EQ(stats.reroutes, 0);
+    EXPECT_DOUBLE_EQ(stats.final_max_load, stats.initial_max_load);
+}
+
+TEST(Optimizer, OptimizesWholeSchedules)
+{
+    MeshTopology mesh(2, 4);
+    net::Router router(mesh);
+    TrafficOptimizer opt(router);
+    net::CommSchedule sched;
+    sched.rounds.resize(2);
+    for (int r = 0; r < 2; ++r) {
+        sched.rounds[r].push_back(
+            makeFlow(router, mesh.dieAt(0, 0), mesh.dieAt(0, 2), 1e9, 1));
+        sched.rounds[r].push_back(
+            makeFlow(router, mesh.dieAt(0, 1), mesh.dieAt(0, 3), 1e9, 2));
+    }
+    const OptimizationStats stats = opt.optimize(sched);
+    EXPECT_EQ(stats.phases, 2);
+    EXPECT_LT(stats.final_max_load, stats.initial_max_load);
+}
+
+TEST(Optimizer, EmptyPhaseIsNoop)
+{
+    MeshTopology mesh(2, 2);
+    net::Router router(mesh);
+    TrafficOptimizer opt(router);
+    std::vector<Flow> flows;
+    const OptimizationStats stats = opt.optimizePhase(flows);
+    EXPECT_DOUBLE_EQ(stats.initial_max_load, 0.0);
+    EXPECT_EQ(stats.iterations, 0);
+}
+
+TEST(Policy, SMapOrderIsFixed)
+{
+    const auto order = MappingPolicy::smapOrder();
+    ASSERT_EQ(order.size(), static_cast<std::size_t>(Axis::Count));
+    EXPECT_EQ(order.front(), Axis::DP);
+    EXPECT_EQ(order.back(), Axis::TATP);
+}
+
+TEST(Policy, GMapOrdersByVolume)
+{
+    AxisVolumes volumes{};
+    volumes[static_cast<std::size_t>(Axis::TP)] = 100.0;
+    volumes[static_cast<std::size_t>(Axis::DP)] = 10.0;
+    const auto order = MappingPolicy::gmapOrder(volumes);
+    EXPECT_EQ(order.front(), Axis::TP);
+}
+
+TEST(Policy, TcmePinsTatpInnermost)
+{
+    AxisVolumes volumes{};
+    volumes[static_cast<std::size_t>(Axis::TP)] = 1e12;
+    volumes[static_cast<std::size_t>(Axis::TATP)] = 1.0;
+    const auto order = MappingPolicy::tcmeOrder(volumes);
+    EXPECT_EQ(order.front(), Axis::TATP);
+    EXPECT_EQ(order[1], Axis::TP);
+    ASSERT_EQ(order.size(), static_cast<std::size_t>(Axis::Count));
+}
+
+TEST(Policy, ContentionOptOnlyForTcme)
+{
+    EXPECT_TRUE(MappingPolicy{MappingEngineKind::TCME}
+                    .contentionOptimization());
+    EXPECT_FALSE(MappingPolicy{MappingEngineKind::SMap}
+                     .contentionOptimization());
+    EXPECT_FALSE(MappingPolicy{MappingEngineKind::GMap}
+                     .contentionOptimization());
+}
+
+TEST(Policy, EngineNames)
+{
+    EXPECT_STREQ(mappingEngineName(MappingEngineKind::SMap), "SMap");
+    EXPECT_STREQ(mappingEngineName(MappingEngineKind::TCME), "TCME");
+}
+
+}  // namespace
+}  // namespace temp::tcme
