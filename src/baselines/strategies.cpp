@@ -20,8 +20,9 @@ baselineName(BaselineKind kind)
     return "?";
 }
 
-BaselineGenerator::BaselineGenerator(const sim::TrainingSimulator &simulator)
-    : sim_(simulator)
+BaselineGenerator::BaselineGenerator(const sim::TrainingSimulator &simulator,
+                                     ThreadPool *pool)
+    : sim_(simulator), pool_(pool)
 {
 }
 
@@ -73,13 +74,27 @@ BaselineGenerator::tune(BaselineKind kind,
         fatal("BaselineGenerator: empty family for %s",
               baselineName(kind));
 
+    // Simulate the whole family up front — in parallel when a pool is
+    // available (the simulator is thread-safe) — then select serially
+    // in family order so the chosen config never depends on timing.
+    std::vector<sim::PerfReport> reports(family.size());
+    auto simulate_one = [&](std::size_t k) {
+        reports[k] = sim_.simulate(graph, family[k]);
+    };
+    if (pool_ != nullptr)
+        pool_->parallelFor(family.size(), simulate_one);
+    else
+        for (std::size_t k = 0; k < family.size(); ++k)
+            simulate_one(k);
+
     TunedBaseline best;
     bool have_fit = false;
     double best_time = std::numeric_limits<double>::infinity();
     double best_mem = std::numeric_limits<double>::infinity();
 
-    for (const ParallelSpec &spec : family) {
-        const sim::PerfReport report = sim_.simulate(graph, spec);
+    for (std::size_t k = 0; k < family.size(); ++k) {
+        const ParallelSpec &spec = family[k];
+        const sim::PerfReport &report = reports[k];
         if (!report.feasible)
             continue;
         if (!report.oom) {

@@ -14,6 +14,7 @@
  */
 #pragma once
 
+#include "common/thread_pool.hpp"
 #include "sim/trainer_sim.hpp"
 #include "solver/strategy_space.hpp"
 
@@ -44,7 +45,14 @@ struct TunedBaseline
 class BaselineGenerator
 {
   public:
-    explicit BaselineGenerator(const sim::TrainingSimulator &simulator);
+    /**
+     * @param pool Optional pool: the tuning sweep simulates the whole
+     *        configuration family in parallel (selection stays serial
+     *        in family order, so the result is thread-count
+     *        independent).
+     */
+    explicit BaselineGenerator(const sim::TrainingSimulator &simulator,
+                               ThreadPool *pool = nullptr);
 
     /// The configuration family a baseline scheme may choose from.
     std::vector<parallel::ParallelSpec> candidateFamily(
@@ -60,6 +68,7 @@ class BaselineGenerator
 
   private:
     const sim::TrainingSimulator &sim_;
+    ThreadPool *pool_;
 };
 
 }  // namespace temp::baselines

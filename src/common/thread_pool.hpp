@@ -1,0 +1,160 @@
+/**
+ * @file
+ * A minimal fixed-size thread pool for data-parallel loops.
+ *
+ * Deliberately work-stealing-free: jobs are index ranges handed out from
+ * a single atomic cursor, which keeps the implementation small and the
+ * result placement deterministic (task i always writes slot i; the
+ * *execution* order is unspecified but no output ever depends on it).
+ * The calling thread participates in the loop, so a pool of size 1 runs
+ * everything inline and a pool is never slower than the serial loop by
+ * more than the dispatch overhead.
+ */
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace temp {
+
+/// Fixed-size pool executing parallelFor loops; one job at a time.
+class ThreadPool
+{
+  public:
+    /// @param threads Total worker count including the calling thread;
+    ///        0 means hardware concurrency.
+    explicit ThreadPool(int threads = 0)
+    {
+        if (threads <= 0) {
+            threads =
+                static_cast<int>(std::thread::hardware_concurrency());
+            if (threads <= 0)
+                threads = 1;
+        }
+        thread_count_ = threads;
+        workers_.reserve(static_cast<std::size_t>(threads - 1));
+        for (int i = 0; i < threads - 1; ++i)
+            workers_.emplace_back([this] { workerLoop(); });
+    }
+
+    ~ThreadPool()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            stop_ = true;
+        }
+        cv_.notify_all();
+        for (std::thread &worker : workers_)
+            worker.join();
+    }
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /// Total threads the pool runs loops on (workers + caller).
+    int threadCount() const { return thread_count_; }
+
+    /**
+     * Runs fn(0) .. fn(n-1) across the pool and blocks until all
+     * complete. Concurrent calls from different threads serialise.
+     * The first exception thrown by any iteration is rethrown here.
+     */
+    void
+    parallelFor(std::size_t n, const std::function<void(std::size_t)> &fn)
+    {
+        if (n == 0)
+            return;
+        if (workers_.empty() || n == 1) {
+            for (std::size_t i = 0; i < n; ++i)
+                fn(i);
+            return;
+        }
+        std::lock_guard<std::mutex> serial(job_mutex_);
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            job_fn_ = &fn;
+            job_n_ = n;
+            next_ = 0;
+            in_flight_ = 0;
+            error_ = nullptr;
+        }
+        cv_.notify_all();
+        runShare();
+        std::unique_lock<std::mutex> lock(mutex_);
+        done_cv_.wait(lock,
+                      [this] { return next_ >= job_n_ && in_flight_ == 0; });
+        job_fn_ = nullptr;
+        if (error_) {
+            std::exception_ptr error = error_;
+            error_ = nullptr;
+            lock.unlock();
+            std::rethrow_exception(error);
+        }
+    }
+
+  private:
+    /// Claims and runs loop iterations until the current job drains.
+    void
+    runShare()
+    {
+        for (;;) {
+            std::size_t index;
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                if (job_fn_ == nullptr || next_ >= job_n_)
+                    return;
+                index = next_++;
+                ++in_flight_;
+            }
+            try {
+                (*job_fn_)(index);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(mutex_);
+                if (!error_)
+                    error_ = std::current_exception();
+            }
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                if (--in_flight_ == 0 && next_ >= job_n_)
+                    done_cv_.notify_all();
+            }
+        }
+    }
+
+    void
+    workerLoop()
+    {
+        for (;;) {
+            {
+                std::unique_lock<std::mutex> lock(mutex_);
+                cv_.wait(lock, [this] {
+                    return stop_ ||
+                           (job_fn_ != nullptr && next_ < job_n_);
+                });
+                if (stop_)
+                    return;
+            }
+            runShare();
+        }
+    }
+
+    int thread_count_ = 1;
+    std::vector<std::thread> workers_;
+    std::mutex job_mutex_;  ///< serialises concurrent parallelFor calls
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    std::condition_variable done_cv_;
+    const std::function<void(std::size_t)> *job_fn_ = nullptr;
+    std::size_t job_n_ = 0;
+    std::size_t next_ = 0;
+    std::size_t in_flight_ = 0;
+    std::exception_ptr error_;
+    bool stop_ = false;
+};
+
+}  // namespace temp

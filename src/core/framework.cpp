@@ -7,7 +7,11 @@ TempFramework::TempFramework(hw::WaferConfig wafer_config,
     : options_(options),
       wafer_(std::make_unique<hw::Wafer>(wafer_config)),
       sim_(std::make_unique<sim::TrainingSimulator>(*wafer_, options.policy,
-                                                    options.training))
+                                                    options.training)),
+      pool_(std::make_unique<ThreadPool>(options.eval_threads)),
+      exact_(std::make_unique<eval::ExactEvaluator>(
+          sim_->costModel(), pool_.get(), /*memoize_breakdowns=*/false)),
+      evaluator_(std::make_unique<eval::CachingEvaluator>(*exact_))
 {
 }
 
@@ -15,7 +19,7 @@ solver::SolverResult
 TempFramework::optimize(const model::ModelConfig &model) const
 {
     const model::ComputeGraph graph = model::ComputeGraph::transformer(model);
-    solver::DlsSolver solver(*sim_, options_.solver);
+    solver::DlsSolver solver(*sim_, options_.solver, evaluator_.get());
     return solver.solve(graph);
 }
 
@@ -27,10 +31,17 @@ TempFramework::optimizeWithFaults(const model::ModelConfig &model,
     hw::Wafer degraded(wafer_->config(), faults);
     // Steps 2-3: re-balance partitioning and re-route communication by
     // re-running the derate-/fault-aware pipeline on the degraded wafer.
+    // The degraded wafer has its own cost model, so the shared healthy
+    // evaluator cannot serve it; a solve-local evaluator (sharing the
+    // framework pool) keeps the caching + parallel fill.
     sim::TrainingSimulator degraded_sim(degraded, options_.policy,
                                         options_.training);
+    eval::ExactEvaluator degraded_exact(degraded_sim.costModel(),
+                                        pool_.get(),
+                                        /*memoize_breakdowns=*/false);
+    eval::CachingEvaluator degraded_eval(degraded_exact);
     const model::ComputeGraph graph = model::ComputeGraph::transformer(model);
-    solver::DlsSolver solver(degraded_sim, options_.solver);
+    solver::DlsSolver solver(degraded_sim, options_.solver, &degraded_eval);
     return solver.solve(graph);
 }
 
@@ -44,7 +55,7 @@ TempFramework::evaluateBaseline(baselines::BaselineKind kind,
         opts.zero1_optimizer = false;  // predates the distributed optimizer
     sim::TrainingSimulator engine_sim(*wafer_, tcme::MappingPolicy{engine},
                                       opts);
-    baselines::BaselineGenerator generator(engine_sim);
+    baselines::BaselineGenerator generator(engine_sim, pool_.get());
     const model::ComputeGraph graph = model::ComputeGraph::transformer(model);
     return generator.tune(kind, graph);
 }

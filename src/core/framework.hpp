@@ -17,6 +17,8 @@
 #include <memory>
 
 #include "baselines/strategies.hpp"
+#include "common/thread_pool.hpp"
+#include "eval/cost_evaluator.hpp"
 #include "sim/multi_wafer.hpp"
 #include "sim/trainer_sim.hpp"
 #include "solver/dls_solver.hpp"
@@ -29,6 +31,9 @@ struct FrameworkOptions
     tcme::MappingPolicy policy{tcme::MappingEngineKind::TCME};
     parallel::TrainingOptions training;
     solver::SolverConfig solver;
+    /// Threads for cost evaluation and baseline tuning sweeps
+    /// (0 = hardware concurrency). Results are thread-count invariant.
+    int eval_threads = 0;
 };
 
 /// The end-to-end TEMP system.
@@ -68,10 +73,25 @@ class TempFramework
     const sim::TrainingSimulator &simulator() const { return *sim_; }
     const FrameworkOptions &options() const { return options_; }
 
+    /**
+     * The framework-owned evaluation backend: a caching evaluator over
+     * the simulator's cost model, shared by every optimize() call so
+     * DP, GA seeding and repeat optimisations of the same model never
+     * re-measure a matrix cell. SolverResult's matrix_measurements /
+     * cache_hits report its per-solve deltas.
+     */
+    eval::CostEvaluator &evaluator() const { return *evaluator_; }
+
+    /// Cumulative evaluator counters since construction.
+    eval::EvalStats evaluatorStats() const { return evaluator_->stats(); }
+
   private:
     FrameworkOptions options_;
     std::unique_ptr<hw::Wafer> wafer_;
     std::unique_ptr<sim::TrainingSimulator> sim_;
+    std::unique_ptr<ThreadPool> pool_;
+    std::unique_ptr<eval::ExactEvaluator> exact_;
+    std::unique_ptr<eval::CachingEvaluator> evaluator_;
 };
 
 }  // namespace temp::core

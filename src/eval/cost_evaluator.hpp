@@ -1,0 +1,208 @@
+/**
+ * @file
+ * The unified cost-evaluation layer.
+ *
+ * Every search phase of the Dual-Level Wafer Solver — the DP matrix
+ * fill, GA fitness, the exhaustive baseline and the surrogate's sampled
+ * cells — reduces to the same primitive: (operator, strategy) ->
+ * OpCostBreakdown. This layer owns that primitive so callers stop
+ * hand-rolling buildLayout + opCost loops:
+ *
+ *  - ExactEvaluator wraps WaferCostModel and memoizes both GroupLayout
+ *    construction (per spec) and breakdowns (per op/spec/include_step)
+ *    behind hash-keyed caches; evaluateBatch fans the misses out over a
+ *    ThreadPool with deterministic result placement.
+ *  - CachingEvaluator is a decorator adding the same memo over *any*
+ *    backend, so one cache can be shared across solver phases (DP, GA,
+ *    final simulation) and future backends (learned cost models, remote
+ *    evaluation) plug in under it.
+ *  - SurrogateEvaluator (surrogate_evaluator.hpp) measures a sampled
+ *    subset through an underlying evaluator and predicts the rest.
+ *
+ * Caches key on a content fingerprint of the graph (not its address),
+ * so one evaluator safely serves many graphs/models.
+ */
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "cost/cost_model.hpp"
+
+namespace temp::eval {
+
+/// One (operator, strategy) evaluation request.
+struct EvalRequest
+{
+    int op_id = 0;
+    parallel::ParallelSpec spec;
+    /// Include per-step gradient-sync collectives (the additive matrix
+    /// wants them; the simulator merges them across the layer instead).
+    bool include_step = true;
+};
+
+/// Evaluation-layer counters. Honest accounting: a breakdown is
+/// *measured* exactly once; every further request for it is a cache hit.
+struct EvalStats
+{
+    long measurements = 0;   ///< unique breakdowns computed
+    long cache_hits = 0;     ///< requests served from the memo
+    long layouts_built = 0;  ///< unique GroupLayout constructions
+    long layout_hits = 0;    ///< layout lookups served from the memo
+
+    EvalStats operator-(const EvalStats &other) const
+    {
+        return {measurements - other.measurements,
+                cache_hits - other.cache_hits,
+                layouts_built - other.layouts_built,
+                layout_hits - other.layout_hits};
+    }
+};
+
+/// Content fingerprint of a graph for cache keys (FNV-1a over the model
+/// configuration and graph shape).
+std::uint64_t graphFingerprint(const model::ComputeGraph &graph);
+
+/// Cache key of one request under a graph fingerprint.
+std::string evalKey(std::uint64_t graph_fp, const EvalRequest &request);
+
+/// Cache key of one spec's layout under a graph fingerprint.
+std::string layoutKey(std::uint64_t graph_fp,
+                      const parallel::ParallelSpec &spec);
+
+/**
+ * Thread-safe memo of (graph, spec) -> GroupLayout for one cost model.
+ * Shared by the evaluators and the training simulator so a layout is
+ * built once per solve instead of once per phase (the GA alone calls
+ * the simulator hundreds of times with recurring specs).
+ */
+class LayoutCache
+{
+  public:
+    explicit LayoutCache(const cost::WaferCostModel &model);
+
+    /// Returns the (possibly cached) layout of a spec for a graph.
+    std::shared_ptr<const parallel::GroupLayout> layoutFor(
+        const model::ComputeGraph &graph,
+        const parallel::ParallelSpec &spec);
+
+    long builds() const { return builds_.load(); }
+    long hits() const { return hits_.load(); }
+
+    const cost::WaferCostModel &costModel() const { return model_; }
+
+  private:
+    const cost::WaferCostModel &model_;
+    std::mutex mutex_;
+    std::unordered_map<std::string,
+                       std::shared_ptr<const parallel::GroupLayout>>
+        cache_;
+    std::atomic<long> builds_{0};
+    std::atomic<long> hits_{0};
+};
+
+/// The evaluation interface every backend implements.
+class CostEvaluator
+{
+  public:
+    virtual ~CostEvaluator() = default;
+
+    /// Evaluates one request.
+    virtual cost::OpCostBreakdown evaluate(const model::ComputeGraph &graph,
+                                           const EvalRequest &request) = 0;
+
+    /**
+     * Evaluates a batch; result[i] always corresponds to requests[i]
+     * regardless of thread count (deterministic ordering — cells are
+     * independent, so values are bit-exact across pool sizes). The
+     * default implementation is the serial loop.
+     */
+    virtual std::vector<cost::OpCostBreakdown> evaluateBatch(
+        const model::ComputeGraph &graph,
+        const std::vector<EvalRequest> &requests);
+
+    /// Cumulative counters (zero for stateless backends).
+    virtual EvalStats stats() const { return {}; }
+};
+
+/**
+ * The exact backend: WaferCostModel with memoized layouts and
+ * breakdowns, parallel batch evaluation over an optional ThreadPool.
+ */
+class ExactEvaluator : public CostEvaluator
+{
+  public:
+    /**
+     * @param model The wafer cost model to wrap.
+     * @param pool Optional pool for evaluateBatch (nullptr = serial).
+     * @param memoize_breakdowns Disable when an outer CachingEvaluator
+     *        already memoizes, so hits are counted exactly once.
+     */
+    explicit ExactEvaluator(const cost::WaferCostModel &model,
+                            ThreadPool *pool = nullptr,
+                            bool memoize_breakdowns = true);
+
+    cost::OpCostBreakdown evaluate(const model::ComputeGraph &graph,
+                                   const EvalRequest &request) override;
+
+    std::vector<cost::OpCostBreakdown> evaluateBatch(
+        const model::ComputeGraph &graph,
+        const std::vector<EvalRequest> &requests) override;
+
+    EvalStats stats() const override;
+
+    LayoutCache &layoutCache() { return layouts_; }
+    const cost::WaferCostModel &costModel() const { return model_; }
+
+  private:
+    /// Computes one breakdown (no breakdown-memo interaction).
+    cost::OpCostBreakdown compute(const model::ComputeGraph &graph,
+                                  const EvalRequest &request);
+
+    const cost::WaferCostModel &model_;
+    ThreadPool *pool_;
+    bool memoize_;
+    LayoutCache layouts_;
+    std::mutex mutex_;
+    std::unordered_map<std::string, cost::OpCostBreakdown> cache_;
+    std::atomic<long> measurements_{0};
+    std::atomic<long> cache_hits_{0};
+};
+
+/**
+ * Memoizing decorator over any backend. The framework shares one
+ * instance across all solver phases so the DP matrix, GA fitness
+ * costing and the final simulation never re-measure a cell.
+ */
+class CachingEvaluator : public CostEvaluator
+{
+  public:
+    explicit CachingEvaluator(CostEvaluator &inner);
+
+    cost::OpCostBreakdown evaluate(const model::ComputeGraph &graph,
+                                   const EvalRequest &request) override;
+
+    std::vector<cost::OpCostBreakdown> evaluateBatch(
+        const model::ComputeGraph &graph,
+        const std::vector<EvalRequest> &requests) override;
+
+    /// Own hit/measure counters plus the inner backend's layout
+    /// counters.
+    EvalStats stats() const override;
+
+    CostEvaluator &inner() { return inner_; }
+
+  private:
+    CostEvaluator &inner_;
+    std::mutex mutex_;
+    std::unordered_map<std::string, cost::OpCostBreakdown> cache_;
+    std::atomic<long> measurements_{0};
+    std::atomic<long> cache_hits_{0};
+};
+
+}  // namespace temp::eval

@@ -1,0 +1,195 @@
+#include "eval/surrogate_evaluator.hpp"
+
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "common/logging.hpp"
+
+namespace temp::eval {
+
+using parallel::ParallelSpec;
+
+OpCostSurrogate::OpCostSurrogate(std::uint64_t seed) : dnn_(seed)
+{
+    dnn_.epochs = epochs;
+}
+
+std::vector<double>
+OpCostSurrogate::features(const model::Operator &op,
+                          const ParallelSpec &spec)
+{
+    auto lg = [](double v) { return std::log2(std::max(1.0, v)); };
+    return {
+        lg(op.b),
+        lg(op.m),
+        lg(op.n),
+        lg(op.k),
+        op.isGemm() ? 1.0 : 0.0,
+        op.has_weight ? 1.0 : 0.0,
+        static_cast<double>(static_cast<int>(op.tp_role)),
+        lg(spec.dp),
+        lg(spec.fsdp),
+        lg(spec.tp),
+        lg(spec.sp),
+        lg(spec.cp),
+        lg(spec.tatp),
+        lg(spec.totalDegree()),
+        lg(op.forwardFlops() / spec.totalDegree()),
+    };
+}
+
+void
+OpCostSurrogate::fit(const std::vector<cost::CostSample> &samples)
+{
+    dnn_.epochs = epochs;
+    dnn_.fit(samples);
+}
+
+double
+OpCostSurrogate::predict(const model::Operator &op,
+                         const ParallelSpec &spec) const
+{
+    return dnn_.predict(features(op, spec));
+}
+
+cost::FidelityReport
+OpCostSurrogate::validate(const std::vector<cost::CostSample> &samples) const
+{
+    return cost::evaluatePredictor(dnn_, samples);
+}
+
+// ---------------------------------------------------------------------
+// SurrogateEvaluator
+// ---------------------------------------------------------------------
+
+SurrogateEvaluator::SurrogateEvaluator(CostEvaluator &exact,
+                                       double sample_fraction)
+    : exact_(exact), sample_fraction_(sample_fraction)
+{
+}
+
+SurrogateEvaluator::MatrixFill
+SurrogateEvaluator::fillMatrix(const model::ComputeGraph &graph,
+                               const std::vector<ParallelSpec> &candidates,
+                               Rng &rng)
+{
+    const int n_ops = graph.opCount();
+    const int n_cand = static_cast<int>(candidates.size());
+    const double inf = std::numeric_limits<double>::infinity();
+
+    MatrixFill fill;
+    fill.cost.assign(n_ops, std::vector<double>(n_cand, 0.0));
+
+    // Sampling decisions are drawn sequentially in row-major order
+    // *before* any measurement, so the rng stream (and therefore the
+    // sampled set) is identical for every thread count.
+    std::vector<EvalRequest> sampled;
+    std::vector<std::pair<int, int>> sampled_cells;
+    std::vector<std::pair<int, int>> pending;
+    for (int i = 0; i < n_ops; ++i) {
+        for (int s = 0; s < n_cand; ++s) {
+            const bool measure =
+                i == 0 || rng.bernoulli(sample_fraction_);
+            if (measure) {
+                sampled.push_back({i, candidates[s], true});
+                sampled_cells.emplace_back(i, s);
+            } else {
+                pending.emplace_back(i, s);
+            }
+        }
+    }
+
+    const std::vector<cost::OpCostBreakdown> measured =
+        exact_.evaluateBatch(graph, sampled);
+    fill.sampled = static_cast<long>(sampled.size());
+
+    std::vector<cost::CostSample> train;
+    for (std::size_t k = 0; k < sampled_cells.size(); ++k) {
+        const auto [i, s] = sampled_cells[k];
+        const double exact =
+            measured[k].feasible ? measured[k].total() : inf;
+        fill.cost[i][s] = exact;
+        if (std::isfinite(exact)) {
+            cost::CostSample sample;
+            sample.features =
+                OpCostSurrogate::features(graph.op(i), candidates[s]);
+            sample.latency_s = exact;
+            train.push_back(std::move(sample));
+        }
+    }
+    if (train.empty())
+        fatal("SurrogateEvaluator: no finite training samples");
+
+    surrogate_.fit(train);
+    fitted_ = true;
+
+    // The MLP can only ever predict finite costs, so infeasibility must
+    // come from measurement: a candidate with any measured-infeasible
+    // cell (faults partition its routes) is suspect, and its remaining
+    // cells are measured exactly instead of predicted. Degenerate
+    // predictions (non-finite / non-positive) fall back the same way.
+    std::vector<bool> column_suspect(n_cand, false);
+    const std::uint64_t graph_fp = graphFingerprint(graph);
+    for (const auto &[i, s] : sampled_cells) {
+        if (std::isinf(fill.cost[i][s])) {
+            column_suspect[s] = true;
+            suspect_specs_.insert(layoutKey(graph_fp, candidates[s]));
+        }
+    }
+
+    std::vector<std::pair<int, int>> fallback_cells;
+    for (const auto &[i, s] : pending) {
+        if (column_suspect[s]) {
+            fallback_cells.emplace_back(i, s);
+            continue;
+        }
+        const double predicted =
+            surrogate_.predict(graph.op(i), candidates[s]);
+        if (std::isfinite(predicted) && predicted > 0.0) {
+            fill.cost[i][s] = predicted;
+            ++fill.predicted;
+        } else {
+            fallback_cells.emplace_back(i, s);
+        }
+    }
+
+    if (!fallback_cells.empty()) {
+        std::vector<EvalRequest> requests;
+        requests.reserve(fallback_cells.size());
+        for (const auto &[i, s] : fallback_cells)
+            requests.push_back({i, candidates[s], true});
+        const std::vector<cost::OpCostBreakdown> exact =
+            exact_.evaluateBatch(graph, requests);
+        for (std::size_t k = 0; k < fallback_cells.size(); ++k) {
+            const auto [i, s] = fallback_cells[k];
+            fill.cost[i][s] =
+                exact[k].feasible ? exact[k].total() : inf;
+        }
+        fill.exact_fallbacks +=
+            static_cast<long>(fallback_cells.size());
+    }
+    return fill;
+}
+
+cost::OpCostBreakdown
+SurrogateEvaluator::evaluate(const model::ComputeGraph &graph,
+                             const EvalRequest &request)
+{
+    // Suspect strategies must never receive a fabricated feasible
+    // breakdown — the MLP can only predict finite costs.
+    if (!fitted_ ||
+        suspect_specs_.count(
+            layoutKey(graphFingerprint(graph), request.spec)) > 0) {
+        return exact_.evaluate(graph, request);
+    }
+    const double predicted =
+        surrogate_.predict(graph.op(request.op_id), request.spec);
+    if (!std::isfinite(predicted) || predicted <= 0.0)
+        return exact_.evaluate(graph, request);
+    cost::OpCostBreakdown breakdown;
+    breakdown.fwd_time = predicted;
+    return breakdown;
+}
+
+}  // namespace temp::eval

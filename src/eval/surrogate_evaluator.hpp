@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Surrogate-accelerated cost evaluation (Sec. VII-A + VIII-G).
+ *
+ * The paper trains a DNN on simulator samples and drives the DLS search
+ * with surrogate lookups ("100-1000x more efficient than
+ * simulation-based approaches"). OpCostSurrogate featurises an
+ * (operator, strategy) pair and fits the MLP; SurrogateEvaluator plugs
+ * that into the CostEvaluator layer: a sampled subset of the cost
+ * matrix is measured through an underlying (usually caching) evaluator,
+ * the surrogate is fitted on those cells, and the rest are predicted —
+ * with exact fallback where prediction cannot apply (infeasible
+ * strategies, degenerate predictions).
+ */
+#pragma once
+
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "cost/surrogate.hpp"
+#include "eval/cost_evaluator.hpp"
+
+namespace temp::eval {
+
+/// Learns the per-(operator, strategy) cost surface from samples.
+class OpCostSurrogate
+{
+  public:
+    explicit OpCostSurrogate(std::uint64_t seed = 29);
+
+    /**
+     * Feature vector of one (operator, strategy) pair: log-scale
+     * operator dimensions, operator class, and the log-degrees of every
+     * parallel axis (the quantities the analytic cost is built from).
+     */
+    static std::vector<double> features(const model::Operator &op,
+                                        const parallel::ParallelSpec &spec);
+
+    /// Fits the MLP on measured (features -> cost seconds) samples.
+    void fit(const std::vector<cost::CostSample> &samples);
+
+    /// Predicted cost of one pair; fit() must have run.
+    double predict(const model::Operator &op,
+                   const parallel::ParallelSpec &spec) const;
+
+    /// Fidelity of the fitted surrogate on held-out samples.
+    cost::FidelityReport validate(
+        const std::vector<cost::CostSample> &samples) const;
+
+    /// Training epochs (smaller = faster fit; default tuned for the
+    /// in-search use where the dataset is a few hundred cells).
+    int epochs = 800;
+
+  private:
+    cost::DnnCostModel dnn_;
+};
+
+/**
+ * The surrogate backend of the evaluation layer. fillMatrix() is the
+ * batch entry the solver uses; evaluate() serves ad-hoc requests with
+ * the fitted model (exact until fitted).
+ */
+class SurrogateEvaluator : public CostEvaluator
+{
+  public:
+    /**
+     * @param exact Underlying evaluator for measured cells (share the
+     *        solver's caching evaluator so samples are never re-run).
+     * @param sample_fraction Fraction of cells measured exactly, in
+     *        (0, 1]. The first operator's row is always measured so
+     *        every candidate appears in training.
+     */
+    SurrogateEvaluator(CostEvaluator &exact, double sample_fraction);
+
+    /// Outcome of one matrix fill. Every cell is counted exactly once:
+    /// sampled + predicted + exact_fallbacks == ops * candidates.
+    struct MatrixFill
+    {
+        /// [op][candidate] total cost in seconds; +inf = infeasible.
+        std::vector<std::vector<double>> cost;
+        long sampled = 0;    ///< cells measured in the sampling pass
+        long predicted = 0;  ///< cells filled by the fitted MLP
+        /// Cells measured exactly instead of predicted: columns with a
+        /// measured-infeasible cell, plus degenerate predictions.
+        long exact_fallbacks = 0;
+    };
+
+    /**
+     * Fills the (operator, candidate) cost matrix: measures a sampled
+     * subset (deterministically drawn from `rng` in row-major order,
+     * exactly one Bernoulli draw per cell outside the always-measured
+     * first row), fits the surrogate, predicts the rest. The MLP only
+     * ever predicts finite costs, so candidates with any
+     * measured-infeasible cell are suspect (faults partition their
+     * routes) and their remaining cells fall back to exact measurement
+     * instead of prediction.
+     */
+    MatrixFill fillMatrix(const model::ComputeGraph &graph,
+                          const std::vector<parallel::ParallelSpec>
+                              &candidates,
+                          Rng &rng);
+
+    /// Exact until fitted; afterwards, prediction packed into
+    /// fwd_time (predictions carry no per-phase split). Specs that
+    /// fillMatrix saw a measured-infeasible cell for, and degenerate
+    /// predictions, are evaluated exactly — a prediction can never
+    /// fabricate a feasible breakdown for a suspect strategy.
+    cost::OpCostBreakdown evaluate(const model::ComputeGraph &graph,
+                                   const EvalRequest &request) override;
+
+    /// Forwards the underlying evaluator's counters.
+    EvalStats stats() const override { return exact_.stats(); }
+
+    bool fitted() const { return fitted_; }
+
+  private:
+    CostEvaluator &exact_;
+    double sample_fraction_;
+    OpCostSurrogate surrogate_;
+    bool fitted_ = false;
+    /// Layout keys of strategies with a measured-infeasible cell.
+    std::unordered_set<std::string> suspect_specs_;
+};
+
+}  // namespace temp::eval

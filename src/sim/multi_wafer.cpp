@@ -13,6 +13,20 @@ MultiWaferSimulator::MultiWaferSimulator(hw::MultiWaferConfig config,
 {
 }
 
+MultiWaferSimulator::StageContext &
+MultiWaferSimulator::stageContext(int pp) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = stages_.find(pp);
+    if (it == stages_.end()) {
+        it = stages_
+                 .emplace(pp, std::make_unique<StageContext>(
+                                  stageFabric(pp), policy_, options_))
+                 .first;
+    }
+    return *it->second;
+}
+
 hw::WaferConfig
 MultiWaferSimulator::stageFabric(int pp) const
 {
@@ -55,11 +69,9 @@ MultiWaferSimulator::simulate(const model::ComputeGraph &graph,
     const model::ComputeGraph stage_graph =
         model::ComputeGraph::transformer(stage_cfg);
 
-    const hw::WaferConfig fabric_cfg = stageFabric(pp);
-    hw::Wafer stage_wafer(fabric_cfg);
-    TrainingSimulator stage_sim(stage_wafer, policy_, options_);
+    const StageContext &stage_ctx = stageContext(pp);
 
-    PerfReport stage = stage_sim.simulate(stage_graph, intra_spec);
+    PerfReport stage = stage_ctx.sim.simulate(stage_graph, intra_spec);
     if (!stage.feasible) {
         PerfReport bad;
         bad.feasible = false;

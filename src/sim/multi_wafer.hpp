@@ -11,6 +11,10 @@
  */
 #pragma once
 
+#include <map>
+#include <memory>
+#include <mutex>
+
 #include "sim/trainer_sim.hpp"
 
 namespace temp::sim {
@@ -49,9 +53,29 @@ class MultiWaferSimulator
     const hw::MultiWaferConfig &config() const { return config_; }
 
   private:
+    /// One pipeline stage's wafer + simulator. Cached per pp so sweeps
+    /// over (pp, m, spec) reuse the stage simulator — and with it its
+    /// persistent layout cache — instead of rebuilding both per call.
+    struct StageContext
+    {
+        StageContext(const hw::WaferConfig &cfg, tcme::MappingPolicy policy,
+                     parallel::TrainingOptions options)
+            : wafer(cfg), sim(wafer, policy, options)
+        {
+        }
+
+        hw::Wafer wafer;
+        TrainingSimulator sim;
+    };
+
+    /// Returns (building on first use) the stage context for pp.
+    StageContext &stageContext(int pp) const;
+
     hw::MultiWaferConfig config_;
     tcme::MappingPolicy policy_;
     parallel::TrainingOptions options_;
+    mutable std::mutex mutex_;
+    mutable std::map<int, std::unique_ptr<StageContext>> stages_;
 };
 
 }  // namespace temp::sim

@@ -15,7 +15,8 @@ using parallel::ParallelSpec;
 TrainingSimulator::TrainingSimulator(const hw::Wafer &wafer,
                                      tcme::MappingPolicy policy,
                                      parallel::TrainingOptions options)
-    : wafer_(wafer), cost_model_(wafer, policy, options)
+    : wafer_(wafer), cost_model_(wafer, policy, options),
+      layout_cache_(cost_model_)
 {
 }
 
@@ -148,18 +149,11 @@ TrainingSimulator::simulateMicro(const model::ComputeGraph &graph,
     PerfReport report;
     report.recompute = recompute;
 
-    // Layouts are shared between ops with identical specs.
-    std::unordered_map<std::string, std::unique_ptr<GroupLayout>> layouts;
+    // Layouts are shared between ops with identical specs and, via the
+    // simulator's persistent content-keyed cache, across simulate()
+    // calls (the GA fitness loop re-simulates recurring specs).
     auto layout_for = [&](const ParallelSpec &spec) -> const GroupLayout & {
-        const std::string key = spec.str();
-        auto it = layouts.find(key);
-        if (it == layouts.end()) {
-            it = layouts
-                     .emplace(key, std::make_unique<GroupLayout>(
-                                       cost_model_.buildLayout(graph, spec)))
-                     .first;
-        }
-        return *it->second;
+        return *layout_cache_.layoutFor(graph, spec);
     };
 
     // ---- One representative layer -------------------------------------

@@ -9,11 +9,10 @@
 
 #include "common/logging.hpp"
 #include "common/rng.hpp"
-#include "solver/surrogate_search.hpp"
+#include "eval/surrogate_evaluator.hpp"
 
 namespace temp::solver {
 
-using parallel::GroupLayout;
 using parallel::ParallelSpec;
 
 namespace {
@@ -26,36 +25,22 @@ now()
         .count();
 }
 
-/// Additive objective: per-op cost plus pairwise resharding.
-double
-additiveCost(const model::ComputeGraph &graph,
-             const std::vector<int> &assignment,
-             const std::vector<ParallelSpec> &candidates,
-             const std::vector<std::vector<double>> &op_cost,
-             const cost::WaferCostModel &model)
-{
-    double total = 0.0;
-    for (std::size_t i = 0; i < assignment.size(); ++i) {
-        const double c = op_cost[i][assignment[i]];
-        if (std::isinf(c))
-            return c;
-        total += c;
-        if (i + 1 < assignment.size() &&
-            assignment[i] != assignment[i + 1]) {
-            total += model.interOpTime(graph.op(static_cast<int>(i)),
-                                       candidates[assignment[i]],
-                                       candidates[assignment[i + 1]]);
-        }
-    }
-    return total;
-}
-
 }  // namespace
 
 DlsSolver::DlsSolver(const sim::TrainingSimulator &simulator,
-                     SolverConfig config)
+                     SolverConfig config, eval::CostEvaluator *evaluator)
     : sim_(simulator), config_(config)
 {
+    if (evaluator != nullptr) {
+        eval_ = evaluator;
+        return;
+    }
+    owned_pool_ = std::make_unique<ThreadPool>(config_.eval_threads);
+    owned_exact_ = std::make_unique<eval::ExactEvaluator>(
+        sim_.costModel(), owned_pool_.get(),
+        /*memoize_breakdowns=*/false);
+    owned_eval_ = std::make_unique<eval::CachingEvaluator>(*owned_exact_);
+    eval_ = owned_eval_.get();
 }
 
 std::vector<int>
@@ -142,38 +127,43 @@ DlsSolver::solve(const model::ComputeGraph &graph) const
         return result;
 
     // Per-(op, candidate) cost matrix under the additive model
-    // (Eq. 2's T_intra with the per-op share of step communication).
-    const cost::WaferCostModel &model = sim_.costModel();
-    std::vector<std::unique_ptr<GroupLayout>> layouts;
-    layouts.reserve(candidates.size());
-    for (const ParallelSpec &spec : candidates)
-        layouts.push_back(std::make_unique<GroupLayout>(
-            model.buildLayout(graph, spec)));
-
+    // (Eq. 2's T_intra with the per-op share of step communication),
+    // filled through the shared evaluation layer: layouts and
+    // breakdowns are memoized, misses run in parallel, and the
+    // measurement/hit split keeps the accounting honest.
     const double inf = std::numeric_limits<double>::infinity();
+    const eval::EvalStats stats_before = eval_->stats();
     std::vector<std::vector<double>> op_cost;
-    auto measure_cell = [&](int i, int s) {
-        const cost::OpCostBreakdown c =
-            model.opCost(graph.op(i), *layouts[s]);
-        return c.feasible ? c.total() : inf;
-    };
     if (config_.use_surrogate) {
+        eval::SurrogateEvaluator surrogate(
+            *eval_, config_.surrogate_sample_fraction);
         Rng sample_rng(config_.seed + 97);
-        result.matrix_measurements = fillCostMatrixWithSurrogate(
-            graph, candidates, config_.surrogate_sample_fraction,
-            measure_cell, sample_rng, op_cost);
-        result.evaluations += result.matrix_measurements;
+        const eval::SurrogateEvaluator::MatrixFill fill =
+            surrogate.fillMatrix(graph, candidates, sample_rng);
+        op_cost = fill.cost;
+        result.evaluations +=
+            fill.sampled + fill.predicted + fill.exact_fallbacks;
     } else {
+        std::vector<eval::EvalRequest> requests;
+        requests.reserve(static_cast<std::size_t>(graph.opCount()) *
+                         candidates.size());
+        for (int i = 0; i < graph.opCount(); ++i)
+            for (const ParallelSpec &spec : candidates)
+                requests.push_back({i, spec, true});
+        const std::vector<cost::OpCostBreakdown> cells =
+            eval_->evaluateBatch(graph, requests);
         op_cost.assign(graph.opCount(),
                        std::vector<double>(candidates.size(), inf));
-        for (int i = 0; i < graph.opCount(); ++i) {
-            for (std::size_t s = 0; s < candidates.size(); ++s) {
-                op_cost[i][s] = measure_cell(i, static_cast<int>(s));
-                ++result.evaluations;
-                ++result.matrix_measurements;
-            }
-        }
+        std::size_t k = 0;
+        for (int i = 0; i < graph.opCount(); ++i)
+            for (std::size_t s = 0; s < candidates.size(); ++s, ++k)
+                op_cost[i][s] =
+                    cells[k].feasible ? cells[k].total() : inf;
+        result.evaluations += static_cast<long>(requests.size());
     }
+    const eval::EvalStats matrix_stats = eval_->stats() - stats_before;
+    result.matrix_measurements = matrix_stats.measurements;
+    result.cache_hits = matrix_stats.cache_hits;
 
     // Memory awareness: evaluate each candidate as a uniform layer spec
     // through the full simulator; specs whose uniform assignment blows
@@ -363,9 +353,17 @@ DlsSolver::solve(const model::ComputeGraph &graph) const
 }
 
 ExhaustiveSolver::ExhaustiveSolver(const sim::TrainingSimulator &simulator,
-                                   StrategySpaceOptions space)
+                                   StrategySpaceOptions space,
+                                   eval::CostEvaluator *evaluator)
     : sim_(simulator), space_(space)
 {
+    if (evaluator != nullptr) {
+        eval_ = evaluator;
+        return;
+    }
+    owned_eval_ =
+        std::make_unique<eval::ExactEvaluator>(sim_.costModel());
+    eval_ = owned_eval_.get();
 }
 
 SolverResult
@@ -386,21 +384,27 @@ ExhaustiveSolver::solve(const model::ComputeGraph &graph, int op_limit,
                           : graph.opCount();
 
     const cost::WaferCostModel &model = sim_.costModel();
-    std::vector<std::unique_ptr<GroupLayout>> layouts;
-    for (const ParallelSpec &spec : candidates)
-        layouts.push_back(std::make_unique<GroupLayout>(
-            model.buildLayout(graph, spec)));
-
     const double inf = std::numeric_limits<double>::infinity();
+    const eval::EvalStats stats_before = eval_->stats();
+    std::vector<eval::EvalRequest> requests;
+    requests.reserve(static_cast<std::size_t>(n_ops) *
+                     candidates.size());
+    for (int i = 0; i < n_ops; ++i)
+        for (const ParallelSpec &spec : candidates)
+            requests.push_back({i, spec, true});
+    const std::vector<cost::OpCostBreakdown> cells =
+        eval_->evaluateBatch(graph, requests);
     std::vector<std::vector<double>> op_cost(
         n_ops, std::vector<double>(candidates.size(), inf));
+    std::size_t cell = 0;
     for (int i = 0; i < n_ops; ++i)
-        for (std::size_t s = 0; s < candidates.size(); ++s) {
-            const cost::OpCostBreakdown c =
-                model.opCost(graph.op(i), *layouts[s]);
-            op_cost[i][s] = c.feasible ? c.total() : inf;
-            ++result.evaluations;
-        }
+        for (std::size_t s = 0; s < candidates.size(); ++s, ++cell)
+            op_cost[i][s] =
+                cells[cell].feasible ? cells[cell].total() : inf;
+    result.evaluations += static_cast<long>(requests.size());
+    const eval::EvalStats matrix_stats = eval_->stats() - stats_before;
+    result.matrix_measurements = matrix_stats.measurements;
+    result.cache_hits = matrix_stats.cache_hits;
 
     std::vector<int> current(n_ops, 0);
     std::vector<int> best;

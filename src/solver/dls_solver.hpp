@@ -16,6 +16,9 @@
  */
 #pragma once
 
+#include <memory>
+
+#include "eval/cost_evaluator.hpp"
 #include "sim/trainer_sim.hpp"
 #include "solver/strategy_space.hpp"
 
@@ -38,6 +41,13 @@ struct SolverConfig
      */
     bool use_surrogate = false;
     double surrogate_sample_fraction = 0.3;
+    /**
+     * Threads for the evaluator's batch matrix fill when the solver
+     * owns its evaluator (an injected evaluator brings its own pool).
+     * 0 means hardware concurrency. Results are bit-exact across
+     * thread counts.
+     */
+    int eval_threads = 0;
 };
 
 /// Outcome of a search.
@@ -51,11 +61,23 @@ struct SolverResult
     sim::PerfReport report;
     /// Wall-clock search time.
     double search_time_s = 0.0;
-    /// Operator-cost evaluations performed (work metric).
+    /**
+     * Total (op, strategy) cost queries the search issued: matrix
+     * cells (measured, cached or predicted), DP transition
+     * evaluations and uniform-candidate simulations. The work the
+     * *algorithm* asked for, independent of caching.
+     */
     long evaluations = 0;
-    /// Exact simulator measurements of (op, strategy) matrix cells
-    /// (what the surrogate mode reduces).
+    /**
+     * Unique exact measurements of (op, strategy) matrix cells — cache
+     * misses only, counted once (what surrogate mode and the shared
+     * evaluator cache reduce). `evaluations - cache served` accounting
+     * stays honest: matrix_measurements + cache_hits + predicted cells
+     * add up to the matrix queries issued.
+     */
     long matrix_measurements = 0;
+    /// Matrix queries served from the evaluator cache.
+    long cache_hits = 0;
     /// Number of candidate specs per operator.
     int candidate_count = 0;
 };
@@ -64,13 +86,24 @@ struct SolverResult
 class DlsSolver
 {
   public:
+    /**
+     * @param simulator Full-step simulator (GA fitness, final report).
+     * @param config Search tuning.
+     * @param evaluator Optional shared evaluation backend; when null
+     *        the solver owns a caching exact evaluator over the
+     *        simulator's cost model (config.eval_threads wide).
+     */
     DlsSolver(const sim::TrainingSimulator &simulator,
-              SolverConfig config = SolverConfig{});
+              SolverConfig config = SolverConfig{},
+              eval::CostEvaluator *evaluator = nullptr);
 
     /// Finds the best per-operator strategy assignment for the graph.
     SolverResult solve(const model::ComputeGraph &graph) const;
 
     const SolverConfig &config() const { return config_; }
+
+    /// The evaluation backend this solver queries.
+    eval::CostEvaluator &evaluator() const { return *eval_; }
 
   private:
     /// DP over one sub-chain [begin, end); returns per-op candidate ids.
@@ -82,6 +115,11 @@ class DlsSolver
 
     const sim::TrainingSimulator &sim_;
     SolverConfig config_;
+    /// Owned backend when none is injected.
+    std::unique_ptr<ThreadPool> owned_pool_;
+    std::unique_ptr<eval::ExactEvaluator> owned_exact_;
+    std::unique_ptr<eval::CachingEvaluator> owned_eval_;
+    eval::CostEvaluator *eval_ = nullptr;
 };
 
 /**
@@ -92,8 +130,10 @@ class DlsSolver
 class ExhaustiveSolver
 {
   public:
+    /// @param evaluator Optional shared backend (as in DlsSolver).
     ExhaustiveSolver(const sim::TrainingSimulator &simulator,
-                     StrategySpaceOptions space);
+                     StrategySpaceOptions space,
+                     eval::CostEvaluator *evaluator = nullptr);
 
     /**
      * Solves by full enumeration.
@@ -108,6 +148,8 @@ class ExhaustiveSolver
   private:
     const sim::TrainingSimulator &sim_;
     StrategySpaceOptions space_;
+    std::unique_ptr<eval::ExactEvaluator> owned_eval_;
+    eval::CostEvaluator *eval_ = nullptr;
 };
 
 }  // namespace temp::solver

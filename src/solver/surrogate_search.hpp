@@ -2,76 +2,18 @@
  * @file
  * Surrogate-accelerated strategy search (Sec. VII-A + VIII-G).
  *
- * The paper trains a DNN on simulator samples and drives the DLS search
- * with surrogate lookups ("100-1000x more efficient than
- * simulation-based approaches"). This module provides exactly that
- * plumbing: featurise an (operator, strategy) pair, fit the MLP on a
- * sampled subset of the cost matrix, and predict the remaining cells.
+ * The sample-then-predict machinery now lives in the unified evaluation
+ * layer (eval/surrogate_evaluator.hpp) so the solver, benches and any
+ * future backend share one implementation; this header keeps the
+ * solver-facing names stable.
  */
 #pragma once
 
-#include <functional>
-#include <memory>
-#include <vector>
-
-#include "cost/surrogate.hpp"
-#include "model/graph.hpp"
-#include "parallel/spec.hpp"
+#include "eval/surrogate_evaluator.hpp"
 
 namespace temp::solver {
 
-/// Learns the per-(operator, strategy) cost surface from samples.
-class OpCostSurrogate
-{
-  public:
-    explicit OpCostSurrogate(std::uint64_t seed = 29);
-
-    /**
-     * Feature vector of one (operator, strategy) pair: log-scale
-     * operator dimensions, operator class, and the log-degrees of every
-     * parallel axis (the quantities the analytic cost is built from).
-     */
-    static std::vector<double> features(const model::Operator &op,
-                                        const parallel::ParallelSpec &spec);
-
-    /// Fits the MLP on measured (features -> cost seconds) samples.
-    void fit(const std::vector<cost::CostSample> &samples);
-
-    /// Predicted cost of one pair; fit() must have run.
-    double predict(const model::Operator &op,
-                   const parallel::ParallelSpec &spec) const;
-
-    /// Fidelity of the fitted surrogate on held-out samples.
-    cost::FidelityReport validate(
-        const std::vector<cost::CostSample> &samples) const;
-
-    /// Training epochs (smaller = faster fit; default tuned for the
-    /// in-search use where the dataset is a few hundred cells).
-    int epochs = 800;
-
-  private:
-    cost::DnnCostModel dnn_;
-};
-
-/**
- * Fills a cost matrix using the surrogate: a `sample_fraction` of the
- * cells (always including every cell of the first operator, so each
- * candidate is seen at least once) is measured with `measure`, the
- * surrogate is fitted on those, and the remaining cells are predicted.
- *
- * @param graph The operator chain.
- * @param candidates Strategy candidates.
- * @param sample_fraction Fraction of cells measured exactly, in (0,1].
- * @param measure Callback returning the exact cost of (op_idx, cand_idx).
- * @param rng Sampling source.
- * @param out_matrix [op][candidate] costs (measured or predicted).
- * @return Number of exact measurements performed.
- */
-long fillCostMatrixWithSurrogate(
-    const model::ComputeGraph &graph,
-    const std::vector<parallel::ParallelSpec> &candidates,
-    double sample_fraction,
-    const std::function<double(int, int)> &measure, Rng &rng,
-    std::vector<std::vector<double>> &out_matrix);
+/// Featurisation + MLP fit/predict for (operator, strategy) costs.
+using OpCostSurrogate = eval::OpCostSurrogate;
 
 }  // namespace temp::solver

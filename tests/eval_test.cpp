@@ -1,0 +1,370 @@
+/**
+ * @file
+ * Tests for the unified cost-evaluation layer: the thread pool, memo
+ * correctness (cached == recomputed, bit-exact), parallel batch
+ * determinism across thread counts, honest measurement/hit accounting,
+ * the surrogate's infeasible-column and exact-fallback handling, and
+ * solver invariance under evaluator sharing.
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <numeric>
+
+#include "common/thread_pool.hpp"
+#include "eval/cost_evaluator.hpp"
+#include "eval/surrogate_evaluator.hpp"
+#include "model/graph.hpp"
+#include "model/model_zoo.hpp"
+#include "sim/trainer_sim.hpp"
+#include "solver/dls_solver.hpp"
+#include "solver/strategy_space.hpp"
+
+namespace temp::eval {
+namespace {
+
+using parallel::ParallelSpec;
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.threadCount(), 4);
+    std::vector<std::atomic<int>> visits(1000);
+    pool.parallelFor(visits.size(),
+                     [&](std::size_t i) { ++visits[i]; });
+    for (const std::atomic<int> &v : visits)
+        EXPECT_EQ(v.load(), 1);
+}
+
+TEST(ThreadPool, ReusableAcrossJobsAndPropagatesExceptions)
+{
+    ThreadPool pool(3);
+    long sum = 0;
+    std::mutex m;
+    for (int round = 0; round < 5; ++round) {
+        pool.parallelFor(100, [&](std::size_t i) {
+            std::lock_guard<std::mutex> lock(m);
+            sum += static_cast<long>(i);
+        });
+    }
+    EXPECT_EQ(sum, 5 * (99 * 100 / 2));
+    EXPECT_THROW(pool.parallelFor(10,
+                                  [](std::size_t i) {
+                                      if (i == 7)
+                                          throw std::runtime_error("x");
+                                  }),
+                 std::runtime_error);
+    // Pool still functional after the throwing job.
+    std::atomic<int> count{0};
+    pool.parallelFor(50, [&](std::size_t) { ++count; });
+    EXPECT_EQ(count.load(), 50);
+}
+
+class EvalTest : public ::testing::Test
+{
+  protected:
+    EvalTest()
+        : wafer_(hw::WaferConfig::paperDefault()),
+          sim_(wafer_, tcme::MappingPolicy{tcme::MappingEngineKind::TCME}),
+          graph_(model::ComputeGraph::transformer(
+              model::modelByName("GPT-3 6.7B")))
+    {
+        solver::StrategySpaceOptions space;
+        space.allow_sp = false;  // keep the matrix small and fast
+        candidates_ = solver::enumerateStrategies(wafer_.dieCount(),
+                                                  graph_.config(), space);
+    }
+
+    std::vector<EvalRequest>
+    fullMatrix() const
+    {
+        std::vector<EvalRequest> requests;
+        for (int i = 0; i < graph_.opCount(); ++i)
+            for (const ParallelSpec &spec : candidates_)
+                requests.push_back({i, spec, true});
+        return requests;
+    }
+
+    static void
+    expectBitExact(const cost::OpCostBreakdown &a,
+                   const cost::OpCostBreakdown &b)
+    {
+        EXPECT_EQ(a.feasible, b.feasible);
+        EXPECT_EQ(a.fwd_time, b.fwd_time);
+        EXPECT_EQ(a.bwd_time, b.bwd_time);
+        EXPECT_EQ(a.step_comm_time, b.step_comm_time);
+        EXPECT_EQ(a.comp_time, b.comp_time);
+        EXPECT_EQ(a.collective_time, b.collective_time);
+        EXPECT_EQ(a.stream_comm_time, b.stream_comm_time);
+        EXPECT_EQ(a.exposed_comm, b.exposed_comm);
+        EXPECT_EQ(a.tail_latency, b.tail_latency);
+        EXPECT_EQ(a.d2d_link_bytes, b.d2d_link_bytes);
+        EXPECT_EQ(a.dram_bytes, b.dram_bytes);
+        EXPECT_EQ(a.flops, b.flops);
+        EXPECT_EQ(a.bw_utilization, b.bw_utilization);
+    }
+
+    hw::Wafer wafer_;
+    sim::TrainingSimulator sim_;
+    model::ComputeGraph graph_;
+    std::vector<ParallelSpec> candidates_;
+};
+
+TEST_F(EvalTest, CachedBreakdownEqualsRecomputedBitExact)
+{
+    ASSERT_FALSE(candidates_.empty());
+    ExactEvaluator cached(sim_.costModel());
+    ExactEvaluator fresh(sim_.costModel(), nullptr,
+                         /*memoize_breakdowns=*/false);
+    const EvalRequest request{3, candidates_[candidates_.size() / 2],
+                              true};
+    const cost::OpCostBreakdown first = cached.evaluate(graph_, request);
+    const cost::OpCostBreakdown hit = cached.evaluate(graph_, request);
+    const cost::OpCostBreakdown recomputed =
+        fresh.evaluate(graph_, request);
+    expectBitExact(first, hit);
+    expectBitExact(first, recomputed);
+    EXPECT_EQ(cached.stats().measurements, 1);
+    EXPECT_EQ(cached.stats().cache_hits, 1);
+}
+
+TEST_F(EvalTest, BatchDeterministicAcrossThreadCounts)
+{
+    const std::vector<EvalRequest> requests = fullMatrix();
+    std::vector<std::vector<cost::OpCostBreakdown>> runs;
+    for (int threads : {1, 2, 4}) {
+        ThreadPool pool(threads);
+        ExactEvaluator evaluator(sim_.costModel(), &pool);
+        runs.push_back(evaluator.evaluateBatch(graph_, requests));
+        EXPECT_EQ(evaluator.stats().measurements,
+                  static_cast<long>(requests.size()));
+    }
+    for (std::size_t r = 1; r < runs.size(); ++r) {
+        ASSERT_EQ(runs[r].size(), runs[0].size());
+        for (std::size_t i = 0; i < runs[0].size(); ++i)
+            expectBitExact(runs[0][i], runs[r][i]);
+    }
+}
+
+TEST_F(EvalTest, BatchMatchesSingleEvaluate)
+{
+    ThreadPool pool(2);
+    ExactEvaluator batched(sim_.costModel(), &pool);
+    ExactEvaluator single(sim_.costModel());
+    const std::vector<EvalRequest> requests = fullMatrix();
+    const std::vector<cost::OpCostBreakdown> batch =
+        batched.evaluateBatch(graph_, requests);
+    for (std::size_t i = 0; i < requests.size(); i += 37)
+        expectBitExact(batch[i], single.evaluate(graph_, requests[i]));
+}
+
+TEST_F(EvalTest, StatsCountUniqueMeasurementsOnceAndHitsSeparately)
+{
+    ExactEvaluator exact(sim_.costModel(), nullptr,
+                         /*memoize_breakdowns=*/false);
+    CachingEvaluator caching(exact);
+    const std::vector<EvalRequest> requests = fullMatrix();
+    const long n = static_cast<long>(requests.size());
+
+    caching.evaluateBatch(graph_, requests);
+    EXPECT_EQ(caching.stats().measurements, n);
+    EXPECT_EQ(caching.stats().cache_hits, 0);
+
+    // A second identical batch is served entirely from the memo.
+    caching.evaluateBatch(graph_, requests);
+    EXPECT_EQ(caching.stats().measurements, n);
+    EXPECT_EQ(caching.stats().cache_hits, n);
+
+    // Layouts were built once per candidate, not once per cell.
+    EXPECT_EQ(caching.stats().layouts_built,
+              static_cast<long>(candidates_.size()));
+}
+
+TEST_F(EvalTest, DuplicateRequestsWithinOneBatchMeasureOnce)
+{
+    ExactEvaluator evaluator(sim_.costModel());
+    std::vector<EvalRequest> requests;
+    for (int rep = 0; rep < 5; ++rep)
+        requests.push_back({0, candidates_[0], true});
+    const auto results = evaluator.evaluateBatch(graph_, requests);
+    for (int rep = 1; rep < 5; ++rep)
+        expectBitExact(results[0], results[rep]);
+    EXPECT_EQ(evaluator.stats().measurements, 1);
+    EXPECT_EQ(evaluator.stats().cache_hits, 4);
+}
+
+TEST_F(EvalTest, NonMemoizingBatchNeverFabricatesHits)
+{
+    // Without a memo there is nothing to serve duplicates from, so the
+    // hit counter must stay zero and every request is a measurement.
+    ExactEvaluator evaluator(sim_.costModel(), nullptr,
+                             /*memoize_breakdowns=*/false);
+    std::vector<EvalRequest> requests(3,
+                                      EvalRequest{0, candidates_[0], true});
+    const auto results = evaluator.evaluateBatch(graph_, requests);
+    expectBitExact(results[0], results[1]);
+    expectBitExact(results[0], results[2]);
+    EXPECT_EQ(evaluator.stats().measurements, 3);
+    EXPECT_EQ(evaluator.stats().cache_hits, 0);
+}
+
+TEST_F(EvalTest, DistinctGraphsDoNotCollideInTheCache)
+{
+    ExactEvaluator evaluator(sim_.costModel());
+    const model::ComputeGraph half = model::ComputeGraph::transformer(
+        graph_.config().withSeqBatch(graph_.config().seq,
+                                     graph_.config().batch / 2));
+    const EvalRequest request{1, candidates_[0], true};
+    const cost::OpCostBreakdown full_batch =
+        evaluator.evaluate(graph_, request);
+    const cost::OpCostBreakdown half_batch =
+        evaluator.evaluate(half, request);
+    EXPECT_EQ(evaluator.stats().measurements, 2);
+    EXPECT_NE(full_batch.flops, half_batch.flops);
+}
+
+// ---------------------------------------------------------------------
+// Surrogate evaluator.
+// ---------------------------------------------------------------------
+
+TEST_F(EvalTest, SurrogateUnfittedFallsBackToExact)
+{
+    ExactEvaluator exact(sim_.costModel());
+    SurrogateEvaluator surrogate(exact, 0.3);
+    ASSERT_FALSE(surrogate.fitted());
+    const EvalRequest request{2, candidates_[1], true};
+    const cost::OpCostBreakdown via_surrogate =
+        surrogate.evaluate(graph_, request);
+    const cost::OpCostBreakdown via_exact =
+        exact.evaluate(graph_, request);
+    expectBitExact(via_surrogate, via_exact);
+}
+
+TEST_F(EvalTest, SurrogateMatrixMeasuresSubsetAndPredictsRest)
+{
+    ExactEvaluator exact(sim_.costModel());
+    SurrogateEvaluator surrogate(exact, 0.3);
+    Rng rng(97);
+    const auto fill =
+        surrogate.fillMatrix(graph_, candidates_, rng);
+    const long cells = static_cast<long>(graph_.opCount()) *
+                       static_cast<long>(candidates_.size());
+    EXPECT_EQ(fill.sampled + fill.predicted + fill.exact_fallbacks,
+              cells);
+    EXPECT_GT(fill.predicted, 0);
+    EXPECT_LT(fill.sampled, cells);
+    EXPECT_TRUE(surrogate.fitted());
+    for (const auto &row : fill.cost)
+        for (double c : row)
+            EXPECT_GT(c, 0.0);
+}
+
+TEST(SurrogateFaults, InfeasibleColumnsNeverPredictedFinite)
+{
+    // Link faults isolate one corner die: full-occupancy (32-die)
+    // strategies route through the dead links and are infeasible;
+    // partial strategies fit on the surviving component and stay
+    // feasible.
+    hw::Wafer healthy(hw::WaferConfig::paperDefault());
+    const hw::MeshTopology &topo = healthy.topology();
+    hw::FaultMap faults(topo.dieCount(), topo.linkCount());
+    const hw::DieId dead = topo.dieCount() - 1;
+    for (hw::DieId neighbor : topo.neighbors(dead)) {
+        faults.failLink(topo.linkId(dead, neighbor));
+        faults.failLink(topo.linkId(neighbor, dead));
+    }
+    hw::Wafer wafer(hw::WaferConfig::paperDefault(), faults);
+    sim::TrainingSimulator sim(
+        wafer, tcme::MappingPolicy{tcme::MappingEngineKind::TCME});
+    const auto graph = model::ComputeGraph::transformer(
+        model::modelByName("GPT-3 6.7B"));
+
+    solver::StrategySpaceOptions space;
+    space.allow_sp = false;
+    space.full_occupancy = false;
+    const std::vector<ParallelSpec> candidates =
+        solver::enumerateStrategies(wafer.dieCount(), graph.config(),
+                                    space);
+
+    ExactEvaluator exact(sim.costModel());
+    SurrogateEvaluator surrogate(exact, 0.25);
+    Rng rng(5);
+    const auto fill = surrogate.fillMatrix(graph, candidates, rng);
+
+    // Ground truth per cell from the exact evaluator. Columns where the
+    // sampling pass saw at least one infeasible cell must carry *no*
+    // finite prediction on any truly-infeasible cell (the fallback
+    // measures them exactly instead).
+    int infeasible_cells = 0;
+    int suspect_columns = 0;
+    for (std::size_t s = 0; s < candidates.size(); ++s) {
+        bool measured_infeasible = false;
+        std::vector<bool> truth_infeasible(graph.opCount(), false);
+        for (int i = 0; i < graph.opCount(); ++i) {
+            const cost::OpCostBreakdown truth =
+                exact.evaluate(graph, {i, candidates[s], true});
+            truth_infeasible[i] = !truth.feasible;
+            if (!truth.feasible)
+                ++infeasible_cells;
+            if (!truth.feasible && std::isinf(fill.cost[i][s]))
+                measured_infeasible = true;
+        }
+        if (!measured_infeasible)
+            continue;
+        ++suspect_columns;
+        for (int i = 0; i < graph.opCount(); ++i) {
+            if (truth_infeasible[i])
+                EXPECT_TRUE(std::isinf(fill.cost[i][s]))
+                    << "suspect column " << candidates[s].str()
+                    << " op " << i << " predicted finite";
+        }
+    }
+    EXPECT_GT(infeasible_cells, 0)
+        << "fault scenario produced no infeasible cells";
+    EXPECT_GT(suspect_columns, 0)
+        << "sampling pass never saw an infeasible cell";
+    EXPECT_GT(fill.exact_fallbacks, 0);
+    EXPECT_GT(fill.predicted, 0)
+        << "feasible columns should still be predicted";
+}
+
+// ---------------------------------------------------------------------
+// Solver integration: evaluator sharing must not change results.
+// ---------------------------------------------------------------------
+
+TEST_F(EvalTest, SolverIdenticalWithOwnedAndSharedEvaluator)
+{
+    solver::DlsSolver owned(sim_);
+    const solver::SolverResult a = owned.solve(graph_);
+
+    ThreadPool pool(2);
+    ExactEvaluator exact(sim_.costModel(), &pool,
+                         /*memoize_breakdowns=*/false);
+    CachingEvaluator shared(exact);
+    solver::DlsSolver injected(sim_, solver::SolverConfig{}, &shared);
+    const solver::SolverResult b = injected.solve(graph_);
+
+    ASSERT_TRUE(a.feasible);
+    ASSERT_TRUE(b.feasible);
+    ASSERT_EQ(a.per_op_specs.size(), b.per_op_specs.size());
+    for (std::size_t i = 0; i < a.per_op_specs.size(); ++i)
+        EXPECT_TRUE(a.per_op_specs[i] == b.per_op_specs[i]);
+    EXPECT_DOUBLE_EQ(a.step_time_s, b.step_time_s);
+
+    // First solve measured every cell once...
+    EXPECT_GT(b.matrix_measurements, 0);
+    EXPECT_EQ(b.cache_hits, 0);
+
+    // ...a repeat solve through the shared evaluator re-measures none.
+    const solver::SolverResult c = injected.solve(graph_);
+    ASSERT_TRUE(c.feasible);
+    EXPECT_EQ(c.matrix_measurements, 0);
+    EXPECT_GT(c.cache_hits, 0);
+    EXPECT_EQ(c.cache_hits, b.matrix_measurements);
+    for (std::size_t i = 0; i < a.per_op_specs.size(); ++i)
+        EXPECT_TRUE(c.per_op_specs[i] == a.per_op_specs[i]);
+}
+
+}  // namespace
+}  // namespace temp::eval
