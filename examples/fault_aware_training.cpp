@@ -1,18 +1,18 @@
 /**
  * @file
  * Fault-aware training: operate a wafer through progressive hardware
- * degradation — the Sec. VIII-F scenario.
+ * degradation — the Sec. VIII-F scenario, driven through the service
+ * API: one healthy OptimizeRequest, then one FaultRequest per
+ * degradation scenario (the service regenerates each scenario's
+ * FaultMap from its rates + seed, localises the faults, re-balances
+ * the partitioning and re-routes communication).
  *
  *   ./fault_aware_training ["Llama2 7B"]
- *
- * Injects link and core faults, lets the framework localise them,
- * re-balance the tensor partitioning onto the surviving dies and
- * re-route communication, then reports how throughput degrades.
  */
 #include <cstdio>
 
+#include "api/service.hpp"
 #include "common/table.hpp"
-#include "core/framework.hpp"
 
 using namespace temp;
 
@@ -21,24 +21,27 @@ main(int argc, char **argv)
 {
     const std::string name = argc > 1 ? argv[1] : "Llama2 7B";
     const model::ModelConfig model = model::modelByName(name);
+    const hw::WaferConfig wafer_config = hw::WaferConfig::paperDefault();
 
     std::printf("Fault-aware training — %s\n\n", model.name.c_str());
-    core::TempFramework framework(hw::WaferConfig::paperDefault());
-    hw::Wafer probe(hw::WaferConfig::paperDefault());
+    api::TempService service;
 
-    const solver::SolverResult healthy = framework.optimize(model);
-    if (!healthy.feasible) {
+    const api::Response healthy =
+        service.run(api::OptimizeRequest{model, wafer_config, {}});
+    if (!healthy.ok || !healthy.solver.feasible) {
         std::printf("healthy wafer: no feasible strategy\n");
         return 1;
     }
     std::printf("Healthy wafer: %.1f ms/step with %s\n\n",
-                healthy.step_time_s * 1e3,
+                healthy.solver.step_time_s * 1e3,
                 healthy.report.strategy_desc.c_str());
 
     TablePrinter t({"Scenario", "Usable dies", "Strategy", "Step (ms)",
                     "Throughput vs healthy"});
-    t.addRow({"healthy", "32", healthy.report.strategy_desc,
-              TablePrinter::fmt(healthy.step_time_s * 1e3, 1), "1.00x"});
+    t.addRow({"healthy", std::to_string(wafer_config.dieCount()),
+              healthy.report.strategy_desc,
+              TablePrinter::fmt(healthy.solver.step_time_s * 1e3, 1),
+              "1.00x"});
 
     struct Scenario
     {
@@ -57,35 +60,22 @@ main(int argc, char **argv)
     };
 
     for (const Scenario &sc : scenarios) {
-        Rng rng(sc.seed);
-        hw::FaultMap faults =
-            sc.link_rate > 0.0
-                ? hw::FaultMap::randomLinkFaults(probe.topology(),
-                                                 sc.link_rate, rng)
-                : hw::FaultMap(probe.dieCount(),
-                               probe.topology().linkCount());
-        if (sc.core_rate > 0.0) {
-            const hw::FaultMap cores = hw::FaultMap::randomCoreFaults(
-                probe.topology(), sc.core_rate, rng);
-            for (hw::DieId die = 0; die < probe.dieCount(); ++die)
-                faults.setCoreFaultFraction(
-                    die, cores.coreFaultFraction(die));
-        }
-
-        hw::Wafer degraded_probe(hw::WaferConfig::paperDefault(), faults);
-        const int usable = degraded_probe.usableDieCount();
-        const solver::SolverResult result =
-            framework.optimizeWithFaults(model, faults);
-        if (!result.feasible) {
-            t.addRow({sc.label, std::to_string(usable), "-", "-",
-                      "unrecoverable"});
+        api::FaultRequest request{model, wafer_config, {}};
+        request.link_fault_rate = sc.link_rate;
+        request.core_fault_rate = sc.core_rate;
+        request.fault_seed = sc.seed;
+        const api::Response response = service.run(request);
+        if (!response.ok || !response.solver.feasible) {
+            t.addRow({sc.label, std::to_string(response.usable_dies),
+                      "-", "-", "unrecoverable"});
             continue;
         }
-        t.addRow({sc.label, std::to_string(usable),
-                  result.report.strategy_desc,
-                  TablePrinter::fmt(result.step_time_s * 1e3, 1),
+        t.addRow({sc.label, std::to_string(response.usable_dies),
+                  response.report.strategy_desc,
+                  TablePrinter::fmt(response.solver.step_time_s * 1e3,
+                                    1),
                   TablePrinter::fmt(
-                      result.report.throughput_tokens_per_s /
+                      response.report.throughput_tokens_per_s /
                       healthy.report.throughput_tokens_per_s) +
                       "x"});
     }

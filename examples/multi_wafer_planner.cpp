@@ -1,7 +1,10 @@
 /**
  * @file
  * Multi-wafer training planner: size a wafer pod and pick the pipeline
- * configuration for a frontier-scale model (the Sec. VIII-E scenario).
+ * configuration for a frontier-scale model (the Sec. VIII-E scenario),
+ * sweeping MultiWaferRequests through the service API — the pod
+ * simulator (and its per-pp stage contexts) is cached across the whole
+ * sweep.
  *
  *   ./multi_wafer_planner ["GPT-3 504B"] [wafer_count]
  *
@@ -13,8 +16,8 @@
 #include <cstdlib>
 #include <vector>
 
+#include "api/service.hpp"
 #include "common/table.hpp"
-#include "sim/multi_wafer.hpp"
 
 using namespace temp;
 
@@ -24,17 +27,14 @@ main(int argc, char **argv)
     const std::string name = argc > 1 ? argv[1] : "GPT-3 504B";
     const int wafers = argc > 2 ? std::atoi(argv[2]) : 6;
     const model::ModelConfig model = model::modelByName(name);
-    const model::ComputeGraph graph =
-        model::ComputeGraph::transformer(model);
 
     std::printf("Multi-wafer planner — %s (%.0fB params) on %d wafers\n\n",
                 model.name.c_str(), model.paramCount() / 1e9, wafers);
 
+    api::TempService service;
     hw::MultiWaferConfig pod;
     pod.wafer = hw::WaferConfig::paperDefault();
     pod.wafer_count = wafers;
-    sim::MultiWaferSimulator sim(
-        pod, tcme::MappingPolicy{tcme::MappingEngineKind::TCME});
 
     auto spec = [](int dp, int tatp) {
         parallel::ParallelSpec s;
@@ -52,23 +52,26 @@ main(int argc, char **argv)
     } best;
 
     for (int pp : {wafers, 2 * wafers}) {
-        if (model.layers % pp != 0)
-            continue;
-        const hw::WaferConfig fabric = sim.stageFabric(pp);
         for (int micro : {8, 16, 32}) {
-            if (model.batch % micro != 0)
-                continue;
             for (const auto &intra :
                  {spec(2, 16), spec(1, 16), spec(4, 8), spec(2, 8)}) {
-                if (intra.totalDegree() > fabric.dieCount())
+                api::MultiWaferRequest request;
+                request.model = model;
+                request.pod = pod;
+                request.intra_spec = intra;
+                request.pp = pp;
+                request.microbatches = micro;
+                const api::Response response = service.run(request);
+                // Invalid combinations (layer/batch divisibility, spec
+                // vs stage fabric) come back as error responses, not
+                // process aborts — skip them.
+                if (!response.ok || !response.report.feasible)
                     continue;
-                const sim::PerfReport r =
-                    sim.simulate(graph, intra, pp, micro);
-                if (!r.feasible)
-                    continue;
+                const sim::PerfReport &r = response.report;
                 char fabric_str[32];
                 std::snprintf(fabric_str, sizeof(fabric_str), "%dx%d",
-                              fabric.rows, fabric.cols);
+                              response.stage_fabric.rows,
+                              response.stage_fabric.cols);
                 t.addRow({std::to_string(pp), fabric_str, intra.str(),
                           std::to_string(micro),
                           TablePrinter::fmt(r.step_time, 2),

@@ -1,42 +1,33 @@
 /**
  * @file
- * Quickstart: run the full TEMP pipeline on one model.
+ * Quickstart: run the full TEMP pipeline on one model — through the
+ * service API, the same route temp_cli and a serving process use.
  *
  *   ./quickstart ["GPT-3 6.7B"]              # a zoo model by name
  *   ./quickstart path/to/model.conf [wafer.conf]
  *
- * Builds the paper's 4x8 wafer (Table I), searches the TATP-extended
- * strategy space with the dual-level wafer solver, maps it with the
- * traffic-conscious engine, and prints the chosen per-operator
- * strategies plus the simulated training-step report.
+ * Builds the paper's 4x8 wafer (Table I), submits an OptimizeRequest
+ * to a TempService (which owns the framework and its evaluator cache),
+ * and prints the chosen per-operator strategies plus the simulated
+ * training-step report.
  */
 #include <cstdio>
 
+#include "api/service.hpp"
 #include "core/config_io.hpp"
-#include "core/framework.hpp"
 
 using namespace temp;
-
-namespace {
-
-bool
-isConfigFile(const std::string &arg)
-{
-    return arg.size() > 5 && arg.substr(arg.size() - 5) == ".conf";
-}
-
-}  // namespace
 
 int
 main(int argc, char **argv)
 {
     const std::string model_arg = argc > 1 ? argv[1] : "GPT-3 6.7B";
     const model::ModelConfig model =
-        isConfigFile(model_arg)
+        core::isConfigFile(model_arg)
             ? core::modelFromConfig(core::loadConfigFile(model_arg))
             : model::modelByName(model_arg);
     const hw::WaferConfig wafer_config =
-        argc > 2 && isConfigFile(argv[2])
+        argc > 2 && core::isConfigFile(argv[2])
             ? core::waferFromConfig(core::loadConfigFile(argv[2]))
             : hw::WaferConfig::paperDefault();
 
@@ -46,24 +37,25 @@ main(int argc, char **argv)
     std::printf("  %.1fB parameters, batch %d, sequence %d\n\n",
                 model.paramCount() / 1e9, model.batch, model.seq);
 
-    // 1. Construct the framework over the wafer configuration.
-    core::TempFramework framework(wafer_config);
+    // 1. One service instance; it builds (and caches) the framework.
+    api::TempService service;
 
-    // 2. Run the DLWS search (strategy space -> DP -> GA -> simulation).
-    const solver::SolverResult result = framework.optimize(model);
-    if (!result.feasible) {
+    // 2. Run the DLWS search (strategy space -> DP -> GA -> simulation)
+    //    as a typed request.
+    const api::Response response =
+        service.run(api::OptimizeRequest{model, wafer_config, {}});
+    const solver::SolverResult &result = response.solver;
+    if (!response.ok || !result.feasible) {
         std::printf("No feasible strategy found.\n");
         return 1;
     }
 
     // 3. Inspect the chosen per-operator parallel strategies.
-    const model::ComputeGraph graph =
-        model::ComputeGraph::transformer(model);
     std::printf("Optimal per-operator strategies "
                 "(search took %.2f s over %d candidates):\n",
                 result.search_time_s, result.candidate_count);
-    for (int i = 0; i < graph.opCount(); ++i) {
-        std::printf("  %-10s -> %s\n", graph.op(i).name.c_str(),
+    for (std::size_t i = 0; i < result.per_op_specs.size(); ++i) {
+        std::printf("  %-10s -> %s\n", response.op_names[i].c_str(),
                     result.per_op_specs[i].str().c_str());
     }
 

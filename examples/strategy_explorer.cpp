@@ -8,15 +8,17 @@
  *
  * Evaluates a line-up of representative (DP,TP,SP,TATP) tuples plus the
  * solver's own pick, and prints a ranked comparison: step time, memory,
- * what is exposed and what is hidden.
+ * what is exposed and what is hidden. All requests route through one
+ * TempService, so the line-up and the solver share a single cached
+ * framework (and its evaluator memo).
  */
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <vector>
 
+#include "api/service.hpp"
 #include "common/table.hpp"
-#include "core/framework.hpp"
 
 using namespace temp;
 
@@ -31,7 +33,8 @@ main(int argc, char **argv)
     std::printf("Strategy explorer — %s (seq %d, batch %d) on 32 dies\n",
                 model.name.c_str(), model.seq, model.batch);
 
-    core::TempFramework framework(hw::WaferConfig::paperDefault());
+    api::TempService service;
+    const hw::WaferConfig wafer = hw::WaferConfig::paperDefault();
 
     // A representative line-up: pure DP, Megatron-style TP, sequence
     // parallelism, pure TATP, and hybrids around the sweet spot.
@@ -64,15 +67,17 @@ main(int argc, char **argv)
     };
     std::vector<Row> rows;
     for (const Candidate &c : lineup) {
-        const sim::PerfReport r =
-            framework.evaluateStrategy(model, c.spec);
-        if (r.feasible)
-            rows.push_back({std::string(c.label) + " " + c.spec.str(), r});
+        api::StrategyRequest request{model, wafer, {}, c.spec};
+        const api::Response response = service.run(request);
+        if (response.ok && response.report.feasible)
+            rows.push_back({std::string(c.label) + " " + c.spec.str(),
+                            response.report});
     }
 
     // And the solver's own answer for reference.
-    const solver::SolverResult solved = framework.optimize(model);
-    if (solved.feasible)
+    const api::Response solved =
+        service.run(api::OptimizeRequest{model, wafer, {}});
+    if (solved.ok && solved.solver.feasible)
         rows.push_back({"DLWS solver pick (per-op mix)", solved.report});
 
     std::sort(rows.begin(), rows.end(), [](const Row &a, const Row &b) {
@@ -98,5 +103,10 @@ main(int argc, char **argv)
                     rows.back().report.step_time /
                         rows.front().report.step_time);
     }
+    const api::TempService::Stats stats = service.stats();
+    std::printf("All %ld requests shared %ld cached framework(s) "
+                "(%ld reuses).\n",
+                stats.requests, stats.frameworks_built,
+                stats.framework_cache_hits);
     return 0;
 }

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * The typed request/response surface of the TEMP service layer.
+ *
+ * Every workflow the framework supports — full DLWS optimisation,
+ * baseline tuning, explicit-strategy evaluation, degraded-wafer
+ * re-optimisation and multi-wafer pipeline planning — is described by
+ * one plain-data request struct carrying the model, the hardware and
+ * the framework options. A request is self-contained: two requests
+ * with equal fields are the same computation, which is what lets
+ * TempService key its framework cache on request content and serve
+ * repeats from the shared evaluator memo.
+ *
+ * The unified Response carries status, timing, cache provenance and
+ * the kind-specific result payload; serialize.hpp renders it to JSON.
+ */
+#pragma once
+
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "core/framework.hpp"
+#include "hw/fault.hpp"
+
+namespace temp::api {
+
+/// Full DLWS pipeline: strategy space -> DP -> GA -> simulation.
+struct OptimizeRequest
+{
+    model::ModelConfig model;
+    hw::WaferConfig wafer = hw::WaferConfig::paperDefault();
+    core::FrameworkOptions options;
+};
+
+/// Tune one baseline partitioning scheme under a mapping engine.
+struct BaselineRequest
+{
+    model::ModelConfig model;
+    hw::WaferConfig wafer = hw::WaferConfig::paperDefault();
+    core::FrameworkOptions options;
+    baselines::BaselineKind kind = baselines::BaselineKind::MegatronSP;
+    tcme::MappingEngineKind engine = tcme::MappingEngineKind::TCME;
+};
+
+/// Simulate one explicit uniform strategy (ablations, sweeps).
+struct StrategyRequest
+{
+    model::ModelConfig model;
+    hw::WaferConfig wafer = hw::WaferConfig::paperDefault();
+    core::FrameworkOptions options;
+    parallel::ParallelSpec spec;
+};
+
+/// Re-optimise on a degraded wafer (the Fig. 20a three-step pipeline).
+struct FaultRequest
+{
+    model::ModelConfig model;
+    hw::WaferConfig wafer = hw::WaferConfig::paperDefault();
+    core::FrameworkOptions options;
+    /// Random fault injection (matching examples/fault_aware_training):
+    /// link faults are drawn first, core faults second, from one RNG
+    /// seeded with fault_seed — so (rates, seed) reproduce a scenario.
+    double link_fault_rate = 0.0;
+    double core_fault_rate = 0.0;
+    std::uint64_t fault_seed = 1;
+    /// Explicit fault state; when set, the rates and seed are ignored.
+    std::optional<hw::FaultMap> faults;
+};
+
+/// Pipeline-parallel training across a wafer pod (Sec. VIII-E).
+struct MultiWaferRequest
+{
+    model::ModelConfig model;
+    hw::MultiWaferConfig pod;
+    core::FrameworkOptions options;  ///< policy + training options apply
+    parallel::ParallelSpec intra_spec;
+    int pp = 2;
+    int microbatches = 8;
+};
+
+/// Any request the service accepts (the submit() currency).
+using Request = std::variant<OptimizeRequest, BaselineRequest,
+                             StrategyRequest, FaultRequest,
+                             MultiWaferRequest>;
+
+/// Which request produced a response.
+enum class RequestKind
+{
+    Optimize,
+    Baseline,
+    Strategy,
+    Fault,
+    MultiWafer,
+};
+
+/// Printable request-kind name ("optimize", "baseline", ...).
+const char *requestKindName(RequestKind kind);
+
+/**
+ * The unified service response. `ok` means the request was executed
+ * (a search may still report an infeasible outcome in its payload);
+ * `!ok` means the request itself was invalid and `error` says why —
+ * invalid requests never terminate the service, unlike the library's
+ * fatal() paths.
+ */
+struct Response
+{
+    RequestKind kind = RequestKind::Optimize;
+    bool ok = false;
+    std::string error;
+    /// Wall-clock time spent serving the request.
+    double wall_time_s = 0.0;
+    /// True when a cached framework (and its evaluator memo) served
+    /// the request instead of a freshly built one.
+    bool framework_reused = false;
+    /// Cumulative evaluator counters of the serving framework, read
+    /// after the request (Optimize/Baseline/Strategy/Fault kinds).
+    /// Note: per-solve deltas (SolverResult's matrix_measurements /
+    /// cache_hits) are exact when requests against one framework do
+    /// not overlap in time; concurrent solves on the same framework
+    /// blur each other's deltas (results stay bit-identical — the
+    /// shared cache is additive — only the counters interleave).
+    eval::EvalStats evaluator_stats;
+
+    /// @{ Kind-specific payloads.
+    solver::SolverResult solver;         ///< Optimize, Fault
+    baselines::TunedBaseline baseline;   ///< Baseline
+    /// The step report of whatever the request produced, for uniform
+    /// access: solver.report / baseline.report mirrored, or the direct
+    /// simulation result (Strategy, MultiWafer).
+    sim::PerfReport report;
+    /// Operator names of the searched graph (Optimize, Fault), aligned
+    /// with solver.per_op_specs.
+    std::vector<std::string> op_names;
+    int usable_dies = 0;                 ///< Fault
+    hw::WaferConfig stage_fabric;        ///< MultiWafer
+    /// @}
+};
+
+}  // namespace temp::api

@@ -1,0 +1,243 @@
+#include "api/serialize.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace temp::api {
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+jsonNumber(double v)
+{
+    if (!std::isfinite(v))
+        return "null";
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.12g", v);
+    return buf;
+}
+
+JsonObject &
+JsonObject::addRaw(const std::string &key, const std::string &json)
+{
+    if (!body_.empty())
+        body_ += ',';
+    body_ += '"';
+    body_ += jsonEscape(key);
+    body_ += "\":";
+    body_ += json;
+    return *this;
+}
+
+JsonObject &
+JsonObject::add(const std::string &key, const std::string &value)
+{
+    return addRaw(key, "\"" + jsonEscape(value) + "\"");
+}
+
+JsonObject &
+JsonObject::add(const std::string &key, const char *value)
+{
+    return add(key, std::string(value));
+}
+
+JsonObject &
+JsonObject::add(const std::string &key, double value)
+{
+    return addRaw(key, jsonNumber(value));
+}
+
+JsonObject &
+JsonObject::add(const std::string &key, long value)
+{
+    return addRaw(key, std::to_string(value));
+}
+
+JsonObject &
+JsonObject::add(const std::string &key, int value)
+{
+    return addRaw(key, std::to_string(value));
+}
+
+JsonObject &
+JsonObject::add(const std::string &key, bool value)
+{
+    return addRaw(key, value ? "true" : "false");
+}
+
+std::string
+JsonObject::str() const
+{
+    return "{" + body_ + "}";
+}
+
+std::string
+jsonArray(const std::vector<std::string> &elements)
+{
+    std::string out = "[";
+    for (std::size_t i = 0; i < elements.size(); ++i) {
+        if (i)
+            out += ',';
+        out += elements[i];
+    }
+    out += ']';
+    return out;
+}
+
+std::string
+toJson(const sim::PerfReport &r)
+{
+    return JsonObject()
+        .add("feasible", r.feasible)
+        .add("oom", r.oom)
+        .add("step_time_s", r.step_time)
+        .add("comp_time_s", r.comp_time)
+        .add("collective_time_s", r.collective_time)
+        .add("stream_comm_time_s", r.stream_comm_time)
+        .add("exposed_comm_s", r.exposed_comm)
+        .add("reshard_time_s", r.reshard_time)
+        .add("bubble_time_s", r.bubble_time)
+        .add("grad_sync_time_s", r.grad_sync_time)
+        .add("grad_accum", r.grad_accum)
+        .add("recompute", r.recompute)
+        .add("peak_mem_bytes", r.peak_mem_bytes)
+        .add("avg_power_w", r.avg_power_w)
+        .add("power_efficiency_flops_per_j", r.power_efficiency)
+        .add("bw_utilization", r.bw_utilization)
+        .add("total_flops", r.total_flops)
+        .add("throughput_tokens_per_s", r.throughput_tokens_per_s)
+        .add("strategy", r.strategy_desc)
+        .str();
+}
+
+std::string
+toJson(const parallel::ParallelSpec &spec)
+{
+    return JsonObject()
+        .add("dp", spec.dp)
+        .add("fsdp", spec.fsdp)
+        .add("tp", spec.tp)
+        .add("sp", spec.sp)
+        .add("cp", spec.cp)
+        .add("tatp", spec.tatp)
+        .add("pp", spec.pp)
+        .add("coupled_sp", spec.coupled_sp)
+        .add("str", spec.str())
+        .str();
+}
+
+std::string
+toJson(const baselines::TunedBaseline &baseline)
+{
+    return JsonObject()
+        .addRaw("spec", toJson(baseline.spec))
+        .add("all_oom", baseline.all_oom)
+        .addRaw("report", toJson(baseline.report))
+        .str();
+}
+
+std::string
+toJson(const solver::SolverResult &result,
+       const std::vector<std::string> &op_names)
+{
+    std::vector<std::string> per_op;
+    per_op.reserve(result.per_op_specs.size());
+    for (std::size_t i = 0; i < result.per_op_specs.size(); ++i) {
+        if (i < op_names.size()) {
+            per_op.push_back(JsonObject()
+                                 .add("op", op_names[i])
+                                 .add("spec",
+                                      result.per_op_specs[i].str())
+                                 .str());
+        } else {
+            per_op.push_back("\"" +
+                             jsonEscape(result.per_op_specs[i].str()) +
+                             "\"");
+        }
+    }
+    return JsonObject()
+        .add("feasible", result.feasible)
+        .add("step_time_s", result.step_time_s)
+        .add("search_time_s", result.search_time_s)
+        .add("evaluations", result.evaluations)
+        .add("matrix_measurements", result.matrix_measurements)
+        .add("cache_hits", result.cache_hits)
+        .add("candidate_count", result.candidate_count)
+        .addRaw("per_op_specs", jsonArray(per_op))
+        .addRaw("report", toJson(result.report))
+        .str();
+}
+
+std::string
+toJson(const eval::EvalStats &stats)
+{
+    return JsonObject()
+        .add("measurements", stats.measurements)
+        .add("cache_hits", stats.cache_hits)
+        .add("layouts_built", stats.layouts_built)
+        .add("layout_hits", stats.layout_hits)
+        .str();
+}
+
+std::string
+toJson(const Response &response)
+{
+    JsonObject json;
+    json.add("kind", requestKindName(response.kind))
+        .add("ok", response.ok)
+        .add("error", response.error)
+        .add("wall_time_s", response.wall_time_s)
+        .add("framework_reused", response.framework_reused)
+        .addRaw("evaluator", toJson(response.evaluator_stats));
+    switch (response.kind) {
+    case RequestKind::Optimize:
+        json.addRaw("result", toJson(response.solver,
+                                     response.op_names));
+        break;
+    case RequestKind::Fault:
+        json.add("usable_dies", response.usable_dies)
+            .addRaw("result", toJson(response.solver,
+                                     response.op_names));
+        break;
+    case RequestKind::Baseline:
+        json.addRaw("result", toJson(response.baseline));
+        break;
+    case RequestKind::Strategy:
+        json.addRaw("result", toJson(response.report));
+        break;
+    case RequestKind::MultiWafer:
+        json.addRaw("stage_fabric",
+                    JsonObject()
+                        .add("rows", response.stage_fabric.rows)
+                        .add("cols", response.stage_fabric.cols)
+                        .str())
+            .addRaw("result", toJson(response.report));
+        break;
+    }
+    return json.str();
+}
+
+}  // namespace temp::api

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * JSON rendering of the service surface, following the BENCH_JSON
+ * convention the benches already emit: flat snake_case keys, seconds
+ * and bytes as raw doubles, one document per render. Field order is
+ * fixed (insertion-ordered builder), so equal values serialize to
+ * byte-identical documents — trajectories and tests can diff them.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "api/requests.hpp"
+
+namespace temp::api {
+
+/// Escapes a string for embedding inside a JSON string literal.
+std::string jsonEscape(const std::string &s);
+
+/// Renders a double as a JSON number; non-finite values become null
+/// (JSON has no inf/nan).
+std::string jsonNumber(double v);
+
+/// Minimal insertion-ordered JSON object builder.
+class JsonObject
+{
+  public:
+    JsonObject &add(const std::string &key, const std::string &value);
+    JsonObject &add(const std::string &key, const char *value);
+    JsonObject &add(const std::string &key, double value);
+    JsonObject &add(const std::string &key, long value);
+    JsonObject &add(const std::string &key, int value);
+    JsonObject &add(const std::string &key, bool value);
+    /// Embeds pre-rendered JSON (an object or array) verbatim.
+    JsonObject &addRaw(const std::string &key, const std::string &json);
+
+    /// The rendered document, e.g. {"a":1,"b":"x"}.
+    std::string str() const;
+
+  private:
+    std::string body_;
+};
+
+/// Renders a JSON array from pre-rendered element documents.
+std::string jsonArray(const std::vector<std::string> &elements);
+
+/// @{ Result-type renderers.
+std::string toJson(const sim::PerfReport &report);
+std::string toJson(const parallel::ParallelSpec &spec);
+std::string toJson(const baselines::TunedBaseline &baseline);
+/// @param op_names When non-empty, per-op specs are emitted as
+///        {"op","spec"} pairs; otherwise as bare spec strings.
+std::string toJson(const solver::SolverResult &result,
+                   const std::vector<std::string> &op_names = {});
+std::string toJson(const eval::EvalStats &stats);
+std::string toJson(const Response &response);
+/// @}
+
+}  // namespace temp::api

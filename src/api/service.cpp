@@ -1,0 +1,407 @@
+#include "api/service.hpp"
+
+#include <chrono>
+#include <cstdio>
+
+#include "model/graph.hpp"
+
+namespace temp::api {
+
+namespace {
+
+double
+now()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/// Appends one canonicalized field to a cache key. %.17g round-trips
+/// doubles, so two configs share a key iff they are value-identical.
+void
+field(std::string &key, double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g|", v);
+    key += buf;
+}
+
+void
+field(std::string &key, int v)
+{
+    key += std::to_string(v);
+    key += '|';
+}
+
+void
+field(std::string &key, bool v)
+{
+    key += v ? "1|" : "0|";
+}
+
+std::string
+waferKey(const hw::WaferConfig &w)
+{
+    std::string key;
+    field(key, w.rows);
+    field(key, w.cols);
+    field(key, w.die.area_mm2);
+    field(key, w.die.sram_bytes);
+    field(key, w.die.frequency_hz);
+    field(key, w.die.peak_flops);
+    field(key, w.die.flops_per_watt);
+    field(key, w.hbm.area_mm2);
+    field(key, w.hbm.stacks_per_die);
+    field(key, w.hbm.capacity_bytes);
+    field(key, w.hbm.bandwidth_bytes_per_s);
+    field(key, w.hbm.latency_s);
+    field(key, w.hbm.energy_pj_per_bit);
+    field(key, w.d2d.bandwidth_bytes_per_s);
+    field(key, w.d2d.latency_s);
+    field(key, w.d2d.energy_pj_per_bit);
+    field(key, w.d2d.efficient_transfer_bytes);
+    return key;
+}
+
+/// The (policy, training) slice of the options — all a simulator
+/// consumes; pods key on this so solver-only knobs don't evict them.
+std::string
+policyTrainingKey(const core::FrameworkOptions &o)
+{
+    std::string key;
+    field(key, static_cast<int>(o.policy.kind));
+    field(key, o.training.flash_attention);
+    field(key, o.training.zero1_optimizer);
+    field(key, o.training.weight_bytes_per_elem);
+    field(key, o.training.act_bytes_per_elem);
+    field(key, o.training.grad_bytes_per_elem);
+    field(key, o.training.optimizer_bytes_per_param);
+    return key;
+}
+
+std::string
+optionsKey(const core::FrameworkOptions &o)
+{
+    std::string key = policyTrainingKey(o);
+    field(key, o.solver.space.allow_dp);
+    field(key, o.solver.space.allow_fsdp);
+    field(key, o.solver.space.allow_tp);
+    field(key, o.solver.space.allow_sp);
+    field(key, o.solver.space.allow_cp);
+    field(key, o.solver.space.allow_tatp);
+    field(key, o.solver.space.max_tp);
+    field(key, o.solver.space.max_tatp);
+    field(key, o.solver.space.full_occupancy);
+    field(key, o.solver.enable_ga);
+    field(key, o.solver.ga_population);
+    field(key, o.solver.ga_generations);
+    field(key, o.solver.ga_mutation_rate);
+    key += std::to_string(o.solver.seed);  // uint64: no double rounding
+    key += '|';
+    field(key, o.solver.use_surrogate);
+    field(key, o.solver.surrogate_sample_fraction);
+    field(key, o.eval_threads);
+    return key;
+}
+
+std::string
+podKey(const hw::MultiWaferConfig &pod, const core::FrameworkOptions &o)
+{
+    std::string key = waferKey(pod.wafer);
+    field(key, pod.wafer_count);
+    field(key, pod.inter_wafer_bandwidth_bytes_per_s);
+    field(key, pod.inter_wafer_latency_s);
+    key += policyTrainingKey(o);
+    return key;
+}
+
+/// Validates an explicit uniform spec against a die budget; returns an
+/// error message or empty.
+std::string
+checkSpec(const parallel::ParallelSpec &spec, int die_count)
+{
+    if (!spec.valid())
+        return "invalid spec " + spec.str() +
+               " (degrees must be >= 1; dp and fsdp are exclusive)";
+    if (spec.totalDegree() > die_count)
+        return "spec " + spec.str() + " needs " +
+               std::to_string(spec.totalDegree()) + " dies, wafer has " +
+               std::to_string(die_count);
+    return "";
+}
+
+std::vector<std::string>
+opNames(const model::ComputeGraph &graph)
+{
+    std::vector<std::string> names;
+    names.reserve(static_cast<std::size_t>(graph.opCount()));
+    for (int i = 0; i < graph.opCount(); ++i)
+        names.push_back(graph.op(i).name);
+    return names;
+}
+
+}  // namespace
+
+const char *
+requestKindName(RequestKind kind)
+{
+    switch (kind) {
+    case RequestKind::Optimize: return "optimize";
+    case RequestKind::Baseline: return "baseline";
+    case RequestKind::Strategy: return "strategy";
+    case RequestKind::Fault: return "fault";
+    case RequestKind::MultiWafer: return "multiwafer";
+    }
+    return "unknown";
+}
+
+TempService::TempService(ServiceOptions options)
+    : pool_(options.request_threads)
+{
+}
+
+std::shared_ptr<core::TempFramework>
+TempService::framework(const hw::WaferConfig &wafer,
+                       const core::FrameworkOptions &options)
+{
+    bool reused = false;
+    return frameworkFor(wafer, options, &reused);
+}
+
+std::shared_ptr<core::TempFramework>
+TempService::frameworkFor(const hw::WaferConfig &wafer,
+                          const core::FrameworkOptions &options,
+                          bool *reused)
+{
+    const std::string key = waferKey(wafer) + optionsKey(options);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = frameworks_.find(key);
+        if (it != frameworks_.end()) {
+            ++stats_.framework_cache_hits;
+            *reused = true;
+            return it->second;
+        }
+    }
+    // Build outside the lock so a slow construction never stalls
+    // cache hits for other requests; if two threads race on the same
+    // key, the loser's copy is discarded and the winner's is shared.
+    auto fw = std::make_shared<core::TempFramework>(wafer, options);
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto [it, inserted] = frameworks_.emplace(key, std::move(fw));
+    if (inserted) {
+        ++stats_.frameworks_built;
+        *reused = false;
+    } else {
+        ++stats_.framework_cache_hits;
+        *reused = true;
+    }
+    return it->second;
+}
+
+std::shared_ptr<sim::MultiWaferSimulator>
+TempService::podFor(const hw::MultiWaferConfig &pod,
+                    const core::FrameworkOptions &options, bool *reused)
+{
+    const std::string key = podKey(pod, options);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = pods_.find(key);
+        if (it != pods_.end()) {
+            ++stats_.pod_cache_hits;
+            *reused = true;
+            return it->second;
+        }
+    }
+    auto sim = std::make_shared<sim::MultiWaferSimulator>(
+        pod, options.policy, options.training);
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto [it, inserted] = pods_.emplace(key, std::move(sim));
+    if (inserted) {
+        ++stats_.pods_built;
+        *reused = false;
+    } else {
+        ++stats_.pod_cache_hits;
+        *reused = true;
+    }
+    return it->second;
+}
+
+Response
+TempService::finish(Response response, double start_time)
+{
+    response.wall_time_s = now() - start_time;
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.requests;
+    return response;
+}
+
+Response
+TempService::run(const OptimizeRequest &request)
+{
+    const double t0 = now();
+    Response response;
+    response.kind = RequestKind::Optimize;
+    auto fw = frameworkFor(request.wafer, request.options,
+                           &response.framework_reused);
+    response.solver = fw->optimize(request.model);
+    response.report = response.solver.report;
+    response.op_names =
+        opNames(model::ComputeGraph::transformer(request.model));
+    response.evaluator_stats = fw->evaluatorStats();
+    response.ok = true;
+    return finish(std::move(response), t0);
+}
+
+Response
+TempService::run(const BaselineRequest &request)
+{
+    const double t0 = now();
+    Response response;
+    response.kind = RequestKind::Baseline;
+    auto fw = frameworkFor(request.wafer, request.options,
+                           &response.framework_reused);
+    response.baseline =
+        fw->evaluateBaseline(request.kind, request.engine, request.model);
+    response.report = response.baseline.report;
+    response.evaluator_stats = fw->evaluatorStats();
+    response.ok = true;
+    return finish(std::move(response), t0);
+}
+
+Response
+TempService::run(const StrategyRequest &request)
+{
+    const double t0 = now();
+    Response response;
+    response.kind = RequestKind::Strategy;
+    response.error = checkSpec(request.spec, request.wafer.dieCount());
+    if (!response.error.empty())
+        return finish(std::move(response), t0);
+    auto fw = frameworkFor(request.wafer, request.options,
+                           &response.framework_reused);
+    response.report = fw->evaluateStrategy(request.model, request.spec);
+    response.evaluator_stats = fw->evaluatorStats();
+    response.ok = true;
+    return finish(std::move(response), t0);
+}
+
+Response
+TempService::run(const FaultRequest &request)
+{
+    const double t0 = now();
+    Response response;
+    response.kind = RequestKind::Fault;
+    auto fw = frameworkFor(request.wafer, request.options,
+                           &response.framework_reused);
+
+    // Fault localisation input: the caller's explicit map, or random
+    // injection drawn exactly like examples/fault_aware_training (one
+    // RNG, links first, cores second).
+    const hw::Wafer &healthy = fw->wafer();
+    hw::FaultMap faults(healthy.dieCount(),
+                        healthy.topology().linkCount());
+    if (request.faults) {
+        faults = *request.faults;
+    } else {
+        Rng rng(request.fault_seed);
+        if (request.link_fault_rate > 0.0)
+            faults = hw::FaultMap::randomLinkFaults(
+                healthy.topology(), request.link_fault_rate, rng);
+        if (request.core_fault_rate > 0.0) {
+            const hw::FaultMap cores = hw::FaultMap::randomCoreFaults(
+                healthy.topology(), request.core_fault_rate, rng);
+            for (hw::DieId die = 0; die < healthy.dieCount(); ++die)
+                faults.setCoreFaultFraction(
+                    die, cores.coreFaultFraction(die));
+        }
+    }
+
+    const hw::Wafer degraded(request.wafer, faults);
+    response.usable_dies = degraded.usableDieCount();
+    response.solver = fw->optimizeWithFaults(request.model, faults);
+    response.report = response.solver.report;
+    response.op_names =
+        opNames(model::ComputeGraph::transformer(request.model));
+    response.evaluator_stats = fw->evaluatorStats();
+    response.ok = true;
+    return finish(std::move(response), t0);
+}
+
+Response
+TempService::run(const MultiWaferRequest &request)
+{
+    const double t0 = now();
+    Response response;
+    response.kind = RequestKind::MultiWafer;
+
+    // Pre-validate everything MultiWaferSimulator would fatal() on, so
+    // a malformed request degrades to an error response instead of
+    // terminating the service.
+    const int wafers = request.pod.wafer_count;
+    const int pp = request.pp;
+    const int micro = request.microbatches;
+    if (wafers < 1 || pp < 1 || micro < 1) {
+        response.error = "pod wafer_count, pp and microbatches must be "
+                         "positive";
+        return finish(std::move(response), t0);
+    }
+    if (pp <= wafers ? wafers % pp != 0
+                     : (pp % wafers != 0 ||
+                        request.pod.wafer.cols % (pp / wafers) != 0)) {
+        response.error =
+            "pp=" + std::to_string(pp) + " incompatible with " +
+            std::to_string(wafers) + " wafers of " +
+            std::to_string(request.pod.wafer.cols) + " cols";
+        return finish(std::move(response), t0);
+    }
+    if (request.model.layers % pp != 0) {
+        response.error = std::to_string(request.model.layers) +
+                         " layers not divisible by pp=" +
+                         std::to_string(pp);
+        return finish(std::move(response), t0);
+    }
+    if (request.model.batch % micro != 0) {
+        response.error = "batch " + std::to_string(request.model.batch) +
+                         " not divisible by m=" + std::to_string(micro);
+        return finish(std::move(response), t0);
+    }
+
+    auto pod = podFor(request.pod, request.options,
+                      &response.framework_reused);
+    response.stage_fabric = pod->stageFabric(pp);
+    response.error = checkSpec(request.intra_spec,
+                               response.stage_fabric.dieCount());
+    if (!response.error.empty())
+        return finish(std::move(response), t0);
+
+    const model::ComputeGraph graph =
+        model::ComputeGraph::transformer(request.model);
+    response.report =
+        pod->simulate(graph, request.intra_spec, pp, micro);
+    response.ok = true;
+    return finish(std::move(response), t0);
+}
+
+Response
+TempService::run(const Request &request)
+{
+    return std::visit([this](const auto &r) { return run(r); }, request);
+}
+
+std::future<Response>
+TempService::submit(Request request)
+{
+    return pool_.submit(
+        [this, request = std::move(request)] { return run(request); });
+}
+
+TempService::Stats
+TempService::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+}  // namespace temp::api

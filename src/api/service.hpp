@@ -1,0 +1,101 @@
+/**
+ * @file
+ * TempService: the long-lived entry point a server process (or CLI)
+ * holds onto instead of hand-constructing TempFramework per request.
+ *
+ * The service owns a cache of TempFramework instances keyed by the
+ * canonicalized (WaferConfig, FrameworkOptions) content, so every
+ * request against the same wafer shares one framework — and with it
+ * the CachingEvaluator and its memos. A repeated OptimizeRequest is
+ * served entirely from cache: its SolverResult reports zero new
+ * matrix_measurements and pure cache_hits. Multi-wafer pods are cached
+ * the same way (MultiWaferSimulator keeps per-pp stage contexts).
+ *
+ * run() executes synchronously on the caller's thread; submit()
+ * enqueues onto the service's ThreadPool and returns a future, so a
+ * front end can keep many heterogeneous requests in flight against
+ * the shared caches (all cached components are thread-safe).
+ */
+#pragma once
+
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "api/requests.hpp"
+
+namespace temp::api {
+
+/// Service-level tuning.
+struct ServiceOptions
+{
+    /// Worker threads executing submit()ed requests (0 = hardware
+    /// concurrency). With a single-thread pool submit() degrades to
+    /// inline execution; futures always resolve.
+    int request_threads = 0;
+};
+
+/// Serves typed TEMP requests over cached frameworks.
+class TempService
+{
+  public:
+    explicit TempService(ServiceOptions options = ServiceOptions());
+
+    /// @{ Synchronous execution of one request.
+    Response run(const OptimizeRequest &request);
+    Response run(const BaselineRequest &request);
+    Response run(const StrategyRequest &request);
+    Response run(const FaultRequest &request);
+    Response run(const MultiWaferRequest &request);
+    Response run(const Request &request);
+    /// @}
+
+    /// Asynchronous execution: queues the request on the service pool
+    /// and returns the eventual response.
+    std::future<Response> submit(Request request);
+
+    /// Service-level counters.
+    struct Stats
+    {
+        long requests = 0;          ///< responses produced (ok or not)
+        long frameworks_built = 0;  ///< distinct (wafer, options) seen
+        long framework_cache_hits = 0;
+        long pods_built = 0;        ///< distinct multi-wafer pods seen
+        long pod_cache_hits = 0;
+    };
+    Stats stats() const;
+
+    /**
+     * The cached framework serving (wafer, options), built on first
+     * use — for advanced callers needing the underlying simulator or
+     * evaluator (benches, the exhaustive baseline). Shares the cache
+     * with request execution.
+     */
+    std::shared_ptr<core::TempFramework> framework(
+        const hw::WaferConfig &wafer,
+        const core::FrameworkOptions &options);
+
+  private:
+    std::shared_ptr<core::TempFramework> frameworkFor(
+        const hw::WaferConfig &wafer,
+        const core::FrameworkOptions &options, bool *reused);
+    std::shared_ptr<sim::MultiWaferSimulator> podFor(
+        const hw::MultiWaferConfig &pod,
+        const core::FrameworkOptions &options, bool *reused);
+
+    /// Records bookkeeping shared by every run() overload.
+    Response finish(Response response, double start_time);
+
+    mutable std::mutex mutex_;
+    std::map<std::string, std::shared_ptr<core::TempFramework>>
+        frameworks_;
+    std::map<std::string, std::shared_ptr<sim::MultiWaferSimulator>>
+        pods_;
+    Stats stats_;
+    /// Declared last: destroyed first, so queued submit() tasks drain
+    /// (and stop touching the members above) before they go away.
+    ThreadPool pool_;
+};
+
+}  // namespace temp::api

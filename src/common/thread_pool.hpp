@@ -1,6 +1,7 @@
 /**
  * @file
- * A minimal fixed-size thread pool for data-parallel loops.
+ * A minimal fixed-size thread pool for data-parallel loops and
+ * fire-and-collect task submission.
  *
  * Deliberately work-stealing-free: jobs are index ranges handed out from
  * a single atomic cursor, which keeps the implementation small and the
@@ -9,15 +10,23 @@
  * The calling thread participates in the loop, so a pool of size 1 runs
  * everything inline and a pool is never slower than the serial loop by
  * more than the dispatch overhead.
+ *
+ * submit() adds a second work source: single future-returning tasks
+ * queued FIFO behind any active parallelFor job. Workers prefer the
+ * loop (its caller is blocked on it), then drain the task queue; a
+ * pool without workers runs the task inline so futures always resolve.
  */
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
+#include <deque>
 #include <exception>
 #include <functional>
+#include <future>
 #include <mutex>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 namespace temp {
@@ -42,6 +51,7 @@ class ThreadPool
             workers_.emplace_back([this] { workerLoop(); });
     }
 
+    /// Drains queued tasks (their futures resolve) before joining.
     ~ThreadPool()
     {
         {
@@ -97,6 +107,33 @@ class ThreadPool
         }
     }
 
+    /**
+     * Queues one task for asynchronous execution and returns its
+     * future. Exceptions propagate through the future. A task may
+     * itself call parallelFor on this pool (the calling worker runs its
+     * share, so nested use cannot deadlock). When the pool has no
+     * workers (size 1) the task runs inline before submit() returns.
+     */
+    template <typename Fn>
+    auto
+    submit(Fn &&fn) -> std::future<std::invoke_result_t<Fn>>
+    {
+        using Result = std::invoke_result_t<Fn>;
+        auto task = std::make_shared<std::packaged_task<Result()>>(
+            std::forward<Fn>(fn));
+        std::future<Result> future = task->get_future();
+        if (workers_.empty()) {
+            (*task)();
+            return future;
+        }
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            tasks_.push_back([task] { (*task)(); });
+        }
+        cv_.notify_one();
+        return future;
+    }
+
   private:
     /// Claims and runs loop iterations until the current job drains.
     void
@@ -130,16 +167,27 @@ class ThreadPool
     workerLoop()
     {
         for (;;) {
+            bool run_job = false;
+            std::function<void()> task;
             {
                 std::unique_lock<std::mutex> lock(mutex_);
                 cv_.wait(lock, [this] {
-                    return stop_ ||
+                    return stop_ || !tasks_.empty() ||
                            (job_fn_ != nullptr && next_ < job_n_);
                 });
-                if (stop_)
+                if (job_fn_ != nullptr && next_ < job_n_) {
+                    run_job = true;
+                } else if (!tasks_.empty()) {
+                    task = std::move(tasks_.front());
+                    tasks_.pop_front();
+                } else if (stop_) {
                     return;
+                }
             }
-            runShare();
+            if (run_job)
+                runShare();
+            else if (task)
+                task();
         }
     }
 
@@ -147,6 +195,7 @@ class ThreadPool
     std::vector<std::thread> workers_;
     std::mutex job_mutex_;  ///< serialises concurrent parallelFor calls
     std::mutex mutex_;
+    std::deque<std::function<void()>> tasks_;  ///< submit() queue
     std::condition_variable cv_;
     std::condition_variable done_cv_;
     const std::function<void(std::size_t)> *job_fn_ = nullptr;

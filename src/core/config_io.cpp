@@ -35,6 +35,32 @@ toNumber(const std::string &key, const std::string &value)
     }
 }
 
+bool
+toBool(const std::string &key, const std::string &value)
+{
+    if (value == "true" || value == "1")
+        return true;
+    if (value == "false" || value == "0")
+        return false;
+    fatal("config: key '%s' has non-boolean value '%s' "
+          "(use 0/1/true/false)",
+          key.c_str(), value.c_str());
+}
+
+tcme::MappingEngineKind
+toEngine(const std::string &key, const std::string &value)
+{
+    if (value == "smap")
+        return tcme::MappingEngineKind::SMap;
+    if (value == "gmap")
+        return tcme::MappingEngineKind::GMap;
+    if (value == "tcme")
+        return tcme::MappingEngineKind::TCME;
+    fatal("config: key '%s' has unknown engine '%s' "
+          "(use smap/gmap/tcme)",
+          key.c_str(), value.c_str());
+}
+
 }  // namespace
 
 ConfigMap
@@ -164,6 +190,76 @@ modelFromConfig(const ConfigMap &config)
         fatal("config: hidden (%d) must divide by heads (%d)",
               model.hidden, model.heads);
     return model;
+}
+
+FrameworkOptions
+frameworkOptionsFromConfig(const ConfigMap &config)
+{
+    FrameworkOptions options;
+    parallel::TrainingOptions &tr = options.training;
+    solver::SolverConfig &sv = options.solver;
+    solver::StrategySpaceOptions &sp = sv.space;
+
+    for (const auto &[key, value] : config) {
+        if (key == "policy") {
+            options.policy.kind = toEngine(key, value);
+        } else if (key == "eval_threads") {
+            options.eval_threads = static_cast<int>(toNumber(key, value));
+        } else if (key == "training.flash_attention") {
+            tr.flash_attention = toBool(key, value);
+        } else if (key == "training.zero1_optimizer") {
+            tr.zero1_optimizer = toBool(key, value);
+        } else if (key == "training.weight_bytes_per_elem") {
+            tr.weight_bytes_per_elem = toNumber(key, value);
+        } else if (key == "training.act_bytes_per_elem") {
+            tr.act_bytes_per_elem = toNumber(key, value);
+        } else if (key == "training.grad_bytes_per_elem") {
+            tr.grad_bytes_per_elem = toNumber(key, value);
+        } else if (key == "training.optimizer_bytes_per_param") {
+            tr.optimizer_bytes_per_param = toNumber(key, value);
+        } else if (key == "solver.enable_ga") {
+            sv.enable_ga = toBool(key, value);
+        } else if (key == "solver.ga_population") {
+            sv.ga_population = static_cast<int>(toNumber(key, value));
+        } else if (key == "solver.ga_generations") {
+            sv.ga_generations = static_cast<int>(toNumber(key, value));
+        } else if (key == "solver.ga_mutation_rate") {
+            sv.ga_mutation_rate = toNumber(key, value);
+        } else if (key == "solver.seed") {
+            sv.seed = static_cast<std::uint64_t>(toNumber(key, value));
+        } else if (key == "solver.use_surrogate") {
+            sv.use_surrogate = toBool(key, value);
+        } else if (key == "solver.surrogate_sample_fraction") {
+            sv.surrogate_sample_fraction = toNumber(key, value);
+        } else if (key == "solver.space.allow_dp") {
+            sp.allow_dp = toBool(key, value);
+        } else if (key == "solver.space.allow_fsdp") {
+            sp.allow_fsdp = toBool(key, value);
+        } else if (key == "solver.space.allow_tp") {
+            sp.allow_tp = toBool(key, value);
+        } else if (key == "solver.space.allow_sp") {
+            sp.allow_sp = toBool(key, value);
+        } else if (key == "solver.space.allow_cp") {
+            sp.allow_cp = toBool(key, value);
+        } else if (key == "solver.space.allow_tatp") {
+            sp.allow_tatp = toBool(key, value);
+        } else if (key == "solver.space.max_tp") {
+            sp.max_tp = static_cast<int>(toNumber(key, value));
+        } else if (key == "solver.space.max_tatp") {
+            sp.max_tatp = static_cast<int>(toNumber(key, value));
+        } else if (key == "solver.space.full_occupancy") {
+            sp.full_occupancy = toBool(key, value);
+        } else {
+            fatal("config: unknown options key '%s'", key.c_str());
+        }
+    }
+    return options;
+}
+
+bool
+isConfigFile(const std::string &arg)
+{
+    return arg.size() > 5 && arg.substr(arg.size() - 5) == ".conf";
 }
 
 }  // namespace temp::core

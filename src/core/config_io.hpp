@@ -11,12 +11,26 @@
  *
  * Model keys:
  *   name, heads, batch, hidden, layers, seq, ffn_mult, vocab
+ *
+ * Framework-options keys (booleans accept 0/1/true/false):
+ *   policy (smap | gmap | tcme), eval_threads,
+ *   training.flash_attention, training.zero1_optimizer,
+ *   training.weight_bytes_per_elem, training.act_bytes_per_elem,
+ *   training.grad_bytes_per_elem, training.optimizer_bytes_per_param,
+ *   solver.enable_ga, solver.ga_population, solver.ga_generations,
+ *   solver.ga_mutation_rate, solver.seed, solver.use_surrogate,
+ *   solver.surrogate_sample_fraction, solver.space.allow_dp,
+ *   solver.space.allow_fsdp, solver.space.allow_tp,
+ *   solver.space.allow_sp, solver.space.allow_cp,
+ *   solver.space.allow_tatp, solver.space.max_tp,
+ *   solver.space.max_tatp, solver.space.full_occupancy
  */
 #pragma once
 
 #include <map>
 #include <string>
 
+#include "core/framework.hpp"
 #include "hw/config.hpp"
 #include "model/model_zoo.hpp"
 
@@ -42,5 +56,18 @@ hw::WaferConfig waferFromConfig(const ConfigMap &config);
 /// Builds a model configuration from parsed keys; `name` is required
 /// unless `base` names a zoo model to start from.
 model::ModelConfig modelFromConfig(const ConfigMap &config);
+
+/**
+ * Builds framework options (mapping policy, training options, solver
+ * tuning, evaluation threads) from parsed keys, starting from the
+ * defaults; unknown keys are rejected (fatal). Together with wafer and
+ * model configs this makes a service request fully describable from
+ * `.conf` files without recompiling.
+ */
+FrameworkOptions frameworkOptionsFromConfig(const ConfigMap &config);
+
+/// True when a command-line argument names a config file rather than a
+/// zoo model (shared by the CLI and the examples).
+bool isConfigFile(const std::string &arg);
 
 }  // namespace temp::core

@@ -74,6 +74,58 @@ TEST(ModelConfig, BaseModelOverride)
     EXPECT_EQ(model.batch, 32);
 }
 
+TEST(FrameworkOptionsConfig, DefaultsWhenEmpty)
+{
+    const FrameworkOptions options = frameworkOptionsFromConfig({});
+    EXPECT_EQ(options.policy.kind, tcme::MappingEngineKind::TCME);
+    EXPECT_TRUE(options.solver.enable_ga);
+    EXPECT_EQ(options.eval_threads, 0);
+}
+
+TEST(FrameworkOptionsConfig, SolverTrainingAndPolicyKeysApply)
+{
+    const ConfigMap config = parseConfigText(
+        "policy = gmap\n"
+        "eval_threads = 3\n"
+        "training.flash_attention = false\n"
+        "training.optimizer_bytes_per_param = 16\n"
+        "solver.enable_ga = 0\n"
+        "solver.ga_population = 24\n"
+        "solver.ga_mutation_rate = 0.5\n"
+        "solver.seed = 7\n"
+        "solver.use_surrogate = true\n"
+        "solver.surrogate_sample_fraction = 0.2\n"
+        "solver.space.allow_sp = false\n"
+        "solver.space.max_tp = 8\n"
+        "solver.space.full_occupancy = 0\n");
+    const FrameworkOptions options = frameworkOptionsFromConfig(config);
+    EXPECT_EQ(options.policy.kind, tcme::MappingEngineKind::GMap);
+    EXPECT_EQ(options.eval_threads, 3);
+    EXPECT_FALSE(options.training.flash_attention);
+    EXPECT_DOUBLE_EQ(options.training.optimizer_bytes_per_param, 16.0);
+    EXPECT_FALSE(options.solver.enable_ga);
+    EXPECT_EQ(options.solver.ga_population, 24);
+    EXPECT_DOUBLE_EQ(options.solver.ga_mutation_rate, 0.5);
+    EXPECT_EQ(options.solver.seed, 7u);
+    EXPECT_TRUE(options.solver.use_surrogate);
+    EXPECT_DOUBLE_EQ(options.solver.surrogate_sample_fraction, 0.2);
+    EXPECT_FALSE(options.solver.space.allow_sp);
+    EXPECT_EQ(options.solver.space.max_tp, 8);
+    EXPECT_FALSE(options.solver.space.full_occupancy);
+    // Untouched keys keep their defaults.
+    EXPECT_TRUE(options.solver.space.allow_tatp);
+    EXPECT_TRUE(options.training.zero1_optimizer);
+}
+
+TEST(ConfigFileDetection, DotConfSuffixOnly)
+{
+    EXPECT_TRUE(isConfigFile("wafer.conf"));
+    EXPECT_TRUE(isConfigFile("path/to/model.conf"));
+    EXPECT_FALSE(isConfigFile("GPT-3 6.7B"));
+    EXPECT_FALSE(isConfigFile(".conf"));
+    EXPECT_FALSE(isConfigFile("conf"));
+}
+
 using ConfigDeath = ::testing::Test;
 
 TEST(ConfigDeath, RejectsUnknownWaferKey)
@@ -106,6 +158,23 @@ TEST(ConfigDeath, HiddenMustDivideByHeads)
         modelFromConfig(parseConfigText(
             "name = X\nheads = 7\nhidden = 100\n")),
         ::testing::ExitedWithCode(1), "divide");
+}
+
+TEST(ConfigDeath, RejectsUnknownOptionsKey)
+{
+    EXPECT_EXIT(
+        frameworkOptionsFromConfig(parseConfigText("solver.bogus = 1\n")),
+        ::testing::ExitedWithCode(1), "unknown options key");
+}
+
+TEST(ConfigDeath, RejectsNonBooleanAndUnknownEngine)
+{
+    EXPECT_EXIT(frameworkOptionsFromConfig(
+                    parseConfigText("solver.enable_ga = maybe\n")),
+                ::testing::ExitedWithCode(1), "non-boolean");
+    EXPECT_EXIT(
+        frameworkOptionsFromConfig(parseConfigText("policy = alpa\n")),
+        ::testing::ExitedWithCode(1), "unknown engine");
 }
 
 }  // namespace

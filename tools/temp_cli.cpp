@@ -1,0 +1,446 @@
+/**
+ * @file
+ * temp_cli: the one driver for the TEMP service layer. Every workflow
+ * the bench/example binaries hand-rolled is a subcommand routed
+ * through TempService, so repeated invocations of one process share
+ * cached frameworks, and --json turns any result into one
+ * machine-consumable document on stdout.
+ *
+ *   temp_cli <command> [model] [options]
+ *
+ * commands:
+ *   optimize    full DLWS pipeline (strategy space -> DP -> GA -> sim)
+ *   baseline    tune a baseline scheme (--kind, --engine)
+ *   faults      degraded-wafer re-optimisation (--link-rate, ...)
+ *   multiwafer  pipeline plan on a wafer pod (--wafers, --pp, ...)
+ *   sweep       ranked explicit-strategy line-up plus the solver pick
+ *
+ * model: a zoo name ("GPT-3 6.7B") or a path/to/model.conf; options:
+ *   --wafer FILE.conf   custom wafer (default: the Table I 4x8)
+ *   --opts FILE.conf    framework options (policy, solver.*, training.*)
+ *   --json              machine-readable output
+ */
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "api/serialize.hpp"
+#include "api/service.hpp"
+#include "common/table.hpp"
+#include "core/config_io.hpp"
+
+using namespace temp;
+
+namespace {
+
+struct CliArgs
+{
+    std::string command;
+    std::string model;
+    std::string wafer_file;
+    std::string opts_file;
+    bool json = false;
+    // baseline
+    std::string kind = "mesp";
+    std::string engine = "tcme";
+    // faults
+    double link_rate = 0.15;
+    double core_rate = 0.0;
+    std::uint64_t seed = 11;
+    // multiwafer
+    int wafers = 6;
+    int pp = 0;  ///< 0 = wafer count
+    int micro = 8;
+    int dp = 2, tp = 1, sp = 1, tatp = 16;
+};
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s <command> [model] [options]\n\n"
+        "commands:\n"
+        "  optimize    full DLWS pipeline on one model\n"
+        "  baseline    tune a baseline scheme "
+        "(--kind mega|mesp|fsdp, --engine smap|gmap|tcme)\n"
+        "  faults      degraded-wafer re-optimisation "
+        "(--link-rate R, --core-rate R, --seed N)\n"
+        "  multiwafer  pipeline plan on a wafer pod "
+        "(--wafers N, --pp N, --micro N, --dp/--tp/--sp/--tatp N)\n"
+        "  sweep       ranked explicit-strategy line-up + solver pick\n\n"
+        "model: zoo name (e.g. \"GPT-3 6.7B\") or path/to/model.conf\n"
+        "options: --wafer FILE.conf, --opts FILE.conf, --json\n",
+        argv0);
+    return 1;
+}
+
+bool
+parseArgs(int argc, char **argv, CliArgs *args)
+{
+    if (argc < 2)
+        return false;
+    args->command = argv[1];
+    int positional = 0;
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+                std::exit(1);
+            }
+            return argv[++i];
+        };
+        if (arg == "--json")
+            args->json = true;
+        else if (arg == "--wafer")
+            args->wafer_file = value();
+        else if (arg == "--opts")
+            args->opts_file = value();
+        else if (arg == "--kind")
+            args->kind = value();
+        else if (arg == "--engine")
+            args->engine = value();
+        else if (arg == "--link-rate")
+            args->link_rate = std::atof(value());
+        else if (arg == "--core-rate")
+            args->core_rate = std::atof(value());
+        else if (arg == "--seed")
+            args->seed = std::strtoull(value(), nullptr, 10);
+        else if (arg == "--wafers")
+            args->wafers = std::atoi(value());
+        else if (arg == "--pp")
+            args->pp = std::atoi(value());
+        else if (arg == "--micro")
+            args->micro = std::atoi(value());
+        else if (arg == "--dp")
+            args->dp = std::atoi(value());
+        else if (arg == "--tp")
+            args->tp = std::atoi(value());
+        else if (arg == "--sp")
+            args->sp = std::atoi(value());
+        else if (arg == "--tatp")
+            args->tatp = std::atoi(value());
+        else if (!arg.empty() && arg[0] == '-')
+            return false;
+        else if (positional++ == 0)
+            args->model = arg;
+        else
+            return false;
+    }
+    return true;
+}
+
+model::ModelConfig
+resolveModel(const CliArgs &args, const char *fallback)
+{
+    const std::string name = args.model.empty() ? fallback : args.model;
+    return core::isConfigFile(name)
+               ? core::modelFromConfig(core::loadConfigFile(name))
+               : model::modelByName(name);
+}
+
+hw::WaferConfig
+resolveWafer(const CliArgs &args)
+{
+    return args.wafer_file.empty()
+               ? hw::WaferConfig::paperDefault()
+               : core::waferFromConfig(
+                     core::loadConfigFile(args.wafer_file));
+}
+
+core::FrameworkOptions
+resolveOptions(const CliArgs &args)
+{
+    return args.opts_file.empty()
+               ? core::FrameworkOptions()
+               : core::frameworkOptionsFromConfig(
+                     core::loadConfigFile(args.opts_file));
+}
+
+/// Prints the per-operator table + step report shared by optimize and
+/// faults.
+void
+printSolverResponse(const api::Response &response)
+{
+    const solver::SolverResult &result = response.solver;
+    std::printf("Per-operator strategies (search %.2f s over %d "
+                "candidates, %ld evaluations):\n",
+                result.search_time_s, result.candidate_count,
+                result.evaluations);
+    for (std::size_t i = 0; i < result.per_op_specs.size(); ++i) {
+        const char *op = i < response.op_names.size()
+                             ? response.op_names[i].c_str()
+                             : "?";
+        std::printf("  %-10s -> %s\n", op,
+                    result.per_op_specs[i].str().c_str());
+    }
+    const sim::PerfReport &r = result.report;
+    std::printf("\nSimulated training step:\n");
+    std::printf("  step time           %.1f ms  (grad accum x%d%s)\n",
+                r.step_time * 1e3, r.grad_accum,
+                r.recompute ? ", activation recompute" : "");
+    std::printf("  compute             %.1f ms\n", r.comp_time * 1e3);
+    std::printf("  exposed comm        %.1f ms\n", r.exposed_comm * 1e3);
+    std::printf("  peak memory/die     %.1f GB %s\n",
+                r.peak_mem_bytes / 1e9, r.oom ? "(OOM!)" : "");
+    std::printf("  throughput          %.0f tokens/s\n",
+                r.throughput_tokens_per_s);
+    std::printf("  matrix fill         %ld measured, %ld cache hits\n",
+                result.matrix_measurements, result.cache_hits);
+}
+
+int
+emit(const api::Response &response)
+{
+    std::printf("%s\n", api::toJson(response).c_str());
+    return response.ok && response.report.feasible ? 0 : 1;
+}
+
+int
+runOptimize(api::TempService &service, const CliArgs &args)
+{
+    api::OptimizeRequest request{resolveModel(args, "GPT-3 6.7B"),
+                                 resolveWafer(args),
+                                 resolveOptions(args)};
+    const api::Response response = service.run(request);
+    if (args.json)
+        return emit(response);
+    std::printf("TEMP optimize — %s on a %dx%d wafer\n\n",
+                request.model.name.c_str(), request.wafer.rows,
+                request.wafer.cols);
+    if (!response.ok || !response.solver.feasible) {
+        std::printf("No feasible strategy found. %s\n",
+                    response.error.c_str());
+        return 1;
+    }
+    printSolverResponse(response);
+    return 0;
+}
+
+int
+runBaseline(api::TempService &service, const CliArgs &args)
+{
+    api::BaselineRequest request{resolveModel(args, "GPT-3 6.7B"),
+                                 resolveWafer(args),
+                                 resolveOptions(args)};
+    if (args.kind == "mega")
+        request.kind = baselines::BaselineKind::Megatron1;
+    else if (args.kind == "mesp")
+        request.kind = baselines::BaselineKind::MegatronSP;
+    else if (args.kind == "fsdp")
+        request.kind = baselines::BaselineKind::Fsdp;
+    else {
+        std::fprintf(stderr, "unknown --kind '%s'\n", args.kind.c_str());
+        return 1;
+    }
+    if (args.engine == "smap")
+        request.engine = tcme::MappingEngineKind::SMap;
+    else if (args.engine == "gmap")
+        request.engine = tcme::MappingEngineKind::GMap;
+    else if (args.engine == "tcme")
+        request.engine = tcme::MappingEngineKind::TCME;
+    else {
+        std::fprintf(stderr, "unknown --engine '%s'\n",
+                     args.engine.c_str());
+        return 1;
+    }
+    const api::Response response = service.run(request);
+    if (args.json)
+        return emit(response);
+    const baselines::TunedBaseline &tuned = response.baseline;
+    std::printf("Baseline %s under %s — %s\n",
+                baselines::baselineName(request.kind),
+                tcme::mappingEngineName(request.engine),
+                request.model.name.c_str());
+    std::printf("  tuned spec   %s%s\n", tuned.spec.str().c_str(),
+                tuned.all_oom ? "  (every configuration OOMs)" : "");
+    std::printf("  step time    %.1f ms\n",
+                tuned.report.step_time * 1e3);
+    std::printf("  peak memory  %.1f GB/die\n",
+                tuned.report.peak_mem_bytes / 1e9);
+    std::printf("  throughput   %.0f tokens/s\n",
+                tuned.report.throughput_tokens_per_s);
+    return tuned.all_oom ? 1 : 0;
+}
+
+int
+runFaults(api::TempService &service, const CliArgs &args)
+{
+    api::FaultRequest request{resolveModel(args, "Llama2 7B"),
+                              resolveWafer(args), resolveOptions(args)};
+    request.link_fault_rate = args.link_rate;
+    request.core_fault_rate = args.core_rate;
+    request.fault_seed = args.seed;
+    const api::Response response = service.run(request);
+    if (args.json)
+        return emit(response);
+    std::printf("Fault-aware re-optimisation — %s "
+                "(%.0f%% link, %.0f%% core faults, seed %llu)\n\n",
+                request.model.name.c_str(), args.link_rate * 100,
+                args.core_rate * 100,
+                static_cast<unsigned long long>(args.seed));
+    std::printf("Usable dies: %d of %d\n", response.usable_dies,
+                request.wafer.dieCount());
+    if (!response.ok || !response.solver.feasible) {
+        std::printf("Unrecoverable: no feasible strategy. %s\n",
+                    response.error.c_str());
+        return 1;
+    }
+    printSolverResponse(response);
+    return 0;
+}
+
+int
+runMultiWafer(api::TempService &service, const CliArgs &args)
+{
+    api::MultiWaferRequest request;
+    request.model = resolveModel(args, "GPT-3 504B");
+    request.pod.wafer = resolveWafer(args);
+    request.pod.wafer_count = args.wafers;
+    request.options = resolveOptions(args);
+    request.pp = args.pp > 0 ? args.pp : args.wafers;
+    request.microbatches = args.micro;
+    request.intra_spec.dp = args.dp;
+    request.intra_spec.tp = args.tp;
+    request.intra_spec.sp = args.sp;
+    request.intra_spec.tatp = args.tatp;
+    const api::Response response = service.run(request);
+    if (args.json)
+        return emit(response);
+    std::printf("Multi-wafer plan — %s on %d wafers, pp=%d, m=%d, "
+                "intra %s\n\n",
+                request.model.name.c_str(), args.wafers, request.pp,
+                request.microbatches, request.intra_spec.str().c_str());
+    if (!response.ok) {
+        std::printf("Invalid plan: %s\n", response.error.c_str());
+        return 1;
+    }
+    const sim::PerfReport &r = response.report;
+    if (!r.feasible) {
+        std::printf("Plan infeasible on this pod.\n");
+        return 1;
+    }
+    std::printf("  stage fabric   %dx%d dies\n",
+                response.stage_fabric.rows, response.stage_fabric.cols);
+    std::printf("  step time      %.2f s\n", r.step_time);
+    std::printf("  bubble         %.1f%%\n",
+                100.0 * r.bubble_time / r.step_time);
+    std::printf("  peak memory    %.1f GB/die %s\n",
+                r.peak_mem_bytes / 1e9, r.oom ? "(OOM!)" : "");
+    std::printf("  throughput     %.0f tokens/s\n",
+                r.throughput_tokens_per_s);
+    return r.oom ? 1 : 0;
+}
+
+int
+runSweep(api::TempService &service, const CliArgs &args)
+{
+    const model::ModelConfig model = resolveModel(args, "Llama2 7B");
+    const hw::WaferConfig wafer = resolveWafer(args);
+    const core::FrameworkOptions options = resolveOptions(args);
+
+    struct Candidate
+    {
+        const char *label;
+        int dp, tp, sp, tatp;
+    };
+    const std::vector<Candidate> lineup = {
+        {"pure DP", 32, 1, 1, 1},        {"TP8 x DP4", 4, 8, 1, 1},
+        {"SP8 x DP4", 4, 1, 8, 1},       {"pure TATP", 1, 1, 1, 32},
+        {"TATP8 x DP4", 4, 1, 1, 8},     {"TATP16 x TP2", 1, 2, 1, 16},
+    };
+
+    struct Row
+    {
+        std::string label;
+        std::string spec;
+        api::Response response;
+    };
+    std::vector<Row> rows;
+    for (const Candidate &c : lineup) {
+        api::StrategyRequest request{model, wafer, options};
+        request.spec.dp = c.dp;
+        request.spec.tp = c.tp;
+        request.spec.sp = c.sp;
+        request.spec.tatp = c.tatp;
+        api::Response response = service.run(request);
+        if (response.ok && response.report.feasible)
+            rows.push_back({c.label, request.spec.str(),
+                            std::move(response)});
+    }
+    api::Response solved =
+        service.run(api::OptimizeRequest{model, wafer, options});
+    if (solved.ok && solved.solver.feasible)
+        rows.push_back({"DLWS solver pick", "(per-op mix)",
+                        std::move(solved)});
+
+    std::sort(rows.begin(), rows.end(), [](const Row &a, const Row &b) {
+        return a.response.report.step_time < b.response.report.step_time;
+    });
+
+    if (args.json) {
+        std::vector<std::string> entries;
+        for (const Row &row : rows)
+            entries.push_back(api::JsonObject()
+                                  .add("label", row.label)
+                                  .add("spec", row.spec)
+                                  .addRaw("response",
+                                          api::toJson(row.response))
+                                  .str());
+        std::printf("%s\n", api::JsonObject()
+                                .add("kind", "sweep")
+                                .add("model", model.name)
+                                .addRaw("ranked", api::jsonArray(entries))
+                                .str()
+                                .c_str());
+        return rows.empty() ? 1 : 0;
+    }
+
+    std::printf("Strategy sweep — %s on %d dies (ranked, fastest "
+                "first)\n\n",
+                model.name.c_str(), wafer.dieCount());
+    TablePrinter t({"Strategy", "Spec", "Step (ms)", "Mem (GB)",
+                    "Exposed comm", "Status"});
+    for (const Row &row : rows) {
+        const sim::PerfReport &r = row.response.report;
+        t.addRow({row.label, row.spec,
+                  TablePrinter::fmt(r.step_time * 1e3, 1),
+                  TablePrinter::fmt(r.peak_mem_bytes / 1e9, 1),
+                  TablePrinter::fmtPct(r.exposed_comm / r.step_time),
+                  r.oom ? "OOM" : (r.recompute ? "recompute" : "ok")});
+    }
+    t.print("Ranked strategies");
+    const api::TempService::Stats stats = service.stats();
+    std::printf("\nService: %ld requests over %ld framework(s), "
+                "%ld cache reuses\n",
+                stats.requests, stats.frameworks_built,
+                stats.framework_cache_hits);
+    return rows.empty() ? 1 : 0;
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliArgs args;
+    if (!parseArgs(argc, argv, &args))
+        return usage(argv[0]);
+
+    api::TempService service;
+    if (args.command == "optimize")
+        return runOptimize(service, args);
+    if (args.command == "baseline")
+        return runBaseline(service, args);
+    if (args.command == "faults")
+        return runFaults(service, args);
+    if (args.command == "multiwafer")
+        return runMultiWafer(service, args);
+    if (args.command == "sweep")
+        return runSweep(service, args);
+    return usage(argv[0]);
+}
