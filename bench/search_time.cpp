@@ -114,6 +114,72 @@ evaluatorThroughput(const sim::TrainingSimulator &sim,
                 "evaluator.\n");
 }
 
+/**
+ * The refiner-batch micro-bench: the level-2 refinement with serial
+ * (1-thread) vs batched (N-thread) StepEvaluator fitness, per engine,
+ * plus the step-cache hit rate of a repeat solve on the same solver.
+ * On a single-core host the timings are flat but the counters — and
+ * the bit-identical plans — still validate the batching contract.
+ */
+void
+refinerBatch(const sim::TrainingSimulator &sim,
+             const model::ComputeGraph &graph)
+{
+    const int hw_threads = std::max(
+        4u, std::thread::hardware_concurrency());
+    TablePrinter t({"Engine", "Threads", "Solve (s)", "Step sims",
+                    "Step hits", "Repeat sims", "Repeat hit rate"});
+    for (const solver::SearchEngineKind kind :
+         {solver::SearchEngineKind::Genetic,
+          solver::SearchEngineKind::Annealing}) {
+        for (int threads : {1, hw_threads}) {
+            solver::SolverConfig cfg;
+            cfg.engine = kind;
+            cfg.eval_threads = threads;
+            solver::DlsSolver solver(sim, cfg);
+
+            const double t0 = now();
+            const solver::SolverResult first = solver.solve(graph);
+            const double solve_s = now() - t0;
+            const double t1 = now();
+            const solver::SolverResult repeat = solver.solve(graph);
+            const double repeat_s = now() - t1;
+
+            const long repeat_queries =
+                repeat.step_sims + repeat.step_cache_hits;
+            const double repeat_hit_rate =
+                repeat_queries > 0
+                    ? static_cast<double>(repeat.step_cache_hits) /
+                          static_cast<double>(repeat_queries)
+                    : 0.0;
+            t.addRow({solver::searchEngineName(kind),
+                      std::to_string(threads),
+                      TablePrinter::fmt(solve_s, 2),
+                      std::to_string(first.step_sims),
+                      std::to_string(first.step_cache_hits),
+                      std::to_string(repeat.step_sims),
+                      TablePrinter::fmt(repeat_hit_rate, 3)});
+            std::printf(
+                "BENCH_JSON {\"bench\":\"search_time\","
+                "\"section\":\"refiner_batch\",\"model\":\"%s\","
+                "\"engine\":\"%s\",\"threads\":%d,"
+                "\"solve_s\":%.4f,\"step_sims\":%ld,"
+                "\"step_cache_hits\":%ld,\"repeat_solve_s\":%.4f,"
+                "\"repeat_step_sims\":%ld,"
+                "\"repeat_step_hit_rate\":%.4f,"
+                "\"feasible\":%s}\n",
+                graph.config().name.c_str(),
+                solver::searchEngineName(kind), threads, solve_s,
+                first.step_sims, first.step_cache_hits, repeat_s,
+                repeat.step_sims, repeat_hit_rate,
+                first.feasible ? "true" : "false");
+        }
+    }
+    t.print("Refiner fitness: serial vs batched, repeat hit rate");
+    std::printf("Repeat solves re-simulate nothing (step memo); plans "
+                "are bit-identical across thread counts.\n");
+}
+
 }  // namespace
 
 namespace {
@@ -134,22 +200,28 @@ serviceCacheReuse(const char *name)
     const api::Response repeat = service.run(request);
     std::printf("Repeat OptimizeRequest(%s): framework %s, "
                 "%ld new measurements (first solve: %ld), "
-                "%ld cache hits, %.3f s vs %.3f s\n",
+                "%ld cache hits, %ld new step sims (first: %ld), "
+                "%.3f s vs %.3f s\n",
                 name, repeat.framework_reused ? "reused" : "rebuilt",
                 repeat.solver.matrix_measurements,
                 first.solver.matrix_measurements,
-                repeat.solver.cache_hits, repeat.wall_time_s,
+                repeat.solver.cache_hits, repeat.solver.step_sims,
+                first.solver.step_sims, repeat.wall_time_s,
                 first.wall_time_s);
     std::printf("BENCH_JSON {\"bench\":\"search_time\","
                 "\"section\":\"service_cache\",\"model\":\"%s\","
                 "\"framework_reused\":%s,"
                 "\"first_measurements\":%ld,"
                 "\"repeat_measurements\":%ld,\"repeat_cache_hits\":%ld,"
+                "\"first_step_sims\":%ld,\"repeat_step_sims\":%ld,"
+                "\"repeat_step_cache_hits\":%ld,"
                 "\"first_s\":%.6f,\"repeat_s\":%.6f}\n",
                 name, repeat.framework_reused ? "true" : "false",
                 first.solver.matrix_measurements,
                 repeat.solver.matrix_measurements,
-                repeat.solver.cache_hits, first.wall_time_s,
+                repeat.solver.cache_hits, first.solver.step_sims,
+                repeat.solver.step_sims,
+                repeat.solver.step_cache_hits, first.wall_time_s,
                 repeat.wall_time_s);
 }
 
@@ -229,6 +301,11 @@ main()
                   "batch matrix fill: threads and cache hit-rate");
     evaluatorThroughput(sim, model::ComputeGraph::transformer(
                                  model::modelByName("GPT-3 6.7B")));
+
+    bench::banner("Refinement layer",
+                  "full-step fitness: serial vs batched, step cache");
+    refinerBatch(sim, model::ComputeGraph::transformer(
+                          model::modelByName("GPT-3 6.7B")));
 
     bench::banner("Service layer",
                   "framework cache: repeated requests re-measure "

@@ -123,6 +123,11 @@ struct Response
     /// blur each other's deltas (results stay bit-identical — the
     /// shared cache is additive — only the counters interleave).
     eval::EvalStats evaluator_stats;
+    /// Cumulative full-step simulation counters of the serving
+    /// framework's StepEvaluator (same caveats as evaluator_stats);
+    /// per-solve deltas live in SolverResult::step_sims /
+    /// step_cache_hits.
+    eval::StepStats step_stats;
 
     /// @{ Kind-specific payloads.
     solver::SolverResult solver;         ///< Optimize, Fault

@@ -185,6 +185,8 @@ toJson(const solver::SolverResult &result,
         .add("evaluations", result.evaluations)
         .add("matrix_measurements", result.matrix_measurements)
         .add("cache_hits", result.cache_hits)
+        .add("step_sims", result.step_sims)
+        .add("step_cache_hits", result.step_cache_hits)
         .add("candidate_count", result.candidate_count)
         .addRaw("per_op_specs", jsonArray(per_op))
         .addRaw("report", toJson(result.report))
@@ -203,6 +205,15 @@ toJson(const eval::EvalStats &stats)
 }
 
 std::string
+toJson(const eval::StepStats &stats)
+{
+    return JsonObject()
+        .add("sims", stats.sims)
+        .add("cache_hits", stats.cache_hits)
+        .str();
+}
+
+std::string
 toJson(const Response &response)
 {
     JsonObject json;
@@ -211,7 +222,8 @@ toJson(const Response &response)
         .add("error", response.error)
         .add("wall_time_s", response.wall_time_s)
         .add("framework_reused", response.framework_reused)
-        .addRaw("evaluator", toJson(response.evaluator_stats));
+        .addRaw("evaluator", toJson(response.evaluator_stats))
+        .addRaw("step_evaluator", toJson(response.step_stats));
     switch (response.kind) {
     case RequestKind::Optimize:
         json.addRaw("result", toJson(response.solver,

@@ -54,6 +54,7 @@ std::string toJson(const baselines::TunedBaseline &baseline);
 std::string toJson(const solver::SolverResult &result,
                    const std::vector<std::string> &op_names = {});
 std::string toJson(const eval::EvalStats &stats);
+std::string toJson(const eval::StepStats &stats);
 std::string toJson(const Response &response);
 /// @}
 

@@ -94,9 +94,14 @@ optionsKey(const core::FrameworkOptions &o)
     field(key, o.solver.space.max_tatp);
     field(key, o.solver.space.full_occupancy);
     field(key, o.solver.enable_ga);
+    field(key, static_cast<int>(o.solver.engine));
     field(key, o.solver.ga_population);
     field(key, o.solver.ga_generations);
     field(key, o.solver.ga_mutation_rate);
+    field(key, o.solver.annealing.iterations);
+    field(key, o.solver.annealing.proposals);
+    field(key, o.solver.annealing.initial_temp);
+    field(key, o.solver.annealing.cooling);
     key += std::to_string(o.solver.seed);  // uint64: no double rounding
     key += '|';
     field(key, o.solver.use_surrogate);
@@ -250,6 +255,7 @@ TempService::run(const OptimizeRequest &request)
     response.op_names =
         opNames(model::ComputeGraph::transformer(request.model));
     response.evaluator_stats = fw->evaluatorStats();
+    response.step_stats = fw->stepStats();
     response.ok = true;
     return finish(std::move(response), t0);
 }
@@ -266,6 +272,7 @@ TempService::run(const BaselineRequest &request)
         fw->evaluateBaseline(request.kind, request.engine, request.model);
     response.report = response.baseline.report;
     response.evaluator_stats = fw->evaluatorStats();
+    response.step_stats = fw->stepStats();
     response.ok = true;
     return finish(std::move(response), t0);
 }
@@ -283,6 +290,7 @@ TempService::run(const StrategyRequest &request)
                            &response.framework_reused);
     response.report = fw->evaluateStrategy(request.model, request.spec);
     response.evaluator_stats = fw->evaluatorStats();
+    response.step_stats = fw->stepStats();
     response.ok = true;
     return finish(std::move(response), t0);
 }
@@ -325,6 +333,7 @@ TempService::run(const FaultRequest &request)
     response.op_names =
         opNames(model::ComputeGraph::transformer(request.model));
     response.evaluator_stats = fw->evaluatorStats();
+    response.step_stats = fw->stepStats();
     response.ok = true;
     return finish(std::move(response), t0);
 }

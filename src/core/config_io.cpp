@@ -61,6 +61,17 @@ toEngine(const std::string &key, const std::string &value)
           key.c_str(), value.c_str());
 }
 
+solver::SearchEngineKind
+toSearchEngine(const std::string &key, const std::string &value)
+{
+    solver::SearchEngineKind kind;
+    if (!solver::searchEngineFromName(value, &kind))
+        fatal("config: key '%s' has unknown search engine '%s' "
+              "(use none/genetic/annealing)",
+              key.c_str(), value.c_str());
+    return kind;
+}
+
 }  // namespace
 
 ConfigMap
@@ -219,6 +230,16 @@ frameworkOptionsFromConfig(const ConfigMap &config)
             tr.optimizer_bytes_per_param = toNumber(key, value);
         } else if (key == "solver.enable_ga") {
             sv.enable_ga = toBool(key, value);
+        } else if (key == "solver.engine") {
+            sv.engine = toSearchEngine(key, value);
+        } else if (key == "solver.annealing.iterations") {
+            sv.annealing.iterations = static_cast<int>(toNumber(key, value));
+        } else if (key == "solver.annealing.proposals") {
+            sv.annealing.proposals = static_cast<int>(toNumber(key, value));
+        } else if (key == "solver.annealing.initial_temp") {
+            sv.annealing.initial_temp = toNumber(key, value);
+        } else if (key == "solver.annealing.cooling") {
+            sv.annealing.cooling = toNumber(key, value);
         } else if (key == "solver.ga_population") {
             sv.ga_population = static_cast<int>(toNumber(key, value));
         } else if (key == "solver.ga_generations") {

@@ -11,7 +11,8 @@ TempFramework::TempFramework(hw::WaferConfig wafer_config,
       pool_(std::make_unique<ThreadPool>(options.eval_threads)),
       exact_(std::make_unique<eval::ExactEvaluator>(
           sim_->costModel(), pool_.get(), /*memoize_breakdowns=*/false)),
-      evaluator_(std::make_unique<eval::CachingEvaluator>(*exact_))
+      evaluator_(std::make_unique<eval::CachingEvaluator>(*exact_)),
+      steps_(std::make_unique<eval::StepEvaluator>(*sim_, pool_.get()))
 {
 }
 
@@ -19,7 +20,8 @@ solver::SolverResult
 TempFramework::optimize(const model::ModelConfig &model) const
 {
     const model::ComputeGraph graph = model::ComputeGraph::transformer(model);
-    solver::DlsSolver solver(*sim_, options_.solver, evaluator_.get());
+    solver::DlsSolver solver(*sim_, options_.solver, evaluator_.get(),
+                             steps_.get());
     return solver.solve(graph);
 }
 
@@ -40,8 +42,10 @@ TempFramework::optimizeWithFaults(const model::ModelConfig &model,
                                         pool_.get(),
                                         /*memoize_breakdowns=*/false);
     eval::CachingEvaluator degraded_eval(degraded_exact);
+    eval::StepEvaluator degraded_steps(degraded_sim, pool_.get());
     const model::ComputeGraph graph = model::ComputeGraph::transformer(model);
-    solver::DlsSolver solver(degraded_sim, options_.solver, &degraded_eval);
+    solver::DlsSolver solver(degraded_sim, options_.solver, &degraded_eval,
+                             &degraded_steps);
     return solver.solve(graph);
 }
 

@@ -76,14 +76,26 @@ class TempFramework
     /**
      * The framework-owned evaluation backend: a caching evaluator over
      * the simulator's cost model, shared by every optimize() call so
-     * DP, GA seeding and repeat optimisations of the same model never
-     * re-measure a matrix cell. SolverResult's matrix_measurements /
-     * cache_hits report its per-solve deltas.
+     * DP, refiner seeding and repeat optimisations of the same model
+     * never re-measure a matrix cell. SolverResult's
+     * matrix_measurements / cache_hits report its per-solve deltas.
      */
     eval::CostEvaluator &evaluator() const { return *evaluator_; }
 
+    /**
+     * The framework-owned full-step evaluation backend: the memoized,
+     * batch-parallel front end over the simulator that the solver's
+     * level-2 refinement scores genomes through. Shared by every
+     * optimize() call, so a repeat solve re-simulates nothing
+     * (SolverResult::step_sims == 0 on the repeat).
+     */
+    eval::StepEvaluator &stepEvaluator() const { return *steps_; }
+
     /// Cumulative evaluator counters since construction.
     eval::EvalStats evaluatorStats() const { return evaluator_->stats(); }
+
+    /// Cumulative full-step simulation counters since construction.
+    eval::StepStats stepStats() const { return steps_->stats(); }
 
   private:
     FrameworkOptions options_;
@@ -92,6 +104,7 @@ class TempFramework
     std::unique_ptr<ThreadPool> pool_;
     std::unique_ptr<eval::ExactEvaluator> exact_;
     std::unique_ptr<eval::CachingEvaluator> evaluator_;
+    std::unique_ptr<eval::StepEvaluator> steps_;
 };
 
 }  // namespace temp::core

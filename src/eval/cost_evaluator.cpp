@@ -29,8 +29,10 @@ fnv1a(std::uint64_t hash, const std::string &text)
     return hash;
 }
 
+}  // namespace
+
 void
-appendSpec(std::string &key, const ParallelSpec &spec)
+appendSpecKey(std::string &key, const ParallelSpec &spec)
 {
     key += std::to_string(spec.dp);
     key += ',';
@@ -47,8 +49,6 @@ appendSpec(std::string &key, const ParallelSpec &spec)
     key += std::to_string(spec.pp);
     key += spec.coupled_sp ? ",c" : ",n";
 }
-
-}  // namespace
 
 std::uint64_t
 graphFingerprint(const model::ComputeGraph &graph)
@@ -75,7 +75,7 @@ evalKey(std::uint64_t graph_fp, const EvalRequest &request)
     key += '|';
     key += std::to_string(request.op_id);
     key += '|';
-    appendSpec(key, request.spec);
+    appendSpecKey(key, request.spec);
     key += request.include_step ? "|s" : "|m";
     return key;
 }
@@ -85,7 +85,7 @@ layoutKey(std::uint64_t graph_fp, const ParallelSpec &spec)
 {
     std::string key = std::to_string(graph_fp);
     key += '|';
-    appendSpec(key, spec);
+    appendSpecKey(key, spec);
     return key;
 }
 

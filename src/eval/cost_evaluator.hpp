@@ -75,6 +75,10 @@ std::string evalKey(std::uint64_t graph_fp, const EvalRequest &request);
 std::string layoutKey(std::uint64_t graph_fp,
                       const parallel::ParallelSpec &spec);
 
+/// Appends one spec's content encoding to a cache key (shared by the
+/// matrix, layout and full-step key builders).
+void appendSpecKey(std::string &key, const parallel::ParallelSpec &spec);
+
 /**
  * Thread-safe memo of (graph, spec) -> GroupLayout for one cost model.
  * Shared by the evaluators and the training simulator so a layout is

@@ -1,0 +1,147 @@
+#include "eval/step_evaluator.hpp"
+
+#include "eval/cost_evaluator.hpp"
+
+namespace temp::eval {
+
+using parallel::ParallelSpec;
+
+std::string
+stepKey(std::uint64_t graph_fp, const std::vector<ParallelSpec> &specs)
+{
+    std::string key = std::to_string(graph_fp);
+    for (const ParallelSpec &spec : specs) {
+        key += '|';
+        appendSpecKey(key, spec);
+    }
+    return key;
+}
+
+StepEvaluator::StepEvaluator(const sim::TrainingSimulator &simulator,
+                             ThreadPool *pool)
+    : sim_(simulator), pool_(pool)
+{
+}
+
+sim::PerfReport
+StepEvaluator::evaluate(const model::ComputeGraph &graph,
+                        const std::vector<ParallelSpec> &per_op_specs)
+{
+    const std::string key =
+        stepKey(graphFingerprint(graph), per_op_specs);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = cache_.find(key);
+        if (it != cache_.end()) {
+            ++cache_hits_;
+            return it->second;
+        }
+    }
+    const sim::PerfReport report = sim_.simulate(graph, per_op_specs);
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto [it, inserted] = cache_.emplace(key, report);
+    if (inserted)
+        ++sims_;
+    else
+        ++cache_hits_;
+    return it->second;
+}
+
+sim::PerfReport
+StepEvaluator::evaluate(const model::ComputeGraph &graph,
+                        const ParallelSpec &spec)
+{
+    return evaluate(graph, std::vector<ParallelSpec>(
+                               static_cast<std::size_t>(graph.opCount()),
+                               spec));
+}
+
+std::vector<sim::PerfReport>
+StepEvaluator::evaluateBatch(
+    const model::ComputeGraph &graph,
+    const std::vector<std::vector<ParallelSpec>> &assignments)
+{
+    std::vector<sim::PerfReport> results(assignments.size());
+    if (assignments.empty())
+        return results;
+    const std::uint64_t graph_fp = graphFingerprint(graph);
+
+    // Dedup: one slot per distinct assignment, every request maps to a
+    // slot (the same machinery as the matrix evaluators' BatchPlan).
+    std::vector<std::string> slot_key;
+    std::vector<std::size_t> slot_request;
+    std::vector<std::size_t> request_slot(assignments.size());
+    std::unordered_map<std::string, std::size_t> slot_of;
+    for (std::size_t i = 0; i < assignments.size(); ++i) {
+        std::string key = stepKey(graph_fp, assignments[i]);
+        auto [it, inserted] =
+            slot_of.emplace(std::move(key), slot_key.size());
+        if (inserted) {
+            slot_key.push_back(it->first);
+            slot_request.push_back(i);
+        }
+        request_slot[i] = it->second;
+    }
+    const std::size_t n_slots = slot_key.size();
+
+    // Serve cached slots; collect the misses.
+    std::vector<sim::PerfReport> slot_value(n_slots);
+    std::vector<bool> slot_cached(n_slots, false);
+    std::vector<std::size_t> missing;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (std::size_t s = 0; s < n_slots; ++s) {
+            auto it = cache_.find(slot_key[s]);
+            if (it != cache_.end()) {
+                slot_value[s] = it->second;
+                slot_cached[s] = true;
+            } else {
+                missing.push_back(s);
+            }
+        }
+    }
+
+    // Simulate the misses in parallel. Each simulation is independent
+    // and the simulator is thread-safe (its layout memo is locked, the
+    // rest is stateless), so slot s always holds the same bits for any
+    // thread count.
+    auto simulate_missing = [&](std::size_t m) {
+        const std::size_t s = missing[m];
+        slot_value[s] = sim_.simulate(graph, assignments[slot_request[s]]);
+    };
+    if (pool_ != nullptr)
+        pool_->parallelFor(missing.size(), simulate_missing);
+    else
+        for (std::size_t m = 0; m < missing.size(); ++m)
+            simulate_missing(m);
+    sims_ += static_cast<long>(missing.size());
+
+    if (!missing.empty()) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (std::size_t s : missing)
+            cache_.emplace(slot_key[s], slot_value[s]);
+    }
+
+    // Expand slots into request order: every request beyond the first
+    // reference of an uncached slot (and every reference of a
+    // pre-cached one) is a hit.
+    long hits = 0;
+    for (std::size_t i = 0; i < assignments.size(); ++i) {
+        const std::size_t s = request_slot[i];
+        results[i] = slot_value[s];
+        if (slot_cached[s])
+            ++hits;
+        else
+            slot_cached[s] = true;
+    }
+    cache_hits_ += hits;
+    return results;
+}
+
+StepStats
+StepEvaluator::stats() const
+{
+    return {sims_.load(), cache_hits_.load()};
+}
+
+}  // namespace temp::eval

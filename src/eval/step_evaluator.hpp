@@ -1,0 +1,106 @@
+/**
+ * @file
+ * StepEvaluator: the full-step sibling of CostEvaluator.
+ *
+ * The level-2 refinement of the DLS (and anything else that scores a
+ * complete per-operator assignment) reduces to one primitive:
+ * (graph, per-op assignment) -> PerfReport via the *full* training-step
+ * simulation. That call captures cross-operator effects the additive
+ * (op, strategy) matrix cannot — merged gradient-sync bucketing,
+ * contention, memory pressure — and is therefore the hottest loop of
+ * the whole search. This layer owns the primitive:
+ *
+ *  - reports are memoized behind a content key (graph fingerprint +
+ *    the exact per-op spec sequence), so recurring genomes across GA
+ *    generations, annealing proposals and repeat optimize() calls on a
+ *    shared framework simulate once and hit the memo after;
+ *  - evaluateBatch deduplicates a whole generation of assignments and
+ *    fans the misses out over a ThreadPool with deterministic result
+ *    placement — simulations are independent, so results are bit-exact
+ *    across thread counts (same contract as CostEvaluator's
+ *    evaluateBatch);
+ *  - StepStats carries the honest accounting: a report is *simulated*
+ *    exactly once, every further request for it is a cache hit.
+ */
+#pragma once
+
+#include <atomic>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "sim/trainer_sim.hpp"
+
+namespace temp::eval {
+
+/// Full-step simulation counters. sims + cache_hits equals the queries
+/// issued through the evaluator.
+struct StepStats
+{
+    long sims = 0;        ///< unique full-step simulations run
+    long cache_hits = 0;  ///< queries served from the memo
+
+    StepStats operator-(const StepStats &other) const
+    {
+        return {sims - other.sims, cache_hits - other.cache_hits};
+    }
+};
+
+/// Cache key of one per-op assignment under a graph fingerprint.
+std::string stepKey(std::uint64_t graph_fp,
+                    const std::vector<parallel::ParallelSpec> &specs);
+
+/**
+ * Memoizing, batch-parallel front end over TrainingSimulator::simulate.
+ * Thread-safe; one instance can be shared by every search phase (GA
+ * fitness, annealing proposals, uniform seeding, the final report) and
+ * across repeated solves on a long-lived framework.
+ */
+class StepEvaluator
+{
+  public:
+    /**
+     * @param simulator The full-step simulator to wrap.
+     * @param pool Optional pool for evaluateBatch (nullptr = serial).
+     */
+    explicit StepEvaluator(const sim::TrainingSimulator &simulator,
+                           ThreadPool *pool = nullptr);
+
+    /// Simulates (or serves from the memo) one per-op assignment.
+    sim::PerfReport evaluate(
+        const model::ComputeGraph &graph,
+        const std::vector<parallel::ParallelSpec> &per_op_specs);
+
+    /// Uniform-spec convenience overload; keyed as the broadcast
+    /// assignment, so it shares entries with per-op callers.
+    sim::PerfReport evaluate(const model::ComputeGraph &graph,
+                             const parallel::ParallelSpec &spec);
+
+    /**
+     * Evaluates a batch of assignments; result[i] always corresponds to
+     * assignments[i] regardless of thread count. Duplicate assignments
+     * within one batch simulate once (the rest are hits), and cached
+     * assignments are served without re-simulation.
+     */
+    std::vector<sim::PerfReport> evaluateBatch(
+        const model::ComputeGraph &graph,
+        const std::vector<std::vector<parallel::ParallelSpec>>
+            &assignments);
+
+    /// Cumulative counters since construction.
+    StepStats stats() const;
+
+    const sim::TrainingSimulator &simulator() const { return sim_; }
+
+  private:
+    const sim::TrainingSimulator &sim_;
+    ThreadPool *pool_;
+    std::mutex mutex_;
+    std::unordered_map<std::string, sim::PerfReport> cache_;
+    std::atomic<long> sims_{0};
+    std::atomic<long> cache_hits_{0};
+};
+
+}  // namespace temp::eval

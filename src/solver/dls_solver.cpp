@@ -28,19 +28,30 @@ now()
 }  // namespace
 
 DlsSolver::DlsSolver(const sim::TrainingSimulator &simulator,
-                     SolverConfig config, eval::CostEvaluator *evaluator)
-    : sim_(simulator), config_(config)
+                     SolverConfig config, eval::CostEvaluator *evaluator,
+                     eval::StepEvaluator *steps)
+    : sim_(simulator), config_(config),
+      engine_(makeSearchEngine(config_))
 {
+    if (evaluator == nullptr || steps == nullptr)
+        owned_pool_ = std::make_unique<ThreadPool>(config_.eval_threads);
     if (evaluator != nullptr) {
         eval_ = evaluator;
-        return;
+    } else {
+        owned_exact_ = std::make_unique<eval::ExactEvaluator>(
+            sim_.costModel(), owned_pool_.get(),
+            /*memoize_breakdowns=*/false);
+        owned_eval_ =
+            std::make_unique<eval::CachingEvaluator>(*owned_exact_);
+        eval_ = owned_eval_.get();
     }
-    owned_pool_ = std::make_unique<ThreadPool>(config_.eval_threads);
-    owned_exact_ = std::make_unique<eval::ExactEvaluator>(
-        sim_.costModel(), owned_pool_.get(),
-        /*memoize_breakdowns=*/false);
-    owned_eval_ = std::make_unique<eval::CachingEvaluator>(*owned_exact_);
-    eval_ = owned_eval_.get();
+    if (steps != nullptr) {
+        steps_ = steps;
+    } else {
+        owned_steps_ = std::make_unique<eval::StepEvaluator>(
+            sim_, owned_pool_.get());
+        steps_ = owned_steps_.get();
+    }
 }
 
 std::vector<int>
@@ -133,6 +144,7 @@ DlsSolver::solve(const model::ComputeGraph &graph) const
     // measurement/hit split keeps the accounting honest.
     const double inf = std::numeric_limits<double>::infinity();
     const eval::EvalStats stats_before = eval_->stats();
+    const eval::StepStats step_stats_before = steps_->stats();
     std::vector<std::vector<double>> op_cost;
     if (config_.use_surrogate) {
         eval::SurrogateEvaluator surrogate(
@@ -166,13 +178,20 @@ DlsSolver::solve(const model::ComputeGraph &graph) const
     result.cache_hits = matrix_stats.cache_hits;
 
     // Memory awareness: evaluate each candidate as a uniform layer spec
-    // through the full simulator; specs whose uniform assignment blows
-    // HBM get a soft penalty in the additive matrix so the DP prefers
-    // memory-feasible plans. The best uniform results also seed the GA.
-    std::vector<sim::PerfReport> uniform_reports(candidates.size());
+    // through the full simulator — one deterministic StepEvaluator
+    // batch, memoized across solves; specs whose uniform assignment
+    // blows HBM get a soft penalty in the additive matrix so the DP
+    // prefers memory-feasible plans. The best uniform results also
+    // seed the refinement engine.
+    std::vector<std::vector<ParallelSpec>> uniform_assignments;
+    uniform_assignments.reserve(candidates.size());
+    for (const ParallelSpec &spec : candidates)
+        uniform_assignments.emplace_back(
+            static_cast<std::size_t>(graph.opCount()), spec);
+    const std::vector<sim::PerfReport> uniform_reports =
+        steps_->evaluateBatch(graph, uniform_assignments);
     std::vector<std::size_t> uniform_order;
     for (std::size_t s = 0; s < candidates.size(); ++s) {
-        uniform_reports[s] = sim_.simulate(graph, candidates[s]);
         ++result.evaluations;
         if (uniform_reports[s].feasible)
             uniform_order.push_back(s);
@@ -222,133 +241,43 @@ DlsSolver::solve(const model::ComputeGraph &graph) const
 
     // Fitness = full simulated step time (captures merged grad sync,
     // contention and memory); OOM strategies are heavily penalised so
-    // the search prefers memory-feasible plans.
-    auto fitness = [&](const std::vector<int> &a) {
-        const sim::PerfReport r = sim_.simulate(graph, specs_of(a));
-        if (!r.feasible)
-            return inf;
-        return r.step_time * (r.oom ? 1e3 : 1.0);
-    };
-
+    // the search prefers memory-feasible plans. Every query flows
+    // through the shared StepEvaluator memo.
     std::vector<int> best = assignment;
-    double best_fitness = fitness(best);
+    double best_fitness = stepFitness(steps_->evaluate(graph, specs_of(best)));
+    ++result.evaluations;
 
-    // --- Genetic refinement ----------------------------------------------
-    if (config_.enable_ga && candidates.size() > 1) {
-        Rng rng(config_.seed);
-        std::vector<int> order;
-        for (std::size_t s : uniform_order)
-            order.push_back(static_cast<int>(s));
-        if (order.empty())
-            for (std::size_t s = 0; s < candidates.size(); ++s)
-                order.push_back(static_cast<int>(s));
-
-        // Ranking for the weight-less role ignores the OOM penalty:
-        // norms/attention do not own parameter state, so a spec whose
-        // *uniform* plan OOMs (e.g. pure DP on a huge model) is still an
-        // excellent choice for them once the weighted ops shard state.
-        std::vector<int> order_o = order;
-        std::sort(order_o.begin(), order_o.end(), [&](int a, int b) {
-            return uniform_reports[a].step_time <
-                   uniform_reports[b].step_time;
-        });
-
-        // Seeds: the DP plan, the best uniform plans, and *structured*
-        // two-spec plans (one spec for weight-bearing GEMMs, one for the
-        // weight-less rest). The structured family encodes the key
-        // design insight: parameter state forces high sharding on the
-        // weighted ops only, while norms/attention prefer cheap
-        // batch-style splits that keep gradient accumulation free.
-        std::vector<std::vector<int>> seeds;
-        seeds.push_back(best);
-        const int top = std::min<int>(6, static_cast<int>(order.size()));
-        for (int k = 0; k < top; ++k)
-            seeds.push_back(std::vector<int>(graph.opCount(), order[k]));
-        for (int wi = 0; wi < top; ++wi) {
-            for (int oi = 0; oi < top; ++oi) {
-                std::vector<int> genome(graph.opCount());
-                for (int i = 0; i < graph.opCount(); ++i)
-                    genome[i] = graph.op(i).has_weight ? order[wi]
-                                                       : order_o[oi];
-                seeds.push_back(std::move(genome));
-            }
-        }
-        while (static_cast<int>(seeds.size()) <
-               2 * config_.ga_population) {
-            std::vector<int> genome = best;
-            for (int &g : genome)
-                if (rng.bernoulli(0.3))
-                    g = order[rng.index(std::min<std::size_t>(
-                        8, order.size()))];
-            seeds.push_back(std::move(genome));
-        }
-
-        // Evaluate all seeds; keep the fittest as the population.
-        std::vector<std::pair<double, std::size_t>> ranked;
-        for (std::size_t i = 0; i < seeds.size(); ++i)
-            ranked.emplace_back(fitness(seeds[i]), i);
-        std::sort(ranked.begin(), ranked.end(),
-                  [](const auto &a, const auto &b) {
-                      return a.first < b.first;
-                  });
-        std::vector<std::vector<int>> population;
-        std::vector<double> scores;
-        for (int i = 0; i < config_.ga_population &&
-                        i < static_cast<int>(ranked.size());
-             ++i) {
-            population.push_back(seeds[ranked[i].second]);
-            scores.push_back(ranked[i].first);
-        }
-
-        for (int gen = 0; gen < config_.ga_generations; ++gen) {
-            // Tournament selection of two parents.
-            auto pick = [&]() -> const std::vector<int> & {
-                const std::size_t a = rng.index(population.size());
-                const std::size_t b = rng.index(population.size());
-                return scores[a] < scores[b] ? population[a]
-                                             : population[b];
-            };
-            const std::vector<int> &pa = pick();
-            const std::vector<int> &pb = pick();
-            // One-point crossover at a residual boundary when possible.
-            std::vector<int> child = pa;
-            const int cut =
-                boundaries[rng.index(boundaries.size())];
-            for (int i = cut; i < graph.opCount(); ++i)
-                child[i] = pb[i];
-            // Mutation: re-draw individual op strategies.
-            for (int &g : child)
-                if (rng.bernoulli(config_.ga_mutation_rate))
-                    g = static_cast<int>(rng.index(candidates.size()));
-
-            const double score = fitness(child);
-            // Elitist replacement of the worst member.
-            std::size_t worst = 0;
-            for (std::size_t i = 1; i < population.size(); ++i)
-                if (scores[i] > scores[worst])
-                    worst = i;
-            if (score < scores[worst]) {
-                population[worst] = std::move(child);
-                scores[worst] = score;
-            }
-            const std::size_t arg_best = static_cast<std::size_t>(
-                std::min_element(scores.begin(), scores.end()) -
-                scores.begin());
-            if (scores[arg_best] < best_fitness) {
-                best = population[arg_best];
-                best_fitness = scores[arg_best];
-            }
-        }
+    // --- Level-2 refinement (pluggable engine) ---------------------------
+    if (candidates.size() > 1) {
+        const RefineContext ctx{graph,           candidates,
+                                boundaries,      uniform_reports,
+                                uniform_order,   assignment,
+                                best_fitness};
+        RefineOutcome refined = engine_->refine(ctx, *steps_);
+        result.evaluations += refined.fitness_queries;
+        best = std::move(refined.assignment);
+        best_fitness = refined.fitness;
     }
 
-    if (std::isinf(best_fitness))
+    const auto record_steps = [&] {
+        const eval::StepStats step_delta =
+            steps_->stats() - step_stats_before;
+        result.step_sims = step_delta.sims;
+        result.step_cache_hits = step_delta.cache_hits;
+    };
+
+    if (std::isinf(best_fitness)) {
+        record_steps();
         return result;
+    }
 
     result.feasible = true;
     result.per_op_specs = specs_of(best);
-    result.report = sim_.simulate(graph, result.per_op_specs);
+    result.report = steps_->evaluate(graph, result.per_op_specs);
+    ++result.evaluations;
     result.step_time_s = result.report.step_time;
     result.search_time_s = now() - t_start;
+    record_steps();
     return result;
 }
 

@@ -9,17 +9,23 @@
  *  - level 1, dynamic programming: per sub-chain, an exact DP over
  *    (operator, strategy) states with inter-operator resharding
  *    transition costs (Eq. 3) localises decisions;
- *  - level 2, genetic refinement: genomes encode the per-operator
- *    strategy choices; fitness is the *full* training-step simulation
- *    (which captures cross-operator effects the additive DP model
- *    cannot: merged gradient-sync bucketing, contention, memory).
+ *  - level 2, pluggable refinement (solver/search_engine.hpp): genomes
+ *    encode the per-operator strategy choices; fitness is the *full*
+ *    training-step simulation (which captures cross-operator effects
+ *    the additive DP model cannot: merged gradient-sync bucketing,
+ *    contention, memory), memoized and batch-parallel behind the
+ *    shared eval::StepEvaluator. The default engine is the paper's
+ *    genetic refinement; annealing and DP-only engines plug into the
+ *    same seam.
  */
 #pragma once
 
 #include <memory>
 
 #include "eval/cost_evaluator.hpp"
+#include "eval/step_evaluator.hpp"
 #include "sim/trainer_sim.hpp"
+#include "solver/search_engine.hpp"
 #include "solver/strategy_space.hpp"
 
 namespace temp::solver {
@@ -28,10 +34,16 @@ namespace temp::solver {
 struct SolverConfig
 {
     StrategySpaceOptions space;
+    /// Legacy master switch: false forces the NoRefine engine
+    /// regardless of `engine` (kept for existing configs/call sites).
     bool enable_ga = true;
+    /// Which level-2 refinement runs after the DP.
+    SearchEngineKind engine = SearchEngineKind::Genetic;
     int ga_population = 16;
     int ga_generations = 20;
     double ga_mutation_rate = 0.25;
+    /// Tuning of the annealing engine (used when engine == Annealing).
+    AnnealingConfig annealing;
     std::uint64_t seed = 1;
     /**
      * Fill the (operator, strategy) cost matrix with the DNN surrogate
@@ -78,6 +90,17 @@ struct SolverResult
     long matrix_measurements = 0;
     /// Matrix queries served from the evaluator cache.
     long cache_hits = 0;
+    /**
+     * Unique full-step simulations this solve ran (uniform seeding,
+     * refiner fitness, the final report) — the full-step mirror of
+     * matrix_measurements. step_sims + step_cache_hits equals the
+     * step queries issued, and every one of them is also counted in
+     * `evaluations`; a repeat solve on a shared StepEvaluator reports
+     * step_sims == 0.
+     */
+    long step_sims = 0;
+    /// Step queries served from the StepEvaluator memo.
+    long step_cache_hits = 0;
     /// Number of candidate specs per operator.
     int candidate_count = 0;
 };
@@ -87,15 +110,22 @@ class DlsSolver
 {
   public:
     /**
-     * @param simulator Full-step simulator (GA fitness, final report).
+     * @param simulator Full-step simulator (refiner fitness, final
+     *        report).
      * @param config Search tuning.
      * @param evaluator Optional shared evaluation backend; when null
      *        the solver owns a caching exact evaluator over the
      *        simulator's cost model (config.eval_threads wide).
+     * @param steps Optional shared full-step evaluator (uniform
+     *        seeding, refiner fitness, final report); when null the
+     *        solver owns one over `simulator` (config.eval_threads
+     *        wide). Sharing it across solves is what makes repeat
+     *        optimisations re-simulate nothing.
      */
     DlsSolver(const sim::TrainingSimulator &simulator,
               SolverConfig config = SolverConfig{},
-              eval::CostEvaluator *evaluator = nullptr);
+              eval::CostEvaluator *evaluator = nullptr,
+              eval::StepEvaluator *steps = nullptr);
 
     /// Finds the best per-operator strategy assignment for the graph.
     SolverResult solve(const model::ComputeGraph &graph) const;
@@ -104,6 +134,9 @@ class DlsSolver
 
     /// The evaluation backend this solver queries.
     eval::CostEvaluator &evaluator() const { return *eval_; }
+
+    /// The full-step evaluation backend this solver queries.
+    eval::StepEvaluator &stepEvaluator() const { return *steps_; }
 
   private:
     /// DP over one sub-chain [begin, end); returns per-op candidate ids.
@@ -115,11 +148,15 @@ class DlsSolver
 
     const sim::TrainingSimulator &sim_;
     SolverConfig config_;
-    /// Owned backend when none is injected.
+    /// Owned backends when none are injected.
     std::unique_ptr<ThreadPool> owned_pool_;
     std::unique_ptr<eval::ExactEvaluator> owned_exact_;
     std::unique_ptr<eval::CachingEvaluator> owned_eval_;
+    std::unique_ptr<eval::StepEvaluator> owned_steps_;
     eval::CostEvaluator *eval_ = nullptr;
+    eval::StepEvaluator *steps_ = nullptr;
+    /// The level-2 refinement engine config_ selects.
+    std::unique_ptr<SearchEngine> engine_;
 };
 
 /**

@@ -1,0 +1,364 @@
+#include "solver/search_engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "common/rng.hpp"
+#include "solver/dls_solver.hpp"
+
+namespace temp::solver {
+
+using parallel::ParallelSpec;
+
+namespace {
+
+const double kInf = std::numeric_limits<double>::infinity();
+
+/// Expands a genome (candidate index per op) into per-op specs.
+std::vector<ParallelSpec>
+specsOf(const RefineContext &ctx, const std::vector<int> &genome)
+{
+    std::vector<ParallelSpec> specs;
+    specs.reserve(genome.size());
+    for (int idx : genome)
+        specs.push_back(ctx.candidates[idx]);
+    return specs;
+}
+
+/// Scores one genome through the step memo.
+double
+fitnessOf(const RefineContext &ctx, eval::StepEvaluator &steps,
+          const std::vector<int> &genome)
+{
+    return stepFitness(steps.evaluate(ctx.graph, specsOf(ctx, genome)));
+}
+
+/// Scores a set of genomes as one deterministic parallel batch.
+std::vector<double>
+batchFitness(const RefineContext &ctx, eval::StepEvaluator &steps,
+             const std::vector<std::vector<int>> &genomes)
+{
+    std::vector<std::vector<ParallelSpec>> assignments;
+    assignments.reserve(genomes.size());
+    for (const std::vector<int> &genome : genomes)
+        assignments.push_back(specsOf(ctx, genome));
+    const std::vector<sim::PerfReport> reports =
+        steps.evaluateBatch(ctx.graph, assignments);
+    std::vector<double> scores(reports.size());
+    for (std::size_t i = 0; i < reports.size(); ++i)
+        scores[i] = stepFitness(reports[i]);
+    return scores;
+}
+
+/// Candidate indices worth drawing from: the feasible uniform plans,
+/// or every candidate when none is uniformly feasible.
+std::vector<int>
+drawOrder(const RefineContext &ctx)
+{
+    std::vector<int> order;
+    for (std::size_t s : ctx.uniform_order)
+        order.push_back(static_cast<int>(s));
+    if (order.empty())
+        for (std::size_t s = 0; s < ctx.candidates.size(); ++s)
+            order.push_back(static_cast<int>(s));
+    return order;
+}
+
+}  // namespace
+
+double
+stepFitness(const sim::PerfReport &report)
+{
+    if (!report.feasible)
+        return kInf;
+    return report.step_time * (report.oom ? 1e3 : 1.0);
+}
+
+const char *
+searchEngineName(SearchEngineKind kind)
+{
+    switch (kind) {
+    case SearchEngineKind::NoRefine: return "none";
+    case SearchEngineKind::Genetic: return "genetic";
+    case SearchEngineKind::Annealing: return "annealing";
+    }
+    return "unknown";
+}
+
+bool
+searchEngineFromName(const std::string &name, SearchEngineKind *kind)
+{
+    if (name == "none" || name == "dp")
+        *kind = SearchEngineKind::NoRefine;
+    else if (name == "genetic" || name == "ga")
+        *kind = SearchEngineKind::Genetic;
+    else if (name == "annealing" || name == "anneal")
+        *kind = SearchEngineKind::Annealing;
+    else
+        return false;
+    return true;
+}
+
+// ---------------------------------------------------------------------
+// NoRefineEngine
+// ---------------------------------------------------------------------
+
+RefineOutcome
+NoRefineEngine::refine(const RefineContext &ctx,
+                       eval::StepEvaluator &) const
+{
+    return {ctx.dp_assignment, ctx.dp_fitness, 0};
+}
+
+// ---------------------------------------------------------------------
+// GeneticRefiner
+// ---------------------------------------------------------------------
+
+GeneticRefiner::GeneticRefiner(int population, int generations,
+                               double mutation_rate, std::uint64_t seed)
+    : population_(population), generations_(generations),
+      mutation_rate_(mutation_rate), seed_(seed)
+{
+}
+
+RefineOutcome
+GeneticRefiner::refine(const RefineContext &ctx,
+                       eval::StepEvaluator &steps) const
+{
+    RefineOutcome outcome{ctx.dp_assignment, ctx.dp_fitness, 0};
+    std::vector<int> &best = outcome.assignment;
+    double &best_fitness = outcome.fitness;
+
+    Rng rng(seed_);
+    const std::vector<int> order = drawOrder(ctx);
+
+    // Ranking for the weight-less role ignores the OOM penalty:
+    // norms/attention do not own parameter state, so a spec whose
+    // *uniform* plan OOMs (e.g. pure DP on a huge model) is still an
+    // excellent choice for them once the weighted ops shard state.
+    std::vector<int> order_o = order;
+    std::sort(order_o.begin(), order_o.end(), [&](int a, int b) {
+        return ctx.uniform_reports[a].step_time <
+               ctx.uniform_reports[b].step_time;
+    });
+
+    // Seeds: the DP plan, the best uniform plans, and *structured*
+    // two-spec plans (one spec for weight-bearing GEMMs, one for the
+    // weight-less rest). The structured family encodes the key
+    // design insight: parameter state forces high sharding on the
+    // weighted ops only, while norms/attention prefer cheap
+    // batch-style splits that keep gradient accumulation free.
+    const int n_ops = ctx.graph.opCount();
+    std::vector<std::vector<int>> seeds;
+    seeds.push_back(best);
+    const int top = std::min<int>(6, static_cast<int>(order.size()));
+    for (int k = 0; k < top; ++k)
+        seeds.push_back(std::vector<int>(n_ops, order[k]));
+    for (int wi = 0; wi < top; ++wi) {
+        for (int oi = 0; oi < top; ++oi) {
+            std::vector<int> genome(n_ops);
+            for (int i = 0; i < n_ops; ++i)
+                genome[i] = ctx.graph.op(i).has_weight ? order[wi]
+                                                       : order_o[oi];
+            seeds.push_back(std::move(genome));
+        }
+    }
+    while (static_cast<int>(seeds.size()) < 2 * population_) {
+        std::vector<int> genome = best;
+        for (int &g : genome)
+            if (rng.bernoulli(0.3))
+                g = order[rng.index(
+                    std::min<std::size_t>(8, order.size()))];
+        seeds.push_back(std::move(genome));
+    }
+
+    // Score every seed as ONE deterministic parallel batch (the big
+    // win of the StepEvaluator relayering: the whole generation-0 pool
+    // simulates concurrently, recurring genomes hit the memo), then
+    // keep the fittest as the population.
+    const std::vector<double> seed_scores =
+        batchFitness(ctx, steps, seeds);
+    outcome.fitness_queries += static_cast<long>(seeds.size());
+    std::vector<std::pair<double, std::size_t>> ranked;
+    for (std::size_t i = 0; i < seeds.size(); ++i)
+        ranked.emplace_back(seed_scores[i], i);
+    std::sort(ranked.begin(), ranked.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first < b.first;
+              });
+    std::vector<std::vector<int>> population;
+    std::vector<double> scores;
+    for (int i = 0;
+         i < population_ && i < static_cast<int>(ranked.size()); ++i) {
+        population.push_back(seeds[ranked[i].second]);
+        scores.push_back(ranked[i].first);
+    }
+
+    for (int gen = 0; gen < generations_; ++gen) {
+        // Tournament selection of two parents.
+        auto pick = [&]() -> const std::vector<int> & {
+            const std::size_t a = rng.index(population.size());
+            const std::size_t b = rng.index(population.size());
+            return scores[a] < scores[b] ? population[a]
+                                         : population[b];
+        };
+        const std::vector<int> &pa = pick();
+        const std::vector<int> &pb = pick();
+        // One-point crossover at a residual boundary when possible.
+        std::vector<int> child = pa;
+        const int cut =
+            ctx.boundaries[rng.index(ctx.boundaries.size())];
+        for (int i = cut; i < n_ops; ++i)
+            child[i] = pb[i];
+        // Mutation: re-draw individual op strategies.
+        for (int &g : child)
+            if (rng.bernoulli(mutation_rate_))
+                g = static_cast<int>(rng.index(ctx.candidates.size()));
+
+        // Children arrive one per generation and recur often late in
+        // the run; the step memo serves repeats without a simulation.
+        const double score = fitnessOf(ctx, steps, child);
+        ++outcome.fitness_queries;
+        // Elitist replacement of the worst member.
+        std::size_t worst = 0;
+        for (std::size_t i = 1; i < population.size(); ++i)
+            if (scores[i] > scores[worst])
+                worst = i;
+        if (score < scores[worst]) {
+            population[worst] = std::move(child);
+            scores[worst] = score;
+        }
+        const std::size_t arg_best = static_cast<std::size_t>(
+            std::min_element(scores.begin(), scores.end()) -
+            scores.begin());
+        if (scores[arg_best] < best_fitness) {
+            best = population[arg_best];
+            best_fitness = scores[arg_best];
+        }
+    }
+    return outcome;
+}
+
+// ---------------------------------------------------------------------
+// AnnealingRefiner
+// ---------------------------------------------------------------------
+
+AnnealingRefiner::AnnealingRefiner(AnnealingConfig config,
+                                   std::uint64_t seed)
+    : config_(config), seed_(seed)
+{
+}
+
+RefineOutcome
+AnnealingRefiner::refine(const RefineContext &ctx,
+                         eval::StepEvaluator &steps) const
+{
+    RefineOutcome outcome{ctx.dp_assignment, ctx.dp_fitness, 0};
+
+    Rng rng(seed_);
+    const std::vector<int> order = drawOrder(ctx);
+    const int n_ops = ctx.graph.opCount();
+
+    std::vector<int> current = ctx.dp_assignment;
+    double current_fitness = ctx.dp_fitness;
+
+    // Temperature in step-time units: a fraction of the incumbent's
+    // step time (absolute fallback when the DP plan is infeasible).
+    double temp = std::isfinite(ctx.dp_fitness) && ctx.dp_fitness > 0.0
+                      ? config_.initial_temp * ctx.dp_fitness
+                      : config_.initial_temp;
+
+    // Draws one neighbour move in place: mostly single-op re-draws,
+    // occasionally a whole residual sub-chain flipped to one spec
+    // (the move that matches the structure the DP cuts expose).
+    auto mutate = [&](std::vector<int> &genome) {
+        auto draw_strategy = [&]() -> int {
+            if (rng.bernoulli(0.5))
+                return order[rng.index(
+                    std::min<std::size_t>(8, order.size()))];
+            return static_cast<int>(rng.index(ctx.candidates.size()));
+        };
+        if (ctx.boundaries.size() > 2 && rng.bernoulli(0.25)) {
+            const std::size_t b =
+                rng.index(ctx.boundaries.size() - 1);
+            const int s = draw_strategy();
+            for (int i = ctx.boundaries[b]; i < ctx.boundaries[b + 1];
+                 ++i)
+                genome[i] = s;
+            return;
+        }
+        genome[static_cast<std::size_t>(rng.index(
+            static_cast<std::size_t>(n_ops)))] = draw_strategy();
+        if (rng.bernoulli(0.3))
+            genome[static_cast<std::size_t>(rng.index(
+                static_cast<std::size_t>(n_ops)))] = draw_strategy();
+    };
+
+    for (int iter = 0; iter < config_.iterations; ++iter) {
+        // All proposals of a round neighbour the round's starting
+        // plan, so the whole round is fixed before any fitness is
+        // known — and scores as ONE deterministic parallel batch.
+        std::vector<std::vector<int>> proposals;
+        proposals.reserve(static_cast<std::size_t>(config_.proposals));
+        for (int p = 0; p < config_.proposals; ++p) {
+            std::vector<int> neighbour = current;
+            mutate(neighbour);
+            proposals.push_back(std::move(neighbour));
+        }
+        const std::vector<double> scores =
+            batchFitness(ctx, steps, proposals);
+        outcome.fitness_queries += static_cast<long>(proposals.size());
+
+        // Metropolis walk over the round, in proposal order.
+        for (std::size_t p = 0; p < proposals.size(); ++p) {
+            const double f = scores[p];
+            if (!std::isfinite(f))
+                continue;
+            bool accept = f < current_fitness;
+            if (!accept && temp > 0.0 &&
+                std::isfinite(current_fitness)) {
+                const double delta = f - current_fitness;
+                accept = rng.uniformReal(0.0, 1.0) <
+                         std::exp(-delta / temp);
+            }
+            if (!accept)
+                continue;
+            current = proposals[p];
+            current_fitness = f;
+            if (f < outcome.fitness) {
+                outcome.assignment = proposals[p];
+                outcome.fitness = f;
+            }
+        }
+        temp *= config_.cooling;
+    }
+    return outcome;
+}
+
+// ---------------------------------------------------------------------
+// Factory
+// ---------------------------------------------------------------------
+
+std::unique_ptr<SearchEngine>
+makeSearchEngine(const SolverConfig &config)
+{
+    const SearchEngineKind kind = config.enable_ga
+                                      ? config.engine
+                                      : SearchEngineKind::NoRefine;
+    switch (kind) {
+    case SearchEngineKind::NoRefine:
+        return std::make_unique<NoRefineEngine>();
+    case SearchEngineKind::Genetic:
+        return std::make_unique<GeneticRefiner>(
+            config.ga_population, config.ga_generations,
+            config.ga_mutation_rate, config.seed);
+    case SearchEngineKind::Annealing:
+        return std::make_unique<AnnealingRefiner>(config.annealing,
+                                                  config.seed);
+    }
+    return std::make_unique<NoRefineEngine>();
+}
+
+}  // namespace temp::solver

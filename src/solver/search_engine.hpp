@@ -1,0 +1,180 @@
+/**
+ * @file
+ * The pluggable level-2 refinement layer of the Dual-Level Search.
+ *
+ * Level 1 (the per-sub-chain DP over the additive cost matrix) is exact
+ * for what it models, but blind to cross-operator effects — merged
+ * gradient-sync bucketing, contention, memory pressure. Level 2 refines
+ * the DP plan against the *full* training-step simulation. The paper
+ * uses a genetic algorithm there; this layer generalises the slot into
+ * a SearchEngine interface so alternative metaheuristics (simulated
+ * annealing today; beam search tomorrow) drop in behind one seam, all
+ * scoring genomes through the shared, memoized, batch-parallel
+ * eval::StepEvaluator.
+ *
+ * Engines are deterministic: every stochastic choice comes from a
+ * seeded Rng drawn *before* fitness batches dispatch, and the
+ * StepEvaluator's batches are bit-exact across thread counts, so a
+ * (config, seed) pair reproduces the same plan on any machine width.
+ */
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "eval/step_evaluator.hpp"
+
+namespace temp::solver {
+
+struct SolverConfig;
+
+/// Which level-2 refinement runs after the DP.
+enum class SearchEngineKind
+{
+    /// DP-only: keep the level-1 plan (still fully simulated once).
+    NoRefine,
+    /// The paper's genetic refinement (Sec. VII-B, Fig. 12b).
+    Genetic,
+    /// Simulated annealing over the same genome encoding.
+    Annealing,
+};
+
+/// Printable engine name ("none", "genetic", "annealing").
+const char *searchEngineName(SearchEngineKind kind);
+
+/**
+ * Parses an engine name; accepts the canonical names plus the aliases
+ * "dp" (NoRefine), "ga" (Genetic) and "anneal" (Annealing).
+ * @return false when the name is unknown.
+ */
+bool searchEngineFromName(const std::string &name, SearchEngineKind *kind);
+
+/// Tuning of the annealing engine (SolverConfig::annealing).
+struct AnnealingConfig
+{
+    /// Temperature steps (one batched proposal round each).
+    int iterations = 60;
+    /// Neighbour proposals per round, evaluated as one StepEvaluator
+    /// batch. All proposals of a round mutate the round's starting
+    /// plan, so the batch is fixed before any fitness is known.
+    int proposals = 8;
+    /// Starting temperature as a fraction of the DP plan's step time.
+    double initial_temp = 0.25;
+    /// Geometric cooling factor per round.
+    double cooling = 0.92;
+};
+
+/**
+ * Fitness of a simulated plan: step time, with OOM plans heavily
+ * penalised and infeasible plans infinite (the objective every engine
+ * minimises — identical to the pre-refactor GA fitness).
+ */
+double stepFitness(const sim::PerfReport &report);
+
+/// Everything level 1 hands to an engine (borrowed views; the solver
+/// outlives the refine call).
+struct RefineContext
+{
+    const model::ComputeGraph &graph;
+    /// Candidate specs; genomes index into this.
+    const std::vector<parallel::ParallelSpec> &candidates;
+    /// Sub-chain boundaries (residual-free cuts, incl. 0 and opCount).
+    const std::vector<int> &boundaries;
+    /// Uniform-plan reports, indexed by candidate.
+    const std::vector<sim::PerfReport> &uniform_reports;
+    /// Candidates with feasible uniform plans, fastest (OOM-penalised)
+    /// first.
+    const std::vector<std::size_t> &uniform_order;
+    /// The level-1 DP assignment (candidate index per op).
+    const std::vector<int> &dp_assignment;
+    /// Its full-step fitness (already simulated by the solver).
+    double dp_fitness;
+};
+
+/// What a refinement returns.
+struct RefineOutcome
+{
+    std::vector<int> assignment;
+    double fitness = 0.0;
+    /// Full-step fitness queries the engine issued (cache-served or
+    /// not) — folded into SolverResult::evaluations.
+    long fitness_queries = 0;
+};
+
+/// The level-2 refinement interface.
+class SearchEngine
+{
+  public:
+    virtual ~SearchEngine() = default;
+
+    virtual const char *name() const = 0;
+
+    /// Refines the DP plan; never returns a worse fitness than
+    /// ctx.dp_fitness (engines keep the incumbent).
+    virtual RefineOutcome refine(const RefineContext &ctx,
+                                 eval::StepEvaluator &steps) const = 0;
+};
+
+/// DP-only engine: returns the level-1 plan untouched.
+class NoRefineEngine : public SearchEngine
+{
+  public:
+    const char *name() const override { return "none"; }
+    RefineOutcome refine(const RefineContext &ctx,
+                         eval::StepEvaluator &steps) const override;
+};
+
+/**
+ * The paper's genetic refinement, relayered onto the StepEvaluator:
+ * the seed pool (DP plan, best uniform plans, structured two-spec
+ * plans, mutated DP variants) is scored as one deterministic parallel
+ * batch; the per-generation child evaluations hit the step memo
+ * whenever a genome recurs. Bit-identical to the pre-refactor GA at
+ * equal (config, seed).
+ */
+class GeneticRefiner : public SearchEngine
+{
+  public:
+    GeneticRefiner(int population, int generations, double mutation_rate,
+                   std::uint64_t seed);
+
+    const char *name() const override { return "genetic"; }
+    RefineOutcome refine(const RefineContext &ctx,
+                         eval::StepEvaluator &steps) const override;
+
+  private:
+    int population_;
+    int generations_;
+    double mutation_rate_;
+    std::uint64_t seed_;
+};
+
+/**
+ * Simulated annealing over the same genome encoding. Each round draws
+ * `proposals` neighbours of the round's starting plan (single-op
+ * re-draws plus occasional whole-sub-chain moves), scores them as one
+ * StepEvaluator batch, then walks the Metropolis acceptance over them
+ * in order; the temperature cools geometrically per round.
+ */
+class AnnealingRefiner : public SearchEngine
+{
+  public:
+    AnnealingRefiner(AnnealingConfig config, std::uint64_t seed);
+
+    const char *name() const override { return "annealing"; }
+    RefineOutcome refine(const RefineContext &ctx,
+                         eval::StepEvaluator &steps) const override;
+
+  private:
+    AnnealingConfig config_;
+    std::uint64_t seed_;
+};
+
+/**
+ * Builds the engine a SolverConfig selects: config.engine, demoted to
+ * NoRefine when the legacy enable_ga switch is off.
+ */
+std::unique_ptr<SearchEngine> makeSearchEngine(const SolverConfig &config);
+
+}  // namespace temp::solver

@@ -270,12 +270,20 @@ TEST(ApiService, RepeatedOptimizeIsServedEntirelyFromEvaluatorCache)
     // measurements — every cell is a hit on the shared evaluator.
     EXPECT_EQ(repeat.solver.matrix_measurements, 0);
     EXPECT_GT(repeat.solver.cache_hits, 0);
-    // Cumulative counters corroborate: no growth in measurements,
-    // growth in hits.
+    // ...and ZERO new full-step simulations — the refiner's fitness
+    // queries are all served from the shared StepEvaluator memo.
+    EXPECT_GT(first.solver.step_sims, 0);
+    EXPECT_EQ(repeat.solver.step_sims, 0);
+    EXPECT_GT(repeat.solver.step_cache_hits, 0);
+    // Cumulative counters corroborate: no growth in measurements or
+    // simulations, growth in hits.
     EXPECT_EQ(repeat.evaluator_stats.measurements,
               first.evaluator_stats.measurements);
     EXPECT_GT(repeat.evaluator_stats.cache_hits,
               first.evaluator_stats.cache_hits);
+    EXPECT_EQ(repeat.step_stats.sims, first.step_stats.sims);
+    EXPECT_GT(repeat.step_stats.cache_hits,
+              first.step_stats.cache_hits);
     // And the answers are identical.
     EXPECT_EQ(repeat.solver.per_op_specs, first.solver.per_op_specs);
     EXPECT_DOUBLE_EQ(repeat.solver.step_time_s,
@@ -298,6 +306,49 @@ TEST(ApiService, DifferentOptionsGetDistinctFrameworks)
     const Response other = service.run(request);
     EXPECT_FALSE(other.framework_reused);
     EXPECT_EQ(service.stats().frameworks_built, 2);
+}
+
+TEST(ApiService, SearchEngineSelectionRoundTripsThroughService)
+{
+    // Engine selection is part of the framework cache key and of the
+    // solve: each engine gets its own framework, every engine returns
+    // a feasible plan, and the NoRefine plan matches the legacy
+    // enable_ga=false switch bit-for-bit.
+    TempService service;
+    OptimizeRequest request{testModel(),
+                            hw::WaferConfig::paperDefault(),
+                            fastOptions()};
+    request.options.solver.annealing.iterations = 10;
+
+    Response by_engine[3];
+    const solver::SearchEngineKind kinds[3] = {
+        solver::SearchEngineKind::Genetic,
+        solver::SearchEngineKind::NoRefine,
+        solver::SearchEngineKind::Annealing};
+    for (int k = 0; k < 3; ++k) {
+        request.options.solver.engine = kinds[k];
+        by_engine[k] = service.run(request);
+        ASSERT_TRUE(by_engine[k].ok);
+        ASSERT_TRUE(by_engine[k].solver.feasible)
+            << solver::searchEngineName(kinds[k]);
+        EXPECT_FALSE(by_engine[k].framework_reused);
+    }
+    EXPECT_EQ(service.stats().frameworks_built, 3);
+
+    // Refining engines never do worse than the DP-only plan.
+    EXPECT_LE(by_engine[0].solver.step_time_s,
+              by_engine[1].solver.step_time_s * 1.0001);
+    EXPECT_LE(by_engine[2].solver.step_time_s,
+              by_engine[1].solver.step_time_s * 1.0001);
+
+    request.options.solver.engine = solver::SearchEngineKind::Genetic;
+    request.options.solver.enable_ga = false;  // legacy NoRefine alias
+    const Response legacy = service.run(request);
+    ASSERT_TRUE(legacy.ok);
+    EXPECT_EQ(legacy.solver.per_op_specs,
+              by_engine[1].solver.per_op_specs);
+    EXPECT_DOUBLE_EQ(legacy.solver.step_time_s,
+                     by_engine[1].solver.step_time_s);
 }
 
 TEST(ApiService, ConcurrentSubmitOfMixedKindsMatchesSequentialRuns)
@@ -417,6 +468,9 @@ TEST(ApiJson, ResponseJsonIsParseableAndStable)
     // Spot-check the envelope.
     EXPECT_NE(json.find("\"kind\":\"optimize\""), std::string::npos);
     EXPECT_NE(json.find("\"matrix_measurements\":"), std::string::npos);
+    EXPECT_NE(json.find("\"step_sims\":"), std::string::npos);
+    EXPECT_NE(json.find("\"step_evaluator\":{\"sims\":"),
+              std::string::npos);
     EXPECT_NE(json.find("\"per_op_specs\":["), std::string::npos);
     EXPECT_NE(json.find("\"throughput_tokens_per_s\":"),
               std::string::npos);

@@ -117,6 +117,38 @@ TEST(FrameworkOptionsConfig, SolverTrainingAndPolicyKeysApply)
     EXPECT_TRUE(options.training.zero1_optimizer);
 }
 
+TEST(FrameworkOptionsConfig, SearchEngineAndAnnealingKeysApply)
+{
+    const FrameworkOptions defaults = frameworkOptionsFromConfig({});
+    EXPECT_EQ(defaults.solver.engine, solver::SearchEngineKind::Genetic);
+
+    const ConfigMap config = parseConfigText(
+        "solver.engine = annealing\n"
+        "solver.annealing.iterations = 12\n"
+        "solver.annealing.proposals = 4\n"
+        "solver.annealing.initial_temp = 0.5\n"
+        "solver.annealing.cooling = 0.8\n");
+    const FrameworkOptions options = frameworkOptionsFromConfig(config);
+    EXPECT_EQ(options.solver.engine,
+              solver::SearchEngineKind::Annealing);
+    EXPECT_EQ(options.solver.annealing.iterations, 12);
+    EXPECT_EQ(options.solver.annealing.proposals, 4);
+    EXPECT_DOUBLE_EQ(options.solver.annealing.initial_temp, 0.5);
+    EXPECT_DOUBLE_EQ(options.solver.annealing.cooling, 0.8);
+
+    // Canonical names and aliases round-trip through the parser.
+    EXPECT_EQ(frameworkOptionsFromConfig(
+                  parseConfigText("solver.engine = none\n"))
+                  .solver.engine,
+              solver::SearchEngineKind::NoRefine);
+    EXPECT_EQ(frameworkOptionsFromConfig(
+                  parseConfigText("solver.engine = ga\n"))
+                  .solver.engine,
+              solver::SearchEngineKind::Genetic);
+    EXPECT_STREQ(
+        solver::searchEngineName(options.solver.engine), "annealing");
+}
+
 TEST(ConfigFileDetection, DotConfSuffixOnly)
 {
     EXPECT_TRUE(isConfigFile("wafer.conf"));
@@ -175,6 +207,9 @@ TEST(ConfigDeath, RejectsNonBooleanAndUnknownEngine)
     EXPECT_EXIT(
         frameworkOptionsFromConfig(parseConfigText("policy = alpa\n")),
         ::testing::ExitedWithCode(1), "unknown engine");
+    EXPECT_EXIT(frameworkOptionsFromConfig(
+                    parseConfigText("solver.engine = tabu\n")),
+                ::testing::ExitedWithCode(1), "unknown search engine");
 }
 
 }  // namespace

@@ -11,9 +11,12 @@
 #include <atomic>
 #include <cmath>
 #include <numeric>
+#include <set>
+#include <string>
 
 #include "common/thread_pool.hpp"
 #include "eval/cost_evaluator.hpp"
+#include "eval/step_evaluator.hpp"
 #include "eval/surrogate_evaluator.hpp"
 #include "model/graph.hpp"
 #include "model/model_zoo.hpp"
@@ -222,6 +225,112 @@ TEST_F(EvalTest, DistinctGraphsDoNotCollideInTheCache)
         evaluator.evaluate(half, request);
     EXPECT_EQ(evaluator.stats().measurements, 2);
     EXPECT_NE(full_batch.flops, half_batch.flops);
+}
+
+// ---------------------------------------------------------------------
+// Step evaluator (full-step simulation memo).
+// ---------------------------------------------------------------------
+
+namespace {
+
+void
+expectReportBitExact(const sim::PerfReport &a, const sim::PerfReport &b)
+{
+    EXPECT_EQ(a.feasible, b.feasible);
+    EXPECT_EQ(a.oom, b.oom);
+    EXPECT_EQ(a.step_time, b.step_time);
+    EXPECT_EQ(a.comp_time, b.comp_time);
+    EXPECT_EQ(a.collective_time, b.collective_time);
+    EXPECT_EQ(a.exposed_comm, b.exposed_comm);
+    EXPECT_EQ(a.reshard_time, b.reshard_time);
+    EXPECT_EQ(a.grad_sync_time, b.grad_sync_time);
+    EXPECT_EQ(a.grad_accum, b.grad_accum);
+    EXPECT_EQ(a.recompute, b.recompute);
+    EXPECT_EQ(a.peak_mem_bytes, b.peak_mem_bytes);
+    EXPECT_EQ(a.avg_power_w, b.avg_power_w);
+    EXPECT_EQ(a.total_flops, b.total_flops);
+    EXPECT_EQ(a.throughput_tokens_per_s, b.throughput_tokens_per_s);
+    EXPECT_EQ(a.strategy_desc, b.strategy_desc);
+}
+
+}  // namespace
+
+TEST_F(EvalTest, StepEvaluatorCachedReportEqualsDirectSimulation)
+{
+    ASSERT_GE(candidates_.size(), 2u);
+    StepEvaluator steps(sim_);
+    std::vector<ParallelSpec> mixed(
+        static_cast<std::size_t>(graph_.opCount()), candidates_[0]);
+    for (std::size_t i = 0; i < mixed.size(); i += 2)
+        mixed[i] = candidates_[1];
+
+    const sim::PerfReport first = steps.evaluate(graph_, mixed);
+    const sim::PerfReport hit = steps.evaluate(graph_, mixed);
+    const sim::PerfReport direct = sim_.simulate(graph_, mixed);
+    expectReportBitExact(first, hit);
+    expectReportBitExact(first, direct);
+    EXPECT_EQ(steps.stats().sims, 1);
+    EXPECT_EQ(steps.stats().cache_hits, 1);
+}
+
+TEST_F(EvalTest, StepEvaluatorUniformOverloadSharesBroadcastKey)
+{
+    StepEvaluator steps(sim_);
+    const sim::PerfReport uniform =
+        steps.evaluate(graph_, candidates_[0]);
+    const sim::PerfReport broadcast = steps.evaluate(
+        graph_, std::vector<ParallelSpec>(
+                    static_cast<std::size_t>(graph_.opCount()),
+                    candidates_[0]));
+    expectReportBitExact(uniform, broadcast);
+    EXPECT_EQ(steps.stats().sims, 1);
+    EXPECT_EQ(steps.stats().cache_hits, 1);
+}
+
+TEST_F(EvalTest, StepBatchDeterministicAcrossThreadCountsAndDedups)
+{
+    // A generation-sized batch with recurring genomes: results must be
+    // bit-exact for any pool width, and duplicates simulate once.
+    std::vector<std::vector<ParallelSpec>> generation;
+    const std::size_t n_ops =
+        static_cast<std::size_t>(graph_.opCount());
+    for (std::size_t g = 0; g < 24; ++g) {
+        std::vector<ParallelSpec> genome(
+            n_ops, candidates_[g % candidates_.size()]);
+        genome[g % n_ops] = candidates_[(g / 2) % candidates_.size()];
+        generation.push_back(std::move(genome));
+    }
+    generation.push_back(generation[0]);  // in-batch duplicate
+    generation.push_back(generation[5]);
+
+    std::set<std::string> unique_keys;
+    for (const std::vector<ParallelSpec> &genome : generation)
+        unique_keys.insert(stepKey(graphFingerprint(graph_), genome));
+    const long unique = static_cast<long>(unique_keys.size());
+    const long total = static_cast<long>(generation.size());
+    ASSERT_LT(unique, total);  // the duplicates really are duplicates
+
+    std::vector<std::vector<sim::PerfReport>> runs;
+    for (int threads : {1, 2, 4}) {
+        ThreadPool pool(threads);
+        StepEvaluator steps(sim_, &pool);
+        runs.push_back(steps.evaluateBatch(graph_, generation));
+        EXPECT_EQ(steps.stats().sims, unique);
+        EXPECT_EQ(steps.stats().cache_hits, total - unique);
+
+        // A repeat batch is served entirely from the memo.
+        steps.evaluateBatch(graph_, generation);
+        EXPECT_EQ(steps.stats().sims, unique);
+        EXPECT_EQ(steps.stats().cache_hits, (total - unique) + total);
+    }
+    for (std::size_t r = 1; r < runs.size(); ++r) {
+        ASSERT_EQ(runs[r].size(), runs[0].size());
+        for (std::size_t i = 0; i < runs[0].size(); ++i)
+            expectReportBitExact(runs[0][i], runs[r][i]);
+    }
+    // Duplicates carry the same bits as their originals.
+    expectReportBitExact(runs[0][generation.size() - 2], runs[0][0]);
+    expectReportBitExact(runs[0][generation.size() - 1], runs[0][5]);
 }
 
 // ---------------------------------------------------------------------

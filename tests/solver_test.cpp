@@ -188,6 +188,106 @@ TEST_F(SolverTest, GaRefinesOrMatchesDp)
     EXPECT_LE(full.step_time_s, dp_only.step_time_s * 1.0001);
 }
 
+TEST_F(SolverTest, NoRefineEngineMatchesLegacyEnableGaSwitch)
+{
+    const auto graph = model::ComputeGraph::transformer(
+        model::modelByName("GPT-3 6.7B"));
+    SolverConfig legacy;
+    legacy.enable_ga = false;
+    SolverConfig engine;
+    engine.engine = SearchEngineKind::NoRefine;
+    const SolverResult a = DlsSolver(sim_, legacy).solve(graph);
+    const SolverResult b = DlsSolver(sim_, engine).solve(graph);
+    ASSERT_TRUE(a.feasible);
+    ASSERT_TRUE(b.feasible);
+    EXPECT_EQ(a.per_op_specs, b.per_op_specs);
+    EXPECT_DOUBLE_EQ(a.step_time_s, b.step_time_s);
+    EXPECT_EQ(a.evaluations, b.evaluations);
+}
+
+TEST_F(SolverTest, AnnealingEngineRefinesOrMatchesDpAndIsDeterministic)
+{
+    const auto graph = model::ComputeGraph::transformer(
+        model::modelByName("Llama2 7B"));
+    SolverConfig dp_cfg;
+    dp_cfg.engine = SearchEngineKind::NoRefine;
+    SolverConfig sa_cfg;
+    sa_cfg.engine = SearchEngineKind::Annealing;
+    sa_cfg.annealing.iterations = 20;
+
+    const SolverResult dp_only = DlsSolver(sim_, dp_cfg).solve(graph);
+    const SolverResult annealed = DlsSolver(sim_, sa_cfg).solve(graph);
+    ASSERT_TRUE(dp_only.feasible);
+    ASSERT_TRUE(annealed.feasible);
+    // The engine keeps the DP incumbent, so it can never end up worse.
+    EXPECT_LE(annealed.step_time_s, dp_only.step_time_s * 1.0001);
+    // Annealing queried full-step fitness beyond the DP-only floor.
+    EXPECT_GT(annealed.step_sims + annealed.step_cache_hits,
+              dp_only.step_sims + dp_only.step_cache_hits);
+
+    const SolverResult repeat = DlsSolver(sim_, sa_cfg).solve(graph);
+    ASSERT_TRUE(repeat.feasible);
+    EXPECT_EQ(repeat.per_op_specs, annealed.per_op_specs);
+    EXPECT_DOUBLE_EQ(repeat.step_time_s, annealed.step_time_s);
+}
+
+TEST_F(SolverTest, RefinerDeterministicAcrossEvalThreads)
+{
+    // The refiner's batched fitness must be bit-exact for any pool
+    // width: same plan, same step time, same accounting.
+    const auto graph = model::ComputeGraph::transformer(
+        model::modelByName("GPT-3 6.7B"));
+    std::vector<SolverResult> results;
+    for (int threads : {1, 2, 4}) {
+        SolverConfig cfg;
+        cfg.eval_threads = threads;
+        results.push_back(DlsSolver(sim_, cfg).solve(graph));
+        ASSERT_TRUE(results.back().feasible);
+    }
+    for (std::size_t r = 1; r < results.size(); ++r) {
+        EXPECT_EQ(results[r].per_op_specs, results[0].per_op_specs);
+        EXPECT_DOUBLE_EQ(results[r].step_time_s,
+                         results[0].step_time_s);
+        EXPECT_EQ(results[r].evaluations, results[0].evaluations);
+        EXPECT_EQ(results[r].step_sims, results[0].step_sims);
+        EXPECT_EQ(results[r].step_cache_hits,
+                  results[0].step_cache_hits);
+    }
+}
+
+TEST_F(SolverTest, StepAccountingIsHonest)
+{
+    const auto graph = model::ComputeGraph::transformer(
+        model::modelByName("GPT-3 6.7B"));
+    DlsSolver solver(sim_);
+    const SolverResult result = solver.solve(graph);
+    ASSERT_TRUE(result.feasible);
+
+    // The refiner's full-step queries are visible: unique simulations
+    // plus memo hits, both non-zero for a GA run on a fresh solver
+    // (the seed pool recurs, the final report is a hit).
+    EXPECT_GT(result.step_sims, 0);
+    EXPECT_GT(result.step_cache_hits, 0);
+    // Every step query is also counted in `evaluations`, alongside the
+    // matrix queries — the work the algorithm asked for includes the
+    // full-step fitness the GA used to be silent about.
+    EXPECT_GE(result.evaluations,
+              result.step_sims + result.step_cache_hits);
+    EXPECT_GE(result.evaluations,
+              result.matrix_measurements + result.cache_hits +
+                  result.step_sims + result.step_cache_hits);
+
+    // A repeat solve on the same solver re-simulates nothing: the step
+    // memo serves every query, and the answer is unchanged.
+    const SolverResult repeat = solver.solve(graph);
+    ASSERT_TRUE(repeat.feasible);
+    EXPECT_EQ(repeat.step_sims, 0);
+    EXPECT_EQ(repeat.step_cache_hits,
+              result.step_sims + result.step_cache_hits);
+    EXPECT_EQ(repeat.per_op_specs, result.per_op_specs);
+    EXPECT_EQ(repeat.evaluations, result.evaluations);
+}
+
 TEST_F(SolverTest, ExhaustiveAgreesWithDpOnAdditiveObjective)
 {
     // On a small instance the branch-and-bound enumeration and the DP

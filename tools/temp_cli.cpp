@@ -42,6 +42,7 @@ struct CliArgs
     std::string model;
     std::string wafer_file;
     std::string opts_file;
+    std::string refiner;  ///< level-2 engine override (empty = config)
     bool json = false;
     // baseline
     std::string kind = "mesp";
@@ -73,7 +74,9 @@ usage(const char *argv0)
         "(--wafers N, --pp N, --micro N, --dp/--tp/--sp/--tatp N)\n"
         "  sweep       ranked explicit-strategy line-up + solver pick\n\n"
         "model: zoo name (e.g. \"GPT-3 6.7B\") or path/to/model.conf\n"
-        "options: --wafer FILE.conf, --opts FILE.conf, --json\n",
+        "options: --wafer FILE.conf, --opts FILE.conf,\n"
+        "  --refiner none|genetic|annealing (level-2 search engine),\n"
+        "  --json\n",
         argv0);
     return 1;
 }
@@ -100,6 +103,8 @@ parseArgs(int argc, char **argv, CliArgs *args)
             args->wafer_file = value();
         else if (arg == "--opts")
             args->opts_file = value();
+        else if (arg == "--refiner")
+            args->refiner = value();
         else if (arg == "--kind")
             args->kind = value();
         else if (arg == "--engine")
@@ -155,10 +160,21 @@ resolveWafer(const CliArgs &args)
 core::FrameworkOptions
 resolveOptions(const CliArgs &args)
 {
-    return args.opts_file.empty()
-               ? core::FrameworkOptions()
-               : core::frameworkOptionsFromConfig(
-                     core::loadConfigFile(args.opts_file));
+    core::FrameworkOptions options =
+        args.opts_file.empty()
+            ? core::FrameworkOptions()
+            : core::frameworkOptionsFromConfig(
+                  core::loadConfigFile(args.opts_file));
+    if (!args.refiner.empty() &&
+        !solver::searchEngineFromName(args.refiner,
+                                      &options.solver.engine)) {
+        std::fprintf(stderr,
+                     "unknown --refiner '%s' "
+                     "(use none/genetic/annealing)\n",
+                     args.refiner.c_str());
+        std::exit(1);
+    }
+    return options;
 }
 
 /// Prints the per-operator table + step report shared by optimize and
@@ -191,6 +207,8 @@ printSolverResponse(const api::Response &response)
                 r.throughput_tokens_per_s);
     std::printf("  matrix fill         %ld measured, %ld cache hits\n",
                 result.matrix_measurements, result.cache_hits);
+    std::printf("  step sims           %ld simulated, %ld cache hits\n",
+                result.step_sims, result.step_cache_hits);
 }
 
 int
