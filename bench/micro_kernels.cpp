@@ -59,7 +59,7 @@ BM_RingAllReduceLowering(benchmark::State &state)
                                  snake.begin() + state.range(0));
     for (auto _ : state) {
         const auto s = sched.ringAllReduce(group, 256e6);
-        benchmark::DoNotOptimize(s.rounds.size());
+        benchmark::DoNotOptimize(s.roundCount());
     }
 }
 BENCHMARK(BM_RingAllReduceLowering)->Arg(8)->Arg(16)->Arg(32);
@@ -75,7 +75,7 @@ BM_ContentionEvaluate(benchmark::State &state)
     const auto s = sched.ringAllReduce(
         std::vector<hw::DieId>(snake.begin(), snake.end()), 256e6);
     for (auto _ : state)
-        benchmark::DoNotOptimize(model.evaluateSequence(s.rounds).time_s);
+        benchmark::DoNotOptimize(model.evaluateSequence(s).time_s);
 }
 BENCHMARK(BM_ContentionEvaluate);
 

@@ -13,6 +13,7 @@
 
 #include "api/service.hpp"
 #include "eval/cost_evaluator.hpp"
+#include "net/schedule_cache.hpp"
 #include "sim/trainer_sim.hpp"
 #include "solver/dls_solver.hpp"
 #include "solver/strategy_space.hpp"
@@ -227,6 +228,51 @@ serviceCacheReuse(const char *name)
 
 }  // namespace
 
+namespace {
+
+/**
+ * The schedule-cache section: the network layer under everything. A
+ * cold solve lowers each distinct collective task once and serves the
+ * rest from the content-keyed net::ScheduleCache (>50% hit rate by the
+ * time the matrix, seeding and refiner have run); a repeat solve
+ * re-lowers nothing because the breakdown/step memos absorb the
+ * queries and charge their schedule work as hits.
+ */
+void
+scheduleCacheSection(const char *name)
+{
+    api::TempService service;  // fresh caches: first = cold lowering
+    api::OptimizeRequest request{model::modelByName(name)};
+    const api::Response first = service.run(request);
+    const api::Response repeat = service.run(request);
+
+    const auto hit_rate = [](const solver::SolverResult &r) {
+        return net::ScheduleCacheStats{r.schedule_lowerings,
+                                       r.schedule_cache_hits}
+            .hitRate();
+    };
+    std::printf("Schedule cache (%s): cold %ld lowerings / %ld hits "
+                "(rate %.3f); repeat %ld lowerings / %ld hits "
+                "(rate %.3f)\n",
+                name, first.solver.schedule_lowerings,
+                first.solver.schedule_cache_hits, hit_rate(first.solver),
+                repeat.solver.schedule_lowerings,
+                repeat.solver.schedule_cache_hits,
+                hit_rate(repeat.solver));
+    std::printf("BENCH_JSON {\"bench\":\"search_time\","
+                "\"section\":\"schedule_cache\",\"model\":\"%s\","
+                "\"cold_lowerings\":%ld,\"cold_hits\":%ld,"
+                "\"cold_hit_rate\":%.4f,\"repeat_lowerings\":%ld,"
+                "\"repeat_hits\":%ld,\"repeat_hit_rate\":%.4f}\n",
+                name, first.solver.schedule_lowerings,
+                first.solver.schedule_cache_hits, hit_rate(first.solver),
+                repeat.solver.schedule_lowerings,
+                repeat.solver.schedule_cache_hits,
+                hit_rate(repeat.solver));
+}
+
+}  // namespace
+
 int
 main()
 {
@@ -311,5 +357,9 @@ main()
                   "framework cache: repeated requests re-measure "
                   "nothing");
     serviceCacheReuse("GPT-3 6.7B");
+
+    bench::banner("Network layer",
+                  "schedule cache: collective lowerings vs hits");
+    scheduleCacheSection("GPT-3 6.7B");
     return 0;
 }

@@ -187,6 +187,8 @@ toJson(const solver::SolverResult &result,
         .add("cache_hits", result.cache_hits)
         .add("step_sims", result.step_sims)
         .add("step_cache_hits", result.step_cache_hits)
+        .add("schedule_lowerings", result.schedule_lowerings)
+        .add("schedule_cache_hits", result.schedule_cache_hits)
         .add("candidate_count", result.candidate_count)
         .addRaw("per_op_specs", jsonArray(per_op))
         .addRaw("report", toJson(result.report))
@@ -201,6 +203,8 @@ toJson(const eval::EvalStats &stats)
         .add("cache_hits", stats.cache_hits)
         .add("layouts_built", stats.layouts_built)
         .add("layout_hits", stats.layout_hits)
+        .add("schedule_lowerings", stats.schedule_lowerings)
+        .add("schedule_cache_hits", stats.schedule_cache_hits)
         .str();
 }
 
@@ -210,6 +214,8 @@ toJson(const eval::StepStats &stats)
     return JsonObject()
         .add("sims", stats.sims)
         .add("cache_hits", stats.cache_hits)
+        .add("schedule_lowerings", stats.schedule_lowerings)
+        .add("schedule_cache_hits", stats.schedule_cache_hits)
         .str();
 }
 

@@ -23,10 +23,8 @@ WaferCostModel::WaferCostModel(const hw::Wafer &wafer,
       power_(wafer.config()),
       router_(wafer.topology(), &wafer.faults()),
       scheduler_(router_),
-      contention_(
-          wafer.topology(),
-          [this](hw::LinkId link) { return wafer_.linkBandwidth(link); },
-          wafer.config().d2d.latency_s),
+      schedule_cache_(scheduler_),
+      contention_(wafer, wafer.config().d2d.latency_s),
       chain_mapper_(wafer.topology()),
       tatp_executor_(wafer.config().d2d),
       optimizer_(router_)
@@ -35,30 +33,67 @@ WaferCostModel::WaferCostModel(const hw::Wafer &wafer,
 
 net::PhaseTiming
 WaferCostModel::timeCollectiveTasks(
-    const std::vector<net::CollectiveTask> &tasks, double *link_bytes) const
+    const std::vector<net::CollectiveTask> &tasks, double *link_bytes,
+    net::ScheduleCacheStats *sched_stats) const
 {
     net::PhaseTiming timing;
     if (tasks.empty())
         return timing;
 
-    // Lower every task and overlay same-kind rounds: groups of one axis
-    // run concurrently, and different axes' collectives inside one op
-    // contend for the same links (the Fig. 11 scenario).
-    net::CommSchedule combined;
-    for (const net::CollectiveTask &task : tasks)
-        combined.overlay(scheduler_.schedule(task));
-
-    if (!combined.feasible) {
+    // Lower every task through the shared schedule cache (content-keyed
+    // on the task signature, invalidated by the wafer's fault epoch).
+    const std::uint64_t epoch = wafer_.faultEpoch();
+    std::vector<std::shared_ptr<const net::CommSchedule>> lowered;
+    lowered.reserve(tasks.size());
+    bool feasible = true;
+    for (const net::CollectiveTask &task : tasks) {
+        bool hit = false;
+        lowered.push_back(schedule_cache_.lowered(task, epoch, &hit));
+        feasible = feasible && lowered.back()->feasible;
+        if (sched_stats != nullptr) {
+            if (hit)
+                ++sched_stats->hits;
+            else
+                ++sched_stats->lowerings;
+        }
+    }
+    if (!feasible) {
         timing.time_s = std::numeric_limits<double>::infinity();
         return timing;
     }
+
+    // Single-task fast path: no overlay combination needed, and when no
+    // traffic optimisation runs the cached schedule is evaluated in
+    // place — the common case of the matrix fill costs zero copies.
+    if (tasks.size() == 1) {
+        const net::CommSchedule &single = *lowered.front();
+        if (!policy_.contentionOptimization()) {
+            if (link_bytes != nullptr)
+                *link_bytes += single.linkBytes();
+            return contention_.evaluateSequence(single);
+        }
+        net::CommSchedule optimized = single;
+        optimizer_.optimize(optimized);
+        if (link_bytes != nullptr)
+            *link_bytes += optimized.linkBytes();
+        return contention_.evaluateSequence(optimized);
+    }
+
+    // Overlay same-kind rounds in one pass: groups of one axis run
+    // concurrently, and different axes' collectives inside one op
+    // contend for the same links (the Fig. 11 scenario).
+    std::vector<const net::CommSchedule *> parts;
+    parts.reserve(lowered.size());
+    for (const auto &schedule : lowered)
+        parts.push_back(schedule.get());
+    net::CommSchedule combined = net::CommSchedule::combine(parts);
 
     if (policy_.contentionOptimization())
         optimizer_.optimize(combined);
 
     if (link_bytes != nullptr)
         *link_bytes += combined.linkBytes();
-    return contention_.evaluateSequence(combined.rounds);
+    return contention_.evaluateSequence(combined);
 }
 
 void
@@ -111,9 +146,9 @@ WaferCostModel::timeStream(const OpExecution &exec, const GroupLayout &layout,
             tatp_executor_.streamFlows(stream, chains, router_, backward);
         if (!flows.feasible)
             return std::numeric_limits<double>::infinity();
-        if (flows.rounds.empty())
+        if (flows.empty())
             return 0.0;
-        return contention_.evaluate(flows.rounds.front()).time_s;
+        return contention_.evaluate(flows.round(0)).time_s;
     };
 
     const tatp::TatpTiming fwd = tatp_executor_.timePass(
@@ -182,17 +217,23 @@ WaferCostModel::opCost(const OpExecution &exec, const model::Operator &op,
     const double comp_bwd = compute_.opTime(
         exec.bwd_flops_per_die, exec.dram_bytes_bwd, op.isGemm(), min_derate);
 
-    // Blocking collectives (Eq. 2's Collective term).
-    const net::PhaseTiming coll_fwd =
-        timeCollectiveTasks(exec.fwd_collectives, &out.d2d_link_bytes);
-    const net::PhaseTiming coll_bwd =
-        timeCollectiveTasks(exec.bwd_collectives, &out.d2d_link_bytes);
+    // Blocking collectives (Eq. 2's Collective term). One lookup-stat
+    // accumulator for all phases; folded into the breakdown so callers
+    // (evaluators, the simulator) inherit honest cache accounting.
+    net::ScheduleCacheStats sched_stats;
+    const net::PhaseTiming coll_fwd = timeCollectiveTasks(
+        exec.fwd_collectives, &out.d2d_link_bytes, &sched_stats);
+    const net::PhaseTiming coll_bwd = timeCollectiveTasks(
+        exec.bwd_collectives, &out.d2d_link_bytes, &sched_stats);
     const net::PhaseTiming coll_step =
         include_step
-            ? timeCollectiveTasks(exec.step_collectives, &out.d2d_link_bytes)
+            ? timeCollectiveTasks(exec.step_collectives,
+                                  &out.d2d_link_bytes, &sched_stats)
             : net::PhaseTiming{};
-    const net::PhaseTiming coll_overlap =
-        timeCollectiveTasks(exec.overlap_collectives, &out.d2d_link_bytes);
+    const net::PhaseTiming coll_overlap = timeCollectiveTasks(
+        exec.overlap_collectives, &out.d2d_link_bytes, &sched_stats);
+    out.schedule_lowerings = sched_stats.lowerings;
+    out.schedule_cache_hits = sched_stats.hits;
     if (std::isinf(coll_fwd.time_s) || std::isinf(coll_bwd.time_s) ||
         std::isinf(coll_step.time_s) || std::isinf(coll_overlap.time_s)) {
         out.feasible = false;

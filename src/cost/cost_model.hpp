@@ -21,6 +21,7 @@
 #include "hw/wafer.hpp"
 #include "model/graph.hpp"
 #include "net/collective.hpp"
+#include "net/schedule_cache.hpp"
 #include "parallel/partitioner.hpp"
 #include "tatp/chain_mapper.hpp"
 #include "tatp/executor.hpp"
@@ -48,6 +49,17 @@ struct OpCostBreakdown
     double dram_bytes = 0.0;      ///< per-wafer DRAM traffic
     double flops = 0.0;           ///< per-wafer executed FLOPs
     double bw_utilization = 0.0;  ///< during communication phases
+
+    /**
+     * Schedule-cache accounting of computing this breakdown: collective
+     * lowerings performed vs. served from the shared ScheduleCache.
+     * Mirrors matrix_measurements/step_sims honesty one layer down.
+     * Note: the lowerings/hits *split* depends on what other threads
+     * populated first, so it is not bit-stable across thread counts —
+     * only the sum is. Never compare these fields for determinism.
+     */
+    long schedule_lowerings = 0;
+    long schedule_cache_hits = 0;
 
     /// Wall time of the operator in one training step.
     double total() const { return fwd_time + bwd_time + step_comm_time; }
@@ -83,12 +95,17 @@ class WaferCostModel
     /**
      * Lowers a set of collective tasks (all groups concurrently),
      * applies the policy's traffic optimisation, and times the result
-     * under link-level contention. link_bytes (optional) accumulates
-     * bytes x hops for energy accounting.
+     * under link-level contention. Lowerings are served from the shared
+     * ScheduleCache (content-keyed, fault-epoch invalidated).
+     *
+     * @param link_bytes Optional accumulator of bytes x hops (energy).
+     * @param sched_stats Optional accumulator of this call's cache
+     *        lookups (lowerings vs. hits).
      */
     net::PhaseTiming timeCollectiveTasks(
         const std::vector<net::CollectiveTask> &tasks,
-        double *link_bytes = nullptr) const;
+        double *link_bytes = nullptr,
+        net::ScheduleCacheStats *sched_stats = nullptr) const;
 
     /// Eq. (3): inter-operator resharding time between adjacent ops.
     double interOpTime(const model::Operator &producer,
@@ -115,6 +132,23 @@ class WaferCostModel
     const net::Router &router() const { return router_; }
     const tcme::MappingPolicy &policy() const { return policy_; }
 
+    /**
+     * The shared collective-schedule cache: one per cost model, and the
+     * framework owns one cost model, so the DP matrix fill, refiner
+     * fitness simulations, surrogate sampling and baselines all hit the
+     * same lowered schedules.
+     */
+    const net::ScheduleCache &scheduleCache() const
+    {
+        return schedule_cache_;
+    }
+
+    /// Cumulative schedule-cache counters since construction.
+    net::ScheduleCacheStats scheduleStats() const
+    {
+        return schedule_cache_.stats();
+    }
+
     /// Fraction of grad-sync communication hidden behind backward
     /// compute (bucketed overlap, as Megatron/FSDP implement).
     static constexpr double kGradSyncOverlap = 0.5;
@@ -132,6 +166,8 @@ class WaferCostModel
     PowerModel power_;
     net::Router router_;
     net::CollectiveScheduler scheduler_;
+    /// Thread-safe; mutable because opCost() is const but memoizes.
+    mutable net::ScheduleCache schedule_cache_;
     net::ContentionModel contention_;
     tatp::ChainMapper chain_mapper_;
     tatp::TatpExecutor tatp_executor_;

@@ -87,8 +87,7 @@ CostDatasetGenerator::communicationSample(Rng &rng) const
     task.group = group;
     task.bytes = bytes;
     const net::CommSchedule sched = scheduler_.schedule(task);
-    const double latency =
-        contention_.evaluateSequence(sched.rounds).time_s;
+    const double latency = contention_.evaluateSequence(sched).time_s;
 
     CostSample sample;
     const double n = group_size;

@@ -32,6 +32,13 @@ fnv1a(std::uint64_t hash, const std::string &text)
 }  // namespace
 
 void
+markScheduleServed(cost::OpCostBreakdown &breakdown)
+{
+    breakdown.schedule_cache_hits += breakdown.schedule_lowerings;
+    breakdown.schedule_lowerings = 0;
+}
+
+void
 appendSpecKey(std::string &key, const ParallelSpec &spec)
 {
     key += std::to_string(spec.dp);
@@ -168,21 +175,29 @@ struct BatchPlan
     /**
      * Expands slot values into request order, counting a hit for every
      * request beyond the first reference of an uncached slot (and for
-     * every reference of a pre-cached one).
+     * every reference of a pre-cached one). Served results get their
+     * schedule accounting rewritten to hits; the schedule aggregates
+     * accumulate one charge per request.
      */
     long
     assemble(const std::vector<cost::OpCostBreakdown> &slot_value,
              std::vector<bool> &slot_cached,
-             std::vector<cost::OpCostBreakdown> &results) const
+             std::vector<cost::OpCostBreakdown> &results,
+             long &sched_lowerings, long &sched_hits) const
     {
         long hits = 0;
         for (std::size_t i = 0; i < request_slot.size(); ++i) {
             const std::size_t s = request_slot[i];
             results[i] = slot_value[s];
-            if (slot_cached[s])
+            if (slot_cached[s]) {
                 ++hits;
-            else
+                markScheduleServed(results[i]);
+                sched_hits += results[i].schedule_cache_hits;
+            } else {
                 slot_cached[s] = true;  // first reference measured it
+                sched_lowerings += results[i].schedule_lowerings;
+                sched_hits += results[i].schedule_cache_hits;
+            }
         }
         return hits;
     }
@@ -231,7 +246,10 @@ ExactEvaluator::evaluate(const model::ComputeGraph &graph,
 {
     if (!memoize_) {
         ++measurements_;
-        return compute(graph, request);
+        const cost::OpCostBreakdown breakdown = compute(graph, request);
+        schedule_lowerings_ += breakdown.schedule_lowerings;
+        schedule_cache_hits_ += breakdown.schedule_cache_hits;
+        return breakdown;
     }
     const std::string key = evalKey(graphFingerprint(graph), request);
     {
@@ -239,17 +257,26 @@ ExactEvaluator::evaluate(const model::ComputeGraph &graph,
         auto it = cache_.find(key);
         if (it != cache_.end()) {
             ++cache_hits_;
-            return it->second;
+            cost::OpCostBreakdown served = it->second;
+            markScheduleServed(served);
+            schedule_cache_hits_ += served.schedule_cache_hits;
+            return served;
         }
     }
     const cost::OpCostBreakdown breakdown = compute(graph, request);
     std::lock_guard<std::mutex> lock(mutex_);
     auto [it, inserted] = cache_.emplace(key, breakdown);
-    if (inserted)
+    if (inserted) {
         ++measurements_;
-    else
-        ++cache_hits_;
-    return it->second;
+        schedule_lowerings_ += breakdown.schedule_lowerings;
+        schedule_cache_hits_ += breakdown.schedule_cache_hits;
+        return it->second;
+    }
+    ++cache_hits_;
+    cost::OpCostBreakdown served = it->second;
+    markScheduleServed(served);
+    schedule_cache_hits_ += served.schedule_cache_hits;
+    return served;
 }
 
 std::vector<cost::OpCostBreakdown>
@@ -336,15 +363,21 @@ ExactEvaluator::evaluateBatch(const model::ComputeGraph &graph,
             cache_.emplace(plan.distinct_keys[s], slot_value[s]);
     }
 
-    cache_hits_ += plan.assemble(slot_value, slot_cached, results);
+    long sched_lowerings = 0;
+    long sched_hits = 0;
+    cache_hits_ += plan.assemble(slot_value, slot_cached, results,
+                                 sched_lowerings, sched_hits);
+    schedule_lowerings_ += sched_lowerings;
+    schedule_cache_hits_ += sched_hits;
     return results;
 }
 
 EvalStats
 ExactEvaluator::stats() const
 {
-    return {measurements_.load(), cache_hits_.load(), layouts_.builds(),
-            layouts_.hits()};
+    return {measurements_.load(),       cache_hits_.load(),
+            layouts_.builds(),          layouts_.hits(),
+            schedule_lowerings_.load(), schedule_cache_hits_.load()};
 }
 
 // ---------------------------------------------------------------------
@@ -365,17 +398,26 @@ CachingEvaluator::evaluate(const model::ComputeGraph &graph,
         auto it = cache_.find(key);
         if (it != cache_.end()) {
             ++cache_hits_;
-            return it->second;
+            cost::OpCostBreakdown served = it->second;
+            markScheduleServed(served);
+            schedule_cache_hits_ += served.schedule_cache_hits;
+            return served;
         }
     }
     const cost::OpCostBreakdown breakdown = inner_.evaluate(graph, request);
     std::lock_guard<std::mutex> lock(mutex_);
     auto [it, inserted] = cache_.emplace(key, breakdown);
-    if (inserted)
+    if (inserted) {
         ++measurements_;
-    else
-        ++cache_hits_;
-    return it->second;
+        schedule_lowerings_ += breakdown.schedule_lowerings;
+        schedule_cache_hits_ += breakdown.schedule_cache_hits;
+        return it->second;
+    }
+    ++cache_hits_;
+    cost::OpCostBreakdown served = it->second;
+    markScheduleServed(served);
+    schedule_cache_hits_ += served.schedule_cache_hits;
+    return served;
 }
 
 std::vector<cost::OpCostBreakdown>
@@ -420,7 +462,12 @@ CachingEvaluator::evaluateBatch(const model::ComputeGraph &graph,
     }
     measurements_ += static_cast<long>(missing.size());
 
-    cache_hits_ += plan.assemble(slot_value, slot_cached, results);
+    long sched_lowerings = 0;
+    long sched_hits = 0;
+    cache_hits_ += plan.assemble(slot_value, slot_cached, results,
+                                 sched_lowerings, sched_hits);
+    schedule_lowerings_ += sched_lowerings;
+    schedule_cache_hits_ += sched_hits;
     return results;
 }
 
@@ -428,8 +475,9 @@ EvalStats
 CachingEvaluator::stats() const
 {
     const EvalStats inner = inner_.stats();
-    return {measurements_.load(), cache_hits_.load(), inner.layouts_built,
-            inner.layout_hits};
+    return {measurements_.load(),       cache_hits_.load(),
+            inner.layouts_built,        inner.layout_hits,
+            schedule_lowerings_.load(), schedule_cache_hits_.load()};
 }
 
 }  // namespace temp::eval

@@ -54,13 +54,24 @@ struct EvalStats
     long cache_hits = 0;     ///< requests served from the memo
     long layouts_built = 0;  ///< unique GroupLayout constructions
     long layout_hits = 0;    ///< layout lookups served from the memo
+    /**
+     * Collective-schedule accounting one layer down: lowerings run vs.
+     * served from the shared net::ScheduleCache across the breakdowns
+     * this evaluator handled. A breakdown served from the breakdown
+     * memo charges its schedule work as hits — recomputing it would
+     * have hit the schedule cache on every lookup.
+     */
+    long schedule_lowerings = 0;
+    long schedule_cache_hits = 0;
 
     EvalStats operator-(const EvalStats &other) const
     {
         return {measurements - other.measurements,
                 cache_hits - other.cache_hits,
                 layouts_built - other.layouts_built,
-                layout_hits - other.layout_hits};
+                layout_hits - other.layout_hits,
+                schedule_lowerings - other.schedule_lowerings,
+                schedule_cache_hits - other.schedule_cache_hits};
     }
 };
 
@@ -176,6 +187,8 @@ class ExactEvaluator : public CostEvaluator
     std::unordered_map<std::string, cost::OpCostBreakdown> cache_;
     std::atomic<long> measurements_{0};
     std::atomic<long> cache_hits_{0};
+    std::atomic<long> schedule_lowerings_{0};
+    std::atomic<long> schedule_cache_hits_{0};
 };
 
 /**
@@ -207,6 +220,16 @@ class CachingEvaluator : public CostEvaluator
     std::unordered_map<std::string, cost::OpCostBreakdown> cache_;
     std::atomic<long> measurements_{0};
     std::atomic<long> cache_hits_{0};
+    std::atomic<long> schedule_lowerings_{0};
+    std::atomic<long> schedule_cache_hits_{0};
 };
+
+/**
+ * Rewrites a memo-served breakdown's schedule accounting: none of its
+ * lowerings re-ran, so they all count as (would-be) schedule-cache
+ * hits. Keeps "repeat solves report schedule_lowerings == 0" honest
+ * all the way up to SolverResult.
+ */
+void markScheduleServed(cost::OpCostBreakdown &breakdown);
 
 }  // namespace temp::eval

@@ -6,6 +6,19 @@ namespace temp::eval {
 
 using parallel::ParallelSpec;
 
+namespace {
+
+/// Memo-served reports charge their schedule work as hits (see
+/// markScheduleServed for the breakdown-level twin).
+void
+markReportServed(sim::PerfReport &report)
+{
+    report.schedule_cache_hits += report.schedule_lowerings;
+    report.schedule_lowerings = 0;
+}
+
+}  // namespace
+
 std::string
 stepKey(std::uint64_t graph_fp, const std::vector<ParallelSpec> &specs)
 {
@@ -34,17 +47,26 @@ StepEvaluator::evaluate(const model::ComputeGraph &graph,
         auto it = cache_.find(key);
         if (it != cache_.end()) {
             ++cache_hits_;
-            return it->second;
+            sim::PerfReport served = it->second;
+            markReportServed(served);
+            schedule_cache_hits_ += served.schedule_cache_hits;
+            return served;
         }
     }
     const sim::PerfReport report = sim_.simulate(graph, per_op_specs);
     std::lock_guard<std::mutex> lock(mutex_);
     auto [it, inserted] = cache_.emplace(key, report);
-    if (inserted)
+    if (inserted) {
         ++sims_;
-    else
-        ++cache_hits_;
-    return it->second;
+        schedule_lowerings_ += report.schedule_lowerings;
+        schedule_cache_hits_ += report.schedule_cache_hits;
+        return it->second;
+    }
+    ++cache_hits_;
+    sim::PerfReport served = it->second;
+    markReportServed(served);
+    schedule_cache_hits_ += served.schedule_cache_hits;
+    return served;
 }
 
 sim::PerfReport
@@ -124,24 +146,35 @@ StepEvaluator::evaluateBatch(
 
     // Expand slots into request order: every request beyond the first
     // reference of an uncached slot (and every reference of a
-    // pre-cached one) is a hit.
+    // pre-cached one) is a hit, and served reports charge their
+    // schedule work as hits.
     long hits = 0;
+    long sched_lowerings = 0;
+    long sched_hits = 0;
     for (std::size_t i = 0; i < assignments.size(); ++i) {
         const std::size_t s = request_slot[i];
         results[i] = slot_value[s];
-        if (slot_cached[s])
+        if (slot_cached[s]) {
             ++hits;
-        else
+            markReportServed(results[i]);
+            sched_hits += results[i].schedule_cache_hits;
+        } else {
             slot_cached[s] = true;
+            sched_lowerings += results[i].schedule_lowerings;
+            sched_hits += results[i].schedule_cache_hits;
+        }
     }
     cache_hits_ += hits;
+    schedule_lowerings_ += sched_lowerings;
+    schedule_cache_hits_ += sched_hits;
     return results;
 }
 
 StepStats
 StepEvaluator::stats() const
 {
-    return {sims_.load(), cache_hits_.load()};
+    return {sims_.load(), cache_hits_.load(), schedule_lowerings_.load(),
+            schedule_cache_hits_.load()};
 }
 
 }  // namespace temp::eval

@@ -41,10 +41,20 @@ struct StepStats
 {
     long sims = 0;        ///< unique full-step simulations run
     long cache_hits = 0;  ///< queries served from the memo
+    /**
+     * Collective-schedule accounting inside the simulations this
+     * evaluator handled (lowerings vs. net::ScheduleCache hits). A
+     * memo-served report charges its schedule work as hits, mirroring
+     * the CostEvaluator convention.
+     */
+    long schedule_lowerings = 0;
+    long schedule_cache_hits = 0;
 
     StepStats operator-(const StepStats &other) const
     {
-        return {sims - other.sims, cache_hits - other.cache_hits};
+        return {sims - other.sims, cache_hits - other.cache_hits,
+                schedule_lowerings - other.schedule_lowerings,
+                schedule_cache_hits - other.schedule_cache_hits};
     }
 };
 
@@ -101,6 +111,8 @@ class StepEvaluator
     std::unordered_map<std::string, sim::PerfReport> cache_;
     std::atomic<long> sims_{0};
     std::atomic<long> cache_hits_{0};
+    std::atomic<long> schedule_lowerings_{0};
+    std::atomic<long> schedule_cache_hits_{0};
 };
 
 }  // namespace temp::eval

@@ -9,6 +9,8 @@
  */
 #pragma once
 
+#include <algorithm>
+#include <cstdint>
 #include <unordered_set>
 #include <vector>
 
@@ -27,7 +29,11 @@ class FaultMap
     FaultMap(int die_count, int link_count);
 
     /// Marks the directed link (and typically its reverse) as failed.
-    void failLink(LinkId link) { failed_links_.insert(link); }
+    void failLink(LinkId link)
+    {
+        failed_links_.insert(link);
+        ++revision_;
+    }
 
     /// True if the link is unusable.
     bool linkFailed(LinkId link) const
@@ -57,6 +63,21 @@ class FaultMap
     bool healthy() const;
 
     /**
+     * Monotonic mutation counter: bumped by every failLink() /
+     * setCoreFaultFraction() call. Fault-sensitive caches (route pools,
+     * schedule caches, per-link bandwidth snapshots) compare revisions
+     * instead of hashing the fault set per lookup.
+     */
+    std::uint64_t revision() const { return revision_; }
+
+    /// Raises the revision to at least `floor` (hw::Wafer uses this to
+    /// keep epochs monotonic when a whole map is swapped in).
+    void advanceRevision(std::uint64_t floor)
+    {
+        revision_ = std::max(revision_, floor);
+    }
+
+    /**
      * Generates random symmetric link faults: each undirected mesh link
      * fails independently with probability rate (both directions fail
      * together, as a physical lane fault takes out the channel).
@@ -74,6 +95,7 @@ class FaultMap
   private:
     std::unordered_set<LinkId> failed_links_;
     std::vector<double> core_fault_fraction_;
+    std::uint64_t revision_ = 0;
 };
 
 }  // namespace temp::hw

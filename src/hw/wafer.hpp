@@ -46,8 +46,23 @@ class Wafer
         return linkUsable(link) ? config_.d2d.bandwidth_bytes_per_s : 0.0;
     }
 
-    /// Replaces the fault state (used by fault-injection sweeps).
-    void setFaults(FaultMap faults) { faults_ = std::move(faults); }
+    /// Replaces the fault state (used by fault-injection sweeps). The
+    /// fault epoch strictly increases so fault-sensitive caches see the
+    /// swap even when the new map's own revision is small.
+    void setFaults(FaultMap faults)
+    {
+        const std::uint64_t floor = faults_.revision() + 1;
+        faults_ = std::move(faults);
+        faults_.advanceRevision(floor);
+    }
+
+    /**
+     * Monotonic fault epoch of this wafer: changes whenever the fault
+     * state does (construction-time map included). Caches keyed on
+     * lowered schedules or per-link bandwidth compare this instead of
+     * hashing the fault set per lookup.
+     */
+    std::uint64_t faultEpoch() const { return faults_.revision(); }
 
     /**
      * The dies the framework can actually use: the largest connected

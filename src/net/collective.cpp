@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <set>
 
 #include "common/logging.hpp"
 
@@ -24,7 +23,11 @@ collectiveKindName(CollectiveKind kind)
 void
 CommSchedule::append(const CommSchedule &other)
 {
-    rounds.insert(rounds.end(), other.rounds.begin(), other.rounds.end());
+    const std::uint32_t base = static_cast<std::uint32_t>(flows_.size());
+    flows_.insert(flows_.end(), other.flows_.begin(), other.flows_.end());
+    round_end_.reserve(round_end_.size() + other.round_end_.size());
+    for (std::uint32_t end : other.round_end_)
+        round_end_.push_back(base + end);
     payload_bytes += other.payload_bytes;
     feasible = feasible && other.feasible;
 }
@@ -32,31 +35,44 @@ CommSchedule::append(const CommSchedule &other)
 void
 CommSchedule::overlay(const CommSchedule &other)
 {
-    if (other.rounds.size() > rounds.size())
-        rounds.resize(other.rounds.size());
-    for (std::size_t i = 0; i < other.rounds.size(); ++i)
-        rounds[i].insert(rounds[i].end(), other.rounds[i].begin(),
-                         other.rounds[i].end());
-    payload_bytes += other.payload_bytes;
-    feasible = feasible && other.feasible;
+    const CommSchedule *pair[] = {this, &other};
+    *this = combine(pair);
 }
 
-std::vector<Flow>
-CommSchedule::flatten() const
+CommSchedule
+CommSchedule::combine(std::span<const CommSchedule *const> schedules)
 {
-    std::vector<Flow> all;
-    for (const auto &round : rounds)
-        all.insert(all.end(), round.begin(), round.end());
-    return all;
+    CommSchedule out;
+    std::size_t total_flows = 0;
+    std::size_t total_rounds = 0;
+    for (const CommSchedule *s : schedules) {
+        total_flows += s->flowCount();
+        total_rounds = std::max(
+            total_rounds, static_cast<std::size_t>(s->roundCount()));
+        out.payload_bytes += s->payload_bytes;
+        out.feasible = out.feasible && s->feasible;
+    }
+    out.reserve(total_flows, total_rounds);
+    for (std::size_t r = 0; r < total_rounds; ++r) {
+        for (const CommSchedule *s : schedules) {
+            if (static_cast<int>(r) >= s->roundCount())
+                continue;
+            const std::span<const Flow> round =
+                s->round(static_cast<int>(r));
+            out.flows_.insert(out.flows_.end(), round.begin(),
+                              round.end());
+        }
+        out.sealRound();
+    }
+    return out;
 }
 
 double
 CommSchedule::linkBytes() const
 {
     double total = 0.0;
-    for (const auto &round : rounds)
-        for (const Flow &flow : round)
-            total += flow.bytes * flow.route.hops();
+    for (const Flow &flow : flows_)
+        total += flow.bytes * flow.route.hops();
     return total;
 }
 
@@ -67,20 +83,25 @@ buildMulticastTree(const Router &router, DieId root,
     MulticastTree tree;
     tree.root = root;
     tree.leaves = leaves;
-    std::set<LinkId> unique;
+    // Collect every path link into a flat vector, then sort+unique: no
+    // tree-node allocation per link, same ascending order the former
+    // std::set produced.
+    std::vector<LinkId> links;
     for (DieId leaf : leaves) {
         if (leaf == root)
             continue;
-        const auto route = router.safeRoute(root, leaf, policy);
-        if (!route) {
+        const RouteRef route = router.safeRouteRef(root, leaf, policy);
+        if (!route.valid()) {
             tree.complete = false;
             continue;
         }
-        tree.depth = std::max(tree.depth, route->hops());
-        for (LinkId link : route->links)
-            unique.insert(link);
+        tree.depth = std::max(tree.depth, route.hops());
+        links.insert(links.end(), route.links().begin(),
+                     route.links().end());
     }
-    tree.links.assign(unique.begin(), unique.end());
+    std::sort(links.begin(), links.end());
+    links.erase(std::unique(links.begin(), links.end()), links.end());
+    tree.links = std::move(links);
     return tree;
 }
 
@@ -120,22 +141,30 @@ CollectiveScheduler::ringAllGather(const std::vector<DieId> &group,
     if (n <= 1 || shard_bytes <= 0.0)
         return sched;
 
+    sched.reserve(static_cast<std::size_t>(n) * (n - 1), n - 1);
+    // Every round reuses the same n ring hops; resolve the pooled
+    // routes once instead of once per round.
+    std::vector<RouteRef> hop_routes;
+    hop_routes.reserve(n);
+    for (int i = 0; i < n; ++i) {
+        RouteRef route =
+            router_.safeRouteRef(group[i], group[(i + 1) % n], policy_);
+        if (!route.valid())
+            sched.feasible = false;
+        hop_routes.push_back(std::move(route));
+    }
+
     for (int round = 0; round + 1 < n; ++round) {
-        std::vector<Flow> flows;
-        flows.reserve(n);
         for (int i = 0; i < n; ++i) {
             Flow flow;
             flow.src = group[i];
             flow.dst = group[(i + 1) % n];
             flow.bytes = shard_bytes;
-            if (auto route = router_.safeRoute(flow.src, flow.dst, policy_))
-                flow.route = std::move(*route);
-            else
-                sched.feasible = false;
+            flow.route = hop_routes[i];
             flow.tag = tag;
-            flows.push_back(std::move(flow));
+            sched.addFlow(std::move(flow));
         }
-        sched.rounds.push_back(std::move(flows));
+        sched.sealRound();
     }
     sched.payload_bytes = shard_bytes * n * (n - 1);
     return sched;
@@ -173,7 +202,6 @@ CollectiveScheduler::treeAllReduce(const std::vector<DieId> &group,
         return sched;
 
     auto emit_round = [&](int step, bool reduce_phase) {
-        std::vector<Flow> flows;
         for (int i = 0; i < n; ++i) {
             // Reduce phase: nodes at odd multiples of `step` send to the
             // even multiple below; broadcast mirrors the transfers.
@@ -184,16 +212,15 @@ CollectiveScheduler::treeAllReduce(const std::vector<DieId> &group,
             flow.src = reduce_phase ? group[i] : group[peer];
             flow.dst = reduce_phase ? group[peer] : group[i];
             flow.bytes = tensor_bytes;
-            if (auto route = router_.safeRoute(flow.src, flow.dst, policy_))
-                flow.route = std::move(*route);
-            else
+            flow.route = router_.safeRouteRef(flow.src, flow.dst, policy_);
+            if (!flow.route.valid())
                 sched.feasible = false;
             flow.tag = tag;
-            flows.push_back(std::move(flow));
+            sched.addFlow(std::move(flow));
             sched.payload_bytes += tensor_bytes;
         }
-        if (!flows.empty())
-            sched.rounds.push_back(std::move(flows));
+        if (sched.openFlowCount() > 0)
+            sched.sealRound();
     };
 
     for (int step = 1; step < n; step *= 2)
@@ -239,21 +266,18 @@ CollectiveScheduler::broadcast(const std::vector<DieId> &group, double bytes,
         buildMulticastTree(router_, root, leaves, policy_);
     sched.feasible = tree.complete;
 
-    std::vector<Flow> flows;
-    flows.reserve(tree.links.size());
+    sched.reserve(tree.links.size(), 1);
     for (LinkId link : tree.links) {
         const hw::Link &l = router_.topology().link(link);
         Flow flow;
         flow.src = l.src;
         flow.dst = l.dst;
         flow.bytes = bytes;
-        flow.route.src = l.src;
-        flow.route.dst = l.dst;
-        flow.route.links = {link};
+        flow.route = router_.linkRoute(link);
         flow.tag = tag;
-        flows.push_back(std::move(flow));
+        sched.addFlow(std::move(flow));
     }
-    sched.rounds.push_back(std::move(flows));
+    sched.sealRound();
     sched.payload_bytes = bytes * static_cast<double>(leaves.size());
     return sched;
 }
@@ -268,12 +292,12 @@ CollectiveScheduler::p2p(DieId src, DieId dst, double bytes, int tag) const
     flow.src = src;
     flow.dst = dst;
     flow.bytes = bytes;
-    if (auto route = router_.safeRoute(src, dst, policy_))
-        flow.route = std::move(*route);
-    else
+    flow.route = router_.safeRouteRef(src, dst, policy_);
+    if (!flow.route.valid())
         sched.feasible = false;
     flow.tag = tag;
-    sched.rounds.push_back({std::move(flow)});
+    sched.addFlow(std::move(flow));
+    sched.sealRound();
     sched.payload_bytes = bytes;
     return sched;
 }

@@ -8,6 +8,8 @@
  */
 #pragma once
 
+#include <cstdint>
+#include <span>
 #include <vector>
 
 #include "net/contention.hpp"
@@ -45,15 +47,75 @@ struct CollectiveTask
     int tag = 0;
 };
 
-/// Ordered rounds of concurrent flows realising one or more collectives.
-struct CommSchedule
+/**
+ * Ordered rounds of concurrent flows realising one or more collectives.
+ *
+ * Flows live in one contiguous arena; rounds are offset spans into it.
+ * This keeps lowering, overlay combination and sequence evaluation free
+ * of per-round vector allocations (the former vector<vector<Flow>>
+ * shape), which matters because schedules are built and walked millions
+ * of times across a DP matrix fill.
+ */
+class CommSchedule
 {
-    std::vector<std::vector<Flow>> rounds;
+  public:
     /// Payload bytes delivered (for energy accounting).
     double payload_bytes = 0.0;
     /// False when some transfer had no usable route (fabric partitioned
     /// by faults); the schedule's cost is then infinite.
     bool feasible = true;
+
+    // --- building -----------------------------------------------------
+    /// Appends a flow to the round under construction.
+    void addFlow(Flow flow) { flows_.push_back(std::move(flow)); }
+
+    /// Seals the round under construction (flows added since the last
+    /// seal); an empty round is legal but usually skipped by callers.
+    void sealRound()
+    {
+        round_end_.push_back(static_cast<std::uint32_t>(flows_.size()));
+    }
+
+    /// Number of flows added since the last sealed round.
+    std::size_t openFlowCount() const
+    {
+        return flows_.size() -
+               (round_end_.empty() ? 0 : round_end_.back());
+    }
+
+    /// Reserves arena capacity (rounds * flows-per-round known upfront).
+    void reserve(std::size_t flow_count, std::size_t round_count)
+    {
+        flows_.reserve(flow_count);
+        round_end_.reserve(round_count);
+    }
+
+    /// Replaces the arena wholesale (the traffic optimizer's rebuild).
+    void assign(std::vector<Flow> flows,
+                std::vector<std::uint32_t> round_end)
+    {
+        flows_ = std::move(flows);
+        round_end_ = std::move(round_end);
+    }
+
+    // --- access -------------------------------------------------------
+    int roundCount() const { return static_cast<int>(round_end_.size()); }
+    bool empty() const { return round_end_.empty(); }
+
+    std::span<const Flow> round(int r) const
+    {
+        const std::uint32_t begin = r > 0 ? round_end_[r - 1] : 0;
+        return {flows_.data() + begin, round_end_[r] - begin};
+    }
+    std::span<Flow> round(int r)
+    {
+        const std::uint32_t begin = r > 0 ? round_end_[r - 1] : 0;
+        return {flows_.data() + begin, round_end_[r] - begin};
+    }
+
+    /// The whole flow arena (all rounds, in round order).
+    const std::vector<Flow> &flows() const { return flows_; }
+    std::size_t flowCount() const { return flows_.size(); }
 
     /// Appends another schedule's rounds after this one's.
     void append(const CommSchedule &other);
@@ -61,11 +123,20 @@ struct CommSchedule
     /// Merges another schedule round-by-round (concurrent execution).
     void overlay(const CommSchedule &other);
 
-    /// All flows across all rounds, flattened.
-    std::vector<Flow> flatten() const;
+    /**
+     * Round-by-round merge of many schedules in one pass (one arena
+     * allocation total instead of one rebuild per overlay).
+     */
+    static CommSchedule combine(
+        std::span<const CommSchedule *const> schedules);
 
     /// Total bytes*hops deposited on the fabric.
     double linkBytes() const;
+
+  private:
+    std::vector<Flow> flows_;
+    /// round r = flows_[round_end_[r-1] .. round_end_[r]).
+    std::vector<std::uint32_t> round_end_;
 };
 
 /// A multicast tree: the union of routes from a root to many leaves.

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hpp"
+#include "net/collective.hpp"
 
 namespace temp::net {
 
@@ -65,47 +66,122 @@ LinkLoadMap::activeLinkCount() const
     return active;
 }
 
-ContentionModel::ContentionModel(const hw::Topology &topo,
-                                 double link_bandwidth, double hop_latency_s)
-    : topo_(topo),
-      link_bandwidth_([link_bandwidth](LinkId) { return link_bandwidth; }),
-      hop_latency_s_(hop_latency_s)
+namespace {
+
+/**
+ * Per-thread scratch for phase evaluation: a dense load vector plus the
+ * list of links actually touched, so one phase costs O(flows * hops) to
+ * clear instead of O(links) to allocate and zero. The invariant between
+ * uses is "loads all zero", maintained by resetting exactly the touched
+ * links before returning.
+ */
+struct PhaseScratch
 {
+    std::vector<double> loads;
+    std::vector<LinkId> touched;
+
+    void prepare(int link_count)
+    {
+        if (static_cast<int>(loads.size()) < link_count)
+            loads.resize(link_count, 0.0);
+        touched.clear();
+    }
+
+    void deposit(const Route &route, double bytes)
+    {
+        for (LinkId link : route.links) {
+            if (loads[link] == 0.0)
+                touched.push_back(link);
+            loads[link] += bytes;
+        }
+    }
+
+    void reset()
+    {
+        for (LinkId link : touched)
+            loads[link] = 0.0;
+    }
+};
+
+PhaseScratch &
+phaseScratch()
+{
+    static thread_local PhaseScratch scratch;
+    return scratch;
 }
 
+}  // namespace
+
 ContentionModel::ContentionModel(const hw::Topology &topo,
-                                 std::function<double(LinkId)> link_bandwidth,
-                                 double hop_latency_s)
-    : topo_(topo),
-      link_bandwidth_(std::move(link_bandwidth)),
+                                 double link_bandwidth, double hop_latency_s)
+    : topo_(topo), hop_latency_s_(hop_latency_s)
+{
+    snapshot([link_bandwidth](LinkId) { return link_bandwidth; });
+}
+
+ContentionModel::ContentionModel(const hw::Wafer &wafer, double hop_latency_s)
+    : topo_(wafer.topology()), wafer_(&wafer),
       hop_latency_s_(hop_latency_s)
 {
+    snapshot([&wafer](LinkId link) { return wafer.linkBandwidth(link); });
+    snapshot_epoch_.store(wafer.faultEpoch(), std::memory_order_release);
+}
+
+void
+ContentionModel::snapshot(
+    const std::function<double(LinkId)> &bandwidth_of) const
+{
+    link_bandwidth_.resize(topo_.linkCount());
+    fabric_capacity_ = 0.0;
+    for (LinkId link = 0; link < topo_.linkCount(); ++link) {
+        link_bandwidth_[link] = bandwidth_of(link);
+        fabric_capacity_ += link_bandwidth_[link];
+    }
+}
+
+void
+ContentionModel::refresh() const
+{
+    if (wafer_ == nullptr)
+        return;
+    const std::uint64_t epoch = wafer_->faultEpoch();
+    if (epoch == snapshot_epoch_.load(std::memory_order_acquire))
+        return;
+    std::lock_guard<std::mutex> lock(rebuild_mutex_);
+    if (epoch == snapshot_epoch_.load(std::memory_order_acquire))
+        return;
+    snapshot(
+        [this](LinkId link) { return wafer_->linkBandwidth(link); });
+    snapshot_epoch_.store(epoch, std::memory_order_release);
 }
 
 PhaseTiming
-ContentionModel::evaluate(const std::vector<Flow> &flows) const
+ContentionModel::evaluate(std::span<const Flow> flows) const
 {
     PhaseTiming timing;
     if (flows.empty())
         return timing;
+    refresh();
 
-    LinkLoadMap loads(topo_.linkCount());
+    PhaseScratch &scratch = phaseScratch();
+    scratch.prepare(topo_.linkCount());
     for (const Flow &flow : flows) {
         if (flow.bytes <= 0.0)
             continue;
-        loads.add(flow.route, flow.bytes);
+        scratch.deposit(*flow.route, flow.bytes);
         timing.total_bytes += flow.bytes;
         timing.link_bytes += flow.bytes * flow.route.hops();
         timing.max_hops = std::max(timing.max_hops, flow.route.hops());
     }
 
     // Drain time of the most congested link dictates the bandwidth term.
+    // Touched links are scanned in id order so tie-breaking matches the
+    // former dense scan.
+    std::sort(scratch.touched.begin(), scratch.touched.end());
     double worst = 0.0;
-    for (LinkId link = 0; link < loads.linkCount(); ++link) {
-        const double load = loads.load(link);
-        if (load <= 0.0)
-            continue;
-        const double bw = link_bandwidth_(link);
+    for (LinkId link : scratch.touched) {
+        const double load = scratch.loads[link];
+        const double bw = link_bandwidth_[link];
         if (bw <= 0.0)
             panic("ContentionModel: flow routed over dead link %d", link);
         const double drain = load / bw;
@@ -115,43 +191,65 @@ ContentionModel::evaluate(const std::vector<Flow> &flows) const
             timing.bottleneck_bytes = load;
         }
     }
+    scratch.reset();
     timing.serial_time_s = worst;
     timing.time_s = worst + timing.max_hops * hop_latency_s_;
 
     // Aggregate utilisation: bytes-hops actually moved vs. what the whole
     // fabric could move during the phase.
-    double fabric_capacity = 0.0;
-    for (LinkId link = 0; link < topo_.linkCount(); ++link)
-        fabric_capacity += link_bandwidth_(link);
-    if (timing.time_s > 0.0 && fabric_capacity > 0.0) {
+    if (timing.time_s > 0.0 && fabric_capacity_ > 0.0) {
         timing.bandwidth_utilization =
-            timing.link_bytes / (fabric_capacity * timing.time_s);
+            timing.link_bytes / (fabric_capacity_ * timing.time_s);
     }
     return timing;
+}
+
+namespace {
+
+/// Folds one phase's timing into a running sequence total.
+void
+accumulatePhase(PhaseTiming &total, const PhaseTiming &t,
+                double fabric_capacity, double &busy_capacity_time)
+{
+    total.time_s += t.time_s;
+    total.serial_time_s += t.serial_time_s;
+    total.total_bytes += t.total_bytes;
+    total.link_bytes += t.link_bytes;
+    total.max_hops = std::max(total.max_hops, t.max_hops);
+    if (t.bottleneck_bytes > total.bottleneck_bytes) {
+        total.bottleneck_bytes = t.bottleneck_bytes;
+        total.bottleneck_link = t.bottleneck_link;
+    }
+    busy_capacity_time += t.time_s * fabric_capacity;
+}
+
+}  // namespace
+
+PhaseTiming
+ContentionModel::evaluateSequence(const CommSchedule &schedule) const
+{
+    refresh();
+    PhaseTiming total;
+    double busy_capacity_time = 0.0;
+    for (int r = 0; r < schedule.roundCount(); ++r) {
+        accumulatePhase(total, evaluate(schedule.round(r)),
+                        fabric_capacity_, busy_capacity_time);
+    }
+    if (busy_capacity_time > 0.0)
+        total.bandwidth_utilization = total.link_bytes / busy_capacity_time;
+    return total;
 }
 
 PhaseTiming
 ContentionModel::evaluateSequence(
     const std::vector<std::vector<Flow>> &phases) const
 {
+    refresh();
     PhaseTiming total;
     double busy_capacity_time = 0.0;
-    double fabric_capacity = 0.0;
-    for (LinkId link = 0; link < topo_.linkCount(); ++link)
-        fabric_capacity += link_bandwidth_(link);
-
     for (const auto &phase : phases) {
-        const PhaseTiming t = evaluate(phase);
-        total.time_s += t.time_s;
-        total.serial_time_s += t.serial_time_s;
-        total.total_bytes += t.total_bytes;
-        total.link_bytes += t.link_bytes;
-        total.max_hops = std::max(total.max_hops, t.max_hops);
-        if (t.bottleneck_bytes > total.bottleneck_bytes) {
-            total.bottleneck_bytes = t.bottleneck_bytes;
-            total.bottleneck_link = t.bottleneck_link;
-        }
-        busy_capacity_time += t.time_s * fabric_capacity;
+        accumulatePhase(total, evaluate(phase), fabric_capacity_,
+                        busy_capacity_time);
     }
     if (busy_capacity_time > 0.0)
         total.bandwidth_utilization = total.link_bytes / busy_capacity_time;
@@ -163,9 +261,10 @@ ContentionModel::flowTime(const Flow &flow) const
 {
     if (flow.bytes <= 0.0 || flow.route.empty())
         return 0.0;
-    double min_bw = link_bandwidth_(flow.route.links.front());
-    for (LinkId link : flow.route.links)
-        min_bw = std::min(min_bw, link_bandwidth_(link));
+    refresh();
+    double min_bw = link_bandwidth_[flow.route.links().front()];
+    for (LinkId link : flow.route.links())
+        min_bw = std::min(min_bw, link_bandwidth_[link]);
     if (min_bw <= 0.0)
         panic("ContentionModel::flowTime: dead link on route");
     return flow.bytes / min_bw + flow.route.hops() * hop_latency_s_;

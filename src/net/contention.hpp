@@ -9,18 +9,31 @@
  * additionally pays per-hop propagation latency. This is exactly the
  * granularity at which the paper reasons about contention (most congested
  * link `mcl`, link loads, Fig. 11).
+ *
+ * The model is on the innermost loop of every cost query, so it avoids
+ * indirection: per-link bandwidth is a precomputed flat vector (rebuilt
+ * when the wafer's fault epoch changes), not a callback per link, and
+ * phase evaluation reuses a thread-local scratch load map instead of
+ * allocating one per phase.
  */
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <functional>
+#include <mutex>
+#include <span>
 #include <vector>
 
 #include "hw/config.hpp"
 #include "hw/fault.hpp"
 #include "hw/topology.hpp"
+#include "hw/wafer.hpp"
 #include "net/route.hpp"
 
 namespace temp::net {
+
+class CommSchedule;
 
 /// One point-to-point transfer taking part in a phase.
 struct Flow
@@ -28,7 +41,8 @@ struct Flow
     DieId src = -1;
     DieId dst = -1;
     double bytes = 0.0;
-    Route route;
+    /// Pooled, immutable route (invalid ref = no usable route).
+    RouteRef route;
     /// Opaque tag identifying the parallel group / collective that owns
     /// this flow (used by the optimizer for redundant-path merging).
     int tag = 0;
@@ -42,9 +56,14 @@ class LinkLoadMap
 
     /// Adds a flow's bytes to every link on its route.
     void add(const Route &route, double bytes);
+    void add(const RouteRef &route, double bytes) { add(*route, bytes); }
 
     /// Removes a flow's bytes from every link on its route.
     void remove(const Route &route, double bytes);
+    void remove(const RouteRef &route, double bytes)
+    {
+        remove(*route, bytes);
+    }
 
     /// Current load on a link.
     double load(LinkId link) const { return loads_[link]; }
@@ -86,7 +105,10 @@ struct PhaseTiming
  * Evaluates communication phases against a concrete fabric.
  *
  * Bandwidth may differ per link (failed links carry zero; switch fabrics
- * use NIC bandwidth), supplied via a callback at construction.
+ * use NIC bandwidth). The per-link bandwidths are snapshotted into a
+ * flat vector at construction; the wafer-bound constructor additionally
+ * re-snapshots whenever the wafer's fault epoch changes, so fault
+ * injection on a live wafer is observed without a callback per link.
  */
 class ContentionModel
 {
@@ -95,13 +117,23 @@ class ContentionModel
     ContentionModel(const hw::Topology &topo, double link_bandwidth,
                     double hop_latency_s);
 
-    /// Fabric with per-link bandwidth (fault maps, heterogeneous links).
-    ContentionModel(const hw::Topology &topo,
-                    std::function<double(LinkId)> link_bandwidth,
-                    double hop_latency_s);
+    /**
+     * Wafer-bound fabric: per-link bandwidth snapshots
+     * wafer.linkBandwidth() and rebuilds when wafer.faultEpoch() moves
+     * (fault injection zeroes failed links without reconstructing the
+     * model).
+     */
+    ContentionModel(const hw::Wafer &wafer, double hop_latency_s);
 
     /// Evaluates a phase of concurrent flows.
-    PhaseTiming evaluate(const std::vector<Flow> &flows) const;
+    PhaseTiming evaluate(std::span<const Flow> flows) const;
+    PhaseTiming evaluate(const std::vector<Flow> &flows) const
+    {
+        return evaluate(std::span<const Flow>(flows));
+    }
+
+    /// Evaluates a schedule's rounds as dependent phases.
+    PhaseTiming evaluateSequence(const CommSchedule &schedule) const;
 
     /// Evaluates a sequence of dependent phases (e.g. collective rounds).
     PhaseTiming evaluateSequence(
@@ -115,11 +147,37 @@ class ContentionModel
     const hw::Topology &topology() const { return topo_; }
 
     /// Bandwidth of one link under this model.
-    double linkBandwidth(LinkId link) const { return link_bandwidth_(link); }
+    double linkBandwidth(LinkId link) const
+    {
+        refresh();
+        return link_bandwidth_[link];
+    }
+
+    /// Sum of all link bandwidths (the fabric's aggregate capacity).
+    double fabricCapacity() const
+    {
+        refresh();
+        return fabric_capacity_;
+    }
 
   private:
+    /**
+     * Re-snapshots per-link bandwidth when the bound wafer's fault
+     * epoch moved. No-op (one relaxed load + compare) on the hot path.
+     * Rebuilds are serialized, but are NOT synchronized against
+     * concurrent evaluate() readers: fault injection must quiesce
+     * evaluation (the existing setFaults() contract).
+     */
+    void refresh() const;
+
+    void snapshot(const std::function<double(LinkId)> &bandwidth_of) const;
+
     const hw::Topology &topo_;
-    std::function<double(LinkId)> link_bandwidth_;
+    const hw::Wafer *wafer_ = nullptr;  ///< bound wafer (may be null)
+    mutable std::mutex rebuild_mutex_;
+    mutable std::atomic<std::uint64_t> snapshot_epoch_{0};
+    mutable std::vector<double> link_bandwidth_;
+    mutable double fabric_capacity_ = 0.0;
     double hop_latency_s_;
 };
 

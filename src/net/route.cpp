@@ -2,11 +2,33 @@
 
 #include <algorithm>
 #include <deque>
-#include <set>
+#include <mutex>
 
 #include "common/logging.hpp"
 
 namespace temp::net {
+
+namespace {
+
+/// Pool key of one (src, dst, policy) endpoint pair.
+std::uint64_t
+endpointKey(DieId src, DieId dst, RoutePolicy policy)
+{
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src))
+            << 33) |
+           (static_cast<std::uint64_t>(static_cast<std::uint32_t>(dst))
+            << 1) |
+           (policy == RoutePolicy::YX ? 1u : 0u);
+}
+
+}  // namespace
+
+const Route &
+RouteRef::get() const
+{
+    static const Route kEmpty;
+    return route_ ? *route_ : kEmpty;
+}
 
 Router::Router(const hw::MeshTopology &topo, const hw::FaultMap *faults)
     : topo_(topo), faults_(faults)
@@ -133,14 +155,21 @@ std::vector<Route>
 Router::candidateRoutes(DieId src, DieId dst) const
 {
     std::vector<Route> candidates;
-    std::set<std::vector<LinkId>> unique;
 
+    // First-occurrence dedup over a flat vector: the candidate set is
+    // tiny (XY + YX + a handful of one-bend detours), so a linear scan
+    // beats the former std::set<std::vector<LinkId>>'s node allocation
+    // per probe while preserving the insertion order the reroute
+    // tie-breaking depends on.
     auto consider = [&](const Route &r) {
         if (r.src != src || r.dst != dst)
             return;
         if (!routeUsable(r))
             return;
-        if (unique.insert(r.links).second)
+        const bool seen =
+            std::any_of(candidates.begin(), candidates.end(),
+                        [&](const Route &c) { return c.links == r.links; });
+        if (!seen)
             candidates.push_back(r);
     };
 
@@ -172,6 +201,93 @@ Router::routeUsable(const Route &route) const
 {
     return std::all_of(route.links.begin(), route.links.end(),
                        [this](LinkId l) { return linkUsable(l); });
+}
+
+void
+Router::refreshPoolLocked() const
+{
+    const std::uint64_t revision = faultRevision();
+    if (revision == pool_revision_)
+        return;
+    // Fault state moved: every memoized route may now cross a failed
+    // link (or a better one may exist). Single-link routes survive —
+    // their usability is checked by the consumer, not baked in.
+    safe_pool_.clear();
+    candidate_pool_.clear();
+    pool_revision_ = revision;
+}
+
+RouteRef
+Router::safeRouteRef(DieId src, DieId dst, RoutePolicy policy) const
+{
+    const std::uint64_t revision = faultRevision();
+    const std::uint64_t key = endpointKey(src, dst, policy);
+    {
+        std::shared_lock<std::shared_mutex> lock(pool_mutex_);
+        if (pool_revision_ == revision) {
+            auto it = safe_pool_.find(key);
+            if (it != safe_pool_.end())
+                return it->second;
+        }
+    }
+    std::optional<Route> found = safeRoute(src, dst, policy);
+    RouteRef ref = found ? RouteRef(std::move(*found)) : RouteRef();
+    std::unique_lock<std::shared_mutex> lock(pool_mutex_);
+    refreshPoolLocked();
+    // The fault map moved while this route was computed under the old
+    // one: return it (the pre-pool race semantics) but never persist it
+    // into the new epoch's pool.
+    if (pool_revision_ != revision)
+        return ref;
+    return safe_pool_.emplace(key, std::move(ref)).first->second;
+}
+
+RouteRef
+Router::linkRoute(LinkId link) const
+{
+    // Single-link routes depend only on the topology, never on faults.
+    {
+        std::shared_lock<std::shared_mutex> lock(pool_mutex_);
+        if (!link_pool_.empty() && link_pool_[link].valid())
+            return link_pool_[link];
+    }
+    std::unique_lock<std::shared_mutex> lock(pool_mutex_);
+    if (link_pool_.empty())
+        link_pool_.resize(topo_.linkCount());
+    if (!link_pool_[link].valid()) {
+        const hw::Link &l = topo_.link(link);
+        Route r;
+        r.src = l.src;
+        r.dst = l.dst;
+        r.links = {link};
+        link_pool_[link] = RouteRef(std::move(r));
+    }
+    return link_pool_[link];
+}
+
+std::shared_ptr<const std::vector<RouteRef>>
+Router::candidateRouteRefs(DieId src, DieId dst) const
+{
+    const std::uint64_t revision = faultRevision();
+    const std::uint64_t key = endpointKey(src, dst, RoutePolicy::XY);
+    {
+        std::shared_lock<std::shared_mutex> lock(pool_mutex_);
+        if (pool_revision_ == revision) {
+            auto it = candidate_pool_.find(key);
+            if (it != candidate_pool_.end())
+                return it->second;
+        }
+    }
+    std::vector<Route> routes = candidateRoutes(src, dst);
+    auto refs = std::make_shared<std::vector<RouteRef>>();
+    refs->reserve(routes.size());
+    for (Route &r : routes)
+        refs->emplace_back(std::move(r));
+    std::unique_lock<std::shared_mutex> lock(pool_mutex_);
+    refreshPoolLocked();
+    if (pool_revision_ != revision)
+        return refs;  // computed under a superseded fault map
+    return candidate_pool_.emplace(key, std::move(refs)).first->second;
 }
 
 }  // namespace temp::net

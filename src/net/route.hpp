@@ -9,7 +9,11 @@
  */
 #pragma once
 
+#include <cstdint>
+#include <memory>
 #include <optional>
+#include <shared_mutex>
+#include <unordered_map>
 #include <vector>
 
 #include "hw/fault.hpp"
@@ -31,6 +35,49 @@ struct Route
     int hops() const { return static_cast<int>(links.size()); }
 
     bool empty() const { return links.empty(); }
+};
+
+/**
+ * A shared handle to an immutable, pooled Route.
+ *
+ * Flows reference routes through this instead of owning a Route copy,
+ * so copying a flow (schedule-cache reuse, overlay combination) costs a
+ * reference count instead of a LinkId-vector allocation. A
+ * default-constructed ref reads as an empty route (no links), the state
+ * of an infeasible transfer.
+ */
+class RouteRef
+{
+  public:
+    RouteRef() = default;
+    RouteRef(std::shared_ptr<const Route> route) : route_(std::move(route))
+    {
+    }
+    /// Pools a one-off route value (ad-hoc flows, tests).
+    RouteRef(Route route)
+        : route_(std::make_shared<const Route>(std::move(route)))
+    {
+    }
+
+    /// True when a route is attached (even a trivial src==dst one).
+    bool valid() const { return route_ != nullptr; }
+
+    const Route &get() const;
+    const Route &operator*() const { return get(); }
+    const Route *operator->() const { return &get(); }
+
+    int hops() const { return route_ ? route_->hops() : 0; }
+    bool empty() const { return route_ == nullptr || route_->empty(); }
+    const std::vector<LinkId> &links() const { return get().links; }
+
+    /// Content equality of the underlying link sequences.
+    bool sameLinks(const RouteRef &other) const
+    {
+        return route_ == other.route_ || links() == other.links();
+    }
+
+  private:
+    std::shared_ptr<const Route> route_;
 };
 
 /// Dimension order used for deterministic mesh routing.
@@ -80,22 +127,65 @@ class Router
         const;
 
     /**
+     * Memoized, pooled safeRoute(): the hot path of collective
+     * lowering. Returns an invalid (empty) ref when the destination is
+     * unreachable. Entries invalidate when the fault map's revision
+     * changes; thread-safe.
+     */
+    RouteRef safeRouteRef(DieId src, DieId dst,
+                          RoutePolicy policy = RoutePolicy::XY) const;
+
+    /// Pooled single-link route (broadcast trees, multicast branches).
+    /// Link routes are topology-only, so they never invalidate.
+    RouteRef linkRoute(LinkId link) const;
+
+    /**
      * Candidate routes for the traffic optimizer: XY, YX and one-bend
      * detours through neighbours of the source. Deduplicated; all usable
      * under the fault map.
      */
     std::vector<Route> candidateRoutes(DieId src, DieId dst) const;
 
+    /// Memoized, pooled candidateRoutes() (same fault-revision
+    /// invalidation contract as safeRouteRef). The returned vector is
+    /// shared and immutable.
+    std::shared_ptr<const std::vector<RouteRef>> candidateRouteRefs(
+        DieId src, DieId dst) const;
+
     /// True if every link on the route is usable under the fault map.
     bool routeUsable(const Route &route) const;
 
     const hw::MeshTopology &topology() const { return topo_; }
 
+    /// Current fault revision this router observes (0 when fault-free).
+    std::uint64_t faultRevision() const
+    {
+        return faults_ != nullptr ? faults_->revision() : 0;
+    }
+
   private:
     bool linkUsable(LinkId link) const;
 
+    /// Drops memoized routes when the fault revision moved. Caller must
+    /// hold pool_mutex_ exclusively.
+    void refreshPoolLocked() const;
+
     const hw::MeshTopology &topo_;
     const hw::FaultMap *faults_;
+
+    /// Route pool: memoized safe routes and optimizer candidates, keyed
+    /// on (src, dst, policy), plus per-link single-hop routes. Reads
+    /// take the lock shared (the warm-pool hot path); misses upgrade to
+    /// exclusive. Cleared when faults_->revision() changes; a route
+    /// computed while the revision moved is returned but never
+    /// persisted, so stale routes cannot leak into the new epoch.
+    mutable std::shared_mutex pool_mutex_;
+    mutable std::uint64_t pool_revision_ = 0;
+    mutable std::unordered_map<std::uint64_t, RouteRef> safe_pool_;
+    mutable std::unordered_map<
+        std::uint64_t, std::shared_ptr<const std::vector<RouteRef>>>
+        candidate_pool_;
+    mutable std::vector<RouteRef> link_pool_;
 };
 
 }  // namespace temp::net

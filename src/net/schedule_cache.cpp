@@ -1,0 +1,143 @@
+#include "net/schedule_cache.hpp"
+
+#include <bit>
+#include <mutex>
+
+namespace temp::net {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+std::uint64_t
+fnv1a(std::uint64_t hash, std::uint64_t value)
+{
+    for (int i = 0; i < 8; ++i) {
+        hash ^= (value >> (8 * i)) & 0xff;
+        hash *= kFnvPrime;
+    }
+    return hash;
+}
+
+std::size_t
+hashSignature(CollectiveKind kind, int tag, std::uint64_t bytes_bits,
+              const std::vector<hw::DieId> &group)
+{
+    std::uint64_t hash = kFnvOffset;
+    hash = fnv1a(hash, static_cast<std::uint64_t>(kind));
+    hash = fnv1a(hash,
+                 static_cast<std::uint64_t>(static_cast<std::uint32_t>(tag)));
+    hash = fnv1a(hash, bytes_bits);
+    for (hw::DieId die : group)
+        hash = fnv1a(hash, static_cast<std::uint64_t>(
+                               static_cast<std::uint32_t>(die)));
+    return static_cast<std::size_t>(hash);
+}
+
+}  // namespace
+
+std::size_t
+ScheduleCache::KeyHash::operator()(const Key &key) const
+{
+    return hashSignature(key.kind, key.tag, key.bytes_bits, key.group);
+}
+
+std::size_t
+ScheduleCache::KeyHash::operator()(const KeyView &key) const
+{
+    return hashSignature(key.kind, key.tag, key.bytes_bits, *key.group);
+}
+
+bool
+ScheduleCache::KeyEqual::operator()(const Key &a, const Key &b) const
+{
+    return a.kind == b.kind && a.tag == b.tag &&
+           a.bytes_bits == b.bytes_bits && a.group == b.group;
+}
+
+bool
+ScheduleCache::KeyEqual::operator()(const Key &a, const KeyView &b) const
+{
+    return a.kind == b.kind && a.tag == b.tag &&
+           a.bytes_bits == b.bytes_bits && a.group == *b.group;
+}
+
+bool
+ScheduleCache::KeyEqual::operator()(const KeyView &a, const Key &b) const
+{
+    return (*this)(b, a);
+}
+
+ScheduleCache::ScheduleCache(const CollectiveScheduler &scheduler)
+    : scheduler_(scheduler)
+{
+}
+
+std::shared_ptr<const CommSchedule>
+ScheduleCache::lowered(const CollectiveTask &task, std::uint64_t fault_epoch,
+                       bool *hit)
+{
+    const KeyView view{task.kind, task.tag,
+                       std::bit_cast<std::uint64_t>(task.bytes),
+                       &task.group};
+
+    // Hit path: shared lock, non-owning probe, no allocation.
+    {
+        std::shared_lock<std::shared_mutex> lock(mutex_);
+        if (epoch_ == fault_epoch) {
+            auto it = cache_.find(view);
+            if (it != cache_.end()) {
+                ++hits_;
+                if (hit != nullptr)
+                    *hit = true;
+                return it->second;
+            }
+        }
+    }
+
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    if (fault_epoch != epoch_) {
+        // Fault state moved since these schedules were lowered; their
+        // routes are stale. Flush wholesale.
+        cache_.clear();
+        epoch_ = fault_epoch;
+    }
+    auto it = cache_.find(view);
+    if (it != cache_.end()) {
+        // Another thread lowered it between our two lock scopes.
+        ++hits_;
+        if (hit != nullptr)
+            *hit = true;
+        return it->second;
+    }
+    // Lower under the exclusive lock: duplicates across threads would
+    // break the "lowered exactly once" accounting, and each unique task
+    // misses once per epoch.
+    auto schedule = std::make_shared<const CommSchedule>(
+        scheduler_.schedule(task));
+    ++lowerings_;
+    if (hit != nullptr)
+        *hit = false;
+    return cache_
+        .emplace(Key{task.kind, task.tag,
+                     std::bit_cast<std::uint64_t>(task.bytes), task.group},
+                 std::move(schedule))
+        .first->second;
+}
+
+std::size_t
+ScheduleCache::size() const
+{
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    return cache_.size();
+}
+
+void
+ScheduleCache::clear()
+{
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    cache_.clear();
+}
+
+}  // namespace temp::net

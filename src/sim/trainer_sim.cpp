@@ -48,10 +48,24 @@ TrainingSimulator::simulate(const model::ComputeGraph &graph,
         max_bsplit = std::max(max_bsplit, spec.dp * spec.fsdp);
     const int max_accum = std::max(1, cfg.batch / max_bsplit);
 
+    // Schedule-cache accounting spans every microbatch probe this call
+    // runs, including the ones whose composition is discarded.
+    long sched_lowerings = 0;
+    long sched_hits = 0;
+    const auto charge_sched = [&](PerfReport &report) {
+        sched_lowerings += report.schedule_lowerings;
+        sched_hits += report.schedule_cache_hits;
+        report.schedule_lowerings = sched_lowerings;
+        report.schedule_cache_hits = sched_hits;
+    };
+
     PerfReport micro = simulateMicro(graph, per_op_specs);
-    if (!micro.feasible)
+    if (!micro.feasible) {
+        charge_sched(micro);
         return micro;
+    }
     PerfReport full = composeAccum(micro, 1, full_tokens);
+    charge_sched(full);
     if (!full.oom || max_accum == 1)
         return full;
 
@@ -79,9 +93,12 @@ TrainingSimulator::simulate(const model::ComputeGraph &graph,
     const model::ComputeGraph micro_graph = model::ComputeGraph::transformer(
         cfg.withSeqBatch(cfg.seq, cfg.batch / accum));
     PerfReport micro2 = simulateMicro(micro_graph, per_op_specs);
-    if (!micro2.feasible)
+    if (!micro2.feasible) {
+        charge_sched(micro2);
         return micro2;
+    }
     PerfReport full2 = composeAccum(micro2, accum, full_tokens);
+    charge_sched(full2);
     if (!full2.oom)
         return full2;
 
@@ -91,9 +108,14 @@ TrainingSimulator::simulate(const model::ComputeGraph &graph,
         cfg.withSeqBatch(cfg.seq, cfg.batch / final_accum));
     PerfReport micro3 =
         simulateMicro(ckpt_graph, per_op_specs, /*recompute=*/true);
-    if (!micro3.feasible)
+    if (!micro3.feasible) {
+        charge_sched(micro3);
         return micro3;
+    }
     PerfReport full3 = composeAccum(micro3, final_accum, full_tokens);
+    charge_sched(full3);
+    full2.schedule_lowerings = sched_lowerings;
+    full2.schedule_cache_hits = sched_hits;
     // Keep whichever picture is honest: if checkpointing fits, use it.
     return full3.oom && full3.step_time > full2.step_time ? full2 : full3;
 }
@@ -186,6 +208,8 @@ TrainingSimulator::simulateMicro(const model::ComputeGraph &graph,
             cost_model_.partitioner().analyze(op, layout);
         const cost::OpCostBreakdown c =
             cost_model_.opCost(exec, op, layout, /*include_step=*/false);
+        report.schedule_lowerings += c.schedule_lowerings;
+        report.schedule_cache_hits += c.schedule_cache_hits;
         if (!c.feasible) {
             report.feasible = false;
             return report;
@@ -246,8 +270,11 @@ TrainingSimulator::simulateMicro(const model::ComputeGraph &graph,
     // collectives execute as one bucketed phase, partially overlapped
     // with backward compute.
     double step_link_bytes = 0.0;
-    const net::PhaseTiming step_timing =
-        cost_model_.timeCollectiveTasks(step_tasks, &step_link_bytes);
+    net::ScheduleCacheStats step_sched_stats;
+    const net::PhaseTiming step_timing = cost_model_.timeCollectiveTasks(
+        step_tasks, &step_link_bytes, &step_sched_stats);
+    report.schedule_lowerings += step_sched_stats.lowerings;
+    report.schedule_cache_hits += step_sched_stats.hits;
     if (std::isinf(step_timing.time_s)) {
         report.feasible = false;
         return report;

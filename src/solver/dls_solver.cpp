@@ -264,6 +264,13 @@ DlsSolver::solve(const model::ComputeGraph &graph) const
             steps_->stats() - step_stats_before;
         result.step_sims = step_delta.sims;
         result.step_cache_hits = step_delta.cache_hits;
+        // Schedule-cache accounting spans both query layers: the
+        // matrix fill's breakdowns and the full-step simulations.
+        const eval::EvalStats matrix_delta = eval_->stats() - stats_before;
+        result.schedule_lowerings = matrix_delta.schedule_lowerings +
+                                    step_delta.schedule_lowerings;
+        result.schedule_cache_hits = matrix_delta.schedule_cache_hits +
+                                     step_delta.schedule_cache_hits;
     };
 
     if (std::isinf(best_fitness)) {
@@ -334,6 +341,8 @@ ExhaustiveSolver::solve(const model::ComputeGraph &graph, int op_limit,
     const eval::EvalStats matrix_stats = eval_->stats() - stats_before;
     result.matrix_measurements = matrix_stats.measurements;
     result.cache_hits = matrix_stats.cache_hits;
+    result.schedule_lowerings = matrix_stats.schedule_lowerings;
+    result.schedule_cache_hits = matrix_stats.schedule_cache_hits;
 
     std::vector<int> current(n_ops, 0);
     std::vector<int> best;

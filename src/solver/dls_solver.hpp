@@ -101,6 +101,18 @@ struct SolverResult
     long step_sims = 0;
     /// Step queries served from the StepEvaluator memo.
     long step_cache_hits = 0;
+    /**
+     * Collective-schedule lowerings this solve ran — the network-layer
+     * mirror of matrix_measurements/step_sims. Lowerings are unique
+     * (task, fault-epoch) schedules built; every further need for one
+     * is a schedule_cache_hit (queries absorbed by the higher-level
+     * breakdown/step memos charge their schedule work as hits too, so
+     * a repeat solve on a shared framework reports
+     * schedule_lowerings == 0 with schedule_cache_hits > 0).
+     */
+    long schedule_lowerings = 0;
+    /// Schedule queries served by (or absorbed above) the cache.
+    long schedule_cache_hits = 0;
     /// Number of candidate specs per operator.
     int candidate_count = 0;
 };

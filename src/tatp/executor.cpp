@@ -131,7 +131,6 @@ TatpExecutor::streamFlows(const parallel::TatpStream &stream,
     const double bytes =
         stream.bytes_per_round * (backward ? 2.0 : 1.0);
     const BidirectionalOrchestrator orch(stream.degree);
-    sched.rounds.resize(orch.rounds().size());
 
     for (std::size_t t = 0; t < orch.rounds().size(); ++t) {
         for (const ChainInfo &group : groups) {
@@ -144,15 +143,15 @@ TatpExecutor::streamFlows(const parallel::TatpStream &stream,
                 flow.src = group.chain[x.from_slot];
                 flow.dst = group.chain[x.to_slot];
                 flow.bytes = bytes;
-                if (auto route = router.safeRoute(flow.src, flow.dst))
-                    flow.route = std::move(*route);
-                else
+                flow.route = router.safeRouteRef(flow.src, flow.dst);
+                if (!flow.route.valid())
                     sched.feasible = false;
                 flow.tag = parallel::axisTag(parallel::Axis::TATP);
-                sched.rounds[t].push_back(std::move(flow));
+                sched.addFlow(std::move(flow));
                 sched.payload_bytes += bytes;
             }
         }
+        sched.sealRound();
     }
     return sched;
 }

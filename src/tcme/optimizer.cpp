@@ -1,7 +1,9 @@
 #include "tcme/optimizer.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <map>
+#include <span>
 
 #include "common/logging.hpp"
 
@@ -25,8 +27,18 @@ OptimizationStats
 TrafficOptimizer::optimize(net::CommSchedule &schedule) const
 {
     OptimizationStats total;
-    for (auto &round : schedule.rounds) {
-        const OptimizationStats s = optimizePhase(round);
+    // The arena is rebuilt round by round through a reused scratch
+    // vector: path merging can change a round's flow count, so rounds
+    // cannot be rewritten in place. Flow copies are RouteRef-cheap.
+    std::vector<net::Flow> rebuilt;
+    rebuilt.reserve(schedule.flowCount());
+    std::vector<std::uint32_t> round_end;
+    round_end.reserve(schedule.roundCount());
+    std::vector<net::Flow> scratch;
+    for (int r = 0; r < schedule.roundCount(); ++r) {
+        const std::span<const net::Flow> round = schedule.round(r);
+        scratch.assign(round.begin(), round.end());
+        const OptimizationStats s = optimizePhase(scratch);
         total.initial_max_load = std::max(total.initial_max_load,
                                           s.initial_max_load);
         total.final_max_load = std::max(total.final_max_load,
@@ -35,7 +47,10 @@ TrafficOptimizer::optimize(net::CommSchedule &schedule) const
         total.reroutes += s.reroutes;
         total.merges += s.merges;
         ++total.phases;
+        rebuilt.insert(rebuilt.end(), scratch.begin(), scratch.end());
+        round_end.push_back(static_cast<std::uint32_t>(rebuilt.size()));
     }
+    schedule.assign(std::move(rebuilt), std::move(round_end));
     return total;
 }
 
@@ -102,9 +117,9 @@ TrafficOptimizer::mergeDuplicates(std::vector<Flow> &flows,
     std::map<Key, std::vector<std::size_t>> buckets;
     for (std::size_t i = 0; i < flows.size(); ++i) {
         const Flow &f = flows[i];
+        const auto &links = f.route.links();
         const bool crosses =
-            std::find(f.route.links.begin(), f.route.links.end(), mcl) !=
-            f.route.links.end();
+            std::find(links.begin(), links.end(), mcl) != links.end();
         if (!crosses)
             continue;
         buckets[Key{f.src, f.tag,
@@ -145,9 +160,7 @@ TrafficOptimizer::mergeDuplicates(std::vector<Flow> &flows,
             branch.dst = l.dst;
             branch.bytes = bytes;
             branch.tag = key.tag;
-            branch.route.src = l.src;
-            branch.route.dst = l.dst;
-            branch.route.links = {link};
+            branch.route = router_.linkRoute(link);
             loads.add(branch.route, branch.bytes);
             to_add.push_back(std::move(branch));
         }
@@ -171,11 +184,9 @@ TrafficOptimizer::rerouteCongested(std::vector<Flow> &flows,
     // flows helps most).
     std::vector<std::size_t> hot;
     for (std::size_t i = 0; i < flows.size(); ++i) {
-        const Flow &f = flows[i];
-        if (std::find(f.route.links.begin(), f.route.links.end(), mcl) !=
-            f.route.links.end()) {
+        const auto &links = flows[i].route.links();
+        if (std::find(links.begin(), links.end(), mcl) != links.end())
             hot.push_back(i);
-        }
     }
     std::sort(hot.begin(), hot.end(), [&](std::size_t a, std::size_t b) {
         return flows[a].bytes > flows[b].bytes;
@@ -187,24 +198,27 @@ TrafficOptimizer::rerouteCongested(std::vector<Flow> &flows,
         loads.remove(flow.route, flow.bytes);
 
         // Current route's worst-link load once this flow is added back.
-        auto route_peak = [&](const Route &r) {
+        auto route_peak = [&](const net::RouteRef &r) {
             double peak = 0.0;
-            for (hw::LinkId link : r.links)
+            for (hw::LinkId link : r.links())
                 peak = std::max(peak, loads.load(link) + flow.bytes);
             return peak;
         };
 
-        Route best = flow.route;
+        // Candidates come from the router's pooled memo, so the reroute
+        // loop allocates nothing per flow.
+        const std::shared_ptr<const std::vector<net::RouteRef>> candidates =
+            router_.candidateRouteRefs(flow.src, flow.dst);
+        net::RouteRef best = flow.route;
         double best_peak = route_peak(flow.route);
-        for (const Route &cand :
-             router_.candidateRoutes(flow.src, flow.dst)) {
+        for (const net::RouteRef &cand : *candidates) {
             const double peak = route_peak(cand);
             if (peak < best_peak) {
                 best_peak = peak;
                 best = cand;
             }
         }
-        if (best.links != flow.route.links) {
+        if (!best.sameLinks(flow.route)) {
             flow.route = best;
             ++reroutes;
         }

@@ -275,6 +275,15 @@ TEST(ApiService, RepeatedOptimizeIsServedEntirelyFromEvaluatorCache)
     EXPECT_GT(first.solver.step_sims, 0);
     EXPECT_EQ(repeat.solver.step_sims, 0);
     EXPECT_GT(repeat.solver.step_cache_hits, 0);
+    // ...and ZERO new collective-schedule lowerings one layer further
+    // down: the network hot path re-lowers nothing either, while a
+    // cold solve's lookups hit the shared ScheduleCache more than half
+    // the time.
+    EXPECT_GT(first.solver.schedule_lowerings, 0);
+    EXPECT_GT(first.solver.schedule_cache_hits,
+              first.solver.schedule_lowerings);  // >50% cold hit rate
+    EXPECT_EQ(repeat.solver.schedule_lowerings, 0);
+    EXPECT_GT(repeat.solver.schedule_cache_hits, 0);
     // Cumulative counters corroborate: no growth in measurements or
     // simulations, growth in hits.
     EXPECT_EQ(repeat.evaluator_stats.measurements,
@@ -469,6 +478,8 @@ TEST(ApiJson, ResponseJsonIsParseableAndStable)
     EXPECT_NE(json.find("\"kind\":\"optimize\""), std::string::npos);
     EXPECT_NE(json.find("\"matrix_measurements\":"), std::string::npos);
     EXPECT_NE(json.find("\"step_sims\":"), std::string::npos);
+    EXPECT_NE(json.find("\"schedule_lowerings\":"), std::string::npos);
+    EXPECT_NE(json.find("\"schedule_cache_hits\":"), std::string::npos);
     EXPECT_NE(json.find("\"step_evaluator\":{\"sims\":"),
               std::string::npos);
     EXPECT_NE(json.find("\"per_op_specs\":["), std::string::npos);

@@ -37,7 +37,7 @@ TEST_P(TreeAllReduce, RoundCountIsLogarithmic)
     const CommSchedule s = sched.treeAllReduce(group, 1e6);
     const int log2n =
         static_cast<int>(std::ceil(std::log2(static_cast<double>(n))));
-    EXPECT_EQ(static_cast<int>(s.rounds.size()), 2 * log2n);
+    EXPECT_EQ(s.roundCount(), 2 * log2n);
 }
 
 TEST_P(TreeAllReduce, ReducePhaseConvergesToRoot)
@@ -59,9 +59,8 @@ TEST_P(TreeAllReduce, ReducePhaseConvergesToRoot)
         merged_into[i] = i;
     const int log2n =
         static_cast<int>(std::ceil(std::log2(static_cast<double>(n))));
-    for (int r = 0; r < log2n && r < static_cast<int>(s.rounds.size());
-         ++r) {
-        for (const Flow &f : s.rounds[r]) {
+    for (int r = 0; r < log2n && r < s.roundCount(); ++r) {
+        for (const Flow &f : s.round(r)) {
             for (int i = 0; i < n; ++i)
                 if (group[merged_into[i]] == f.src)
                     for (int j = 0; j < n; ++j)
@@ -87,7 +86,7 @@ TEST(TreeAllReduceFixed, MovesMoreBytesThanRingForLargeGroups)
     const CommSchedule ring = sched.ringAllReduce(group, 8e6);
     EXPECT_GT(tree.payload_bytes, ring.payload_bytes * 0.9);
     // But uses far fewer rounds.
-    EXPECT_LT(tree.rounds.size(), ring.rounds.size());
+    EXPECT_LT(tree.roundCount(), ring.roundCount());
 }
 
 TEST(TreeAllReduceFixed, BestAllReducePicksTreeForSmallPayloads)
@@ -102,10 +101,10 @@ TEST(TreeAllReduceFixed, BestAllReducePicksTreeForSmallPayloads)
     // Tiny payload: latency dominates, tree's 2*log2(8)=6 rounds beat
     // the ring's 14.
     const CommSchedule small = sched.bestAllReduce(group, 1024.0, bw, lat);
-    EXPECT_EQ(small.rounds.size(), 6u);
+    EXPECT_EQ(small.roundCount(), 6);
     // Huge payload: bandwidth dominates, ring wins.
     const CommSchedule big = sched.bestAllReduce(group, 1e9, bw, lat);
-    EXPECT_EQ(big.rounds.size(), 14u);
+    EXPECT_EQ(big.roundCount(), 14);
 }
 
 TEST(TreeAllReduceFixed, DegenerateGroupIsFree)
@@ -113,7 +112,7 @@ TEST(TreeAllReduceFixed, DegenerateGroupIsFree)
     MeshTopology mesh(2, 2);
     Router router(mesh);
     CollectiveScheduler sched(router);
-    EXPECT_TRUE(sched.treeAllReduce({0}, 1e6).rounds.empty());
+    EXPECT_TRUE(sched.treeAllReduce({0}, 1e6).empty());
 }
 
 TEST(SafeRoute, PrefersXyFallsBackToYxThenBfs)
@@ -209,7 +208,7 @@ TEST(ContentionProperty, UtilisationBounded)
     for (int i = 0; i < 32; ++i)
         group.push_back(i);
     const CommSchedule s = sched.ringAllReduce(group, 256e6);
-    const PhaseTiming t = model.evaluateSequence(s.rounds);
+    const PhaseTiming t = model.evaluateSequence(s);
     EXPECT_GT(t.bandwidth_utilization, 0.0);
     EXPECT_LE(t.bandwidth_utilization, 1.0 + 1e-9);
 }

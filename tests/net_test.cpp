@@ -203,7 +203,7 @@ TEST(Contention, EmptyPhaseIsFree)
 {
     MeshTopology mesh(2, 2);
     ContentionModel model(mesh, 4e12, 200e-9);
-    EXPECT_DOUBLE_EQ(model.evaluate({}).time_s, 0.0);
+    EXPECT_DOUBLE_EQ(model.evaluate(std::vector<Flow>{}).time_s, 0.0);
 }
 
 TEST(Contention, SequenceSumsRounds)
@@ -228,9 +228,9 @@ TEST(Collective, RingAllGatherRoundsAndVolume)
     CollectiveScheduler sched(router);
     std::vector<DieId> group{0, 1, 2, 3};
     const CommSchedule s = sched.ringAllGather(group, 1e6);
-    EXPECT_EQ(s.rounds.size(), 3u);  // N-1 rounds
-    for (const auto &round : s.rounds)
-        EXPECT_EQ(round.size(), 4u);  // every member forwards
+    EXPECT_EQ(s.roundCount(), 3);  // N-1 rounds
+    for (int r = 0; r < s.roundCount(); ++r)
+        EXPECT_EQ(s.round(r).size(), 4u);  // every member forwards
     EXPECT_DOUBLE_EQ(s.payload_bytes, 1e6 * 4 * 3);
 }
 
@@ -242,7 +242,7 @@ TEST(Collective, AllReduceMovesTwiceTheScatterVolume)
     std::vector<DieId> group{0, 1, 2, 3};
     const CommSchedule rs = sched.ringReduceScatter(group, 4e6);
     const CommSchedule ar = sched.ringAllReduce(group, 4e6);
-    EXPECT_EQ(ar.rounds.size(), 2 * rs.rounds.size());
+    EXPECT_EQ(ar.roundCount(), 2 * rs.roundCount());
     EXPECT_NEAR(ar.payload_bytes, 2 * rs.payload_bytes, 1e-6);
 }
 
@@ -262,7 +262,7 @@ TEST(Collective, ContiguousRingAllGatherMatchesLowerBound)
     const double lat = 200e-9;
     ContentionModel model(mesh, bw, lat);
     const CommSchedule s = sched.ringAllGather(ring, 8e6);
-    const double t = model.evaluateSequence(s.rounds).time_s;
+    const double t = model.evaluateSequence(s).time_s;
     const double bound = collectiveLowerBoundTime(CollectiveKind::AllGather,
                                                   8, 8e6, bw, lat);
     EXPECT_NEAR(t, bound, 1e-12);
@@ -281,10 +281,10 @@ TEST(Collective, InterleavedRingOrderContends)
     std::vector<DieId> in_order{0, 1, 2, 3};
     std::vector<DieId> interleaved{0, 2, 1, 3};
     const double t_good =
-        model.evaluateSequence(sched.ringAllGather(in_order, 8e6).rounds)
+        model.evaluateSequence(sched.ringAllGather(in_order, 8e6))
             .time_s;
     const double t_bad =
-        model.evaluateSequence(sched.ringAllGather(interleaved, 8e6).rounds)
+        model.evaluateSequence(sched.ringAllGather(interleaved, 8e6))
             .time_s;
     EXPECT_NEAR(t_bad / t_good, 2.0, 1e-9);
 }
@@ -302,7 +302,7 @@ TEST(Collective, MultiHopRingPaysTailLatency)
     // 64 KiB shards: bandwidth term 16 ns, latency term dominates.
     const CommSchedule s = sched.ringAllGather({0, 1, 2, 3, 4, 5, 6, 7},
                                                64.0 * 1024.0);
-    const PhaseTiming t = model.evaluateSequence(s.rounds);
+    const PhaseTiming t = model.evaluateSequence(s);
     EXPECT_EQ(t.max_hops, 7);
     // Each of the 7 rounds pays the 7-hop wrap latency.
     EXPECT_GT(t.time_s, 7 * 7 * 200e-9);
@@ -316,10 +316,10 @@ TEST(Collective, BroadcastBuildsMulticastTree)
     std::vector<DieId> group{mesh.dieAt(0, 0), mesh.dieAt(0, 1),
                              mesh.dieAt(0, 2), mesh.dieAt(0, 3)};
     const CommSchedule s = sched.broadcast(group, 1e6);
-    ASSERT_EQ(s.rounds.size(), 1u);
+    ASSERT_EQ(s.roundCount(), 1);
     // Chain multicast: three links, each carrying the payload once.
-    EXPECT_EQ(s.rounds[0].size(), 3u);
-    for (const Flow &f : s.rounds[0])
+    EXPECT_EQ(s.round(0).size(), 3u);
+    for (const Flow &f : s.round(0))
         EXPECT_DOUBLE_EQ(f.bytes, 1e6);
 }
 
@@ -339,10 +339,10 @@ TEST(Collective, P2PSchedule)
     Router router(mesh);
     CollectiveScheduler sched(router);
     const CommSchedule s = sched.p2p(0, 3, 5e6, 42);
-    ASSERT_EQ(s.rounds.size(), 1u);
-    ASSERT_EQ(s.rounds[0].size(), 1u);
-    EXPECT_EQ(s.rounds[0][0].tag, 42);
-    EXPECT_EQ(s.rounds[0][0].route.hops(), 3);
+    ASSERT_EQ(s.roundCount(), 1);
+    ASSERT_EQ(s.round(0).size(), 1u);
+    EXPECT_EQ(s.round(0)[0].tag, 42);
+    EXPECT_EQ(s.round(0)[0].route.hops(), 3);
 }
 
 TEST(Collective, DegenerateGroupsAreFree)
@@ -350,9 +350,9 @@ TEST(Collective, DegenerateGroupsAreFree)
     MeshTopology mesh(2, 2);
     Router router(mesh);
     CollectiveScheduler sched(router);
-    EXPECT_TRUE(sched.ringAllGather({0}, 1e6).rounds.empty());
-    EXPECT_TRUE(sched.ringAllReduce({2}, 1e6).rounds.empty());
-    EXPECT_TRUE(sched.p2p(1, 1, 1e6).rounds.empty());
+    EXPECT_TRUE(sched.ringAllGather({0}, 1e6).empty());
+    EXPECT_TRUE(sched.ringAllReduce({2}, 1e6).empty());
+    EXPECT_TRUE(sched.p2p(1, 1, 1e6).empty());
 }
 
 TEST(Collective, LowerBoundFormulas)
@@ -377,8 +377,8 @@ TEST(CommSchedule, OverlayMergesRounds)
     CommSchedule a = sched.p2p(0, 1, 1e6);
     const CommSchedule b = sched.p2p(2, 3, 1e6);
     a.overlay(b);
-    ASSERT_EQ(a.rounds.size(), 1u);
-    EXPECT_EQ(a.rounds[0].size(), 2u);
+    ASSERT_EQ(a.roundCount(), 1);
+    EXPECT_EQ(a.round(0).size(), 2u);
     EXPECT_DOUBLE_EQ(a.payload_bytes, 2e6);
 }
 

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Tests for the network hot path's schedule layer: ScheduleCache
+ * hit/miss accounting, bit-exact cached vs. uncached timings,
+ * fault-epoch invalidation (injected faults must not reuse stale
+ * routes), flat-arena CommSchedule invariants, and determinism of the
+ * whole stack across eval_threads.
+ */
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/framework.hpp"
+#include "cost/cost_model.hpp"
+#include "hw/wafer.hpp"
+#include "model/model_zoo.hpp"
+#include "net/collective.hpp"
+#include "net/schedule_cache.hpp"
+
+namespace temp::net {
+namespace {
+
+CollectiveTask
+allReduceTask(std::vector<DieId> group, double bytes, int tag = 0)
+{
+    CollectiveTask task;
+    task.kind = CollectiveKind::AllReduce;
+    task.group = std::move(group);
+    task.bytes = bytes;
+    task.tag = tag;
+    return task;
+}
+
+TEST(ScheduleCache, CountsLoweringsAndHitsHonestly)
+{
+    hw::Wafer wafer(hw::WaferConfig::paperDefault());
+    Router router(wafer.topology(), &wafer.faults());
+    CollectiveScheduler scheduler(router);
+    ScheduleCache cache(scheduler);
+
+    const CollectiveTask task = allReduceTask({0, 1, 2, 3}, 4e6);
+    bool hit = true;
+    const auto first = cache.lowered(task, wafer.faultEpoch(), &hit);
+    EXPECT_FALSE(hit);
+    const auto second = cache.lowered(task, wafer.faultEpoch(), &hit);
+    EXPECT_TRUE(hit);
+    // Hits share the lowered instance, they do not re-lower.
+    EXPECT_EQ(first.get(), second.get());
+
+    const ScheduleCacheStats stats = cache.stats();
+    EXPECT_EQ(stats.lowerings, 1);
+    EXPECT_EQ(stats.hits, 1);
+    EXPECT_DOUBLE_EQ(stats.hitRate(), 0.5);
+    EXPECT_EQ(cache.size(), 1u);
+
+    // A different signature (bytes) is its own entry.
+    cache.lowered(allReduceTask({0, 1, 2, 3}, 8e6), wafer.faultEpoch());
+    EXPECT_EQ(cache.stats().lowerings, 2);
+    EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(ScheduleCache, CachedScheduleTimesBitExactly)
+{
+    hw::Wafer wafer(hw::WaferConfig::paperDefault());
+    Router router(wafer.topology(), &wafer.faults());
+    CollectiveScheduler scheduler(router);
+    ScheduleCache cache(scheduler);
+    ContentionModel contention(wafer, 200e-9);
+
+    for (int size : {2, 4, 8, 16}) {
+        std::vector<DieId> group;
+        for (int i = 0; i < size; ++i)
+            group.push_back(i);
+        const CollectiveTask task = allReduceTask(group, 1e6 * size);
+
+        const CommSchedule fresh = scheduler.schedule(task);
+        const auto cached = cache.lowered(task, wafer.faultEpoch());
+        const auto served = cache.lowered(task, wafer.faultEpoch());
+
+        const PhaseTiming t_fresh = contention.evaluateSequence(fresh);
+        const PhaseTiming t_cached = contention.evaluateSequence(*cached);
+        const PhaseTiming t_served = contention.evaluateSequence(*served);
+        EXPECT_EQ(t_fresh.time_s, t_cached.time_s);
+        EXPECT_EQ(t_fresh.time_s, t_served.time_s);
+        EXPECT_EQ(t_fresh.total_bytes, t_cached.total_bytes);
+        EXPECT_EQ(t_fresh.bottleneck_link, t_cached.bottleneck_link);
+        EXPECT_EQ(fresh.linkBytes(), cached->linkBytes());
+    }
+}
+
+TEST(ScheduleCache, FaultInjectionBumpsEpochAndInvalidates)
+{
+    hw::Wafer wafer(hw::WaferConfig::paperDefault());
+    Router router(wafer.topology(), &wafer.faults());
+    CollectiveScheduler scheduler(router);
+    ScheduleCache cache(scheduler);
+
+    const std::uint64_t healthy_epoch = wafer.faultEpoch();
+    const CollectiveTask task = allReduceTask({0, 1, 2, 3}, 4e6);
+    const auto healthy = cache.lowered(task, healthy_epoch);
+    EXPECT_TRUE(healthy->feasible);
+
+    // Fail the 1->2 channel (both directions), which the healthy ring
+    // crosses.
+    hw::FaultMap faults(wafer.dieCount(), wafer.topology().linkCount());
+    faults.failLink(wafer.topology().linkId(1, 2));
+    faults.failLink(wafer.topology().linkId(2, 1));
+    wafer.setFaults(faults);
+    EXPECT_GT(wafer.faultEpoch(), healthy_epoch);
+
+    // The stale schedule must not be served: the lookup re-lowers
+    // against the degraded fabric and the detour shows up as longer
+    // routes.
+    bool hit = true;
+    const auto degraded = cache.lowered(task, wafer.faultEpoch(), &hit);
+    EXPECT_FALSE(hit);
+    EXPECT_EQ(cache.stats().lowerings, 2);
+    EXPECT_TRUE(degraded->feasible);
+    EXPECT_GT(degraded->linkBytes(), healthy->linkBytes());
+    for (const Flow &flow : degraded->flows())
+        for (LinkId link : flow.route.links())
+            EXPECT_TRUE(wafer.linkUsable(link));
+
+    // Same epoch again: served from the rebuilt cache.
+    cache.lowered(task, wafer.faultEpoch(), &hit);
+    EXPECT_TRUE(hit);
+}
+
+TEST(ScheduleCache, CostModelReactsToLiveFaultInjection)
+{
+    // End-to-end: the cost model's shared cache and its wafer-bound
+    // contention snapshot must both observe setFaults() on a live
+    // wafer.
+    hw::Wafer wafer(hw::WaferConfig::paperDefault());
+    cost::WaferCostModel model(
+        wafer, tcme::MappingPolicy{tcme::MappingEngineKind::TCME});
+    const std::vector<CollectiveTask> tasks{
+        allReduceTask({0, 1, 2, 3}, 64e6)};
+
+    const PhaseTiming healthy = model.timeCollectiveTasks(tasks);
+    const net::ScheduleCacheStats before = model.scheduleStats();
+    EXPECT_GT(before.lowerings, 0);
+
+    hw::FaultMap faults(wafer.dieCount(), wafer.topology().linkCount());
+    faults.failLink(wafer.topology().linkId(1, 2));
+    faults.failLink(wafer.topology().linkId(2, 1));
+    wafer.setFaults(faults);
+
+    const PhaseTiming degraded = model.timeCollectiveTasks(tasks);
+    const net::ScheduleCacheStats after = model.scheduleStats();
+    // Epoch bump forced a re-lowering instead of a stale hit...
+    EXPECT_GT(after.lowerings, before.lowerings);
+    // ...and the detour costs more wall time than the healthy ring.
+    EXPECT_GT(degraded.time_s, healthy.time_s);
+}
+
+TEST(CommSchedule, FlatArenaRoundsPartitionTheFlowArena)
+{
+    hw::Wafer wafer(hw::WaferConfig::paperDefault());
+    Router router(wafer.topology(), &wafer.faults());
+    CollectiveScheduler scheduler(router);
+
+    const CommSchedule s = scheduler.ringAllReduce(
+        {0, 1, 2, 3, 4, 5, 6, 7}, 32e6);
+    std::size_t spanned = 0;
+    for (int r = 0; r < s.roundCount(); ++r) {
+        const auto round = s.round(r);
+        // Rounds are contiguous, ordered slices of flows().
+        EXPECT_EQ(round.data(), s.flows().data() + spanned);
+        spanned += round.size();
+    }
+    EXPECT_EQ(spanned, s.flowCount());
+
+    // combine() interleaves per round and preserves totals.
+    const CommSchedule a = scheduler.p2p(0, 3, 1e6);
+    const CommSchedule b = scheduler.ringAllGather({4, 5, 6, 7}, 2e6);
+    const CommSchedule *parts[] = {&a, &b};
+    const CommSchedule merged = CommSchedule::combine(parts);
+    EXPECT_EQ(merged.roundCount(), b.roundCount());
+    EXPECT_EQ(merged.flowCount(), a.flowCount() + b.flowCount());
+    EXPECT_DOUBLE_EQ(merged.payload_bytes,
+                     a.payload_bytes + b.payload_bytes);
+    EXPECT_DOUBLE_EQ(merged.linkBytes(), a.linkBytes() + b.linkBytes());
+}
+
+TEST(ScheduleCache, SolveIsDeterministicAcrossEvalThreads)
+{
+    // The flat-arena schedules and the shared cache must not leak any
+    // thread-count dependence into results: identical per-op specs and
+    // bit-identical step time for 1-thread and 4-thread frameworks,
+    // and the schedule accounting's total lookup count matches too
+    // (the lowerings/hits split is attribution, the sum is work).
+    const model::ModelConfig model = model::modelByName("GPT-3 6.7B");
+    core::FrameworkOptions serial;
+    serial.eval_threads = 1;
+    serial.solver.ga_population = 8;
+    serial.solver.ga_generations = 4;
+    core::FrameworkOptions wide = serial;
+    wide.eval_threads = 4;
+
+    const core::TempFramework f1(hw::WaferConfig::paperDefault(), serial);
+    const core::TempFramework f4(hw::WaferConfig::paperDefault(), wide);
+    const solver::SolverResult r1 = f1.optimize(model);
+    const solver::SolverResult r4 = f4.optimize(model);
+
+    ASSERT_TRUE(r1.feasible);
+    ASSERT_TRUE(r4.feasible);
+    EXPECT_EQ(r1.per_op_specs, r4.per_op_specs);
+    EXPECT_DOUBLE_EQ(r1.step_time_s, r4.step_time_s);
+    EXPECT_GT(r1.schedule_lowerings, 0);
+    EXPECT_GT(r1.schedule_cache_hits, 0);
+    EXPECT_EQ(r1.schedule_lowerings + r1.schedule_cache_hits,
+              r4.schedule_lowerings + r4.schedule_cache_hits);
+    // Cold-solve acceptance: most lookups are served by the cache.
+    const double hit_rate =
+        static_cast<double>(r1.schedule_cache_hits) /
+        static_cast<double>(r1.schedule_lowerings +
+                            r1.schedule_cache_hits);
+    EXPECT_GT(hit_rate, 0.5);
+}
+
+}  // namespace
+}  // namespace temp::net

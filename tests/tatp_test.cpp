@@ -372,16 +372,15 @@ TEST_F(ExecutorTest, StreamFlowsMatchOrchestratorSchedule)
 
     const net::CommSchedule sched =
         exec_.streamFlows(stream, chains, router, false);
-    ASSERT_EQ(sched.rounds.size(), 4u);
+    ASSERT_EQ(sched.roundCount(), 4);
     // Each flow is 1 hop (contiguous chains from the layout).
-    for (const auto &round : sched.rounds)
-        for (const net::Flow &f : round)
-            EXPECT_EQ(f.route.hops(), 1);
+    for (const net::Flow &f : sched.flows())
+        EXPECT_EQ(f.route.hops(), 1);
     // Backward doubles per-round bytes.
     const net::CommSchedule bwd =
         exec_.streamFlows(stream, chains, router, true);
-    EXPECT_DOUBLE_EQ(bwd.rounds[0][0].bytes,
-                     2.0 * sched.rounds[0][0].bytes);
+    EXPECT_DOUBLE_EQ(bwd.round(0)[0].bytes,
+                     2.0 * sched.round(0)[0].bytes);
 }
 
 TEST_F(ExecutorTest, LinkBytesScaleQuadratically)

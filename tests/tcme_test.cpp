@@ -120,12 +120,12 @@ TEST(Optimizer, OptimizesWholeSchedules)
     net::Router router(mesh);
     TrafficOptimizer opt(router);
     net::CommSchedule sched;
-    sched.rounds.resize(2);
     for (int r = 0; r < 2; ++r) {
-        sched.rounds[r].push_back(
+        sched.addFlow(
             makeFlow(router, mesh.dieAt(0, 0), mesh.dieAt(0, 2), 1e9, 1));
-        sched.rounds[r].push_back(
+        sched.addFlow(
             makeFlow(router, mesh.dieAt(0, 1), mesh.dieAt(0, 3), 1e9, 2));
+        sched.sealRound();
     }
     const OptimizationStats stats = opt.optimize(sched);
     EXPECT_EQ(stats.phases, 2);
