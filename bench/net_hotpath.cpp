@@ -11,9 +11,16 @@
  *  - schedule_cache: schedules/sec of cold lowering vs. cache-served
  *    re-lowering of the same task mix (the acceptance bar: >= 2x);
  *  - quickstart_solve: the schedule-cache hit rate of a real cold DLS
- *    solve on the quickstart model (the acceptance bar: > 50%).
+ *    solve on the quickstart model (the acceptance bar: > 50%);
+ *  - bounded_cache: the same task mix against a schedule cache
+ *    budgeted to 1/4 of the working set, driven with a service-like
+ *    skewed access pattern (a hot quarter plus a cold scan). The
+ *    acceptance bars: the LRU keeps the hot set resident (bounded
+ *    hit rate >= 25% — graceful degradation, not a cliff), entries
+ *    never exceed the budget, and bounded timings stay bit-identical
+ *    to unbounded ones.
  *
- * Exit code is non-zero when either acceptance bar fails, so a CI
+ * Exit code is non-zero when any acceptance bar fails, so a CI
  * Release build can run this binary as a smoke test and catch perf
  * plumbing rot (a cache that silently stops hitting).
  */
@@ -186,6 +193,54 @@ main()
                 solve.solver.schedule_cache_hits, solve_hit_rate,
                 solve.solver.feasible ? "true" : "false");
 
+    // --- bounded mode: 1/4-size budget, skewed access ------------------
+    // A long-lived service cannot keep every signature resident; the
+    // budget must degrade hit rate gracefully (LRU keeps the hot set),
+    // never results. Access pattern: a cold scan of the whole mix
+    // interleaved with a hot slice half the budget's size — the skew
+    // real request streams have. LRU keeps the hot slice resident
+    // (every hot task recurs within a budget's worth of accesses), so
+    // roughly half the lookups keep hitting; a recency-blind eviction
+    // policy would cliff to ~0 on this pattern.
+    net::ScheduleCache bounded(scheduler);
+    const std::size_t budget = std::max<std::size_t>(2, tasks.size() / 4);
+    bounded.setMaxEntries(budget);
+    const std::size_t hot = budget / 2;
+    std::size_t over_budget = 0;
+    double mismatches = 0.0;
+    const double t4 = now();
+    for (int rep = 0; rep < reps; ++rep) {
+        for (std::size_t i = 0; i < tasks.size(); ++i) {
+            const auto b =
+                bounded.lowered(tasks[i], wafer.faultEpoch());
+            // The interleaved hot-slice touch (the skew).
+            (void)bounded.lowered(tasks[i % hot], wafer.faultEpoch());
+            if (bounded.size() > budget)
+                ++over_budget;
+            // Bit-exactness spot check against the unbounded cache.
+            const auto u = cache.lowered(tasks[i], wafer.faultEpoch());
+            if (b->linkBytes() != u->linkBytes() ||
+                b->flowCount() != u->flowCount())
+                mismatches += 1.0;
+        }
+    }
+    const double bounded_s = now() - t4;
+    const net::ScheduleCacheStats bounded_stats = bounded.stats();
+    const double bounded_hit_rate = bounded_stats.hitRate();
+    const common::CacheStats bounded_gov = bounded.cacheStats();
+    std::printf("Bounded cache (budget %zu of %zu tasks): hit rate %.3f, "
+                "%ld evictions, %zu over-budget probes, %.1fs\n",
+                budget, tasks.size(), bounded_hit_rate,
+                bounded_gov.evictions, over_budget, bounded_s);
+    std::printf("BENCH_JSON {\"bench\":\"net_hotpath\","
+                "\"section\":\"bounded_cache\",\"tasks\":%zu,"
+                "\"budget\":%zu,\"hit_rate\":%.4f,\"evictions\":%ld,"
+                "\"entries\":%ld,\"over_budget_probes\":%zu,"
+                "\"timing_mismatches\":%.0f}\n",
+                tasks.size(), budget, bounded_hit_rate,
+                bounded_gov.evictions, bounded_gov.entries, over_budget,
+                mismatches);
+
     // --- acceptance bars (CI smoke) -------------------------------------
     bool ok = true;
     if (speedup < 2.0) {
@@ -196,6 +251,24 @@ main()
         std::printf("FAIL: cold-solve schedule cache hit rate %.3f "
                     "(want > 0.5 with nonzero hits)\n",
                     solve_hit_rate);
+        ok = false;
+    }
+    if (bounded_hit_rate < 0.25) {
+        std::printf("FAIL: bounded (1/4 budget) hit rate %.3f < 0.25 — "
+                    "eviction is cliffing instead of degrading\n",
+                    bounded_hit_rate);
+        ok = false;
+    }
+    if (over_budget > 0 || bounded_gov.evictions <= 0) {
+        std::printf("FAIL: budget not enforced (%zu over-budget probes, "
+                    "%ld evictions)\n",
+                    over_budget, bounded_gov.evictions);
+        ok = false;
+    }
+    if (mismatches > 0.0) {
+        std::printf("FAIL: %.0f bounded lowerings differed from "
+                    "unbounded\n",
+                    mismatches);
         ok = false;
     }
     if (!ok)

@@ -80,10 +80,21 @@ struct MultiWaferRequest
     int microbatches = 8;
 };
 
+/**
+ * Observability: a snapshot of every memo layer's governance counters
+ * — the service's framework/pod maps plus, aggregated across all
+ * cached frameworks, the breakdown memo, step-report memo, layout
+ * caches, schedule cache and route pool. The `temp_cli cache-stats`
+ * subcommand is the CLI face of this request.
+ */
+struct CacheStatsRequest
+{
+};
+
 /// Any request the service accepts (the submit() currency).
 using Request = std::variant<OptimizeRequest, BaselineRequest,
                              StrategyRequest, FaultRequest,
-                             MultiWaferRequest>;
+                             MultiWaferRequest, CacheStatsRequest>;
 
 /// Which request produced a response.
 enum class RequestKind
@@ -93,6 +104,14 @@ enum class RequestKind
     Strategy,
     Fault,
     MultiWafer,
+    CacheStats,
+};
+
+/// One memo layer's counters in a CacheStats response.
+struct CacheLayerStats
+{
+    std::string layer;  ///< e.g. "service_frameworks", "schedules"
+    common::CacheStats stats;
 };
 
 /// Printable request-kind name ("optimize", "baseline", ...).
@@ -110,8 +129,16 @@ struct Response
     RequestKind kind = RequestKind::Optimize;
     bool ok = false;
     std::string error;
-    /// Wall-clock time spent serving the request.
+    /**
+     * True end-to-end wall-clock time of the request. For run() this
+     * is the execution span; for submit()ed requests it is measured
+     * from the enqueue, so queue wait is no longer silently dropped
+     * from the latency a client observes.
+     */
     double wall_time_s = 0.0;
+    /// Time a submit()ed request waited in the service queue before
+    /// execution began (0 for synchronous run()).
+    double queue_time_s = 0.0;
     /// True when a cached framework (and its evaluator memo) served
     /// the request instead of a freshly built one.
     bool framework_reused = false;
@@ -141,6 +168,9 @@ struct Response
     std::vector<std::string> op_names;
     int usable_dies = 0;                 ///< Fault
     hw::WaferConfig stage_fabric;        ///< MultiWafer
+    /// Per-layer governance counters (CacheStats kind), in a fixed
+    /// layer order so the JSON stays byte-stable.
+    std::vector<CacheLayerStats> cache_layers;
     /// @}
 };
 

@@ -189,6 +189,7 @@ toJson(const solver::SolverResult &result,
         .add("step_cache_hits", result.step_cache_hits)
         .add("schedule_lowerings", result.schedule_lowerings)
         .add("schedule_cache_hits", result.schedule_cache_hits)
+        .add("cache_evictions", result.cache_evictions)
         .add("candidate_count", result.candidate_count)
         .addRaw("per_op_specs", jsonArray(per_op))
         .addRaw("report", toJson(result.report))
@@ -205,6 +206,7 @@ toJson(const eval::EvalStats &stats)
         .add("layout_hits", stats.layout_hits)
         .add("schedule_lowerings", stats.schedule_lowerings)
         .add("schedule_cache_hits", stats.schedule_cache_hits)
+        .add("evictions", stats.evictions)
         .str();
 }
 
@@ -216,6 +218,19 @@ toJson(const eval::StepStats &stats)
         .add("cache_hits", stats.cache_hits)
         .add("schedule_lowerings", stats.schedule_lowerings)
         .add("schedule_cache_hits", stats.schedule_cache_hits)
+        .add("evictions", stats.evictions)
+        .str();
+}
+
+std::string
+toJson(const common::CacheStats &stats)
+{
+    return JsonObject()
+        .add("entries", stats.entries)
+        .add("bytes_est", stats.bytes_est)
+        .add("hits", stats.hits)
+        .add("misses", stats.misses)
+        .add("evictions", stats.evictions)
         .str();
 }
 
@@ -227,6 +242,7 @@ toJson(const Response &response)
         .add("ok", response.ok)
         .add("error", response.error)
         .add("wall_time_s", response.wall_time_s)
+        .add("queue_time_s", response.queue_time_s)
         .add("framework_reused", response.framework_reused)
         .addRaw("evaluator", toJson(response.evaluator_stats))
         .addRaw("step_evaluator", toJson(response.step_stats));
@@ -254,6 +270,17 @@ toJson(const Response &response)
                         .str())
             .addRaw("result", toJson(response.report));
         break;
+    case RequestKind::CacheStats: {
+        std::vector<std::string> layers;
+        layers.reserve(response.cache_layers.size());
+        for (const CacheLayerStats &layer : response.cache_layers)
+            layers.push_back(JsonObject()
+                                 .add("layer", layer.layer)
+                                 .addRaw("stats", toJson(layer.stats))
+                                 .str());
+        json.addRaw("layers", jsonArray(layers));
+        break;
+    }
     }
     return json.str();
 }

@@ -55,6 +55,7 @@ std::string toJson(const solver::SolverResult &result,
                    const std::vector<std::string> &op_names = {});
 std::string toJson(const eval::EvalStats &stats);
 std::string toJson(const eval::StepStats &stats);
+std::string toJson(const common::CacheStats &stats);
 std::string toJson(const Response &response);
 /// @}
 

@@ -107,6 +107,19 @@ optionsKey(const core::FrameworkOptions &o)
     field(key, o.solver.use_surrogate);
     field(key, o.solver.surrogate_sample_fraction);
     field(key, o.eval_threads);
+    // Framework-level cache budgets are applied at construction, so
+    // they are part of the framework's identity. The service-level
+    // budgets (max_frameworks/max_pods) re-tune the service maps and
+    // deliberately stay out of the key — they do not change what a
+    // framework computes or caches. Budgets are long: rendered
+    // directly (like solver.seed) so no narrowing can alias keys.
+    for (const long budget :
+         {o.cache.max_eval_entries, o.cache.max_step_entries,
+          o.cache.max_layout_entries, o.cache.max_schedule_entries,
+          o.cache.max_route_entries}) {
+        key += std::to_string(budget);
+        key += '|';
+    }
     return key;
 }
 
@@ -157,13 +170,24 @@ requestKindName(RequestKind kind)
     case RequestKind::Strategy: return "strategy";
     case RequestKind::Fault: return "fault";
     case RequestKind::MultiWafer: return "multiwafer";
+    case RequestKind::CacheStats: return "cache-stats";
     }
     return "unknown";
 }
 
 TempService::TempService(ServiceOptions options)
-    : pool_(options.request_threads)
+    : frameworks_(options.cache.max_frameworks),
+      pods_(options.cache.max_pods), pool_(options.request_threads)
 {
+}
+
+void
+TempService::applyServiceBudget(const common::CacheBudget &budget)
+{
+    if (budget.max_frameworks > 0)
+        frameworks_.setCapacity(budget.max_frameworks);
+    if (budget.max_pods > 0)
+        pods_.setCapacity(budget.max_pods);
 }
 
 std::shared_ptr<core::TempFramework>
@@ -179,22 +203,20 @@ TempService::frameworkFor(const hw::WaferConfig &wafer,
                           const core::FrameworkOptions &options,
                           bool *reused)
 {
+    applyServiceBudget(options.cache);
     const std::string key = waferKey(wafer) + optionsKey(options);
-    {
+    if (auto cached = frameworks_.get(key)) {
         std::lock_guard<std::mutex> lock(mutex_);
-        auto it = frameworks_.find(key);
-        if (it != frameworks_.end()) {
-            ++stats_.framework_cache_hits;
-            *reused = true;
-            return it->second;
-        }
+        ++stats_.framework_cache_hits;
+        *reused = true;
+        return *cached;
     }
-    // Build outside the lock so a slow construction never stalls
+    // Build outside the cache lock so a slow construction never stalls
     // cache hits for other requests; if two threads race on the same
     // key, the loser's copy is discarded and the winner's is shared.
     auto fw = std::make_shared<core::TempFramework>(wafer, options);
+    auto [resident, inserted] = frameworks_.insert(key, std::move(fw));
     std::lock_guard<std::mutex> lock(mutex_);
-    auto [it, inserted] = frameworks_.emplace(key, std::move(fw));
     if (inserted) {
         ++stats_.frameworks_built;
         *reused = false;
@@ -202,27 +224,25 @@ TempService::frameworkFor(const hw::WaferConfig &wafer,
         ++stats_.framework_cache_hits;
         *reused = true;
     }
-    return it->second;
+    return resident;
 }
 
 std::shared_ptr<sim::MultiWaferSimulator>
 TempService::podFor(const hw::MultiWaferConfig &pod,
                     const core::FrameworkOptions &options, bool *reused)
 {
+    applyServiceBudget(options.cache);
     const std::string key = podKey(pod, options);
-    {
+    if (auto cached = pods_.get(key)) {
         std::lock_guard<std::mutex> lock(mutex_);
-        auto it = pods_.find(key);
-        if (it != pods_.end()) {
-            ++stats_.pod_cache_hits;
-            *reused = true;
-            return it->second;
-        }
+        ++stats_.pod_cache_hits;
+        *reused = true;
+        return *cached;
     }
     auto sim = std::make_shared<sim::MultiWaferSimulator>(
         pod, options.policy, options.training);
+    auto [resident, inserted] = pods_.insert(key, std::move(sim));
     std::lock_guard<std::mutex> lock(mutex_);
-    auto [it, inserted] = pods_.emplace(key, std::move(sim));
     if (inserted) {
         ++stats_.pods_built;
         *reused = false;
@@ -230,7 +250,7 @@ TempService::podFor(const hw::MultiWaferConfig &pod,
         ++stats_.pod_cache_hits;
         *reused = true;
     }
-    return it->second;
+    return resident;
 }
 
 Response
@@ -394,6 +414,37 @@ TempService::run(const MultiWaferRequest &request)
 }
 
 Response
+TempService::run(const CacheStatsRequest &)
+{
+    const double t0 = now();
+    Response response;
+    response.kind = RequestKind::CacheStats;
+
+    // Service-level maps first, then the per-framework layers
+    // aggregated across every cached framework in a fixed order so
+    // the JSON stays byte-stable.
+    response.cache_layers.push_back(
+        {"service_frameworks", frameworks_.stats()});
+    response.cache_layers.push_back({"service_pods", pods_.stats()});
+    const std::size_t first_layer = response.cache_layers.size();
+    frameworks_.forEach(
+        [&](const std::string &,
+            const std::shared_ptr<core::TempFramework> &fw) {
+            const auto layers = fw->cacheStats();
+            if (response.cache_layers.size() == first_layer) {
+                for (const auto &[name, stats] : layers)
+                    response.cache_layers.push_back({name, stats});
+                return;
+            }
+            for (std::size_t i = 0; i < layers.size(); ++i)
+                response.cache_layers[first_layer + i].stats +=
+                    layers[i].second;
+        });
+    response.ok = true;
+    return finish(std::move(response), t0);
+}
+
+Response
 TempService::run(const Request &request)
 {
     return std::visit([this](const auto &r) { return run(r); }, request);
@@ -402,8 +453,19 @@ TempService::run(const Request &request)
 std::future<Response>
 TempService::submit(Request request)
 {
-    return pool_.submit(
-        [this, request = std::move(request)] { return run(request); });
+    // Stamp the enqueue time here: a submit()ed request's latency is
+    // queue wait + execution, and reporting only the execution span
+    // (the historical bug) under-reports exactly when the service is
+    // busiest.
+    const double enqueued = now();
+    return pool_.submit([this, enqueued,
+                         request = std::move(request)] {
+        const double started = now();
+        Response response = run(request);
+        response.queue_time_s = started - enqueued;
+        response.wall_time_s = now() - enqueued;
+        return response;
+    });
 }
 
 TempService::Stats

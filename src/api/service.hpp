@@ -19,11 +19,11 @@
 #pragma once
 
 #include <future>
-#include <map>
 #include <memory>
 #include <mutex>
 
 #include "api/requests.hpp"
+#include "common/bounded_cache.hpp"
 
 namespace temp::api {
 
@@ -34,6 +34,17 @@ struct ServiceOptions
     /// concurrency). With a single-thread pool submit() degrades to
     /// inline execution; futures always resolve.
     int request_threads = 0;
+    /**
+     * Initial cache budgets. max_frameworks/max_pods bound the
+     * service's own maps (LRU over whole frameworks — evicting one
+     * drops its entire memo stack, so budget the heaviest layer
+     * first); the framework-level budgets here act as defaults only
+     * in the sense that a request's FrameworkOptions carries its own
+     * CacheBudget into the frameworks it builds. A request whose
+     * options set max_frameworks/max_pods re-budgets the service maps
+     * on the fly (0 leaves them unchanged).
+     */
+    common::CacheBudget cache;
 };
 
 /// Serves typed TEMP requests over cached frameworks.
@@ -48,6 +59,7 @@ class TempService
     Response run(const StrategyRequest &request);
     Response run(const FaultRequest &request);
     Response run(const MultiWaferRequest &request);
+    Response run(const CacheStatsRequest &request);
     Response run(const Request &request);
     /// @}
 
@@ -87,10 +99,18 @@ class TempService
     /// Records bookkeeping shared by every run() overload.
     Response finish(Response response, double start_time);
 
-    mutable std::mutex mutex_;
-    std::map<std::string, std::shared_ptr<core::TempFramework>>
+    /// Applies a request's service-level budgets (0 = leave as-is).
+    void applyServiceBudget(const common::CacheBudget &budget);
+
+    mutable std::mutex mutex_;  ///< guards stats_
+    /// Framework/pod caches: bounded LRU (0 = unbounded). Evicting a
+    /// framework drops its whole memo stack; in-flight requests keep
+    /// theirs alive through the shared_ptr.
+    common::BoundedCache<std::string,
+                         std::shared_ptr<core::TempFramework>>
         frameworks_;
-    std::map<std::string, std::shared_ptr<sim::MultiWaferSimulator>>
+    common::BoundedCache<std::string,
+                         std::shared_ptr<sim::MultiWaferSimulator>>
         pods_;
     Stats stats_;
     /// Declared last: destroyed first, so queued submit() tasks drain

@@ -47,6 +47,18 @@ toBool(const std::string &key, const std::string &value)
           key.c_str(), value.c_str());
 }
 
+/// A non-negative whole-number config value (cache budgets). Negative
+/// values are rejected rather than wrapping into "bounded by 2^64".
+long
+toCount(const std::string &key, const std::string &value)
+{
+    const double v = toNumber(key, value);
+    if (v < 0)
+        fatal("config: key '%s' must be >= 0 (0 = unbounded), got '%s'",
+              key.c_str(), value.c_str());
+    return static_cast<long>(v);
+}
+
 tcme::MappingEngineKind
 toEngine(const std::string &key, const std::string &value)
 {
@@ -270,6 +282,20 @@ frameworkOptionsFromConfig(const ConfigMap &config)
             sp.max_tatp = static_cast<int>(toNumber(key, value));
         } else if (key == "solver.space.full_occupancy") {
             sp.full_occupancy = toBool(key, value);
+        } else if (key == "service.cache.max_frameworks") {
+            options.cache.max_frameworks = toCount(key, value);
+        } else if (key == "service.cache.max_pods") {
+            options.cache.max_pods = toCount(key, value);
+        } else if (key == "eval.cache.max_entries") {
+            options.cache.max_eval_entries = toCount(key, value);
+        } else if (key == "eval.cache.max_step_entries") {
+            options.cache.max_step_entries = toCount(key, value);
+        } else if (key == "eval.cache.max_layouts") {
+            options.cache.max_layout_entries = toCount(key, value);
+        } else if (key == "net.schedule_cache.max_entries") {
+            options.cache.max_schedule_entries = toCount(key, value);
+        } else if (key == "net.route_pool.max_entries") {
+            options.cache.max_route_entries = toCount(key, value);
         } else {
             fatal("config: unknown options key '%s'", key.c_str());
         }

@@ -27,6 +27,12 @@
  *   solver.space.allow_sp, solver.space.allow_cp,
  *   solver.space.allow_tatp, solver.space.max_tp,
  *   solver.space.max_tatp, solver.space.full_occupancy
+ *
+ * Cache-governance keys (entry budgets; 0 = unbounded, the default):
+ *   service.cache.max_frameworks, service.cache.max_pods,
+ *   eval.cache.max_entries, eval.cache.max_step_entries,
+ *   eval.cache.max_layouts, net.schedule_cache.max_entries,
+ *   net.route_pool.max_entries
  */
 #pragma once
 

@@ -14,6 +14,32 @@ TempFramework::TempFramework(hw::WaferConfig wafer_config,
       evaluator_(std::make_unique<eval::CachingEvaluator>(*exact_)),
       steps_(std::make_unique<eval::StepEvaluator>(*sim_, pool_.get()))
 {
+    // Cache governance: thread the entry budgets through every memo
+    // layer this framework owns. All budgets default to 0 (unbounded),
+    // so the historical behaviour — and the bit-exactness guarantees
+    // its tests assert — are untouched unless a budget is configured.
+    if (options.cache.boundsFramework()) {
+        evaluator_->setMaxEntries(options.cache.max_eval_entries);
+        steps_->setMaxEntries(options.cache.max_step_entries);
+        exact_->setCacheBudget(options.cache);
+        sim_->layoutCache().setMaxEntries(
+            options.cache.max_layout_entries);
+        sim_->costModel().setCacheBudgets(options.cache);
+    }
+}
+
+std::vector<std::pair<std::string, common::CacheStats>>
+TempFramework::cacheStats() const
+{
+    common::CacheStats layouts = exact_->layoutCache().cacheStats();
+    layouts += sim_->layoutCache().cacheStats();
+    return {
+        {"eval_breakdowns", evaluator_->cacheStats()},
+        {"step_reports", steps_->cacheStats()},
+        {"layouts", layouts},
+        {"schedules", sim_->costModel().scheduleCacheStats()},
+        {"routes", sim_->costModel().routePoolStats()},
+    };
 }
 
 solver::SolverResult

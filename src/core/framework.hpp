@@ -15,6 +15,9 @@
 #pragma once
 
 #include <memory>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "baselines/strategies.hpp"
 #include "common/thread_pool.hpp"
@@ -34,6 +37,15 @@ struct FrameworkOptions
     /// Threads for cost evaluation and baseline tuning sweeps
     /// (0 = hardware concurrency). Results are thread-count invariant.
     int eval_threads = 0;
+    /**
+     * Entry budgets for every memo layer (0 = unbounded, the
+     * default). Bounding changes only memory residency — per-op
+     * results stay bit-identical because every cached value is a pure
+     * function of its key; evicted entries recompute and recount as
+     * misses. The service-level fields (max_frameworks/max_pods)
+     * govern TempService's own maps, not this framework.
+     */
+    common::CacheBudget cache;
 };
 
 /// The end-to-end TEMP system.
@@ -96,6 +108,17 @@ class TempFramework
 
     /// Cumulative full-step simulation counters since construction.
     eval::StepStats stepStats() const { return steps_->stats(); }
+
+    /**
+     * Governance counters of every memo layer this framework owns,
+     * as (layer name, counters) pairs: eval_breakdowns (the shared
+     * CachingEvaluator memo), step_reports, layouts (simulator +
+     * exact-evaluator layout caches combined), schedules (the shared
+     * net::ScheduleCache) and routes (the Router pool). The layer
+     * names are the CacheStatsRequest JSON vocabulary.
+     */
+    std::vector<std::pair<std::string, common::CacheStats>> cacheStats()
+        const;
 
   private:
     FrameworkOptions options_;

@@ -29,6 +29,21 @@ WaferCostModel::WaferCostModel(const hw::Wafer &wafer,
       tatp_executor_(wafer.config().d2d),
       optimizer_(router_)
 {
+    // Eager invalidation: a setFaults() on the live wafer flushes the
+    // dead epoch's schedules and pooled routes immediately, instead of
+    // retaining them until (unless) a next lookup notices the epoch
+    // moved. The listener only touches this model's own thread-safe
+    // caches, so it is safe from whichever thread injects the faults.
+    epoch_listener_id_ =
+        wafer_.addEpochListener([this](std::uint64_t epoch) {
+            schedule_cache_.flushForEpoch(epoch);
+            router_.dropStaleRoutes();
+        });
+}
+
+WaferCostModel::~WaferCostModel()
+{
+    wafer_.removeEpochListener(epoch_listener_id_);
 }
 
 net::PhaseTiming

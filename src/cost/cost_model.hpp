@@ -14,6 +14,7 @@
  */
 #pragma once
 
+#include <algorithm>
 #include <memory>
 
 #include "cost/compute_model.hpp"
@@ -77,6 +78,12 @@ class WaferCostModel
     WaferCostModel(const hw::Wafer &wafer, tcme::MappingPolicy policy,
                    parallel::TrainingOptions options =
                        parallel::TrainingOptions());
+
+    /// Unregisters the fault-epoch listener (see constructor).
+    ~WaferCostModel();
+
+    WaferCostModel(const WaferCostModel &) = delete;
+    WaferCostModel &operator=(const WaferCostModel &) = delete;
 
     /// Analyses and costs one operator under the layout's spec.
     /// @param include_step When false, per-step gradient-sync
@@ -149,6 +156,35 @@ class WaferCostModel
         return schedule_cache_.stats();
     }
 
+    /**
+     * Applies the network-layer entry budgets (schedule cache and
+     * route pool; 0 = unbounded). Const for the same reason the
+     * caches are mutable: governance does not change what a cost
+     * query computes, only what stays resident.
+     */
+    void setCacheBudgets(const common::CacheBudget &budget) const
+    {
+        // Negative budgets clamp to 0 (unbounded): a size_t wrap
+        // would silently produce a never-evicting "bounded" cache
+        // that still pays the exclusive-lock hit path.
+        schedule_cache_.setMaxEntries(static_cast<std::size_t>(
+            std::max(0L, budget.max_schedule_entries)));
+        router_.setPoolBudget(static_cast<std::size_t>(
+            std::max(0L, budget.max_route_entries)));
+    }
+
+    /// Governance counters of the shared schedule cache.
+    common::CacheStats scheduleCacheStats() const
+    {
+        return schedule_cache_.cacheStats();
+    }
+
+    /// Governance counters of the router's route pool.
+    common::CacheStats routePoolStats() const
+    {
+        return router_.poolStats();
+    }
+
     /// Fraction of grad-sync communication hidden behind backward
     /// compute (bucketed overlap, as Megatron/FSDP implement).
     static constexpr double kGradSyncOverlap = 0.5;
@@ -172,6 +208,9 @@ class WaferCostModel
     tatp::ChainMapper chain_mapper_;
     tatp::TatpExecutor tatp_executor_;
     tcme::TrafficOptimizer optimizer_;
+    /// Registration id of the wafer epoch listener that eagerly
+    /// flushes the schedule cache and route pool on setFaults().
+    std::uint64_t epoch_listener_id_ = 0;
 };
 
 }  // namespace temp::cost

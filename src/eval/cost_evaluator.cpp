@@ -109,26 +109,21 @@ LayoutCache::layoutFor(const model::ComputeGraph &graph,
                        const ParallelSpec &spec)
 {
     const std::string key = layoutKey(graphFingerprint(graph), spec);
-    {
-        std::lock_guard<std::mutex> lock(mutex_);
-        auto it = cache_.find(key);
-        if (it != cache_.end()) {
-            ++hits_;
-            return it->second;
-        }
+    if (auto cached = cache_.get(key)) {
+        ++hits_;
+        return *cached;
     }
-    // Build outside the lock (construction dominates); on a concurrent
-    // duplicate build, the first insert wins so callers share one
-    // instance.
+    // Build outside the cache lock (construction dominates); on a
+    // concurrent duplicate build, the first insert wins so callers
+    // share one instance.
     auto layout =
         std::make_shared<const GroupLayout>(model_.buildLayout(graph, spec));
-    std::lock_guard<std::mutex> lock(mutex_);
-    auto [it, inserted] = cache_.emplace(key, std::move(layout));
+    auto [resident, inserted] = cache_.insert(key, std::move(layout));
     if (inserted)
         ++builds_;
     else
         ++hits_;
-    return it->second;
+    return resident;
 }
 
 namespace {
@@ -252,28 +247,23 @@ ExactEvaluator::evaluate(const model::ComputeGraph &graph,
         return breakdown;
     }
     const std::string key = evalKey(graphFingerprint(graph), request);
-    {
-        std::lock_guard<std::mutex> lock(mutex_);
-        auto it = cache_.find(key);
-        if (it != cache_.end()) {
-            ++cache_hits_;
-            cost::OpCostBreakdown served = it->second;
-            markScheduleServed(served);
-            schedule_cache_hits_ += served.schedule_cache_hits;
-            return served;
-        }
+    if (auto cached = cache_.get(key)) {
+        ++cache_hits_;
+        cost::OpCostBreakdown served = *cached;
+        markScheduleServed(served);
+        schedule_cache_hits_ += served.schedule_cache_hits;
+        return served;
     }
     const cost::OpCostBreakdown breakdown = compute(graph, request);
-    std::lock_guard<std::mutex> lock(mutex_);
-    auto [it, inserted] = cache_.emplace(key, breakdown);
+    auto [resident, inserted] = cache_.insert(key, breakdown);
     if (inserted) {
         ++measurements_;
         schedule_lowerings_ += breakdown.schedule_lowerings;
         schedule_cache_hits_ += breakdown.schedule_cache_hits;
-        return it->second;
+        return resident;
     }
     ++cache_hits_;
-    cost::OpCostBreakdown served = it->second;
+    cost::OpCostBreakdown served = resident;
     markScheduleServed(served);
     schedule_cache_hits_ += served.schedule_cache_hits;
     return served;
@@ -297,11 +287,9 @@ ExactEvaluator::evaluateBatch(const model::ComputeGraph &graph,
     std::vector<bool> slot_cached(n_slots, false);
     std::vector<std::size_t> missing;
     if (memoize_) {
-        std::lock_guard<std::mutex> lock(mutex_);
         for (std::size_t s = 0; s < n_slots; ++s) {
-            auto it = cache_.find(plan.distinct_keys[s]);
-            if (it != cache_.end()) {
-                slot_value[s] = it->second;
+            if (auto cached = cache_.get(plan.distinct_keys[s])) {
+                slot_value[s] = *cached;
                 slot_cached[s] = true;
             } else {
                 missing.push_back(s);
@@ -358,9 +346,8 @@ ExactEvaluator::evaluateBatch(const model::ComputeGraph &graph,
     measurements_ += static_cast<long>(missing.size());
 
     if (memoize_ && !missing.empty()) {
-        std::lock_guard<std::mutex> lock(mutex_);
         for (std::size_t s : missing)
-            cache_.emplace(plan.distinct_keys[s], slot_value[s]);
+            cache_.insert(plan.distinct_keys[s], slot_value[s]);
     }
 
     long sched_lowerings = 0;
@@ -375,9 +362,20 @@ ExactEvaluator::evaluateBatch(const model::ComputeGraph &graph,
 EvalStats
 ExactEvaluator::stats() const
 {
-    return {measurements_.load(),       cache_hits_.load(),
-            layouts_.builds(),          layouts_.hits(),
-            schedule_lowerings_.load(), schedule_cache_hits_.load()};
+    return {measurements_.load(),
+            cache_hits_.load(),
+            layouts_.builds(),
+            layouts_.hits(),
+            schedule_lowerings_.load(),
+            schedule_cache_hits_.load(),
+            cache_.stats().evictions + layouts_.cacheStats().evictions};
+}
+
+void
+ExactEvaluator::setCacheBudget(const common::CacheBudget &budget)
+{
+    cache_.setCapacity(budget.max_eval_entries);
+    layouts_.setMaxEntries(budget.max_layout_entries);
 }
 
 // ---------------------------------------------------------------------
@@ -393,28 +391,23 @@ CachingEvaluator::evaluate(const model::ComputeGraph &graph,
                            const EvalRequest &request)
 {
     const std::string key = evalKey(graphFingerprint(graph), request);
-    {
-        std::lock_guard<std::mutex> lock(mutex_);
-        auto it = cache_.find(key);
-        if (it != cache_.end()) {
-            ++cache_hits_;
-            cost::OpCostBreakdown served = it->second;
-            markScheduleServed(served);
-            schedule_cache_hits_ += served.schedule_cache_hits;
-            return served;
-        }
+    if (auto cached = cache_.get(key)) {
+        ++cache_hits_;
+        cost::OpCostBreakdown served = *cached;
+        markScheduleServed(served);
+        schedule_cache_hits_ += served.schedule_cache_hits;
+        return served;
     }
     const cost::OpCostBreakdown breakdown = inner_.evaluate(graph, request);
-    std::lock_guard<std::mutex> lock(mutex_);
-    auto [it, inserted] = cache_.emplace(key, breakdown);
+    auto [resident, inserted] = cache_.insert(key, breakdown);
     if (inserted) {
         ++measurements_;
         schedule_lowerings_ += breakdown.schedule_lowerings;
         schedule_cache_hits_ += breakdown.schedule_cache_hits;
-        return it->second;
+        return resident;
     }
     ++cache_hits_;
-    cost::OpCostBreakdown served = it->second;
+    cost::OpCostBreakdown served = resident;
     markScheduleServed(served);
     schedule_cache_hits_ += served.schedule_cache_hits;
     return served;
@@ -434,16 +427,12 @@ CachingEvaluator::evaluateBatch(const model::ComputeGraph &graph,
     std::vector<cost::OpCostBreakdown> slot_value(n_slots);
     std::vector<bool> slot_cached(n_slots, false);
     std::vector<std::size_t> missing;
-    {
-        std::lock_guard<std::mutex> lock(mutex_);
-        for (std::size_t s = 0; s < n_slots; ++s) {
-            auto it = cache_.find(plan.distinct_keys[s]);
-            if (it != cache_.end()) {
-                slot_value[s] = it->second;
-                slot_cached[s] = true;
-            } else {
-                missing.push_back(s);
-            }
+    for (std::size_t s = 0; s < n_slots; ++s) {
+        if (auto cached = cache_.get(plan.distinct_keys[s])) {
+            slot_value[s] = *cached;
+            slot_cached[s] = true;
+        } else {
+            missing.push_back(s);
         }
     }
 
@@ -453,12 +442,9 @@ CachingEvaluator::evaluateBatch(const model::ComputeGraph &graph,
         miss_requests.push_back(requests[plan.distinct_request[s]]);
     const std::vector<cost::OpCostBreakdown> computed =
         inner_.evaluateBatch(graph, miss_requests);
-    {
-        std::lock_guard<std::mutex> lock(mutex_);
-        for (std::size_t m = 0; m < missing.size(); ++m) {
-            slot_value[missing[m]] = computed[m];
-            cache_.emplace(plan.distinct_keys[missing[m]], computed[m]);
-        }
+    for (std::size_t m = 0; m < missing.size(); ++m) {
+        slot_value[missing[m]] = computed[m];
+        cache_.insert(plan.distinct_keys[missing[m]], computed[m]);
     }
     measurements_ += static_cast<long>(missing.size());
 
@@ -475,9 +461,13 @@ EvalStats
 CachingEvaluator::stats() const
 {
     const EvalStats inner = inner_.stats();
-    return {measurements_.load(),       cache_hits_.load(),
-            inner.layouts_built,        inner.layout_hits,
-            schedule_lowerings_.load(), schedule_cache_hits_.load()};
+    return {measurements_.load(),
+            cache_hits_.load(),
+            inner.layouts_built,
+            inner.layout_hits,
+            schedule_lowerings_.load(),
+            schedule_cache_hits_.load(),
+            cache_.stats().evictions + inner.evictions};
 }
 
 }  // namespace temp::eval

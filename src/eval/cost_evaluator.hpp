@@ -26,11 +26,11 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/bounded_cache.hpp"
 #include "common/thread_pool.hpp"
 #include "cost/cost_model.hpp"
 
@@ -63,6 +63,13 @@ struct EvalStats
      */
     long schedule_lowerings = 0;
     long schedule_cache_hits = 0;
+    /**
+     * Entries the evaluator's own memos (breakdowns + layouts) dropped
+     * to honour a cache budget. Zero under the default unbounded
+     * budgets; nonzero eviction with unchanged results is the bounded
+     * mode working as designed (evicted keys recount as misses).
+     */
+    long evictions = 0;
 
     EvalStats operator-(const EvalStats &other) const
     {
@@ -71,7 +78,8 @@ struct EvalStats
                 layouts_built - other.layouts_built,
                 layout_hits - other.layout_hits,
                 schedule_lowerings - other.schedule_lowerings,
-                schedule_cache_hits - other.schedule_cache_hits};
+                schedule_cache_hits - other.schedule_cache_hits,
+                evictions - other.evictions};
     }
 };
 
@@ -109,13 +117,23 @@ class LayoutCache
     long builds() const { return builds_.load(); }
     long hits() const { return hits_.load(); }
 
+    /// Entry budget (0 = unbounded). Evicted layouts rebuild (and
+    /// recount as builds) on return; callers hold shared_ptrs, so
+    /// in-flight layouts survive their own eviction.
+    void setMaxEntries(long max_entries)
+    {
+        cache_.setCapacity(max_entries);
+    }
+
+    /// Governance counters for CacheStatsRequest reporting.
+    common::CacheStats cacheStats() const { return cache_.stats(); }
+
     const cost::WaferCostModel &costModel() const { return model_; }
 
   private:
     const cost::WaferCostModel &model_;
-    std::mutex mutex_;
-    std::unordered_map<std::string,
-                       std::shared_ptr<const parallel::GroupLayout>>
+    common::BoundedCache<std::string,
+                         std::shared_ptr<const parallel::GroupLayout>>
         cache_;
     std::atomic<long> builds_{0};
     std::atomic<long> hits_{0};
@@ -171,7 +189,18 @@ class ExactEvaluator : public CostEvaluator
 
     EvalStats stats() const override;
 
+    /// Applies the evaluator-level budgets: breakdown memo
+    /// (max_eval_entries) and layout memo (max_layout_entries).
+    void setCacheBudget(const common::CacheBudget &budget);
+
+    /// Governance counters of the breakdown memo.
+    common::CacheStats breakdownCacheStats() const
+    {
+        return cache_.stats();
+    }
+
     LayoutCache &layoutCache() { return layouts_; }
+    const LayoutCache &layoutCache() const { return layouts_; }
     const cost::WaferCostModel &costModel() const { return model_; }
 
   private:
@@ -183,8 +212,7 @@ class ExactEvaluator : public CostEvaluator
     ThreadPool *pool_;
     bool memoize_;
     LayoutCache layouts_;
-    std::mutex mutex_;
-    std::unordered_map<std::string, cost::OpCostBreakdown> cache_;
+    common::BoundedCache<std::string, cost::OpCostBreakdown> cache_;
     std::atomic<long> measurements_{0};
     std::atomic<long> cache_hits_{0};
     std::atomic<long> schedule_lowerings_{0};
@@ -212,12 +240,21 @@ class CachingEvaluator : public CostEvaluator
     /// counters.
     EvalStats stats() const override;
 
+    /// Entry budget of the shared breakdown memo (0 = unbounded).
+    void setMaxEntries(long max_entries)
+    {
+        cache_.setCapacity(max_entries);
+    }
+
+    /// Governance counters of the shared breakdown memo.
+    common::CacheStats cacheStats() const { return cache_.stats(); }
+
     CostEvaluator &inner() { return inner_; }
+    const CostEvaluator &inner() const { return inner_; }
 
   private:
     CostEvaluator &inner_;
-    std::mutex mutex_;
-    std::unordered_map<std::string, cost::OpCostBreakdown> cache_;
+    common::BoundedCache<std::string, cost::OpCostBreakdown> cache_;
     std::atomic<long> measurements_{0};
     std::atomic<long> cache_hits_{0};
     std::atomic<long> schedule_lowerings_{0};

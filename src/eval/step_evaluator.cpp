@@ -42,28 +42,23 @@ StepEvaluator::evaluate(const model::ComputeGraph &graph,
 {
     const std::string key =
         stepKey(graphFingerprint(graph), per_op_specs);
-    {
-        std::lock_guard<std::mutex> lock(mutex_);
-        auto it = cache_.find(key);
-        if (it != cache_.end()) {
-            ++cache_hits_;
-            sim::PerfReport served = it->second;
-            markReportServed(served);
-            schedule_cache_hits_ += served.schedule_cache_hits;
-            return served;
-        }
+    if (auto cached = cache_.get(key)) {
+        ++cache_hits_;
+        sim::PerfReport served = *cached;
+        markReportServed(served);
+        schedule_cache_hits_ += served.schedule_cache_hits;
+        return served;
     }
     const sim::PerfReport report = sim_.simulate(graph, per_op_specs);
-    std::lock_guard<std::mutex> lock(mutex_);
-    auto [it, inserted] = cache_.emplace(key, report);
+    auto [resident, inserted] = cache_.insert(key, report);
     if (inserted) {
         ++sims_;
         schedule_lowerings_ += report.schedule_lowerings;
         schedule_cache_hits_ += report.schedule_cache_hits;
-        return it->second;
+        return resident;
     }
     ++cache_hits_;
-    sim::PerfReport served = it->second;
+    sim::PerfReport served = resident;
     markReportServed(served);
     schedule_cache_hits_ += served.schedule_cache_hits;
     return served;
@@ -110,16 +105,12 @@ StepEvaluator::evaluateBatch(
     std::vector<sim::PerfReport> slot_value(n_slots);
     std::vector<bool> slot_cached(n_slots, false);
     std::vector<std::size_t> missing;
-    {
-        std::lock_guard<std::mutex> lock(mutex_);
-        for (std::size_t s = 0; s < n_slots; ++s) {
-            auto it = cache_.find(slot_key[s]);
-            if (it != cache_.end()) {
-                slot_value[s] = it->second;
-                slot_cached[s] = true;
-            } else {
-                missing.push_back(s);
-            }
+    for (std::size_t s = 0; s < n_slots; ++s) {
+        if (auto cached = cache_.get(slot_key[s])) {
+            slot_value[s] = *cached;
+            slot_cached[s] = true;
+        } else {
+            missing.push_back(s);
         }
     }
 
@@ -138,11 +129,8 @@ StepEvaluator::evaluateBatch(
             simulate_missing(m);
     sims_ += static_cast<long>(missing.size());
 
-    if (!missing.empty()) {
-        std::lock_guard<std::mutex> lock(mutex_);
-        for (std::size_t s : missing)
-            cache_.emplace(slot_key[s], slot_value[s]);
-    }
+    for (std::size_t s : missing)
+        cache_.insert(slot_key[s], slot_value[s]);
 
     // Expand slots into request order: every request beyond the first
     // reference of an uncached slot (and every reference of a
@@ -173,8 +161,13 @@ StepEvaluator::evaluateBatch(
 StepStats
 StepEvaluator::stats() const
 {
+    // Evictions cover the layers a step query touches: the report
+    // memo plus the simulator's own layout cache (the matrix side's
+    // layout cache is counted by EvalStats, not here).
     return {sims_.load(), cache_hits_.load(), schedule_lowerings_.load(),
-            schedule_cache_hits_.load()};
+            schedule_cache_hits_.load(),
+            cache_.stats().evictions +
+                sim_.layoutCache().cacheStats().evictions};
 }
 
 }  // namespace temp::eval

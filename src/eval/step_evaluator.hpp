@@ -25,11 +25,11 @@
 #pragma once
 
 #include <atomic>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/bounded_cache.hpp"
 #include "common/thread_pool.hpp"
 #include "sim/trainer_sim.hpp"
 
@@ -49,12 +49,18 @@ struct StepStats
      */
     long schedule_lowerings = 0;
     long schedule_cache_hits = 0;
+    /// Entries dropped to honour a budget across the layers a step
+    /// query touches: the report memo plus the simulator's layout
+    /// cache (0 under the default unbounded budgets; evicted genomes
+    /// re-simulate and recount as sims on return).
+    long evictions = 0;
 
     StepStats operator-(const StepStats &other) const
     {
         return {sims - other.sims, cache_hits - other.cache_hits,
                 schedule_lowerings - other.schedule_lowerings,
-                schedule_cache_hits - other.schedule_cache_hits};
+                schedule_cache_hits - other.schedule_cache_hits,
+                evictions - other.evictions};
     }
 };
 
@@ -102,13 +108,23 @@ class StepEvaluator
     /// Cumulative counters since construction.
     StepStats stats() const;
 
+    /// Entry budget of the report memo (0 = unbounded). Eviction
+    /// never changes reported values — a dropped genome re-simulates
+    /// bit-identically and recounts as a sim.
+    void setMaxEntries(long max_entries)
+    {
+        cache_.setCapacity(max_entries);
+    }
+
+    /// Governance counters for CacheStatsRequest reporting.
+    common::CacheStats cacheStats() const { return cache_.stats(); }
+
     const sim::TrainingSimulator &simulator() const { return sim_; }
 
   private:
     const sim::TrainingSimulator &sim_;
     ThreadPool *pool_;
-    std::mutex mutex_;
-    std::unordered_map<std::string, sim::PerfReport> cache_;
+    common::BoundedCache<std::string, sim::PerfReport> cache_;
     std::atomic<long> sims_{0};
     std::atomic<long> cache_hits_{0};
     std::atomic<long> schedule_lowerings_{0};

@@ -5,7 +5,12 @@
  */
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
 
 #include "hw/config.hpp"
 #include "hw/fault.hpp"
@@ -48,12 +53,46 @@ class Wafer
 
     /// Replaces the fault state (used by fault-injection sweeps). The
     /// fault epoch strictly increases so fault-sensitive caches see the
-    /// swap even when the new map's own revision is small.
+    /// swap even when the new map's own revision is small. Epoch
+    /// listeners fire before this returns, so fault-sensitive caches
+    /// flush their dead-epoch entries eagerly instead of holding them
+    /// until (unless) a next lookup arrives.
     void setFaults(FaultMap faults)
     {
         const std::uint64_t floor = faults_.revision() + 1;
         faults_ = std::move(faults);
         faults_.advanceRevision(floor);
+        notifyEpochListeners(faults_.revision());
+    }
+
+    /**
+     * Registers a callback invoked with the new epoch on every
+     * setFaults(). Callers whose lifetime is shorter than the wafer's
+     * (per-call simulators, degraded-solve cost models) MUST
+     * removeEpochListener() the returned id before they die. Const:
+     * observation does not change the wafer's physical state, and the
+     * registrants hold const references.
+     */
+    std::uint64_t addEpochListener(
+        std::function<void(std::uint64_t)> listener) const
+    {
+        std::lock_guard<std::mutex> lock(listeners_->mutex);
+        const std::uint64_t id = listeners_->next_id++;
+        listeners_->entries.emplace_back(id, std::move(listener));
+        return id;
+    }
+
+    void removeEpochListener(std::uint64_t id) const
+    {
+        std::lock_guard<std::mutex> lock(listeners_->mutex);
+        auto &entries = listeners_->entries;
+        for (std::size_t i = 0; i < entries.size(); ++i) {
+            if (entries[i].first == id) {
+                entries.erase(entries.begin() +
+                              static_cast<std::ptrdiff_t>(i));
+                return;
+            }
+        }
     }
 
     /**
@@ -93,9 +132,35 @@ class Wafer
     static constexpr double kDieHeightMm = 33.25;
 
   private:
+    /// Heap-allocated so the wafer stays movable despite the mutex.
+    struct EpochListeners
+    {
+        std::mutex mutex;
+        std::uint64_t next_id = 1;
+        std::vector<
+            std::pair<std::uint64_t, std::function<void(std::uint64_t)>>>
+            entries;
+    };
+
+    void notifyEpochListeners(std::uint64_t epoch)
+    {
+        // Invoked under the registry lock so removeEpochListener()
+        // synchronizes with in-flight callbacks: once remove()
+        // returns, the listener can never fire again, which is what
+        // lets ~WaferCostModel race a concurrent setFaults() safely.
+        // Consequence: listeners must not register/unregister
+        // listeners or call setFaults() from inside the callback
+        // (they flush their own caches, nothing more).
+        std::lock_guard<std::mutex> lock(listeners_->mutex);
+        for (const auto &[id, listener] : listeners_->entries)
+            listener(epoch);
+    }
+
     WaferConfig config_;
     std::unique_ptr<MeshTopology> topology_;
     FaultMap faults_;
+    std::unique_ptr<EpochListeners> listeners_ =
+        std::make_unique<EpochListeners>();
 };
 
 }  // namespace temp::hw

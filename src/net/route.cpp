@@ -33,6 +33,31 @@ RouteRef::get() const
 Router::Router(const hw::MeshTopology &topo, const hw::FaultMap *faults)
     : topo_(topo), faults_(faults)
 {
+    // Pin checks: the pool holds one reference itself, so anything
+    // above it means live flows (cached schedules, iterating callers)
+    // still use the route — never evict those.
+    safe_pool_.setEvictable(
+        [](const RouteRef &ref) { return ref.shareCount() <= 1; });
+    candidate_pool_.setEvictable(
+        [](const std::shared_ptr<const std::vector<RouteRef>> &refs) {
+            return refs.use_count() <= 1;
+        });
+    safe_pool_.setByteEstimate([](std::uint64_t, const RouteRef &ref) {
+        return static_cast<long>(sizeof(RouteRef) + sizeof(Route) +
+                                 ref.links().size() * sizeof(LinkId));
+    });
+    candidate_pool_.setByteEstimate(
+        [](std::uint64_t,
+           const std::shared_ptr<const std::vector<RouteRef>> &refs) {
+            long bytes = static_cast<long>(sizeof(refs) +
+                                           sizeof(std::vector<RouteRef>));
+            if (refs != nullptr)
+                for (const RouteRef &ref : *refs)
+                    bytes += static_cast<long>(
+                        sizeof(RouteRef) + sizeof(Route) +
+                        ref.links().size() * sizeof(LinkId));
+            return bytes;
+        });
 }
 
 bool
@@ -222,14 +247,26 @@ Router::safeRouteRef(DieId src, DieId dst, RoutePolicy policy) const
 {
     const std::uint64_t revision = faultRevision();
     const std::uint64_t key = endpointKey(src, dst, policy);
-    {
+    const bool bounded =
+        pool_budget_.load(std::memory_order_relaxed) > 0;
+    if (!bounded) {
         std::shared_lock<std::shared_mutex> lock(pool_mutex_);
         if (pool_revision_ == revision) {
-            auto it = safe_pool_.find(key);
-            if (it != safe_pool_.end())
-                return it->second;
+            if (const RouteRef *pooled = safe_pool_.peek(key)) {
+                ++pool_hits_;
+                return *pooled;
+            }
+        }
+    } else {
+        std::unique_lock<std::shared_mutex> lock(pool_mutex_);
+        if (pool_revision_ == revision) {
+            if (RouteRef *pooled = safe_pool_.touch(key)) {
+                ++pool_hits_;
+                return *pooled;
+            }
         }
     }
+    ++pool_misses_;
     std::optional<Route> found = safeRoute(src, dst, policy);
     RouteRef ref = found ? RouteRef(std::move(*found)) : RouteRef();
     std::unique_lock<std::shared_mutex> lock(pool_mutex_);
@@ -239,7 +276,7 @@ Router::safeRouteRef(DieId src, DieId dst, RoutePolicy policy) const
     // into the new epoch's pool.
     if (pool_revision_ != revision)
         return ref;
-    return safe_pool_.emplace(key, std::move(ref)).first->second;
+    return *safe_pool_.insert(key, std::move(ref)).first;
 }
 
 RouteRef
@@ -270,14 +307,26 @@ Router::candidateRouteRefs(DieId src, DieId dst) const
 {
     const std::uint64_t revision = faultRevision();
     const std::uint64_t key = endpointKey(src, dst, RoutePolicy::XY);
-    {
+    const bool bounded =
+        pool_budget_.load(std::memory_order_relaxed) > 0;
+    if (!bounded) {
         std::shared_lock<std::shared_mutex> lock(pool_mutex_);
         if (pool_revision_ == revision) {
-            auto it = candidate_pool_.find(key);
-            if (it != candidate_pool_.end())
-                return it->second;
+            if (const auto *pooled = candidate_pool_.peek(key)) {
+                ++pool_hits_;
+                return *pooled;
+            }
+        }
+    } else {
+        std::unique_lock<std::shared_mutex> lock(pool_mutex_);
+        if (pool_revision_ == revision) {
+            if (auto *pooled = candidate_pool_.touch(key)) {
+                ++pool_hits_;
+                return *pooled;
+            }
         }
     }
+    ++pool_misses_;
     std::vector<Route> routes = candidateRoutes(src, dst);
     auto refs = std::make_shared<std::vector<RouteRef>>();
     refs->reserve(routes.size());
@@ -287,7 +336,38 @@ Router::candidateRouteRefs(DieId src, DieId dst) const
     refreshPoolLocked();
     if (pool_revision_ != revision)
         return refs;  // computed under a superseded fault map
-    return candidate_pool_.emplace(key, std::move(refs)).first->second;
+    return *candidate_pool_.insert(key, std::move(refs)).first;
+}
+
+void
+Router::setPoolBudget(std::size_t max_entries) const
+{
+    std::unique_lock<std::shared_mutex> lock(pool_mutex_);
+    pool_budget_.store(max_entries, std::memory_order_relaxed);
+    safe_pool_.setCapacity(max_entries);
+    candidate_pool_.setCapacity(max_entries);
+}
+
+void
+Router::dropStaleRoutes() const
+{
+    std::unique_lock<std::shared_mutex> lock(pool_mutex_);
+    refreshPoolLocked();
+}
+
+common::CacheStats
+Router::poolStats() const
+{
+    std::unique_lock<std::shared_mutex> lock(pool_mutex_);
+    common::CacheStats stats;
+    stats.entries = static_cast<long>(safe_pool_.size() +
+                                      candidate_pool_.size());
+    stats.bytes_est =
+        safe_pool_.bytesEstimate() + candidate_pool_.bytesEstimate();
+    stats.hits = pool_hits_.load();
+    stats.misses = pool_misses_.load();
+    stats.evictions = safe_pool_.evictions() + candidate_pool_.evictions();
+    return stats;
 }
 
 }  // namespace temp::net

@@ -9,13 +9,14 @@
  */
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <optional>
 #include <shared_mutex>
-#include <unordered_map>
 #include <vector>
 
+#include "common/bounded_cache.hpp"
 #include "hw/fault.hpp"
 #include "hw/topology.hpp"
 
@@ -74,6 +75,17 @@ class RouteRef
     bool sameLinks(const RouteRef &other) const
     {
         return route_ == other.route_ || links() == other.links();
+    }
+
+    /**
+     * Number of RouteRefs sharing the underlying route (0 for an
+     * invalid ref). The router's pool eviction uses this as its pin
+     * check: a pooled route with a share count above the pool's own
+     * reference is held by live flows and must not be dropped.
+     */
+    long shareCount() const
+    {
+        return route_ ? static_cast<long>(route_.use_count()) : 0;
     }
 
   private:
@@ -163,6 +175,30 @@ class Router
         return faults_ != nullptr ? faults_->revision() : 0;
     }
 
+    /**
+     * Entry budget for each of the safe-route and candidate pools
+     * (0 = unbounded). Eviction is LRU but refcount-aware: a route
+     * (or candidate list) still referenced outside the pool — live
+     * flows in cached schedules, callers iterating candidates — is
+     * pinned and never dropped; consumers always keep their shared
+     * handles alive regardless. The per-link pool is topology-sized
+     * and stays unbudgeted.
+     */
+    void setPoolBudget(std::size_t max_entries) const;
+
+    /**
+     * Eagerly drops every pooled route computed under a superseded
+     * fault revision (no-op when the pool is current). Without this,
+     * the pool retains a dead epoch's routes until (unless) a next
+     * pooled lookup arrives — wired to the wafer's epoch listeners by
+     * the cost model so fault-injection sweeps don't accumulate them.
+     */
+    void dropStaleRoutes() const;
+
+    /// Governance counters of the route pool (safe + candidate pools
+    /// combined; hits/misses cover the pooled lookups).
+    common::CacheStats poolStats() const;
+
   private:
     bool linkUsable(LinkId link) const;
 
@@ -175,17 +211,23 @@ class Router
 
     /// Route pool: memoized safe routes and optimizer candidates, keyed
     /// on (src, dst, policy), plus per-link single-hop routes. Reads
-    /// take the lock shared (the warm-pool hot path); misses upgrade to
-    /// exclusive. Cleared when faults_->revision() changes; a route
+    /// take the lock shared when unbounded (the warm-pool hot path;
+    /// bounded reads go exclusive to refresh LRU order); misses upgrade
+    /// to exclusive. Cleared when faults_->revision() changes; a route
     /// computed while the revision moved is returned but never
     /// persisted, so stale routes cannot leak into the new epoch.
     mutable std::shared_mutex pool_mutex_;
     mutable std::uint64_t pool_revision_ = 0;
-    mutable std::unordered_map<std::uint64_t, RouteRef> safe_pool_;
-    mutable std::unordered_map<
+    /// Lockless mirror of the pools' capacity (hit paths branch on
+    /// boundedness before locking).
+    mutable std::atomic<std::size_t> pool_budget_{0};
+    mutable common::LruMap<std::uint64_t, RouteRef> safe_pool_;
+    mutable common::LruMap<
         std::uint64_t, std::shared_ptr<const std::vector<RouteRef>>>
         candidate_pool_;
     mutable std::vector<RouteRef> link_pool_;
+    mutable std::atomic<long> pool_hits_{0};
+    mutable std::atomic<long> pool_misses_{0};
 };
 
 }  // namespace temp::net

@@ -72,6 +72,16 @@ ScheduleCache::KeyEqual::operator()(const KeyView &a, const Key &b) const
 ScheduleCache::ScheduleCache(const CollectiveScheduler &scheduler)
     : scheduler_(scheduler)
 {
+    cache_.setByteEstimate(
+        [](const Key &key, const std::shared_ptr<const CommSchedule> &s) {
+            long bytes = static_cast<long>(
+                sizeof(Key) + key.group.capacity() * sizeof(DieId));
+            if (s != nullptr)
+                bytes += static_cast<long>(
+                    sizeof(CommSchedule) +
+                    s->flowCount() * sizeof(Flow));
+            return bytes;
+        });
 }
 
 std::shared_ptr<const CommSchedule>
@@ -82,16 +92,27 @@ ScheduleCache::lowered(const CollectiveTask &task, std::uint64_t fault_epoch,
                        std::bit_cast<std::uint64_t>(task.bytes),
                        &task.group};
 
-    // Hit path: shared lock, non-owning probe, no allocation.
-    {
+    // Hit path. Unbounded: shared lock, non-owning probe, no
+    // allocation, no recency maintenance. Bounded: the same probe
+    // under the exclusive lock so the LRU order stays truthful.
+    if (max_entries_.load(std::memory_order_relaxed) == 0) {
         std::shared_lock<std::shared_mutex> lock(mutex_);
         if (epoch_ == fault_epoch) {
-            auto it = cache_.find(view);
-            if (it != cache_.end()) {
+            if (const auto *cached = cache_.peek(view)) {
                 ++hits_;
                 if (hit != nullptr)
                     *hit = true;
-                return it->second;
+                return *cached;
+            }
+        }
+    } else {
+        std::unique_lock<std::shared_mutex> lock(mutex_);
+        if (epoch_ == fault_epoch) {
+            if (auto *cached = cache_.touch(view)) {
+                ++hits_;
+                if (hit != nullptr)
+                    *hit = true;
+                return *cached;
             }
         }
     }
@@ -103,27 +124,58 @@ ScheduleCache::lowered(const CollectiveTask &task, std::uint64_t fault_epoch,
         cache_.clear();
         epoch_ = fault_epoch;
     }
-    auto it = cache_.find(view);
-    if (it != cache_.end()) {
+    if (auto *cached = cache_.touch(view)) {
         // Another thread lowered it between our two lock scopes.
         ++hits_;
         if (hit != nullptr)
             *hit = true;
-        return it->second;
+        return *cached;
     }
     // Lower under the exclusive lock: duplicates across threads would
     // break the "lowered exactly once" accounting, and each unique task
-    // misses once per epoch.
+    // misses once per epoch (or per eviction under a finite budget).
     auto schedule = std::make_shared<const CommSchedule>(
         scheduler_.schedule(task));
     ++lowerings_;
     if (hit != nullptr)
         *hit = false;
-    return cache_
-        .emplace(Key{task.kind, task.tag,
-                     std::bit_cast<std::uint64_t>(task.bytes), task.group},
-                 std::move(schedule))
-        .first->second;
+    return *cache_
+                .insert(Key{task.kind, task.tag,
+                            std::bit_cast<std::uint64_t>(task.bytes),
+                            task.group},
+                        std::move(schedule))
+                .first;
+}
+
+common::CacheStats
+ScheduleCache::cacheStats() const
+{
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    common::CacheStats stats;
+    stats.entries = static_cast<long>(cache_.size());
+    stats.bytes_est = cache_.bytesEstimate();
+    stats.hits = hits_.load();
+    stats.misses = lowerings_.load();
+    stats.evictions = cache_.evictions();
+    return stats;
+}
+
+void
+ScheduleCache::setMaxEntries(std::size_t max_entries)
+{
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    max_entries_.store(max_entries, std::memory_order_relaxed);
+    cache_.setCapacity(max_entries);
+}
+
+void
+ScheduleCache::flushForEpoch(std::uint64_t fault_epoch)
+{
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    if (fault_epoch == epoch_)
+        return;
+    cache_.clear();
+    epoch_ = fault_epoch;
 }
 
 std::size_t

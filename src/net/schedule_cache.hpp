@@ -12,7 +12,16 @@
  * lowered under (routes bake the fault state in). The cache stores the
  * epoch of its contents and flushes wholesale when a lookup arrives
  * with a newer epoch — one integer compare per lookup instead of
- * hashing the fault set.
+ * hashing the fault set. flushForEpoch() is the eager twin: the cost
+ * model wires it to hw::Wafer's epoch listeners so a setFaults() drops
+ * the dead epoch's entries immediately instead of holding them until
+ * (unless) a next lookup arrives.
+ *
+ * Eviction: setMaxEntries() bounds the cache *within* the live epoch
+ * (long-lived services sweep many task signatures through one epoch).
+ * The store is an LRU; evicted tasks simply re-lower on return and
+ * recount as lowerings, so results stay bit-identical under any
+ * budget. Default 0 = unbounded, the historical behaviour.
  *
  * Cached schedules are shared immutable snapshots: consumers that
  * mutate (the traffic optimizer rewrites routes in place) must copy
@@ -24,14 +33,15 @@
 #include <cstdint>
 #include <memory>
 #include <shared_mutex>
-#include <unordered_map>
 
+#include "common/bounded_cache.hpp"
 #include "net/collective.hpp"
 
 namespace temp::net {
 
 /// Cumulative cache counters. `lowerings + hits` equals the lookups
-/// issued; a task is lowered exactly once per fault epoch.
+/// issued; a task is lowered exactly once per fault epoch (eviction
+/// under a finite budget honestly recounts a re-lowering).
 struct ScheduleCacheStats
 {
     long lowerings = 0;  ///< unique schedules lowered (cache misses)
@@ -60,10 +70,12 @@ class ScheduleCache
 
     /**
      * Returns the (possibly cached) lowering of a task under the given
-     * fault epoch. Hits take the lock shared and allocate nothing (the
-     * task is probed through a non-owning key view); misses lower
-     * under the exclusive lock, so a task is lowered exactly once
-     * regardless of thread count and the counters stay deterministic.
+     * fault epoch. Unbounded hits take the lock shared and allocate
+     * nothing (the task is probed through a non-owning key view;
+     * bounded hits take it exclusive to refresh LRU order); misses
+     * lower under the exclusive lock, so a task is lowered exactly
+     * once regardless of thread count and the counters stay
+     * deterministic.
      *
      * @param hit Optional out-flag: true when served from the cache.
      */
@@ -71,11 +83,33 @@ class ScheduleCache
                                                 std::uint64_t fault_epoch,
                                                 bool *hit = nullptr);
 
-    /// Cumulative counters since construction (survive epoch flushes).
+    /**
+     * Cumulative counters since construction (survive epoch flushes
+     * and evictions). Snapshotted under the exclusive lock so the two
+     * counters are mutually consistent — two independent atomic loads
+     * could tear against a concurrent lookup (hits visible without its
+     * sibling lowering), making interval deltas transiently dishonest.
+     */
     ScheduleCacheStats stats() const
     {
+        std::unique_lock<std::shared_mutex> lock(mutex_);
         return {lowerings_.load(), hits_.load()};
     }
+
+    /// Governance counters (entries/bytes gauges, hit/miss/eviction
+    /// totals) for CacheStatsRequest reporting.
+    common::CacheStats cacheStats() const;
+
+    /// Entry budget within the live epoch (0 = unbounded).
+    void setMaxEntries(std::size_t max_entries);
+
+    /**
+     * Eagerly drops all entries when `fault_epoch` differs from the
+     * contents' epoch (no-op otherwise). Wired to the wafer's epoch
+     * listeners so fault-injection sweeps don't retain a dead epoch's
+     * schedules between lookups.
+     */
+    void flushForEpoch(std::uint64_t fault_epoch);
 
     /// Entries currently cached (current epoch only).
     std::size_t size() const;
@@ -121,11 +155,15 @@ class ScheduleCache
     };
 
     const CollectiveScheduler &scheduler_;
-    /// Hits read-lock; misses and epoch flushes write-lock.
+    /// Unbounded hits read-lock; bounded hits, misses, budget changes
+    /// and epoch flushes write-lock.
     mutable std::shared_mutex mutex_;
     std::uint64_t epoch_ = 0;
-    std::unordered_map<Key, std::shared_ptr<const CommSchedule>, KeyHash,
-                       KeyEqual>
+    /// Mirror of the LruMap capacity, readable without the lock (the
+    /// hit path branches on boundedness before locking).
+    std::atomic<std::size_t> max_entries_{0};
+    common::LruMap<Key, std::shared_ptr<const CommSchedule>, KeyHash,
+                   KeyEqual>
         cache_;
     std::atomic<long> lowerings_{0};
     std::atomic<long> hits_{0};

@@ -173,9 +173,15 @@ TrainingSimulator::simulateMicro(const model::ComputeGraph &graph,
 
     // Layouts are shared between ops with identical specs and, via the
     // simulator's persistent content-keyed cache, across simulate()
-    // calls (the GA fitness loop re-simulates recurring specs).
+    // calls (the GA fitness loop re-simulates recurring specs). The
+    // shared_ptrs are pinned for the whole simulation: under a finite
+    // layout budget the cache may evict an entry while this pass still
+    // uses it, so borrowing a bare reference out of the lookup would
+    // dangle.
+    std::vector<std::shared_ptr<const GroupLayout>> pinned_layouts;
     auto layout_for = [&](const ParallelSpec &spec) -> const GroupLayout & {
-        return *layout_cache_.layoutFor(graph, spec);
+        pinned_layouts.push_back(layout_cache_.layoutFor(graph, spec));
+        return *pinned_layouts.back();
     };
 
     // ---- One representative layer -------------------------------------

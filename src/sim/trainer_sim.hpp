@@ -59,6 +59,9 @@ class TrainingSimulator
      */
     const eval::LayoutCache &layoutCache() const { return layout_cache_; }
 
+    /// Mutable access for cache governance (budget application).
+    eval::LayoutCache &layoutCache() { return layout_cache_; }
+
   private:
     /// Simulates one microbatch pass (no accumulation logic).
     /// @param recompute Activation checkpointing: only the layer input

@@ -271,6 +271,8 @@ DlsSolver::solve(const model::ComputeGraph &graph) const
                                     step_delta.schedule_lowerings;
         result.schedule_cache_hits = matrix_delta.schedule_cache_hits +
                                      step_delta.schedule_cache_hits;
+        result.cache_evictions =
+            matrix_delta.evictions + step_delta.evictions;
     };
 
     if (std::isinf(best_fitness)) {
@@ -343,6 +345,7 @@ ExhaustiveSolver::solve(const model::ComputeGraph &graph, int op_limit,
     result.cache_hits = matrix_stats.cache_hits;
     result.schedule_lowerings = matrix_stats.schedule_lowerings;
     result.schedule_cache_hits = matrix_stats.schedule_cache_hits;
+    result.cache_evictions = matrix_stats.evictions;
 
     std::vector<int> current(n_ops, 0);
     std::vector<int> best;

@@ -113,6 +113,15 @@ struct SolverResult
     long schedule_lowerings = 0;
     /// Schedule queries served by (or absorbed above) the cache.
     long schedule_cache_hits = 0;
+    /**
+     * Memo entries (breakdowns, layouts, step reports) evicted during
+     * this solve to honour a finite cache budget. Zero under the
+     * default unbounded budgets. Nonzero eviction with bit-identical
+     * results is bounded mode working as designed; the re-measurement
+     * cost it induces shows up honestly in matrix_measurements /
+     * step_sims instead of being hidden.
+     */
+    long cache_evictions = 0;
     /// Number of candidate specs per operator.
     int candidate_count = 0;
 };

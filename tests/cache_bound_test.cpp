@@ -1,0 +1,432 @@
+/**
+ * @file
+ * Cache-governance tests: LRU eviction correctness of the
+ * common::LruMap/BoundedCache machinery (order, pinning, honest
+ * recounting of evicted keys), bounded-vs-unbounded bit-exactness of
+ * a real solve, per-layer budget enforcement observed through
+ * CacheStatsRequest, the torn-snapshot regression of
+ * ScheduleCache::stats() (TSan-exercised), eager epoch flushing, and
+ * queue-time-aware submit() latency.
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "api/serialize.hpp"
+#include "api/service.hpp"
+#include "common/bounded_cache.hpp"
+#include "cost/cost_model.hpp"
+#include "hw/wafer.hpp"
+#include "model/model_zoo.hpp"
+#include "net/schedule_cache.hpp"
+
+namespace temp {
+namespace {
+
+// ---------------------------------------------------------------
+// LruMap / BoundedCache unit behaviour
+// ---------------------------------------------------------------
+
+TEST(LruMap, EvictsLeastRecentlyUsedAndCountsEvictions)
+{
+    common::LruMap<int, int> map(2);
+    map.insert(1, 10);
+    map.insert(2, 20);
+    ASSERT_NE(map.touch(1), nullptr);  // 1 is now most recent
+    map.insert(3, 30);                 // evicts 2, the LRU entry
+    EXPECT_EQ(map.size(), 2u);
+    EXPECT_EQ(map.peek(2), nullptr);
+    ASSERT_NE(map.peek(1), nullptr);
+    EXPECT_EQ(*map.peek(1), 10);
+    ASSERT_NE(map.peek(3), nullptr);
+    EXPECT_EQ(map.evictions(), 1);
+
+    // Shrinking the budget evicts immediately (keeping the MRU).
+    map.setCapacity(1);
+    EXPECT_EQ(map.size(), 1u);
+    EXPECT_EQ(map.evictions(), 2);
+}
+
+TEST(LruMap, PinnedEntriesSurviveEvictionAndMruIsNeverDropped)
+{
+    common::LruMap<int, std::shared_ptr<int>> map(2);
+    map.setEvictable([](const std::shared_ptr<int> &v) {
+        return v.use_count() <= 1;  // pinned while a caller holds it
+    });
+    auto pinned_a = std::make_shared<int>(1);
+    auto pinned_b = std::make_shared<int>(2);
+    map.insert(1, pinned_a);
+    map.insert(2, pinned_b);
+    // Everything is pinned: the insert may transiently exceed the
+    // budget rather than drop live data, and the freshly inserted
+    // (MRU) entry is never evicted even though it is the only
+    // unpinned one.
+    auto [resident, inserted] = map.insert(3, std::make_shared<int>(3));
+    EXPECT_TRUE(inserted);
+    EXPECT_EQ(**resident, 3);  // the returned pointer stays valid
+    EXPECT_EQ(map.size(), 3u);
+    EXPECT_EQ(map.evictions(), 0);
+
+    // Unpinning makes the stale entries evictable on the next insert.
+    pinned_a.reset();
+    pinned_b.reset();
+    map.insert(4, std::make_shared<int>(4));
+    EXPECT_LE(map.size(), 2u);
+    EXPECT_GT(map.evictions(), 0);
+}
+
+TEST(BoundedCache, EvictedKeysRecountAsMissesHonestly)
+{
+    common::BoundedCache<std::string, int> cache(2);
+    EXPECT_FALSE(cache.get("a").has_value());  // miss 1
+    cache.insert("a", 1);
+    cache.insert("b", 2);
+    EXPECT_TRUE(cache.get("a").has_value());  // hit (a is now MRU)
+    cache.insert("c", 3);                     // evicts b
+    EXPECT_LE(cache.stats().entries, 2);
+    EXPECT_EQ(cache.stats().evictions, 1);
+
+    // The evicted key is gone and honestly recounts as a miss — the
+    // cache never pretends evicted work was free.
+    EXPECT_FALSE(cache.get("b").has_value());
+    const common::CacheStats stats = cache.stats();
+    EXPECT_EQ(stats.hits, 1);
+    EXPECT_EQ(stats.misses, 2);  // the cold "a" probe and the re-probe
+    EXPECT_GT(stats.bytes_est, 0);
+
+    // Unbounded caches never evict.
+    common::BoundedCache<std::string, int> unbounded;
+    for (int i = 0; i < 100; ++i)
+        unbounded.insert(std::to_string(i), i);
+    EXPECT_EQ(unbounded.stats().entries, 100);
+    EXPECT_EQ(unbounded.stats().evictions, 0);
+}
+
+// ---------------------------------------------------------------
+// Bounded solves: bit-exact results, budgets enforced end to end
+// ---------------------------------------------------------------
+
+core::FrameworkOptions
+fastOptions()
+{
+    core::FrameworkOptions options;
+    options.solver.ga_population = 8;
+    options.solver.ga_generations = 4;
+    options.eval_threads = 2;
+    return options;
+}
+
+/// The issue's acceptance budget: two entries per memo layer (the
+/// route pool gets room for its pinned entries — routes referenced by
+/// live flows are never dropped).
+common::CacheBudget
+tinyBudget()
+{
+    common::CacheBudget budget;
+    budget.max_eval_entries = 2;
+    budget.max_step_entries = 2;
+    budget.max_layout_entries = 2;
+    budget.max_schedule_entries = 2;
+    budget.max_route_entries = 1024;
+    return budget;
+}
+
+TEST(CacheBound, BudgetTwoSolveIsBitIdenticalToUnbounded)
+{
+    const model::ModelConfig model = model::modelByName("GPT-3 6.7B");
+    const hw::WaferConfig wafer = hw::WaferConfig::paperDefault();
+
+    const core::TempFramework unbounded(wafer, fastOptions());
+    const solver::SolverResult expected = unbounded.optimize(model);
+    ASSERT_TRUE(expected.feasible);
+    EXPECT_EQ(expected.cache_evictions, 0);  // default budgets: none
+
+    core::FrameworkOptions bounded_options = fastOptions();
+    bounded_options.cache = tinyBudget();
+    const core::TempFramework bounded(wafer, bounded_options);
+    const solver::SolverResult result = bounded.optimize(model);
+
+    // Eviction changes memory residency, never answers: every cached
+    // value is a pure function of its key, so recomputation is
+    // bit-identical.
+    ASSERT_TRUE(result.feasible);
+    EXPECT_EQ(result.per_op_specs, expected.per_op_specs);
+    EXPECT_DOUBLE_EQ(result.step_time_s, expected.step_time_s);
+    // ...and the budget pressure is honestly visible.
+    EXPECT_GT(result.cache_evictions, 0);
+
+    // A repeat on the bounded framework re-measures evicted cells and
+    // recounts them as measurements — unlike the unbounded repeat,
+    // which is served entirely from the memo stack.
+    const solver::SolverResult repeat = bounded.optimize(model);
+    EXPECT_EQ(repeat.per_op_specs, expected.per_op_specs);
+    EXPECT_DOUBLE_EQ(repeat.step_time_s, expected.step_time_s);
+    EXPECT_GT(repeat.matrix_measurements, 0);
+    const solver::SolverResult unbounded_repeat =
+        unbounded.optimize(model);
+    EXPECT_EQ(unbounded_repeat.matrix_measurements, 0);
+    EXPECT_EQ(unbounded_repeat.step_sims, 0);
+
+    // Every layer honours its budget ("layouts" aggregates the two
+    // layout caches — simulator + exact evaluator — so its bound is
+    // twice the per-cache budget).
+    for (const auto &[layer, stats] : bounded.cacheStats()) {
+        if (layer == "eval_breakdowns" || layer == "step_reports" ||
+            layer == "schedules")
+            EXPECT_LE(stats.entries, 2) << layer;
+        else if (layer == "layouts")
+            EXPECT_LE(stats.entries, 4) << layer;
+        EXPECT_GE(stats.entries, 0) << layer;
+    }
+}
+
+TEST(CacheBound, ServiceBudgetsHoldAfterEveryRequestAndEvictLru)
+{
+    api::ServiceOptions service_options;
+    service_options.cache.max_frameworks = 1;
+    api::TempService service(service_options);
+
+    core::FrameworkOptions options = fastOptions();
+    options.cache = tinyBudget();
+    const api::OptimizeRequest request{
+        model::modelByName("GPT-3 6.7B"),
+        hw::WaferConfig::paperDefault(), options};
+
+    const auto check_budgets = [&] {
+        const api::Response stats =
+            service.run(api::CacheStatsRequest{});
+        ASSERT_TRUE(stats.ok);
+        for (const api::CacheLayerStats &layer : stats.cache_layers) {
+            if (layer.layer == "service_frameworks")
+                EXPECT_LE(layer.stats.entries, 1);
+            else if (layer.layer == "eval_breakdowns" ||
+                     layer.layer == "step_reports" ||
+                     layer.layer == "schedules")
+                EXPECT_LE(layer.stats.entries, 2) << layer.layer;
+            else if (layer.layer == "layouts")
+                EXPECT_LE(layer.stats.entries, 4) << layer.layer;
+        }
+    };
+
+    const api::Response first = service.run(request);
+    ASSERT_TRUE(first.ok);
+    check_budgets();
+
+    // A second option set evicts the first framework (LRU, budget 1)...
+    api::OptimizeRequest other = request;
+    other.options.solver.seed = 99;
+    ASSERT_TRUE(service.run(other).ok);
+    check_budgets();
+    EXPECT_EQ(service.stats().frameworks_built, 2);
+
+    // ...and returning to the first recounts as a fresh build, not a
+    // phantom cache hit.
+    const api::Response again = service.run(request);
+    ASSERT_TRUE(again.ok);
+    EXPECT_FALSE(again.framework_reused);
+    EXPECT_EQ(service.stats().frameworks_built, 3);
+    check_budgets();
+
+    // The repeat against the *resident* framework reuses it — but its
+    // budget-2 memos evicted nearly everything, so the re-measurement
+    // is honestly reported instead of pretending a phantom cache hit.
+    const api::Response repeat = service.run(request);
+    EXPECT_TRUE(repeat.framework_reused);
+    EXPECT_GT(repeat.solver.matrix_measurements, 0);
+    EXPECT_GT(repeat.solver.cache_evictions, 0);
+    EXPECT_EQ(repeat.solver.per_op_specs, first.solver.per_op_specs);
+
+    // The stats response itself serializes with every layer present.
+    const std::string json =
+        api::toJson(service.run(api::CacheStatsRequest{}));
+    for (const char *layer :
+         {"service_frameworks", "service_pods", "eval_breakdowns",
+          "step_reports", "layouts", "schedules", "routes"})
+        EXPECT_NE(json.find(layer), std::string::npos) << layer;
+    EXPECT_NE(json.find("\"evictions\":"), std::string::npos);
+}
+
+// ---------------------------------------------------------------
+// ScheduleCache: consistent stats snapshots (the torn-read bug) and
+// eager epoch flushing
+// ---------------------------------------------------------------
+
+TEST(CacheBound, ScheduleCacheStatsSnapshotsAreConsistentUnderLoad)
+{
+    // Regression for the torn stats() snapshot: lowerings_ and hits_
+    // were read as two independent atomic loads, so a reader racing
+    // the lookup path could observe a hit whose sibling lowering was
+    // not yet visible, making interval deltas transiently dishonest.
+    // stats() now snapshots under the exclusive lock; this test runs
+    // lookups and polls concurrently (TSan-exercised in CI) and
+    // checks every snapshot's invariants.
+    hw::Wafer wafer(hw::WaferConfig::paperDefault());
+    net::Router router(wafer.topology(), &wafer.faults());
+    net::CollectiveScheduler scheduler(router);
+    net::ScheduleCache cache(scheduler);
+
+    constexpr int kUniqueTasks = 16;
+    constexpr int kLookupsPerThread = 400;
+    constexpr int kThreads = 4;
+
+    std::atomic<bool> done{false};
+    std::thread poller([&] {
+        net::ScheduleCacheStats last;
+        while (!done.load()) {
+            const net::ScheduleCacheStats snap = cache.stats();
+            // Monotonic counters, never more unique lowerings than
+            // unique tasks, and a hit rate that cannot exceed 1.
+            EXPECT_GE(snap.lowerings, last.lowerings);
+            EXPECT_GE(snap.hits, last.hits);
+            EXPECT_LE(snap.lowerings, kUniqueTasks);
+            EXPECT_LE(snap.hitRate(), 1.0);
+            const net::ScheduleCacheStats delta = snap - last;
+            EXPECT_GE(delta.lowerings, 0);
+            EXPECT_GE(delta.hits, 0);
+            last = snap;
+        }
+    });
+
+    std::vector<std::thread> workers;
+    for (int t = 0; t < kThreads; ++t) {
+        workers.emplace_back([&, t] {
+            for (int i = 0; i < kLookupsPerThread; ++i) {
+                net::CollectiveTask task;
+                task.kind = net::CollectiveKind::AllReduce;
+                task.group = {0, 1, 2, 3};
+                task.bytes = 1e6;
+                task.tag = (t + i) % kUniqueTasks;
+                cache.lowered(task, wafer.faultEpoch());
+            }
+        });
+    }
+    for (std::thread &w : workers)
+        w.join();
+    done.store(true);
+    poller.join();
+
+    // Quiesced: the books balance exactly.
+    const net::ScheduleCacheStats final_stats = cache.stats();
+    EXPECT_EQ(final_stats.lowerings + final_stats.hits,
+              static_cast<long>(kThreads) * kLookupsPerThread);
+    EXPECT_EQ(final_stats.lowerings, kUniqueTasks);
+}
+
+TEST(CacheBound, SetFaultsFlushesScheduleCacheAndRoutePoolEagerly)
+{
+    // Satellite: fault-injection sweeps must not retain a dead
+    // epoch's schedules/routes until some later lookup happens to
+    // notice the epoch moved.
+    hw::Wafer wafer(hw::WaferConfig::paperDefault());
+    cost::WaferCostModel model(
+        wafer, tcme::MappingPolicy{tcme::MappingEngineKind::TCME});
+
+    net::CollectiveTask task;
+    task.kind = net::CollectiveKind::AllReduce;
+    task.group = {0, 1, 2, 3};
+    task.bytes = 64e6;
+    (void)model.timeCollectiveTasks({task});
+    EXPECT_GT(model.scheduleCacheStats().entries, 0);
+    EXPECT_GT(model.routePoolStats().entries, 0);
+
+    hw::FaultMap faults(wafer.dieCount(), wafer.topology().linkCount());
+    faults.failLink(wafer.topology().linkId(1, 2));
+    wafer.setFaults(faults);
+
+    // No lookup has run since the injection: the dead epoch's entries
+    // are already gone.
+    EXPECT_EQ(model.scheduleCacheStats().entries, 0);
+    EXPECT_EQ(model.routePoolStats().entries, 0);
+
+    // And the next evaluation repopulates against the degraded fabric.
+    (void)model.timeCollectiveTasks({task});
+    EXPECT_GT(model.scheduleCacheStats().entries, 0);
+}
+
+TEST(CacheBound, BoundedScheduleCacheEvictsWithinEpochBitExactly)
+{
+    hw::Wafer wafer(hw::WaferConfig::paperDefault());
+    net::Router router(wafer.topology(), &wafer.faults());
+    net::CollectiveScheduler scheduler(router);
+    net::ScheduleCache unbounded(scheduler);
+    net::ScheduleCache bounded(scheduler);
+    bounded.setMaxEntries(2);
+
+    std::vector<net::CollectiveTask> tasks;
+    for (int size : {2, 4, 8, 16}) {
+        net::CollectiveTask task;
+        task.kind = net::CollectiveKind::AllReduce;
+        for (int i = 0; i < size; ++i)
+            task.group.push_back(i);
+        task.bytes = 1e6 * size;
+        tasks.push_back(std::move(task));
+    }
+    for (int rep = 0; rep < 3; ++rep) {
+        for (const net::CollectiveTask &task : tasks) {
+            const auto a = unbounded.lowered(task, wafer.faultEpoch());
+            const auto b = bounded.lowered(task, wafer.faultEpoch());
+            EXPECT_EQ(a->linkBytes(), b->linkBytes());
+            EXPECT_EQ(a->flowCount(), b->flowCount());
+            EXPECT_LE(bounded.size(), 2u);
+        }
+    }
+    EXPECT_GT(bounded.cacheStats().evictions, 0);
+    EXPECT_EQ(unbounded.cacheStats().evictions, 0);
+    // Unbounded: 4 lowerings, everything else hits. Bounded: the
+    // cyclic sweep defeats a 2-entry LRU, so re-lowerings recount
+    // honestly as misses.
+    EXPECT_EQ(unbounded.stats().lowerings, 4);
+    EXPECT_GT(bounded.stats().lowerings, 4);
+}
+
+// ---------------------------------------------------------------
+// submit() latency accounting
+// ---------------------------------------------------------------
+
+TEST(CacheBound, SubmitReportsQueueTimeAndEndToEndWallTime)
+{
+    api::ServiceOptions service_options;
+    service_options.request_threads = 2;
+    api::TempService service(service_options);
+
+    const model::ModelConfig model = model::modelByName("GPT-3 6.7B");
+    const hw::WaferConfig wafer = hw::WaferConfig::paperDefault();
+    const core::FrameworkOptions options = fastOptions();
+
+    parallel::ParallelSpec spec;
+    spec.dp = 4;
+    spec.tatp = 8;
+
+    // Synchronous run(): no queue, wall time is the execution span.
+    const api::Response sync =
+        service.run(api::StrategyRequest{model, wafer, options, spec});
+    ASSERT_TRUE(sync.ok);
+    EXPECT_EQ(sync.queue_time_s, 0.0);
+    EXPECT_GT(sync.wall_time_s, 0.0);
+
+    // submit(): wall time is measured from the enqueue, so it always
+    // covers the queue wait (the historical bug under-reported by
+    // exactly queue_time_s when the pool was busy).
+    std::vector<std::future<api::Response>> futures;
+    for (int i = 0; i < 4; ++i)
+        futures.push_back(service.submit(
+            api::StrategyRequest{model, wafer, options, spec}));
+    for (std::future<api::Response> &f : futures) {
+        const api::Response r = f.get();
+        ASSERT_TRUE(r.ok);
+        EXPECT_GE(r.queue_time_s, 0.0);
+        EXPECT_GE(r.wall_time_s, r.queue_time_s);
+        EXPECT_GT(r.wall_time_s, 0.0);
+    }
+
+    // queue_time_s is part of the JSON envelope.
+    const std::string json = api::toJson(sync);
+    EXPECT_NE(json.find("\"queue_time_s\":"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace temp

@@ -14,6 +14,11 @@
  *   faults      degraded-wafer re-optimisation (--link-rate, ...)
  *   multiwafer  pipeline plan on a wafer pod (--wafers, --pp, ...)
  *   sweep       ranked explicit-strategy line-up plus the solver pick
+ *   cache-stats run an optimize to warm the memo stack, then report
+ *               every cache layer's governance counters (entries,
+ *               bytes, hits, misses, evictions); pair with --opts
+ *               budget keys (eval.cache.max_entries, ...) to watch
+ *               bounded eviction live
  *
  * model: a zoo name ("GPT-3 6.7B") or a path/to/model.conf; options:
  *   --wafer FILE.conf   custom wafer (default: the Table I 4x8)
@@ -72,7 +77,9 @@ usage(const char *argv0)
         "(--link-rate R, --core-rate R, --seed N)\n"
         "  multiwafer  pipeline plan on a wafer pod "
         "(--wafers N, --pp N, --micro N, --dp/--tp/--sp/--tatp N)\n"
-        "  sweep       ranked explicit-strategy line-up + solver pick\n\n"
+        "  sweep       ranked explicit-strategy line-up + solver pick\n"
+        "  cache-stats optimize once, then report every cache "
+        "layer's counters\n\n"
         "model: zoo name (e.g. \"GPT-3 6.7B\") or path/to/model.conf\n"
         "options: --wafer FILE.conf, --opts FILE.conf,\n"
         "  --refiner none|genetic|annealing (level-2 search engine),\n"
@@ -440,6 +447,51 @@ runSweep(api::TempService &service, const CliArgs &args)
     return rows.empty() ? 1 : 0;
 }
 
+int
+runCacheStats(api::TempService &service, const CliArgs &args)
+{
+    // Warm the whole memo stack with one real solve so the counters
+    // describe a working service, then snapshot every layer.
+    api::OptimizeRequest warm{resolveModel(args, "GPT-3 6.7B"),
+                              resolveWafer(args), resolveOptions(args)};
+    const api::Response solve = service.run(warm);
+    const api::Response stats = service.run(api::CacheStatsRequest{});
+
+    if (args.json) {
+        // One document carrying both: the layers plus the warming
+        // solve's eviction-aware accounting.
+        std::printf("%s\n",
+                    api::JsonObject()
+                        .add("kind", "cache-stats")
+                        .add("model", warm.model.name)
+                        .add("warm_ok", solve.ok)
+                        .add("warm_cache_evictions",
+                             solve.solver.cache_evictions)
+                        .addRaw("response", api::toJson(stats))
+                        .str()
+                        .c_str());
+        return stats.ok && solve.ok ? 0 : 1;
+    }
+
+    std::printf("Cache governance — after one optimize of %s\n\n",
+                warm.model.name.c_str());
+    TablePrinter t({"Layer", "Entries", "Bytes(est)", "Hits", "Misses",
+                    "Evictions"});
+    for (const api::CacheLayerStats &layer : stats.cache_layers)
+        t.addRow({layer.layer, std::to_string(layer.stats.entries),
+                  std::to_string(layer.stats.bytes_est),
+                  std::to_string(layer.stats.hits),
+                  std::to_string(layer.stats.misses),
+                  std::to_string(layer.stats.evictions)});
+    t.print("Memo layers");
+    std::printf("\nSolve: %ld matrix measurements, %ld step sims, "
+                "%ld schedule lowerings, %ld evictions\n",
+                solve.solver.matrix_measurements, solve.solver.step_sims,
+                solve.solver.schedule_lowerings,
+                solve.solver.cache_evictions);
+    return stats.ok && solve.ok ? 0 : 1;
+}
+
 }  // namespace
 
 int
@@ -460,5 +512,7 @@ main(int argc, char **argv)
         return runMultiWafer(service, args);
     if (args.command == "sweep")
         return runSweep(service, args);
+    if (args.command == "cache-stats")
+        return runCacheStats(service, args);
     return usage(argv[0]);
 }
