@@ -1,0 +1,184 @@
+#include "common/kernels.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+/*
+ * Reduction-clause pragmas for the chunk extremes. max/min over the
+ * NaN-free lanes the kernels construct are exact and order-independent,
+ * so letting the vectorizer tree-reduce them cannot change bits — while
+ * a sequential W-long std::max/std::min chain would serialize each
+ * chunk behind ~W dependent-op latencies.
+ */
+#if TEMP_SIMD_ENABLED
+#define TEMP_PRAGMA_SIMD_DRAIN \
+    _Pragma("omp simd reduction(max : cmax) reduction(| : any_bad)")
+#define TEMP_PRAGMA_SIMD_MINRED _Pragma("omp simd reduction(min : cmin)")
+#else
+#define TEMP_PRAGMA_SIMD_DRAIN
+#define TEMP_PRAGMA_SIMD_MINRED
+#endif
+
+namespace temp::kernels {
+
+namespace {
+
+std::atomic<bool> g_simd_active{true};
+
+}  // namespace
+
+bool
+simdActive()
+{
+#if TEMP_SIMD_ENABLED
+    return g_simd_active.load(std::memory_order_relaxed);
+#else
+    return false;
+#endif
+}
+
+void
+setSimdActive(bool active)
+{
+    g_simd_active.store(active, std::memory_order_relaxed);
+}
+
+TEMP_NO_AUTOVEC MaxDrain
+maxDrainArgmaxScalar(const double *loads, const std::uint32_t *stamps,
+                     std::uint32_t epoch, const double *bandwidth, int n)
+{
+    MaxDrain r;
+    for (int i = 0; i < n; ++i) {
+        if (stamps[i] != epoch)
+            continue;
+        if (bandwidth[i] <= 0.0) {
+            r.dead_link = i;
+            return r;
+        }
+        const double drain = loads[i] / bandwidth[i];
+        if (drain > r.worst) {
+            r.worst = drain;
+            r.link = i;
+            r.link_load = loads[i];
+        }
+    }
+    return r;
+}
+
+MaxDrain
+maxDrainArgmaxSimd(const double *loads, const std::uint32_t *stamps,
+                   std::uint32_t epoch, const double *bandwidth, int n)
+{
+    MaxDrain r;
+    constexpr int W = 16;
+    double lane[W];
+    int i = 0;
+    for (; i + W <= n; i += W) {
+        // Blend untouched lanes to 0.0/1.0: 0.0 / 1.0 == +0.0 exactly,
+        // the identity of a max over non-negative drains, and it keeps
+        // untouched dead links (bandwidth 0) from producing NaN lanes.
+        // The chunk max rides the pragma's max-reduction — exact and
+        // order-independent for the NaN-free lanes this blend produces
+        // (a sequential W-long std::max chain would serialize the whole
+        // scan behind its dependency latency).
+        double cmax = 0.0;
+        std::int32_t any_bad = 0;
+        TEMP_PRAGMA_SIMD_DRAIN
+        for (int k = 0; k < W; ++k) {
+            const bool touched = stamps[i + k] == epoch;
+            const double l = touched ? loads[i + k] : 0.0;
+            const double b = touched ? bandwidth[i + k] : 1.0;
+            const double drain = l / b;
+            lane[k] = drain;
+            any_bad |= (touched && bandwidth[i + k] <= 0.0) ? 1 : 0;
+            cmax = drain > cmax ? drain : cmax;
+        }
+        if (any_bad != 0) {
+            for (int k = 0; k < W; ++k) {
+                if (stamps[i + k] == epoch && bandwidth[i + k] <= 0.0) {
+                    r.dead_link = i + k;
+                    return r;
+                }
+            }
+        }
+        // The sequential strictly-greater scan inside the chunk
+        // reproduces the scalar first-attainment tie-break.
+        if (cmax > r.worst) {
+            for (int k = 0; k < W; ++k) {
+                if (lane[k] > r.worst) {
+                    r.worst = lane[k];
+                    r.link = i + k;
+                    r.link_load = loads[i + k];
+                }
+            }
+        }
+    }
+    for (; i < n; ++i) {
+        if (stamps[i] != epoch)
+            continue;
+        if (bandwidth[i] <= 0.0) {
+            r.dead_link = i;
+            return r;
+        }
+        const double drain = loads[i] / bandwidth[i];
+        if (drain > r.worst) {
+            r.worst = drain;
+            r.link = i;
+            r.link_load = loads[i];
+        }
+    }
+    return r;
+}
+
+TEMP_NO_AUTOVEC MinPlus
+minPlusArgminScalar(const double *prev, const double *trans, double c, int n)
+{
+    MinPlus r;
+    for (int p = 0; p < n; ++p) {
+        const double v = (prev[p] + trans[p]) + c;
+        if (v < r.value) {
+            r.value = v;
+            r.index = p;
+        }
+    }
+    return r;
+}
+
+MinPlus
+minPlusArgminSimd(const double *prev, const double *trans, double c, int n)
+{
+    MinPlus r;
+    constexpr int W = 16;
+    double lane[W];
+    int i = 0;
+    for (; i + W <= n; i += W) {
+        // +inf lanes (infeasible predecessors) are the min identity; no
+        // NaNs can form (trans and c are finite, prev is finite or
+        // +inf), so the min-reduction is exact.
+        double cmin = std::numeric_limits<double>::infinity();
+        TEMP_PRAGMA_SIMD_MINRED
+        for (int k = 0; k < W; ++k) {
+            const double v = (prev[i + k] + trans[i + k]) + c;
+            lane[k] = v;
+            cmin = v < cmin ? v : cmin;
+        }
+        if (cmin < r.value) {
+            for (int k = 0; k < W; ++k) {
+                if (lane[k] < r.value) {
+                    r.value = lane[k];
+                    r.index = i + k;
+                }
+            }
+        }
+    }
+    for (; i < n; ++i) {
+        const double v = (prev[i] + trans[i]) + c;
+        if (v < r.value) {
+            r.value = v;
+            r.index = i;
+        }
+    }
+    return r;
+}
+
+}  // namespace temp::kernels

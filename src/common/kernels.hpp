@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Data-oriented evaluation kernels: the vectorizable inner loops of the
+ * cost stack (contention drain scan, DP row minimisation, fused load
+ * deposits), each with a reference scalar twin and a runtime dispatch.
+ *
+ * Bit-exactness contract: a SIMD kernel and its scalar twin must return
+ * *identical bits* for identical inputs, not merely close values. The
+ * kernels guarantee this by construction:
+ *
+ *  - only exact IEEE operations are vectorized (max/min, per-element
+ *    division, independent per-element adds). Order-dependent sums stay
+ *    in their sequential order; lanes never reassociate an accumulation
+ *    chain.
+ *  - argmax/argmin tie-breaking is "first index attaining the extreme",
+ *    which equals the sequential strictly-greater/strictly-less scan.
+ *    Vector paths find a chunk extreme (exact), then resolve the index
+ *    with the same sequential comparison inside the chunk.
+ *  - masked lanes are blended with identity values (`0.0` for max-of-
+ *    nonnegatives, `+inf` for min), which cannot perturb the result.
+ *  - kernel translation units are built with `-ffp-contract=off`
+ *    (see the top-level CMakeLists), so no multiply-add is contracted
+ *    into an FMA on hosts that have one.
+ *
+ * Compile-time gate: the `TEMP_SIMD` CMake option (default ON) defines
+ * `TEMP_SIMD=1` and adds `-fopenmp-simd`, turning `TEMP_PRAGMA_SIMD`
+ * into `#pragma omp simd`. With the option OFF the pragma is empty and
+ * dispatch always takes the scalar twin. Runtime gate: setSimdActive()
+ * flips dispatch without rebuilding (tests assert both paths agree on
+ * the same binary).
+ */
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#if defined(TEMP_SIMD) && TEMP_SIMD
+#define TEMP_SIMD_ENABLED 1
+#define TEMP_PRAGMA_SIMD _Pragma("omp simd")
+#else
+#define TEMP_SIMD_ENABLED 0
+#define TEMP_PRAGMA_SIMD
+#endif
+
+/*
+ * The scalar twins are honest baselines: the compiler must not quietly
+ * auto-vectorize them, or the micro_kernels bench would compare SIMD
+ * against SIMD and the "never slower than scalar" bar would measure
+ * noise. (Correctness never depends on this — the twins are bit-exact
+ * either way.)
+ */
+#if defined(__clang__)
+#define TEMP_NO_AUTOVEC
+#elif defined(__GNUC__)
+#define TEMP_NO_AUTOVEC __attribute__((optimize("no-tree-vectorize")))
+#else
+#define TEMP_NO_AUTOVEC
+#endif
+
+namespace temp::kernels {
+
+/// True when dispatch takes the vector path (compile-time gate AND the
+/// runtime flag). Always false in TEMP_SIMD=OFF builds.
+bool simdActive();
+
+/// Flips the runtime dispatch flag (tests compare both paths in one
+/// binary). No-op in TEMP_SIMD=OFF builds.
+void setSimdActive(bool active);
+
+// --------------------------------------------------------------------
+// Drain scan: the contention model's bottleneck search.
+// --------------------------------------------------------------------
+
+/// Result of a max-drain scan over epoch-stamped per-link loads.
+struct MaxDrain
+{
+    double worst = 0.0;          ///< max load/bandwidth over stamped links
+    std::int32_t link = -1;      ///< first link attaining `worst` (>0)
+    double link_load = 0.0;      ///< load on that link
+    std::int32_t dead_link = -1; ///< first stamped link with bw <= 0
+};
+
+/**
+ * Scans links [0, n) in id order; links whose stamp matches `epoch`
+ * contribute drain = loads[i] / bandwidth[i]. Returns the strictly-
+ * greater first maximum (identical tie-breaking to a sorted-touched
+ * scan, since sorted touched ids are id order). A stamped link with
+ * non-positive bandwidth stops the scan and reports `dead_link` (the
+ * caller panics; the partially-filled result is never observed).
+ */
+MaxDrain maxDrainArgmaxScalar(const double *loads,
+                              const std::uint32_t *stamps,
+                              std::uint32_t epoch, const double *bandwidth,
+                              int n);
+MaxDrain maxDrainArgmaxSimd(const double *loads, const std::uint32_t *stamps,
+                            std::uint32_t epoch, const double *bandwidth,
+                            int n);
+
+inline MaxDrain
+maxDrainArgmax(const double *loads, const std::uint32_t *stamps,
+               std::uint32_t epoch, const double *bandwidth, int n)
+{
+    return simdActive()
+               ? maxDrainArgmaxSimd(loads, stamps, epoch, bandwidth, n)
+               : maxDrainArgmaxScalar(loads, stamps, epoch, bandwidth, n);
+}
+
+// --------------------------------------------------------------------
+// DP row minimisation: the DLS level-1 matrix fill.
+// --------------------------------------------------------------------
+
+/// Result of a min-plus row scan.
+struct MinPlus
+{
+    double value = std::numeric_limits<double>::infinity();
+    std::int32_t index = -1;  ///< first index attaining `value`; -1 when
+                              ///< every element is +inf
+};
+
+/**
+ * Minimises `(prev[p] + trans[p]) + c` over p in [0, n) with the
+ * strictly-less first-minimum rule. The element expression keeps the
+ * DP's exact association (adding `c` per element, not after the min):
+ * post-add rounding can create ties that a pre-add comparison would
+ * break differently. +inf entries (infeasible predecessors) lose every
+ * strict comparison, matching the former `continue` skip.
+ */
+MinPlus minPlusArgminScalar(const double *prev, const double *trans,
+                            double c, int n);
+MinPlus minPlusArgminSimd(const double *prev, const double *trans, double c,
+                          int n);
+
+inline MinPlus
+minPlusArgmin(const double *prev, const double *trans, double c, int n)
+{
+    return simdActive() ? minPlusArgminSimd(prev, trans, c, n)
+                        : minPlusArgminScalar(prev, trans, c, n);
+}
+
+// --------------------------------------------------------------------
+// Fused load deposit.
+// --------------------------------------------------------------------
+
+/**
+ * Deposits `bytes` on each link of one route into an epoch-stamped
+ * dense load array: a stale stamp is claimed and the load *set* (no
+ * O(links) zeroing pass between phases), a current stamp accumulates.
+ * Deliberately scalar: routes may revisit a link (waypoint detours), so
+ * the scatter has intra-route conflicts a vector lane must not race.
+ * The win here is layout, not lanes — the SoA caller reads `links`
+ * contiguously instead of chasing per-flow Route pointers.
+ */
+template <typename Index>
+inline void
+depositLinks(double *loads, std::uint32_t *stamps, std::uint32_t epoch,
+             const Index *links, int n, double bytes)
+{
+    for (int k = 0; k < n; ++k) {
+        const Index link = links[k];
+        if (stamps[link] != epoch) {
+            stamps[link] = epoch;
+            loads[link] = bytes;
+        } else {
+            loads[link] += bytes;
+        }
+    }
+}
+
+}  // namespace temp::kernels

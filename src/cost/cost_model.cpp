@@ -104,7 +104,9 @@ WaferCostModel::timeCollectiveTasks(
     net::CommSchedule combined = net::CommSchedule::combine(parts);
 
     if (policy_.contentionOptimization())
-        optimizer_.optimize(combined);
+        optimizer_.optimize(combined);  // finalizes its rebuilt arena
+    else
+        combined.finalize();
 
     if (link_bytes != nullptr)
         *link_bytes += combined.linkBytes();

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/logging.hpp"
+#include "cost/breakdown_reduce.hpp"
 
 namespace temp::eval {
 
@@ -76,7 +77,6 @@ SurrogateEvaluator::fillMatrix(const model::ComputeGraph &graph,
 {
     const int n_ops = graph.opCount();
     const int n_cand = static_cast<int>(candidates.size());
-    const double inf = std::numeric_limits<double>::infinity();
 
     MatrixFill fill;
     fill.cost.assign(n_ops, std::vector<double>(n_cand, 0.0));
@@ -104,11 +104,13 @@ SurrogateEvaluator::fillMatrix(const model::ComputeGraph &graph,
         exact_.evaluateBatch(graph, sampled);
     fill.sampled = static_cast<long>(sampled.size());
 
+    std::vector<double> measured_totals(measured.size());
+    cost::breakdownTotals(measured, measured_totals.data());
+
     std::vector<cost::CostSample> train;
     for (std::size_t k = 0; k < sampled_cells.size(); ++k) {
         const auto [i, s] = sampled_cells[k];
-        const double exact =
-            measured[k].feasible ? measured[k].total() : inf;
+        const double exact = measured_totals[k];
         fill.cost[i][s] = exact;
         if (std::isfinite(exact)) {
             cost::CostSample sample;
@@ -161,10 +163,11 @@ SurrogateEvaluator::fillMatrix(const model::ComputeGraph &graph,
             requests.push_back({i, candidates[s], true});
         const std::vector<cost::OpCostBreakdown> exact =
             exact_.evaluateBatch(graph, requests);
+        std::vector<double> fallback_totals(exact.size());
+        cost::breakdownTotals(exact, fallback_totals.data());
         for (std::size_t k = 0; k < fallback_cells.size(); ++k) {
             const auto [i, s] = fallback_cells[k];
-            fill.cost[i][s] =
-                exact[k].feasible ? exact[k].total() : inf;
+            fill.cost[i][s] = fallback_totals[k];
         }
         fill.exact_fallbacks +=
             static_cast<long>(fallback_cells.size());

@@ -21,8 +21,36 @@ collectiveKindName(CollectiveKind kind)
 }
 
 void
+CommSchedule::finalize()
+{
+    if (soa_valid_)
+        return;
+    const std::size_t n = flows_.size();
+    soa_.bytes.resize(n);
+    soa_.hops.resize(n);
+    soa_.link_begin.resize(n + 1);
+    std::size_t total_links = 0;
+    for (const Flow &flow : flows_)
+        total_links += flow.route.links().size();
+    soa_.links.clear();
+    soa_.links.reserve(total_links);
+    for (std::size_t f = 0; f < n; ++f) {
+        const Flow &flow = flows_[f];
+        const std::vector<LinkId> &links = flow.route.links();
+        soa_.bytes[f] = flow.bytes;
+        soa_.hops[f] = static_cast<std::int32_t>(links.size());
+        soa_.link_begin[f] =
+            static_cast<std::uint32_t>(soa_.links.size());
+        soa_.links.insert(soa_.links.end(), links.begin(), links.end());
+    }
+    soa_.link_begin[n] = static_cast<std::uint32_t>(soa_.links.size());
+    soa_valid_ = true;
+}
+
+void
 CommSchedule::append(const CommSchedule &other)
 {
+    soa_valid_ = false;
     const std::uint32_t base = static_cast<std::uint32_t>(flows_.size());
     flows_.insert(flows_.end(), other.flows_.begin(), other.flows_.end());
     round_end_.reserve(round_end_.size() + other.round_end_.size());

@@ -48,6 +48,31 @@ struct CollectiveTask
 };
 
 /**
+ * Structure-of-arrays view of a schedule's flow arena: parallel per-flow
+ * `bytes`/`hops` columns plus all route links concatenated behind a
+ * `link_begin` offset column (flow f's links are
+ * links[link_begin[f] .. link_begin[f+1])). Contention evaluation walks
+ * these contiguous arrays instead of chasing each flow's pooled Route
+ * pointer; see src/net/README.md for the layout and dispatch rules.
+ */
+struct FlowSoa
+{
+    std::vector<double> bytes;              ///< per flow
+    std::vector<std::int32_t> hops;         ///< per flow (route length)
+    std::vector<std::uint32_t> link_begin;  ///< per flow + end sentinel
+    std::vector<LinkId> links;              ///< concatenated route links
+
+    /// Heap footprint (cache byte-budget accounting).
+    std::size_t byteSize() const
+    {
+        return bytes.capacity() * sizeof(double) +
+               hops.capacity() * sizeof(std::int32_t) +
+               link_begin.capacity() * sizeof(std::uint32_t) +
+               links.capacity() * sizeof(LinkId);
+    }
+};
+
+/**
  * Ordered rounds of concurrent flows realising one or more collectives.
  *
  * Flows live in one contiguous arena; rounds are offset spans into it.
@@ -55,6 +80,11 @@ struct CollectiveTask
  * of per-round vector allocations (the former vector<vector<Flow>>
  * shape), which matters because schedules are built and walked millions
  * of times across a DP matrix fill.
+ *
+ * A *finalized* schedule additionally carries a FlowSoa view of the
+ * arena, the layout the contention model's deposit loop prefers. Any
+ * arena mutation invalidates the view; long-lived schedules (schedule
+ * cache entries, optimizer output) re-finalize once after building.
  */
 class CommSchedule
 {
@@ -65,9 +95,37 @@ class CommSchedule
     /// by faults); the schedule's cost is then infinite.
     bool feasible = true;
 
+    CommSchedule() = default;
+    // Copies drop the SoA view instead of duplicating it: the only
+    // copied schedules are cache entries about to be rewritten by the
+    // traffic optimizer, which re-finalizes after its rebuild.
+    CommSchedule(const CommSchedule &other)
+        : payload_bytes(other.payload_bytes), feasible(other.feasible),
+          flows_(other.flows_), round_end_(other.round_end_)
+    {
+    }
+    CommSchedule &operator=(const CommSchedule &other)
+    {
+        if (this != &other) {
+            payload_bytes = other.payload_bytes;
+            feasible = other.feasible;
+            flows_ = other.flows_;
+            round_end_ = other.round_end_;
+            soa_ = FlowSoa{};
+            soa_valid_ = false;
+        }
+        return *this;
+    }
+    CommSchedule(CommSchedule &&) = default;
+    CommSchedule &operator=(CommSchedule &&) = default;
+
     // --- building -----------------------------------------------------
     /// Appends a flow to the round under construction.
-    void addFlow(Flow flow) { flows_.push_back(std::move(flow)); }
+    void addFlow(Flow flow)
+    {
+        soa_valid_ = false;
+        flows_.push_back(std::move(flow));
+    }
 
     /// Seals the round under construction (flows added since the last
     /// seal); an empty round is legal but usually skipped by callers.
@@ -94,9 +152,19 @@ class CommSchedule
     void assign(std::vector<Flow> flows,
                 std::vector<std::uint32_t> round_end)
     {
+        soa_valid_ = false;
         flows_ = std::move(flows);
         round_end_ = std::move(round_end);
     }
+
+    /**
+     * Builds (or rebuilds) the SoA view of the current arena.
+     * Idempotent; call once after the arena stops mutating. The AoS
+     * arena stays authoritative — the view is a derived, redundant
+     * layout, and evaluation of a non-finalized schedule simply walks
+     * the arena.
+     */
+    void finalize();
 
     // --- access -------------------------------------------------------
     int roundCount() const { return static_cast<int>(round_end_.size()); }
@@ -109,8 +177,27 @@ class CommSchedule
     }
     std::span<Flow> round(int r)
     {
+        // Callers may rewrite flows through this span.
+        soa_valid_ = false;
         const std::uint32_t begin = r > 0 ? round_end_[r - 1] : 0;
         return {flows_.data() + begin, round_end_[r] - begin};
+    }
+
+    /// Flow-index bounds of round r in the arena (and the SoA columns).
+    std::uint32_t roundBegin(int r) const
+    {
+        return r > 0 ? round_end_[r - 1] : 0;
+    }
+    std::uint32_t roundEnd(int r) const { return round_end_[r]; }
+
+    /// True when the SoA view matches the arena.
+    bool soaReady() const { return soa_valid_; }
+    /// The SoA view (meaningful only when soaReady()).
+    const FlowSoa &soa() const { return soa_; }
+    /// Heap bytes held by the SoA view (cache byte estimates).
+    std::size_t soaByteEstimate() const
+    {
+        return soa_valid_ ? soa_.byteSize() : 0;
     }
 
     /// The whole flow arena (all rounds, in round order).
@@ -137,6 +224,8 @@ class CommSchedule
     std::vector<Flow> flows_;
     /// round r = flows_[round_end_[r-1] .. round_end_[r]).
     std::vector<std::uint32_t> round_end_;
+    FlowSoa soa_;             ///< derived view, see finalize()
+    bool soa_valid_ = false;  ///< soa_ matches flows_
 };
 
 /// A multicast tree: the union of routes from a root to many leaves.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/kernels.hpp"
 #include "common/logging.hpp"
 #include "net/collective.hpp"
 
@@ -10,13 +11,21 @@ namespace temp::net {
 void
 LinkLoadMap::add(const Route &route, double bytes)
 {
-    for (LinkId link : route.links)
+    for (LinkId link : route.links) {
+        if (marked_[link] == 0) {
+            marked_[link] = 1;
+            touched_.push_back(link);
+        }
         loads_[link] += bytes;
+    }
 }
 
 void
 LinkLoadMap::remove(const Route &route, double bytes)
 {
+    // The mark stays: dropping it would need an O(touched) membership
+    // check per re-add, and a removed-to-zero link still contributes an
+    // exact +0.0 to the stats scans.
     for (LinkId link : route.links) {
         loads_[link] -= bytes;
         if (loads_[link] < 0.0)
@@ -27,14 +36,22 @@ LinkLoadMap::remove(const Route &route, double bytes)
 LinkId
 LinkLoadMap::maxLoadLink() const
 {
+    // The former dense scan returned the smallest link id among the
+    // maxima (ascending order + strictly-greater). The touched list is
+    // insertion-ordered, so ties break on the id explicitly.
     LinkId best = -1;
     double best_load = -1.0;
-    for (LinkId link = 0; link < linkCount(); ++link) {
-        if (loads_[link] > best_load) {
-            best_load = loads_[link];
+    for (LinkId link : touched_) {
+        const double load = loads_[link];
+        if (load > best_load || (load == best_load && link < best)) {
+            best_load = load;
             best = link;
         }
     }
+    // All-zero loads: the dense scan picked link 0 (0.0 > -1.0 at the
+    // first link), whether or not anything was ever touched.
+    if (best_load <= 0.0)
+        return linkCount() > 0 ? 0 : -1;
     return best;
 }
 
@@ -42,17 +59,22 @@ double
 LinkLoadMap::maxLoad() const
 {
     double best = 0.0;
-    for (double load : loads_)
-        best = std::max(best, load);
+    for (LinkId link : touched_)
+        best = std::max(best, loads_[link]);
     return best;
 }
 
 double
 LinkLoadMap::totalLoad() const
 {
+    // Summed in ascending link order, exactly like the former dense
+    // scan: untouched links contributed +0.0, the identity on this
+    // non-negative accumulation, so skipping them is bit-identical.
+    std::vector<LinkId> ordered(touched_);
+    std::sort(ordered.begin(), ordered.end());
     double total = 0.0;
-    for (double load : loads_)
-        total += load;
+    for (LinkId link : ordered)
+        total += loads_[link];
     return total;
 }
 
@@ -60,8 +82,8 @@ int
 LinkLoadMap::activeLinkCount() const
 {
     int active = 0;
-    for (double load : loads_)
-        if (load > 0.0)
+    for (LinkId link : touched_)
+        if (loads_[link] > 0.0)
             ++active;
     return active;
 }
@@ -69,37 +91,31 @@ LinkLoadMap::activeLinkCount() const
 namespace {
 
 /**
- * Per-thread scratch for phase evaluation: a dense load vector plus the
- * list of links actually touched, so one phase costs O(flows * hops) to
- * clear instead of O(links) to allocate and zero. The invariant between
- * uses is "loads all zero", maintained by resetting exactly the touched
- * links before returning.
+ * Per-thread scratch for phase evaluation: a dense load vector gated by
+ * an epoch stamp per link. Depositing into a stale-stamped link claims
+ * it (set, not add), so neither a zeroing pass nor a touched list is
+ * needed between phases; the drain scan reads the stamps to skip
+ * untouched links in id order (the same order the former
+ * sort(touched) produced).
  */
 struct PhaseScratch
 {
     std::vector<double> loads;
-    std::vector<LinkId> touched;
+    std::vector<std::uint32_t> stamp;
+    std::uint32_t epoch = 0;
 
     void prepare(int link_count)
     {
-        if (static_cast<int>(loads.size()) < link_count)
+        if (static_cast<int>(loads.size()) < link_count) {
             loads.resize(link_count, 0.0);
-        touched.clear();
-    }
-
-    void deposit(const Route &route, double bytes)
-    {
-        for (LinkId link : route.links) {
-            if (loads[link] == 0.0)
-                touched.push_back(link);
-            loads[link] += bytes;
+            stamp.resize(link_count, 0);
         }
-    }
-
-    void reset()
-    {
-        for (LinkId link : touched)
-            loads[link] = 0.0;
+        if (++epoch == 0) {
+            // Stamp wraparound: clear so no stale stamp aliases the
+            // recycled epoch value.
+            std::fill(stamp.begin(), stamp.end(), 0u);
+            epoch = 1;
+        }
     }
 };
 
@@ -155,6 +171,35 @@ ContentionModel::refresh() const
     snapshot_epoch_.store(epoch, std::memory_order_release);
 }
 
+namespace {
+
+/// Folds the drain scan's result into a deposited phase's timing.
+void
+finishDrain(PhaseTiming &timing, const PhaseScratch &scratch,
+            const double *bandwidth, int link_count,
+            double hop_latency_s, double fabric_capacity)
+{
+    const kernels::MaxDrain r = kernels::maxDrainArgmax(
+        scratch.loads.data(), scratch.stamp.data(), scratch.epoch,
+        bandwidth, link_count);
+    if (r.dead_link >= 0)
+        panic("ContentionModel: flow routed over dead link %d",
+              r.dead_link);
+    timing.serial_time_s = r.worst;
+    timing.bottleneck_link = r.link;
+    timing.bottleneck_bytes = r.link_load;
+    timing.time_s = r.worst + timing.max_hops * hop_latency_s;
+
+    // Aggregate utilisation: bytes-hops actually moved vs. what the whole
+    // fabric could move during the phase.
+    if (timing.time_s > 0.0 && fabric_capacity > 0.0) {
+        timing.bandwidth_utilization =
+            timing.link_bytes / (fabric_capacity * timing.time_s);
+    }
+}
+
+}  // namespace
+
 PhaseTiming
 ContentionModel::evaluate(std::span<const Flow> flows) const
 {
@@ -168,39 +213,45 @@ ContentionModel::evaluate(std::span<const Flow> flows) const
     for (const Flow &flow : flows) {
         if (flow.bytes <= 0.0)
             continue;
-        scratch.deposit(*flow.route, flow.bytes);
+        const std::vector<LinkId> &links = flow.route.links();
+        kernels::depositLinks(scratch.loads.data(), scratch.stamp.data(),
+                              scratch.epoch, links.data(),
+                              static_cast<int>(links.size()), flow.bytes);
         timing.total_bytes += flow.bytes;
         timing.link_bytes += flow.bytes * flow.route.hops();
         timing.max_hops = std::max(timing.max_hops, flow.route.hops());
     }
+    finishDrain(timing, scratch, link_bandwidth_.data(), topo_.linkCount(),
+                hop_latency_s_, fabric_capacity_);
+    return timing;
+}
 
-    // Drain time of the most congested link dictates the bandwidth term.
-    // Touched links are scanned in id order so tie-breaking matches the
-    // former dense scan.
-    std::sort(scratch.touched.begin(), scratch.touched.end());
-    double worst = 0.0;
-    for (LinkId link : scratch.touched) {
-        const double load = scratch.loads[link];
-        const double bw = link_bandwidth_[link];
-        if (bw <= 0.0)
-            panic("ContentionModel: flow routed over dead link %d", link);
-        const double drain = load / bw;
-        if (drain > worst) {
-            worst = drain;
-            timing.bottleneck_link = link;
-            timing.bottleneck_bytes = load;
-        }
-    }
-    scratch.reset();
-    timing.serial_time_s = worst;
-    timing.time_s = worst + timing.max_hops * hop_latency_s_;
+PhaseTiming
+ContentionModel::evaluateSoaRound(const FlowSoa &soa, std::uint32_t begin,
+                                  std::uint32_t end) const
+{
+    PhaseTiming timing;
+    if (begin == end)
+        return timing;
 
-    // Aggregate utilisation: bytes-hops actually moved vs. what the whole
-    // fabric could move during the phase.
-    if (timing.time_s > 0.0 && fabric_capacity_ > 0.0) {
-        timing.bandwidth_utilization =
-            timing.link_bytes / (fabric_capacity_ * timing.time_s);
+    PhaseScratch &scratch = phaseScratch();
+    scratch.prepare(topo_.linkCount());
+    for (std::uint32_t f = begin; f < end; ++f) {
+        const double bytes = soa.bytes[f];
+        if (bytes <= 0.0)
+            continue;
+        const std::uint32_t lb = soa.link_begin[f];
+        const std::uint32_t le = soa.link_begin[f + 1];
+        kernels::depositLinks(scratch.loads.data(), scratch.stamp.data(),
+                              scratch.epoch, soa.links.data() + lb,
+                              static_cast<int>(le - lb), bytes);
+        timing.total_bytes += bytes;
+        timing.link_bytes += bytes * soa.hops[f];
+        timing.max_hops =
+            std::max<int>(timing.max_hops, soa.hops[f]);
     }
+    finishDrain(timing, scratch, link_bandwidth_.data(), topo_.linkCount(),
+                hop_latency_s_, fabric_capacity_);
     return timing;
 }
 
@@ -231,9 +282,19 @@ ContentionModel::evaluateSequence(const CommSchedule &schedule) const
     refresh();
     PhaseTiming total;
     double busy_capacity_time = 0.0;
-    for (int r = 0; r < schedule.roundCount(); ++r) {
-        accumulatePhase(total, evaluate(schedule.round(r)),
-                        fabric_capacity_, busy_capacity_time);
+    if (schedule.soaReady()) {
+        const FlowSoa &soa = schedule.soa();
+        for (int r = 0; r < schedule.roundCount(); ++r) {
+            accumulatePhase(total,
+                            evaluateSoaRound(soa, schedule.roundBegin(r),
+                                             schedule.roundEnd(r)),
+                            fabric_capacity_, busy_capacity_time);
+        }
+    } else {
+        for (int r = 0; r < schedule.roundCount(); ++r) {
+            accumulatePhase(total, evaluate(schedule.round(r)),
+                            fabric_capacity_, busy_capacity_time);
+        }
     }
     if (busy_capacity_time > 0.0)
         total.bandwidth_utilization = total.link_bytes / busy_capacity_time;

@@ -12,9 +12,12 @@
  *
  * The model is on the innermost loop of every cost query, so it avoids
  * indirection: per-link bandwidth is a precomputed flat vector (rebuilt
- * when the wafer's fault epoch changes), not a callback per link, and
- * phase evaluation reuses a thread-local scratch load map instead of
- * allocating one per phase.
+ * when the wafer's fault epoch changes), not a callback per link; phase
+ * evaluation deposits into a thread-local epoch-stamped scratch (no
+ * per-phase zeroing or allocation) and finds the bottleneck with the
+ * vectorized drain scan from common/kernels.hpp; and schedules that
+ * carry a finalized SoA view (see CommSchedule::finalize) are walked
+ * through contiguous arrays instead of per-flow route pointers.
  */
 #pragma once
 
@@ -34,6 +37,7 @@
 namespace temp::net {
 
 class CommSchedule;
+struct FlowSoa;
 
 /// One point-to-point transfer taking part in a phase.
 struct Flow
@@ -48,11 +52,23 @@ struct Flow
     int tag = 0;
 };
 
-/// Per-link accumulated byte loads.
+/**
+ * Per-link accumulated byte loads.
+ *
+ * Tracks the set of links that ever carried load so the stats queries
+ * (maxLoadLink / maxLoad / totalLoad / activeLinkCount) scan O(active)
+ * entries instead of the full linkCount() — the optimizer calls
+ * maxLoadLink once per iteration while only a group's worth of links is
+ * loaded. Results are identical to the former dense scans (totalLoad
+ * sums in ascending link order; untouched links contribute exact +0.0).
+ */
 class LinkLoadMap
 {
   public:
-    explicit LinkLoadMap(int link_count) : loads_(link_count, 0.0) {}
+    explicit LinkLoadMap(int link_count)
+        : loads_(link_count, 0.0), marked_(link_count, 0)
+    {
+    }
 
     /// Adds a flow's bytes to every link on its route.
     void add(const Route &route, double bytes);
@@ -82,8 +98,17 @@ class LinkLoadMap
 
     int linkCount() const { return static_cast<int>(loads_.size()); }
 
+    /// Number of links that ever carried load (the stats-scan bound;
+    /// a removed-to-zero link stays counted).
+    int touchedLinkCount() const
+    {
+        return static_cast<int>(touched_.size());
+    }
+
   private:
     std::vector<double> loads_;
+    std::vector<std::uint8_t> marked_;  ///< 1 once a link carried load
+    std::vector<LinkId> touched_;       ///< marked links, insertion order
 };
 
 /// Result of evaluating one communication phase.
@@ -132,7 +157,9 @@ class ContentionModel
         return evaluate(std::span<const Flow>(flows));
     }
 
-    /// Evaluates a schedule's rounds as dependent phases.
+    /// Evaluates a schedule's rounds as dependent phases. Takes the
+    /// contiguous SoA deposit path when the schedule is finalized, the
+    /// per-flow route-pointer path otherwise; both are bit-identical.
     PhaseTiming evaluateSequence(const CommSchedule &schedule) const;
 
     /// Evaluates a sequence of dependent phases (e.g. collective rounds).
@@ -161,6 +188,10 @@ class ContentionModel
     }
 
   private:
+    /// Evaluates one round of a finalized schedule through its SoA view.
+    PhaseTiming evaluateSoaRound(const FlowSoa &soa, std::uint32_t begin,
+                                 std::uint32_t end) const;
+
     /**
      * Re-snapshots per-link bandwidth when the bound wafer's fault
      * epoch moved. No-op (one relaxed load + compare) on the hot path.

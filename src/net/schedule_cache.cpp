@@ -79,7 +79,8 @@ ScheduleCache::ScheduleCache(const CollectiveScheduler &scheduler)
             if (s != nullptr)
                 bytes += static_cast<long>(
                     sizeof(CommSchedule) +
-                    s->flowCount() * sizeof(Flow));
+                    s->flowCount() * sizeof(Flow) +
+                    s->soaByteEstimate());
             return bytes;
         });
 }
@@ -134,8 +135,12 @@ ScheduleCache::lowered(const CollectiveTask &task, std::uint64_t fault_epoch,
     // Lower under the exclusive lock: duplicates across threads would
     // break the "lowered exactly once" accounting, and each unique task
     // misses once per epoch (or per eviction under a finite budget).
-    auto schedule = std::make_shared<const CommSchedule>(
-        scheduler_.schedule(task));
+    // Cache entries are evaluated many times, so finalize the SoA view
+    // once here.
+    CommSchedule built = scheduler_.schedule(task);
+    built.finalize();
+    auto schedule =
+        std::make_shared<const CommSchedule>(std::move(built));
     ++lowerings_;
     if (hit != nullptr)
         *hit = false;

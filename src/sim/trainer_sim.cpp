@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "common/logging.hpp"
+#include "cost/breakdown_reduce.hpp"
 
 namespace temp::sim {
 
@@ -201,6 +202,14 @@ TrainingSimulator::simulateMicro(const model::ComputeGraph &graph,
     std::vector<net::CollectiveTask> step_tasks;
     double util_acc = 0.0, util_weight = 0.0;
 
+    // Breakdown cells are collected and reduced in one batched pass
+    // after the loop (cost::reduceBreakdowns — bit-identical to the
+    // former per-cell accumulation); the loop keeps only the work that
+    // needs op identity: feasibility early-outs, footprints, step-task
+    // collection and resharding.
+    std::vector<cost::OpCostBreakdown> cells;
+    cells.reserve(graph.opCount());
+
     for (int i = 0; i < graph.opCount(); ++i) {
         const model::Operator &op = graph.op(i);
         const ParallelSpec &spec = per_op_specs[i];
@@ -221,19 +230,7 @@ TrainingSimulator::simulateMicro(const model::ComputeGraph &graph,
             return report;
         }
 
-        layer_wall += c.fwd_time + c.bwd_time;
-        layer_comp += c.comp_time;
-        layer_coll += c.collective_time;
-        layer_stream += c.stream_comm_time;
-        layer_exposed += c.exposed_comm;
-        layer_tail += c.tail_latency;
-        layer_flops += c.flops;
-        layer_dram += c.dram_bytes;
-        layer_d2d += c.d2d_link_bytes;
-        if (c.bw_utilization > 0.0 && c.d2d_link_bytes > 0.0) {
-            util_acc += c.bw_utilization * c.d2d_link_bytes;
-            util_weight += c.d2d_link_bytes;
-        }
+        cells.push_back(c);
 
         const mem::MemoryFootprint fp = exec.footprint();
         static_mem[mem::MemClass::Weights] += fp[mem::MemClass::Weights];
@@ -257,6 +254,19 @@ TrainingSimulator::simulateMicro(const model::ComputeGraph &graph,
                 cost_model_.interOpTime(op, spec, per_op_specs[i + 1]);
         }
     }
+
+    const cost::BreakdownSums sums = cost::reduceBreakdowns(cells);
+    layer_wall = sums.wall;
+    layer_comp = sums.comp;
+    layer_coll = sums.collective;
+    layer_stream = sums.stream;
+    layer_exposed = sums.exposed;
+    layer_tail = sums.tail;
+    layer_flops = sums.flops;
+    layer_dram = sums.dram;
+    layer_d2d = sums.d2d;
+    util_acc = sums.util_acc;
+    util_weight = sums.util_weight;
 
     if (recompute) {
         // Activation checkpointing: store only the layer-boundary

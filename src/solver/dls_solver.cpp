@@ -7,8 +7,10 @@
 #include <limits>
 #include <memory>
 
+#include "common/kernels.hpp"
 #include "common/logging.hpp"
 #include "common/rng.hpp"
+#include "cost/breakdown_reduce.hpp"
 #include "eval/surrogate_evaluator.hpp"
 
 namespace temp::solver {
@@ -64,51 +66,66 @@ DlsSolver::solveChainDp(const model::ComputeGraph &graph, int begin, int end,
     const int n_cand = static_cast<int>(candidates.size());
     const double inf = std::numeric_limits<double>::infinity();
 
-    // dp[i][s]: best cost of ops [begin, begin+i] with op i using s.
-    std::vector<std::vector<double>> dp(
-        n_ops, std::vector<double>(n_cand, inf));
-    std::vector<std::vector<int>> back(
-        n_ops, std::vector<int>(n_cand, -1));
+    // Two flat DP rows (previous / current op) plus a flat back-pointer
+    // matrix: the fill walks dense contiguous strides, and the per-state
+    // minimisation runs through the vectorized min-plus kernel over a
+    // dense transition row built per state. Results are bit-identical
+    // to the former nested loops: the kernel keeps the
+    // (prev + transition) + cost association, the strictly-less
+    // first-minimum tie-break, and +inf entries (infeasible
+    // predecessors) lose every strict comparison exactly like the old
+    // `continue` skips.
+    std::vector<double> dp_prev(n_cand), dp_cur(n_cand, inf);
+    std::vector<int> back(static_cast<std::size_t>(n_ops) * n_cand, -1);
+    std::vector<double> trans_row(n_cand);
 
     for (int s = 0; s < n_cand; ++s)
-        dp[0][s] = op_cost[begin][s];
+        dp_prev[s] = op_cost[begin][s];
 
     const cost::WaferCostModel &model = sim_.costModel();
     for (int i = 1; i < n_ops; ++i) {
         const model::Operator &producer = graph.op(begin + i - 1);
+        const double *row_cost = op_cost[begin + i].data();
+        // The former loops counted one evaluation per (feasible state,
+        // feasible predecessor) pair; the predecessor count is shared
+        // by every state of this op.
+        long finite_prev = 0;
+        for (int p = 0; p < n_cand; ++p)
+            finite_prev += std::isinf(dp_prev[p]) ? 0 : 1;
         for (int s = 0; s < n_cand; ++s) {
-            const double c = op_cost[begin + i][s];
-            if (std::isinf(c))
+            const double c = row_cost[s];
+            if (std::isinf(c)) {
+                dp_cur[s] = inf;
                 continue;
-            for (int p = 0; p < n_cand; ++p) {
-                if (std::isinf(dp[i - 1][p]))
-                    continue;
-                double transition = 0.0;
-                if (p != s) {
-                    transition = model.interOpTime(
-                        producer, candidates[p], candidates[s]);
-                }
-                ++(*evaluations);
-                const double candidate_cost = dp[i - 1][p] + transition + c;
-                if (candidate_cost < dp[i][s]) {
-                    dp[i][s] = candidate_cost;
-                    back[i][s] = p;
-                }
             }
+            for (int p = 0; p < n_cand; ++p) {
+                trans_row[p] =
+                    p != s ? model.interOpTime(producer, candidates[p],
+                                               candidates[s])
+                           : 0.0;
+            }
+            *evaluations += finite_prev;
+            const kernels::MinPlus r = kernels::minPlusArgmin(
+                dp_prev.data(), trans_row.data(), c, n_cand);
+            dp_cur[s] = r.value;
+            back[static_cast<std::size_t>(i) * n_cand + s] = r.index;
         }
+        std::swap(dp_prev, dp_cur);
     }
 
-    // Trace back from the best terminal state.
+    // Trace back from the best terminal state (dp_prev holds the last
+    // filled row after the final swap).
     int best = 0;
     for (int s = 1; s < n_cand; ++s)
-        if (dp[n_ops - 1][s] < dp[n_ops - 1][best])
+        if (dp_prev[s] < dp_prev[best])
             best = s;
 
     std::vector<int> assignment(n_ops, 0);
     int cur = best;
     for (int i = n_ops - 1; i >= 0; --i) {
         assignment[i] = cur;
-        cur = i > 0 ? back[i][cur] : cur;
+        cur = i > 0 ? back[static_cast<std::size_t>(i) * n_cand + cur]
+                    : cur;
     }
     return assignment;
 }
@@ -166,11 +183,16 @@ DlsSolver::solve(const model::ComputeGraph &graph) const
             eval_->evaluateBatch(graph, requests);
         op_cost.assign(graph.opCount(),
                        std::vector<double>(candidates.size(), inf));
-        std::size_t k = 0;
-        for (int i = 0; i < graph.opCount(); ++i)
-            for (std::size_t s = 0; s < candidates.size(); ++s, ++k)
-                op_cost[i][s] =
-                    cells[k].feasible ? cells[k].total() : inf;
+        // Row-major cells -> per-op rows through the batched totals
+        // kernel (feasible ? total() : inf).
+        std::vector<double> totals(cells.size());
+        cost::breakdownTotals(cells, totals.data());
+        for (int i = 0; i < graph.opCount(); ++i) {
+            const double *row =
+                totals.data() +
+                static_cast<std::size_t>(i) * candidates.size();
+            op_cost[i].assign(row, row + candidates.size());
+        }
         result.evaluations += static_cast<long>(requests.size());
     }
     const eval::EvalStats matrix_stats = eval_->stats() - stats_before;
@@ -334,11 +356,14 @@ ExhaustiveSolver::solve(const model::ComputeGraph &graph, int op_limit,
         eval_->evaluateBatch(graph, requests);
     std::vector<std::vector<double>> op_cost(
         n_ops, std::vector<double>(candidates.size(), inf));
-    std::size_t cell = 0;
-    for (int i = 0; i < n_ops; ++i)
-        for (std::size_t s = 0; s < candidates.size(); ++s, ++cell)
-            op_cost[i][s] =
-                cells[cell].feasible ? cells[cell].total() : inf;
+    std::vector<double> totals(cells.size());
+    cost::breakdownTotals(cells, totals.data());
+    for (int i = 0; i < n_ops; ++i) {
+        const double *row = totals.data() +
+                            static_cast<std::size_t>(i) *
+                                candidates.size();
+        op_cost[i].assign(row, row + candidates.size());
+    }
     result.evaluations += static_cast<long>(requests.size());
     const eval::EvalStats matrix_stats = eval_->stats() - stats_before;
     result.matrix_measurements = matrix_stats.measurements;

@@ -51,6 +51,9 @@ TrafficOptimizer::optimize(net::CommSchedule &schedule) const
         round_end.push_back(static_cast<std::uint32_t>(rebuilt.size()));
     }
     schedule.assign(std::move(rebuilt), std::move(round_end));
+    // The optimized schedule goes straight to contention evaluation;
+    // hand it the SoA deposit path.
+    schedule.finalize();
     return total;
 }
 
