@@ -1,0 +1,275 @@
+/**
+ * @file
+ * Service front-end load generator: drives a real loopback server
+ * (framed RPC through the dispatcher) with a Zipf-distributed request
+ * stream and reports the latency distribution, saturation throughput,
+ * coalesce rate and shed rate.
+ *
+ * The stream is duplicate-heavy by construction — a small catalog of
+ * distinct optimize requests sampled with Zipf skew from many more
+ * client connections than dispatcher workers — so identical requests
+ * pile up in flight and the coalescer gets real work: every rider is
+ * a solve the service never ran.
+ *
+ * One BENCH_JSON line with the acceptance bars a CI smoke enforces:
+ *
+ *  - coalesce_rate > 0.5 on the duplicate-heavy stream (the
+ *    coalescer actually collapses the pile-up);
+ *  - every request answered: transport_failures == 0 and
+ *    answered == requests (shed responses count — shed is an answer,
+ *    a dropped connection is not).
+ *
+ * Exit code is non-zero when a bar fails.
+ */
+#include "bench_util.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/request_io.hpp"
+#include "api/service.hpp"
+#include "common/json.hpp"
+#include "common/rng.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+
+using namespace temp;
+
+namespace {
+
+double
+now()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/// The solver configuration the api tests use for fast solves: small
+/// GA, two evaluation threads — an optimize request lands in the
+/// milliseconds, which is long enough for duplicates to overlap.
+core::FrameworkOptions
+fastOptions()
+{
+    core::FrameworkOptions options;
+    options.solver.ga_population = 8;
+    options.solver.ga_generations = 4;
+    options.eval_threads = 2;
+    return options;
+}
+
+double
+percentile(std::vector<double> &sorted_ms, double p)
+{
+    if (sorted_ms.empty())
+        return 0.0;
+    const double rank =
+        p * static_cast<double>(sorted_ms.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, sorted_ms.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return sorted_ms[lo] * (1.0 - frac) + sorted_ms[hi] * frac;
+}
+
+struct ClientTally
+{
+    std::vector<double> latencies_ms;
+    long answered = 0;
+    long shed = 0;
+    long transport_failures = 0;
+};
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    int clients = 16;
+    int per_client = 25;
+    int workers = 2;
+    int catalog_size = 6;
+    double alpha = 1.1;
+    for (int i = 1; i < argc; ++i) {
+        auto value = [&]() { return std::atof(argv[++i]); };
+        if (std::strcmp(argv[i], "--clients") == 0)
+            clients = static_cast<int>(value());
+        else if (std::strcmp(argv[i], "--requests") == 0)
+            per_client = static_cast<int>(value());
+        else if (std::strcmp(argv[i], "--workers") == 0)
+            workers = static_cast<int>(value());
+        else if (std::strcmp(argv[i], "--catalog") == 0)
+            catalog_size = static_cast<int>(value());
+        else if (std::strcmp(argv[i], "--alpha") == 0)
+            alpha = value();
+    }
+
+    bench::banner("service front end",
+                  "Zipf load, latency and coalescing");
+
+    // Catalog of distinct optimize requests (solver seed varies the
+    // canonical key; everything else is shared so the framework cache
+    // serves all of them).
+    std::vector<api::Request> catalog;
+    for (int i = 0; i < catalog_size; ++i) {
+        api::OptimizeRequest request;
+        request.model = model::modelByName("GPT-3 6.7B");
+        request.options = fastOptions();
+        request.options.solver.seed = 1000 + i;
+        catalog.push_back(request);
+    }
+    // Zipf CDF over the catalog: mass ~ 1/(rank+1)^alpha.
+    std::vector<double> cdf;
+    double mass = 0.0;
+    for (int i = 0; i < catalog_size; ++i) {
+        mass += 1.0 / std::pow(static_cast<double>(i + 1), alpha);
+        cdf.push_back(mass);
+    }
+    for (double &c : cdf)
+        c /= mass;
+
+    api::TempService service;
+    serve::ServerOptions options;
+    options.dispatcher.workers = workers;
+    serve::Server server(service, options);
+    std::string error;
+    if (!server.start(&error)) {
+        std::fprintf(stderr, "service_load: %s\n", error.c_str());
+        return 1;
+    }
+
+    std::vector<ClientTally> tallies(
+        static_cast<std::size_t>(clients));
+    const double t0 = now();
+    std::vector<std::thread> threads;
+    for (int c = 0; c < clients; ++c) {
+        threads.emplace_back([&, c] {
+            ClientTally &tally =
+                tallies[static_cast<std::size_t>(c)];
+            serve::Client client;
+            std::string client_error;
+            if (!client.connect("127.0.0.1", server.port(),
+                                &client_error)) {
+                tally.transport_failures = per_client;
+                return;
+            }
+            Rng rng(static_cast<std::uint64_t>(7 + c));
+            for (int n = 0; n < per_client; ++n) {
+                const double u = rng.uniformReal(0.0, 1.0);
+                const std::size_t pick = static_cast<std::size_t>(
+                    std::lower_bound(cdf.begin(), cdf.end(), u) -
+                    cdf.begin());
+                std::string response_json;
+                const double sent = now();
+                if (!client.call(catalog[std::min(
+                                     pick, catalog.size() - 1)],
+                                 "load", &response_json,
+                                 &client_error)) {
+                    ++tally.transport_failures;
+                    break;  // connection is gone; stop this client
+                }
+                tally.latencies_ms.push_back((now() - sent) * 1e3);
+                ++tally.answered;
+                common::JsonValue response;
+                std::string parse_error;
+                if (common::parseJson(response_json, &response,
+                                      &parse_error)) {
+                    const common::JsonValue *shed =
+                        response.find("shed");
+                    if (shed != nullptr && shed->isBool() &&
+                        shed->bool_value)
+                        ++tally.shed;
+                }
+            }
+        });
+    }
+    for (std::thread &thread : threads)
+        thread.join();
+    const double wall_s = now() - t0;
+
+    server.stop();
+    const serve::DispatchStats stats = server.stats();
+
+    std::vector<double> latencies;
+    long answered = 0;
+    long shed = 0;
+    long transport_failures = 0;
+    for (const ClientTally &tally : tallies) {
+        latencies.insert(latencies.end(), tally.latencies_ms.begin(),
+                         tally.latencies_ms.end());
+        answered += tally.answered;
+        shed += tally.shed;
+        transport_failures += tally.transport_failures;
+    }
+    std::sort(latencies.begin(), latencies.end());
+    const long requests =
+        static_cast<long>(clients) * static_cast<long>(per_client);
+    const double p50 = percentile(latencies, 0.50);
+    const double p95 = percentile(latencies, 0.95);
+    const double p99 = percentile(latencies, 0.99);
+    const double throughput =
+        wall_s > 0.0 ? static_cast<double>(answered) / wall_s : 0.0;
+    const double coalesce_rate =
+        stats.accepted > 0 ? static_cast<double>(stats.coalesced) /
+                                 static_cast<double>(stats.accepted)
+                           : 0.0;
+    const double shed_rate =
+        stats.accepted > 0 ? static_cast<double>(stats.shed) /
+                                 static_cast<double>(stats.accepted)
+                           : 0.0;
+
+    std::printf("Load: %d clients x %d requests over %d-entry "
+                "catalog (Zipf %.2f), %d workers\n",
+                clients, per_client, catalog_size, alpha, workers);
+    std::printf("  answered          %ld of %ld (%ld shed, %ld "
+                "transport failures)\n",
+                answered, requests, shed, transport_failures);
+    std::printf("  latency           p50 %.1f ms, p95 %.1f ms, "
+                "p99 %.1f ms\n",
+                p50, p95, p99);
+    std::printf("  throughput        %.1f req/s\n", throughput);
+    std::printf("  coalescing        %ld of %ld accepted (%.0f%%), "
+                "%ld solves executed\n",
+                stats.coalesced, stats.accepted, coalesce_rate * 100,
+                stats.executed);
+
+    std::printf("BENCH_JSON {\"bench\":\"service_load\","
+                "\"clients\":%d,\"per_client\":%d,\"workers\":%d,"
+                "\"catalog\":%d,\"alpha\":%.2f,\"requests\":%ld,"
+                "\"answered\":%ld,\"shed\":%ld,"
+                "\"transport_failures\":%ld,\"accepted\":%ld,"
+                "\"coalesced\":%ld,\"executed\":%ld,"
+                "\"coalesce_rate\":%.3f,\"shed_rate\":%.3f,"
+                "\"p50_ms\":%.2f,\"p95_ms\":%.2f,\"p99_ms\":%.2f,"
+                "\"throughput_rps\":%.1f,\"wall_s\":%.2f}\n",
+                clients, per_client, workers, catalog_size, alpha,
+                requests, answered, shed, transport_failures,
+                stats.accepted, stats.coalesced, stats.executed,
+                coalesce_rate, shed_rate, p50, p95, p99, throughput,
+                wall_s);
+
+    // Acceptance bars (CI smoke).
+    bool ok = true;
+    if (coalesce_rate <= 0.5) {
+        std::fprintf(stderr,
+                     "FAIL: coalesce rate %.3f <= 0.5 on a "
+                     "duplicate-heavy stream\n",
+                     coalesce_rate);
+        ok = false;
+    }
+    if (transport_failures != 0 || answered != requests) {
+        std::fprintf(stderr,
+                     "FAIL: %ld of %ld requests unanswered "
+                     "(%ld transport failures)\n",
+                     requests - answered, requests,
+                     transport_failures);
+        ok = false;
+    }
+    return ok ? 0 : 1;
+}

@@ -142,6 +142,24 @@ struct Response
     /// True when a cached framework (and its evaluator memo) served
     /// the request instead of a freshly built one.
     bool framework_reused = false;
+    /// @{ Service-front-end provenance (src/serve). The defaults are
+    /// chosen so a Response produced by the in-process run() path is
+    /// byte-identical to one the server produces for a lone request:
+    /// not coalesced, not shed, answered by a solve shared with exactly
+    /// one request (itself), anonymous tenant.
+    /// Client-supplied tenant id the admission controller fairly
+    /// dequeued this request under ("" = anonymous).
+    std::string tenant;
+    /// True when this response was answered from another in-flight
+    /// identical request's solve rather than its own.
+    bool coalesced = false;
+    /// How many requests the solve behind this response answered
+    /// (1 = no coalescing happened).
+    long coalesced_requests = 1;
+    /// True when admission control rejected the request (queue full);
+    /// ok is false and error says so.
+    bool shed = false;
+    /// @}
     /// Cumulative evaluator counters of the serving framework, read
     /// after the request (Optimize/Baseline/Strategy/Fault kinds).
     /// Note: per-solve deltas (SolverResult's matrix_measurements /

@@ -40,6 +40,16 @@ jsonNumber(double v)
     return buf;
 }
 
+std::string
+jsonNumberExact(double v)
+{
+    if (!std::isfinite(v))
+        return "null";
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
 JsonObject &
 JsonObject::addRaw(const std::string &key, const std::string &json)
 {
@@ -244,6 +254,10 @@ toJson(const Response &response)
         .add("wall_time_s", response.wall_time_s)
         .add("queue_time_s", response.queue_time_s)
         .add("framework_reused", response.framework_reused)
+        .add("tenant", response.tenant)
+        .add("coalesced", response.coalesced)
+        .add("coalesced_requests", response.coalesced_requests)
+        .add("shed", response.shed)
         .addRaw("evaluator", toJson(response.evaluator_stats))
         .addRaw("step_evaluator", toJson(response.step_stats));
     switch (response.kind) {

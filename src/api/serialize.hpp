@@ -22,6 +22,11 @@ std::string jsonEscape(const std::string &s);
 /// (JSON has no inf/nan).
 std::string jsonNumber(double v);
 
+/// Round-trip-exact variant (%.17g): a double rendered with this and
+/// parsed back compares bit-equal. Request serialization uses it so
+/// serialize -> parse -> requestKey is an identity.
+std::string jsonNumberExact(double v);
+
 /// Minimal insertion-ordered JSON object builder.
 class JsonObject
 {

@@ -1,8 +1,8 @@
 #include "api/service.hpp"
 
 #include <chrono>
-#include <cstdio>
 
+#include "api/request_key.hpp"
 #include "model/graph.hpp"
 
 namespace temp::api {
@@ -15,123 +15,6 @@ now()
     return std::chrono::duration<double>(
                std::chrono::steady_clock::now().time_since_epoch())
         .count();
-}
-
-/// Appends one canonicalized field to a cache key. %.17g round-trips
-/// doubles, so two configs share a key iff they are value-identical.
-void
-field(std::string &key, double v)
-{
-    char buf[40];
-    std::snprintf(buf, sizeof(buf), "%.17g|", v);
-    key += buf;
-}
-
-void
-field(std::string &key, int v)
-{
-    key += std::to_string(v);
-    key += '|';
-}
-
-void
-field(std::string &key, bool v)
-{
-    key += v ? "1|" : "0|";
-}
-
-std::string
-waferKey(const hw::WaferConfig &w)
-{
-    std::string key;
-    field(key, w.rows);
-    field(key, w.cols);
-    field(key, w.die.area_mm2);
-    field(key, w.die.sram_bytes);
-    field(key, w.die.frequency_hz);
-    field(key, w.die.peak_flops);
-    field(key, w.die.flops_per_watt);
-    field(key, w.hbm.area_mm2);
-    field(key, w.hbm.stacks_per_die);
-    field(key, w.hbm.capacity_bytes);
-    field(key, w.hbm.bandwidth_bytes_per_s);
-    field(key, w.hbm.latency_s);
-    field(key, w.hbm.energy_pj_per_bit);
-    field(key, w.d2d.bandwidth_bytes_per_s);
-    field(key, w.d2d.latency_s);
-    field(key, w.d2d.energy_pj_per_bit);
-    field(key, w.d2d.efficient_transfer_bytes);
-    return key;
-}
-
-/// The (policy, training) slice of the options — all a simulator
-/// consumes; pods key on this so solver-only knobs don't evict them.
-std::string
-policyTrainingKey(const core::FrameworkOptions &o)
-{
-    std::string key;
-    field(key, static_cast<int>(o.policy.kind));
-    field(key, o.training.flash_attention);
-    field(key, o.training.zero1_optimizer);
-    field(key, o.training.weight_bytes_per_elem);
-    field(key, o.training.act_bytes_per_elem);
-    field(key, o.training.grad_bytes_per_elem);
-    field(key, o.training.optimizer_bytes_per_param);
-    return key;
-}
-
-std::string
-optionsKey(const core::FrameworkOptions &o)
-{
-    std::string key = policyTrainingKey(o);
-    field(key, o.solver.space.allow_dp);
-    field(key, o.solver.space.allow_fsdp);
-    field(key, o.solver.space.allow_tp);
-    field(key, o.solver.space.allow_sp);
-    field(key, o.solver.space.allow_cp);
-    field(key, o.solver.space.allow_tatp);
-    field(key, o.solver.space.max_tp);
-    field(key, o.solver.space.max_tatp);
-    field(key, o.solver.space.full_occupancy);
-    field(key, o.solver.enable_ga);
-    field(key, static_cast<int>(o.solver.engine));
-    field(key, o.solver.ga_population);
-    field(key, o.solver.ga_generations);
-    field(key, o.solver.ga_mutation_rate);
-    field(key, o.solver.annealing.iterations);
-    field(key, o.solver.annealing.proposals);
-    field(key, o.solver.annealing.initial_temp);
-    field(key, o.solver.annealing.cooling);
-    key += std::to_string(o.solver.seed);  // uint64: no double rounding
-    key += '|';
-    field(key, o.solver.use_surrogate);
-    field(key, o.solver.surrogate_sample_fraction);
-    field(key, o.eval_threads);
-    // Framework-level cache budgets are applied at construction, so
-    // they are part of the framework's identity. The service-level
-    // budgets (max_frameworks/max_pods) re-tune the service maps and
-    // deliberately stay out of the key — they do not change what a
-    // framework computes or caches. Budgets are long: rendered
-    // directly (like solver.seed) so no narrowing can alias keys.
-    for (const long budget :
-         {o.cache.max_eval_entries, o.cache.max_step_entries,
-          o.cache.max_layout_entries, o.cache.max_schedule_entries,
-          o.cache.max_route_entries}) {
-        key += std::to_string(budget);
-        key += '|';
-    }
-    return key;
-}
-
-std::string
-podKey(const hw::MultiWaferConfig &pod, const core::FrameworkOptions &o)
-{
-    std::string key = waferKey(pod.wafer);
-    field(key, pod.wafer_count);
-    field(key, pod.inter_wafer_bandwidth_bytes_per_s);
-    field(key, pod.inter_wafer_latency_s);
-    key += policyTrainingKey(o);
-    return key;
 }
 
 /// Validates an explicit uniform spec against a die budget; returns an

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * A minimal JSON value parser for the service front end.
+ *
+ * The serve layer accepts request documents over the network, so the
+ * parser is written for hostile input: strict grammar (no trailing
+ * commas, no comments), a recursion-depth cap, and error messages
+ * carrying the byte offset. Numbers keep their raw lexeme alongside
+ * the parsed double so integer-valued fields (seeds, budgets) can be
+ * re-read at full precision — the request round-trip contract
+ * (serialize -> parse -> identical canonical key) depends on it.
+ *
+ * This is the inbound mirror of api/serialize.hpp's insertion-ordered
+ * builder: objects preserve key order, so a parsed document can be
+ * compared field-for-field against what the builder emits.
+ */
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace temp::common {
+
+/// One parsed JSON value (a small DOM node).
+class JsonValue
+{
+  public:
+    enum class Type { Null, Bool, Number, String, Array, Object };
+
+    Type type = Type::Null;
+    bool bool_value = false;
+    /// Parsed numeric value (Type::Number).
+    double number = 0.0;
+    /// Raw token for numbers (exact round-trips of integer fields) or
+    /// the decoded text for strings.
+    std::string text;
+    std::vector<JsonValue> items;  ///< Type::Array elements
+    /// Type::Object members in document order.
+    std::vector<std::pair<std::string, JsonValue>> members;
+
+    bool isNull() const { return type == Type::Null; }
+    bool isBool() const { return type == Type::Bool; }
+    bool isNumber() const { return type == Type::Number; }
+    bool isString() const { return type == Type::String; }
+    bool isArray() const { return type == Type::Array; }
+    bool isObject() const { return type == Type::Object; }
+
+    /// Object member lookup; nullptr when absent (or not an object).
+    const JsonValue *find(const std::string &key) const;
+
+    /// Printable type name ("object", "number", ...).
+    const char *typeName() const;
+};
+
+/**
+ * Parses one complete JSON document (trailing whitespace allowed,
+ * trailing garbage rejected).
+ *
+ * @return false with *error set ("json parse error at byte N: ...") on
+ *         malformed input; *out is unspecified then.
+ */
+bool parseJson(const std::string &input, JsonValue *out,
+               std::string *error);
+
+}  // namespace temp::common

@@ -1,5 +1,9 @@
 #include "core/config_io.hpp"
 
+#include <cctype>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
@@ -9,6 +13,22 @@
 namespace temp::core {
 
 namespace {
+
+/// printf-style ConfigError: the throwing twin of fatal(), so the
+/// OrThrow builders keep byte-identical messages.
+[[noreturn]] void
+cfgFail(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+void
+cfgFail(const char *fmt, ...)
+{
+    char buf[512];
+    va_list args;
+    va_start(args, fmt);
+    std::vsnprintf(buf, sizeof(buf), fmt, args);
+    va_end(args);
+    throw ConfigError(buf);
+}
 
 std::string
 trim(const std::string &s)
@@ -29,9 +49,11 @@ toNumber(const std::string &key, const std::string &value)
         if (used != value.size())
             throw std::invalid_argument(value);
         return v;
+    } catch (const ConfigError &) {
+        throw;
     } catch (const std::exception &) {
-        fatal("config: key '%s' has non-numeric value '%s'", key.c_str(),
-              value.c_str());
+        cfgFail("config: key '%s' has non-numeric value '%s'",
+                key.c_str(), value.c_str());
     }
 }
 
@@ -42,9 +64,9 @@ toBool(const std::string &key, const std::string &value)
         return true;
     if (value == "false" || value == "0")
         return false;
-    fatal("config: key '%s' has non-boolean value '%s' "
-          "(use 0/1/true/false)",
-          key.c_str(), value.c_str());
+    cfgFail("config: key '%s' has non-boolean value '%s' "
+            "(use 0/1/true/false)",
+            key.c_str(), value.c_str());
 }
 
 /// A non-negative whole-number config value (cache budgets). Negative
@@ -54,9 +76,25 @@ toCount(const std::string &key, const std::string &value)
 {
     const double v = toNumber(key, value);
     if (v < 0)
-        fatal("config: key '%s' must be >= 0 (0 = unbounded), got '%s'",
-              key.c_str(), value.c_str());
+        cfgFail("config: key '%s' must be >= 0 (0 = unbounded), got '%s'",
+                key.c_str(), value.c_str());
     return static_cast<long>(v);
+}
+
+/// A uint64 seed. Parsed from the raw decimal lexeme — routing it
+/// through toNumber's double would silently corrupt seeds above 2^53.
+std::uint64_t
+toSeed(const std::string &key, const std::string &value)
+{
+    if (value.empty() || value.size() > 20)
+        cfgFail("config: key '%s' is out of uint64 range ('%s')",
+                key.c_str(), value.c_str());
+    for (const char c : value)
+        if (!std::isdigit(static_cast<unsigned char>(c)))
+            cfgFail("config: key '%s' must be a non-negative "
+                    "integer, got '%s'",
+                    key.c_str(), value.c_str());
+    return std::strtoull(value.c_str(), nullptr, 10);
 }
 
 tcme::MappingEngineKind
@@ -68,9 +106,9 @@ toEngine(const std::string &key, const std::string &value)
         return tcme::MappingEngineKind::GMap;
     if (value == "tcme")
         return tcme::MappingEngineKind::TCME;
-    fatal("config: key '%s' has unknown engine '%s' "
-          "(use smap/gmap/tcme)",
-          key.c_str(), value.c_str());
+    cfgFail("config: key '%s' has unknown engine '%s' "
+            "(use smap/gmap/tcme)",
+            key.c_str(), value.c_str());
 }
 
 solver::SearchEngineKind
@@ -78,16 +116,29 @@ toSearchEngine(const std::string &key, const std::string &value)
 {
     solver::SearchEngineKind kind;
     if (!solver::searchEngineFromName(value, &kind))
-        fatal("config: key '%s' has unknown search engine '%s' "
-              "(use none/genetic/annealing)",
-              key.c_str(), value.c_str());
+        cfgFail("config: key '%s' has unknown search engine '%s' "
+                "(use none/genetic/annealing)",
+                key.c_str(), value.c_str());
     return kind;
+}
+
+/// Runs a throwing builder, converting ConfigError to fatal() — the
+/// CLI-facing behavior of the classic entry points.
+template <typename Fn>
+auto
+fatalOnError(Fn &&fn) -> decltype(fn())
+{
+    try {
+        return fn();
+    } catch (const ConfigError &error) {
+        fatal("%s", error.what());
+    }
 }
 
 }  // namespace
 
 ConfigMap
-parseConfigText(const std::string &text)
+parseConfigTextOrThrow(const std::string &text)
 {
     ConfigMap config;
     std::istringstream stream(text);
@@ -103,15 +154,21 @@ parseConfigText(const std::string &text)
             continue;
         const auto eq = line.find('=');
         if (eq == std::string::npos)
-            fatal("config line %d: expected 'key = value', got '%s'",
-                  line_no, line.c_str());
+            cfgFail("config line %d: expected 'key = value', got '%s'",
+                    line_no, line.c_str());
         const std::string key = trim(line.substr(0, eq));
         const std::string value = trim(line.substr(eq + 1));
         if (key.empty() || value.empty())
-            fatal("config line %d: empty key or value", line_no);
+            cfgFail("config line %d: empty key or value", line_no);
         config[key] = value;
     }
     return config;
+}
+
+ConfigMap
+parseConfigText(const std::string &text)
+{
+    return fatalOnError([&] { return parseConfigTextOrThrow(text); });
 }
 
 ConfigMap
@@ -126,7 +183,7 @@ loadConfigFile(const std::string &path)
 }
 
 hw::WaferConfig
-waferFromConfig(const ConfigMap &config)
+waferFromConfigOrThrow(const ConfigMap &config)
 {
     hw::WaferConfig wafer = hw::WaferConfig::paperDefault();
     double hbm_stacks = wafer.hbm.stacks_per_die;
@@ -162,27 +219,37 @@ waferFromConfig(const ConfigMap &config)
         } else if (key == "hbm_pj_per_bit") {
             wafer.hbm.energy_pj_per_bit = v;
         } else {
-            fatal("config: unknown wafer key '%s'", key.c_str());
+            cfgFail("config: unknown wafer key '%s'", key.c_str());
         }
     }
     wafer.hbm.stacks_per_die = static_cast<int>(hbm_stacks);
     wafer.hbm.capacity_bytes = hbm_stacks * gigabytes(hbm_gb);
     wafer.hbm.bandwidth_bytes_per_s = hbm_stacks * tbPerSec(hbm_tbps);
     if (wafer.rows < 1 || wafer.cols < 1)
-        fatal("config: invalid wafer grid %dx%d", wafer.rows, wafer.cols);
+        cfgFail("config: invalid wafer grid %dx%d", wafer.rows,
+                wafer.cols);
     return wafer;
 }
 
+hw::WaferConfig
+waferFromConfig(const ConfigMap &config)
+{
+    return fatalOnError([&] { return waferFromConfigOrThrow(config); });
+}
+
 model::ModelConfig
-modelFromConfig(const ConfigMap &config)
+modelFromConfigOrThrow(const ConfigMap &config)
 {
     model::ModelConfig model;
     const auto base = config.find("base");
     const auto name = config.find("name");
-    if (base != config.end())
-        model = model::modelByName(base->second);
-    else if (name == config.end())
-        fatal("config: model needs 'name' or 'base'");
+    if (base != config.end()) {
+        if (!model::tryModelByName(base->second, &model))
+            cfgFail("config: unknown base model '%s'",
+                    base->second.c_str());
+    } else if (name == config.end()) {
+        cfgFail("config: model needs 'name' or 'base'");
+    }
 
     for (const auto &[key, value] : config) {
         if (key == "base")
@@ -207,16 +274,24 @@ modelFromConfig(const ConfigMap &config)
         else if (key == "vocab")
             model.vocab = v;
         else
-            fatal("config: unknown model key '%s'", key.c_str());
+            cfgFail("config: unknown model key '%s'", key.c_str());
     }
+    if (model.heads < 1 || model.hidden < 1)
+        cfgFail("config: heads and hidden must be positive");
     if (model.hidden % model.heads != 0)
-        fatal("config: hidden (%d) must divide by heads (%d)",
-              model.hidden, model.heads);
+        cfgFail("config: hidden (%d) must divide by heads (%d)",
+                model.hidden, model.heads);
     return model;
 }
 
+model::ModelConfig
+modelFromConfig(const ConfigMap &config)
+{
+    return fatalOnError([&] { return modelFromConfigOrThrow(config); });
+}
+
 FrameworkOptions
-frameworkOptionsFromConfig(const ConfigMap &config)
+frameworkOptionsFromConfigOrThrow(const ConfigMap &config)
 {
     FrameworkOptions options;
     parallel::TrainingOptions &tr = options.training;
@@ -259,7 +334,7 @@ frameworkOptionsFromConfig(const ConfigMap &config)
         } else if (key == "solver.ga_mutation_rate") {
             sv.ga_mutation_rate = toNumber(key, value);
         } else if (key == "solver.seed") {
-            sv.seed = static_cast<std::uint64_t>(toNumber(key, value));
+            sv.seed = toSeed(key, value);
         } else if (key == "solver.use_surrogate") {
             sv.use_surrogate = toBool(key, value);
         } else if (key == "solver.surrogate_sample_fraction") {
@@ -297,10 +372,17 @@ frameworkOptionsFromConfig(const ConfigMap &config)
         } else if (key == "net.route_pool.max_entries") {
             options.cache.max_route_entries = toCount(key, value);
         } else {
-            fatal("config: unknown options key '%s'", key.c_str());
+            cfgFail("config: unknown options key '%s'", key.c_str());
         }
     }
     return options;
+}
+
+FrameworkOptions
+frameworkOptionsFromConfig(const ConfigMap &config)
+{
+    return fatalOnError(
+        [&] { return frameworkOptionsFromConfigOrThrow(config); });
 }
 
 bool

@@ -37,6 +37,7 @@
 #pragma once
 
 #include <map>
+#include <stdexcept>
 #include <string>
 
 #include "core/framework.hpp"
@@ -47,6 +48,18 @@ namespace temp::core {
 
 /// Parsed key=value pairs (string values, trimmed).
 using ConfigMap = std::map<std::string, std::string>;
+
+/**
+ * What the OrThrow config builders raise on malformed input. The
+ * classic entry points below translate it into fatal() — the right
+ * behavior for a CLI — while long-lived servers (the api request
+ * parser) catch it and degrade a bad request to an error response
+ * instead of terminating the process.
+ */
+class ConfigError : public std::runtime_error
+{
+    using std::runtime_error::runtime_error;
+};
 
 /// Parses `key = value` lines; `#` starts a comment. fatal() on
 /// malformed lines.
@@ -74,6 +87,17 @@ model::ModelConfig modelFromConfig(const ConfigMap &config);
  * `.conf` files without recompiling.
  */
 FrameworkOptions frameworkOptionsFromConfig(const ConfigMap &config);
+
+/// @{ Error-returning twins of the builders above: identical
+/// validation (same messages, same unknown-key strictness), but they
+/// throw ConfigError instead of terminating the process. The fatal()
+/// versions are thin wrappers over these.
+ConfigMap parseConfigTextOrThrow(const std::string &text);
+hw::WaferConfig waferFromConfigOrThrow(const ConfigMap &config);
+model::ModelConfig modelFromConfigOrThrow(const ConfigMap &config);
+FrameworkOptions frameworkOptionsFromConfigOrThrow(
+    const ConfigMap &config);
+/// @}
 
 /// True when a command-line argument names a config file rather than a
 /// zoo model (shared by the CLI and the examples).

@@ -31,6 +31,15 @@ FaultMap::coreFaultFraction(DieId die) const
     return core_fault_fraction_[die];
 }
 
+std::vector<LinkId>
+FaultMap::failedLinks() const
+{
+    std::vector<LinkId> links(failed_links_.begin(),
+                              failed_links_.end());
+    std::sort(links.begin(), links.end());
+    return links;
+}
+
 bool
 FaultMap::healthy() const
 {

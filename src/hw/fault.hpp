@@ -59,6 +59,22 @@ class FaultMap
         return static_cast<int>(failed_links_.size());
     }
 
+    /// Dies tracked by the core-fault vector (its size).
+    int dieCount() const
+    {
+        return static_cast<int>(core_fault_fraction_.size());
+    }
+
+    /// The failed directed links, sorted ascending — the deterministic
+    /// order the wire format and canonical request keys rely on.
+    std::vector<LinkId> failedLinks() const;
+
+    /// Per-die core fault fractions (index = DieId).
+    const std::vector<double> &coreFaultFractions() const
+    {
+        return core_fault_fraction_;
+    }
+
     /// True if no faults are present.
     bool healthy() const;
 

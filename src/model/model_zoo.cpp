@@ -85,13 +85,25 @@ allModels()
     return models;
 }
 
+bool
+tryModelByName(const std::string &name, ModelConfig *out)
+{
+    for (const ModelConfig &m : allModels()) {
+        if (m.name == name) {
+            *out = m;
+            return true;
+        }
+    }
+    return false;
+}
+
 ModelConfig
 modelByName(const std::string &name)
 {
-    for (const ModelConfig &m : allModels())
-        if (m.name == name)
-            return m;
-    fatal("modelByName: unknown model '%s'", name.c_str());
+    ModelConfig model;
+    if (!tryModelByName(name, &model))
+        fatal("modelByName: unknown model '%s'", name.c_str());
+    return model;
 }
 
 }  // namespace temp::model

@@ -47,6 +47,10 @@ struct ModelConfig
 /// Looks a model up by name; fatal() on unknown names.
 ModelConfig modelByName(const std::string &name);
 
+/// Non-fatal lookup: false when the zoo has no model of that name
+/// (servers degrade this to an error response instead of dying).
+bool tryModelByName(const std::string &name, ModelConfig *out);
+
 /// Table II models: GPT-3 6.7B/76B/175B, Llama2 7B, Llama3 70B, OPT 175B.
 std::vector<ModelConfig> evaluationModels();
 

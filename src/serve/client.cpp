@@ -1,0 +1,130 @@
+#include "serve/client.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "api/request_io.hpp"
+#include "serve/wire.hpp"
+
+namespace temp::serve {
+
+namespace {
+
+int
+dial(const std::string &host, int port, std::string *error)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        *error = std::string("socket: ") + std::strerror(errno);
+        return -1;
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        *error = "invalid address '" + host + "'";
+        ::close(fd);
+        return -1;
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        *error = "connect " + host + ":" + std::to_string(port) +
+                 ": " + std::strerror(errno);
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+}  // namespace
+
+Client::~Client()
+{
+    close();
+}
+
+bool
+Client::connect(const std::string &host, int port, std::string *error)
+{
+    close();
+    fd_ = dial(host, port, error);
+    return fd_ >= 0;
+}
+
+bool
+Client::callRaw(const std::string &request_json,
+                std::string *response_json, std::string *error)
+{
+    if (fd_ < 0) {
+        *error = "not connected";
+        return false;
+    }
+    if (!writeFrame(fd_, request_json)) {
+        *error = "connection lost while sending";
+        close();
+        return false;
+    }
+    std::string frame_error;
+    if (!readFrame(fd_, response_json, &frame_error)) {
+        *error = frame_error.empty()
+                     ? "connection closed before response"
+                     : frame_error;
+        close();
+        return false;
+    }
+    return true;
+}
+
+bool
+Client::call(const api::Request &request, const std::string &tenant,
+             std::string *response_json, std::string *error)
+{
+    return callRaw(api::toJson(request, tenant), response_json, error);
+}
+
+void
+Client::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+bool
+Client::httpPost(const std::string &host, int port,
+                 const std::string &target, const std::string &body,
+                 int *status, std::string *response_body,
+                 std::string *error)
+{
+    const int fd = dial(host, port, error);
+    if (fd < 0)
+        return false;
+    // An empty body means a GET probe (/healthz, /stats); a document
+    // means POST. Both are single-shot: the server answers with
+    // Connection: close.
+    std::string head;
+    if (body.empty()) {
+        head = "GET " + target + " HTTP/1.1\r\n";
+    } else {
+        head = "POST " + target + " HTTP/1.1\r\n";
+        head += "Content-Length: " + std::to_string(body.size()) +
+                "\r\n";
+    }
+    head += "Host: " + host + "\r\n";
+    head += "Connection: close\r\n\r\n";
+    const std::string message = head + body;
+    bool ok = writeAll(fd, message.data(), message.size()) &&
+              readHttpResponse(fd, status, response_body, error);
+    if (!ok && error->empty())
+        *error = "http transport failure";
+    ::close(fd);
+    return ok;
+}
+
+}  // namespace temp::serve

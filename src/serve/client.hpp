@@ -1,0 +1,69 @@
+/**
+ * @file
+ * In-process clients for both wire protocols — what the tests, the
+ * load bench and `temp_cli request --connect` speak.
+ *
+ * Client holds one framed-RPC connection and answers call()s
+ * sequentially on it (one outstanding request per connection; run
+ * several Clients for concurrency). httpPost() is the one-shot
+ * HTTP/1.1 counterpart, opening a fresh connection per call the way
+ * the HTTP mode expects.
+ */
+#pragma once
+
+#include <string>
+
+#include "api/requests.hpp"
+
+namespace temp::serve {
+
+class Client
+{
+  public:
+    Client() = default;
+    ~Client();
+
+    Client(const Client &) = delete;
+    Client &operator=(const Client &) = delete;
+
+    /// Opens the framed-RPC connection.
+    bool connect(const std::string &host, int port,
+                 std::string *error);
+
+    /// True between a successful connect() and close().
+    bool connected() const { return fd_ >= 0; }
+
+    /**
+     * Sends one raw request document and waits for the response
+     * document.
+     *
+     * @return false with *error set on transport failure (the
+     *         connection is closed then); server-side errors are
+     *         successful calls whose document says ok=false.
+     */
+    bool callRaw(const std::string &request_json,
+                 std::string *response_json, std::string *error);
+
+    /// Typed convenience: serializes the request with the envelope
+    /// tenant and calls callRaw.
+    bool call(const api::Request &request, const std::string &tenant,
+              std::string *response_json, std::string *error);
+
+    void close();
+
+    /**
+     * One-shot HTTP POST of a request document to /v1/requests (or
+     * GET when body is empty and target says otherwise — see the
+     * implementation; tests use it for /healthz and /stats too).
+     */
+    static bool httpPost(const std::string &host, int port,
+                         const std::string &target,
+                         const std::string &body, int *status,
+                         std::string *response_body,
+                         std::string *error);
+
+  private:
+    int fd_ = -1;
+};
+
+}  // namespace temp::serve

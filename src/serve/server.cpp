@@ -1,0 +1,248 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "api/request_io.hpp"
+#include "api/serialize.hpp"
+#include "serve/wire.hpp"
+
+namespace temp::serve {
+
+Server::Server(api::TempService &service, ServerOptions options)
+    : service_(service), options_(std::move(options)),
+      dispatcher_(service, options_.dispatcher)
+{
+}
+
+Server::~Server()
+{
+    stop();
+}
+
+bool
+Server::start(std::string *error)
+{
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) {
+        *error = std::string("socket: ") + std::strerror(errno);
+        return false;
+    }
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                 sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port =
+        htons(static_cast<std::uint16_t>(options_.port));
+    if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) !=
+        1) {
+        *error = "invalid bind address '" + options_.host + "'";
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+        return false;
+    }
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        *error = "bind " + options_.host + ":" +
+                 std::to_string(options_.port) + ": " +
+                 std::strerror(errno);
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+        return false;
+    }
+    if (::listen(listen_fd_, 64) != 0) {
+        *error = std::string("listen: ") + std::strerror(errno);
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+        return false;
+    }
+    socklen_t addr_len = sizeof(addr);
+    ::getsockname(listen_fd_, reinterpret_cast<sockaddr *>(&addr),
+                  &addr_len);
+    port_ = ntohs(addr.sin_port);
+
+    accept_thread_ = std::thread([this] { acceptLoop(); });
+    return true;
+}
+
+void
+Server::acceptLoop()
+{
+    for (;;) {
+        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR)
+                continue;
+            return;  // listener closed (stop) or fatal
+        }
+        std::lock_guard<std::mutex> lock(sessions_mutex_);
+        if (stopping_.load()) {
+            ::close(fd);
+            return;
+        }
+        session_fds_.push_back(fd);
+        session_threads_.emplace_back(
+            [this, fd] { session(fd); });
+    }
+}
+
+std::string
+Server::handle(const std::string &request_json, bool *parsed,
+               bool *shed)
+{
+    *shed = false;
+    api::ParsedRequest request;
+    std::string error;
+    if (!parseRequest(request_json, &request, &error)) {
+        *parsed = false;
+        return api::JsonObject()
+            .add("ok", false)
+            .add("error", error)
+            .str();
+    }
+    *parsed = true;
+    const api::Response response =
+        dispatcher_.dispatch(request.request, request.tenant);
+    *shed = response.shed;
+    return api::toJson(response);
+}
+
+void
+Server::serveFramed(int fd)
+{
+    for (;;) {
+        std::string payload;
+        std::string error;
+        if (!readFrame(fd, &payload, &error)) {
+            // In-band answer for protocol violations; plain EOF (or a
+            // drain shutdown) ends the session silently.
+            if (!error.empty())
+                writeFrame(fd, api::JsonObject()
+                                   .add("ok", false)
+                                   .add("error", error)
+                                   .str());
+            return;
+        }
+        bool parsed = false;
+        bool shed = false;
+        if (!writeFrame(fd, handle(payload, &parsed, &shed)))
+            return;
+    }
+}
+
+void
+Server::serveHttp(int fd)
+{
+    HttpRequest request;
+    std::string error;
+    if (!readHttpRequest(fd, &request, &error)) {
+        if (!error.empty()) {
+            const std::string body = api::JsonObject()
+                                         .add("ok", false)
+                                         .add("error", error)
+                                         .str();
+            const std::string response = httpResponse(400, body);
+            writeAll(fd, response.data(), response.size());
+        }
+        return;
+    }
+
+    int status = 200;
+    std::string body;
+    if (request.method == "POST" && request.target == "/v1/requests") {
+        bool parsed = false;
+        bool shed = false;
+        body = handle(request.body, &parsed, &shed);
+        status = !parsed ? 400 : (shed ? 503 : 200);
+    } else if (request.method == "GET" &&
+               request.target == "/healthz") {
+        body = api::JsonObject().add("ok", true).str();
+    } else if (request.method == "GET" && request.target == "/stats") {
+        const DispatchStats stats = dispatcher_.stats();
+        body = api::JsonObject()
+                   .add("ok", true)
+                   .add("accepted", stats.accepted)
+                   .add("coalesced", stats.coalesced)
+                   .add("executed", stats.executed)
+                   .add("shed", stats.shed)
+                   .add("completed", stats.completed)
+                   .add("in_flight",
+                        static_cast<long>(dispatcher_.inFlight()))
+                   .str();
+    } else {
+        status = 404;
+        body = api::JsonObject()
+                   .add("ok", false)
+                   .add("error", "no such endpoint (use POST "
+                                 "/v1/requests, GET /healthz, "
+                                 "GET /stats)")
+                   .str();
+    }
+    const std::string response = httpResponse(status, body);
+    writeAll(fd, response.data(), response.size());
+}
+
+void
+Server::session(int fd)
+{
+    char first = 0;
+    const ssize_t peeked = ::recv(fd, &first, 1, MSG_PEEK);
+    if (peeked == 1) {
+        // A framed-RPC length prefix of any sane payload starts with a
+        // control byte; no HTTP method does.
+        if (static_cast<unsigned char>(first) < 0x20)
+            serveFramed(fd);
+        else
+            serveHttp(fd);
+    }
+    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    session_fds_.erase(std::remove(session_fds_.begin(),
+                                   session_fds_.end(), fd),
+                       session_fds_.end());
+    // Close under the sessions lock: stop() shuts live fds down under
+    // the same lock, so a recycled descriptor can never be hit.
+    ::close(fd);
+}
+
+void
+Server::stop()
+{
+    if (stopping_.exchange(true))
+        return;
+    if (listen_fd_ >= 0) {
+        // Unblock accept(); the loop exits on the failed accept.
+        ::shutdown(listen_fd_, SHUT_RDWR);
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+    }
+    if (accept_thread_.joinable())
+        accept_thread_.join();
+
+    std::vector<std::thread> sessions;
+    {
+        std::lock_guard<std::mutex> lock(sessions_mutex_);
+        // Half-close live connections: blocked reads return EOF so no
+        // session picks up *new* requests, while requests already
+        // dispatched still finish and their responses still write.
+        for (const int fd : session_fds_)
+            ::shutdown(fd, SHUT_RD);
+        sessions = std::move(session_threads_);
+        session_threads_.clear();
+    }
+    for (std::thread &thread : sessions)
+        thread.join();
+
+    // All sessions answered; drain whatever the dispatcher still
+    // holds and stop its workers.
+    dispatcher_.stop();
+}
+
+}  // namespace temp::serve

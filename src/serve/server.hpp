@@ -1,0 +1,98 @@
+/**
+ * @file
+ * The network front end of TempService: one listener speaking both
+ * wire protocols, routed through the coalescing/admission dispatcher.
+ *
+ * Protocol sniffing: the first byte of a connection decides its mode.
+ * A control byte (< 0x20) can only be the MSB of a framed-RPC length
+ * prefix, anything else is treated as HTTP/1.1. Both modes share the
+ * same session core — parse a request document, dispatch it, render
+ * the Response to JSON — so a response is byte-identical regardless of
+ * transport.
+ *
+ *  - Framed RPC: any number of length-prefixed JSON requests per
+ *    connection, answered in order. Parse errors are answered in-band
+ *    ({"ok":false,"error":...}) and keep the connection open.
+ *  - HTTP/1.1: one request per connection. POST /v1/requests runs a
+ *    request document (200 on execution, 400 on malformed documents,
+ *    503 when shed); GET /healthz and GET /stats serve liveness and
+ *    dispatcher counters.
+ *
+ * Graceful drain (stop(), the SIGINT contract): close the listener,
+ * shut down session reads (in-flight requests finish and their
+ * responses are written; no new requests are read), drain the
+ * dispatcher, join every thread. After stop() returns, no thread of
+ * the server is alive and every accepted request was answered.
+ */
+#pragma once
+
+#include <atomic>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/dispatcher.hpp"
+
+namespace temp::serve {
+
+struct ServerOptions
+{
+    /// Bind address; tests and the load bench use loopback.
+    std::string host = "127.0.0.1";
+    /// TCP port; 0 picks an ephemeral port (read it back via port()).
+    int port = 0;
+    DispatcherOptions dispatcher;
+};
+
+class Server
+{
+  public:
+    Server(api::TempService &service, ServerOptions options);
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /**
+     * Binds, listens and starts the accept loop.
+     *
+     * @return false with *error set (e.g. address in use) and no
+     *         threads running.
+     */
+    bool start(std::string *error);
+
+    /// The bound TCP port (resolves port 0 requests).
+    int port() const { return port_; }
+
+    /// Graceful drain; idempotent, called by the destructor.
+    void stop();
+
+    DispatchStats stats() const { return dispatcher_.stats(); }
+
+  private:
+    void acceptLoop();
+    void session(int fd);
+    void serveFramed(int fd);
+    void serveHttp(int fd);
+    /// The shared session core: request JSON in, response JSON +
+    /// status out. `shed` distinguishes 503 from 200 in HTTP mode.
+    std::string handle(const std::string &request_json, bool *parsed,
+                       bool *shed);
+
+    api::TempService &service_;
+    ServerOptions options_;
+    Dispatcher dispatcher_;
+
+    int listen_fd_ = -1;
+    int port_ = 0;
+    std::atomic<bool> stopping_{false};
+    std::thread accept_thread_;
+    std::mutex sessions_mutex_;
+    /// Live connection fds (for shutdown during drain) and every
+    /// session thread ever spawned (joined in stop()).
+    std::vector<int> session_fds_;
+    std::vector<std::thread> session_threads_;
+};
+
+}  // namespace temp::serve

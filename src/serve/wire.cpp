@@ -1,0 +1,253 @@
+#include "serve/wire.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace temp::serve {
+
+namespace {
+
+constexpr std::size_t kMaxHeadBytes = 64u << 10;
+
+/// Reads up to the CRLFCRLF head terminator, byte-at-a-time. A
+/// connection carries one request, so simplicity beats buffering —
+/// and byte-at-a-time cannot over-read into the body.
+bool
+readHead(int fd, std::string *head, std::string *error)
+{
+    head->clear();
+    char c = 0;
+    while (head->size() < kMaxHeadBytes) {
+        if (!readExact(fd, &c, 1)) {
+            if (!head->empty())
+                *error = "truncated http head";
+            return false;
+        }
+        head->push_back(c);
+        if (head->size() >= 4 &&
+            head->compare(head->size() - 4, 4, "\r\n\r\n") == 0)
+            return true;
+    }
+    *error = "http head exceeds 64 KiB";
+    return false;
+}
+
+/// Case-insensitive Content-Length lookup; -1 when absent, -2 when
+/// malformed.
+long
+contentLengthOf(const std::string &head)
+{
+    std::size_t pos = 0;
+    while (pos < head.size()) {
+        std::size_t eol = head.find("\r\n", pos);
+        if (eol == std::string::npos)
+            eol = head.size();
+        const std::string line = head.substr(pos, eol - pos);
+        pos = eol + 2;
+        const std::size_t colon = line.find(':');
+        if (colon == std::string::npos)
+            continue;
+        std::string name = line.substr(0, colon);
+        for (char &c : name)
+            c = static_cast<char>(
+                std::tolower(static_cast<unsigned char>(c)));
+        if (name != "content-length")
+            continue;
+        std::size_t value = colon + 1;
+        while (value < line.size() && line[value] == ' ')
+            ++value;
+        char *end = nullptr;
+        const long length =
+            std::strtol(line.c_str() + value, &end, 10);
+        if (end == line.c_str() + value || length < 0)
+            return -2;
+        return length;
+    }
+    return -1;
+}
+
+bool
+readBody(int fd, long length, std::string *body, std::string *error)
+{
+    if (length < 0) {
+        body->clear();
+        if (length == -2)
+            *error = "malformed Content-Length";
+        return length == -1;
+    }
+    if (static_cast<std::uint64_t>(length) > kMaxPayloadBytes) {
+        *error = "body exceeds payload cap";
+        return false;
+    }
+    body->resize(static_cast<std::size_t>(length));
+    if (length > 0 && !readExact(fd, body->data(), body->size())) {
+        *error = "truncated http body";
+        return false;
+    }
+    return true;
+}
+
+const char *
+statusText(int status)
+{
+    switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    }
+    return "Unknown";
+}
+
+}  // namespace
+
+bool
+readExact(int fd, void *buffer, std::size_t length)
+{
+    char *at = static_cast<char *>(buffer);
+    while (length > 0) {
+        const ssize_t got = ::recv(fd, at, length, 0);
+        if (got < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        if (got == 0)
+            return false;
+        at += got;
+        length -= static_cast<std::size_t>(got);
+    }
+    return true;
+}
+
+bool
+writeAll(int fd, const void *buffer, std::size_t length)
+{
+    const char *at = static_cast<const char *>(buffer);
+    while (length > 0) {
+        const ssize_t sent = ::send(fd, at, length, MSG_NOSIGNAL);
+        if (sent < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        at += sent;
+        length -= static_cast<std::size_t>(sent);
+    }
+    return true;
+}
+
+std::string
+encodeFrame(const std::string &payload)
+{
+    const std::uint32_t length =
+        static_cast<std::uint32_t>(payload.size());
+    std::string frame;
+    frame.reserve(payload.size() + 4);
+    frame.push_back(static_cast<char>((length >> 24) & 0xff));
+    frame.push_back(static_cast<char>((length >> 16) & 0xff));
+    frame.push_back(static_cast<char>((length >> 8) & 0xff));
+    frame.push_back(static_cast<char>(length & 0xff));
+    frame += payload;
+    return frame;
+}
+
+bool
+readFrame(int fd, std::string *payload, std::string *error)
+{
+    error->clear();
+    unsigned char header[4];
+    if (!readExact(fd, header, sizeof(header)))
+        return false;  // clean EOF between frames
+    const std::uint32_t length =
+        (static_cast<std::uint32_t>(header[0]) << 24) |
+        (static_cast<std::uint32_t>(header[1]) << 16) |
+        (static_cast<std::uint32_t>(header[2]) << 8) |
+        static_cast<std::uint32_t>(header[3]);
+    if (length > kMaxPayloadBytes) {
+        *error = "frame of " + std::to_string(length) +
+                 " bytes exceeds the payload cap";
+        return false;
+    }
+    payload->resize(length);
+    if (length > 0 && !readExact(fd, payload->data(), length)) {
+        *error = "truncated frame";
+        return false;
+    }
+    return true;
+}
+
+bool
+writeFrame(int fd, const std::string &payload)
+{
+    if (payload.size() > kMaxPayloadBytes)
+        return false;
+    const std::string frame = encodeFrame(payload);
+    return writeAll(fd, frame.data(), frame.size());
+}
+
+bool
+readHttpRequest(int fd, HttpRequest *out, std::string *error)
+{
+    error->clear();
+    std::string head;
+    if (!readHead(fd, &head, error))
+        return false;
+    const std::size_t line_end = head.find("\r\n");
+    const std::string line = head.substr(0, line_end);
+    const std::size_t sp1 = line.find(' ');
+    const std::size_t sp2 =
+        sp1 == std::string::npos ? sp1 : line.find(' ', sp1 + 1);
+    if (sp2 == std::string::npos) {
+        *error = "malformed http request line";
+        return false;
+    }
+    out->method = line.substr(0, sp1);
+    out->target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+    return readBody(fd, contentLengthOf(head), &out->body, error);
+}
+
+std::string
+httpResponse(int status, const std::string &body)
+{
+    std::string response = "HTTP/1.1 " + std::to_string(status) + " " +
+                           statusText(status) + "\r\n";
+    response += "Content-Type: application/json\r\n";
+    response += "Content-Length: " + std::to_string(body.size()) +
+                "\r\n";
+    response += "Connection: close\r\n\r\n";
+    response += body;
+    return response;
+}
+
+bool
+readHttpResponse(int fd, int *status, std::string *body,
+                 std::string *error)
+{
+    error->clear();
+    std::string head;
+    if (!readHead(fd, &head, error)) {
+        if (error->empty())
+            *error = "connection closed before response";
+        return false;
+    }
+    if (head.compare(0, 5, "HTTP/") != 0) {
+        *error = "malformed http status line";
+        return false;
+    }
+    const std::size_t sp = head.find(' ');
+    if (sp == std::string::npos) {
+        *error = "malformed http status line";
+        return false;
+    }
+    *status = std::atoi(head.c_str() + sp + 1);
+    return readBody(fd, contentLengthOf(head), body, error);
+}
+
+}  // namespace temp::serve

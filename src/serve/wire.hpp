@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Wire-level helpers shared by the server and the client: robust
+ * socket I/O (EINTR-safe, SIGPIPE-free), the length-prefixed framed-
+ * RPC encoding, and a minimal HTTP/1.1 request/response codec.
+ *
+ * Framed RPC: each message is a 4-byte big-endian payload length
+ * followed by that many bytes of JSON. The length is capped (64 MB) so
+ * a hostile peer cannot make the server allocate unboundedly. The
+ * first byte of a frame is a length MSB < 0x20, which is what lets the
+ * server sniff the protocol: no HTTP method starts with a control
+ * byte.
+ *
+ * HTTP: enough of HTTP/1.1 for the service surface — one request per
+ * connection, Content-Length bodies only (no chunked encoding), the
+ * response always carries Connection: close.
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace temp::serve {
+
+/// Largest accepted frame/body payload (hostile-input allocation cap).
+constexpr std::uint32_t kMaxPayloadBytes = 64u << 20;
+
+/// @{ EINTR-safe exact-length socket I/O. readExact returns false on
+/// EOF or error; writeAll sends with SIGPIPE suppressed (a vanished
+/// peer is a false return, not a process signal).
+bool readExact(int fd, void *buffer, std::size_t length);
+bool writeAll(int fd, const void *buffer, std::size_t length);
+/// @}
+
+/// Prepends the 4-byte big-endian length header.
+std::string encodeFrame(const std::string &payload);
+
+/**
+ * Reads one length-prefixed frame.
+ *
+ * @return false on clean EOF (*error empty) or protocol error
+ *         (*error set, e.g. oversized frame).
+ */
+bool readFrame(int fd, std::string *payload, std::string *error);
+
+/// Writes one frame; false when the peer is gone.
+bool writeFrame(int fd, const std::string &payload);
+
+/// One parsed HTTP request (head + body).
+struct HttpRequest
+{
+    std::string method;  ///< "GET", "POST", ...
+    std::string target;  ///< "/v1/requests"
+    std::string body;
+};
+
+/**
+ * Reads one HTTP/1.1 request from the socket: head until CRLFCRLF
+ * (bounded), then a Content-Length body (bounded by
+ * kMaxPayloadBytes).
+ *
+ * @return false on EOF before a complete head (*error empty when the
+ *         connection closed before any byte arrived) or malformed
+ *         input (*error set).
+ */
+bool readHttpRequest(int fd, HttpRequest *out, std::string *error);
+
+/// Renders a complete HTTP/1.1 response (status line, JSON content
+/// type, Content-Length, Connection: close).
+std::string httpResponse(int status, const std::string &body);
+
+/**
+ * Reads one HTTP/1.1 response (client side).
+ *
+ * @return false with *error set on EOF or malformed input.
+ */
+bool readHttpResponse(int fd, int *status, std::string *body,
+                      std::string *error);
+
+}  // namespace temp::serve

@@ -1,0 +1,522 @@
+/**
+ * @file
+ * Tests for the service front end (src/serve): in-flight coalescing,
+ * admission control, per-tenant fairness, graceful drain, and the
+ * network server's round-trip contract — the response a client reads
+ * off the wire is byte-identical to the in-process run() path.
+ *
+ * The concurrency tests run under ThreadSanitizer in CI; they are
+ * written to be deterministic (a gate in the executor seam holds
+ * solves in flight until the scenario is fully staged).
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <regex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/request_io.hpp"
+#include "api/serialize.hpp"
+#include "api/service.hpp"
+#include "model/model_zoo.hpp"
+#include "serve/client.hpp"
+#include "serve/dispatcher.hpp"
+#include "serve/server.hpp"
+
+namespace temp::serve {
+namespace {
+
+core::FrameworkOptions
+fastOptions()
+{
+    core::FrameworkOptions options;
+    options.solver.ga_population = 8;
+    options.solver.ga_generations = 4;
+    options.eval_threads = 2;
+    return options;
+}
+
+api::Request
+optimizeWithSeed(std::uint64_t seed)
+{
+    api::OptimizeRequest request;
+    request.model = model::modelByName("GPT-3 6.7B");
+    request.options = fastOptions();
+    request.options.solver.seed = seed;
+    return request;
+}
+
+/// Holds executor calls open until release(); lets a test stage N
+/// requests in flight deterministically.
+struct Gate
+{
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool open = false;
+    int started = 0;
+
+    void waitOpen()
+    {
+        std::unique_lock<std::mutex> lock(mutex);
+        ++started;
+        cv.notify_all();
+        cv.wait(lock, [this] { return open; });
+    }
+
+    void release()
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        open = true;
+        cv.notify_all();
+    }
+
+    int startedCount()
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        return started;
+    }
+};
+
+/// Spins (1 ms steps, 20 s cap) until the predicate holds.
+template <typename Pred>
+::testing::AssertionResult
+waitUntil(Pred &&pred)
+{
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::seconds(20);
+    while (!pred()) {
+        if (std::chrono::steady_clock::now() > deadline)
+            return ::testing::AssertionFailure()
+                   << "timed out waiting for condition";
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return ::testing::AssertionSuccess();
+}
+
+TEST(Dispatcher, NIdenticalRequestsCostOneSolve)
+{
+    api::TempService service;
+    Gate gate;
+    std::atomic<int> solves{0};
+    DispatcherOptions options;
+    options.workers = 2;
+    options.executor = [&](const api::Request &) {
+        ++solves;
+        gate.waitOpen();
+        api::Response response;
+        response.ok = true;
+        response.wall_time_s = 42.0;  // payload marker
+        return response;
+    };
+    Dispatcher dispatcher(service, options);
+
+    const api::Request request = optimizeWithSeed(7);
+    constexpr int kCallers = 8;
+    std::vector<api::Response> responses(kCallers);
+    std::vector<std::thread> threads;
+    for (int i = 0; i < kCallers; ++i)
+        threads.emplace_back([&, i] {
+            responses[static_cast<std::size_t>(i)] =
+                dispatcher.dispatch(request,
+                                    "tenant-" + std::to_string(i));
+        });
+    // All callers admitted (1 host + 7 riders) before the solve may
+    // finish.
+    ASSERT_TRUE(waitUntil(
+        [&] { return dispatcher.stats().accepted == kCallers; }));
+    gate.release();
+    for (std::thread &thread : threads)
+        thread.join();
+
+    const DispatchStats stats = dispatcher.stats();
+    EXPECT_EQ(stats.executed, 1);
+    EXPECT_EQ(stats.coalesced, kCallers - 1);
+    EXPECT_EQ(stats.completed, kCallers);
+    EXPECT_EQ(stats.shed, 0);
+    EXPECT_EQ(solves.load(), 1);
+
+    int riders = 0;
+    for (int i = 0; i < kCallers; ++i) {
+        const api::Response &response =
+            responses[static_cast<std::size_t>(i)];
+        EXPECT_TRUE(response.ok);
+        // Every caller holds the one shared payload, personalized
+        // with its own tenant and rider flag.
+        EXPECT_DOUBLE_EQ(response.wall_time_s, 42.0);
+        EXPECT_EQ(response.coalesced_requests, kCallers);
+        EXPECT_EQ(response.tenant, "tenant-" + std::to_string(i));
+        riders += response.coalesced ? 1 : 0;
+    }
+    EXPECT_EQ(riders, kCallers - 1);
+    EXPECT_EQ(dispatcher.inFlight(), 0);
+}
+
+TEST(Dispatcher, CacheStatsIsNeverCoalesced)
+{
+    api::TempService service;
+    Gate gate;
+    DispatcherOptions options;
+    options.workers = 2;
+    options.executor = [&](const api::Request &) {
+        gate.waitOpen();
+        api::Response response;
+        response.ok = true;
+        return response;
+    };
+    Dispatcher dispatcher(service, options);
+
+    std::vector<std::thread> threads;
+    for (int i = 0; i < 3; ++i)
+        threads.emplace_back([&] {
+            dispatcher.dispatch(api::CacheStatsRequest{}, "obs");
+        });
+    ASSERT_TRUE(
+        waitUntil([&] { return dispatcher.stats().accepted == 3; }));
+    gate.release();
+    for (std::thread &thread : threads)
+        thread.join();
+
+    const DispatchStats stats = dispatcher.stats();
+    EXPECT_EQ(stats.executed, 3);  // a snapshot per request
+    EXPECT_EQ(stats.coalesced, 0);
+}
+
+TEST(Dispatcher, QueueFullSheds)
+{
+    api::TempService service;
+    Gate gate;
+    DispatcherOptions options;
+    options.workers = 1;
+    options.max_queue = 1;
+    options.executor = [&](const api::Request &) {
+        gate.waitOpen();
+        api::Response response;
+        response.ok = true;
+        return response;
+    };
+    Dispatcher dispatcher(service, options);
+
+    // r1 occupies the worker, r2 the single queue slot; r3 must be
+    // shed immediately with an explicit response.
+    std::thread first(
+        [&] { dispatcher.dispatch(optimizeWithSeed(1), "a"); });
+    ASSERT_TRUE(waitUntil([&] { return gate.startedCount() == 1; }));
+    std::thread second(
+        [&] { dispatcher.dispatch(optimizeWithSeed(2), "a"); });
+    ASSERT_TRUE(
+        waitUntil([&] { return dispatcher.stats().accepted == 2; }));
+
+    const api::Response shed =
+        dispatcher.dispatch(optimizeWithSeed(3), "a");
+    EXPECT_FALSE(shed.ok);
+    EXPECT_TRUE(shed.shed);
+    EXPECT_NE(shed.error.find("queue full (1 requests)"),
+              std::string::npos)
+        << shed.error;
+
+    // An identical duplicate of the *executing* request still rides:
+    // the admission bound does not apply to coalesced attachments.
+    std::thread rider([&] {
+        const api::Response response =
+            dispatcher.dispatch(optimizeWithSeed(1), "b");
+        EXPECT_TRUE(response.coalesced);
+        EXPECT_FALSE(response.shed);
+    });
+    ASSERT_TRUE(waitUntil(
+        [&] { return dispatcher.stats().coalesced == 1; }));
+
+    gate.release();
+    first.join();
+    second.join();
+    rider.join();
+    const DispatchStats stats = dispatcher.stats();
+    EXPECT_EQ(stats.shed, 1);
+    EXPECT_EQ(stats.executed, 2);
+    EXPECT_EQ(stats.coalesced, 1);
+}
+
+TEST(Dispatcher, TenantsAreServedRoundRobin)
+{
+    api::TempService service;
+    Gate gate;
+    std::mutex order_mutex;
+    std::vector<std::uint64_t> order;
+    DispatcherOptions options;
+    options.workers = 1;
+    options.executor = [&](const api::Request &request) {
+        gate.waitOpen();
+        {
+            std::lock_guard<std::mutex> lock(order_mutex);
+            order.push_back(std::get<api::OptimizeRequest>(request)
+                                .options.solver.seed);
+        }
+        api::Response response;
+        response.ok = true;
+        return response;
+    };
+    Dispatcher dispatcher(service, options);
+
+    // Tenant A floods 8 requests, then tenant B sends 2; with one
+    // worker and round-robin dequeue B is answered interleaved, not
+    // after A's whole backlog.
+    std::vector<std::thread> threads;
+    threads.emplace_back(
+        [&] { dispatcher.dispatch(optimizeWithSeed(100), "A"); });
+    ASSERT_TRUE(waitUntil([&] { return gate.startedCount() == 1; }));
+    for (std::uint64_t i = 1; i < 8; ++i)
+        threads.emplace_back([&, i] {
+            dispatcher.dispatch(optimizeWithSeed(100 + i), "A");
+        });
+    ASSERT_TRUE(
+        waitUntil([&] { return dispatcher.stats().accepted == 8; }));
+    for (std::uint64_t j = 0; j < 2; ++j)
+        threads.emplace_back([&, j] {
+            dispatcher.dispatch(optimizeWithSeed(200 + j), "B");
+        });
+    ASSERT_TRUE(
+        waitUntil([&] { return dispatcher.stats().accepted == 10; }));
+
+    gate.release();
+    for (std::thread &thread : threads)
+        thread.join();
+
+    ASSERT_EQ(order.size(), 10u);
+    const auto position = [&](std::uint64_t seed) {
+        return std::find(order.begin(), order.end(), seed) -
+               order.begin();
+    };
+    // B arrived last yet both its requests execute within the first
+    // half of the schedule; A's backlog tail runs last.
+    EXPECT_LE(position(200), 3);
+    EXPECT_LE(position(201), 5);
+    EXPECT_EQ(position(107), 9);
+}
+
+TEST(Dispatcher, DrainRefusesNewWorkAndFinishesAdmitted)
+{
+    api::TempService service;
+    DispatcherOptions options;
+    options.workers = 2;
+    options.executor = [](const api::Request &) {
+        api::Response response;
+        response.ok = true;
+        return response;
+    };
+    Dispatcher dispatcher(service, options);
+
+    const api::Response before =
+        dispatcher.dispatch(optimizeWithSeed(1), "t");
+    EXPECT_TRUE(before.ok);
+
+    dispatcher.stop();
+    const api::Response after =
+        dispatcher.dispatch(optimizeWithSeed(2), "t");
+    EXPECT_FALSE(after.ok);
+    EXPECT_TRUE(after.shed);
+    EXPECT_NE(after.error.find("draining"), std::string::npos);
+
+    const DispatchStats stats = dispatcher.stats();
+    EXPECT_EQ(stats.accepted, 2);
+    EXPECT_EQ(stats.executed, 1);
+    EXPECT_EQ(stats.shed, 1);
+    EXPECT_EQ(stats.completed, 1);
+}
+
+TEST(Dispatcher, GracefulDrainUnderConcurrentLoad)
+{
+    api::TempService service;
+    DispatcherOptions options;
+    options.workers = 2;
+    options.executor = [](const api::Request &) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        api::Response response;
+        response.ok = true;
+        return response;
+    };
+    Dispatcher dispatcher(service, options);
+
+    std::atomic<int> answered{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t)
+        threads.emplace_back([&, t] {
+            for (std::uint64_t i = 0; i < 5; ++i) {
+                const api::Response response = dispatcher.dispatch(
+                    optimizeWithSeed(static_cast<std::uint64_t>(t) *
+                                         100 +
+                                     i),
+                    t % 2 == 0 ? "even" : "odd");
+                // Every dispatch is answered: a real response before
+                // the drain, an explicit refusal after.
+                EXPECT_TRUE(response.ok || response.shed);
+                ++answered;
+            }
+        });
+    std::this_thread::sleep_for(std::chrono::milliseconds(3));
+    dispatcher.stop();  // races with in-flight dispatches on purpose
+    for (std::thread &thread : threads)
+        thread.join();
+
+    EXPECT_EQ(answered.load(), 20);
+    const DispatchStats stats = dispatcher.stats();
+    EXPECT_EQ(stats.accepted,
+              stats.executed + stats.coalesced + stats.shed);
+    EXPECT_EQ(dispatcher.inFlight(), 0);
+}
+
+/// Zeroes the wall-clock fields, the only nondeterministic bytes in a
+/// response document.
+std::string
+normalizeTimings(const std::string &json)
+{
+    static const std::regex timing(
+        "\"(wall_time_s|queue_time_s|search_time_s)\":[-0-9.eE+]+");
+    return std::regex_replace(json, timing, "\"$1\":0");
+}
+
+TEST(Server, RoundTripMatchesInProcessByteForByte)
+{
+    const api::Request request = optimizeWithSeed(11);
+
+    // In-process reference path, on its own service so both sides
+    // compute from a cold framework cache.
+    api::TempService local;
+    const std::string expected =
+        normalizeTimings(api::toJson(local.run(request)));
+
+    api::TempService service;
+    Server server(service, ServerOptions{});
+    std::string error;
+    ASSERT_TRUE(server.start(&error)) << error;
+
+    Client client;
+    ASSERT_TRUE(client.connect("127.0.0.1", server.port(), &error))
+        << error;
+    std::string wire_response;
+    ASSERT_TRUE(client.call(request, "", &wire_response, &error))
+        << error;
+    EXPECT_EQ(normalizeTimings(wire_response), expected);
+
+    // Same connection, second call: the framed session is reusable,
+    // and the repeat is served from the cached framework.
+    std::string repeat;
+    ASSERT_TRUE(client.call(request, "", &repeat, &error)) << error;
+    EXPECT_NE(repeat.find("\"framework_reused\":true"),
+              std::string::npos);
+    server.stop();
+}
+
+TEST(Server, FramedSessionAnswersBadDocumentsInBand)
+{
+    api::TempService service;
+    Server server(service, ServerOptions{});
+    std::string error;
+    ASSERT_TRUE(server.start(&error)) << error;
+
+    Client client;
+    ASSERT_TRUE(client.connect("127.0.0.1", server.port(), &error))
+        << error;
+    std::string response;
+    // Not JSON at all: the server answers with an ok=false document
+    // instead of dropping the connection...
+    ASSERT_TRUE(client.callRaw("!!definitely not json", &response,
+                               &error))
+        << error;
+    EXPECT_NE(response.find("\"ok\":false"), std::string::npos);
+    // ...so the same connection still serves the next request.
+    ASSERT_TRUE(client.call(api::CacheStatsRequest{}, "obs",
+                            &response, &error))
+        << error;
+    EXPECT_NE(response.find("\"ok\":true"), std::string::npos);
+    EXPECT_NE(response.find("\"tenant\":\"obs\""), std::string::npos);
+    server.stop();
+}
+
+TEST(Server, HttpEndpoints)
+{
+    api::TempService service;
+    Server server(service, ServerOptions{});
+    std::string error;
+    ASSERT_TRUE(server.start(&error)) << error;
+    const int port = server.port();
+
+    int status = 0;
+    std::string body;
+    ASSERT_TRUE(Client::httpPost("127.0.0.1", port, "/healthz", "",
+                                 &status, &body, &error))
+        << error;
+    EXPECT_EQ(status, 200);
+    EXPECT_EQ(body, "{\"ok\":true}");
+
+    ASSERT_TRUE(Client::httpPost("127.0.0.1", port, "/v1/requests",
+                                 "{\"kind\":\"frobnicate\"}", &status,
+                                 &body, &error))
+        << error;
+    EXPECT_EQ(status, 400);
+    EXPECT_NE(body.find("unknown kind"), std::string::npos);
+
+    ASSERT_TRUE(Client::httpPost(
+        "127.0.0.1", port, "/v1/requests",
+        api::toJson(api::CacheStatsRequest{}, "http-tenant"), &status,
+        &body, &error))
+        << error;
+    EXPECT_EQ(status, 200);
+    EXPECT_NE(body.find("\"ok\":true"), std::string::npos);
+    EXPECT_NE(body.find("\"tenant\":\"http-tenant\""),
+              std::string::npos);
+
+    ASSERT_TRUE(Client::httpPost("127.0.0.1", port, "/stats", "",
+                                 &status, &body, &error))
+        << error;
+    EXPECT_EQ(status, 200);
+    EXPECT_NE(body.find("\"accepted\":"), std::string::npos);
+
+    ASSERT_TRUE(Client::httpPost("127.0.0.1", port, "/nope", "",
+                                 &status, &body, &error))
+        << error;
+    EXPECT_EQ(status, 404);
+    server.stop();
+}
+
+TEST(Server, StopDrainsInFlightSessions)
+{
+    api::TempService service;
+    Server server(service, ServerOptions{});
+    std::string error;
+    ASSERT_TRUE(server.start(&error)) << error;
+    const int port = server.port();
+
+    // Clients race the shutdown: each call either completes with a
+    // real document or fails as a clean transport error — never a
+    // hang, never a crash.
+    std::atomic<int> completed{0};
+    std::vector<std::thread> threads;
+    for (std::uint64_t i = 0; i < 3; ++i)
+        threads.emplace_back([&, i] {
+            Client client;
+            std::string client_error;
+            if (!client.connect("127.0.0.1", port, &client_error))
+                return;
+            std::string response;
+            if (client.call(optimizeWithSeed(50 + i), "race",
+                            &response, &client_error))
+                ++completed;
+        });
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    server.stop();
+    for (std::thread &thread : threads)
+        thread.join();
+
+    const DispatchStats stats = server.stats();
+    EXPECT_EQ(stats.accepted,
+              stats.executed + stats.coalesced + stats.shed);
+    EXPECT_GE(completed.load(), 0);
+}
+
+}  // namespace
+}  // namespace temp::serve

@@ -19,6 +19,11 @@
  *               bytes, hits, misses, evictions); pair with --opts
  *               budget keys (eval.cache.max_entries, ...) to watch
  *               bounded eviction live
+ *   serve       network front end: framed-RPC + HTTP/1.1 on one port,
+ *               with in-flight coalescing, admission control and
+ *               per-tenant fair dequeue; SIGINT drains gracefully
+ *   request     run one request-JSON document: parse, then execute
+ *               in-process or (--connect HOST:PORT) against a server
  *
  * model: a zoo name ("GPT-3 6.7B") or a path/to/model.conf; options:
  *   --wafer FILE.conf   custom wafer (default: the Table I 4x8)
@@ -26,16 +31,27 @@
  *   --json              machine-readable output
  */
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "api/request_io.hpp"
 #include "api/serialize.hpp"
 #include "api/service.hpp"
+#include "common/json.hpp"
 #include "common/table.hpp"
 #include "core/config_io.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
 
 using namespace temp;
 
@@ -61,6 +77,13 @@ struct CliArgs
     int pp = 0;  ///< 0 = wafer count
     int micro = 8;
     int dp = 2, tp = 1, sp = 1, tatp = 16;
+    // serve / request
+    std::string host = "127.0.0.1";
+    int port = 7411;
+    int workers = 2;
+    int max_queue = 64;
+    std::string request_file;  ///< "" or "-" = stdin
+    std::string connect;       ///< HOST:PORT ("" = run in-process)
 };
 
 int
@@ -79,7 +102,11 @@ usage(const char *argv0)
         "(--wafers N, --pp N, --micro N, --dp/--tp/--sp/--tatp N)\n"
         "  sweep       ranked explicit-strategy line-up + solver pick\n"
         "  cache-stats optimize once, then report every cache "
-        "layer's counters\n\n"
+        "layer's counters\n"
+        "  serve       framed-RPC/HTTP front end "
+        "(--host A, --port N, --workers N, --max-queue N)\n"
+        "  request     run one request-JSON document "
+        "(--file F|stdin, --connect HOST:PORT)\n\n"
         "model: zoo name (e.g. \"GPT-3 6.7B\") or path/to/model.conf\n"
         "options: --wafer FILE.conf, --opts FILE.conf,\n"
         "  --refiner none|genetic|annealing (level-2 search engine),\n"
@@ -136,6 +163,18 @@ parseArgs(int argc, char **argv, CliArgs *args)
             args->sp = std::atoi(value());
         else if (arg == "--tatp")
             args->tatp = std::atoi(value());
+        else if (arg == "--host")
+            args->host = value();
+        else if (arg == "--port")
+            args->port = std::atoi(value());
+        else if (arg == "--workers")
+            args->workers = std::atoi(value());
+        else if (arg == "--max-queue")
+            args->max_queue = std::atoi(value());
+        else if (arg == "--file")
+            args->request_file = value();
+        else if (arg == "--connect")
+            args->connect = value();
         else if (!arg.empty() && arg[0] == '-')
             return false;
         else if (positional++ == 0)
@@ -492,6 +531,116 @@ runCacheStats(api::TempService &service, const CliArgs &args)
     return stats.ok && solve.ok ? 0 : 1;
 }
 
+volatile std::sig_atomic_t g_stop_requested = 0;
+
+extern "C" void
+handleStopSignal(int)
+{
+    g_stop_requested = 1;
+}
+
+int
+runServe(api::TempService &service, const CliArgs &args)
+{
+    serve::ServerOptions options;
+    options.host = args.host;
+    options.port = args.port;
+    options.dispatcher.workers = args.workers;
+    options.dispatcher.max_queue = args.max_queue;
+
+    serve::Server server(service, options);
+    std::string error;
+    if (!server.start(&error)) {
+        std::fprintf(stderr, "temp_cli serve: %s\n", error.c_str());
+        return 1;
+    }
+    // Machine-parsable first line (tests bind --port 0 and read the
+    // resolved port back from here).
+    std::printf("temp_cli serve: listening on %s:%d "
+                "(workers=%d, max_queue=%d)\n",
+                args.host.c_str(), server.port(), args.workers,
+                args.max_queue);
+    std::fflush(stdout);
+
+    std::signal(SIGINT, handleStopSignal);
+    std::signal(SIGTERM, handleStopSignal);
+    while (!g_stop_requested)
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+    server.stop();
+    const serve::DispatchStats stats = server.stats();
+    std::fprintf(stderr,
+                 "temp_cli serve: drained (accepted=%ld "
+                 "coalesced=%ld executed=%ld shed=%ld "
+                 "completed=%ld)\n",
+                 stats.accepted, stats.coalesced, stats.executed,
+                 stats.shed, stats.completed);
+    return 0;
+}
+
+int
+runRequest(api::TempService &service, const CliArgs &args)
+{
+    std::string text;
+    if (args.request_file.empty() || args.request_file == "-") {
+        std::stringstream buffer;
+        buffer << std::cin.rdbuf();
+        text = buffer.str();
+    } else {
+        std::ifstream file(args.request_file);
+        if (!file) {
+            std::fprintf(stderr, "temp_cli request: cannot open '%s'\n",
+                         args.request_file.c_str());
+            return 1;
+        }
+        std::stringstream buffer;
+        buffer << file.rdbuf();
+        text = buffer.str();
+    }
+
+    // Parse locally first either way: a malformed document must exit
+    // nonzero without touching the network (or the service).
+    api::ParsedRequest parsed;
+    std::string error;
+    if (!api::parseRequest(text, &parsed, &error)) {
+        std::fprintf(stderr, "temp_cli request: %s\n", error.c_str());
+        return 1;
+    }
+
+    std::string response_json;
+    if (!args.connect.empty()) {
+        const std::size_t colon = args.connect.rfind(':');
+        if (colon == std::string::npos) {
+            std::fprintf(stderr,
+                         "temp_cli request: --connect wants HOST:PORT, "
+                         "got '%s'\n",
+                         args.connect.c_str());
+            return 1;
+        }
+        serve::Client client;
+        if (!client.connect(args.connect.substr(0, colon),
+                            std::atoi(args.connect.c_str() + colon + 1),
+                            &error) ||
+            !client.callRaw(text, &response_json, &error)) {
+            std::fprintf(stderr, "temp_cli request: %s\n",
+                         error.c_str());
+            return 1;
+        }
+        std::printf("%s\n", response_json.c_str());
+        common::JsonValue response;
+        std::string parse_error;
+        if (!common::parseJson(response_json, &response, &parse_error))
+            return 1;
+        const common::JsonValue *ok = response.find("ok");
+        return ok != nullptr && ok->isBool() && ok->bool_value ? 0 : 1;
+    }
+
+    api::Response response = service.run(parsed.request);
+    response.tenant = parsed.tenant;
+    std::printf("%s\n", api::toJson(response).c_str());
+    return response.ok ? 0 : 1;
+}
+
 }  // namespace
 
 int
@@ -514,5 +663,9 @@ main(int argc, char **argv)
         return runSweep(service, args);
     if (args.command == "cache-stats")
         return runCacheStats(service, args);
+    if (args.command == "serve")
+        return runServe(service, args);
+    if (args.command == "request")
+        return runRequest(service, args);
     return usage(argv[0]);
 }
