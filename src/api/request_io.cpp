@@ -22,6 +22,18 @@ struct ParseError : std::runtime_error
     using std::runtime_error::runtime_error;
 };
 
+/**
+ * Hostile-input allocation caps. Server-originated requests size real
+ * allocations and topology builds from these fields (FaultMap's
+ * per-die vector, the rows x cols mesh), so each is bounded far above
+ * any plausible wafer: the paper's system is 4x8 dies, pods a handful
+ * of wafers. Without the caps a one-line request
+ * ({"faults":{"die_count":2000000000}}) drives a multi-GB allocation
+ * during parsing.
+ */
+constexpr long long kMaxWaferDies = 1 << 16;
+constexpr int kMaxWaferCount = 1024;
+
 [[noreturn]] void
 fail(const std::string &message)
 {
@@ -147,6 +159,9 @@ waferOf(const JsonValue &v, const std::string &what)
     }
     if (w.rows < 1 || w.cols < 1)
         fail("request: " + what + " grid must be at least 1x1");
+    if (static_cast<long long>(w.rows) * w.cols > kMaxWaferDies)
+        fail("request: " + what + " grid exceeds " +
+             std::to_string(kMaxWaferDies) + " dies");
     return w;
 }
 
@@ -198,6 +213,9 @@ faultsOf(const JsonValue &v)
     }
     if (die_count < 0)
         fail("request: faults.die_count must be >= 0");
+    if (die_count > kMaxWaferDies)
+        fail("request: faults.die_count exceeds " +
+             std::to_string(kMaxWaferDies) + " dies");
     hw::FaultMap faults(die_count, 0);
     if (links != nullptr) {
         if (!links->isArray())
@@ -245,6 +263,9 @@ podOf(const JsonValue &v)
         else
             fail("request: unknown pod key '" + key + "'");
     }
+    if (pod.wafer_count > kMaxWaferCount)
+        fail("request: pod.wafer_count exceeds " +
+             std::to_string(kMaxWaferCount));
     return pod;
 }
 
@@ -541,6 +562,12 @@ parseRequest(const std::string &json_text, ParsedRequest *out,
         return false;
     } catch (const core::ConfigError &e) {
         *error = e.what();
+        return false;
+    } catch (const std::exception &e) {
+        // Defense in depth for network-supplied documents: anything
+        // else (std::bad_alloc above all) must not escape a session
+        // thread and terminate the process.
+        *error = std::string("request: ") + e.what();
         return false;
     }
 }

@@ -173,12 +173,39 @@ class Parser
         } else if (code < 0x800) {
             out->push_back(static_cast<char>(0xc0 | (code >> 6)));
             out->push_back(static_cast<char>(0x80 | (code & 0x3f)));
-        } else {
+        } else if (code < 0x10000) {
             out->push_back(static_cast<char>(0xe0 | (code >> 12)));
             out->push_back(
                 static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
             out->push_back(static_cast<char>(0x80 | (code & 0x3f)));
+        } else {
+            out->push_back(static_cast<char>(0xf0 | (code >> 18)));
+            out->push_back(
+                static_cast<char>(0x80 | ((code >> 12) & 0x3f)));
+            out->push_back(
+                static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3f)));
         }
+    }
+
+    /// Parses the 4 hex digits at `at` (caller checked the length).
+    bool
+    hex4(std::size_t at, unsigned *code)
+    {
+        *code = 0;
+        for (int i = 0; i < 4; ++i) {
+            const char h = input_[at + i];
+            *code <<= 4;
+            if (h >= '0' && h <= '9')
+                *code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+                *code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+                *code |= static_cast<unsigned>(h - 'A' + 10);
+            else
+                return fail("bad hex digit in \\u escape");
+        }
+        return true;
     }
 
     bool
@@ -216,21 +243,30 @@ class Parser
                 if (pos_ + 4 > input_.size())
                     return fail("truncated \\u escape");
                 unsigned code = 0;
-                for (int i = 0; i < 4; ++i) {
-                    const char h = input_[pos_ + i];
-                    code <<= 4;
-                    if (h >= '0' && h <= '9')
-                        code |= static_cast<unsigned>(h - '0');
-                    else if (h >= 'a' && h <= 'f')
-                        code |= static_cast<unsigned>(h - 'a' + 10);
-                    else if (h >= 'A' && h <= 'F')
-                        code |= static_cast<unsigned>(h - 'A' + 10);
-                    else
-                        return fail("bad hex digit in \\u escape");
-                }
+                if (!hex4(pos_, &code))
+                    return false;
                 pos_ += 4;
-                // Surrogate pairs are not needed by this wire format;
-                // encode the raw code point (BMP only).
+                if (code >= 0xdc00 && code <= 0xdfff)
+                    return fail("unpaired low surrogate in \\u "
+                                "escape");
+                if (code >= 0xd800 && code <= 0xdbff) {
+                    // A high surrogate must be followed by a \u-escaped
+                    // low surrogate; combine the pair into one code
+                    // point so the parsed string stays valid UTF-8.
+                    if (pos_ + 6 > input_.size() ||
+                        input_[pos_] != '\\' || input_[pos_ + 1] != 'u')
+                        return fail("high surrogate not followed by "
+                                    "\\u low surrogate");
+                    unsigned low = 0;
+                    if (!hex4(pos_ + 2, &low))
+                        return false;
+                    if (low < 0xdc00 || low > 0xdfff)
+                        return fail("high surrogate not followed by "
+                                    "\\u low surrogate");
+                    pos_ += 6;
+                    code = 0x10000 + ((code - 0xd800) << 10) +
+                           (low - 0xdc00);
+                }
                 appendUtf8(out, code);
                 break;
             }

@@ -81,38 +81,75 @@ Server::acceptLoop()
         if (fd < 0) {
             if (errno == EINTR)
                 continue;
-            return;  // listener closed (stop) or fatal
+            return;  // listener shut down (stop) or fatal
         }
-        std::lock_guard<std::mutex> lock(sessions_mutex_);
-        if (stopping_.load()) {
-            ::close(fd);
-            return;
+        std::vector<std::thread> finished;
+        {
+            std::lock_guard<std::mutex> lock(sessions_mutex_);
+            if (stopping_.load()) {
+                ::close(fd);
+                return;
+            }
+            reapFinishedLocked(&finished);
+            if (static_cast<int>(session_fds_.size()) >=
+                options_.max_sessions) {
+                // Over the session cap: refuse at the transport. The
+                // dispatcher's admission control bounds queued work;
+                // this bounds the threads feeding it.
+                ::close(fd);
+            } else {
+                session_fds_.push_back(fd);
+                // Created under the lock: the session's exit epilogue
+                // needs the same lock, so its id is registered here
+                // before it could ever report itself finished.
+                std::thread thread([this, fd] { session(fd); });
+                const std::thread::id id = thread.get_id();
+                session_threads_.emplace(id, std::move(thread));
+            }
         }
-        session_fds_.push_back(fd);
-        session_threads_.emplace_back(
-            [this, fd] { session(fd); });
+        for (std::thread &thread : finished)
+            thread.join();
     }
 }
 
-std::string
-Server::handle(const std::string &request_json, bool *parsed,
-               bool *shed)
+void
+Server::reapFinishedLocked(std::vector<std::thread> *out)
 {
-    *shed = false;
+    for (const std::thread::id id : finished_session_ids_) {
+        const auto it = session_threads_.find(id);
+        if (it != session_threads_.end()) {
+            out->push_back(std::move(it->second));
+            session_threads_.erase(it);
+        }
+    }
+    finished_session_ids_.clear();
+}
+
+std::string
+Server::handle(const std::string &request_json, int *status)
+{
     api::ParsedRequest request;
     std::string error;
     if (!parseRequest(request_json, &request, &error)) {
-        *parsed = false;
+        *status = 400;
         return api::JsonObject()
             .add("ok", false)
             .add("error", error)
             .str();
     }
-    *parsed = true;
-    const api::Response response =
-        dispatcher_.dispatch(request.request, request.tenant);
-    *shed = response.shed;
-    return api::toJson(response);
+    try {
+        const api::Response response =
+            dispatcher_.dispatch(request.request, request.tenant);
+        *status = response.shed ? 503 : 200;
+        return api::toJson(response);
+    } catch (const std::exception &e) {
+        // A session thread must answer, never terminate the process.
+        *status = 500;
+        return api::JsonObject()
+            .add("ok", false)
+            .add("error", std::string("internal error: ") + e.what())
+            .str();
+    }
 }
 
 void
@@ -131,9 +168,8 @@ Server::serveFramed(int fd)
                                    .str());
             return;
         }
-        bool parsed = false;
-        bool shed = false;
-        if (!writeFrame(fd, handle(payload, &parsed, &shed)))
+        int status = 0;
+        if (!writeFrame(fd, handle(payload, &status)))
             return;
     }
 }
@@ -158,10 +194,7 @@ Server::serveHttp(int fd)
     int status = 200;
     std::string body;
     if (request.method == "POST" && request.target == "/v1/requests") {
-        bool parsed = false;
-        bool shed = false;
-        body = handle(request.body, &parsed, &shed);
-        status = !parsed ? 400 : (shed ? 503 : 200);
+        body = handle(request.body, &status);
     } else if (request.method == "GET" &&
                request.target == "/healthz") {
         body = api::JsonObject().add("ok", true).str();
@@ -210,6 +243,7 @@ Server::session(int fd)
     // Close under the sessions lock: stop() shuts live fds down under
     // the same lock, so a recycled descriptor can never be hit.
     ::close(fd);
+    finished_session_ids_.push_back(std::this_thread::get_id());
 }
 
 void
@@ -218,13 +252,18 @@ Server::stop()
     if (stopping_.exchange(true))
         return;
     if (listen_fd_ >= 0) {
-        // Unblock accept(); the loop exits on the failed accept.
+        // Unblock accept(); the loop exits on the failed accept. The
+        // fd is closed (and listen_fd_ written) only after the accept
+        // thread joins, so it never races the loop's reads and the
+        // descriptor cannot be recycled under a live accept().
         ::shutdown(listen_fd_, SHUT_RDWR);
-        ::close(listen_fd_);
-        listen_fd_ = -1;
     }
     if (accept_thread_.joinable())
         accept_thread_.join();
+    if (listen_fd_ >= 0) {
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+    }
 
     std::vector<std::thread> sessions;
     {
@@ -234,8 +273,10 @@ Server::stop()
         // dispatched still finish and their responses still write.
         for (const int fd : session_fds_)
             ::shutdown(fd, SHUT_RD);
-        sessions = std::move(session_threads_);
+        for (auto &[id, thread] : session_threads_)
+            sessions.push_back(std::move(thread));
         session_threads_.clear();
+        finished_session_ids_.clear();
     }
     for (std::thread &thread : sessions)
         thread.join();

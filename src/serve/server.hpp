@@ -30,6 +30,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "serve/dispatcher.hpp"
@@ -42,6 +43,13 @@ struct ServerOptions
     std::string host = "127.0.0.1";
     /// TCP port; 0 picks an ephemeral port (read it back via port()).
     int port = 0;
+    /**
+     * Cap on concurrent connections. Accepts beyond the cap are
+     * closed immediately — the connection-level counterpart of the
+     * dispatcher's admission control, so a connection flood cannot
+     * spawn unbounded session threads.
+     */
+    int max_sessions = 64;
     DispatcherOptions dispatcher;
 };
 
@@ -72,27 +80,42 @@ class Server
 
   private:
     void acceptLoop();
+    /// Moves threads of completed sessions out of session_threads_
+    /// for the caller to join outside the lock.
+    void reapFinishedLocked(std::vector<std::thread> *out);
     void session(int fd);
     void serveFramed(int fd);
     void serveHttp(int fd);
-    /// The shared session core: request JSON in, response JSON +
-    /// status out. `shed` distinguishes 503 from 200 in HTTP mode.
-    std::string handle(const std::string &request_json, bool *parsed,
-                       bool *shed);
+    /// The shared session core: request JSON in, response JSON out,
+    /// with the HTTP status (200/400/503/500) for serveHttp; the
+    /// framed transport answers everything in-band and ignores it.
+    std::string handle(const std::string &request_json, int *status);
 
     api::TempService &service_;
     ServerOptions options_;
     Dispatcher dispatcher_;
 
+    /**
+     * Written by start() before the accept thread exists and by
+     * stop() only after joining it; the accept loop is the sole
+     * concurrent reader, so no synchronization is needed.
+     */
     int listen_fd_ = -1;
     int port_ = 0;
     std::atomic<bool> stopping_{false};
     std::thread accept_thread_;
     std::mutex sessions_mutex_;
-    /// Live connection fds (for shutdown during drain) and every
-    /// session thread ever spawned (joined in stop()).
+    /// Live connection fds, for shutdown during drain.
     std::vector<int> session_fds_;
-    std::vector<std::thread> session_threads_;
+    /**
+     * Session threads still to be joined, keyed by thread id. A
+     * finishing session records its id in finished_session_ids_; the
+     * accept loop reaps (joins) those on the next connection, and
+     * stop() joins whatever remains — so the set stays bounded by the
+     * session cap instead of growing for the life of the server.
+     */
+    std::unordered_map<std::thread::id, std::thread> session_threads_;
+    std::vector<std::thread::id> finished_session_ids_;
 };
 
 }  // namespace temp::serve

@@ -1,11 +1,13 @@
 /**
  * @file
- * Unit tests for the common module: units, stats, linear algebra, RNG.
+ * Unit tests for the common module: units, stats, linear algebra,
+ * RNG, JSON parsing.
  */
 #include <gtest/gtest.h>
 
 #include <cmath>
 
+#include "common/json.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
@@ -13,6 +15,42 @@
 
 namespace temp {
 namespace {
+
+TEST(Json, UnicodeEscapesDecodeToUtf8)
+{
+    common::JsonValue v;
+    std::string error;
+    ASSERT_TRUE(common::parseJson("\"\\u00e9\\u20ac\"", &v, &error))
+        << error;
+    EXPECT_EQ(v.text, "\xc3\xa9\xe2\x82\xac");  // é€
+}
+
+TEST(Json, SurrogatePairsCombineToOneCodePoint)
+{
+    // "\ud83d\ude00" is U+1F600; it must decode to the 4-byte UTF-8
+    // sequence, not two raw 3-byte surrogate encodings (CESU-8).
+    common::JsonValue v;
+    std::string error;
+    ASSERT_TRUE(
+        common::parseJson("\"\\ud83d\\ude00\"", &v, &error))
+        << error;
+    EXPECT_EQ(v.text, "\xf0\x9f\x98\x80");
+}
+
+TEST(Json, UnpairedSurrogatesAreRejected)
+{
+    common::JsonValue v;
+    std::string error;
+    // Lone high surrogate (end of string).
+    EXPECT_FALSE(common::parseJson("\"\\ud83d\"", &v, &error));
+    // High surrogate followed by a non-surrogate escape.
+    EXPECT_FALSE(
+        common::parseJson("\"\\ud83d\\u0041\"", &v, &error));
+    // High surrogate followed by a plain character.
+    EXPECT_FALSE(common::parseJson("\"\\ud83dx\"", &v, &error));
+    // Lone low surrogate.
+    EXPECT_FALSE(common::parseJson("\"\\ude00\"", &v, &error));
+}
 
 TEST(Units, BandwidthConversions)
 {

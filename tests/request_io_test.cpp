@@ -254,5 +254,24 @@ TEST(RequestParse, RejectsSemanticErrors)
                  "must be a scalar");
 }
 
+TEST(RequestParse, BoundsHostileAllocationSizes)
+{
+    // These fields size real allocations and topology builds; a
+    // hostile one-line request must be rejected at parse time, not
+    // allocate gigabytes (or terminate the server on bad_alloc).
+    expectReject("{\"kind\":\"fault\",\"faults\":"
+                 "{\"die_count\":2000000000},"
+                 "\"model\":{\"base\":\"GPT-3 6.7B\"}}",
+                 "faults.die_count exceeds");
+    expectReject("{\"kind\":\"optimize\","
+                 "\"wafer\":{\"rows\":46341,\"cols\":46341},"
+                 "\"model\":{\"base\":\"GPT-3 6.7B\"}}",
+                 "grid exceeds");
+    expectReject("{\"kind\":\"multiwafer\","
+                 "\"pod\":{\"wafer_count\":1000000},"
+                 "\"model\":{\"base\":\"GPT-3 6.7B\"}}",
+                 "pod.wafer_count exceeds");
+}
+
 }  // namespace
 }  // namespace temp::api

@@ -518,5 +518,61 @@ TEST(Server, StopDrainsInFlightSessions)
     EXPECT_GE(completed.load(), 0);
 }
 
+TEST(Server, SessionCapRefusesExtraConnections)
+{
+    api::TempService service;
+    ServerOptions options;
+    options.max_sessions = 1;
+    Server server(service, options);
+    std::string error;
+    ASSERT_TRUE(server.start(&error)) << error;
+
+    // Complete one call so the first session is definitely
+    // registered before the over-cap connection arrives.
+    Client first;
+    ASSERT_TRUE(first.connect("127.0.0.1", server.port(), &error))
+        << error;
+    std::string response;
+    ASSERT_TRUE(first.call(api::CacheStatsRequest{}, "", &response,
+                           &error))
+        << error;
+
+    // A second connection clears the TCP handshake (backlog), but the
+    // server closes it at the cap: the call fails as a clean
+    // transport error and never gets a document.
+    Client second;
+    std::string second_error;
+    if (second.connect("127.0.0.1", server.port(), &second_error)) {
+        std::string ignored;
+        EXPECT_FALSE(second.callRaw(
+            api::toJson(api::CacheStatsRequest{}, ""), &ignored,
+            &second_error));
+    }
+
+    // The refused connection did not disturb the live session...
+    ASSERT_TRUE(first.call(api::CacheStatsRequest{}, "", &response,
+                           &error))
+        << error;
+
+    // ...and once it ends, capacity frees up again.
+    first.close();
+    bool reconnected = false;
+    for (int i = 0; i < 2000 && !reconnected; ++i) {
+        Client retry;
+        std::string retry_error;
+        std::string document;
+        if (retry.connect("127.0.0.1", server.port(),
+                          &retry_error) &&
+            retry.call(api::CacheStatsRequest{}, "", &document,
+                       &retry_error))
+            reconnected = true;
+        else
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(1));
+    }
+    EXPECT_TRUE(reconnected);
+    server.stop();
+}
+
 }  // namespace
 }  // namespace temp::serve
