@@ -271,6 +271,87 @@ scheduleCacheSection(const char *name)
                 hit_rate(repeat.solver));
 }
 
+/**
+ * The persistent-tier section: the service-cache experiment across a
+ * process boundary. A cold service solves and saves a snapshot; a
+ * *fresh* service warm-starts from the file and answers the same
+ * request from the imported memos. The acceptance bars are the repo's
+ * warm-start contract — zero new matrix measurements, zero new step
+ * simulations, bit-identical specs, and >= 5x wall-clock — enforced
+ * through the exit code so CI fails when the persist path rots.
+ */
+int
+warmStartSection(const char *name)
+{
+    const std::string path = "warm_start.bench.snap";
+    std::remove(path.c_str());
+    const api::OptimizeRequest request{model::modelByName(name)};
+
+    api::Response cold;
+    std::string error;
+    {
+        api::TempService service;  // the "first process"
+        cold = service.run(request);
+        if (!cold.ok || !service.saveSnapshot(path, &error)) {
+            std::printf("warm_start: cold solve/save failed: %s\n",
+                        error.c_str());
+            return 1;
+        }
+    }
+
+    api::TempService warmed;  // the "restarted process"
+    if (!warmed.warmStart(path, &error)) {
+        std::printf("warm_start: load failed: %s\n", error.c_str());
+        std::remove(path.c_str());
+        return 1;
+    }
+    const api::Response warm = warmed.run(request);
+    std::remove(path.c_str());
+
+    const double speedup = warm.wall_time_s > 0.0
+                               ? cold.wall_time_s / warm.wall_time_s
+                               : 0.0;
+    const bool identical =
+        warm.solver.per_op_specs == cold.solver.per_op_specs &&
+        warm.solver.step_time_s == cold.solver.step_time_s;
+    const api::TempService::PersistStats persist =
+        warmed.persistStats();
+
+    TablePrinter t({"Model", "Cold (s)", "Warm (s)", "Speedup",
+                    "Warm meas.", "Warm sims", "Identical"});
+    t.addRow({name, TablePrinter::fmt(cold.wall_time_s, 3),
+              TablePrinter::fmt(warm.wall_time_s, 3),
+              TablePrinter::fmtX(speedup, 1),
+              std::to_string(warm.solver.matrix_measurements),
+              std::to_string(warm.solver.step_sims),
+              identical ? "yes" : "NO"});
+    t.print("Snapshot warm start across a process boundary");
+    std::printf("BENCH_JSON {\"bench\":\"search_time\","
+                "\"section\":\"warm_start\",\"model\":\"%s\","
+                "\"cold_s\":%.6f,\"warm_s\":%.6f,\"speedup\":%.2f,"
+                "\"warm_matrix_measurements\":%ld,"
+                "\"warm_step_sims\":%ld,\"warm_cache_hits\":%ld,"
+                "\"blocks_staged\":%ld,\"frameworks_warmed\":%ld,"
+                "\"bit_identical\":%s}\n",
+                name, cold.wall_time_s, warm.wall_time_s, speedup,
+                warm.solver.matrix_measurements, warm.solver.step_sims,
+                warm.solver.cache_hits, persist.blocks_staged,
+                persist.frameworks_warmed, identical ? "true" : "false");
+
+    int failures = 0;
+    const auto bar = [&](bool ok, const char *what) {
+        std::printf("  [%s] %s\n", ok ? "PASS" : "FAIL", what);
+        if (!ok)
+            ++failures;
+    };
+    bar(warm.solver.matrix_measurements == 0,
+        "warm solve re-measures nothing");
+    bar(warm.solver.step_sims == 0, "warm solve re-simulates nothing");
+    bar(identical, "warm answer is bit-identical to the cold one");
+    bar(speedup >= 5.0, "warm start is >= 5x faster");
+    return failures;
+}
+
 }  // namespace
 
 int
@@ -361,5 +442,15 @@ main()
     bench::banner("Network layer",
                   "schedule cache: collective lowerings vs hits");
     scheduleCacheSection("GPT-3 6.7B");
+
+    bench::banner("Persistent tier",
+                  "snapshot warm start: restart without re-measuring");
+    const int failures = warmStartSection("GPT-3 6.7B");
+    if (failures > 0) {
+        std::printf("\nsearch_time acceptance bars FAILED (%d)\n",
+                    failures);
+        return 1;
+    }
+    std::printf("\nsearch_time acceptance bars passed\n");
     return 0;
 }

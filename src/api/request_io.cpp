@@ -670,6 +670,11 @@ toJson(const core::FrameworkOptions &o)
         .add("net.schedule_cache.max_entries",
              o.cache.max_schedule_entries)
         .add("net.route_pool.max_entries", o.cache.max_route_entries)
+        .add("eval.cache.max_bytes", o.cache.max_eval_bytes)
+        .add("eval.cache.max_step_bytes", o.cache.max_step_bytes)
+        .add("eval.cache.max_layout_bytes", o.cache.max_layout_bytes)
+        .add("net.schedule_cache.max_bytes", o.cache.max_schedule_bytes)
+        .add("net.route_pool.max_bytes", o.cache.max_route_bytes)
         .str();
 }
 

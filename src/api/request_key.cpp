@@ -112,12 +112,17 @@ optionsKey(const core::FrameworkOptions &o)
     // they are part of the framework's identity. The service-level
     // budgets (max_frameworks/max_pods) re-tune the service maps and
     // deliberately stay out of the key — they do not change what a
-    // framework computes or caches. Budgets are long: rendered
+    // framework computes or caches. PersistOptions stays out too:
+    // where a process saves/loads snapshots must not fragment the
+    // framework cache (two processes pointed at different snapshot
+    // paths share identical results). Budgets are long: rendered
     // directly (like solver.seed) so no narrowing can alias keys.
     for (const long budget :
          {o.cache.max_eval_entries, o.cache.max_step_entries,
           o.cache.max_layout_entries, o.cache.max_schedule_entries,
-          o.cache.max_route_entries}) {
+          o.cache.max_route_entries, o.cache.max_eval_bytes,
+          o.cache.max_step_bytes, o.cache.max_layout_bytes,
+          o.cache.max_schedule_bytes, o.cache.max_route_bytes}) {
         key += std::to_string(budget);
         key += '|';
     }

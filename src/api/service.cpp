@@ -89,9 +89,15 @@ TempService::frameworkFor(const hw::WaferConfig &wafer,
     applyServiceBudget(options.cache);
     const std::string key = waferKey(wafer) + optionsKey(options);
     if (auto cached = frameworks_.get(key)) {
-        std::lock_guard<std::mutex> lock(mutex_);
-        ++stats_.framework_cache_hits;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++stats_.framework_cache_hits;
+        }
         *reused = true;
+        // A block staged after this framework was built (load-after-
+        // solve) still warms it: consumption is keyed by content, not
+        // by build order.
+        consumePendingBlock(key, **cached);
         return *cached;
     }
     // Build outside the cache lock so a slow construction never stalls
@@ -99,15 +105,102 @@ TempService::frameworkFor(const hw::WaferConfig &wafer,
     // key, the loser's copy is discarded and the winner's is shared.
     auto fw = std::make_shared<core::TempFramework>(wafer, options);
     auto [resident, inserted] = frameworks_.insert(key, std::move(fw));
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (inserted) {
-        ++stats_.frameworks_built;
-        *reused = false;
-    } else {
-        ++stats_.framework_cache_hits;
-        *reused = true;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (inserted)
+            ++stats_.frameworks_built;
+        else
+            ++stats_.framework_cache_hits;
     }
+    *reused = !inserted;
+    consumePendingBlock(key, *resident);
     return resident;
+}
+
+void
+TempService::consumePendingBlock(const std::string &key,
+                                 const core::TempFramework &fw)
+{
+    persist::MemoBlock block;
+    {
+        std::lock_guard<std::mutex> lock(persist_mutex_);
+        auto it = pending_blocks_.find(key);
+        if (it == pending_blocks_.end())
+            return;
+        // Erase before importing: exactly one caller wins the block,
+        // and a concurrent saveSnapshot() never double-writes it (the
+        // framework it warmed re-exports the same memos).
+        block = std::move(it->second);
+        pending_blocks_.erase(it);
+        ++persist_stats_.frameworks_warmed;
+    }
+    // Import outside the lock: schedule replay lowers real schedules.
+    fw.importMemos(block);
+}
+
+bool
+TempService::warmStart(const std::string &path, std::string *error)
+{
+    persist::Snapshot snapshot;
+    std::string why;
+    if (!persist::loadSnapshotFile(path, &snapshot, &why)) {
+        std::lock_guard<std::mutex> lock(persist_mutex_);
+        ++persist_stats_.load_failures;
+        if (error)
+            *error = why;
+        return false;
+    }
+    std::lock_guard<std::mutex> lock(persist_mutex_);
+    for (persist::MemoBlock &block : snapshot.blocks) {
+        // First stage wins on key collision (self-merge of repeated
+        // loads); resident frameworks win over both at import time.
+        if (pending_blocks_.emplace(block.framework_key,
+                                    std::move(block)).second)
+            ++persist_stats_.blocks_staged;
+    }
+    ++persist_stats_.loads;
+    return true;
+}
+
+bool
+TempService::saveSnapshot(const std::string &path, std::string *error)
+{
+    persist::Snapshot snapshot;
+    frameworks_.forEach(
+        [&](const std::string &key,
+            const std::shared_ptr<core::TempFramework> &fw) {
+            persist::MemoBlock block = fw->exportMemos();
+            block.framework_key = key;
+            if (!block.empty())
+                snapshot.blocks.push_back(std::move(block));
+        });
+    {
+        // Carry unconsumed staged blocks so load -> save round-trips
+        // losslessly even when the matching wafer was never requested.
+        std::lock_guard<std::mutex> lock(persist_mutex_);
+        for (const auto &[key, block] : pending_blocks_) {
+            bool exported = false;
+            for (const persist::MemoBlock &b : snapshot.blocks)
+                if (b.framework_key == key) {
+                    exported = true;
+                    break;
+                }
+            if (!exported)
+                snapshot.blocks.push_back(block);
+        }
+    }
+    if (!persist::saveSnapshotFile(path, snapshot, error))
+        return false;
+    std::lock_guard<std::mutex> lock(persist_mutex_);
+    ++persist_stats_.saves;
+    return true;
+}
+
+TempService::PersistStats
+TempService::persistStats() const
+{
+    std::lock_guard<std::mutex> lock(persist_mutex_);
+    return persist_stats_;
 }
 
 std::shared_ptr<sim::MultiWaferSimulator>

@@ -21,9 +21,12 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <string>
+#include <unordered_map>
 
 #include "api/requests.hpp"
 #include "common/bounded_cache.hpp"
+#include "persist/snapshot.hpp"
 
 namespace temp::api {
 
@@ -78,6 +81,40 @@ class TempService
     };
     Stats stats() const;
 
+    /// Persistent-tier counters (warm-start snapshot traffic).
+    struct PersistStats
+    {
+        long loads = 0;          ///< successful warmStart() calls
+        long load_failures = 0;  ///< corrupt/mismatched snapshots rejected
+        long saves = 0;          ///< successful saveSnapshot() calls
+        long blocks_staged = 0;  ///< memo blocks staged by warmStart()
+        long frameworks_warmed = 0;  ///< staged blocks consumed by a
+                                     ///< matching framework
+    };
+    PersistStats persistStats() const;
+
+    /**
+     * Stages a snapshot's memo blocks for lazy, content-addressed
+     * consumption: each block waits under its canonical framework key
+     * until frameworkFor() builds (or re-serves) the matching
+     * framework, then imports exactly once. Blocks whose key never
+     * matches (different wafer, different options) stay staged — a
+     * clean cold start, never a wrong answer. A corrupt, truncated or
+     * version/fingerprint-mismatched file is rejected whole: returns
+     * false, sets @p error, bumps load_failures, stages nothing.
+     */
+    bool warmStart(const std::string &path, std::string *error = nullptr);
+
+    /**
+     * Writes every cached framework's memo layers — plus any staged
+     * blocks not yet consumed (so load+save round-trips losslessly
+     * even when the matching wafer was never requested) — to @p path
+     * atomically (tmp + rename). Returns false and sets @p error on
+     * I/O failure.
+     */
+    bool saveSnapshot(const std::string &path,
+                      std::string *error = nullptr);
+
     /**
      * The cached framework serving (wafer, options), built on first
      * use — for advanced callers needing the underlying simulator or
@@ -102,6 +139,11 @@ class TempService
     /// Applies a request's service-level budgets (0 = leave as-is).
     void applyServiceBudget(const common::CacheBudget &budget);
 
+    /// Imports the staged warm-start block matching @p key into @p fw
+    /// (exactly once; no-op when none is staged).
+    void consumePendingBlock(const std::string &key,
+                             const core::TempFramework &fw);
+
     mutable std::mutex mutex_;  ///< guards stats_
     /// Framework/pod caches: bounded LRU (0 = unbounded). Evicting a
     /// framework drops its whole memo stack; in-flight requests keep
@@ -113,6 +155,14 @@ class TempService
                          std::shared_ptr<sim::MultiWaferSimulator>>
         pods_;
     Stats stats_;
+    /// Guards pending_blocks_ + persist_stats_. Ordered after the
+    /// framework build (taken only briefly; never while holding
+    /// mutex_ or a cache shard lock).
+    mutable std::mutex persist_mutex_;
+    /// Warm-start blocks staged by warmStart(), keyed by canonical
+    /// framework key; frameworkFor() consumes a match exactly once.
+    std::unordered_map<std::string, persist::MemoBlock> pending_blocks_;
+    PersistStats persist_stats_;
     /// Declared last: destroyed first, so queued submit() tasks drain
     /// (and stop touching the members above) before they go away.
     ThreadPool pool_;

@@ -25,13 +25,16 @@
  *    layer reports (CacheStatsRequest serializes them) and the knob
  *    struct config_io parses budgets into.
  *
- * Capacity semantics: entries, not bytes (bytes_est is observability
- * only). 0 = unbounded. Eviction is strict LRU among evictable
- * entries; when every entry is pinned the cache may transiently
- * exceed its budget rather than drop live data. Evicted keys that
- * return recount as misses — the honest-accounting contract of the
- * evaluator stack is preserved under eviction because every cached
- * value is a pure function of its key.
+ * Capacity semantics: an entry budget and a byte budget compose (0 =
+ * unbounded for either); the cache evicts while over *either*. Byte
+ * budgets are fed by the per-layer bytes_est estimators, so
+ * `*.max_bytes` config keys govern real memory residency instead of
+ * entry counts. Eviction is strict LRU among evictable entries; when
+ * every entry is pinned the cache may transiently exceed its budget
+ * rather than drop live data. Evicted keys that return recount as
+ * misses — the honest-accounting contract of the evaluator stack is
+ * preserved under eviction because every cached value is a pure
+ * function of its key.
  */
 #pragma once
 
@@ -73,12 +76,13 @@ struct CacheStats
 };
 
 /**
- * Entry budgets for every layer of the memo stack (0 = unbounded, the
- * default — existing behaviour and bit-exactness guarantees are
- * untouched unless a budget is set). Parsed from config keys by
- * core::frameworkOptionsFromConfig and applied per-request through
- * FrameworkOptions; the service-level budgets bound TempService's own
- * maps and are not part of the framework cache key.
+ * Entry and byte budgets for every layer of the memo stack (0 =
+ * unbounded, the default — existing behaviour and bit-exactness
+ * guarantees are untouched unless a budget is set). Parsed from config
+ * keys by core::frameworkOptionsFromConfig and applied per-request
+ * through FrameworkOptions; the service-level budgets bound
+ * TempService's own maps and are not part of the framework cache key.
+ * Entry and byte budgets compose: a layer evicts while over either.
  */
 struct CacheBudget
 {
@@ -90,13 +94,23 @@ struct CacheBudget
     long max_schedule_entries = 0;  ///< net.schedule_cache.max_entries
     long max_route_entries = 0;     ///< net.route_pool.max_entries
 
+    /// @{ Byte budgets, fed by the per-layer bytes_est estimators.
+    long max_eval_bytes = 0;      ///< eval.cache.max_bytes
+    long max_step_bytes = 0;      ///< eval.cache.max_step_bytes
+    long max_layout_bytes = 0;    ///< eval.cache.max_layout_bytes
+    long max_schedule_bytes = 0;  ///< net.schedule_cache.max_bytes
+    long max_route_bytes = 0;     ///< net.route_pool.max_bytes
+    /// @}
+
     /// True when any framework-level budget is finite (the service
     /// budgets do not affect framework construction).
     bool boundsFramework() const
     {
         return max_eval_entries > 0 || max_step_entries > 0 ||
                max_layout_entries > 0 || max_schedule_entries > 0 ||
-               max_route_entries > 0;
+               max_route_entries > 0 || max_eval_bytes > 0 ||
+               max_step_bytes > 0 || max_layout_bytes > 0 ||
+               max_schedule_bytes > 0 || max_route_bytes > 0;
     }
 };
 
@@ -135,7 +149,17 @@ class LruMap
         evictOverBudget();
     }
     std::size_t capacity() const { return capacity_; }
-    bool bounded() const { return capacity_ > 0; }
+
+    /// Byte budget over bytes_est; 0 = unbounded. Composes with the
+    /// entry budget: the map evicts while over either.
+    void setMaxBytes(long max_bytes)
+    {
+        max_bytes_ = max_bytes > 0 ? max_bytes : 0;
+        evictOverBudget();
+    }
+    long maxBytes() const { return max_bytes_; }
+
+    bool bounded() const { return capacity_ > 0 || max_bytes_ > 0; }
 
     std::size_t size() const { return map_.size(); }
     long bytesEstimate() const { return bytes_; }
@@ -227,9 +251,15 @@ class LruMap
         long bytes = 0;
     };
 
+    bool overBudget() const
+    {
+        return (capacity_ != 0 && map_.size() > capacity_) ||
+               (max_bytes_ > 0 && bytes_ > max_bytes_);
+    }
+
     void evictOverBudget()
     {
-        if (capacity_ == 0 || map_.size() <= capacity_)
+        if (!overBudget())
             return;
         // Scan from the LRU tail, skipping pinned entries. The scan
         // restarts per insert but the cache is at most one entry over
@@ -238,7 +268,7 @@ class LruMap
         // it, and a cache that cannot hold even the entry being
         // inserted would invalidate that pointer mid-flight.
         auto pos = lru_.end();
-        while (map_.size() > capacity_ && pos != lru_.begin()) {
+        while (overBudget() && pos != lru_.begin()) {
             --pos;
             if (pos == lru_.begin())
                 break;  // the MRU entry stays resident
@@ -253,6 +283,7 @@ class LruMap
     }
 
     std::size_t capacity_;
+    long max_bytes_ = 0;
     std::unordered_map<Key, Entry, Hash, Equal> map_;
     /// Recency list, most recent first; pointers into map_ keys
     /// (node-based, so stable across rehash).
@@ -313,7 +344,25 @@ class BoundedCache
     }
 
     long capacity() const { return capacity_.load(); }
-    bool bounded() const { return capacity_.load() > 0; }
+
+    /// Total byte budget across shards (0 = unbounded); split like the
+    /// entry budget. Same lock-free no-op guard on unchanged values.
+    void setMaxBytes(long max_bytes)
+    {
+        if (max_bytes < 0)
+            max_bytes = 0;
+        if (max_bytes_.load() == max_bytes)
+            return;
+        std::lock_guard<std::mutex> lock(capacity_mutex_);
+        distributeMaxBytes(max_bytes);
+    }
+
+    long maxBytes() const { return max_bytes_.load(); }
+
+    bool bounded() const
+    {
+        return capacity_.load() > 0 || max_bytes_.load() > 0;
+    }
 
     /// Looks a key up, counting a hit or miss.
     std::optional<Value> get(const Key &key)
@@ -455,6 +504,27 @@ class BoundedCache
         }
     }
 
+    /// Splits a total byte budget into per-shard budgets that sum to
+    /// it; residency of an entry bigger than its shard's slice is
+    /// still guaranteed by the MRU-head protection, so a too-small
+    /// byte budget degrades to caching one entry per shard.
+    void distributeMaxBytes(long max_bytes)
+    {
+        if (max_bytes < 0)
+            max_bytes = 0;
+        max_bytes_ = max_bytes;
+        const long n = static_cast<long>(shards_.size());
+        const long base = max_bytes / n;
+        const long extra = max_bytes % n;
+        for (long i = 0; i < n; ++i) {
+            auto &shard = shards_[static_cast<std::size_t>(i)];
+            std::unique_lock<std::shared_mutex> lock(shard->mutex);
+            const long cap = base + (i < extra ? 1 : 0);
+            shard->map.setMaxBytes(max_bytes == 0 ? 0
+                                                  : std::max(cap, 1L));
+        }
+    }
+
     Shard &shardFor(const Key &key)
     {
         const std::size_t h = Hash{}(key);
@@ -463,6 +533,7 @@ class BoundedCache
 
     std::vector<std::unique_ptr<Shard>> shards_;
     std::atomic<long> capacity_{0};
+    std::atomic<long> max_bytes_{0};
     std::mutex capacity_mutex_;  ///< serialises re-budgeting
 };
 

@@ -371,6 +371,22 @@ frameworkOptionsFromConfigOrThrow(const ConfigMap &config)
             options.cache.max_schedule_entries = toCount(key, value);
         } else if (key == "net.route_pool.max_entries") {
             options.cache.max_route_entries = toCount(key, value);
+        } else if (key == "eval.cache.max_bytes") {
+            options.cache.max_eval_bytes = toCount(key, value);
+        } else if (key == "eval.cache.max_step_bytes") {
+            options.cache.max_step_bytes = toCount(key, value);
+        } else if (key == "eval.cache.max_layout_bytes") {
+            options.cache.max_layout_bytes = toCount(key, value);
+        } else if (key == "net.schedule_cache.max_bytes") {
+            options.cache.max_schedule_bytes = toCount(key, value);
+        } else if (key == "net.route_pool.max_bytes") {
+            options.cache.max_route_bytes = toCount(key, value);
+        } else if (key == "persist.path") {
+            options.persist.path = value;
+        } else if (key == "persist.save_on_exit") {
+            options.persist.save_on_exit = toBool(key, value);
+        } else if (key == "persist.period_s") {
+            options.persist.period_s = toNumber(key, value);
         } else {
             cfgFail("config: unknown options key '%s'", key.c_str());
         }

@@ -33,6 +33,15 @@
  *   eval.cache.max_entries, eval.cache.max_step_entries,
  *   eval.cache.max_layouts, net.schedule_cache.max_entries,
  *   net.route_pool.max_entries
+ * Byte budgets (compose with entry budgets; 0 = unbounded):
+ *   eval.cache.max_bytes, eval.cache.max_step_bytes,
+ *   eval.cache.max_layout_bytes, net.schedule_cache.max_bytes,
+ *   net.route_pool.max_bytes
+ *
+ * Persistent-tier keys (process-local; never part of the framework
+ * cache key or the request wire format):
+ *   persist.path (snapshot file; empty disables),
+ *   persist.save_on_exit (bool), persist.period_s (serve mode)
  */
 #pragma once
 

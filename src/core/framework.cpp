@@ -14,18 +14,48 @@ TempFramework::TempFramework(hw::WaferConfig wafer_config,
       evaluator_(std::make_unique<eval::CachingEvaluator>(*exact_)),
       steps_(std::make_unique<eval::StepEvaluator>(*sim_, pool_.get()))
 {
-    // Cache governance: thread the entry budgets through every memo
-    // layer this framework owns. All budgets default to 0 (unbounded),
-    // so the historical behaviour — and the bit-exactness guarantees
-    // its tests assert — are untouched unless a budget is configured.
+    // Cache governance: thread the entry and byte budgets through
+    // every memo layer this framework owns. All budgets default to 0
+    // (unbounded), so the historical behaviour — and the bit-exactness
+    // guarantees its tests assert — are untouched unless a budget is
+    // configured.
     if (options.cache.boundsFramework()) {
         evaluator_->setMaxEntries(options.cache.max_eval_entries);
+        evaluator_->setMaxBytes(options.cache.max_eval_bytes);
         steps_->setMaxEntries(options.cache.max_step_entries);
+        steps_->setMaxBytes(options.cache.max_step_bytes);
         exact_->setCacheBudget(options.cache);
         sim_->layoutCache().setMaxEntries(
             options.cache.max_layout_entries);
+        sim_->layoutCache().setMaxBytes(options.cache.max_layout_bytes);
         sim_->costModel().setCacheBudgets(options.cache);
     }
+}
+
+persist::MemoBlock
+TempFramework::exportMemos() const
+{
+    persist::MemoBlock block;
+    evaluator_->forEachCached(
+        [&](const std::string &key, const cost::OpCostBreakdown &b) {
+            block.breakdowns.emplace_back(key, b);
+        });
+    steps_->forEachCached(
+        [&](const std::string &key, const sim::PerfReport &report) {
+            block.step_reports.emplace_back(key, report);
+        });
+    block.schedule_tasks = sim_->costModel().exportScheduleTasks();
+    return block;
+}
+
+void
+TempFramework::importMemos(const persist::MemoBlock &block) const
+{
+    for (const auto &[key, breakdown] : block.breakdowns)
+        evaluator_->importCached(key, breakdown);
+    for (const auto &[key, report] : block.step_reports)
+        steps_->importCached(key, report);
+    sim_->costModel().prewarmSchedules(block.schedule_tasks);
 }
 
 std::vector<std::pair<std::string, common::CacheStats>>

@@ -22,11 +22,31 @@
 #include "baselines/strategies.hpp"
 #include "common/thread_pool.hpp"
 #include "eval/cost_evaluator.hpp"
+#include "persist/snapshot.hpp"
 #include "sim/multi_wafer.hpp"
 #include "sim/trainer_sim.hpp"
 #include "solver/dls_solver.hpp"
 
 namespace temp::core {
+
+/**
+ * The persistent memo tier's process-local knobs: where to put the
+ * snapshot and when to write it. Deliberately NOT part of the
+ * framework/request identity (api::optionsKey, request JSON): two
+ * processes pointed at different snapshot paths still compute — and
+ * must share — identical results.
+ */
+struct PersistOptions
+{
+    /// Snapshot file; empty disables the persistent tier.
+    std::string path;  ///< persist.path
+    /// Write a snapshot when the CLI/serve process exits cleanly
+    /// (serve mode also writes on SIGINT drain).
+    bool save_on_exit = false;  ///< persist.save_on_exit
+    /// Serve mode: seconds between periodic snapshots (0 = only on
+    /// exit/drain).
+    double period_s = 0.0;  ///< persist.period_s
+};
 
 /// Framework-wide options.
 struct FrameworkOptions
@@ -38,7 +58,7 @@ struct FrameworkOptions
     /// (0 = hardware concurrency). Results are thread-count invariant.
     int eval_threads = 0;
     /**
-     * Entry budgets for every memo layer (0 = unbounded, the
+     * Entry and byte budgets for every memo layer (0 = unbounded, the
      * default). Bounding changes only memory residency — per-op
      * results stay bit-identical because every cached value is a pure
      * function of its key; evicted entries recompute and recount as
@@ -46,6 +66,9 @@ struct FrameworkOptions
      * govern TempService's own maps, not this framework.
      */
     common::CacheBudget cache;
+    /// Snapshot save/load policy (process-local; excluded from the
+    /// framework cache key and the request wire format).
+    PersistOptions persist;
 };
 
 /// The end-to-end TEMP system.
@@ -119,6 +142,26 @@ class TempFramework
      */
     std::vector<std::pair<std::string, common::CacheStats>> cacheStats()
         const;
+
+    /**
+     * Exports this framework's persistable memo layers — breakdown
+     * memo, step-report memo and schedule-cache task signatures — as
+     * one snapshot block (framework_key left empty; the service stamps
+     * its canonical key). Layout caches are deliberately not exported:
+     * layouts are only consulted on breakdown misses, so a warm
+     * breakdown/step tier never needs them, and they re-build
+     * bit-identically when it does miss.
+     */
+    persist::MemoBlock exportMemos() const;
+
+    /**
+     * Seeds the memo layers from a snapshot block (warm start).
+     * Breakdowns and step reports import by value under their content
+     * keys; schedule tasks re-lower under the live fault epoch.
+     * Resident entries always win, so importing into a warm framework
+     * never changes what it serves.
+     */
+    void importMemos(const persist::MemoBlock &block) const;
 
   private:
     FrameworkOptions options_;

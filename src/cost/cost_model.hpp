@@ -169,8 +169,32 @@ class WaferCostModel
         // that still pays the exclusive-lock hit path.
         schedule_cache_.setMaxEntries(static_cast<std::size_t>(
             std::max(0L, budget.max_schedule_entries)));
+        schedule_cache_.setMaxBytes(
+            std::max(0L, budget.max_schedule_bytes));
         router_.setPoolBudget(static_cast<std::size_t>(
             std::max(0L, budget.max_route_entries)));
+        router_.setPoolMaxBytes(std::max(0L, budget.max_route_bytes));
+    }
+
+    /**
+     * Re-lowers persisted task signatures into the schedule cache
+     * under the *current* fault epoch — the warm-start import. A
+     * snapshot never carries lowered routes (they bake the fault
+     * state in), so import-by-replay is correct under any fault
+     * state; replays count as lowerings, honestly. Const for the same
+     * reason the cache is mutable.
+     */
+    void prewarmSchedules(
+        const std::vector<net::CollectiveTask> &tasks) const
+    {
+        for (const net::CollectiveTask &task : tasks)
+            schedule_cache_.lowered(task, wafer_.faultEpoch());
+    }
+
+    /// Content signatures of every resident schedule (persist export).
+    std::vector<net::CollectiveTask> exportScheduleTasks() const
+    {
+        return schedule_cache_.exportTasks();
     }
 
     /// Governance counters of the shared schedule cache.

@@ -102,6 +102,17 @@ layoutKey(std::uint64_t graph_fp, const ParallelSpec &spec)
 
 LayoutCache::LayoutCache(const cost::WaferCostModel &model) : model_(model)
 {
+    // Honest byte estimate: the default sizeof(shared_ptr) would make
+    // a layout byte budget meaningless.
+    cache_.setByteEstimate(
+        [](const std::string &key,
+           const std::shared_ptr<const GroupLayout> &layout) {
+            long bytes = common::cacheByteEstimate(key) +
+                         static_cast<long>(sizeof(layout));
+            if (layout != nullptr)
+                bytes += layout->byteEstimate();
+            return bytes;
+        });
 }
 
 std::shared_ptr<const GroupLayout>
@@ -375,7 +386,9 @@ void
 ExactEvaluator::setCacheBudget(const common::CacheBudget &budget)
 {
     cache_.setCapacity(budget.max_eval_entries);
+    cache_.setMaxBytes(budget.max_eval_bytes);
     layouts_.setMaxEntries(budget.max_layout_entries);
+    layouts_.setMaxBytes(budget.max_layout_bytes);
 }
 
 // ---------------------------------------------------------------------

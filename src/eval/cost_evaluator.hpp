@@ -125,6 +125,10 @@ class LayoutCache
         cache_.setCapacity(max_entries);
     }
 
+    /// Byte budget over the layouts' honest heap estimates
+    /// (0 = unbounded).
+    void setMaxBytes(long max_bytes) { cache_.setMaxBytes(max_bytes); }
+
     /// Governance counters for CacheStatsRequest reporting.
     common::CacheStats cacheStats() const { return cache_.stats(); }
 
@@ -246,8 +250,32 @@ class CachingEvaluator : public CostEvaluator
         cache_.setCapacity(max_entries);
     }
 
+    /// Byte budget of the shared breakdown memo (0 = unbounded).
+    void setMaxBytes(long max_bytes) { cache_.setMaxBytes(max_bytes); }
+
     /// Governance counters of the shared breakdown memo.
     common::CacheStats cacheStats() const { return cache_.stats(); }
+
+    /// Visits every resident (key, breakdown) pair — the persist
+    /// layer's export hook. Keys are evalKey() content keys, so the
+    /// visited pairs are valid in any process with the same options.
+    template <typename Fn>
+    void forEachCached(Fn &&fn) const
+    {
+        cache_.forEach(std::forward<Fn>(fn));
+    }
+
+    /**
+     * Seeds the memo with one persisted entry (warm start). A resident
+     * value wins over the import, so a live memo is never overwritten;
+     * imports count as neither measurements nor hits — the honest
+     * counters track only what *this* process computed or served.
+     */
+    void importCached(const std::string &key,
+                      const cost::OpCostBreakdown &breakdown)
+    {
+        cache_.insert(key, breakdown);
+    }
 
     CostEvaluator &inner() { return inner_; }
     const CostEvaluator &inner() const { return inner_; }

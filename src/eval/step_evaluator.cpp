@@ -34,6 +34,14 @@ StepEvaluator::StepEvaluator(const sim::TrainingSimulator &simulator,
                              ThreadPool *pool)
     : sim_(simulator), pool_(pool)
 {
+    // Honest byte estimate: PerfReport owns a heap string
+    // (strategy_desc) the default sizeof-based estimate would miss.
+    cache_.setByteEstimate(
+        [](const std::string &key, const sim::PerfReport &report) {
+            return common::cacheByteEstimate(key) +
+                   static_cast<long>(sizeof(report) +
+                                     report.strategy_desc.capacity());
+        });
 }
 
 sim::PerfReport

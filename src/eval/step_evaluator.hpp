@@ -116,8 +116,28 @@ class StepEvaluator
         cache_.setCapacity(max_entries);
     }
 
+    /// Byte budget of the report memo (0 = unbounded); entries carry
+    /// an honest estimate including the strategy_desc heap payload.
+    void setMaxBytes(long max_bytes) { cache_.setMaxBytes(max_bytes); }
+
     /// Governance counters for CacheStatsRequest reporting.
     common::CacheStats cacheStats() const { return cache_.stats(); }
+
+    /// Visits every resident (key, report) pair — the persist layer's
+    /// export hook (keys are stepKey() content keys).
+    template <typename Fn>
+    void forEachCached(Fn &&fn) const
+    {
+        cache_.forEach(std::forward<Fn>(fn));
+    }
+
+    /// Seeds the memo with one persisted report (warm start); the
+    /// resident value wins, and imports touch no honest counter.
+    void importCached(const std::string &key,
+                      const sim::PerfReport &report)
+    {
+        cache_.insert(key, report);
+    }
 
     const sim::TrainingSimulator &simulator() const { return sim_; }
 

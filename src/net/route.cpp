@@ -248,7 +248,8 @@ Router::safeRouteRef(DieId src, DieId dst, RoutePolicy policy) const
     const std::uint64_t revision = faultRevision();
     const std::uint64_t key = endpointKey(src, dst, policy);
     const bool bounded =
-        pool_budget_.load(std::memory_order_relaxed) > 0;
+        pool_budget_.load(std::memory_order_relaxed) > 0 ||
+        pool_max_bytes_.load(std::memory_order_relaxed) > 0;
     if (!bounded) {
         std::shared_lock<std::shared_mutex> lock(pool_mutex_);
         if (pool_revision_ == revision) {
@@ -308,7 +309,8 @@ Router::candidateRouteRefs(DieId src, DieId dst) const
     const std::uint64_t revision = faultRevision();
     const std::uint64_t key = endpointKey(src, dst, RoutePolicy::XY);
     const bool bounded =
-        pool_budget_.load(std::memory_order_relaxed) > 0;
+        pool_budget_.load(std::memory_order_relaxed) > 0 ||
+        pool_max_bytes_.load(std::memory_order_relaxed) > 0;
     if (!bounded) {
         std::shared_lock<std::shared_mutex> lock(pool_mutex_);
         if (pool_revision_ == revision) {
@@ -346,6 +348,22 @@ Router::setPoolBudget(std::size_t max_entries) const
     pool_budget_.store(max_entries, std::memory_order_relaxed);
     safe_pool_.setCapacity(max_entries);
     candidate_pool_.setCapacity(max_entries);
+}
+
+void
+Router::setPoolMaxBytes(long max_bytes) const
+{
+    std::unique_lock<std::shared_mutex> lock(pool_mutex_);
+    if (max_bytes < 0)
+        max_bytes = 0;
+    pool_max_bytes_.store(max_bytes, std::memory_order_relaxed);
+    // The budget governs the combined pool footprint; split it evenly
+    // (never handing either pool a 0 = unbounded slice), the same
+    // partitioning the sharded caches use.
+    safe_pool_.setMaxBytes(max_bytes == 0 ? 0
+                                          : std::max(1L, max_bytes / 2));
+    candidate_pool_.setMaxBytes(
+        max_bytes == 0 ? 0 : std::max(1L, max_bytes - max_bytes / 2));
 }
 
 void

@@ -186,6 +186,11 @@ class Router
      */
     void setPoolBudget(std::size_t max_entries) const;
 
+    /// Byte budget for each pool (0 = unbounded), over the pools'
+    /// honest route-footprint estimates; composes with the entry
+    /// budget and the same refcount-aware pinning applies.
+    void setPoolMaxBytes(long max_bytes) const;
+
     /**
      * Eagerly drops every pooled route computed under a superseded
      * fault revision (no-op when the pool is current). Without this,
@@ -218,9 +223,10 @@ class Router
     /// persisted, so stale routes cannot leak into the new epoch.
     mutable std::shared_mutex pool_mutex_;
     mutable std::uint64_t pool_revision_ = 0;
-    /// Lockless mirror of the pools' capacity (hit paths branch on
+    /// Lockless mirrors of the pools' budgets (hit paths branch on
     /// boundedness before locking).
     mutable std::atomic<std::size_t> pool_budget_{0};
+    mutable std::atomic<long> pool_max_bytes_{0};
     mutable common::LruMap<std::uint64_t, RouteRef> safe_pool_;
     mutable common::LruMap<
         std::uint64_t, std::shared_ptr<const std::vector<RouteRef>>>

@@ -94,9 +94,11 @@ ScheduleCache::lowered(const CollectiveTask &task, std::uint64_t fault_epoch,
                        &task.group};
 
     // Hit path. Unbounded: shared lock, non-owning probe, no
-    // allocation, no recency maintenance. Bounded: the same probe
-    // under the exclusive lock so the LRU order stays truthful.
-    if (max_entries_.load(std::memory_order_relaxed) == 0) {
+    // allocation, no recency maintenance. Bounded (by entries or
+    // bytes): the same probe under the exclusive lock so the LRU
+    // order stays truthful.
+    if (max_entries_.load(std::memory_order_relaxed) == 0 &&
+        max_bytes_.load(std::memory_order_relaxed) == 0) {
         std::shared_lock<std::shared_mutex> lock(mutex_);
         if (epoch_ == fault_epoch) {
             if (const auto *cached = cache_.peek(view)) {
@@ -171,6 +173,32 @@ ScheduleCache::setMaxEntries(std::size_t max_entries)
     std::unique_lock<std::shared_mutex> lock(mutex_);
     max_entries_.store(max_entries, std::memory_order_relaxed);
     cache_.setCapacity(max_entries);
+}
+
+void
+ScheduleCache::setMaxBytes(long max_bytes)
+{
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    max_bytes_.store(max_bytes > 0 ? max_bytes : 0,
+                     std::memory_order_relaxed);
+    cache_.setMaxBytes(max_bytes);
+}
+
+std::vector<CollectiveTask>
+ScheduleCache::exportTasks() const
+{
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    std::vector<CollectiveTask> tasks;
+    tasks.reserve(cache_.size());
+    cache_.forEachResident(
+        [&](const Key &key,
+            const std::shared_ptr<const CommSchedule> &) {
+            tasks.push_back(
+                CollectiveTask{key.kind, key.group,
+                               std::bit_cast<double>(key.bytes_bits),
+                               key.tag});
+        });
+    return tasks;
 }
 
 void

@@ -103,6 +103,19 @@ class ScheduleCache
     /// Entry budget within the live epoch (0 = unbounded).
     void setMaxEntries(std::size_t max_entries);
 
+    /// Byte budget within the live epoch (0 = unbounded), over the
+    /// honest per-entry estimate (key group + arena + SoA view).
+    void setMaxBytes(long max_bytes);
+
+    /**
+     * Reconstructs the content signature of every resident schedule —
+     * the persist layer's export hook. Signatures only: lowered
+     * schedules bake the fault state into their routes, so snapshots
+     * re-lower ("replay") tasks at import under the live epoch instead
+     * of ever persisting routes.
+     */
+    std::vector<CollectiveTask> exportTasks() const;
+
     /**
      * Eagerly drops all entries when `fault_epoch` differs from the
      * contents' epoch (no-op otherwise). Wired to the wafer's epoch
@@ -159,9 +172,10 @@ class ScheduleCache
     /// and epoch flushes write-lock.
     mutable std::shared_mutex mutex_;
     std::uint64_t epoch_ = 0;
-    /// Mirror of the LruMap capacity, readable without the lock (the
+    /// Mirrors of the LruMap budgets, readable without the lock (the
     /// hit path branches on boundedness before locking).
     std::atomic<std::size_t> max_entries_{0};
+    std::atomic<long> max_bytes_{0};
     common::LruMap<Key, std::shared_ptr<const CommSchedule>, KeyHash,
                    KeyEqual>
         cache_;

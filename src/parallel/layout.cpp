@@ -109,4 +109,24 @@ GroupLayout::groupOf(Axis axis, hw::DieId die) const
     return groups_[static_cast<std::size_t>(axis)][index[die]];
 }
 
+long
+GroupLayout::byteEstimate() const
+{
+    long bytes = static_cast<long>(
+        order_.capacity() * sizeof(Axis) +
+        active_.capacity() * sizeof(hw::DieId));
+    for (const auto &axis_groups : groups_) {
+        bytes += static_cast<long>(
+            sizeof(axis_groups) +
+            axis_groups.capacity() * sizeof(std::vector<hw::DieId>));
+        for (const auto &group : axis_groups)
+            bytes += static_cast<long>(group.capacity() *
+                                       sizeof(hw::DieId));
+    }
+    for (const auto &index : group_of_)
+        bytes += static_cast<long>(sizeof(index) +
+                                   index.capacity() * sizeof(int));
+    return bytes;
+}
+
 }  // namespace temp::parallel

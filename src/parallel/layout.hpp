@@ -76,6 +76,10 @@ class GroupLayout
      */
     static std::vector<hw::DieId> snakeOrder(const hw::MeshTopology &mesh);
 
+    /// Estimated heap bytes held by this layout (feeds the layout
+    /// cache's byte budget; object size excluded, the cache adds it).
+    long byteEstimate() const;
+
   private:
     ParallelSpec spec_;
     std::vector<Axis> order_;

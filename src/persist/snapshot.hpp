@@ -1,0 +1,114 @@
+/**
+ * @file
+ * The persistent memo tier: content-addressed warm-start snapshots.
+ *
+ * A snapshot is the on-disk image of the memo stack a long-lived
+ * TempService accumulates — evaluator breakdown memos, full-step
+ * report memos and the lowered-schedule cache — keyed by the same
+ * canonical content keys the live caches use, so a fresh process
+ * imports it and serves repeat work without re-measuring (the restart
+ * counterpart of the in-process framework cache).
+ *
+ * File layout (all integers little-endian; see codec.hpp):
+ *
+ *   magic   "TEMPSNP\x01"                      8 bytes
+ *   u32     format version (kFormatVersion)
+ *   u64     contract fingerprint (kernel/SIMD numeric contract)
+ *   u32     block count
+ *   blocks  repeated:
+ *     str   framework key  (api::waferKey + api::optionsKey)
+ *     3 sections, each:
+ *       u32  section tag ('BRKD' | 'STEP' | 'SCHD')
+ *       u64  payload size
+ *       u64  FNV-1a checksum of the payload
+ *       payload bytes
+ *
+ * One block per framework: breakdowns and step reports are persisted
+ * by value under their content keys; the schedule cache is persisted
+ * as *task signatures only* and re-lowered at import time (routes bake
+ * the fault state in, so import-by-replay is always correct under the
+ * importing process's fault epoch).
+ *
+ * Validation contract: decode verifies magic, version, contract
+ * fingerprint, per-section checksums and exact payload consumption.
+ * Any mismatch — truncation, bit flips, a snapshot written by an
+ * incompatible build — fails the whole load; callers degrade to a cold
+ * start and bump a counter. A valid snapshot from a *different wafer*
+ * simply carries framework keys no request ever matches: it stages
+ * harmlessly and the process cold-starts, never imports wrong values.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cost/cost_model.hpp"
+#include "net/collective.hpp"
+#include "sim/perf_report.hpp"
+
+namespace temp::persist {
+
+/// Format version; bump on any layout change (old files cold-start).
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+/// The serialized memo contents of one framework, addressed by the
+/// same canonical key the service's framework cache uses.
+struct MemoBlock
+{
+    std::string framework_key;
+    /// CachingEvaluator memo: evalKey -> breakdown, by value.
+    std::vector<std::pair<std::string, cost::OpCostBreakdown>> breakdowns;
+    /// StepEvaluator memo: stepKey -> report, by value.
+    std::vector<std::pair<std::string, sim::PerfReport>> step_reports;
+    /// ScheduleCache contents as content signatures (re-lowered at
+    /// import under the live fault epoch).
+    std::vector<net::CollectiveTask> schedule_tasks;
+
+    bool empty() const
+    {
+        return breakdowns.empty() && step_reports.empty() &&
+               schedule_tasks.empty();
+    }
+};
+
+/// A full snapshot: one block per framework the process had warm.
+struct Snapshot
+{
+    std::vector<MemoBlock> blocks;
+};
+
+/**
+ * Fingerprint of the numeric contract a snapshot's values were
+ * computed under. The repo's kernels guarantee bit-identical results
+ * across SIMD on/off and thread counts, so runtime dispatch state is
+ * deliberately *not* part of it — only properties that would make the
+ * persisted bit patterns non-portable (double width/format, byte
+ * order, the persist contract revision).
+ */
+std::uint64_t contractFingerprint();
+
+/// Serializes a snapshot to its byte image.
+std::string encodeSnapshot(const Snapshot &snapshot);
+
+/**
+ * Parses and validates a byte image.
+ *
+ * @return false with *error describing the first failure (magic,
+ *         version, fingerprint, checksum, truncation); *out is left
+ *         empty then — a failed load never yields partial contents.
+ */
+bool decodeSnapshot(const std::string &bytes, Snapshot *out,
+                    std::string *error);
+
+/// Writes a snapshot to a file (atomically: temp file + rename, so a
+/// crash mid-write never corrupts an existing snapshot).
+bool saveSnapshotFile(const std::string &path, const Snapshot &snapshot,
+                      std::string *error);
+
+/// Reads and validates a snapshot file.
+bool loadSnapshotFile(const std::string &path, Snapshot *out,
+                      std::string *error);
+
+}  // namespace temp::persist

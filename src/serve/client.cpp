@@ -127,4 +127,60 @@ Client::httpPost(const std::string &host, int port,
     return ok;
 }
 
+HttpClient::~HttpClient()
+{
+    close();
+}
+
+bool
+HttpClient::connect(const std::string &host, int port,
+                    std::string *error)
+{
+    close();
+    fd_ = dial(host, port, error);
+    if (fd_ >= 0)
+        host_ = host;
+    return fd_ >= 0;
+}
+
+bool
+HttpClient::exchange(const std::string &target, const std::string &body,
+                     int *status, std::string *response_body,
+                     std::string *error)
+{
+    if (fd_ < 0) {
+        *error = "not connected";
+        return false;
+    }
+    std::string head;
+    if (body.empty()) {
+        head = "GET " + target + " HTTP/1.1\r\n";
+    } else {
+        head = "POST " + target + " HTTP/1.1\r\n";
+        head += "Content-Length: " + std::to_string(body.size()) +
+                "\r\n";
+    }
+    head += "Host: " + host_ + "\r\n";
+    head += "Connection: keep-alive\r\n\r\n";
+    const std::string message = head + body;
+    const bool ok =
+        writeAll(fd_, message.data(), message.size()) &&
+        readHttpResponse(fd_, status, response_body, error);
+    if (!ok) {
+        if (error->empty())
+            *error = "http transport failure";
+        close();
+    }
+    return ok;
+}
+
+void
+HttpClient::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
 }  // namespace temp::serve

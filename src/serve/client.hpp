@@ -5,9 +5,10 @@
  *
  * Client holds one framed-RPC connection and answers call()s
  * sequentially on it (one outstanding request per connection; run
- * several Clients for concurrency). httpPost() is the one-shot
- * HTTP/1.1 counterpart, opening a fresh connection per call the way
- * the HTTP mode expects.
+ * several Clients for concurrency). HttpClient is the HTTP/1.1
+ * counterpart: one keep-alive connection carrying sequential
+ * exchanges. httpPost() remains the one-shot form (fresh connection,
+ * Connection: close) for probes and scripts.
  */
 #pragma once
 
@@ -64,6 +65,43 @@ class Client
 
   private:
     int fd_ = -1;
+};
+
+/**
+ * A persistent HTTP/1.1 connection: requests are sent with keep-alive
+ * semantics, so sequential exchange()s reuse one socket (and hold one
+ * server session slot). A transport failure closes the connection;
+ * callers may reconnect().
+ */
+class HttpClient
+{
+  public:
+    HttpClient() = default;
+    ~HttpClient();
+
+    HttpClient(const HttpClient &) = delete;
+    HttpClient &operator=(const HttpClient &) = delete;
+
+    bool connect(const std::string &host, int port,
+                 std::string *error);
+    bool connected() const { return fd_ >= 0; }
+
+    /**
+     * One HTTP exchange on the live connection: POST when @p body is
+     * non-empty, GET otherwise (mirroring httpPost). The request asks
+     * for keep-alive, so the server leaves the socket open for the
+     * next exchange. A transport failure closes the connection and
+     * turns connected() false.
+     */
+    bool exchange(const std::string &target, const std::string &body,
+                  int *status, std::string *response_body,
+                  std::string *error);
+
+    void close();
+
+  private:
+    int fd_ = -1;
+    std::string host_;
 };
 
 }  // namespace temp::serve

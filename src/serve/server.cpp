@@ -177,50 +177,64 @@ Server::serveFramed(int fd)
 void
 Server::serveHttp(int fd)
 {
-    HttpRequest request;
-    std::string error;
-    if (!readHttpRequest(fd, &request, &error)) {
-        if (!error.empty()) {
-            const std::string body = api::JsonObject()
-                                         .add("ok", false)
-                                         .add("error", error)
-                                         .str();
-            const std::string response = httpResponse(400, body);
-            writeAll(fd, response.data(), response.size());
+    // Persistent connections: the loop serves requests until the
+    // client (or HTTP/1.0 default) asks for close, EOF, or a protocol
+    // error. A kept-alive connection holds its session slot, so
+    // max_sessions bounds concurrent HTTP clients exactly like framed
+    // ones.
+    for (;;) {
+        HttpRequest request;
+        std::string error;
+        if (!readHttpRequest(fd, &request, &error)) {
+            // In-band 400 for protocol violations; plain EOF (the
+            // normal end of a keep-alive session) ends it silently.
+            if (!error.empty()) {
+                const std::string body = api::JsonObject()
+                                             .add("ok", false)
+                                             .add("error", error)
+                                             .str();
+                const std::string response = httpResponse(400, body);
+                writeAll(fd, response.data(), response.size());
+            }
+            return;
         }
-        return;
-    }
 
-    int status = 200;
-    std::string body;
-    if (request.method == "POST" && request.target == "/v1/requests") {
-        body = handle(request.body, &status);
-    } else if (request.method == "GET" &&
-               request.target == "/healthz") {
-        body = api::JsonObject().add("ok", true).str();
-    } else if (request.method == "GET" && request.target == "/stats") {
-        const DispatchStats stats = dispatcher_.stats();
-        body = api::JsonObject()
-                   .add("ok", true)
-                   .add("accepted", stats.accepted)
-                   .add("coalesced", stats.coalesced)
-                   .add("executed", stats.executed)
-                   .add("shed", stats.shed)
-                   .add("completed", stats.completed)
-                   .add("in_flight",
-                        static_cast<long>(dispatcher_.inFlight()))
-                   .str();
-    } else {
-        status = 404;
-        body = api::JsonObject()
-                   .add("ok", false)
-                   .add("error", "no such endpoint (use POST "
-                                 "/v1/requests, GET /healthz, "
-                                 "GET /stats)")
-                   .str();
+        int status = 200;
+        std::string body;
+        if (request.method == "POST" &&
+            request.target == "/v1/requests") {
+            body = handle(request.body, &status);
+        } else if (request.method == "GET" &&
+                   request.target == "/healthz") {
+            body = api::JsonObject().add("ok", true).str();
+        } else if (request.method == "GET" &&
+                   request.target == "/stats") {
+            const DispatchStats stats = dispatcher_.stats();
+            body = api::JsonObject()
+                       .add("ok", true)
+                       .add("accepted", stats.accepted)
+                       .add("coalesced", stats.coalesced)
+                       .add("executed", stats.executed)
+                       .add("shed", stats.shed)
+                       .add("completed", stats.completed)
+                       .add("in_flight",
+                            static_cast<long>(dispatcher_.inFlight()))
+                       .str();
+        } else {
+            status = 404;
+            body = api::JsonObject()
+                       .add("ok", false)
+                       .add("error", "no such endpoint (use POST "
+                                     "/v1/requests, GET /healthz, "
+                                     "GET /stats)")
+                       .str();
+        }
+        const std::string response =
+            httpResponse(status, body, request.keep_alive);
+        if (!writeAll(fd, response.data(), response.size()) ||
+            !request.keep_alive)
+            return;
     }
-    const std::string response = httpResponse(status, body);
-    writeAll(fd, response.data(), response.size());
 }
 
 void

@@ -14,9 +14,10 @@ namespace {
 
 constexpr std::size_t kMaxHeadBytes = 64u << 10;
 
-/// Reads up to the CRLFCRLF head terminator, byte-at-a-time. A
-/// connection carries one request, so simplicity beats buffering —
-/// and byte-at-a-time cannot over-read into the body.
+/// Reads up to the CRLFCRLF head terminator, byte-at-a-time.
+/// Byte-at-a-time cannot over-read into the body — which is also what
+/// keeps keep-alive simple: after the Content-Length body, the cursor
+/// sits exactly at the next request's first byte.
 bool
 readHead(int fd, std::string *head, std::string *error)
 {
@@ -90,6 +91,40 @@ readBody(int fd, long length, std::string *body, std::string *error)
         return false;
     }
     return true;
+}
+
+/// Lower-cased Connection header value ("" when absent).
+std::string
+connectionTokenOf(const std::string &head)
+{
+    std::size_t pos = 0;
+    while (pos < head.size()) {
+        std::size_t eol = head.find("\r\n", pos);
+        if (eol == std::string::npos)
+            eol = head.size();
+        const std::string line = head.substr(pos, eol - pos);
+        pos = eol + 2;
+        const std::size_t colon = line.find(':');
+        if (colon == std::string::npos)
+            continue;
+        std::string name = line.substr(0, colon);
+        for (char &c : name)
+            c = static_cast<char>(
+                std::tolower(static_cast<unsigned char>(c)));
+        if (name != "connection")
+            continue;
+        std::size_t value = colon + 1;
+        while (value < line.size() && line[value] == ' ')
+            ++value;
+        std::string token = line.substr(value);
+        while (!token.empty() && token.back() == ' ')
+            token.pop_back();
+        for (char &c : token)
+            c = static_cast<char>(
+                std::tolower(static_cast<unsigned char>(c)));
+        return token;
+    }
+    return "";
 }
 
 const char *
@@ -210,18 +245,29 @@ readHttpRequest(int fd, HttpRequest *out, std::string *error)
     }
     out->method = line.substr(0, sp1);
     out->target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+    // Persistence per RFC 9112: 1.1 defaults alive, 1.0 defaults
+    // closed, an explicit Connection token overrides either way.
+    const std::string version = line.substr(sp2 + 1);
+    const std::string token = connectionTokenOf(head);
+    if (token == "close")
+        out->keep_alive = false;
+    else if (token == "keep-alive")
+        out->keep_alive = true;
+    else
+        out->keep_alive = version != "HTTP/1.0";
     return readBody(fd, contentLengthOf(head), &out->body, error);
 }
 
 std::string
-httpResponse(int status, const std::string &body)
+httpResponse(int status, const std::string &body, bool keep_alive)
 {
     std::string response = "HTTP/1.1 " + std::to_string(status) + " " +
                            statusText(status) + "\r\n";
     response += "Content-Type: application/json\r\n";
     response += "Content-Length: " + std::to_string(body.size()) +
                 "\r\n";
-    response += "Connection: close\r\n\r\n";
+    response += keep_alive ? "Connection: keep-alive\r\n\r\n"
+                           : "Connection: close\r\n\r\n";
     response += body;
     return response;
 }

@@ -11,9 +11,12 @@
  * server sniff the protocol: no HTTP method starts with a control
  * byte.
  *
- * HTTP: enough of HTTP/1.1 for the service surface — one request per
- * connection, Content-Length bodies only (no chunked encoding), the
- * response always carries Connection: close.
+ * HTTP: enough of HTTP/1.1 for the service surface — Content-Length
+ * bodies only (no chunked encoding), with standard persistent-
+ * connection semantics: HTTP/1.1 requests keep the connection alive
+ * unless they say Connection: close, HTTP/1.0 requests close unless
+ * they say Connection: keep-alive, and the response echoes the
+ * decision so the client never guesses.
  */
 #pragma once
 
@@ -53,12 +56,16 @@ struct HttpRequest
     std::string method;  ///< "GET", "POST", ...
     std::string target;  ///< "/v1/requests"
     std::string body;
+    /// Whether the connection should survive this exchange: HTTP/1.1
+    /// default, Connection header override, HTTP/1.0 defaults false.
+    bool keep_alive = true;
 };
 
 /**
- * Reads one HTTP/1.1 request from the socket: head until CRLFCRLF
+ * Reads one HTTP request from the socket: head until CRLFCRLF
  * (bounded), then a Content-Length body (bounded by
- * kMaxPayloadBytes).
+ * kMaxPayloadBytes). Sets keep_alive from the request version and
+ * Connection header.
  *
  * @return false on EOF before a complete head (*error empty when the
  *         connection closed before any byte arrived) or malformed
@@ -67,8 +74,10 @@ struct HttpRequest
 bool readHttpRequest(int fd, HttpRequest *out, std::string *error);
 
 /// Renders a complete HTTP/1.1 response (status line, JSON content
-/// type, Content-Length, Connection: close).
-std::string httpResponse(int status, const std::string &body);
+/// type, Content-Length, Connection: keep-alive or close per
+/// @p keep_alive).
+std::string httpResponse(int status, const std::string &body,
+                         bool keep_alive = false);
 
 /**
  * Reads one HTTP/1.1 response (client side).

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <sstream>
 #include <utility>
 
 #include "common/rng.hpp"
+#include "persist/codec.hpp"
 #include "solver/dls_solver.hpp"
 
 namespace temp::solver {
@@ -66,7 +68,159 @@ drawOrder(const RefineContext &ctx)
     return order;
 }
 
+/// Serialises an Rng's full state (mt19937_64 stream capture; complete
+/// because every Rng helper constructs its distribution per draw).
+std::string
+rngStateOf(Rng &rng)
+{
+    std::ostringstream os;
+    os << rng.engine();
+    return os.str();
+}
+
+/// Restores an Rng from a stream capture; false on parse failure.
+bool
+restoreRng(const std::string &state, Rng &rng)
+{
+    std::istringstream is(state);
+    is >> rng.engine();
+    return !is.fail();
+}
+
+void
+putGenome(persist::ByteWriter &w, const std::vector<int> &genome)
+{
+    w.u32(static_cast<std::uint32_t>(genome.size()));
+    for (int g : genome)
+        w.i32(g);
+}
+
+bool
+getGenome(persist::ByteReader &r, std::vector<int> *genome)
+{
+    const std::uint32_t count = r.u32();
+    if (!r.ok() || count > r.remaining() / 4) {
+        r.fail();
+        return false;
+    }
+    genome->clear();
+    genome->reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i)
+        genome->push_back(r.i32());
+    return r.ok();
+}
+
+constexpr std::uint32_t kCheckpointMagic = 0x504b4352;  // "RCKP"
+constexpr std::uint32_t kCheckpointVersion = 1;
+
 }  // namespace
+
+std::string
+encodeRefineCheckpoint(const RefineCheckpoint &cp)
+{
+    persist::ByteWriter payload;
+    payload.str(cp.engine);
+    payload.i32(cp.steps_done);
+    payload.i64(cp.fitness_queries);
+    putGenome(payload, cp.best);
+    payload.f64(cp.best_fitness);
+    payload.u32(static_cast<std::uint32_t>(cp.population.size()));
+    for (const std::vector<int> &genome : cp.population)
+        putGenome(payload, genome);
+    for (double score : cp.scores)
+        payload.f64(score);
+    putGenome(payload, cp.current);
+    payload.f64(cp.current_fitness);
+    payload.f64(cp.temperature);
+    payload.str(cp.rng_state);
+
+    persist::ByteWriter w;
+    w.u32(kCheckpointMagic);
+    w.u32(kCheckpointVersion);
+    const std::string body = payload.take();
+    w.u64(persist::fnv1aBytes(body.data(), body.size()));
+    w.u32(static_cast<std::uint32_t>(body.size()));
+    std::string out = w.take();
+    out += body;
+    return out;
+}
+
+bool
+decodeRefineCheckpoint(const std::string &bytes, RefineCheckpoint *out,
+                       std::string *error)
+{
+    *out = RefineCheckpoint{};
+    auto failed = [&](const char *why) {
+        *out = RefineCheckpoint{};
+        if (error)
+            *error = why;
+        return false;
+    };
+    persist::ByteReader r(bytes.data(), bytes.size());
+    if (r.u32() != kCheckpointMagic || !r.ok())
+        return failed("checkpoint: bad magic");
+    if (r.u32() != kCheckpointVersion || !r.ok())
+        return failed("checkpoint: unsupported version");
+    const std::uint64_t checksum = r.u64();
+    const std::uint32_t size = r.u32();
+    const char *body = r.skip(size);
+    if (!r.ok() || !r.atEnd())
+        return failed("checkpoint: truncated");
+    if (persist::fnv1aBytes(body, size) != checksum)
+        return failed("checkpoint: checksum mismatch");
+
+    persist::ByteReader pr(body, size);
+    out->engine = pr.str();
+    out->steps_done = pr.i32();
+    out->fitness_queries = pr.i64();
+    if (!getGenome(pr, &out->best))
+        return failed("checkpoint: bad incumbent");
+    out->best_fitness = pr.f64();
+    const std::uint32_t pop = pr.u32();
+    // Each member costs >= 4 (genome length) + 8 (score) bytes.
+    if (!pr.ok() || pop > pr.remaining() / 12)
+        return failed("checkpoint: implausible population");
+    out->population.resize(pop);
+    for (std::uint32_t i = 0; i < pop; ++i)
+        if (!getGenome(pr, &out->population[i]))
+            return failed("checkpoint: bad population genome");
+    out->scores.resize(pop);
+    for (std::uint32_t i = 0; i < pop; ++i)
+        out->scores[i] = pr.f64();
+    if (!getGenome(pr, &out->current))
+        return failed("checkpoint: bad walk state");
+    out->current_fitness = pr.f64();
+    out->temperature = pr.f64();
+    out->rng_state = pr.str();
+    if (!pr.ok() || !pr.atEnd())
+        return failed("checkpoint: truncated");
+    return true;
+}
+
+RefineOutcome
+SearchEngine::refinePartial(const RefineContext &ctx,
+                            eval::StepEvaluator &steps, int,
+                            RefineCheckpoint *checkpoint) const
+{
+    // Engines without internal step structure complete immediately;
+    // the checkpoint records a finished run.
+    RefineOutcome outcome = refine(ctx, steps);
+    *checkpoint = RefineCheckpoint{};
+    checkpoint->engine = name();
+    checkpoint->fitness_queries = outcome.fitness_queries;
+    checkpoint->best = outcome.assignment;
+    checkpoint->best_fitness = outcome.fitness;
+    return outcome;
+}
+
+RefineOutcome
+SearchEngine::resume(const RefineContext &ctx, eval::StepEvaluator &steps,
+                     const RefineCheckpoint &checkpoint) const
+{
+    if (checkpoint.engine != name() || checkpoint.best.empty())
+        return refine(ctx, steps);
+    return {checkpoint.best, checkpoint.best_fitness, 0};
+}
 
 double
 stepFitness(const sim::PerfReport &report)
@@ -123,15 +277,29 @@ GeneticRefiner::GeneticRefiner(int population, int generations,
 {
 }
 
-RefineOutcome
-GeneticRefiner::refine(const RefineContext &ctx,
-                       eval::StepEvaluator &steps) const
+/// The GA's between-generation state: everything refine() carries from
+/// one generation to the next, so a checkpoint at a generation
+/// boundary captures the run exactly.
+struct GeneticRefiner::GaState
 {
-    RefineOutcome outcome{ctx.dp_assignment, ctx.dp_fitness, 0};
-    std::vector<int> &best = outcome.assignment;
-    double &best_fitness = outcome.fitness;
+    Rng rng;
+    std::vector<std::vector<int>> population;
+    std::vector<double> scores;
+    std::vector<int> best;
+    double best_fitness = 0.0;
+    long fitness_queries = 0;
+    int generations_done = 0;
+};
 
-    Rng rng(seed_);
+GeneticRefiner::GaState
+GeneticRefiner::seedState(const RefineContext &ctx,
+                          eval::StepEvaluator &steps) const
+{
+    GaState state;
+    state.rng = Rng(seed_);
+    state.best = ctx.dp_assignment;
+    state.best_fitness = ctx.dp_fitness;
+    Rng &rng = state.rng;
     const std::vector<int> order = drawOrder(ctx);
 
     // Ranking for the weight-less role ignores the OOM penalty:
@@ -152,7 +320,7 @@ GeneticRefiner::refine(const RefineContext &ctx,
     // batch-style splits that keep gradient accumulation free.
     const int n_ops = ctx.graph.opCount();
     std::vector<std::vector<int>> seeds;
-    seeds.push_back(best);
+    seeds.push_back(state.best);
     const int top = std::min<int>(6, static_cast<int>(order.size()));
     for (int k = 0; k < top; ++k)
         seeds.push_back(std::vector<int>(n_ops, order[k]));
@@ -166,7 +334,7 @@ GeneticRefiner::refine(const RefineContext &ctx,
         }
     }
     while (static_cast<int>(seeds.size()) < 2 * population_) {
-        std::vector<int> genome = best;
+        std::vector<int> genome = state.best;
         for (int &g : genome)
             if (rng.bernoulli(0.3))
                 g = order[rng.index(
@@ -180,7 +348,7 @@ GeneticRefiner::refine(const RefineContext &ctx,
     // keep the fittest as the population.
     const std::vector<double> seed_scores =
         batchFitness(ctx, steps, seeds);
-    outcome.fitness_queries += static_cast<long>(seeds.size());
+    state.fitness_queries += static_cast<long>(seeds.size());
     std::vector<std::pair<double, std::size_t>> ranked;
     for (std::size_t i = 0; i < seeds.size(); ++i)
         ranked.emplace_back(seed_scores[i], i);
@@ -188,57 +356,125 @@ GeneticRefiner::refine(const RefineContext &ctx,
               [](const auto &a, const auto &b) {
                   return a.first < b.first;
               });
-    std::vector<std::vector<int>> population;
-    std::vector<double> scores;
     for (int i = 0;
          i < population_ && i < static_cast<int>(ranked.size()); ++i) {
-        population.push_back(seeds[ranked[i].second]);
-        scores.push_back(ranked[i].first);
+        state.population.push_back(seeds[ranked[i].second]);
+        state.scores.push_back(ranked[i].first);
     }
+    return state;
+}
 
-    for (int gen = 0; gen < generations_; ++gen) {
-        // Tournament selection of two parents.
-        auto pick = [&]() -> const std::vector<int> & {
-            const std::size_t a = rng.index(population.size());
-            const std::size_t b = rng.index(population.size());
-            return scores[a] < scores[b] ? population[a]
-                                         : population[b];
-        };
-        const std::vector<int> &pa = pick();
-        const std::vector<int> &pb = pick();
-        // One-point crossover at a residual boundary when possible.
-        std::vector<int> child = pa;
-        const int cut =
-            ctx.boundaries[rng.index(ctx.boundaries.size())];
-        for (int i = cut; i < n_ops; ++i)
-            child[i] = pb[i];
-        // Mutation: re-draw individual op strategies.
-        for (int &g : child)
-            if (rng.bernoulli(mutation_rate_))
-                g = static_cast<int>(rng.index(ctx.candidates.size()));
+void
+GeneticRefiner::stepGeneration(const RefineContext &ctx,
+                               eval::StepEvaluator &steps,
+                               GaState &state) const
+{
+    Rng &rng = state.rng;
+    std::vector<std::vector<int>> &population = state.population;
+    std::vector<double> &scores = state.scores;
+    const int n_ops = ctx.graph.opCount();
 
-        // Children arrive one per generation and recur often late in
-        // the run; the step memo serves repeats without a simulation.
-        const double score = fitnessOf(ctx, steps, child);
-        ++outcome.fitness_queries;
-        // Elitist replacement of the worst member.
-        std::size_t worst = 0;
-        for (std::size_t i = 1; i < population.size(); ++i)
-            if (scores[i] > scores[worst])
-                worst = i;
-        if (score < scores[worst]) {
-            population[worst] = std::move(child);
-            scores[worst] = score;
-        }
-        const std::size_t arg_best = static_cast<std::size_t>(
-            std::min_element(scores.begin(), scores.end()) -
-            scores.begin());
-        if (scores[arg_best] < best_fitness) {
-            best = population[arg_best];
-            best_fitness = scores[arg_best];
-        }
+    // Tournament selection of two parents.
+    auto pick = [&]() -> const std::vector<int> & {
+        const std::size_t a = rng.index(population.size());
+        const std::size_t b = rng.index(population.size());
+        return scores[a] < scores[b] ? population[a] : population[b];
+    };
+    const std::vector<int> &pa = pick();
+    const std::vector<int> &pb = pick();
+    // One-point crossover at a residual boundary when possible.
+    std::vector<int> child = pa;
+    const int cut = ctx.boundaries[rng.index(ctx.boundaries.size())];
+    for (int i = cut; i < n_ops; ++i)
+        child[i] = pb[i];
+    // Mutation: re-draw individual op strategies.
+    for (int &g : child)
+        if (rng.bernoulli(mutation_rate_))
+            g = static_cast<int>(rng.index(ctx.candidates.size()));
+
+    // Children arrive one per generation and recur often late in
+    // the run; the step memo serves repeats without a simulation.
+    const double score = fitnessOf(ctx, steps, child);
+    ++state.fitness_queries;
+    // Elitist replacement of the worst member.
+    std::size_t worst = 0;
+    for (std::size_t i = 1; i < population.size(); ++i)
+        if (scores[i] > scores[worst])
+            worst = i;
+    if (score < scores[worst]) {
+        population[worst] = std::move(child);
+        scores[worst] = score;
     }
-    return outcome;
+    const std::size_t arg_best = static_cast<std::size_t>(
+        std::min_element(scores.begin(), scores.end()) -
+        scores.begin());
+    if (scores[arg_best] < state.best_fitness) {
+        state.best = population[arg_best];
+        state.best_fitness = scores[arg_best];
+    }
+    ++state.generations_done;
+}
+
+RefineOutcome
+GeneticRefiner::runFrom(const RefineContext &ctx,
+                        eval::StepEvaluator &steps, GaState &state,
+                        int until_step,
+                        RefineCheckpoint *checkpoint) const
+{
+    while (state.generations_done < until_step)
+        stepGeneration(ctx, steps, state);
+    if (checkpoint) {
+        *checkpoint = RefineCheckpoint{};
+        checkpoint->engine = name();
+        checkpoint->steps_done = state.generations_done;
+        checkpoint->fitness_queries = state.fitness_queries;
+        checkpoint->best = state.best;
+        checkpoint->best_fitness = state.best_fitness;
+        checkpoint->population = state.population;
+        checkpoint->scores = state.scores;
+        checkpoint->rng_state = rngStateOf(state.rng);
+    }
+    return {state.best, state.best_fitness, state.fitness_queries};
+}
+
+RefineOutcome
+GeneticRefiner::refine(const RefineContext &ctx,
+                       eval::StepEvaluator &steps) const
+{
+    GaState state = seedState(ctx, steps);
+    return runFrom(ctx, steps, state, generations_, nullptr);
+}
+
+RefineOutcome
+GeneticRefiner::refinePartial(const RefineContext &ctx,
+                              eval::StepEvaluator &steps, int max_steps,
+                              RefineCheckpoint *checkpoint) const
+{
+    GaState state = seedState(ctx, steps);
+    return runFrom(ctx, steps, state,
+                   std::clamp(max_steps, 0, generations_), checkpoint);
+}
+
+RefineOutcome
+GeneticRefiner::resume(const RefineContext &ctx,
+                       eval::StepEvaluator &steps,
+                       const RefineCheckpoint &checkpoint) const
+{
+    GaState state;
+    // A foreign or damaged checkpoint degrades to a cold refine: the
+    // resume then re-runs the identical deterministic search rather
+    // than continuing from state it cannot trust.
+    if (checkpoint.engine != name() || checkpoint.population.empty() ||
+        checkpoint.population.size() != checkpoint.scores.size() ||
+        !restoreRng(checkpoint.rng_state, state.rng))
+        return refine(ctx, steps);
+    state.population = checkpoint.population;
+    state.scores = checkpoint.scores;
+    state.best = checkpoint.best;
+    state.best_fitness = checkpoint.best_fitness;
+    state.fitness_queries = checkpoint.fitness_queries;
+    state.generations_done = checkpoint.steps_done;
+    return runFrom(ctx, steps, state, generations_, nullptr);
 }
 
 // ---------------------------------------------------------------------
@@ -251,24 +487,46 @@ AnnealingRefiner::AnnealingRefiner(AnnealingConfig config,
 {
 }
 
-RefineOutcome
-AnnealingRefiner::refine(const RefineContext &ctx,
-                         eval::StepEvaluator &steps) const
+/// The annealer's between-round state (checkpointed at round
+/// boundaries, where no proposal batch is in flight).
+struct AnnealingRefiner::AnnealState
 {
-    RefineOutcome outcome{ctx.dp_assignment, ctx.dp_fitness, 0};
+    Rng rng;
+    std::vector<int> current;
+    double current_fitness = 0.0;
+    std::vector<int> best;
+    double best_fitness = 0.0;
+    double temp = 0.0;
+    long fitness_queries = 0;
+    int rounds_done = 0;
+};
 
-    Rng rng(seed_);
-    const std::vector<int> order = drawOrder(ctx);
-    const int n_ops = ctx.graph.opCount();
-
-    std::vector<int> current = ctx.dp_assignment;
-    double current_fitness = ctx.dp_fitness;
-
+AnnealingRefiner::AnnealState
+AnnealingRefiner::initState(const RefineContext &ctx) const
+{
+    AnnealState state;
+    state.rng = Rng(seed_);
+    state.current = ctx.dp_assignment;
+    state.current_fitness = ctx.dp_fitness;
+    state.best = ctx.dp_assignment;
+    state.best_fitness = ctx.dp_fitness;
     // Temperature in step-time units: a fraction of the incumbent's
     // step time (absolute fallback when the DP plan is infeasible).
-    double temp = std::isfinite(ctx.dp_fitness) && ctx.dp_fitness > 0.0
-                      ? config_.initial_temp * ctx.dp_fitness
-                      : config_.initial_temp;
+    state.temp =
+        std::isfinite(ctx.dp_fitness) && ctx.dp_fitness > 0.0
+            ? config_.initial_temp * ctx.dp_fitness
+            : config_.initial_temp;
+    return state;
+}
+
+void
+AnnealingRefiner::stepRound(const RefineContext &ctx,
+                            eval::StepEvaluator &steps,
+                            AnnealState &state) const
+{
+    Rng &rng = state.rng;
+    const std::vector<int> order = drawOrder(ctx);
+    const int n_ops = ctx.graph.opCount();
 
     // Draws one neighbour move in place: mostly single-op re-draws,
     // occasionally a whole residual sub-chain flipped to one spec
@@ -281,8 +539,7 @@ AnnealingRefiner::refine(const RefineContext &ctx,
             return static_cast<int>(rng.index(ctx.candidates.size()));
         };
         if (ctx.boundaries.size() > 2 && rng.bernoulli(0.25)) {
-            const std::size_t b =
-                rng.index(ctx.boundaries.size() - 1);
+            const std::size_t b = rng.index(ctx.boundaries.size() - 1);
             const int s = draw_strategy();
             for (int i = ctx.boundaries[b]; i < ctx.boundaries[b + 1];
                  ++i)
@@ -296,45 +553,106 @@ AnnealingRefiner::refine(const RefineContext &ctx,
                 static_cast<std::size_t>(n_ops)))] = draw_strategy();
     };
 
-    for (int iter = 0; iter < config_.iterations; ++iter) {
-        // All proposals of a round neighbour the round's starting
-        // plan, so the whole round is fixed before any fitness is
-        // known — and scores as ONE deterministic parallel batch.
-        std::vector<std::vector<int>> proposals;
-        proposals.reserve(static_cast<std::size_t>(config_.proposals));
-        for (int p = 0; p < config_.proposals; ++p) {
-            std::vector<int> neighbour = current;
-            mutate(neighbour);
-            proposals.push_back(std::move(neighbour));
-        }
-        const std::vector<double> scores =
-            batchFitness(ctx, steps, proposals);
-        outcome.fitness_queries += static_cast<long>(proposals.size());
-
-        // Metropolis walk over the round, in proposal order.
-        for (std::size_t p = 0; p < proposals.size(); ++p) {
-            const double f = scores[p];
-            if (!std::isfinite(f))
-                continue;
-            bool accept = f < current_fitness;
-            if (!accept && temp > 0.0 &&
-                std::isfinite(current_fitness)) {
-                const double delta = f - current_fitness;
-                accept = rng.uniformReal(0.0, 1.0) <
-                         std::exp(-delta / temp);
-            }
-            if (!accept)
-                continue;
-            current = proposals[p];
-            current_fitness = f;
-            if (f < outcome.fitness) {
-                outcome.assignment = proposals[p];
-                outcome.fitness = f;
-            }
-        }
-        temp *= config_.cooling;
+    // All proposals of a round neighbour the round's starting plan,
+    // so the whole round is fixed before any fitness is known — and
+    // scores as ONE deterministic parallel batch.
+    std::vector<std::vector<int>> proposals;
+    proposals.reserve(static_cast<std::size_t>(config_.proposals));
+    for (int p = 0; p < config_.proposals; ++p) {
+        std::vector<int> neighbour = state.current;
+        mutate(neighbour);
+        proposals.push_back(std::move(neighbour));
     }
-    return outcome;
+    const std::vector<double> scores =
+        batchFitness(ctx, steps, proposals);
+    state.fitness_queries += static_cast<long>(proposals.size());
+
+    // Metropolis walk over the round, in proposal order.
+    for (std::size_t p = 0; p < proposals.size(); ++p) {
+        const double f = scores[p];
+        if (!std::isfinite(f))
+            continue;
+        bool accept = f < state.current_fitness;
+        if (!accept && state.temp > 0.0 &&
+            std::isfinite(state.current_fitness)) {
+            const double delta = f - state.current_fitness;
+            accept = rng.uniformReal(0.0, 1.0) <
+                     std::exp(-delta / state.temp);
+        }
+        if (!accept)
+            continue;
+        state.current = proposals[p];
+        state.current_fitness = f;
+        if (f < state.best_fitness) {
+            state.best = proposals[p];
+            state.best_fitness = f;
+        }
+    }
+    state.temp *= config_.cooling;
+    ++state.rounds_done;
+}
+
+RefineOutcome
+AnnealingRefiner::runFrom(const RefineContext &ctx,
+                          eval::StepEvaluator &steps, AnnealState &state,
+                          int until_step,
+                          RefineCheckpoint *checkpoint) const
+{
+    while (state.rounds_done < until_step)
+        stepRound(ctx, steps, state);
+    if (checkpoint) {
+        *checkpoint = RefineCheckpoint{};
+        checkpoint->engine = name();
+        checkpoint->steps_done = state.rounds_done;
+        checkpoint->fitness_queries = state.fitness_queries;
+        checkpoint->best = state.best;
+        checkpoint->best_fitness = state.best_fitness;
+        checkpoint->current = state.current;
+        checkpoint->current_fitness = state.current_fitness;
+        checkpoint->temperature = state.temp;
+        checkpoint->rng_state = rngStateOf(state.rng);
+    }
+    return {state.best, state.best_fitness, state.fitness_queries};
+}
+
+RefineOutcome
+AnnealingRefiner::refine(const RefineContext &ctx,
+                         eval::StepEvaluator &steps) const
+{
+    AnnealState state = initState(ctx);
+    return runFrom(ctx, steps, state, config_.iterations, nullptr);
+}
+
+RefineOutcome
+AnnealingRefiner::refinePartial(const RefineContext &ctx,
+                                eval::StepEvaluator &steps,
+                                int max_steps,
+                                RefineCheckpoint *checkpoint) const
+{
+    AnnealState state = initState(ctx);
+    return runFrom(ctx, steps, state,
+                   std::clamp(max_steps, 0, config_.iterations),
+                   checkpoint);
+}
+
+RefineOutcome
+AnnealingRefiner::resume(const RefineContext &ctx,
+                         eval::StepEvaluator &steps,
+                         const RefineCheckpoint &checkpoint) const
+{
+    AnnealState state;
+    if (checkpoint.engine != name() || checkpoint.best.empty() ||
+        checkpoint.current.empty() ||
+        !restoreRng(checkpoint.rng_state, state.rng))
+        return refine(ctx, steps);
+    state.current = checkpoint.current;
+    state.current_fitness = checkpoint.current_fitness;
+    state.best = checkpoint.best;
+    state.best_fitness = checkpoint.best_fitness;
+    state.temp = checkpoint.temperature;
+    state.fitness_queries = checkpoint.fitness_queries;
+    state.rounds_done = checkpoint.steps_done;
+    return runFrom(ctx, steps, state, config_.iterations, nullptr);
 }
 
 // ---------------------------------------------------------------------

@@ -102,6 +102,45 @@ struct RefineOutcome
     long fitness_queries = 0;
 };
 
+/**
+ * A mid-refinement checkpoint, taken only at generation (GA) / round
+ * (annealing) boundaries so the in-flight batch structure never needs
+ * serialising. Resuming from it continues the exact run: the RNG
+ * stream, incumbent and engine-specific walk state are captured, so
+ * refine(ctx) and refinePartial(k) + resume() produce bit-identical
+ * final assignments at equal (config, seed).
+ */
+struct RefineCheckpoint
+{
+    std::string engine;      ///< name() of the engine that wrote it
+    int steps_done = 0;      ///< generations / rounds completed
+    long fitness_queries = 0;  ///< queries issued so far
+    std::vector<int> best;   ///< incumbent assignment
+    double best_fitness = 0.0;
+    /// GA walk state (empty for other engines).
+    std::vector<std::vector<int>> population;
+    std::vector<double> scores;
+    /// Annealing walk state (empty/zero for other engines).
+    std::vector<int> current;
+    double current_fitness = 0.0;
+    double temperature = 0.0;
+    /// The mt19937_64 stream (operator<< capture) — a complete state
+    /// capture because engines construct distributions per draw.
+    std::string rng_state;
+};
+
+/**
+ * Serialises a checkpoint with the persist byte codec (versioned,
+ * checksummed). decodeRefineCheckpoint() rejects truncated or
+ * corrupted bytes — returns false with @p error set and leaves @p out
+ * cleared, so a damaged checkpoint degrades to a cold refine, never a
+ * wrong resume.
+ */
+std::string encodeRefineCheckpoint(const RefineCheckpoint &checkpoint);
+bool decodeRefineCheckpoint(const std::string &bytes,
+                            RefineCheckpoint *out,
+                            std::string *error = nullptr);
+
 /// The level-2 refinement interface.
 class SearchEngine
 {
@@ -114,6 +153,31 @@ class SearchEngine
     /// ctx.dp_fitness (engines keep the incumbent).
     virtual RefineOutcome refine(const RefineContext &ctx,
                                  eval::StepEvaluator &steps) const = 0;
+
+    /**
+     * Runs at most @p max_steps generations/rounds, then captures the
+     * in-flight state into @p checkpoint. The returned outcome is the
+     * incumbent so far (usable as-is). Engines without internal steps
+     * (NoRefine) complete immediately. max_steps >= the configured
+     * total is a full refine whose checkpoint resumes as a no-op.
+     */
+    virtual RefineOutcome refinePartial(const RefineContext &ctx,
+                                        eval::StepEvaluator &steps,
+                                        int max_steps,
+                                        RefineCheckpoint *checkpoint)
+        const;
+
+    /**
+     * Continues a checkpointed run to the configured total step count,
+     * bit-identically to the uninterrupted refine(). A checkpoint
+     * written by a different engine kind (or with an unparsable RNG
+     * stream) is ignored: resume degrades to a full cold refine —
+     * never a wrong answer.
+     */
+    virtual RefineOutcome resume(const RefineContext &ctx,
+                                 eval::StepEvaluator &steps,
+                                 const RefineCheckpoint &checkpoint)
+        const;
 };
 
 /// DP-only engine: returns the level-1 plan untouched.
@@ -142,8 +206,26 @@ class GeneticRefiner : public SearchEngine
     const char *name() const override { return "genetic"; }
     RefineOutcome refine(const RefineContext &ctx,
                          eval::StepEvaluator &steps) const override;
+    RefineOutcome refinePartial(const RefineContext &ctx,
+                                eval::StepEvaluator &steps, int max_steps,
+                                RefineCheckpoint *checkpoint)
+        const override;
+    RefineOutcome resume(const RefineContext &ctx,
+                         eval::StepEvaluator &steps,
+                         const RefineCheckpoint &checkpoint)
+        const override;
 
   private:
+    struct GaState;
+    GaState seedState(const RefineContext &ctx,
+                      eval::StepEvaluator &steps) const;
+    void stepGeneration(const RefineContext &ctx,
+                        eval::StepEvaluator &steps, GaState &state) const;
+    RefineOutcome runFrom(const RefineContext &ctx,
+                          eval::StepEvaluator &steps, GaState &state,
+                          int until_step,
+                          RefineCheckpoint *checkpoint) const;
+
     int population_;
     int generations_;
     double mutation_rate_;
@@ -165,8 +247,25 @@ class AnnealingRefiner : public SearchEngine
     const char *name() const override { return "annealing"; }
     RefineOutcome refine(const RefineContext &ctx,
                          eval::StepEvaluator &steps) const override;
+    RefineOutcome refinePartial(const RefineContext &ctx,
+                                eval::StepEvaluator &steps, int max_steps,
+                                RefineCheckpoint *checkpoint)
+        const override;
+    RefineOutcome resume(const RefineContext &ctx,
+                         eval::StepEvaluator &steps,
+                         const RefineCheckpoint &checkpoint)
+        const override;
 
   private:
+    struct AnnealState;
+    AnnealState initState(const RefineContext &ctx) const;
+    void stepRound(const RefineContext &ctx, eval::StepEvaluator &steps,
+                   AnnealState &state) const;
+    RefineOutcome runFrom(const RefineContext &ctx,
+                          eval::StepEvaluator &steps, AnnealState &state,
+                          int until_step,
+                          RefineCheckpoint *checkpoint) const;
+
     AnnealingConfig config_;
     std::uint64_t seed_;
 };

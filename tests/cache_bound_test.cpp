@@ -106,6 +106,77 @@ TEST(BoundedCache, EvictedKeysRecountAsMissesHonestly)
     EXPECT_EQ(unbounded.stats().evictions, 0);
 }
 
+TEST(LruMap, ByteBudgetEvictsOverBytesAndKeepsMru)
+{
+    common::LruMap<int, std::string> map;
+    map.setByteEstimate([](const int &, const std::string &value) {
+        return static_cast<long>(value.size());
+    });
+    map.setMaxBytes(100);
+
+    map.insert(1, std::string(40, 'a'));
+    map.insert(2, std::string(40, 'b'));
+    EXPECT_EQ(map.size(), 2u);
+    EXPECT_EQ(map.bytesEstimate(), 80);
+
+    // The third 40-byte value breaks the 100-byte budget: the LRU
+    // entry goes, the gauge stays honest.
+    map.insert(3, std::string(40, 'c'));
+    EXPECT_EQ(map.size(), 2u);
+    EXPECT_EQ(map.peek(1), nullptr);
+    EXPECT_LE(map.bytesEstimate(), 100);
+    EXPECT_EQ(map.evictions(), 1);
+
+    // One value larger than the whole budget: everything else is
+    // evicted, but the fresh (MRU) entry itself is never dropped —
+    // a budget may transiently overshoot rather than refuse work.
+    map.insert(4, std::string(400, 'd'));
+    EXPECT_EQ(map.size(), 1u);
+    ASSERT_NE(map.peek(4), nullptr);
+    EXPECT_EQ(map.bytesEstimate(), 400);
+
+    // Shrinking the byte budget later cannot drop the lone MRU either.
+    map.setMaxBytes(10);
+    EXPECT_EQ(map.size(), 1u);
+
+    // The budgets compose: a roomy byte budget with a 1-entry cap
+    // still evicts down to one entry.
+    map.setMaxBytes(1 << 20);
+    map.insert(5, std::string(8, 'e'));
+    map.setCapacity(1);
+    EXPECT_EQ(map.size(), 1u);
+    ASSERT_NE(map.peek(5), nullptr);  // the MRU survives
+}
+
+TEST(BoundedCache, ByteBudgetComposesWithEntryBudget)
+{
+    common::BoundedCache<std::string, std::string> cache;
+    cache.setMaxBytes(1 << 10);
+    EXPECT_TRUE(cache.bounded());  // byte budget alone bounds it
+
+    // ~96 bytes of payload per entry (plus key overhead): a 1 KiB
+    // budget holds only a handful of the 64 inserted entries.
+    for (int i = 0; i < 64; ++i)
+        cache.insert("key-" + std::to_string(i),
+                     std::string(96, 'x'));
+    common::CacheStats stats = cache.stats();
+    EXPECT_LT(stats.entries, 64);
+    EXPECT_GT(stats.evictions, 0);
+    EXPECT_GT(stats.bytes_est, 0);
+
+    // Evicted values recount as misses; resident ones still hit.
+    EXPECT_FALSE(cache.get("key-0").has_value());
+    EXPECT_TRUE(cache.get("key-63").has_value());
+
+    // Lifting the byte budget stops further eviction pressure.
+    cache.setMaxBytes(0);
+    const long evictions_before = cache.stats().evictions;
+    for (int i = 64; i < 96; ++i)
+        cache.insert("key-" + std::to_string(i),
+                     std::string(96, 'x'));
+    EXPECT_EQ(cache.stats().evictions, evictions_before);
+}
+
 // ---------------------------------------------------------------
 // Bounded solves: bit-exact results, budgets enforced end to end
 // ---------------------------------------------------------------
@@ -181,6 +252,46 @@ TEST(CacheBound, BudgetTwoSolveIsBitIdenticalToUnbounded)
         else if (layer == "layouts")
             EXPECT_LE(stats.entries, 4) << layer;
         EXPECT_GE(stats.entries, 0) << layer;
+    }
+}
+
+TEST(CacheBound, ByteBudgetedSolveIsBitIdenticalAndVisible)
+{
+    const model::ModelConfig model = model::modelByName("GPT-3 6.7B");
+    const hw::WaferConfig wafer = hw::WaferConfig::paperDefault();
+
+    const core::TempFramework unbounded(wafer, fastOptions());
+    const solver::SolverResult expected = unbounded.optimize(model);
+    ASSERT_TRUE(expected.feasible);
+
+    // Byte budgets only — entry budgets stay unbounded, so every
+    // eviction here is driven by the bytes_est estimators.
+    core::FrameworkOptions options = fastOptions();
+    options.cache.max_eval_bytes = 64 << 10;
+    options.cache.max_step_bytes = 8 << 10;
+    options.cache.max_layout_bytes = 64 << 10;
+    options.cache.max_schedule_bytes = 32 << 10;
+    const core::TempFramework bounded(wafer, options);
+    const solver::SolverResult result = bounded.optimize(model);
+
+    ASSERT_TRUE(result.feasible);
+    EXPECT_EQ(result.per_op_specs, expected.per_op_specs);
+    EXPECT_DOUBLE_EQ(result.step_time_s, expected.step_time_s);
+    EXPECT_GT(result.cache_evictions, 0);
+
+    // The gauges respect the budgets they were given ("layouts"
+    // aggregates two caches, so its bound is twice the per-cache
+    // budget; the route pool is unbudgeted here).
+    for (const auto &[layer, stats] : bounded.cacheStats()) {
+        if (layer == "eval_breakdowns")
+            EXPECT_LE(stats.bytes_est, 64 << 10) << layer;
+        else if (layer == "step_reports")
+            EXPECT_LE(stats.bytes_est, 8 << 10) << layer;
+        else if (layer == "layouts")
+            EXPECT_LE(stats.bytes_est, 2 * (64 << 10)) << layer;
+        else if (layer == "schedules")
+            EXPECT_LE(stats.bytes_est, 32 << 10) << layer;
+        EXPECT_GE(stats.bytes_est, 0) << layer;
     }
 }
 

@@ -15,11 +15,17 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <mutex>
 #include <regex>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include "api/request_io.hpp"
 #include "api/serialize.hpp"
@@ -28,6 +34,7 @@
 #include "serve/client.hpp"
 #include "serve/dispatcher.hpp"
 #include "serve/server.hpp"
+#include "serve/wire.hpp"
 
 namespace temp::serve {
 namespace {
@@ -480,6 +487,138 @@ TEST(Server, HttpEndpoints)
                                  &status, &body, &error))
         << error;
     EXPECT_EQ(status, 404);
+    server.stop();
+}
+
+TEST(Server, HttpKeepAliveServesSequentialExchanges)
+{
+    api::TempService service;
+    Server server(service, ServerOptions{});
+    std::string error;
+    ASSERT_TRUE(server.start(&error)) << error;
+
+    // One socket, many exchanges: probe, work, observability — the
+    // connection survives each response.
+    HttpClient client;
+    ASSERT_TRUE(client.connect("127.0.0.1", server.port(), &error))
+        << error;
+
+    int status = 0;
+    std::string body;
+    ASSERT_TRUE(client.exchange("/healthz", "", &status, &body, &error))
+        << error;
+    EXPECT_EQ(status, 200);
+    EXPECT_EQ(body, "{\"ok\":true}");
+    EXPECT_TRUE(client.connected());
+
+    ASSERT_TRUE(client.exchange(
+        "/v1/requests", api::toJson(optimizeWithSeed(13), "ka-tenant"),
+        &status, &body, &error))
+        << error;
+    EXPECT_EQ(status, 200);
+    EXPECT_NE(body.find("\"ok\":true"), std::string::npos);
+    EXPECT_NE(body.find("\"tenant\":\"ka-tenant\""), std::string::npos);
+
+    // The repeat rides the same connection and the cached framework.
+    ASSERT_TRUE(client.exchange(
+        "/v1/requests", api::toJson(optimizeWithSeed(13), "ka-tenant"),
+        &status, &body, &error))
+        << error;
+    EXPECT_EQ(status, 200);
+    EXPECT_NE(body.find("\"framework_reused\":true"),
+              std::string::npos);
+
+    ASSERT_TRUE(client.exchange("/stats", "", &status, &body, &error))
+        << error;
+    EXPECT_EQ(status, 200);
+    EXPECT_NE(body.find("\"accepted\":"), std::string::npos);
+    EXPECT_TRUE(client.connected());
+    server.stop();
+}
+
+TEST(Server, HttpKeepAliveConnectionHoldsItsSessionSlot)
+{
+    api::TempService service;
+    ServerOptions options;
+    options.max_sessions = 1;
+    Server server(service, options);
+    std::string error;
+    ASSERT_TRUE(server.start(&error)) << error;
+    const int port = server.port();
+
+    // Complete one exchange so the keep-alive session is definitely
+    // registered before the over-cap connection arrives.
+    HttpClient held;
+    ASSERT_TRUE(held.connect("127.0.0.1", port, &error)) << error;
+    int status = 0;
+    std::string body;
+    ASSERT_TRUE(held.exchange("/healthz", "", &status, &body, &error))
+        << error;
+    EXPECT_EQ(status, 200);
+
+    // The idle-but-open connection still occupies the only slot: a
+    // one-shot probe on a fresh connection is refused at the cap.
+    std::string probe_error;
+    EXPECT_FALSE(Client::httpPost("127.0.0.1", port, "/healthz", "",
+                                  &status, &body, &probe_error));
+
+    // The held connection was not disturbed...
+    ASSERT_TRUE(held.exchange("/healthz", "", &status, &body, &error))
+        << error;
+    EXPECT_EQ(status, 200);
+
+    // ...and closing it frees the slot for new clients.
+    held.close();
+    bool admitted = false;
+    for (int i = 0; i < 2000 && !admitted; ++i) {
+        std::string retry_error;
+        admitted = Client::httpPost("127.0.0.1", port, "/healthz", "",
+                                    &status, &body, &retry_error);
+        if (!admitted)
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    EXPECT_TRUE(admitted);
+    server.stop();
+}
+
+TEST(Server, HttpConnectionCloseAndHttp10EndTheSession)
+{
+    api::TempService service;
+    Server server(service, ServerOptions{});
+    std::string error;
+    ASSERT_TRUE(server.start(&error)) << error;
+
+    // Raw HTTP/1.0 request with no Connection header: the default is
+    // close, so the server answers and then ends the connection (EOF).
+    const auto closesAfter = [&](const std::string &request) {
+        const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+        EXPECT_GE(fd, 0);
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_port = htons(static_cast<std::uint16_t>(server.port()));
+        ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+        EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                            sizeof(addr)),
+                  0);
+        EXPECT_TRUE(writeAll(fd, request.data(), request.size()));
+        int status = 0;
+        std::string body;
+        std::string read_error;
+        EXPECT_TRUE(
+            readHttpResponse(fd, &status, &body, &read_error))
+            << read_error;
+        EXPECT_EQ(status, 200);
+        // After the response the server must close: the next read is
+        // a clean EOF, never a hang on a half-open connection.
+        char byte = 0;
+        const bool got_eof = !readExact(fd, &byte, 1);
+        ::close(fd);
+        return got_eof;
+    };
+
+    EXPECT_TRUE(closesAfter("GET /healthz HTTP/1.0\r\n\r\n"));
+    EXPECT_TRUE(closesAfter(
+        "GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n"));
     server.stop();
 }
 

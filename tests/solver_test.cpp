@@ -5,12 +5,18 @@
  */
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
+#include <string>
+#include <vector>
 
+#include "common/thread_pool.hpp"
+#include "eval/step_evaluator.hpp"
 #include "model/graph.hpp"
 #include "model/model_zoo.hpp"
 #include "sim/trainer_sim.hpp"
 #include "solver/dls_solver.hpp"
+#include "solver/search_engine.hpp"
 #include "solver/strategy_space.hpp"
 
 namespace temp::solver {
@@ -328,6 +334,202 @@ TEST_F(SolverTest, DlsOrdersOfMagnitudeFasterThanExhaustive)
     ASSERT_TRUE(slow.feasible);
     // The exhaustive pass covered 5 of 12 ops yet did far more work.
     EXPECT_GT(slow.evaluations, 4 * fast.evaluations);
+}
+
+/**
+ * Builds a RefineContext the way the solver's level 1 does — uniform
+ * reports, OOM-penalised ordering, a uniform DP plan — but over a
+ * trimmed candidate set so the engine checkpoint tests stay fast.
+ */
+class RefineHarness
+{
+  public:
+    explicit RefineHarness(const sim::TrainingSimulator &sim)
+        : graph_(model::ComputeGraph::transformer(
+              model::modelByName("GPT-3 6.7B"))),
+          pool_(2), steps_(sim, &pool_)
+    {
+        StrategySpaceOptions space;
+        candidates_ = enumerateStrategies(32, graph_.config(), space);
+        if (candidates_.size() > 10)
+            candidates_.resize(10);
+        boundaries_ = {0, graph_.opCount()};
+
+        std::vector<std::vector<ParallelSpec>> uniform;
+        for (const ParallelSpec &spec : candidates_)
+            uniform.emplace_back(
+                static_cast<std::size_t>(graph_.opCount()), spec);
+        uniform_reports_ = steps_.evaluateBatch(graph_, uniform);
+        for (std::size_t s = 0; s < candidates_.size(); ++s)
+            if (uniform_reports_[s].feasible)
+                uniform_order_.push_back(s);
+        std::sort(uniform_order_.begin(), uniform_order_.end(),
+                  [&](std::size_t a, std::size_t b) {
+                      const auto &ra = uniform_reports_[a];
+                      const auto &rb = uniform_reports_[b];
+                      const double fa =
+                          ra.step_time * (ra.oom ? 1e3 : 1.0);
+                      const double fb =
+                          rb.step_time * (rb.oom ? 1e3 : 1.0);
+                      return fa < fb;
+                  });
+
+        dp_assignment_.assign(
+            static_cast<std::size_t>(graph_.opCount()),
+            static_cast<int>(uniform_order_.front()));
+        dp_fitness_ = stepFitness(
+            uniform_reports_[uniform_order_.front()]);
+    }
+
+    RefineContext ctx() const
+    {
+        return {graph_,          candidates_,    boundaries_,
+                uniform_reports_, uniform_order_, dp_assignment_,
+                dp_fitness_};
+    }
+
+    eval::StepEvaluator &steps() { return steps_; }
+
+  private:
+    model::ComputeGraph graph_;
+    ThreadPool pool_;
+    eval::StepEvaluator steps_;
+    std::vector<ParallelSpec> candidates_;
+    std::vector<int> boundaries_;
+    std::vector<sim::PerfReport> uniform_reports_;
+    std::vector<std::size_t> uniform_order_;
+    std::vector<int> dp_assignment_;
+    double dp_fitness_ = 0.0;
+};
+
+/// refine(ctx) must equal refinePartial(k) + encode + decode + resume
+/// bit-identically, counters included, for the engine under test.
+void
+expectCheckpointRoundTripMatchesFullRefine(const SearchEngine &engine,
+                                           RefineHarness &harness,
+                                           int partial_steps)
+{
+    const RefineContext ctx = harness.ctx();
+    const RefineOutcome full = engine.refine(ctx, harness.steps());
+
+    RefineCheckpoint taken;
+    const RefineOutcome partial = engine.refinePartial(
+        ctx, harness.steps(), partial_steps, &taken);
+    EXPECT_EQ(taken.steps_done, partial_steps);
+    EXPECT_EQ(partial.fitness_queries, taken.fitness_queries);
+
+    // Through the byte codec, as a real save/load would go.
+    const std::string bytes = encodeRefineCheckpoint(taken);
+    RefineCheckpoint restored;
+    std::string error;
+    ASSERT_TRUE(decodeRefineCheckpoint(bytes, &restored, &error))
+        << error;
+    EXPECT_EQ(restored.engine, taken.engine);
+    EXPECT_EQ(restored.rng_state, taken.rng_state);
+
+    const RefineOutcome resumed =
+        engine.resume(ctx, harness.steps(), restored);
+    EXPECT_EQ(resumed.assignment, full.assignment);
+    EXPECT_DOUBLE_EQ(resumed.fitness, full.fitness);
+    EXPECT_EQ(resumed.fitness_queries, full.fitness_queries);
+}
+
+TEST_F(SolverTest, GeneticCheckpointResumeIsBitIdentical)
+{
+    RefineHarness harness(sim_);
+    const GeneticRefiner engine(/*population=*/8, /*generations=*/6,
+                                /*mutation_rate=*/0.15, /*seed=*/42);
+    expectCheckpointRoundTripMatchesFullRefine(engine, harness,
+                                               /*partial_steps=*/2);
+}
+
+TEST_F(SolverTest, AnnealingCheckpointResumeIsBitIdentical)
+{
+    RefineHarness harness(sim_);
+    AnnealingConfig config;
+    config.iterations = 8;
+    config.proposals = 4;
+    const AnnealingRefiner engine(config, /*seed=*/42);
+    expectCheckpointRoundTripMatchesFullRefine(engine, harness,
+                                               /*partial_steps=*/3);
+}
+
+TEST_F(SolverTest, CompletedCheckpointResumesAsNoOp)
+{
+    RefineHarness harness(sim_);
+    const GeneticRefiner engine(/*population=*/8, /*generations=*/4,
+                                /*mutation_rate=*/0.15, /*seed=*/7);
+    const RefineContext ctx = harness.ctx();
+
+    // max_steps beyond the configured total is a full refine; resuming
+    // its checkpoint re-runs nothing (no new fitness queries).
+    RefineCheckpoint done;
+    const RefineOutcome full =
+        engine.refinePartial(ctx, harness.steps(), 100, &done);
+    EXPECT_EQ(done.steps_done, 4);
+    const RefineOutcome resumed =
+        engine.resume(ctx, harness.steps(), done);
+    EXPECT_EQ(resumed.assignment, full.assignment);
+    EXPECT_EQ(resumed.fitness_queries, full.fitness_queries);
+}
+
+TEST_F(SolverTest, DamagedCheckpointBytesAreRejected)
+{
+    RefineHarness harness(sim_);
+    const GeneticRefiner engine(/*population=*/8, /*generations=*/4,
+                                /*mutation_rate=*/0.15, /*seed=*/42);
+    RefineCheckpoint taken;
+    engine.refinePartial(harness.ctx(), harness.steps(), 2, &taken);
+    const std::string bytes = encodeRefineCheckpoint(taken);
+
+    // Every single-byte flip is caught by the checksum (or the magic /
+    // version gates before it); spot-check a spread of offsets.
+    for (const std::size_t at :
+         {std::size_t{0}, std::size_t{5}, bytes.size() / 2,
+          bytes.size() - 1}) {
+        std::string corrupt = bytes;
+        corrupt[at] = static_cast<char>(corrupt[at] ^ 0x40);
+        RefineCheckpoint out;
+        std::string error;
+        EXPECT_FALSE(decodeRefineCheckpoint(corrupt, &out, &error))
+            << "flip at " << at << " was accepted";
+        EXPECT_FALSE(error.empty());
+        EXPECT_TRUE(out.best.empty());
+    }
+
+    // Truncation at any prefix is rejected too.
+    for (const std::size_t keep :
+         {std::size_t{0}, std::size_t{3}, bytes.size() / 2,
+          bytes.size() - 1}) {
+        RefineCheckpoint out;
+        EXPECT_FALSE(
+            decodeRefineCheckpoint(bytes.substr(0, keep), &out));
+    }
+}
+
+TEST_F(SolverTest, ForeignCheckpointDegradesToColdRefine)
+{
+    RefineHarness harness(sim_);
+    const GeneticRefiner ga(/*population=*/8, /*generations=*/4,
+                            /*mutation_rate=*/0.15, /*seed=*/42);
+    AnnealingConfig config;
+    config.iterations = 6;
+    config.proposals = 4;
+    const AnnealingRefiner annealer(config, /*seed=*/42);
+
+    RefineCheckpoint ga_checkpoint;
+    ga.refinePartial(harness.ctx(), harness.steps(), 2,
+                     &ga_checkpoint);
+
+    // Handing a GA checkpoint to the annealer must not poison it: the
+    // resume degrades to the annealer's own cold refine, bit-exactly.
+    const RefineOutcome cold =
+        annealer.refine(harness.ctx(), harness.steps());
+    const RefineOutcome resumed =
+        annealer.resume(harness.ctx(), harness.steps(), ga_checkpoint);
+    EXPECT_EQ(resumed.assignment, cold.assignment);
+    EXPECT_DOUBLE_EQ(resumed.fitness, cold.fitness);
+    EXPECT_EQ(resumed.fitness_queries, cold.fitness_queries);
 }
 
 }  // namespace

@@ -22,12 +22,22 @@
  *   serve       network front end: framed-RPC + HTTP/1.1 on one port,
  *               with in-flight coalescing, admission control and
  *               per-tenant fair dequeue; SIGINT drains gracefully
+ *               (and writes the persist snapshot when configured)
  *   request     run one request-JSON document: parse, then execute
  *               in-process or (--connect HOST:PORT) against a server
+ *   snapshot    persistent memo tier: `snapshot save FILE [model]`
+ *               warms the memo stack with one solve and writes a
+ *               snapshot; `snapshot load FILE [model]` warm-starts a
+ *               fresh process from it and re-solves (zero new matrix
+ *               measurements on a matching snapshot); `snapshot info
+ *               FILE` describes a snapshot without executing anything
  *
  * model: a zoo name ("GPT-3 6.7B") or a path/to/model.conf; options:
  *   --wafer FILE.conf   custom wafer (default: the Table I 4x8)
- *   --opts FILE.conf    framework options (policy, solver.*, training.*)
+ *   --opts FILE.conf    framework options (policy, solver.*, training.*,
+ *                       persist.path, persist.save_on_exit, ...)
+ *   --load FILE         warm-start the service from a snapshot first
+ *   --save FILE         write a snapshot after the command runs
  *   --json              machine-readable output
  */
 #include <algorithm>
@@ -50,6 +60,7 @@
 #include "common/json.hpp"
 #include "common/table.hpp"
 #include "core/config_io.hpp"
+#include "persist/snapshot.hpp"
 #include "serve/client.hpp"
 #include "serve/server.hpp"
 
@@ -84,6 +95,11 @@ struct CliArgs
     int max_queue = 64;
     std::string request_file;  ///< "" or "-" = stdin
     std::string connect;       ///< HOST:PORT ("" = run in-process)
+    // snapshot / persist
+    std::string sub;            ///< snapshot verb (save | load | info)
+    std::string snapshot_file;  ///< snapshot subcommand file
+    std::string load_path;      ///< --load: warm-start before the run
+    std::string save_path;      ///< --save: snapshot after the run
 };
 
 int
@@ -106,10 +122,13 @@ usage(const char *argv0)
         "  serve       framed-RPC/HTTP front end "
         "(--host A, --port N, --workers N, --max-queue N)\n"
         "  request     run one request-JSON document "
-        "(--file F|stdin, --connect HOST:PORT)\n\n"
+        "(--file F|stdin, --connect HOST:PORT)\n"
+        "  snapshot    persistent memo tier: "
+        "snapshot save|load|info FILE [model]\n\n"
         "model: zoo name (e.g. \"GPT-3 6.7B\") or path/to/model.conf\n"
         "options: --wafer FILE.conf, --opts FILE.conf,\n"
         "  --refiner none|genetic|annealing (level-2 search engine),\n"
+        "  --load FILE (warm-start from a snapshot), --save FILE,\n"
         "  --json\n",
         argv0);
     return 1;
@@ -175,12 +194,31 @@ parseArgs(int argc, char **argv, CliArgs *args)
             args->request_file = value();
         else if (arg == "--connect")
             args->connect = value();
+        else if (arg == "--load")
+            args->load_path = value();
+        else if (arg == "--save")
+            args->save_path = value();
         else if (!arg.empty() && arg[0] == '-')
             return false;
-        else if (positional++ == 0)
-            args->model = arg;
-        else
-            return false;
+        else {
+            // The snapshot subcommand takes two extra positionals
+            // (verb, file) ahead of the usual optional model.
+            const int slot = positional++;
+            if (args->command == "snapshot") {
+                if (slot == 0)
+                    args->sub = arg;
+                else if (slot == 1)
+                    args->snapshot_file = arg;
+                else if (slot == 2)
+                    args->model = arg;
+                else
+                    return false;
+            } else if (slot == 0) {
+                args->model = arg;
+            } else {
+                return false;
+            }
+        }
     }
     return true;
 }
@@ -221,6 +259,55 @@ resolveOptions(const CliArgs &args)
         std::exit(1);
     }
     return options;
+}
+
+/// Resolved persistent-tier policy for this invocation: explicit
+/// --load/--save flags win; otherwise the --opts file's persist.path
+/// (load at start; save at exit when persist.save_on_exit).
+struct PersistPlan
+{
+    std::string load;
+    std::string save;
+    double period_s = 0.0;  ///< serve mode: seconds between snapshots
+};
+
+PersistPlan
+persistPlan(const CliArgs &args)
+{
+    const core::PersistOptions persist = resolveOptions(args).persist;
+    PersistPlan plan;
+    plan.load = !args.load_path.empty() ? args.load_path : persist.path;
+    plan.save = !args.save_path.empty()
+                    ? args.save_path
+                    : (persist.save_on_exit ? persist.path : "");
+    plan.period_s = persist.period_s;
+    return plan;
+}
+
+/// Best-effort warm start: a missing/corrupt/mismatched snapshot is a
+/// cold start with a stderr note, never a failure.
+void
+tryWarmStart(api::TempService &service, const std::string &path)
+{
+    if (path.empty())
+        return;
+    std::string error;
+    if (!service.warmStart(path, &error))
+        std::fprintf(stderr,
+                     "temp_cli: cold start (snapshot '%s': %s)\n",
+                     path.c_str(), error.c_str());
+}
+
+/// Best-effort snapshot write with a stderr note on failure.
+void
+trySaveSnapshot(api::TempService &service, const std::string &path)
+{
+    if (path.empty())
+        return;
+    std::string error;
+    if (!service.saveSnapshot(path, &error))
+        std::fprintf(stderr, "temp_cli: snapshot not written: %s\n",
+                     error.c_str());
 }
 
 /// Prints the per-operator table + step report shared by optimize and
@@ -564,10 +651,23 @@ runServe(api::TempService &service, const CliArgs &args)
 
     std::signal(SIGINT, handleStopSignal);
     std::signal(SIGTERM, handleStopSignal);
-    while (!g_stop_requested)
+    const PersistPlan plan = persistPlan(args);
+    double since_save_s = 0.0;
+    while (!g_stop_requested) {
         std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        if (plan.save.empty() || plan.period_s <= 0.0)
+            continue;
+        since_save_s += 0.05;
+        if (since_save_s >= plan.period_s) {
+            since_save_s = 0.0;
+            trySaveSnapshot(service, plan.save);
+        }
+    }
 
     server.stop();
+    // Snapshot after the drain: every in-flight request has answered,
+    // so the file captures the fullest memo state of this process.
+    trySaveSnapshot(service, plan.save);
     const serve::DispatchStats stats = server.stats();
     std::fprintf(stderr,
                  "temp_cli serve: drained (accepted=%ld "
@@ -641,6 +741,137 @@ runRequest(api::TempService &service, const CliArgs &args)
     return response.ok ? 0 : 1;
 }
 
+int
+runSnapshot(api::TempService &service, const CliArgs &args)
+{
+    const std::string &file = args.snapshot_file;
+    std::string error;
+    if (file.empty()) {
+        std::fprintf(stderr, "usage: temp_cli snapshot "
+                             "save|load|info FILE [model]\n");
+        return 1;
+    }
+
+    if (args.sub == "info") {
+        persist::Snapshot snapshot;
+        if (!persist::loadSnapshotFile(file, &snapshot, &error)) {
+            std::fprintf(stderr, "temp_cli snapshot: %s\n",
+                         error.c_str());
+            return 1;
+        }
+        if (args.json) {
+            std::vector<std::string> blocks;
+            for (const persist::MemoBlock &block : snapshot.blocks)
+                blocks.push_back(
+                    api::JsonObject()
+                        .add("framework_key", block.framework_key)
+                        .add("breakdowns",
+                             static_cast<long>(block.breakdowns.size()))
+                        .add("step_reports",
+                             static_cast<long>(
+                                 block.step_reports.size()))
+                        .add("schedule_tasks",
+                             static_cast<long>(
+                                 block.schedule_tasks.size()))
+                        .str());
+            std::printf("%s\n",
+                        api::JsonObject()
+                            .add("kind", "snapshot-info")
+                            .add("file", file)
+                            .add("format_version",
+                                 static_cast<long>(
+                                     persist::kFormatVersion))
+                            .addRaw("blocks", api::jsonArray(blocks))
+                            .str()
+                            .c_str());
+            return 0;
+        }
+        std::printf("Snapshot %s (format v%u, %zu block(s))\n",
+                    file.c_str(), persist::kFormatVersion,
+                    snapshot.blocks.size());
+        for (const persist::MemoBlock &block : snapshot.blocks)
+            std::printf("  %zu breakdowns, %zu step reports, %zu "
+                        "schedule tasks  [%.40s...]\n",
+                        block.breakdowns.size(),
+                        block.step_reports.size(),
+                        block.schedule_tasks.size(),
+                        block.framework_key.c_str());
+        return 0;
+    }
+
+    if (args.sub == "save") {
+        // Warm the memo stack with one real solve, then persist it.
+        api::OptimizeRequest request{resolveModel(args, "GPT-3 6.7B"),
+                                     resolveWafer(args),
+                                     resolveOptions(args)};
+        const api::Response response = service.run(request);
+        if (!response.ok) {
+            std::fprintf(stderr, "temp_cli snapshot: solve failed: "
+                                 "%s\n",
+                         response.error.c_str());
+            return 1;
+        }
+        if (!service.saveSnapshot(file, &error)) {
+            std::fprintf(stderr, "temp_cli snapshot: %s\n",
+                         error.c_str());
+            return 1;
+        }
+        if (args.json)
+            return emit(response);
+        std::printf("Snapshot written to %s (after one optimize of "
+                    "%s: %ld matrix measurements, %ld step sims)\n",
+                    file.c_str(), request.model.name.c_str(),
+                    response.solver.matrix_measurements,
+                    response.solver.step_sims);
+        return 0;
+    }
+
+    if (args.sub == "load") {
+        if (!service.warmStart(file, &error)) {
+            std::fprintf(stderr, "temp_cli snapshot: %s\n",
+                         error.c_str());
+            return 1;
+        }
+        api::OptimizeRequest request{resolveModel(args, "GPT-3 6.7B"),
+                                     resolveWafer(args),
+                                     resolveOptions(args)};
+        const api::Response response = service.run(request);
+        const api::TempService::PersistStats persist_stats =
+            service.persistStats();
+        if (args.json) {
+            // The optimize response plus the warm-start counters the
+            // CI smoke asserts on, as one document.
+            std::printf(
+                "%s\n",
+                api::JsonObject()
+                    .add("kind", "snapshot-load")
+                    .add("blocks_staged", persist_stats.blocks_staged)
+                    .add("frameworks_warmed",
+                         persist_stats.frameworks_warmed)
+                    .addRaw("response", api::toJson(response))
+                    .str()
+                    .c_str());
+            return response.ok ? 0 : 1;
+        }
+        std::printf("Warm start from %s: %ld block(s) staged, %ld "
+                    "framework(s) warmed\n\n",
+                    file.c_str(), persist_stats.blocks_staged,
+                    persist_stats.frameworks_warmed);
+        if (!response.ok || !response.solver.feasible) {
+            std::printf("No feasible strategy found. %s\n",
+                        response.error.c_str());
+            return 1;
+        }
+        printSolverResponse(response);
+        return 0;
+    }
+
+    std::fprintf(stderr, "unknown snapshot verb '%s' "
+                         "(use save, load or info)\n",
+                 args.sub.c_str());
+    return 1;
+}
+
 }  // namespace
 
 int
@@ -651,21 +882,38 @@ main(int argc, char **argv)
         return usage(argv[0]);
 
     api::TempService service;
+    // The snapshot subcommand manages the persistent tier itself;
+    // every other command honours --load/--save and the --opts
+    // persist.* keys around its run (serve writes its own snapshots:
+    // periodic plus post-drain).
+    const bool plain_command = args.command != "snapshot";
+    PersistPlan plan;
+    if (plain_command) {
+        plan = persistPlan(args);
+        tryWarmStart(service, plan.load);
+    }
+    int rc = 1;
     if (args.command == "optimize")
-        return runOptimize(service, args);
-    if (args.command == "baseline")
-        return runBaseline(service, args);
-    if (args.command == "faults")
-        return runFaults(service, args);
-    if (args.command == "multiwafer")
-        return runMultiWafer(service, args);
-    if (args.command == "sweep")
-        return runSweep(service, args);
-    if (args.command == "cache-stats")
-        return runCacheStats(service, args);
-    if (args.command == "serve")
+        rc = runOptimize(service, args);
+    else if (args.command == "baseline")
+        rc = runBaseline(service, args);
+    else if (args.command == "faults")
+        rc = runFaults(service, args);
+    else if (args.command == "multiwafer")
+        rc = runMultiWafer(service, args);
+    else if (args.command == "sweep")
+        rc = runSweep(service, args);
+    else if (args.command == "cache-stats")
+        rc = runCacheStats(service, args);
+    else if (args.command == "serve")
         return runServe(service, args);
-    if (args.command == "request")
-        return runRequest(service, args);
-    return usage(argv[0]);
+    else if (args.command == "request")
+        rc = runRequest(service, args);
+    else if (args.command == "snapshot")
+        rc = runSnapshot(service, args);
+    else
+        return usage(argv[0]);
+    if (plain_command)
+        trySaveSnapshot(service, plan.save);
+    return rc;
 }
