@@ -29,7 +29,8 @@ main()
     const double base_tput = healthy.report.throughput_tokens_per_s;
     hw::Wafer probe(hw::WaferConfig::paperDefault());
 
-    TablePrinter links({"Link fault rate", "Norm throughput", "Status"});
+    TablePrinter links({"Link fault rate", "Norm throughput",
+                        "Infeasible draws", "Status"});
     for (double rate : {0.0, 0.05, 0.10, 0.20, 0.35, 0.50, 0.80}) {
         // Average over a few fault draws for a stable curve.
         double acc = 0.0;
@@ -45,9 +46,14 @@ main()
                 ++ok;
             }
         }
-        const double tput = ok > 0 ? acc / draws : 0.0;  // failures = 0
+        // Mean over the feasible draws only; infeasible draws get
+        // their own column instead of being folded into the mean as
+        // zeros (which silently conflated "slow" with "partitioned").
+        const double tput = ok > 0 ? acc / ok : 0.0;
         links.addRow({TablePrinter::fmtPct(rate, 0),
                       TablePrinter::fmt(tput / base_tput),
+                      std::to_string(draws - ok) + "/" +
+                          std::to_string(draws),
                       ok == draws ? "ok"
                                   : (ok == 0 ? "partitioned"
                                              : "partially partitioned")});

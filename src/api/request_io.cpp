@@ -33,6 +33,9 @@ struct ParseError : std::runtime_error
  */
 constexpr long long kMaxWaferDies = 1 << 16;
 constexpr int kMaxWaferCount = 1024;
+/// A timeline is replayed sequentially, one solve per event; the cap
+/// keeps a one-line hostile request from queueing unbounded work.
+constexpr std::size_t kMaxScenarioEvents = 4096;
 
 [[noreturn]] void
 fail(const std::string &message)
@@ -285,6 +288,101 @@ seedOf(const JsonValue &v, const std::string &what)
     if (v.text.empty() || v.text.size() > 20)
         fail("request: " + what + " out of uint64 range");
     return std::strtoull(v.text.c_str(), nullptr, 10);
+}
+
+/**
+ * Timeline events: an array of {"type": ..., payload} objects. Unknown
+ * event types and unknown keys are rejected like every other request
+ * field — a misspelled event must not silently replay as a no-op.
+ */
+std::vector<scenario::Event>
+eventsOf(const JsonValue &v)
+{
+    if (!v.isArray())
+        fail("request: events must be an array, got " +
+             std::string(v.typeName()));
+    if (v.items.size() > kMaxScenarioEvents)
+        fail("request: events exceeds " +
+             std::to_string(kMaxScenarioEvents) + " entries");
+    std::vector<scenario::Event> events;
+    events.reserve(v.items.size());
+    for (std::size_t i = 0; i < v.items.size(); ++i) {
+        const std::string what = "events[" + std::to_string(i) + "]";
+        const JsonValue &entry = asObject(v.items[i], what);
+        scenario::Event event;
+        bool have_type = false;
+        bool have_fault_payload = false;
+        const JsonValue *model = nullptr;
+        for (const auto &[key, value] : entry.members) {
+            const std::string name = what + " key '" + key + "'";
+            if (key == "type") {
+                const std::string type = asString(value, name);
+                if (!scenario::eventKindFromName(type, &event.kind))
+                    fail("request: unknown " + what + " type '" +
+                         type +
+                         "' (use set_faults/clear_faults/"
+                         "model_switch/reoptimize/wafer_join/"
+                         "wafer_leave)");
+                have_type = true;
+            } else if (key == "at_s") {
+                event.at_s = asNumber(value, name);
+            } else if (key == "link_fault_rate") {
+                event.link_fault_rate = asNumber(value, name);
+                have_fault_payload = true;
+            } else if (key == "core_fault_rate") {
+                event.core_fault_rate = asNumber(value, name);
+                have_fault_payload = true;
+            } else if (key == "fault_seed") {
+                event.fault_seed = seedOf(value, name);
+                have_fault_payload = true;
+            } else if (key == "kill_dies") {
+                if (!value.isArray())
+                    fail("request: " + name + " must be an array, "
+                         "got " + std::string(value.typeName()));
+                if (value.items.size() >
+                    static_cast<std::size_t>(kMaxWaferDies))
+                    fail("request: " + name + " exceeds " +
+                         std::to_string(kMaxWaferDies) + " dies");
+                for (std::size_t k = 0; k < value.items.size(); ++k) {
+                    const int die = asInt(
+                        value.items[k],
+                        name + "[" + std::to_string(k) + "]");
+                    if (die < 0)
+                        fail("request: " + name + " entries must be "
+                             ">= 0");
+                    event.kill_dies.push_back(die);
+                }
+                have_fault_payload = true;
+            } else if (key == "model") {
+                model = &value;
+            } else {
+                fail("request: unknown " + what + " key '" + key +
+                     "'");
+            }
+        }
+        if (!have_type)
+            fail("request: " + what + " is missing 'type'");
+        // Payload fields are per-type: accepting a fault draw on a
+        // reoptimize (or a model on a wafer_join) would parse into a
+        // request whose canonical key and re-serialization disagree
+        // with what the client sent.
+        if (have_fault_payload &&
+            event.kind != scenario::Event::Kind::SetFaults)
+            fail("request: " + what +
+                 " carries a fault payload but is not a set_faults");
+        if (event.kind == scenario::Event::Kind::ModelSwitch) {
+            if (model == nullptr)
+                fail("request: " + what +
+                     " (model_switch) requires 'model'");
+            event.model = core::modelFromConfigOrThrow(
+                configMapOf(*model, what + ".model"));
+        } else if (model != nullptr) {
+            fail("request: " + what +
+                 " carries 'model' but is not a model_switch");
+        }
+        events.push_back(std::move(event));
+    }
+    return events;
 }
 
 baselines::BaselineKind
@@ -550,10 +648,41 @@ parseRequest(const std::string &json_text, ParsedRequest *out,
                          [&](const std::string &,
                              const JsonValue &) { return false; });
             out->request = CacheStatsRequest{};
+        } else if (kind == "scenario") {
+            ScenarioRequest request;
+            const JsonValue *model = nullptr;
+            bool have_events = false;
+            walkEnvelope(
+                root, kind, &tenant,
+                [&](const std::string &key, const JsonValue &value) {
+                    if (key == "model") {
+                        model = &value;
+                    } else if (key == "wafer") {
+                        request.wafer = waferOf(value, "wafer");
+                    } else if (key == "options") {
+                        request.options =
+                            core::frameworkOptionsFromConfigOrThrow(
+                                configMapOf(value, "options"));
+                    } else if (key == "warm_seed") {
+                        request.warm_seed =
+                            asBool(value, "warm_seed");
+                    } else if (key == "events") {
+                        request.events = eventsOf(value);
+                        have_events = true;
+                    } else {
+                        return false;
+                    }
+                    return true;
+                });
+            request.model = requireModel(model, kind);
+            if (!have_events)
+                fail("request: 'events' is required for kind "
+                     "'scenario'");
+            out->request = std::move(request);
         } else {
             fail("request: unknown kind '" + kind +
                  "' (use optimize/baseline/strategy/fault/multiwafer/"
-                 "cache-stats)");
+                 "cache-stats/scenario)");
         }
         out->tenant = std::move(tenant);
         return true;
@@ -781,6 +910,40 @@ struct RequestJsonVisitor
     std::string operator()(const CacheStatsRequest &) const
     {
         return envelope("cache-stats").str();
+    }
+
+    std::string operator()(const ScenarioRequest &r) const
+    {
+        std::vector<std::string> events;
+        events.reserve(r.events.size());
+        for (const scenario::Event &event : r.events) {
+            JsonObject json;
+            json.add("type", scenario::eventKindName(event.kind))
+                .addRaw("at_s", jsonNumberExact(event.at_s));
+            if (event.kind == scenario::Event::Kind::SetFaults) {
+                std::vector<std::string> kills;
+                kills.reserve(event.kill_dies.size());
+                for (int die : event.kill_dies)
+                    kills.push_back(std::to_string(die));
+                json.addRaw("link_fault_rate",
+                            jsonNumberExact(event.link_fault_rate))
+                    .addRaw("core_fault_rate",
+                            jsonNumberExact(event.core_fault_rate))
+                    .addRaw("fault_seed",
+                            std::to_string(event.fault_seed))
+                    .addRaw("kill_dies", jsonArray(kills));
+            }
+            if (event.kind == scenario::Event::Kind::ModelSwitch)
+                json.addRaw("model", toJson(event.model));
+            events.push_back(json.str());
+        }
+        return envelope("scenario")
+            .addRaw("model", toJson(r.model))
+            .addRaw("wafer", toJson(r.wafer))
+            .addRaw("options", toJson(r.options))
+            .add("warm_seed", r.warm_seed)
+            .addRaw("events", jsonArray(events))
+            .str();
     }
 };
 

@@ -115,7 +115,9 @@ optionsKey(const core::FrameworkOptions &o)
     // framework computes or caches. PersistOptions stays out too:
     // where a process saves/loads snapshots must not fragment the
     // framework cache (two processes pointed at different snapshot
-    // paths share identical results). Budgets are long: rendered
+    // paths share identical results). ServeOptions likewise: how long
+    // a process queues a request is front-end policy, not framework
+    // identity. Budgets are long: rendered
     // directly (like solver.seed) so no narrowing can alias keys.
     for (const long budget :
          {o.cache.max_eval_entries, o.cache.max_step_entries,
@@ -241,6 +243,29 @@ struct RequestKeyVisitor
     std::string operator()(const CacheStatsRequest &) const
     {
         return "cache-stats|";
+    }
+
+    std::string operator()(const ScenarioRequest &r) const
+    {
+        std::string key = "scenario|" + modelKey(r.model) +
+                          waferKey(r.wafer) + optionsKey(r.options);
+        field(key, r.warm_seed);
+        field(key, static_cast<int>(r.events.size()));
+        for (const scenario::Event &event : r.events) {
+            key += scenario::eventKindName(event.kind);
+            key += '|';
+            field(key, event.at_s);
+            field(key, event.link_fault_rate);
+            field(key, event.core_fault_rate);
+            key += std::to_string(event.fault_seed);  // uint64
+            key += '|';
+            field(key, static_cast<int>(event.kill_dies.size()));
+            for (int die : event.kill_dies)
+                field(key, die);
+            if (event.kind == scenario::Event::Kind::ModelSwitch)
+                key += modelKey(event.model);
+        }
+        return key;
     }
 };
 

@@ -23,6 +23,7 @@
 
 #include "core/framework.hpp"
 #include "hw/fault.hpp"
+#include "scenario/scenario.hpp"
 
 namespace temp::api {
 
@@ -91,12 +92,33 @@ struct CacheStatsRequest
 {
 };
 
+/**
+ * Replay a virtual-time event timeline (fault storms, repairs, model
+ * switches, spot re-optimisation, pod churn) against the service —
+ * the continuous-operation version of FaultRequest. Deterministic:
+ * the same request replays bit-identically (every EventReport field
+ * except wall-clock times); see src/scenario/README.md.
+ */
+struct ScenarioRequest
+{
+    model::ModelConfig model;  ///< the model training when replay starts
+    hw::WaferConfig wafer = hw::WaferConfig::paperDefault();
+    core::FrameworkOptions options;
+    /// Warm-seed post-fault re-solves with the previous assignment
+    /// (false replays every event cold — the comparison baseline).
+    bool warm_seed = true;
+    std::vector<scenario::Event> events;
+};
+
 /// Any request the service accepts (the submit() currency).
 using Request = std::variant<OptimizeRequest, BaselineRequest,
                              StrategyRequest, FaultRequest,
-                             MultiWaferRequest, CacheStatsRequest>;
+                             MultiWaferRequest, CacheStatsRequest,
+                             ScenarioRequest>;
 
-/// Which request produced a response.
+/// Which request produced a response. The enumerator order mirrors the
+/// Request variant's alternative order (the dispatcher maps index() to
+/// kind with one static_cast).
 enum class RequestKind
 {
     Optimize,
@@ -105,6 +127,7 @@ enum class RequestKind
     Fault,
     MultiWafer,
     CacheStats,
+    Scenario,
 };
 
 /// One memo layer's counters in a CacheStats response.
@@ -159,6 +182,11 @@ struct Response
     /// True when admission control rejected the request (queue full);
     /// ok is false and error says so.
     bool shed = false;
+    /// True when the request sat in the dispatcher queue past its
+    /// per-request deadline (serve.deadline_ms) and was shed with this
+    /// explicit response instead of holding a session slot; implies
+    /// shed, ok is false and error says so.
+    bool deadline_exceeded = false;
     /// @}
     /// Cumulative evaluator counters of the serving framework, read
     /// after the request (Optimize/Baseline/Strategy/Fault kinds).
@@ -189,6 +217,8 @@ struct Response
     /// Per-layer governance counters (CacheStats kind), in a fixed
     /// layer order so the JSON stays byte-stable.
     std::vector<CacheLayerStats> cache_layers;
+    /// Timeline replay report (Scenario kind).
+    scenario::ScenarioReport scenario;
     /// @}
 };
 

@@ -258,6 +258,7 @@ toJson(const Response &response)
         .add("coalesced", response.coalesced)
         .add("coalesced_requests", response.coalesced_requests)
         .add("shed", response.shed)
+        .add("deadline_exceeded", response.deadline_exceeded)
         .addRaw("evaluator", toJson(response.evaluator_stats))
         .addRaw("step_evaluator", toJson(response.step_stats));
     switch (response.kind) {
@@ -284,6 +285,58 @@ toJson(const Response &response)
                         .str())
             .addRaw("result", toJson(response.report));
         break;
+    case RequestKind::Scenario: {
+        std::vector<std::string> events;
+        events.reserve(response.scenario.events.size());
+        for (const scenario::EventReport &er :
+             response.scenario.events) {
+            events.push_back(
+                JsonObject()
+                    .add("index", er.index)
+                    .add("at_s", er.at_s)
+                    .add("type", scenario::eventKindName(er.kind))
+                    .add("recovery_wall_s", er.recovery_wall_s)
+                    .add("step_sims", er.step_sims)
+                    .add("matrix_measurements",
+                         er.matrix_measurements)
+                    .add("step_cache_hits", er.step_cache_hits)
+                    .add("matrix_cache_hits", er.matrix_cache_hits)
+                    .add("throughput_before", er.throughput_before)
+                    .add("throughput_after", er.throughput_after)
+                    .add("step_time_s", er.step_time_s)
+                    .add("usable_dies", er.usable_dies)
+                    .add("failed_links", er.failed_links)
+                    .add("wafer_count", er.wafer_count)
+                    // String: uint64 does not survive a double-typed
+                    // JSON number field.
+                    .add("fault_fingerprint",
+                         std::to_string(er.fault_fingerprint))
+                    .add("resolved", er.resolved)
+                    .add("warm_seeded", er.warm_seeded)
+                    .add("context_reused", er.context_reused)
+                    .add("fallback_to_last_feasible",
+                         er.fallback_to_last_feasible)
+                    .add("degradation", er.degradation)
+                    .str());
+        }
+        json.addRaw(
+            "result",
+            JsonObject()
+                .addRaw("events", jsonArray(events))
+                .add("replay_digest",
+                     std::to_string(response.scenario.replay_digest))
+                .add("total_step_sims",
+                     response.scenario.total_step_sims)
+                .add("total_matrix_measurements",
+                     response.scenario.total_matrix_measurements)
+                .add("infeasible_events",
+                     response.scenario.infeasible_events)
+                .add("fallback_events",
+                     response.scenario.fallback_events)
+                .add("total_wall_s", response.scenario.total_wall_s)
+                .str());
+        break;
+    }
     case RequestKind::CacheStats: {
         std::vector<std::string> layers;
         layers.reserve(response.cache_layers.size());

@@ -54,6 +54,7 @@ requestKindName(RequestKind kind)
     case RequestKind::Fault: return "fault";
     case RequestKind::MultiWafer: return "multiwafer";
     case RequestKind::CacheStats: return "cache-stats";
+    case RequestKind::Scenario: return "scenario";
     }
     return "unknown";
 }
@@ -416,6 +417,28 @@ TempService::run(const CacheStatsRequest &)
                 response.cache_layers[first_layer + i].stats +=
                     layers[i].second;
         });
+    response.ok = true;
+    return finish(std::move(response), t0);
+}
+
+Response
+TempService::run(const ScenarioRequest &request)
+{
+    const double t0 = now();
+    Response response;
+    response.kind = RequestKind::Scenario;
+    if (request.events.empty()) {
+        response.error = "scenario: empty event timeline";
+        return finish(std::move(response), t0);
+    }
+    auto fw = frameworkFor(request.wafer, request.options,
+                           &response.framework_reused);
+    scenario::ScenarioEngine::Options opts;
+    opts.warm_seed = request.warm_seed;
+    scenario::ScenarioEngine engine(fw, opts);
+    response.scenario = engine.replay(request.model, request.events);
+    response.evaluator_stats = fw->evaluatorStats();
+    response.step_stats = fw->stepStats();
     response.ok = true;
     return finish(std::move(response), t0);
 }

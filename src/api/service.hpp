@@ -63,6 +63,7 @@ class TempService
     Response run(const FaultRequest &request);
     Response run(const MultiWaferRequest &request);
     Response run(const CacheStatsRequest &request);
+    Response run(const ScenarioRequest &request);
     Response run(const Request &request);
     /// @}
 

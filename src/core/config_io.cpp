@@ -387,6 +387,9 @@ frameworkOptionsFromConfigOrThrow(const ConfigMap &config)
             options.persist.save_on_exit = toBool(key, value);
         } else if (key == "persist.period_s") {
             options.persist.period_s = toNumber(key, value);
+        } else if (key == "serve.deadline_ms") {
+            options.serve.deadline_ms =
+                static_cast<int>(toCount(key, value));
         } else {
             cfgFail("config: unknown options key '%s'", key.c_str());
         }

@@ -42,6 +42,9 @@
  * cache key or the request wire format):
  *   persist.path (snapshot file; empty disables),
  *   persist.save_on_exit (bool), persist.period_s (serve mode)
+ *
+ * Service front-end keys (process-local like persist.*):
+ *   serve.deadline_ms (per-request queue deadline; 0 = off)
  */
 #pragma once
 

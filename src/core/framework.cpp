@@ -81,28 +81,64 @@ TempFramework::optimize(const model::ModelConfig &model) const
     return solver.solve(graph);
 }
 
+DegradedContext::DegradedContext(const hw::WaferConfig &config,
+                                 const hw::FaultMap &faults,
+                                 const FrameworkOptions &options,
+                                 ThreadPool *pool)
+    // Step 1 of Fig. 20(a): fault localisation = the FaultMap itself.
+    // Steps 2-3 (re-balance partitioning, re-route communication) run
+    // in optimize() against this derate-/fault-aware stack. The
+    // degraded wafer has its own cost model, so the shared healthy
+    // evaluator cannot serve it; this context-local evaluator (sharing
+    // the framework pool) keeps the caching + parallel fill — and,
+    // unlike the historical per-call locals, keeps its memos across
+    // calls.
+    : options_(options), fingerprint_(faults.contentFingerprint()),
+      wafer_(config, faults),
+      sim_(wafer_, options.policy, options.training),
+      exact_(sim_.costModel(), pool, /*memoize_breakdowns=*/false),
+      eval_(exact_), steps_(sim_, pool)
+{
+    // Same governance the healthy framework applies in its ctor: a
+    // long-lived degraded context must honour the configured budgets.
+    if (options.cache.boundsFramework()) {
+        eval_.setMaxEntries(options.cache.max_eval_entries);
+        eval_.setMaxBytes(options.cache.max_eval_bytes);
+        steps_.setMaxEntries(options.cache.max_step_entries);
+        steps_.setMaxBytes(options.cache.max_step_bytes);
+        exact_.setCacheBudget(options.cache);
+        sim_.layoutCache().setMaxEntries(
+            options.cache.max_layout_entries);
+        sim_.layoutCache().setMaxBytes(options.cache.max_layout_bytes);
+        sim_.costModel().setCacheBudgets(options.cache);
+    }
+}
+
+solver::SolverResult
+DegradedContext::optimize(const model::ModelConfig &model,
+                          const solver::SolveHints *hints)
+{
+    const model::ComputeGraph graph =
+        model::ComputeGraph::transformer(model);
+    solver::DlsSolver solver(sim_, options_.solver, &eval_, &steps_);
+    return solver.solve(graph, hints);
+}
+
+std::shared_ptr<DegradedContext>
+TempFramework::degradedContext(const hw::FaultMap &faults) const
+{
+    return std::make_shared<DegradedContext>(wafer_->config(), faults,
+                                             options_, pool_.get());
+}
+
 solver::SolverResult
 TempFramework::optimizeWithFaults(const model::ModelConfig &model,
                                   const hw::FaultMap &faults) const
 {
-    // Step 1 of Fig. 20(a): fault localisation = the FaultMap itself.
-    hw::Wafer degraded(wafer_->config(), faults);
-    // Steps 2-3: re-balance partitioning and re-route communication by
-    // re-running the derate-/fault-aware pipeline on the degraded wafer.
-    // The degraded wafer has its own cost model, so the shared healthy
-    // evaluator cannot serve it; a solve-local evaluator (sharing the
-    // framework pool) keeps the caching + parallel fill.
-    sim::TrainingSimulator degraded_sim(degraded, options_.policy,
-                                        options_.training);
-    eval::ExactEvaluator degraded_exact(degraded_sim.costModel(),
-                                        pool_.get(),
-                                        /*memoize_breakdowns=*/false);
-    eval::CachingEvaluator degraded_eval(degraded_exact);
-    eval::StepEvaluator degraded_steps(degraded_sim, pool_.get());
-    const model::ComputeGraph graph = model::ComputeGraph::transformer(model);
-    solver::DlsSolver solver(degraded_sim, options_.solver, &degraded_eval,
-                             &degraded_steps);
-    return solver.solve(graph);
+    // The one-shot path: build a context, solve cold, discard — the
+    // historical behaviour of FaultRequest. Long-lived callers (the
+    // scenario engine) hold the context instead.
+    return degradedContext(faults)->optimize(model);
 }
 
 baselines::TunedBaseline

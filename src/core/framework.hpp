@@ -48,6 +48,21 @@ struct PersistOptions
     double period_s = 0.0;  ///< persist.period_s
 };
 
+/**
+ * Service front-end policy carried through the config surface
+ * (`serve.*` keys). Process-local like PersistOptions: how long a
+ * process is willing to queue a request changes nothing about what a
+ * framework computes, so these stay out of the framework cache key and
+ * the request wire format.
+ */
+struct ServeOptions
+{
+    /// Per-request queue deadline in milliseconds (0 = off). A request
+    /// that waits longer is shed with an explicit deadline_exceeded
+    /// response at dequeue time.
+    int deadline_ms = 0;  ///< serve.deadline_ms
+};
+
 /// Framework-wide options.
 struct FrameworkOptions
 {
@@ -69,6 +84,53 @@ struct FrameworkOptions
     /// Snapshot save/load policy (process-local; excluded from the
     /// framework cache key and the request wire format).
     PersistOptions persist;
+    /// Service front-end policy (process-local; excluded like persist).
+    ServeOptions serve;
+};
+
+/**
+ * A reusable degraded-wafer solve context: the wafer rebuilt under one
+ * fault state plus a full evaluator stack (simulator, caching matrix
+ * evaluator, step evaluator) over it. optimizeWithFaults() historically
+ * built and discarded this per call; holding one keeps the degraded
+ * memos alive, so a repeat solve of the same model on the same fault
+ * state reports zero new matrix measurements and zero step sims — the
+ * property the scenario engine's revisited-fault-state recovery relies
+ * on. Borrows the owning framework's thread pool: keep the framework
+ * alive at least as long as the context.
+ */
+class DegradedContext
+{
+  public:
+    DegradedContext(const hw::WaferConfig &config,
+                    const hw::FaultMap &faults,
+                    const FrameworkOptions &options, ThreadPool *pool);
+
+    DegradedContext(const DegradedContext &) = delete;
+    DegradedContext &operator=(const DegradedContext &) = delete;
+
+    const hw::Wafer &wafer() const { return wafer_; }
+
+    /// Content fingerprint of the fault state this context serves
+    /// (hw::FaultMap::contentFingerprint of the construction map).
+    std::uint64_t fingerprint() const { return fingerprint_; }
+
+    /**
+     * Runs the DLWS pipeline on the degraded wafer, optionally
+     * warm-seeded (solver::SolveHints). Memos persist across calls.
+     */
+    solver::SolverResult optimize(const model::ModelConfig &model,
+                                  const solver::SolveHints *hints =
+                                      nullptr);
+
+  private:
+    FrameworkOptions options_;
+    std::uint64_t fingerprint_;
+    hw::Wafer wafer_;
+    sim::TrainingSimulator sim_;
+    eval::ExactEvaluator exact_;
+    eval::CachingEvaluator eval_;
+    eval::StepEvaluator steps_;
 };
 
 /// The end-to-end TEMP system.
@@ -92,6 +154,14 @@ class TempFramework
     solver::SolverResult optimizeWithFaults(const model::ModelConfig &model,
                                             const hw::FaultMap &faults)
         const;
+
+    /**
+     * Builds a reusable degraded solve context for a fault state (see
+     * DegradedContext). The context borrows this framework's thread
+     * pool; keep the framework alive as long as the context.
+     */
+    std::shared_ptr<DegradedContext> degradedContext(
+        const hw::FaultMap &faults) const;
 
     /// Tunes and evaluates one baseline scheme under a mapping engine.
     baselines::TunedBaseline evaluateBaseline(

@@ -40,6 +40,75 @@ FaultMap::failedLinks() const
     return links;
 }
 
+void
+FaultMap::applyDelta(const FaultDelta &delta)
+{
+    for (LinkId link : delta.fail_links)
+        failLink(link);
+    for (LinkId link : delta.restore_links)
+        restoreLink(link);
+    for (const auto &[die, fraction] : delta.core_fractions)
+        setCoreFaultFraction(die, fraction);
+}
+
+FaultDelta
+FaultMap::deltaBetween(const FaultMap &from, const FaultMap &to)
+{
+    FaultDelta delta;
+    for (LinkId link : to.failedLinks())
+        if (!from.linkFailed(link))
+            delta.fail_links.push_back(link);
+    for (LinkId link : from.failedLinks())
+        if (!to.linkFailed(link))
+            delta.restore_links.push_back(link);
+    const int dies = std::max(from.dieCount(), to.dieCount());
+    for (DieId die = 0; die < dies; ++die) {
+        const double want = to.coreFaultFraction(die);
+        if (from.coreFaultFraction(die) != want)
+            delta.core_fractions.emplace_back(die, want);
+    }
+    return delta;
+}
+
+namespace {
+
+/// Local FNV-1a (hw sits below the persist layer's codec helpers).
+std::uint64_t
+fnv1a(std::uint64_t hash, const void *data, std::size_t size)
+{
+    const auto *bytes = static_cast<const unsigned char *>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+        hash ^= bytes[i];
+        hash *= 1099511628211ULL;
+    }
+    return hash;
+}
+
+}  // namespace
+
+std::uint64_t
+FaultMap::contentFingerprint() const
+{
+    std::uint64_t hash = 14695981039346656037ULL;
+    const std::vector<LinkId> links = failedLinks();
+    for (LinkId link : links) {
+        const std::uint64_t id = static_cast<std::uint64_t>(link);
+        hash = fnv1a(hash, &id, sizeof(id));
+    }
+    // Trailing zero fractions are excluded so a map resized by a probe
+    // of a healthy die fingerprints like one never probed.
+    std::size_t last = core_fault_fraction_.size();
+    while (last > 0 && core_fault_fraction_[last - 1] == 0.0)
+        --last;
+    for (std::size_t die = 0; die < last; ++die)
+        hash = fnv1a(hash, &core_fault_fraction_[die],
+                     sizeof(core_fault_fraction_[die]));
+    // Separate the two sections so N links / 0 fractions never
+    // collides with N-1 links / 1 fraction by concatenation.
+    hash = fnv1a(hash, &last, sizeof(last));
+    return hash;
+}
+
 bool
 FaultMap::healthy() const
 {

@@ -19,6 +19,29 @@
 
 namespace temp::hw {
 
+/**
+ * An incremental change to a FaultMap — the currency of scenario fault
+ * storms. Applying a delta touches only the listed links/dies, so
+ * back-to-back storm events stay O(changes) instead of O(fabric), and
+ * every mutation bumps the map's revision, keeping fault epochs
+ * strictly increasing across a storm.
+ */
+struct FaultDelta
+{
+    /// Directed links to mark failed.
+    std::vector<LinkId> fail_links;
+    /// Directed links to mark healthy again.
+    std::vector<LinkId> restore_links;
+    /// (die, fraction) pairs to overwrite (absolute, not increments).
+    std::vector<std::pair<DieId, double>> core_fractions;
+
+    bool empty() const
+    {
+        return fail_links.empty() && restore_links.empty() &&
+               core_fractions.empty();
+    }
+};
+
 /// The fault state of one wafer.
 class FaultMap
 {
@@ -35,11 +58,31 @@ class FaultMap
         ++revision_;
     }
 
+    /// Marks the directed link healthy again (a repaired lane). Bumps
+    /// the revision like failLink(), mutation attempted == mutation.
+    void restoreLink(LinkId link)
+    {
+        failed_links_.erase(link);
+        ++revision_;
+    }
+
     /// True if the link is unusable.
     bool linkFailed(LinkId link) const
     {
         return failed_links_.count(link) > 0;
     }
+
+    /// Applies an incremental change: fails, restores, then overwrites
+    /// core fractions, in that order. Each mutation bumps the revision.
+    void applyDelta(const FaultDelta &delta);
+
+    /**
+     * The delta transforming `from` into `to`: applyDelta(deltaBetween(
+     * from, to)) on a copy of `from` yields a map content-equal to
+     * `to` (fingerprints match; revisions are bookkeeping and differ).
+     */
+    static FaultDelta deltaBetween(const FaultMap &from,
+                                   const FaultMap &to);
 
     /// Sets the fraction of failed compute cores on a die, in [0,1].
     void setCoreFaultFraction(DieId die, double fraction);
@@ -77,6 +120,16 @@ class FaultMap
 
     /// True if no faults are present.
     bool healthy() const;
+
+    /**
+     * Content fingerprint (FNV-1a over the sorted failed links and the
+     * core-fraction bit patterns, trailing zeros excluded). Two maps
+     * with equal fault content fingerprint equally regardless of how
+     * they were built (bulk draw vs. accumulated deltas) and of their
+     * revision counters — the scenario engine keys its degraded solve
+     * contexts on this.
+     */
+    std::uint64_t contentFingerprint() const;
 
     /**
      * Monotonic mutation counter: bumped by every failLink() /

@@ -66,6 +66,20 @@ class Wafer
     }
 
     /**
+     * Applies an incremental fault change: copy current map, apply the
+     * delta, swap through setFaults() — so the epoch-floor and
+     * listener-notification contract of a full swap holds verbatim for
+     * storm deltas, and back-to-back deltas observe strictly
+     * increasing faultEpoch() values.
+     */
+    void applyFaultDelta(const FaultDelta &delta)
+    {
+        FaultMap next = faults_;
+        next.applyDelta(delta);
+        setFaults(std::move(next));
+    }
+
+    /**
      * Registers a callback invoked with the new epoch on every
      * setFaults(). Callers whose lifetime is shorter than the wafer's
      * (per-call simulators, degraded-solve cost models) MUST

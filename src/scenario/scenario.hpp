@@ -1,0 +1,227 @@
+/**
+ * @file
+ * The scenario engine: deterministic replay of a virtual-time event
+ * timeline (fault storms, repairs, model-mix shifts, spot
+ * re-optimisation, wafer churn) against a live framework — the
+ * continuous-operation version of the paper's static fault-tolerance
+ * story (Fig. 20, ROADMAP item 4).
+ *
+ * Event vocabulary:
+ *  - set_faults: draw link/core faults from (rates, seed) — exactly the
+ *    FaultRequest draw — and MERGE them into the current fault state
+ *    (storms accumulate: link union, per-die max core fraction);
+ *    kill_dies additionally bricks listed dies outright (fraction 1.0,
+ *    no draw — the deterministic hard-failure event);
+ *  - clear_faults: repair everything (back to the healthy wafer);
+ *  - model_switch: change the model the service is training;
+ *  - reoptimize: spot re-solve of the current (model, fault) state;
+ *  - wafer_join / wafer_leave: a wafer joins/leaves the data-parallel
+ *    pod (aggregate throughput scales with the pod size; the per-wafer
+ *    plan is unchanged).
+ *
+ * Determinism contract: every EventReport field except the wall-clock
+ * ones (recovery_wall_s) is a pure function of (initial request,
+ * timeline). Replaying the same timeline with the same seed yields
+ * bit-identical reports; replay_digest is an FNV-1a fold over the
+ * deterministic fields so CI can assert it with one compare.
+ *
+ * Degraded-answer policy: when a re-solve is infeasible the engine
+ * falls back to the last feasible assignment, sets
+ * fallback_to_last_feasible and degradation == "infeasible" — the
+ * fallback is explicit and flagged, never a silent wrong answer.
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/framework.hpp"
+
+namespace temp::scenario {
+
+/// One timeline event (virtual time; replay is sequential).
+struct Event
+{
+    enum class Kind
+    {
+        SetFaults,
+        ClearFaults,
+        ModelSwitch,
+        Reoptimize,
+        WaferJoin,
+        WaferLeave,
+    };
+
+    Kind kind = Kind::Reoptimize;
+    /// Virtual timestamp (seconds); informational — replay order is
+    /// the timeline order.
+    double at_s = 0.0;
+    /// @{ set_faults payload: the FaultRequest draw (one RNG seeded
+    /// with fault_seed, links first, cores second), merged into the
+    /// current fault state.
+    double link_fault_rate = 0.0;
+    double core_fault_rate = 0.0;
+    std::uint64_t fault_seed = 1;
+    /// Dies bricked outright (core fraction 1.0, no draw) — the
+    /// deterministic hard-failure event. Random draws deliberately
+    /// clamp at 0.9 so a die stays usable; killing every die is the
+    /// one way a timeline reaches a genuinely infeasible re-solve,
+    /// which is exactly what the degraded-answer policy is for.
+    std::vector<int> kill_dies;
+    /// @}
+    /// model_switch payload.
+    model::ModelConfig model;
+};
+
+/// Wire/CLI name of an event kind ("set_faults", "clear_faults", ...).
+const char *eventKindName(Event::Kind kind);
+
+/// Parses an event-kind name; false when unknown.
+bool eventKindFromName(const std::string &name, Event::Kind *kind);
+
+/// The structured outcome of one replayed event.
+struct EventReport
+{
+    int index = 0;      ///< position in the timeline
+    double at_s = 0.0;  ///< the event's virtual timestamp
+    Event::Kind kind = Event::Kind::Reoptimize;
+
+    /// @{ Recovery cost of the event (zero when no re-solve ran).
+    /// Wall-clock recovery time — the ONLY nondeterministic field
+    /// (excluded from replay_digest).
+    double recovery_wall_s = 0.0;
+    /// Unique full-step simulations the re-solve spent.
+    long step_sims = 0;
+    /// Unique matrix measurements the re-solve spent (zero when the
+    /// fault state's context — or the healthy framework — was warm).
+    long matrix_measurements = 0;
+    /// Memo-served queries (honest counterpart of the two above).
+    long step_cache_hits = 0;
+    long matrix_cache_hits = 0;
+    /// @}
+
+    /// @{ Operating point around the event (aggregate across the pod:
+    /// per-wafer tokens/s x wafer_count).
+    double throughput_before = 0.0;
+    double throughput_after = 0.0;
+    double step_time_s = 0.0;  ///< per-wafer step time of the plan
+    /// @}
+
+    /// @{ State after the event.
+    int usable_dies = 0;
+    int failed_links = 0;
+    int wafer_count = 1;
+    std::uint64_t fault_fingerprint = 0;  ///< hw content fingerprint
+    /// @}
+
+    /// @{ How the answer was produced.
+    bool resolved = false;     ///< a re-solve ran for this event
+    bool warm_seeded = false;  ///< previous assignment injected
+    /// The re-solve reused an already-built degraded context (its
+    /// memos survived since the fault state was last visited).
+    bool context_reused = false;
+    /// The re-solve was infeasible; the reported operating point is
+    /// the last feasible assignment (explicit degraded answer).
+    bool fallback_to_last_feasible = false;
+    /// "healthy" | "degraded" | "infeasible".
+    std::string degradation = "healthy";
+    /// @}
+};
+
+/// The whole-run report.
+struct ScenarioReport
+{
+    std::vector<EventReport> events;
+    /// FNV-1a fold of every deterministic EventReport field, in
+    /// timeline order — one compare asserts bit-identical replay.
+    std::uint64_t replay_digest = 0;
+    long total_step_sims = 0;
+    long total_matrix_measurements = 0;
+    int infeasible_events = 0;
+    int fallback_events = 0;
+    double total_wall_s = 0.0;  ///< nondeterministic (excluded above)
+};
+
+/// Folds one report's deterministic fields into an FNV-1a hash
+/// (recovery_wall_s excluded). Exposed for tests.
+std::uint64_t foldEventReport(std::uint64_t hash, const EventReport &r);
+
+/**
+ * Replays timelines against one framework. Holds a small pool of
+ * degraded solve contexts keyed by fault-state content fingerprint, so
+ * revisited fault states (a storm clearing, a repeated draw) reuse
+ * every memo their epoch left valid; the healthy state is served by
+ * the framework itself (its shared memo stack makes healthy re-solves
+ * free). After each fault event the engine re-solves warm-seeded: the
+ * previous feasible assignment joins the SearchEngine seed pool and
+ * the uniform-seeding batch is capped (solver::SolveHints), so
+ * recovery runs strictly fewer step sims than a cold solve of the
+ * same event.
+ */
+class ScenarioEngine
+{
+  public:
+    struct Options
+    {
+        /// Inject the previous assignment + cap uniform seeding on
+        /// post-fault re-solves (false replays every event cold —
+        /// the bench's comparison baseline).
+        bool warm_seed = true;
+        /// Uniform-seeding cap for warm re-solves
+        /// (solver::SolveHints::uniform_top_k).
+        int uniform_top_k = 8;
+        /// Degraded contexts kept alive (LRU by last use).
+        int max_contexts = 4;
+    };
+
+    /// Defaulted Options (a separate overload: an NSDMI-carrying
+    /// nested class cannot be a default argument in its encloser).
+    explicit ScenarioEngine(
+        std::shared_ptr<core::TempFramework> framework);
+    ScenarioEngine(std::shared_ptr<core::TempFramework> framework,
+                   Options options);
+
+    /**
+     * Replays the timeline in order against the framework, starting
+     * from a healthy wafer, one pod wafer and a baseline solve of
+     * @p initial_model. Deterministic modulo wall-clock fields.
+     */
+    ScenarioReport replay(const model::ModelConfig &initial_model,
+                          const std::vector<Event> &events);
+
+  private:
+    struct SolveOutcome
+    {
+        solver::SolverResult result;
+        bool warm_seeded = false;
+        bool context_reused = false;
+    };
+
+    /// Re-solves the current (model, fault) state; warm-seeds when
+    /// allowed and a previous feasible assignment exists.
+    SolveOutcome resolveCurrent(bool allow_warm);
+
+    /// The context serving the current fault state (build or reuse).
+    std::shared_ptr<core::DegradedContext> contextFor(
+        const hw::FaultMap &faults, bool *reused);
+
+    std::shared_ptr<core::TempFramework> framework_;
+    Options options_;
+
+    /// @{ Replay state.
+    model::ModelConfig model_;
+    hw::FaultMap faults_;
+    int wafer_count_ = 1;
+    /// Last feasible assignment (the warm seed and the degraded-answer
+    /// fallback) and its report.
+    std::vector<parallel::ParallelSpec> last_feasible_specs_;
+    sim::PerfReport last_feasible_report_;
+    bool has_feasible_ = false;
+    /// MRU-ordered degraded contexts, newest first.
+    std::vector<std::shared_ptr<core::DegradedContext>> contexts_;
+    /// @}
+};
+
+}  // namespace temp::scenario

@@ -1,7 +1,10 @@
 #include "serve/client.hpp"
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
@@ -9,6 +12,7 @@
 #include <unistd.h>
 
 #include "api/request_io.hpp"
+#include "common/rng.hpp"
 #include "serve/wire.hpp"
 
 namespace temp::serve {
@@ -41,6 +45,41 @@ dial(const std::string &host, int port, std::string *error)
     return fd;
 }
 
+/**
+ * dial() under a RetryPolicy: exponential backoff with full jitter
+ * (each sleep is uniform in [delay/2, delay]) drawn from a generator
+ * seeded per call, so a policy's delay sequence is deterministic. An
+ * invalid address fails immediately — only transient dial failures
+ * (connection refused, unreachable) are worth waiting out.
+ */
+int
+dialWithRetry(const std::string &host, int port,
+              const RetryPolicy &retry, std::string *error)
+{
+    int fd = dial(host, port, error);
+    if (fd >= 0 || retry.retries <= 0)
+        return fd;
+    if (error->rfind("invalid address", 0) == 0)
+        return fd;
+    Rng rng(retry.jitter_seed);
+    double delay_ms = std::max(1, retry.base_delay_ms);
+    for (int attempt = 0; attempt < retry.retries; ++attempt) {
+        const double jittered =
+            rng.uniformReal(delay_ms / 2.0, delay_ms);
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(jittered));
+        fd = dial(host, port, error);
+        if (fd >= 0)
+            return fd;
+        delay_ms = std::min(
+            delay_ms * 2.0,
+            static_cast<double>(std::max(1, retry.max_delay_ms)));
+    }
+    *error += " (after " + std::to_string(retry.retries + 1) +
+              " attempts)";
+    return -1;
+}
+
 }  // namespace
 
 Client::~Client()
@@ -51,8 +90,15 @@ Client::~Client()
 bool
 Client::connect(const std::string &host, int port, std::string *error)
 {
+    return connect(host, port, RetryPolicy{}, error);
+}
+
+bool
+Client::connect(const std::string &host, int port,
+                const RetryPolicy &retry, std::string *error)
+{
     close();
-    fd_ = dial(host, port, error);
+    fd_ = dialWithRetry(host, port, retry, error);
     return fd_ >= 0;
 }
 
@@ -136,8 +182,15 @@ bool
 HttpClient::connect(const std::string &host, int port,
                     std::string *error)
 {
+    return connect(host, port, RetryPolicy{}, error);
+}
+
+bool
+HttpClient::connect(const std::string &host, int port,
+                    const RetryPolicy &retry, std::string *error)
+{
     close();
-    fd_ = dial(host, port, error);
+    fd_ = dialWithRetry(host, port, retry, error);
     if (fd_ >= 0)
         host_ = host;
     return fd_ >= 0;

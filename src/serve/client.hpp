@@ -12,11 +12,29 @@
  */
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "api/requests.hpp"
 
 namespace temp::serve {
+
+/**
+ * Bounded reconnection policy for transient dial failures (the server
+ * not yet listening, a connection refused mid-restart). Off by default
+ * — retries = 0 keeps connect() a single attempt, so nothing changes
+ * for callers that want fail-fast. Backoff is exponential
+ * (base_delay_ms doubling up to max_delay_ms) with deterministic
+ * jitter drawn from jitter_seed: the delay sequence of a given policy
+ * is reproducible, which keeps tests and the load bench stable.
+ */
+struct RetryPolicy
+{
+    int retries = 0;          ///< extra attempts after the first dial
+    int base_delay_ms = 20;   ///< first backoff delay
+    int max_delay_ms = 1000;  ///< backoff ceiling
+    std::uint64_t jitter_seed = 1;
+};
 
 class Client
 {
@@ -27,9 +45,12 @@ class Client
     Client(const Client &) = delete;
     Client &operator=(const Client &) = delete;
 
-    /// Opens the framed-RPC connection.
+    /// Opens the framed-RPC connection; with a RetryPolicy, transient
+    /// dial failures are retried under jittered exponential backoff.
     bool connect(const std::string &host, int port,
                  std::string *error);
+    bool connect(const std::string &host, int port,
+                 const RetryPolicy &retry, std::string *error);
 
     /// True between a successful connect() and close().
     bool connected() const { return fd_ >= 0; }
@@ -84,6 +105,8 @@ class HttpClient
 
     bool connect(const std::string &host, int port,
                  std::string *error);
+    bool connect(const std::string &host, int port,
+                 const RetryPolicy &retry, std::string *error);
     bool connected() const { return fd_ >= 0; }
 
     /**

@@ -92,6 +92,7 @@ Dispatcher::dispatch(const api::Request &request,
             work->request = request;
             work->key = key;
             work->entry = entry;
+            work->admitted_at = std::chrono::steady_clock::now();
             if (coalescable)
                 in_flight_.emplace(key, entry);
             const auto [queue, fresh] = queues_.try_emplace(tenant);
@@ -150,14 +151,47 @@ Dispatcher::workerLoop()
         }
         const std::shared_ptr<Work> work = nextWorkLocked();
         ++executing_;
+
+        // Deadline check at dequeue time: a request that already
+        // outwaited serve.deadline_ms gets an explicit shed response
+        // instead of a solve whose answer nobody is waiting for.
+        bool expired = false;
+        double waited_ms = 0.0;
+        if (options_.deadline_ms > 0) {
+            waited_ms = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() -
+                            work->admitted_at)
+                            .count();
+            expired = waited_ms >
+                      static_cast<double>(options_.deadline_ms);
+        }
         lock.unlock();
 
-        api::Response response =
-            options_.executor ? options_.executor(work->request)
-                              : service_.run(work->request);
+        api::Response response;
+        if (expired) {
+            response.kind = kindOf(work->request);
+            response.ok = false;
+            response.shed = true;
+            response.deadline_exceeded = true;
+            response.error =
+                "deadline exceeded: queued " +
+                std::to_string(static_cast<long>(waited_ms)) +
+                " ms > serve.deadline_ms=" +
+                std::to_string(options_.deadline_ms) +
+                "; request shed";
+        } else {
+            response = options_.executor
+                           ? options_.executor(work->request)
+                           : service_.run(work->request);
+        }
 
         lock.lock();
-        ++stats_.executed;
+        if (expired) {
+            ++stats_.shed;
+            ++stats_.deadline_expired;
+        } else {
+            ++stats_.executed;
+        }
         // Erase before fulfilment, under the lock: a key present in
         // the map is always safely attachable, and attached counts
         // freeze here.

@@ -33,6 +33,7 @@
  */
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <functional>
@@ -57,6 +58,15 @@ struct DispatcherOptions
     /// Queued-request bound; admission control sheds beyond it.
     int max_queue = 64;
     /**
+     * Per-request deadline (milliseconds; 0 = off). A request that
+     * sat in the queue past its deadline is shed with an explicit
+     * deadline_exceeded Response at dequeue time instead of running a
+     * solve nobody is waiting for. Riders coalesced onto an expired
+     * request share its deadline response (the solve they attached to
+     * never ran). Comes from the `serve.deadline_ms` config key.
+     */
+    int deadline_ms = 0;
+    /**
      * Test seam: replaces TempService::run as the executor. Lets tests
      * gate execution (to hold requests in flight deterministically)
      * and count solves without a real service.
@@ -72,6 +82,9 @@ struct DispatchStats
     long coalesced = 0;  ///< answered by attaching to an in-flight key
     long executed = 0;   ///< solves actually run
     long shed = 0;       ///< rejected by admission control
+    /// Shed because the request outwaited its deadline in the queue
+    /// (a subset of `shed`: the accounting identity is unchanged).
+    long deadline_expired = 0;
     long completed = 0;  ///< responses delivered (riders included)
 };
 
@@ -122,6 +135,8 @@ class Dispatcher
         api::Request request;
         std::string key;
         std::shared_ptr<Entry> entry;
+        /// Admission time; the deadline clock starts here.
+        std::chrono::steady_clock::time_point admitted_at;
     };
 
     void workerLoop();

@@ -131,7 +131,8 @@ DlsSolver::solveChainDp(const model::ComputeGraph &graph, int begin, int end,
 }
 
 SolverResult
-DlsSolver::solve(const model::ComputeGraph &graph) const
+DlsSolver::solve(const model::ComputeGraph &graph,
+                 const SolveHints *hints) const
 {
     const double t_start = now();
     SolverResult result;
@@ -205,15 +206,56 @@ DlsSolver::solve(const model::ComputeGraph &graph) const
     // blows HBM get a soft penalty in the additive matrix so the DP
     // prefers memory-feasible plans. The best uniform results also
     // seed the refinement engine.
+    // Warm re-solves (scenario recovery) cap this batch: the uniform
+    // sweep is the dominant step-sim cost of a solve, and the additive
+    // matrix — already filled above — ranks candidates well enough to
+    // pick the K worth full-step simulating. Candidates outside the
+    // cap get an explicit infeasible placeholder report so they never
+    // enter the uniform seeding order.
+    const bool cap_uniform =
+        hints != nullptr && hints->uniform_top_k > 0 &&
+        static_cast<std::size_t>(hints->uniform_top_k) <
+            candidates.size();
+    std::vector<std::size_t> uniform_set;
+    if (cap_uniform) {
+        std::vector<std::pair<double, std::size_t>> ranked;
+        ranked.reserve(candidates.size());
+        for (std::size_t s = 0; s < candidates.size(); ++s) {
+            double sum = 0.0;
+            for (int i = 0; i < graph.opCount(); ++i)
+                sum += op_cost[i][s];
+            ranked.emplace_back(sum, s);
+        }
+        // (sum, index) pairs: infeasible (inf) sums rank last, equal
+        // sums break deterministically by candidate index.
+        std::sort(ranked.begin(), ranked.end());
+        uniform_set.reserve(
+            static_cast<std::size_t>(hints->uniform_top_k));
+        for (int k = 0; k < hints->uniform_top_k; ++k)
+            uniform_set.push_back(ranked[k].second);
+        std::sort(uniform_set.begin(), uniform_set.end());
+    } else {
+        uniform_set.resize(candidates.size());
+        for (std::size_t s = 0; s < candidates.size(); ++s)
+            uniform_set[s] = s;
+    }
+
     std::vector<std::vector<ParallelSpec>> uniform_assignments;
-    uniform_assignments.reserve(candidates.size());
-    for (const ParallelSpec &spec : candidates)
+    uniform_assignments.reserve(uniform_set.size());
+    for (std::size_t s : uniform_set)
         uniform_assignments.emplace_back(
-            static_cast<std::size_t>(graph.opCount()), spec);
-    const std::vector<sim::PerfReport> uniform_reports =
+            static_cast<std::size_t>(graph.opCount()), candidates[s]);
+    const std::vector<sim::PerfReport> simulated =
         steps_->evaluateBatch(graph, uniform_assignments);
+    sim::PerfReport unsimulated;
+    unsimulated.feasible = false;
+    unsimulated.step_time = inf;
+    std::vector<sim::PerfReport> uniform_reports(candidates.size(),
+                                                 unsimulated);
+    for (std::size_t k = 0; k < uniform_set.size(); ++k)
+        uniform_reports[uniform_set[k]] = simulated[k];
     std::vector<std::size_t> uniform_order;
-    for (std::size_t s = 0; s < candidates.size(); ++s) {
+    for (std::size_t s : uniform_set) {
         ++result.evaluations;
         if (uniform_reports[s].feasible)
             uniform_order.push_back(s);
@@ -269,12 +311,38 @@ DlsSolver::solve(const model::ComputeGraph &graph) const
     double best_fitness = stepFitness(steps_->evaluate(graph, specs_of(best)));
     ++result.evaluations;
 
+    // Warm-start genome: the previous winning plan mapped into the
+    // current candidate space. An op whose old spec no longer
+    // enumerates (the degraded wafer changed the space) falls back to
+    // the fresh DP choice for that op; if nothing maps the hint
+    // injects nothing and the solve proceeds cold.
+    std::vector<std::vector<int>> warm_seeds;
+    if (hints != nullptr &&
+        hints->seed_specs.size() ==
+            static_cast<std::size_t>(graph.opCount())) {
+        std::vector<int> genome = assignment;
+        bool mapped_any = false;
+        for (int i = 0; i < graph.opCount(); ++i) {
+            const auto it =
+                std::find(candidates.begin(), candidates.end(),
+                          hints->seed_specs[static_cast<std::size_t>(i)]);
+            if (it != candidates.end()) {
+                genome[i] = static_cast<int>(it - candidates.begin());
+                mapped_any = true;
+            }
+        }
+        if (mapped_any)
+            warm_seeds.push_back(std::move(genome));
+    }
+
     // --- Level-2 refinement (pluggable engine) ---------------------------
     if (candidates.size() > 1) {
         const RefineContext ctx{graph,           candidates,
                                 boundaries,      uniform_reports,
                                 uniform_order,   assignment,
-                                best_fitness};
+                                best_fitness,
+                                warm_seeds.empty() ? nullptr
+                                                   : &warm_seeds};
         RefineOutcome refined = engine_->refine(ctx, *steps_);
         result.evaluations += refined.fitness_queries;
         best = std::move(refined.assignment);

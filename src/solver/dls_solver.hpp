@@ -62,6 +62,36 @@ struct SolverConfig
     int eval_threads = 0;
 };
 
+/**
+ * Warm-start hints for an incremental re-solve — the scenario engine's
+ * post-fault recovery path. A hinted solve differs from a cold solve
+ * in two deterministic ways: the previous winning plan is injected
+ * into the level-2 seed pool, and the uniform-seeding batch is capped
+ * to the additive matrix's top-K candidates instead of full-step
+ * simulating every candidate. Both are pure functions of (graph,
+ * hints, config, seed), so a hinted solve replays bit-identically.
+ */
+struct SolveHints
+{
+    /**
+     * The previous winning per-op specs, injected into the level-2
+     * seed pool as a genome. Ops whose old spec is no longer in the
+     * candidate set (the degraded wafer changed the space) fall back
+     * to the fresh DP choice for that op; an empty or length-mismatched
+     * vector injects nothing.
+     */
+    std::vector<parallel::ParallelSpec> seed_specs;
+    /**
+     * Cap on the uniform-seeding batch: only the top-K candidates
+     * ranked by the already-filled additive cost matrix are full-step
+     * simulated (<= 0 simulates every candidate, the cold behaviour).
+     * The cap is what makes a warm re-solve run strictly fewer step
+     * sims than a cold solve of the same event whenever the candidate
+     * set is larger than K.
+     */
+    int uniform_top_k = 8;
+};
+
 /// Outcome of a search.
 struct SolverResult
 {
@@ -149,7 +179,17 @@ class DlsSolver
               eval::StepEvaluator *steps = nullptr);
 
     /// Finds the best per-operator strategy assignment for the graph.
-    SolverResult solve(const model::ComputeGraph &graph) const;
+    SolverResult solve(const model::ComputeGraph &graph) const
+    {
+        return solve(graph, nullptr);
+    }
+
+    /**
+     * Finds the best assignment, warm-started from @p hints (see
+     * SolveHints; null hints is exactly the cold solve).
+     */
+    SolverResult solve(const model::ComputeGraph &graph,
+                       const SolveHints *hints) const;
 
     const SolverConfig &config() const { return config_; }
 

@@ -68,6 +68,32 @@ drawOrder(const RefineContext &ctx)
     return order;
 }
 
+/// The warm-start genomes of a context that pass validation: length
+/// equal to the op count, every gene a valid candidate index. Invalid
+/// genomes are dropped silently — a stale seed degrades to a cold
+/// search, never an out-of-range candidates[] access.
+std::vector<std::vector<int>>
+validSeeds(const RefineContext &ctx)
+{
+    std::vector<std::vector<int>> out;
+    if (ctx.seeds == nullptr)
+        return out;
+    const std::size_t n_ops =
+        static_cast<std::size_t>(ctx.graph.opCount());
+    const int n_cand = static_cast<int>(ctx.candidates.size());
+    for (const std::vector<int> &genome : *ctx.seeds) {
+        if (genome.size() != n_ops)
+            continue;
+        const bool in_range =
+            std::all_of(genome.begin(), genome.end(), [&](int g) {
+                return g >= 0 && g < n_cand;
+            });
+        if (in_range)
+            out.push_back(genome);
+    }
+    return out;
+}
+
 /// Serialises an Rng's full state (mt19937_64 stream capture; complete
 /// because every Rng helper constructs its distribution per draw).
 std::string
@@ -261,9 +287,24 @@ searchEngineFromName(const std::string &name, SearchEngineKind *kind)
 
 RefineOutcome
 NoRefineEngine::refine(const RefineContext &ctx,
-                       eval::StepEvaluator &) const
+                       eval::StepEvaluator &steps) const
 {
-    return {ctx.dp_assignment, ctx.dp_fitness, 0};
+    // DP-only, but warm seeds still count: a scenario re-solve under
+    // engine=none keeps the pre-fault plan whenever it beats the fresh
+    // DP plan on the degraded wafer.
+    const std::vector<std::vector<int>> seeds = validSeeds(ctx);
+    if (seeds.empty())
+        return {ctx.dp_assignment, ctx.dp_fitness, 0};
+    const std::vector<double> scores = batchFitness(ctx, steps, seeds);
+    RefineOutcome outcome{ctx.dp_assignment, ctx.dp_fitness,
+                          static_cast<long>(seeds.size())};
+    for (std::size_t i = 0; i < seeds.size(); ++i) {
+        if (scores[i] < outcome.fitness) {
+            outcome.assignment = seeds[i];
+            outcome.fitness = scores[i];
+        }
+    }
+    return outcome;
 }
 
 // ---------------------------------------------------------------------
@@ -333,6 +374,13 @@ GeneticRefiner::seedState(const RefineContext &ctx,
             seeds.push_back(std::move(genome));
         }
     }
+    // Warm-start genomes (e.g. the pre-fault assignment a scenario
+    // re-solve carries over) join the pool ahead of the mutated-DP
+    // fill: they compete in the same generation-0 batch, and because
+    // they are appended before any rng draw the stochastic stream —
+    // and with it every cold run — is byte-for-byte unchanged.
+    for (std::vector<int> &genome : validSeeds(ctx))
+        seeds.push_back(std::move(genome));
     while (static_cast<int>(seeds.size()) < 2 * population_) {
         std::vector<int> genome = state.best;
         for (int &g : genome)
@@ -502,19 +550,35 @@ struct AnnealingRefiner::AnnealState
 };
 
 AnnealingRefiner::AnnealState
-AnnealingRefiner::initState(const RefineContext &ctx) const
+AnnealingRefiner::initState(const RefineContext &ctx,
+                            eval::StepEvaluator &steps) const
 {
     AnnealState state;
     state.rng = Rng(seed_);
     state.current = ctx.dp_assignment;
     state.current_fitness = ctx.dp_fitness;
-    state.best = ctx.dp_assignment;
-    state.best_fitness = ctx.dp_fitness;
+    // Warm-start genomes: score them as one batch (before any rng
+    // draw, so the walk's stochastic stream is unchanged) and start
+    // the walk from the best of {DP plan, injected seeds}.
+    const std::vector<std::vector<int>> seeds = validSeeds(ctx);
+    if (!seeds.empty()) {
+        const std::vector<double> scores =
+            batchFitness(ctx, steps, seeds);
+        state.fitness_queries += static_cast<long>(seeds.size());
+        for (std::size_t i = 0; i < seeds.size(); ++i) {
+            if (scores[i] < state.current_fitness) {
+                state.current = seeds[i];
+                state.current_fitness = scores[i];
+            }
+        }
+    }
+    state.best = state.current;
+    state.best_fitness = state.current_fitness;
     // Temperature in step-time units: a fraction of the incumbent's
     // step time (absolute fallback when the DP plan is infeasible).
     state.temp =
-        std::isfinite(ctx.dp_fitness) && ctx.dp_fitness > 0.0
-            ? config_.initial_temp * ctx.dp_fitness
+        std::isfinite(state.best_fitness) && state.best_fitness > 0.0
+            ? config_.initial_temp * state.best_fitness
             : config_.initial_temp;
     return state;
 }
@@ -619,7 +683,7 @@ RefineOutcome
 AnnealingRefiner::refine(const RefineContext &ctx,
                          eval::StepEvaluator &steps) const
 {
-    AnnealState state = initState(ctx);
+    AnnealState state = initState(ctx, steps);
     return runFrom(ctx, steps, state, config_.iterations, nullptr);
 }
 
@@ -629,7 +693,7 @@ AnnealingRefiner::refinePartial(const RefineContext &ctx,
                                 int max_steps,
                                 RefineCheckpoint *checkpoint) const
 {
-    AnnealState state = initState(ctx);
+    AnnealState state = initState(ctx, steps);
     return runFrom(ctx, steps, state,
                    std::clamp(max_steps, 0, config_.iterations),
                    checkpoint);

@@ -90,6 +90,16 @@ struct RefineContext
     const std::vector<int> &dp_assignment;
     /// Its full-step fitness (already simulated by the solver).
     double dp_fitness;
+    /**
+     * Optional warm-start genomes injected into the engine's seed pool
+     * (the scenario engine passes the pre-fault assignment here).
+     * Engines validate each genome (length == opCount, indices in
+     * candidate range) and drop invalid ones; injection happens before
+     * any RNG-driven seeding so the engine's stochastic stream is
+     * untouched and cold runs stay bit-identical to pre-injection
+     * builds. Null when no warm seeds exist.
+     */
+    const std::vector<std::vector<int>> *seeds = nullptr;
 };
 
 /// What a refinement returns.
@@ -258,7 +268,8 @@ class AnnealingRefiner : public SearchEngine
 
   private:
     struct AnnealState;
-    AnnealState initState(const RefineContext &ctx) const;
+    AnnealState initState(const RefineContext &ctx,
+                          eval::StepEvaluator &steps) const;
     void stepRound(const RefineContext &ctx, eval::StepEvaluator &steps,
                    AnnealState &state) const;
     RefineOutcome runFrom(const RefineContext &ctx,

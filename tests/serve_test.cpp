@@ -713,5 +713,189 @@ TEST(Server, SessionCapRefusesExtraConnections)
     server.stop();
 }
 
+TEST(Dispatcher, DeadlineExpiredRequestsAreShedExplicitly)
+{
+    api::TempService service;
+    Gate gate;
+    DispatcherOptions options;
+    options.workers = 1;
+    options.deadline_ms = 10;
+    options.executor = [&](const api::Request &) {
+        gate.waitOpen();
+        api::Response response;
+        response.ok = true;
+        return response;
+    };
+    Dispatcher dispatcher(service, options);
+
+    // r1 occupies the single worker; r2 queues behind it and ages past
+    // the deadline while the gate is closed.
+    std::thread first(
+        [&] { dispatcher.dispatch(optimizeWithSeed(1), "a"); });
+    ASSERT_TRUE(waitUntil([&] { return gate.startedCount() == 1; }));
+    std::thread second([&] {
+        const api::Response response =
+            dispatcher.dispatch(optimizeWithSeed(2), "a");
+        EXPECT_FALSE(response.ok);
+        EXPECT_TRUE(response.shed);
+        EXPECT_TRUE(response.deadline_exceeded);
+        EXPECT_NE(response.error.find("deadline exceeded"),
+                  std::string::npos)
+            << response.error;
+        EXPECT_NE(response.error.find("serve.deadline_ms=10"),
+                  std::string::npos)
+            << response.error;
+    });
+    ASSERT_TRUE(
+        waitUntil([&] { return dispatcher.stats().accepted == 2; }));
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    gate.release();
+    first.join();
+    second.join();
+
+    const DispatchStats stats = dispatcher.stats();
+    EXPECT_EQ(stats.deadline_expired, 1);
+    EXPECT_EQ(stats.shed, 1);
+    EXPECT_EQ(stats.executed, 1);
+    // deadline_expired is a subset of shed: the accounting identity
+    // is unchanged.
+    EXPECT_EQ(stats.accepted,
+              stats.coalesced + stats.executed + stats.shed);
+}
+
+TEST(Dispatcher, DeadlineZeroMeansNoDeadline)
+{
+    api::TempService service;
+    Gate gate;
+    DispatcherOptions options;
+    options.workers = 1;
+    options.deadline_ms = 0;
+    options.executor = [&](const api::Request &) {
+        gate.waitOpen();
+        api::Response response;
+        response.ok = true;
+        return response;
+    };
+    Dispatcher dispatcher(service, options);
+
+    std::thread first(
+        [&] { dispatcher.dispatch(optimizeWithSeed(1), "a"); });
+    ASSERT_TRUE(waitUntil([&] { return gate.startedCount() == 1; }));
+    std::thread second([&] {
+        const api::Response response =
+            dispatcher.dispatch(optimizeWithSeed(2), "a");
+        EXPECT_TRUE(response.ok);
+        EXPECT_FALSE(response.deadline_exceeded);
+    });
+    ASSERT_TRUE(
+        waitUntil([&] { return dispatcher.stats().accepted == 2; }));
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    gate.release();
+    first.join();
+    second.join();
+    EXPECT_EQ(dispatcher.stats().deadline_expired, 0);
+    EXPECT_EQ(dispatcher.stats().executed, 2);
+}
+
+/// Reserves an ephemeral TCP port and releases it: the number is free
+/// (modulo an unlikely race) for a server started later in the test.
+int
+reservePort()
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    EXPECT_EQ(::bind(fd, reinterpret_cast<sockaddr *>(&addr),
+                     sizeof(addr)),
+              0);
+    socklen_t len = sizeof(addr);
+    EXPECT_EQ(::getsockname(fd, reinterpret_cast<sockaddr *>(&addr),
+                            &len),
+              0);
+    const int port = ntohs(addr.sin_port);
+    ::close(fd);
+    return port;
+}
+
+TEST(Client, RetryIsOffByDefaultAndBoundedWhenOn)
+{
+    const int port = reservePort();
+    std::string error;
+
+    // Off by default: one dial, immediate failure.
+    Client plain;
+    EXPECT_FALSE(plain.connect("127.0.0.1", port, &error));
+    EXPECT_EQ(error.find("(after"), std::string::npos) << error;
+
+    // Bounded: retries exhaust and the error says how many attempts.
+    RetryPolicy two;
+    two.retries = 2;
+    two.base_delay_ms = 1;
+    two.max_delay_ms = 4;
+    Client bounded;
+    EXPECT_FALSE(bounded.connect("127.0.0.1", port, two, &error));
+    EXPECT_NE(error.find("(after 3 attempts)"), std::string::npos)
+        << error;
+
+    // A non-transient failure is never retried, even with retries on.
+    Client hopeless;
+    EXPECT_FALSE(
+        hopeless.connect("definitely not a host", 80, two, &error));
+    EXPECT_NE(error.find("invalid address"), std::string::npos)
+        << error;
+    EXPECT_EQ(error.find("(after"), std::string::npos) << error;
+}
+
+TEST(Client, RetryConnectsToLateBindingServer)
+{
+    const int port = reservePort();
+    api::TempService service;
+    ServerOptions server_options;
+    server_options.port = port;
+    Server server(service, server_options);
+
+    // The server binds only after the client's first dial has failed:
+    // without retries the connect is a guaranteed miss, with them the
+    // backoff loop finds the socket once it exists.
+    std::thread late([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(40));
+        std::string start_error;
+        ASSERT_TRUE(server.start(&start_error)) << start_error;
+    });
+
+    RetryPolicy patient;
+    patient.retries = 10;
+    patient.base_delay_ms = 10;
+    patient.max_delay_ms = 50;
+    Client client;
+    std::string error;
+    ASSERT_TRUE(client.connect("127.0.0.1", port, patient, &error))
+        << error;
+    late.join();
+
+    std::string response;
+    ASSERT_TRUE(
+        client.call(api::CacheStatsRequest{}, "", &response, &error))
+        << error;
+    EXPECT_NE(response.find("\"ok\":true"), std::string::npos);
+    client.close();
+
+    // The HTTP face takes the same policy (here the server is already
+    // up, so the first dial wins and no retry fires).
+    HttpClient http;
+    ASSERT_TRUE(http.connect("127.0.0.1", port, patient, &error))
+        << error;
+    int status = 0;
+    std::string body;
+    ASSERT_TRUE(http.exchange("/healthz", "", &status, &body, &error))
+        << error;
+    EXPECT_EQ(status, 200);
+    http.close();
+    server.stop();
+}
+
 }  // namespace
 }  // namespace temp::serve

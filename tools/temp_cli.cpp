@@ -24,7 +24,14 @@
  *               per-tenant fair dequeue; SIGINT drains gracefully
  *               (and writes the persist snapshot when configured)
  *   request     run one request-JSON document: parse, then execute
- *               in-process or (--connect HOST:PORT) against a server
+ *               in-process or (--connect HOST:PORT) against a server;
+ *               --retries N retries a refused connection under
+ *               jittered exponential backoff
+ *   scenario    replay a timeline FILE (a kind:scenario request
+ *               document) deterministically: fault storms, repairs,
+ *               model switches, pod churn — each event re-solved
+ *               warm-seeded with an explicit degraded-answer policy
+ *               (see src/scenario/README.md)
  *   snapshot    persistent memo tier: `snapshot save FILE [model]`
  *               warms the memo stack with one solve and writes a
  *               snapshot; `snapshot load FILE [model]` warm-starts a
@@ -95,6 +102,9 @@ struct CliArgs
     int max_queue = 64;
     std::string request_file;  ///< "" or "-" = stdin
     std::string connect;       ///< HOST:PORT ("" = run in-process)
+    int retries = 0;           ///< --connect dial retries (0 = off)
+    // scenario
+    std::string scenario_file;  ///< timeline document (positional)
     // snapshot / persist
     std::string sub;            ///< snapshot verb (save | load | info)
     std::string snapshot_file;  ///< snapshot subcommand file
@@ -122,7 +132,9 @@ usage(const char *argv0)
         "  serve       framed-RPC/HTTP front end "
         "(--host A, --port N, --workers N, --max-queue N)\n"
         "  request     run one request-JSON document "
-        "(--file F|stdin, --connect HOST:PORT)\n"
+        "(--file F|stdin, --connect HOST:PORT, --retries N)\n"
+        "  scenario    replay a timeline FILE "
+        "(a kind:scenario request document)\n"
         "  snapshot    persistent memo tier: "
         "snapshot save|load|info FILE [model]\n\n"
         "model: zoo name (e.g. \"GPT-3 6.7B\") or path/to/model.conf\n"
@@ -194,6 +206,8 @@ parseArgs(int argc, char **argv, CliArgs *args)
             args->request_file = value();
         else if (arg == "--connect")
             args->connect = value();
+        else if (arg == "--retries")
+            args->retries = std::atoi(value());
         else if (arg == "--load")
             args->load_path = value();
         else if (arg == "--save")
@@ -211,6 +225,13 @@ parseArgs(int argc, char **argv, CliArgs *args)
                     args->snapshot_file = arg;
                 else if (slot == 2)
                     args->model = arg;
+                else
+                    return false;
+            } else if (args->command == "scenario") {
+                // The scenario positional is the timeline file, not a
+                // model name (the document carries its own model).
+                if (slot == 0)
+                    args->scenario_file = arg;
                 else
                     return false;
             } else if (slot == 0) {
@@ -634,6 +655,10 @@ runServe(api::TempService &service, const CliArgs &args)
     options.port = args.port;
     options.dispatcher.workers = args.workers;
     options.dispatcher.max_queue = args.max_queue;
+    // Per-request queue deadline from the config surface (the --opts
+    // file's serve.deadline_ms; 0 = off).
+    options.dispatcher.deadline_ms =
+        resolveOptions(args).serve.deadline_ms;
 
     serve::Server server(service, options);
     std::string error;
@@ -672,9 +697,9 @@ runServe(api::TempService &service, const CliArgs &args)
     std::fprintf(stderr,
                  "temp_cli serve: drained (accepted=%ld "
                  "coalesced=%ld executed=%ld shed=%ld "
-                 "completed=%ld)\n",
+                 "deadline_expired=%ld completed=%ld)\n",
                  stats.accepted, stats.coalesced, stats.executed,
-                 stats.shed, stats.completed);
+                 stats.shed, stats.deadline_expired, stats.completed);
     return 0;
 }
 
@@ -718,9 +743,11 @@ runRequest(api::TempService &service, const CliArgs &args)
             return 1;
         }
         serve::Client client;
+        serve::RetryPolicy retry;
+        retry.retries = std::max(0, args.retries);
         if (!client.connect(args.connect.substr(0, colon),
                             std::atoi(args.connect.c_str() + colon + 1),
-                            &error) ||
+                            retry, &error) ||
             !client.callRaw(text, &response_json, &error)) {
             std::fprintf(stderr, "temp_cli request: %s\n",
                          error.c_str());
@@ -738,6 +765,87 @@ runRequest(api::TempService &service, const CliArgs &args)
     api::Response response = service.run(parsed.request);
     response.tenant = parsed.tenant;
     std::printf("%s\n", api::toJson(response).c_str());
+    return response.ok ? 0 : 1;
+}
+
+int
+runScenario(api::TempService &service, const CliArgs &args)
+{
+    if (args.scenario_file.empty()) {
+        std::fprintf(stderr,
+                     "usage: temp_cli scenario FILE.json [--json]\n");
+        return 1;
+    }
+    std::ifstream file(args.scenario_file);
+    if (!file) {
+        std::fprintf(stderr, "temp_cli scenario: cannot open '%s'\n",
+                     args.scenario_file.c_str());
+        return 1;
+    }
+    std::stringstream buffer;
+    buffer << file.rdbuf();
+
+    api::ParsedRequest parsed;
+    std::string error;
+    if (!api::parseRequest(buffer.str(), &parsed, &error)) {
+        std::fprintf(stderr, "temp_cli scenario: %s\n", error.c_str());
+        return 1;
+    }
+    if (!std::holds_alternative<api::ScenarioRequest>(parsed.request)) {
+        std::fprintf(stderr,
+                     "temp_cli scenario: '%s' is not a kind:scenario "
+                     "document\n",
+                     args.scenario_file.c_str());
+        return 1;
+    }
+
+    api::Response response = service.run(parsed.request);
+    response.tenant = parsed.tenant;
+    if (args.json) {
+        std::printf("%s\n", api::toJson(response).c_str());
+        return response.ok ? 0 : 1;
+    }
+
+    const api::ScenarioRequest &request =
+        std::get<api::ScenarioRequest>(parsed.request);
+    std::printf("Scenario replay — %s, %zu event(s), warm_seed=%s\n\n",
+                request.model.name.c_str(), request.events.size(),
+                request.warm_seed ? "on" : "off");
+    if (!response.ok) {
+        std::printf("Replay failed: %s\n", response.error.c_str());
+        return 1;
+    }
+    const scenario::ScenarioReport &report = response.scenario;
+    TablePrinter t({"#", "Event", "State", "Recovery (ms)", "Step sims",
+                    "Matrix meas", "Tokens/s", "Wafers", "How"});
+    for (const scenario::EventReport &er : report.events) {
+        std::string how;
+        if (er.resolved) {
+            how = er.warm_seeded ? "warm" : "cold";
+            if (er.context_reused)
+                how += "+reuse";
+            if (er.fallback_to_last_feasible)
+                how += " fallback";
+        } else {
+            how = "-";
+        }
+        t.addRow({std::to_string(er.index),
+                  scenario::eventKindName(er.kind), er.degradation,
+                  TablePrinter::fmt(er.recovery_wall_s * 1e3, 1),
+                  std::to_string(er.step_sims),
+                  std::to_string(er.matrix_measurements),
+                  TablePrinter::fmt(er.throughput_after, 0),
+                  std::to_string(er.wafer_count), how});
+    }
+    t.print("Timeline");
+    std::printf("\nReplay digest %llu — %ld step sims, %ld matrix "
+                "measurements, %d infeasible event(s) (%d explicit "
+                "fallback(s)), %.2f s total recovery\n",
+                static_cast<unsigned long long>(report.replay_digest),
+                report.total_step_sims,
+                report.total_matrix_measurements,
+                report.infeasible_events, report.fallback_events,
+                report.total_wall_s);
     return response.ok ? 0 : 1;
 }
 
@@ -909,6 +1017,8 @@ main(int argc, char **argv)
         return runServe(service, args);
     else if (args.command == "request")
         rc = runRequest(service, args);
+    else if (args.command == "scenario")
+        rc = runScenario(service, args);
     else if (args.command == "snapshot")
         rc = runSnapshot(service, args);
     else
