@@ -8,14 +8,19 @@
  */
 #include "bench_util.hpp"
 
+#include <algorithm>
 #include <chrono>
+#include <map>
+#include <string>
 #include <thread>
 
 #include "api/service.hpp"
+#include "cost/breakdown_reduce.hpp"
 #include "eval/cost_evaluator.hpp"
 #include "net/schedule_cache.hpp"
 #include "sim/trainer_sim.hpp"
 #include "solver/dls_solver.hpp"
+#include "solver/portfolio.hpp"
 #include "solver/strategy_space.hpp"
 
 using namespace temp;
@@ -352,6 +357,229 @@ warmStartSection(const char *name)
     return failures;
 }
 
+/**
+ * The portfolio section: the engine race under SolveBudget quantum
+ * caps. Three experiments, bars enforced through the exit code:
+ *
+ *  - win rates: the portfolio raced on several models; per-engine
+ *    EngineAccounts say who won each race, and the portfolio's answer
+ *    must never be worse than the best member run standalone with the
+ *    same configuration (unbudgeted, that is a structural guarantee —
+ *    the race keeps the best member incumbent).
+ *  - best-found-vs-budget curve: the same race under growing quantum
+ *    caps. A budgeted run is the bit-exact prefix of the unbudgeted
+ *    one, so the incumbent must improve monotonically with budget.
+ *  - exact-vs-heuristic gap: the ExactChainEngine's branch-and-bound
+ *    against the ExhaustiveSolver on a chain both can finish — they
+ *    must agree bit-for-bit — plus the DP plan's certified additive
+ *    optimality gap.
+ */
+int
+portfolioSection(const sim::TrainingSimulator &sim)
+{
+    int failures = 0;
+    const auto bar = [&](bool ok, const std::string &what) {
+        std::printf("  [%s] %s\n", ok ? "PASS" : "FAIL", what.c_str());
+        if (!ok)
+            ++failures;
+    };
+    const auto baseConfig = [](solver::SearchEngineKind kind) {
+        solver::SolverConfig cfg;
+        cfg.engine = kind;
+        cfg.ga_generations = 8;
+        cfg.annealing.iterations = 8;
+        return cfg;
+    };
+
+    // --- Win rates + never-worse-than-best-member, per model. ---
+    TablePrinter races({"Model", "Portfolio (s)", "Winner",
+                        "Best member", "Member (s)", "Quanta"});
+    std::map<std::string, int> wins;
+    for (const char *name : {"GPT-3 6.7B", "Llama2 7B", "Llama3 70B"}) {
+        const auto graph =
+            model::ComputeGraph::transformer(model::modelByName(name));
+        const solver::SolverResult portfolio =
+            solver::DlsSolver(sim,
+                              baseConfig(
+                                  solver::SearchEngineKind::Portfolio))
+                .solve(graph);
+
+        std::string winner = "dp";
+        for (const solver::EngineAccount &account :
+             portfolio.engine_accounts)
+            if (account.winner)
+                winner = account.engine;
+        ++wins[winner];
+
+        std::string best_member = "-";
+        double best_member_time = 0.0;
+        for (const solver::SearchEngineKind kind :
+             {solver::SearchEngineKind::Genetic,
+              solver::SearchEngineKind::Annealing,
+              solver::SearchEngineKind::BeamTabu}) {
+            const solver::SolverResult single =
+                solver::DlsSolver(sim, baseConfig(kind)).solve(graph);
+            if (best_member == "-" ||
+                single.step_time_s < best_member_time) {
+                best_member = solver::searchEngineName(kind);
+                best_member_time = single.step_time_s;
+            }
+        }
+        races.addRow({name, TablePrinter::fmt(portfolio.step_time_s, 5),
+                      winner, best_member,
+                      TablePrinter::fmt(best_member_time, 5),
+                      std::to_string(portfolio.quanta_used)});
+        std::string accounts_json;
+        for (const solver::EngineAccount &account :
+             portfolio.engine_accounts) {
+            if (!accounts_json.empty())
+                accounts_json += ",";
+            char buf[192];
+            std::snprintf(buf, sizeof(buf),
+                          "{\"engine\":\"%s\",\"steps\":%d,"
+                          "\"fitness_queries\":%ld,\"winner\":%s}",
+                          account.engine.c_str(), account.steps,
+                          account.fitness_queries,
+                          account.winner ? "true" : "false");
+            accounts_json += buf;
+        }
+        std::printf("BENCH_JSON {\"bench\":\"search_time\","
+                    "\"section\":\"portfolio\",\"model\":\"%s\","
+                    "\"portfolio_step_time_s\":%.9f,"
+                    "\"best_member\":\"%s\","
+                    "\"best_member_step_time_s\":%.9f,"
+                    "\"winner\":\"%s\",\"quanta_used\":%ld,"
+                    "\"accounts\":[%s]}\n",
+                    name, portfolio.step_time_s, best_member.c_str(),
+                    best_member_time, winner.c_str(),
+                    portfolio.quanta_used, accounts_json.c_str());
+        bar(portfolio.feasible &&
+                portfolio.step_time_s <= best_member_time * 1.0001,
+            std::string("portfolio never worse than best member (") +
+                name + ")");
+    }
+    races.print("Portfolio race vs standalone members (unbudgeted)");
+    for (const auto &[engine, count] : wins)
+        std::printf("  win rate %s: %d/3\n", engine.c_str(), count);
+
+    // --- Best-found-vs-budget curve. ---
+    const auto graph = model::ComputeGraph::transformer(
+        model::modelByName("GPT-3 6.7B"));
+    const solver::SolverResult unbudgeted =
+        solver::DlsSolver(
+            sim, baseConfig(solver::SearchEngineKind::Portfolio))
+            .solve(graph);
+    TablePrinter curve({"Budget (quanta)", "Used", "Exhausted",
+                        "Step time (s)"});
+    double previous = 0.0;
+    bool monotone = true;
+    for (const int percent : {25, 50, 75, 100}) {
+        solver::SolverConfig cfg =
+            baseConfig(solver::SearchEngineKind::Portfolio);
+        cfg.deadline.max_quanta =
+            std::max<long>(1, unbudgeted.quanta_used * percent / 100);
+        const solver::SolverResult capped =
+            solver::DlsSolver(sim, cfg).solve(graph);
+        if (previous > 0.0 && capped.step_time_s > previous * 1.0001)
+            monotone = false;
+        previous = capped.step_time_s;
+        curve.addRow({std::to_string(cfg.deadline.max_quanta),
+                      std::to_string(capped.quanta_used),
+                      capped.budget_exhausted ? "yes" : "no",
+                      TablePrinter::fmt(capped.step_time_s, 5)});
+        std::printf("BENCH_JSON {\"bench\":\"search_time\","
+                    "\"section\":\"portfolio_budget_curve\","
+                    "\"model\":\"GPT-3 6.7B\",\"budget_quanta\":%ld,"
+                    "\"quanta_used\":%ld,\"budget_exhausted\":%s,"
+                    "\"step_time_s\":%.9f}\n",
+                    cfg.deadline.max_quanta, capped.quanta_used,
+                    capped.budget_exhausted ? "true" : "false",
+                    capped.step_time_s);
+    }
+    curve.print("Best-found vs quantum budget (bit-exact prefixes)");
+    bar(monotone, "best-found improves monotonically with budget");
+    bar(previous <= unbudgeted.step_time_s * 1.0001 &&
+            previous >= unbudgeted.step_time_s * 0.9999,
+        "full-budget run matches the unbudgeted answer");
+
+    // --- Exact vs exhaustive, and the certified DP gap. ---
+    solver::StrategySpaceOptions space;
+    space.allow_sp = false;
+    space.allow_cp = false;
+    constexpr int kOps = 4;
+    solver::ExhaustiveSolver exhaustive(sim, space);
+    const solver::SolverResult ex =
+        exhaustive.solve(graph, kOps, /*time_budget_s=*/60.0);
+
+    const std::vector<parallel::ParallelSpec> candidates =
+        solver::enumerateStrategies(sim.wafer().dieCount(),
+                                    graph.config(), space);
+    eval::ExactEvaluator evaluator(sim.costModel());
+    std::vector<eval::EvalRequest> requests;
+    for (int i = 0; i < kOps; ++i)
+        for (const parallel::ParallelSpec &spec : candidates)
+            requests.push_back({i, spec, true});
+    const std::vector<cost::OpCostBreakdown> cells =
+        evaluator.evaluateBatch(graph, requests);
+    std::vector<double> totals(cells.size());
+    cost::breakdownTotals(cells, totals.data());
+    std::vector<std::vector<double>> op_cost(kOps);
+    for (int i = 0; i < kOps; ++i) {
+        const double *row =
+            totals.data() + static_cast<std::size_t>(i) *
+                                candidates.size();
+        op_cost[i].assign(row, row + candidates.size());
+    }
+    const solver::ExactChainEngine::BnbResult bnb =
+        solver::ExactChainEngine::branchAndBound(
+            graph, candidates, op_cost, sim.costModel(),
+            solver::ExactChainEngine::kMaxNodes);
+
+    // The DP's additive cost on the same truncated chain, certified
+    // against the exact optimum: the heuristic optimality gap.
+    solver::SolverConfig dp_cfg;
+    dp_cfg.space = space;
+    dp_cfg.engine = solver::SearchEngineKind::NoRefine;
+    const solver::SolverResult dp =
+        solver::DlsSolver(sim, dp_cfg).solve(graph);
+    double dp_additive = 0.0;
+    for (int i = 0; i < kOps; ++i) {
+        std::size_t chosen = 0;
+        for (std::size_t s = 0; s < candidates.size(); ++s)
+            if (candidates[s] == dp.per_op_specs[i]) {
+                chosen = s;
+                break;
+            }
+        dp_additive += op_cost[i][chosen];
+        if (i > 0 && !(dp.per_op_specs[i - 1] == dp.per_op_specs[i]))
+            dp_additive += sim.costModel().interOpTime(
+                graph.op(i - 1), dp.per_op_specs[i - 1],
+                dp.per_op_specs[i]);
+    }
+    const double gap =
+        bnb.additive_cost > 0.0
+            ? dp_additive / bnb.additive_cost - 1.0
+            : 0.0;
+    std::printf("Exact certification (%d-op chain): exhaustive %.9f s, "
+                "B&B %.9f s (%ld nodes), DP additive %.9f s "
+                "(gap %.4f%%)\n",
+                kOps, ex.step_time_s, bnb.additive_cost, bnb.nodes,
+                dp_additive, gap * 100.0);
+    std::printf("BENCH_JSON {\"bench\":\"search_time\","
+                "\"section\":\"exact_gap\",\"model\":\"GPT-3 6.7B\","
+                "\"ops\":%d,\"exhaustive_additive_s\":%.9f,"
+                "\"bnb_additive_s\":%.9f,\"bnb_nodes\":%ld,"
+                "\"bnb_complete\":%s,\"dp_additive_s\":%.9f,"
+                "\"dp_gap\":%.6f}\n",
+                kOps, ex.step_time_s, bnb.additive_cost, bnb.nodes,
+                bnb.complete ? "true" : "false", dp_additive, gap);
+    bar(ex.feasible && bnb.complete &&
+            bnb.additive_cost == ex.step_time_s,
+        "exact engine matches exhaustive bit-for-bit");
+    bar(gap >= -1e-12, "DP never beats the certified additive optimum");
+    return failures;
+}
+
 }  // namespace
 
 int
@@ -443,9 +671,13 @@ main()
                   "schedule cache: collective lowerings vs hits");
     scheduleCacheSection("GPT-3 6.7B");
 
+    bench::banner("Portfolio",
+                  "engine race, budget curve, exact certification");
+    int failures = portfolioSection(sim);
+
     bench::banner("Persistent tier",
                   "snapshot warm start: restart without re-measuring");
-    const int failures = warmStartSection("GPT-3 6.7B");
+    failures += warmStartSection("GPT-3 6.7B");
     if (failures > 0) {
         std::printf("\nsearch_time acceptance bars FAILED (%d)\n",
                     failures);

@@ -778,6 +778,10 @@ toJson(const core::FrameworkOptions &o)
         .addRaw("solver.ga_mutation_rate",
                 jsonNumberExact(o.solver.ga_mutation_rate))
         .addRaw("solver.seed", std::to_string(o.solver.seed))
+        .addRaw("solver.deadline.quanta",
+                std::to_string(o.solver.deadline.max_quanta))
+        .addRaw("solver.deadline.wall_ms",
+                jsonNumberExact(o.solver.deadline.max_wall_ms))
         .add("solver.use_surrogate", o.solver.use_surrogate)
         .addRaw("solver.surrogate_sample_fraction",
                 jsonNumberExact(o.solver.surrogate_sample_fraction))

@@ -105,6 +105,16 @@ optionsKey(const core::FrameworkOptions &o)
     field(key, o.solver.annealing.cooling);
     key += std::to_string(o.solver.seed);  // uint64: no double rounding
     key += '|';
+    // Both deadline caps are result-determining configuration (the
+    // quantum cap deterministically, the wall cap by rounding down to
+    // a quantum boundary), so requests differing only in deadline must
+    // not alias. The runtime budget the dispatcher merges in (a
+    // request's remaining queue deadline) stays out — it is per-call
+    // state, not options identity. Quanta rendered like seed
+    // (long -> no double rounding).
+    key += std::to_string(o.solver.deadline.max_quanta);
+    key += '|';
+    field(key, o.solver.deadline.max_wall_ms);
     field(key, o.solver.use_surrogate);
     field(key, o.solver.surrogate_sample_fraction);
     field(key, o.eval_threads);

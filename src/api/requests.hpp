@@ -187,6 +187,18 @@ struct Response
     /// explicit response instead of holding a session slot; implies
     /// shed, ok is false and error says so.
     bool deadline_exceeded = false;
+    /**
+     * True when the solve behind this response stopped at a budget
+     * boundary (quantum/wall deadline or in-flight cancel) and
+     * returned its best-so-far partial result. Top-level mirror of
+     * SolverResult::budget_exhausted / the scenario report's
+     * per-event flags, so clients and the dispatcher's accounting
+     * need not reach into kind-specific payloads.
+     */
+    bool budget_exhausted = false;
+    /// Budget quanta (full-step fitness queries) the solve charged
+    /// (0 for kinds that never solve).
+    long quanta_used = 0;
     /// @}
     /// Cumulative evaluator counters of the serving framework, read
     /// after the request (Optimize/Baseline/Strategy/Fault kinds).

@@ -201,6 +201,27 @@ toJson(const solver::SolverResult &result,
         .add("schedule_cache_hits", result.schedule_cache_hits)
         .add("cache_evictions", result.cache_evictions)
         .add("candidate_count", result.candidate_count)
+        .add("budget_exhausted", result.budget_exhausted)
+        .add("quanta_used", result.quanta_used)
+        .addRaw("engine_accounts",
+                jsonArray([&] {
+                    std::vector<std::string> accounts;
+                    accounts.reserve(result.engine_accounts.size());
+                    for (const solver::EngineAccount &a :
+                         result.engine_accounts) {
+                        accounts.push_back(
+                            JsonObject()
+                                .add("engine", a.engine)
+                                .add("steps", a.steps)
+                                .add("fitness_queries",
+                                     a.fitness_queries)
+                                .add("best_fitness", a.best_fitness)
+                                .add("feasible", a.feasible)
+                                .add("winner", a.winner)
+                                .str());
+                    }
+                    return accounts;
+                }()))
         .addRaw("per_op_specs", jsonArray(per_op))
         .addRaw("report", toJson(result.report))
         .str();
@@ -259,6 +280,8 @@ toJson(const Response &response)
         .add("coalesced_requests", response.coalesced_requests)
         .add("shed", response.shed)
         .add("deadline_exceeded", response.deadline_exceeded)
+        .add("budget_exhausted", response.budget_exhausted)
+        .add("quanta_used", response.quanta_used)
         .addRaw("evaluator", toJson(response.evaluator_stats))
         .addRaw("step_evaluator", toJson(response.step_stats));
     switch (response.kind) {
@@ -313,6 +336,8 @@ toJson(const Response &response)
                          std::to_string(er.fault_fingerprint))
                     .add("resolved", er.resolved)
                     .add("warm_seeded", er.warm_seeded)
+                    .add("budget_exhausted", er.budget_exhausted)
+                    .add("quanta_used", er.quanta_used)
                     .add("context_reused", er.context_reused)
                     .add("fallback_to_last_feasible",
                          er.fallback_to_last_feasible)
@@ -333,6 +358,9 @@ toJson(const Response &response)
                      response.scenario.infeasible_events)
                 .add("fallback_events",
                      response.scenario.fallback_events)
+                .add("budget_exhausted_events",
+                     response.scenario.budget_exhausted_events)
+                .add("total_quanta", response.scenario.total_quanta)
                 .add("total_wall_s", response.scenario.total_wall_s)
                 .str());
         break;

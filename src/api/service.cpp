@@ -242,12 +242,21 @@ TempService::finish(Response response, double start_time)
 Response
 TempService::run(const OptimizeRequest &request)
 {
+    return run(request, solver::SolveBudget{});
+}
+
+Response
+TempService::run(const OptimizeRequest &request,
+                 const solver::SolveBudget &budget)
+{
     const double t0 = now();
     Response response;
     response.kind = RequestKind::Optimize;
     auto fw = frameworkFor(request.wafer, request.options,
                            &response.framework_reused);
-    response.solver = fw->optimize(request.model);
+    response.solver = fw->optimize(request.model, budget);
+    response.budget_exhausted = response.solver.budget_exhausted;
+    response.quanta_used = response.solver.quanta_used;
     response.report = response.solver.report;
     response.op_names =
         opNames(model::ComputeGraph::transformer(request.model));
@@ -295,6 +304,13 @@ TempService::run(const StrategyRequest &request)
 Response
 TempService::run(const FaultRequest &request)
 {
+    return run(request, solver::SolveBudget{});
+}
+
+Response
+TempService::run(const FaultRequest &request,
+                 const solver::SolveBudget &budget)
+{
     const double t0 = now();
     Response response;
     response.kind = RequestKind::Fault;
@@ -325,7 +341,10 @@ TempService::run(const FaultRequest &request)
 
     const hw::Wafer degraded(request.wafer, faults);
     response.usable_dies = degraded.usableDieCount();
-    response.solver = fw->optimizeWithFaults(request.model, faults);
+    response.solver =
+        fw->optimizeWithFaults(request.model, faults, budget);
+    response.budget_exhausted = response.solver.budget_exhausted;
+    response.quanta_used = response.solver.quanta_used;
     response.report = response.solver.report;
     response.op_names =
         opNames(model::ComputeGraph::transformer(request.model));
@@ -424,6 +443,13 @@ TempService::run(const CacheStatsRequest &)
 Response
 TempService::run(const ScenarioRequest &request)
 {
+    return run(request, solver::SolveBudget{});
+}
+
+Response
+TempService::run(const ScenarioRequest &request,
+                 const solver::SolveBudget &budget)
+{
     const double t0 = now();
     Response response;
     response.kind = RequestKind::Scenario;
@@ -435,8 +461,15 @@ TempService::run(const ScenarioRequest &request)
                            &response.framework_reused);
     scenario::ScenarioEngine::Options opts;
     opts.warm_seed = request.warm_seed;
+    // The caller's budget bounds EACH re-solve in the replay (bounded
+    // recovery per fault event), not the whole timeline — a storm of
+    // N events gets N bounded recoveries.
+    opts.solve_budget = budget;
     scenario::ScenarioEngine engine(fw, opts);
     response.scenario = engine.replay(request.model, request.events);
+    response.budget_exhausted =
+        response.scenario.budget_exhausted_events > 0;
+    response.quanta_used = response.scenario.total_quanta;
     response.evaluator_stats = fw->evaluatorStats();
     response.step_stats = fw->stepStats();
     response.ok = true;
@@ -447,6 +480,23 @@ Response
 TempService::run(const Request &request)
 {
     return std::visit([this](const auto &r) { return run(r); }, request);
+}
+
+Response
+TempService::run(const Request &request,
+                 const solver::SolveBudget &budget)
+{
+    return std::visit(
+        [&](const auto &r) -> Response {
+            using T = std::decay_t<decltype(r)>;
+            if constexpr (std::is_same_v<T, OptimizeRequest> ||
+                          std::is_same_v<T, FaultRequest> ||
+                          std::is_same_v<T, ScenarioRequest>)
+                return run(r, budget);
+            else
+                return run(r);
+        },
+        request);
 }
 
 std::future<Response>

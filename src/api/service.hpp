@@ -67,6 +67,24 @@ class TempService
     Response run(const Request &request);
     /// @}
 
+    /// @{ Budget-carrying execution: the caller's SolveBudget (e.g.
+    /// the dispatcher's remaining per-request deadline plus its cancel
+    /// token) is merged with the request's own solver.deadline inside
+    /// the solver — the tighter cap wins per dimension. Kinds that
+    /// solve (Optimize, Fault, Scenario — per re-solve there) honour
+    /// it and mirror SolverResult::budget_exhausted / quanta_used into
+    /// the Response; other kinds ignore it. The plain run() overloads
+    /// delegate here with an unlimited budget.
+    Response run(const OptimizeRequest &request,
+                 const solver::SolveBudget &budget);
+    Response run(const FaultRequest &request,
+                 const solver::SolveBudget &budget);
+    Response run(const ScenarioRequest &request,
+                 const solver::SolveBudget &budget);
+    Response run(const Request &request,
+                 const solver::SolveBudget &budget);
+    /// @}
+
     /// Asynchronous execution: queues the request on the service pool
     /// and returns the eventual response.
     std::future<Response> submit(Request request);

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Cooperative solve budgets: the one primitive the deadline-bounded
+ * solve path shares across layers (solver -> engines -> evaluators ->
+ * serve -> scenario).
+ *
+ * Two classes, one contract:
+ *
+ *  - CancelToken: a shared cooperative cancel flag. Anything holding a
+ *    copy may request cancellation; workers observe it at *quantum
+ *    boundaries only* (between fitness batches, never mid-batch), so a
+ *    cancelled solve still returns a bit-exact partial result.
+ *  - BudgetGauge: the per-solve meter. It counts deterministic quanta
+ *    (full-step fitness queries, cache-served or not — a warm and a
+ *    cold solve charge identically) against an optional quantum cap,
+ *    an optional wall-clock cap and the cancel token.
+ *
+ * Determinism rule: exhaustion by quantum cap is a pure function of
+ * the work charged, so equal (request, quantum budget) trips at the
+ * same boundary on any machine. Wall-clock caps and cancel tokens are
+ * inherently nondeterministic; because they are only observed between
+ * quanta they can only *round the run down to a quantum boundary* —
+ * every result they produce is one the pure quantum budget could have
+ * produced.
+ *
+ * Once exhausted() has returned true it stays true (the trip latches),
+ * so every layer of one solve agrees on where the run stopped.
+ */
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+
+namespace temp::common {
+
+/// Shared cooperative cancel flag. Copies alias one flag; a
+/// default-constructed token is unarmed and never reports cancellation.
+class CancelToken
+{
+  public:
+    CancelToken() = default;
+
+    /// A fresh, armed token (its own flag, not yet cancelled).
+    static CancelToken make()
+    {
+        CancelToken token;
+        token.flag_ = std::make_shared<std::atomic<bool>>(false);
+        return token;
+    }
+
+    /// True when this token aliases a real flag.
+    bool armed() const { return flag_ != nullptr; }
+
+    /// Requests cooperative cancellation (no-op when unarmed).
+    void requestCancel() const
+    {
+        if (flag_)
+            flag_->store(true, std::memory_order_relaxed);
+    }
+
+    /// True once cancellation was requested (false when unarmed).
+    bool cancelRequested() const
+    {
+        return flag_ && flag_->load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+/**
+ * The per-solve budget meter. Not thread-safe by design: one gauge
+ * belongs to one solve thread (the cross-thread channel is the
+ * CancelToken, which is atomic). Caps of 0 mean unlimited.
+ */
+class BudgetGauge
+{
+  public:
+    BudgetGauge() = default;
+
+    BudgetGauge(long max_quanta, double max_wall_ms, CancelToken cancel)
+        : max_quanta_(max_quanta), max_wall_ms_(max_wall_ms),
+          cancel_(std::move(cancel)),
+          start_(std::chrono::steady_clock::now())
+    {
+    }
+
+    /// True when any cap (quanta, wall clock or cancel token) binds.
+    bool limited() const
+    {
+        return max_quanta_ > 0 || max_wall_ms_ > 0.0 || cancel_.armed();
+    }
+
+    /// Charges completed quanta (one per full-step fitness query,
+    /// whether the memo served it or a simulation ran).
+    void charge(long quanta) { used_ += quanta; }
+
+    /// Quanta charged so far.
+    long used() const { return used_; }
+
+    /// True once the run is over budget. Latched: after the first true
+    /// it never reverts, so every layer agrees on the stop boundary.
+    /// Call only at quantum boundaries (between batches).
+    bool exhausted()
+    {
+        if (tripped_)
+            return true;
+        if (max_quanta_ > 0 && used_ >= max_quanta_)
+            tripped_ = true;
+        else if (cancel_.cancelRequested())
+            tripped_ = true;
+        else if (max_wall_ms_ > 0.0 && elapsedMs() >= max_wall_ms_)
+            tripped_ = true;
+        return tripped_;
+    }
+
+    /// Whether exhausted() has already tripped (no fresh check).
+    bool tripped() const { return tripped_; }
+
+    const CancelToken &cancelToken() const { return cancel_; }
+
+  private:
+    double elapsedMs() const
+    {
+        return std::chrono::duration<double, std::milli>(
+                   std::chrono::steady_clock::now() - start_)
+            .count();
+    }
+
+    long max_quanta_ = 0;
+    double max_wall_ms_ = 0.0;
+    CancelToken cancel_;
+    std::chrono::steady_clock::time_point start_{};
+    long used_ = 0;
+    bool tripped_ = false;
+};
+
+}  // namespace temp::common

@@ -117,7 +117,7 @@ toSearchEngine(const std::string &key, const std::string &value)
     solver::SearchEngineKind kind;
     if (!solver::searchEngineFromName(value, &kind))
         cfgFail("config: key '%s' has unknown search engine '%s' "
-                "(use none/genetic/annealing)",
+                "(use none/genetic/annealing/beamtabu/exact/portfolio)",
                 key.c_str(), value.c_str());
     return kind;
 }
@@ -335,6 +335,10 @@ frameworkOptionsFromConfigOrThrow(const ConfigMap &config)
             sv.ga_mutation_rate = toNumber(key, value);
         } else if (key == "solver.seed") {
             sv.seed = toSeed(key, value);
+        } else if (key == "solver.deadline.quanta") {
+            sv.deadline.max_quanta = toCount(key, value);
+        } else if (key == "solver.deadline.wall_ms") {
+            sv.deadline.max_wall_ms = toNumber(key, value);
         } else if (key == "solver.use_surrogate") {
             sv.use_surrogate = toBool(key, value);
         } else if (key == "solver.surrogate_sample_fraction") {

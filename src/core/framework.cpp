@@ -75,10 +75,17 @@ TempFramework::cacheStats() const
 solver::SolverResult
 TempFramework::optimize(const model::ModelConfig &model) const
 {
+    return optimize(model, solver::SolveBudget{});
+}
+
+solver::SolverResult
+TempFramework::optimize(const model::ModelConfig &model,
+                        const solver::SolveBudget &budget) const
+{
     const model::ComputeGraph graph = model::ComputeGraph::transformer(model);
     solver::DlsSolver solver(*sim_, options_.solver, evaluator_.get(),
                              steps_.get());
-    return solver.solve(graph);
+    return solver.solve(graph, nullptr, budget);
 }
 
 DegradedContext::DegradedContext(const hw::WaferConfig &config,
@@ -116,12 +123,13 @@ DegradedContext::DegradedContext(const hw::WaferConfig &config,
 
 solver::SolverResult
 DegradedContext::optimize(const model::ModelConfig &model,
-                          const solver::SolveHints *hints)
+                          const solver::SolveHints *hints,
+                          const solver::SolveBudget &budget)
 {
     const model::ComputeGraph graph =
         model::ComputeGraph::transformer(model);
     solver::DlsSolver solver(sim_, options_.solver, &eval_, &steps_);
-    return solver.solve(graph, hints);
+    return solver.solve(graph, hints, budget);
 }
 
 std::shared_ptr<DegradedContext>
@@ -135,10 +143,18 @@ solver::SolverResult
 TempFramework::optimizeWithFaults(const model::ModelConfig &model,
                                   const hw::FaultMap &faults) const
 {
+    return optimizeWithFaults(model, faults, solver::SolveBudget{});
+}
+
+solver::SolverResult
+TempFramework::optimizeWithFaults(const model::ModelConfig &model,
+                                  const hw::FaultMap &faults,
+                                  const solver::SolveBudget &budget) const
+{
     // The one-shot path: build a context, solve cold, discard — the
     // historical behaviour of FaultRequest. Long-lived callers (the
     // scenario engine) hold the context instead.
-    return degradedContext(faults)->optimize(model);
+    return degradedContext(faults)->optimize(model, nullptr, budget);
 }
 
 baselines::TunedBaseline

@@ -117,11 +117,14 @@ class DegradedContext
 
     /**
      * Runs the DLWS pipeline on the degraded wafer, optionally
-     * warm-seeded (solver::SolveHints). Memos persist across calls.
+     * warm-seeded (solver::SolveHints) and deadline-bounded (the
+     * budget merges with the configured solver.deadline; checks land
+     * on quantum boundaries only). Memos persist across calls.
      */
-    solver::SolverResult optimize(const model::ModelConfig &model,
-                                  const solver::SolveHints *hints =
-                                      nullptr);
+    solver::SolverResult optimize(
+        const model::ModelConfig &model,
+        const solver::SolveHints *hints = nullptr,
+        const solver::SolveBudget &budget = solver::SolveBudget{});
 
   private:
     FrameworkOptions options_;
@@ -147,6 +150,17 @@ class TempFramework
     solver::SolverResult optimize(const model::ModelConfig &model) const;
 
     /**
+     * Deadline-bounded optimize: solves under the tighter of @p budget
+     * and the configured solver.deadline. Budget checks land on
+     * quantum boundaries only, so the result is the bit-exact prefix
+     * of the unbudgeted solve, flagged via
+     * SolverResult::budget_exhausted. The serving layer passes a
+     * request's remaining deadline and cancel token here.
+     */
+    solver::SolverResult optimize(const model::ModelConfig &model,
+                                  const solver::SolveBudget &budget) const;
+
+    /**
      * Fault-tolerant re-optimisation: rebuilds the wafer with the given
      * fault state and re-runs the pipeline (the three-step strategy of
      * Fig. 20a).
@@ -154,6 +168,11 @@ class TempFramework
     solver::SolverResult optimizeWithFaults(const model::ModelConfig &model,
                                             const hw::FaultMap &faults)
         const;
+
+    /// Deadline-bounded variant of optimizeWithFaults().
+    solver::SolverResult optimizeWithFaults(
+        const model::ModelConfig &model, const hw::FaultMap &faults,
+        const solver::SolveBudget &budget) const;
 
     /**
      * Builds a reusable degraded solve context for a fault state (see

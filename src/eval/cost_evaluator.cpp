@@ -217,11 +217,17 @@ struct BatchPlan
 
 std::vector<cost::OpCostBreakdown>
 CostEvaluator::evaluateBatch(const model::ComputeGraph &graph,
-                             const std::vector<EvalRequest> &requests)
+                             const std::vector<EvalRequest> &requests,
+                             common::BudgetGauge *gauge)
 {
     std::vector<cost::OpCostBreakdown> results(requests.size());
     for (std::size_t i = 0; i < requests.size(); ++i)
         results[i] = evaluate(graph, requests[i]);
+    // Matrix batches are atomic and charge no quanta; polling the
+    // gauge after the batch latches a wall/token expiry at this
+    // quantum boundary (see the interface contract).
+    if (gauge != nullptr)
+        gauge->exhausted();
     return results;
 }
 
@@ -282,7 +288,8 @@ ExactEvaluator::evaluate(const model::ComputeGraph &graph,
 
 std::vector<cost::OpCostBreakdown>
 ExactEvaluator::evaluateBatch(const model::ComputeGraph &graph,
-                              const std::vector<EvalRequest> &requests)
+                              const std::vector<EvalRequest> &requests,
+                              common::BudgetGauge *gauge)
 {
     std::vector<cost::OpCostBreakdown> results(requests.size());
     if (requests.empty())
@@ -367,6 +374,9 @@ ExactEvaluator::evaluateBatch(const model::ComputeGraph &graph,
                                  sched_lowerings, sched_hits);
     schedule_lowerings_ += sched_lowerings;
     schedule_cache_hits_ += sched_hits;
+    // Batch complete: latch any wall/token expiry at this boundary.
+    if (gauge != nullptr)
+        gauge->exhausted();
     return results;
 }
 
@@ -428,7 +438,8 @@ CachingEvaluator::evaluate(const model::ComputeGraph &graph,
 
 std::vector<cost::OpCostBreakdown>
 CachingEvaluator::evaluateBatch(const model::ComputeGraph &graph,
-                                const std::vector<EvalRequest> &requests)
+                                const std::vector<EvalRequest> &requests,
+                                common::BudgetGauge *gauge)
 {
     std::vector<cost::OpCostBreakdown> results(requests.size());
     if (requests.empty())
@@ -467,6 +478,8 @@ CachingEvaluator::evaluateBatch(const model::ComputeGraph &graph,
                                  sched_lowerings, sched_hits);
     schedule_lowerings_ += sched_lowerings;
     schedule_cache_hits_ += sched_hits;
+    if (gauge != nullptr)
+        gauge->exhausted();
     return results;
 }
 

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "common/bounded_cache.hpp"
+#include "common/budget.hpp"
 #include "common/thread_pool.hpp"
 #include "cost/cost_model.hpp"
 
@@ -158,10 +159,19 @@ class CostEvaluator
      * regardless of thread count (deterministic ordering — cells are
      * independent, so values are bit-exact across pool sizes). The
      * default implementation is the serial loop.
+     *
+     * Solve-budget contract: a matrix batch is atomic — it always
+     * completes (the DP needs the whole matrix, so the budgeted solve
+     * path treats the fill as mandatory preamble) and charges no
+     * quanta (quanta meter full-step fitness queries). The optional
+     * @p gauge is polled once *after* the batch, so a wall-clock cap
+     * or cancel token that expired during the fill latches at this
+     * quantum boundary instead of one batch later.
      */
     virtual std::vector<cost::OpCostBreakdown> evaluateBatch(
         const model::ComputeGraph &graph,
-        const std::vector<EvalRequest> &requests);
+        const std::vector<EvalRequest> &requests,
+        common::BudgetGauge *gauge = nullptr);
 
     /// Cumulative counters (zero for stateless backends).
     virtual EvalStats stats() const { return {}; }
@@ -189,7 +199,8 @@ class ExactEvaluator : public CostEvaluator
 
     std::vector<cost::OpCostBreakdown> evaluateBatch(
         const model::ComputeGraph &graph,
-        const std::vector<EvalRequest> &requests) override;
+        const std::vector<EvalRequest> &requests,
+        common::BudgetGauge *gauge = nullptr) override;
 
     EvalStats stats() const override;
 
@@ -238,7 +249,8 @@ class CachingEvaluator : public CostEvaluator
 
     std::vector<cost::OpCostBreakdown> evaluateBatch(
         const model::ComputeGraph &graph,
-        const std::vector<EvalRequest> &requests) override;
+        const std::vector<EvalRequest> &requests,
+        common::BudgetGauge *gauge = nullptr) override;
 
     /// Own hit/measure counters plus the inner backend's layout
     /// counters.

@@ -46,8 +46,11 @@ StepEvaluator::StepEvaluator(const sim::TrainingSimulator &simulator,
 
 sim::PerfReport
 StepEvaluator::evaluate(const model::ComputeGraph &graph,
-                        const std::vector<ParallelSpec> &per_op_specs)
+                        const std::vector<ParallelSpec> &per_op_specs,
+                        common::BudgetGauge *gauge)
 {
+    if (gauge != nullptr)
+        gauge->charge(1);
     const std::string key =
         stepKey(graphFingerprint(graph), per_op_specs);
     if (auto cached = cache_.get(key)) {
@@ -74,18 +77,27 @@ StepEvaluator::evaluate(const model::ComputeGraph &graph,
 
 sim::PerfReport
 StepEvaluator::evaluate(const model::ComputeGraph &graph,
-                        const ParallelSpec &spec)
+                        const ParallelSpec &spec,
+                        common::BudgetGauge *gauge)
 {
-    return evaluate(graph, std::vector<ParallelSpec>(
-                               static_cast<std::size_t>(graph.opCount()),
-                               spec));
+    return evaluate(graph,
+                    std::vector<ParallelSpec>(
+                        static_cast<std::size_t>(graph.opCount()), spec),
+                    gauge);
 }
 
 std::vector<sim::PerfReport>
 StepEvaluator::evaluateBatch(
     const model::ComputeGraph &graph,
-    const std::vector<std::vector<ParallelSpec>> &assignments)
+    const std::vector<std::vector<ParallelSpec>> &assignments,
+    common::BudgetGauge *gauge)
 {
+    // The batch is a solve-budget quantum: charge it whole (one
+    // quantum per assignment, memo-served or not) and never look at
+    // the gauge mid-batch — callers check between batches, which is
+    // what keeps budget-truncated runs bit-exact.
+    if (gauge != nullptr)
+        gauge->charge(static_cast<long>(assignments.size()));
     std::vector<sim::PerfReport> results(assignments.size());
     if (assignments.empty())
         return results;

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "common/bounded_cache.hpp"
+#include "common/budget.hpp"
 #include "common/thread_pool.hpp"
 #include "sim/trainer_sim.hpp"
 
@@ -84,26 +85,40 @@ class StepEvaluator
     explicit StepEvaluator(const sim::TrainingSimulator &simulator,
                            ThreadPool *pool = nullptr);
 
-    /// Simulates (or serves from the memo) one per-op assignment.
+    /**
+     * Simulates (or serves from the memo) one per-op assignment.
+     * @param gauge Optional solve-budget meter; charged one quantum per
+     *        query (memo-served or not, so warm and cold solves charge
+     *        identically). The evaluator never *checks* the gauge —
+     *        budget decisions belong to the callers, which observe it
+     *        only between queries/batches so results stay bit-exact.
+     */
     sim::PerfReport evaluate(
         const model::ComputeGraph &graph,
-        const std::vector<parallel::ParallelSpec> &per_op_specs);
+        const std::vector<parallel::ParallelSpec> &per_op_specs,
+        common::BudgetGauge *gauge = nullptr);
 
     /// Uniform-spec convenience overload; keyed as the broadcast
     /// assignment, so it shares entries with per-op callers.
     sim::PerfReport evaluate(const model::ComputeGraph &graph,
-                             const parallel::ParallelSpec &spec);
+                             const parallel::ParallelSpec &spec,
+                             common::BudgetGauge *gauge = nullptr);
 
     /**
      * Evaluates a batch of assignments; result[i] always corresponds to
      * assignments[i] regardless of thread count. Duplicate assignments
      * within one batch simulate once (the rest are hits), and cached
      * assignments are served without re-simulation.
+     *
+     * A batch is atomic with respect to solve budgets: @p gauge is
+     * charged one quantum per assignment after the whole batch
+     * completes, and never consulted mid-batch.
      */
     std::vector<sim::PerfReport> evaluateBatch(
         const model::ComputeGraph &graph,
         const std::vector<std::vector<parallel::ParallelSpec>>
-            &assignments);
+            &assignments,
+        common::BudgetGauge *gauge = nullptr);
 
     /// Cumulative counters since construction.
     StepStats stats() const;

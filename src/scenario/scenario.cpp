@@ -103,8 +103,10 @@ foldEventReport(std::uint64_t hash, const EventReport &r)
     const std::uint64_t flags =
         (r.resolved ? 1u : 0u) | (r.warm_seeded ? 2u : 0u) |
         (r.context_reused ? 4u : 0u) |
-        (r.fallback_to_last_feasible ? 8u : 0u);
+        (r.fallback_to_last_feasible ? 8u : 0u) |
+        (r.budget_exhausted ? 16u : 0u);
     hash = foldU64(hash, flags);
+    hash = foldU64(hash, static_cast<std::uint64_t>(r.quanta_used));
     hash = fnv1a(hash, r.degradation.data(), r.degradation.size());
     hash = foldU64(hash, r.degradation.size());
     // recovery_wall_s deliberately excluded: it is the one
@@ -163,7 +165,8 @@ ScenarioEngine::resolveCurrent(bool allow_warm)
         // shared memo stack makes a repeat healthy solve free (zero
         // step sims, zero matrix measurements), which is stronger
         // than any warm seeding.
-        out.result = framework_->optimize(model_);
+        out.result =
+            framework_->optimize(model_, options_.solve_budget);
         return out;
     }
     std::shared_ptr<core::DegradedContext> ctx =
@@ -172,10 +175,12 @@ ScenarioEngine::resolveCurrent(bool allow_warm)
         solver::SolveHints hints;
         hints.seed_specs = last_feasible_specs_;
         hints.uniform_top_k = options_.uniform_top_k;
-        out.result = ctx->optimize(model_, &hints);
+        out.result =
+            ctx->optimize(model_, &hints, options_.solve_budget);
         out.warm_seeded = true;
     } else {
-        out.result = ctx->optimize(model_);
+        out.result =
+            ctx->optimize(model_, nullptr, options_.solve_budget);
     }
     return out;
 }
@@ -199,7 +204,8 @@ ScenarioEngine::replay(const model::ModelConfig &initial_model,
 
     // Baseline: the service is operating on the healthy wafer before
     // the timeline starts (memo-shared with every other request).
-    const solver::SolverResult base = framework_->optimize(model_);
+    const solver::SolverResult base =
+        framework_->optimize(model_, options_.solve_budget);
     double per_wafer_tput = 0.0;
     int usable_dies = healthy.usableDieCount();
     if (base.feasible) {
@@ -289,6 +295,8 @@ ScenarioEngine::replay(const model::ModelConfig &initial_model,
             er.resolved = true;
             er.warm_seeded = outcome.warm_seeded;
             er.context_reused = outcome.context_reused;
+            er.budget_exhausted = result.budget_exhausted;
+            er.quanta_used = result.quanta_used;
             er.step_sims = result.step_sims;
             er.matrix_measurements = result.matrix_measurements;
             er.step_cache_hits = result.step_cache_hits;
@@ -341,6 +349,9 @@ ScenarioEngine::replay(const model::ModelConfig &initial_model,
 
         report.total_step_sims += er.step_sims;
         report.total_matrix_measurements += er.matrix_measurements;
+        if (er.budget_exhausted)
+            ++report.budget_exhausted_events;
+        report.total_quanta += er.quanta_used;
         report.total_wall_s += er.recovery_wall_s;
         report.replay_digest =
             foldEventReport(report.replay_digest, er);

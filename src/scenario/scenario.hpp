@@ -119,6 +119,13 @@ struct EventReport
     /// @{ How the answer was produced.
     bool resolved = false;     ///< a re-solve ran for this event
     bool warm_seeded = false;  ///< previous assignment injected
+    /// The re-solve hit its SolveBudget boundary and returned its
+    /// best-so-far partial plan (bounded recovery). Deterministic when
+    /// the budget is quantum-capped; a wall cap makes the trip point —
+    /// and therefore this flag and quanta_used — wall-dependent.
+    bool budget_exhausted = false;
+    /// Budget quanta (full-step fitness queries) the re-solve charged.
+    long quanta_used = 0;
     /// The re-solve reused an already-built degraded context (its
     /// memos survived since the fault state was last visited).
     bool context_reused = false;
@@ -141,6 +148,10 @@ struct ScenarioReport
     long total_matrix_measurements = 0;
     int infeasible_events = 0;
     int fallback_events = 0;
+    /// Events whose re-solve stopped at its SolveBudget boundary.
+    int budget_exhausted_events = 0;
+    /// Budget quanta charged across every re-solve in the replay.
+    long total_quanta = 0;
     double total_wall_s = 0.0;  ///< nondeterministic (excluded above)
 };
 
@@ -174,6 +185,13 @@ class ScenarioEngine
         int uniform_top_k = 8;
         /// Degraded contexts kept alive (LRU by last use).
         int max_contexts = 4;
+        /// Per-event recovery budget: every re-solve the replay runs
+        /// (including the initial baseline solve) is bounded by this
+        /// SolveBudget, so a fault storm cannot stall the timeline on
+        /// one open-ended search. Default (unlimited) preserves the
+        /// historical behaviour. Quantum caps keep the replay digest
+        /// deterministic; wall caps trade that for latency bounds.
+        solver::SolveBudget solve_budget;
     };
 
     /// Defaulted Options (a separate overload: an NSDMI-carrying

@@ -180,9 +180,23 @@ Dispatcher::workerLoop()
                 std::to_string(options_.deadline_ms) +
                 "; request shed";
         } else {
+            // Execute under the deadline's remainder: queue wait
+            // already consumed part of serve.deadline_ms, so the solve
+            // gets what is left as a wall cap plus an armed cancel
+            // token. The solver stops at the next quantum boundary
+            // after either trips and returns its best-so-far partial
+            // flagged budget_exhausted — the worker is never held past
+            // the deadline by more than one quantum.
+            solver::SolveBudget budget;
+            if (options_.deadline_ms > 0) {
+                budget.max_wall_ms =
+                    static_cast<double>(options_.deadline_ms) -
+                    waited_ms;
+                budget.cancel = common::CancelToken::make();
+            }
             response = options_.executor
-                           ? options_.executor(work->request)
-                           : service_.run(work->request);
+                           ? options_.executor(work->request, budget)
+                           : service_.run(work->request, budget);
         }
 
         lock.lock();
@@ -191,6 +205,8 @@ Dispatcher::workerLoop()
             ++stats_.deadline_expired;
         } else {
             ++stats_.executed;
+            if (options_.deadline_ms > 0 && response.budget_exhausted)
+                ++stats_.deadline_cancelled;
         }
         // Erase before fulfilment, under the lock: a key present in
         // the map is always safely attachable, and attached counts

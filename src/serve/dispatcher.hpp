@@ -47,6 +47,7 @@
 
 #include "api/requests.hpp"
 #include "api/service.hpp"
+#include "solver/solve_budget.hpp"
 
 namespace temp::serve {
 
@@ -61,17 +62,30 @@ struct DispatcherOptions
      * Per-request deadline (milliseconds; 0 = off). A request that
      * sat in the queue past its deadline is shed with an explicit
      * deadline_exceeded Response at dequeue time instead of running a
-     * solve nobody is waiting for. Riders coalesced onto an expired
-     * request share its deadline response (the solve they attached to
-     * never ran). Comes from the `serve.deadline_ms` config key.
+     * solve nobody is waiting for. A request dequeued *within* its
+     * deadline executes under a SolveBudget whose wall cap is the
+     * deadline's remainder (deadline_ms - queue wait) plus a cancel
+     * token, so an in-flight solve that outlives the deadline stops at
+     * the next quantum boundary and returns its best-so-far partial
+     * (Response.budget_exhausted) instead of holding the worker.
+     * Riders coalesced onto an expired request share its deadline
+     * response (the solve they attached to never ran); riders on a
+     * truncated solve share the flagged partial — serve.deadline_ms is
+     * process-wide policy, so one truncation answers all attached
+     * requests. Comes from the `serve.deadline_ms` config key.
      */
     int deadline_ms = 0;
     /**
      * Test seam: replaces TempService::run as the executor. Lets tests
      * gate execution (to hold requests in flight deterministically)
-     * and count solves without a real service.
+     * and count solves without a real service. Receives the SolveBudget
+     * the dispatcher would hand the service (unlimited when
+     * deadline_ms is off), so tests can drive mid-solve cancellation
+     * through the budget's cancel token.
      */
-    std::function<api::Response(const api::Request &)> executor;
+    std::function<api::Response(const api::Request &,
+                                const solver::SolveBudget &)>
+        executor;
 };
 
 /// Monotonic dispatcher counters (one snapshot is internally
@@ -85,6 +99,10 @@ struct DispatchStats
     /// Shed because the request outwaited its deadline in the queue
     /// (a subset of `shed`: the accounting identity is unchanged).
     long deadline_expired = 0;
+    /// Executed under a serve deadline and stopped at a budget
+    /// boundary, returning a flagged best-so-far partial (a subset of
+    /// `executed`: the accounting identity is unchanged).
+    long deadline_cancelled = 0;
     long completed = 0;  ///< responses delivered (riders included)
 };
 

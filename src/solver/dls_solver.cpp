@@ -132,23 +132,35 @@ DlsSolver::solveChainDp(const model::ComputeGraph &graph, int begin, int end,
 
 SolverResult
 DlsSolver::solve(const model::ComputeGraph &graph,
-                 const SolveHints *hints) const
+                 const SolveHints *hints,
+                 const SolveBudget &budget) const
 {
     const double t_start = now();
     SolverResult result;
 
-    // On a degraded wafer the budget is the largest usable component;
-    // power-of-two degrees then cannot cover every die, so occupancy is
-    // relaxed and near-full strategies are kept (Fig. 20a step 2).
-    const int budget = sim_.wafer().usableDieCount();
+    // One gauge per solve, metering the tighter of the configured
+    // deadline and the caller's budget (the serving layer passes a
+    // request's remaining deadline + cancel token). Constructed first
+    // so the wall-clock cap measures the whole solve. The preamble —
+    // matrix fill, uniform seeding, DP, DP-plan simulation — is
+    // mandatory regardless of the budget (an exhausted solve still
+    // returns a fully simulated plan); only level-2 refinement yields.
+    const SolveBudget effective = config_.deadline.mergedWith(budget);
+    common::BudgetGauge gauge = effective.gauge();
+
+    // On a degraded wafer the die budget is the largest usable
+    // component; power-of-two degrees then cannot cover every die, so
+    // occupancy is relaxed and near-full strategies are kept
+    // (Fig. 20a step 2).
+    const int die_budget = sim_.wafer().usableDieCount();
     StrategySpaceOptions space = config_.space;
-    if (budget < sim_.wafer().dieCount())
+    if (die_budget < sim_.wafer().dieCount())
         space.full_occupancy = false;
     std::vector<ParallelSpec> candidates =
-        enumerateStrategies(budget, graph.config(), space);
+        enumerateStrategies(die_budget, graph.config(), space);
     if (!space.full_occupancy) {
         std::erase_if(candidates, [&](const ParallelSpec &s) {
-            return s.totalDegree() <= budget / 2;
+            return s.totalDegree() <= die_budget / 2;
         });
     }
     result.candidate_count = static_cast<int>(candidates.size());
@@ -173,6 +185,10 @@ DlsSolver::solve(const model::ComputeGraph &graph,
         op_cost = fill.cost;
         result.evaluations +=
             fill.sampled + fill.predicted + fill.exact_fallbacks;
+        // Same boundary poll the budget-aware evaluateBatch performs:
+        // a wall cap or cancel that expired during the fill latches
+        // here, at the quantum boundary after the atomic batch.
+        gauge.exhausted();
     } else {
         std::vector<eval::EvalRequest> requests;
         requests.reserve(static_cast<std::size_t>(graph.opCount()) *
@@ -181,7 +197,7 @@ DlsSolver::solve(const model::ComputeGraph &graph,
             for (const ParallelSpec &spec : candidates)
                 requests.push_back({i, spec, true});
         const std::vector<cost::OpCostBreakdown> cells =
-            eval_->evaluateBatch(graph, requests);
+            eval_->evaluateBatch(graph, requests, &gauge);
         op_cost.assign(graph.opCount(),
                        std::vector<double>(candidates.size(), inf));
         // Row-major cells -> per-op rows through the batched totals
@@ -246,7 +262,7 @@ DlsSolver::solve(const model::ComputeGraph &graph,
         uniform_assignments.emplace_back(
             static_cast<std::size_t>(graph.opCount()), candidates[s]);
     const std::vector<sim::PerfReport> simulated =
-        steps_->evaluateBatch(graph, uniform_assignments);
+        steps_->evaluateBatch(graph, uniform_assignments, &gauge);
     sim::PerfReport unsimulated;
     unsimulated.feasible = false;
     unsimulated.step_time = inf;
@@ -254,6 +270,11 @@ DlsSolver::solve(const model::ComputeGraph &graph,
                                                  unsimulated);
     for (std::size_t k = 0; k < uniform_set.size(); ++k)
         uniform_reports[uniform_set[k]] = simulated[k];
+    // The RAW additive matrix — before the memory-pressure penalties
+    // below — is what the exact branch-and-bound engine certifies
+    // against (it replays ExhaustiveSolver's enumeration, which never
+    // penalises).
+    const std::vector<std::vector<double>> raw_op_cost = op_cost;
     std::vector<std::size_t> uniform_order;
     for (std::size_t s : uniform_set) {
         ++result.evaluations;
@@ -308,7 +329,8 @@ DlsSolver::solve(const model::ComputeGraph &graph,
     // the search prefers memory-feasible plans. Every query flows
     // through the shared StepEvaluator memo.
     std::vector<int> best = assignment;
-    double best_fitness = stepFitness(steps_->evaluate(graph, specs_of(best)));
+    double best_fitness = stepFitness(
+        steps_->evaluate(graph, specs_of(best), &gauge));
     ++result.evaluations;
 
     // Warm-start genome: the previous winning plan mapped into the
@@ -336,17 +358,29 @@ DlsSolver::solve(const model::ComputeGraph &graph,
     }
 
     // --- Level-2 refinement (pluggable engine) ---------------------------
+    // The only yield point of the solve: a budget that tripped during
+    // the mandatory preamble skips refinement entirely, and the engine
+    // drivers observe the gauge between quantum slices, so the result
+    // is always the bit-exact prefix of the unbudgeted solve.
     if (candidates.size() > 1) {
-        const RefineContext ctx{graph,           candidates,
-                                boundaries,      uniform_reports,
-                                uniform_order,   assignment,
-                                best_fitness,
-                                warm_seeds.empty() ? nullptr
-                                                   : &warm_seeds};
-        RefineOutcome refined = engine_->refine(ctx, *steps_);
-        result.evaluations += refined.fitness_queries;
-        best = std::move(refined.assignment);
-        best_fitness = refined.fitness;
+        if (gauge.exhausted()) {
+            result.budget_exhausted = true;
+        } else {
+            const RefineContext ctx{graph,           candidates,
+                                    boundaries,      uniform_reports,
+                                    uniform_order,   assignment,
+                                    best_fitness,
+                                    warm_seeds.empty() ? nullptr
+                                                       : &warm_seeds,
+                                    &gauge,          &raw_op_cost,
+                                    &sim_.costModel()};
+            RefineOutcome refined = engine_->refine(ctx, *steps_);
+            result.evaluations += refined.fitness_queries;
+            result.budget_exhausted = refined.budget_exhausted;
+            result.engine_accounts = std::move(refined.accounts);
+            best = std::move(refined.assignment);
+            best_fitness = refined.fitness;
+        }
     }
 
     const auto record_steps = [&] {
@@ -363,6 +397,7 @@ DlsSolver::solve(const model::ComputeGraph &graph,
                                      step_delta.schedule_cache_hits;
         result.cache_evictions =
             matrix_delta.evictions + step_delta.evictions;
+        result.quanta_used = gauge.used();
     };
 
     if (std::isinf(best_fitness)) {
@@ -372,7 +407,10 @@ DlsSolver::solve(const model::ComputeGraph &graph,
 
     result.feasible = true;
     result.per_op_specs = specs_of(best);
-    result.report = steps_->evaluate(graph, result.per_op_specs);
+    // The final report is mandatory epilogue (the winning plan is
+    // always fully simulated — usually a memo hit on the refiner's
+    // best), charged like any other full-step query.
+    result.report = steps_->evaluate(graph, result.per_op_specs, &gauge);
     ++result.evaluations;
     result.step_time_s = result.report.step_time;
     result.search_time_s = now() - t_start;

@@ -26,6 +26,7 @@
 #include "eval/step_evaluator.hpp"
 #include "sim/trainer_sim.hpp"
 #include "solver/search_engine.hpp"
+#include "solver/solve_budget.hpp"
 #include "solver/strategy_space.hpp"
 
 namespace temp::solver {
@@ -60,6 +61,15 @@ struct SolverConfig
      * thread counts.
      */
     int eval_threads = 0;
+    /**
+     * The solve budget (solver.deadline.* config keys). The quantum
+     * cap is part of the result-determining configuration — two solves
+     * with equal quantum budgets return bit-identical results on any
+     * machine — while the wall-clock cap and cancel token only ever
+     * round a run *down* to a quantum boundary. Zero caps and an
+     * unarmed token mean unbudgeted (the default).
+     */
+    SolveBudget deadline;
 };
 
 /**
@@ -154,6 +164,21 @@ struct SolverResult
     long cache_evictions = 0;
     /// Number of candidate specs per operator.
     int candidate_count = 0;
+    /**
+     * True when the solve budget tripped before the search completed:
+     * the result is the best-feasible-so-far at the quantum boundary
+     * where the budget latched (never a torn mid-batch state). The
+     * mandatory preamble — matrix fill, uniform seeding, DP, DP-plan
+     * simulation — always runs, so even an exhausted solve returns a
+     * fully simulated plan.
+     */
+    bool budget_exhausted = false;
+    /// Budget quanta (full-step fitness queries) this solve charged.
+    long quanta_used = 0;
+    /// Per-engine refinement accounting (one entry for single engines,
+    /// one per raced member under the portfolio; empty when level 2
+    /// never ran — single candidate or budget exhausted in preamble).
+    std::vector<EngineAccount> engine_accounts;
 };
 
 /// The DLS solver.
@@ -189,7 +214,22 @@ class DlsSolver
      * SolveHints; null hints is exactly the cold solve).
      */
     SolverResult solve(const model::ComputeGraph &graph,
-                       const SolveHints *hints) const;
+                       const SolveHints *hints) const
+    {
+        return solve(graph, hints, SolveBudget{});
+    }
+
+    /**
+     * Finds the best assignment under the tighter of @p budget and the
+     * configured deadline (the serving layer passes a request's
+     * remaining deadline and cancel token here). Budget checks happen
+     * only at quantum boundaries, so a budgeted solve returns the
+     * bit-exact prefix of the unbudgeted one, flagged via
+     * SolverResult::budget_exhausted.
+     */
+    SolverResult solve(const model::ComputeGraph &graph,
+                       const SolveHints *hints,
+                       const SolveBudget &budget) const;
 
     const SolverConfig &config() const { return config_; }
 

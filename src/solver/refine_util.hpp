@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Internal helpers shared by the search-engine implementations
+ * (search_engine.cpp, portfolio.cpp). Not part of the public solver
+ * API — everything here assumes a RefineContext whose views outlive
+ * the call, exactly as SearchEngine::begin() documents.
+ */
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "solver/search_engine.hpp"
+
+namespace temp::solver::detail {
+
+/// Scores one genome through the step memo (one budget quantum).
+double fitnessOf(const RefineContext &ctx, eval::StepEvaluator &steps,
+                 const std::vector<int> &genome);
+
+/// Scores a set of genomes as one deterministic parallel batch (the
+/// batch is one atomic charge against the context's budget gauge).
+std::vector<double> batchFitness(
+    const RefineContext &ctx, eval::StepEvaluator &steps,
+    const std::vector<std::vector<int>> &genomes);
+
+/// True when the context's gauge has tripped (checked by the drivers
+/// between quantum slices only).
+bool gaugeExhausted(const RefineContext &ctx);
+
+/// Candidate indices worth drawing from: the feasible uniform plans,
+/// or every candidate when none is uniformly feasible.
+std::vector<int> drawOrder(const RefineContext &ctx);
+
+/// The warm-start genomes of a context that pass validation (length ==
+/// opCount, every gene a valid candidate index); invalid genomes drop.
+std::vector<std::vector<int>> validSeeds(const RefineContext &ctx);
+
+/// A run that is already over: holds a fixed incumbent (used by the
+/// base beginFrom(), NoRefine, and engines that gate themselves off).
+std::unique_ptr<RefineRun> makeFixedRun(const char *engine,
+                                        int steps_done,
+                                        RefineOutcome outcome);
+
+}  // namespace temp::solver::detail

@@ -9,6 +9,8 @@
 #include "common/rng.hpp"
 #include "persist/codec.hpp"
 #include "solver/dls_solver.hpp"
+#include "solver/portfolio.hpp"
+#include "solver/refine_util.hpp"
 
 namespace temp::solver {
 
@@ -29,15 +31,18 @@ specsOf(const RefineContext &ctx, const std::vector<int> &genome)
     return specs;
 }
 
-/// Scores one genome through the step memo.
+}  // namespace
+
+namespace detail {
+
 double
 fitnessOf(const RefineContext &ctx, eval::StepEvaluator &steps,
           const std::vector<int> &genome)
 {
-    return stepFitness(steps.evaluate(ctx.graph, specsOf(ctx, genome)));
+    return stepFitness(
+        steps.evaluate(ctx.graph, specsOf(ctx, genome), ctx.gauge));
 }
 
-/// Scores a set of genomes as one deterministic parallel batch.
 std::vector<double>
 batchFitness(const RefineContext &ctx, eval::StepEvaluator &steps,
              const std::vector<std::vector<int>> &genomes)
@@ -47,15 +52,19 @@ batchFitness(const RefineContext &ctx, eval::StepEvaluator &steps,
     for (const std::vector<int> &genome : genomes)
         assignments.push_back(specsOf(ctx, genome));
     const std::vector<sim::PerfReport> reports =
-        steps.evaluateBatch(ctx.graph, assignments);
+        steps.evaluateBatch(ctx.graph, assignments, ctx.gauge);
     std::vector<double> scores(reports.size());
     for (std::size_t i = 0; i < reports.size(); ++i)
         scores[i] = stepFitness(reports[i]);
     return scores;
 }
 
-/// Candidate indices worth drawing from: the feasible uniform plans,
-/// or every candidate when none is uniformly feasible.
+bool
+gaugeExhausted(const RefineContext &ctx)
+{
+    return ctx.gauge != nullptr && ctx.gauge->exhausted();
+}
+
 std::vector<int>
 drawOrder(const RefineContext &ctx)
 {
@@ -68,10 +77,8 @@ drawOrder(const RefineContext &ctx)
     return order;
 }
 
-/// The warm-start genomes of a context that pass validation: length
-/// equal to the op count, every gene a valid candidate index. Invalid
-/// genomes are dropped silently — a stale seed degrades to a cold
-/// search, never an out-of-range candidates[] access.
+/// Invalid genomes are dropped silently — a stale seed degrades to a
+/// cold search, never an out-of-range candidates[] access.
 std::vector<std::vector<int>>
 validSeeds(const RefineContext &ctx)
 {
@@ -93,6 +100,16 @@ validSeeds(const RefineContext &ctx)
     }
     return out;
 }
+
+}  // namespace detail
+
+using detail::batchFitness;
+using detail::drawOrder;
+using detail::fitnessOf;
+using detail::gaugeExhausted;
+using detail::validSeeds;
+
+namespace {
 
 /// Serialises an Rng's full state (mt19937_64 stream capture; complete
 /// because every Rng helper constructs its distribution per draw).
@@ -223,19 +240,112 @@ decodeRefineCheckpoint(const std::string &bytes, RefineCheckpoint *out,
     return true;
 }
 
+std::vector<EngineAccount>
+RefineRun::accounts() const
+{
+    const RefineOutcome out = outcome();
+    EngineAccount account;
+    account.engine = engine();
+    account.steps = stepsDone();
+    account.fitness_queries = out.fitness_queries;
+    account.best_fitness = std::isfinite(out.fitness) ? out.fitness : 0.0;
+    account.feasible = std::isfinite(out.fitness);
+    account.winner = true;
+    return {account};
+}
+
+namespace {
+
+/// A run that is already over: holds a fixed incumbent (the base
+/// beginFrom()'s answer to a same-engine checkpoint, and the degraded
+/// portfolio resume).
+class FixedRun : public RefineRun
+{
+  public:
+    FixedRun(const char *engine, int steps_done, RefineOutcome outcome)
+        : engine_(engine), steps_done_(steps_done),
+          outcome_(std::move(outcome))
+    {
+    }
+
+    const char *engine() const override { return engine_; }
+    int stepsDone() const override { return steps_done_; }
+    bool done() const override { return true; }
+    void step() override {}
+    RefineOutcome outcome() const override { return outcome_; }
+    void writeCheckpoint(RefineCheckpoint *checkpoint) const override
+    {
+        *checkpoint = RefineCheckpoint{};
+        checkpoint->engine = engine_;
+        checkpoint->steps_done = steps_done_;
+        checkpoint->fitness_queries = outcome_.fitness_queries;
+        checkpoint->best = outcome_.assignment;
+        checkpoint->best_fitness = outcome_.fitness;
+    }
+
+  private:
+    const char *engine_;
+    int steps_done_ = 0;
+    RefineOutcome outcome_;
+};
+
+/// The shared driver: advance until the run completes, a slice cap is
+/// reached, or the budget gauge trips at a slice boundary.
+RefineOutcome
+drive(const RefineContext &ctx, RefineRun &run, int max_slices)
+{
+    int slices = 0;
+    while (!run.done() && slices < max_slices && !gaugeExhausted(ctx)) {
+        run.step();
+        ++slices;
+    }
+    RefineOutcome out = run.outcome();
+    out.budget_exhausted = !run.done() && gaugeExhausted(ctx);
+    out.accounts = run.accounts();
+    return out;
+}
+
+constexpr int kAllSlices = std::numeric_limits<int>::max();
+
+}  // namespace
+
+std::unique_ptr<RefineRun>
+detail::makeFixedRun(const char *engine, int steps_done,
+                     RefineOutcome outcome)
+{
+    return std::make_unique<FixedRun>(engine, steps_done,
+                                      std::move(outcome));
+}
+
+std::unique_ptr<RefineRun>
+SearchEngine::beginFrom(const RefineContext &ctx,
+                        eval::StepEvaluator &steps,
+                        const RefineCheckpoint &checkpoint) const
+{
+    if (checkpoint.engine != name() || checkpoint.best.empty())
+        return begin(ctx, steps);
+    return std::make_unique<FixedRun>(
+        name(), checkpoint.steps_done,
+        RefineOutcome{checkpoint.best, checkpoint.best_fitness, 0});
+}
+
+RefineOutcome
+SearchEngine::refine(const RefineContext &ctx,
+                     eval::StepEvaluator &steps) const
+{
+    const std::unique_ptr<RefineRun> run = begin(ctx, steps);
+    return drive(ctx, *run, kAllSlices);
+}
+
 RefineOutcome
 SearchEngine::refinePartial(const RefineContext &ctx,
-                            eval::StepEvaluator &steps, int,
+                            eval::StepEvaluator &steps, int max_steps,
                             RefineCheckpoint *checkpoint) const
 {
-    // Engines without internal step structure complete immediately;
-    // the checkpoint records a finished run.
-    RefineOutcome outcome = refine(ctx, steps);
-    *checkpoint = RefineCheckpoint{};
-    checkpoint->engine = name();
-    checkpoint->fitness_queries = outcome.fitness_queries;
-    checkpoint->best = outcome.assignment;
-    checkpoint->best_fitness = outcome.fitness;
+    const std::unique_ptr<RefineRun> run = begin(ctx, steps);
+    RefineOutcome outcome = drive(ctx, *run, std::max(0, max_steps));
+    if (checkpoint != nullptr)
+        run->writeCheckpoint(checkpoint);
     return outcome;
 }
 
@@ -243,9 +353,9 @@ RefineOutcome
 SearchEngine::resume(const RefineContext &ctx, eval::StepEvaluator &steps,
                      const RefineCheckpoint &checkpoint) const
 {
-    if (checkpoint.engine != name() || checkpoint.best.empty())
-        return refine(ctx, steps);
-    return {checkpoint.best, checkpoint.best_fitness, 0};
+    const std::unique_ptr<RefineRun> run =
+        beginFrom(ctx, steps, checkpoint);
+    return drive(ctx, *run, kAllSlices);
 }
 
 double
@@ -263,6 +373,9 @@ searchEngineName(SearchEngineKind kind)
     case SearchEngineKind::NoRefine: return "none";
     case SearchEngineKind::Genetic: return "genetic";
     case SearchEngineKind::Annealing: return "annealing";
+    case SearchEngineKind::BeamTabu: return "beamtabu";
+    case SearchEngineKind::Exact: return "exact";
+    case SearchEngineKind::Portfolio: return "portfolio";
     }
     return "unknown";
 }
@@ -276,6 +389,12 @@ searchEngineFromName(const std::string &name, SearchEngineKind *kind)
         *kind = SearchEngineKind::Genetic;
     else if (name == "annealing" || name == "anneal")
         *kind = SearchEngineKind::Annealing;
+    else if (name == "beamtabu" || name == "beam")
+        *kind = SearchEngineKind::BeamTabu;
+    else if (name == "exact")
+        *kind = SearchEngineKind::Exact;
+    else if (name == "portfolio")
+        *kind = SearchEngineKind::Portfolio;
     else
         return false;
     return true;
@@ -285,26 +404,28 @@ searchEngineFromName(const std::string &name, SearchEngineKind *kind)
 // NoRefineEngine
 // ---------------------------------------------------------------------
 
-RefineOutcome
-NoRefineEngine::refine(const RefineContext &ctx,
-                       eval::StepEvaluator &steps) const
+std::unique_ptr<RefineRun>
+NoRefineEngine::begin(const RefineContext &ctx,
+                      eval::StepEvaluator &steps) const
 {
     // DP-only, but warm seeds still count: a scenario re-solve under
     // engine=none keeps the pre-fault plan whenever it beats the fresh
-    // DP plan on the degraded wafer.
+    // DP plan on the degraded wafer. The seed batch is the run's only
+    // quantum; the run itself is born complete.
     const std::vector<std::vector<int>> seeds = validSeeds(ctx);
-    if (seeds.empty())
-        return {ctx.dp_assignment, ctx.dp_fitness, 0};
-    const std::vector<double> scores = batchFitness(ctx, steps, seeds);
-    RefineOutcome outcome{ctx.dp_assignment, ctx.dp_fitness,
-                          static_cast<long>(seeds.size())};
-    for (std::size_t i = 0; i < seeds.size(); ++i) {
-        if (scores[i] < outcome.fitness) {
-            outcome.assignment = seeds[i];
-            outcome.fitness = scores[i];
+    RefineOutcome outcome{ctx.dp_assignment, ctx.dp_fitness, 0};
+    if (!seeds.empty()) {
+        const std::vector<double> scores =
+            batchFitness(ctx, steps, seeds);
+        outcome.fitness_queries = static_cast<long>(seeds.size());
+        for (std::size_t i = 0; i < seeds.size(); ++i) {
+            if (scores[i] < outcome.fitness) {
+                outcome.assignment = seeds[i];
+                outcome.fitness = scores[i];
+            }
         }
     }
-    return outcome;
+    return std::make_unique<FixedRun>(name(), 0, std::move(outcome));
 }
 
 // ---------------------------------------------------------------------
@@ -463,66 +584,83 @@ GeneticRefiner::stepGeneration(const RefineContext &ctx,
     ++state.generations_done;
 }
 
-RefineOutcome
-GeneticRefiner::runFrom(const RefineContext &ctx,
-                        eval::StepEvaluator &steps, GaState &state,
-                        int until_step,
-                        RefineCheckpoint *checkpoint) const
+/// One in-flight GA run: a GaState advanced one generation per slice.
+class GeneticRefiner::Run : public RefineRun
 {
-    while (state.generations_done < until_step)
-        stepGeneration(ctx, steps, state);
-    if (checkpoint) {
-        *checkpoint = RefineCheckpoint{};
-        checkpoint->engine = name();
-        checkpoint->steps_done = state.generations_done;
-        checkpoint->fitness_queries = state.fitness_queries;
-        checkpoint->best = state.best;
-        checkpoint->best_fitness = state.best_fitness;
-        checkpoint->population = state.population;
-        checkpoint->scores = state.scores;
-        checkpoint->rng_state = rngStateOf(state.rng);
+  public:
+    Run(const GeneticRefiner &owner, const RefineContext &ctx,
+        eval::StepEvaluator &steps, GaState state)
+        : owner_(owner), ctx_(ctx), steps_(steps),
+          state_(std::move(state))
+    {
     }
-    return {state.best, state.best_fitness, state.fitness_queries};
-}
 
-RefineOutcome
-GeneticRefiner::refine(const RefineContext &ctx,
-                       eval::StepEvaluator &steps) const
+    const char *engine() const override { return owner_.name(); }
+    int stepsDone() const override { return state_.generations_done; }
+    bool done() const override
+    {
+        return state_.generations_done >= owner_.generations_;
+    }
+    void step() override
+    {
+        owner_.stepGeneration(ctx_, steps_, state_);
+    }
+    RefineOutcome outcome() const override
+    {
+        return {state_.best, state_.best_fitness,
+                state_.fitness_queries};
+    }
+    void writeCheckpoint(RefineCheckpoint *checkpoint) const override
+    {
+        *checkpoint = RefineCheckpoint{};
+        checkpoint->engine = owner_.name();
+        checkpoint->steps_done = state_.generations_done;
+        checkpoint->fitness_queries = state_.fitness_queries;
+        checkpoint->best = state_.best;
+        checkpoint->best_fitness = state_.best_fitness;
+        checkpoint->population = state_.population;
+        checkpoint->scores = state_.scores;
+        // Serialised from a copy: streaming an mt19937_64 state needs
+        // a mutable engine reference, but leaves the stream untouched.
+        Rng rng = state_.rng;
+        checkpoint->rng_state = rngStateOf(rng);
+    }
+
+  private:
+    const GeneticRefiner &owner_;
+    const RefineContext &ctx_;
+    eval::StepEvaluator &steps_;
+    GaState state_;
+};
+
+std::unique_ptr<RefineRun>
+GeneticRefiner::begin(const RefineContext &ctx,
+                      eval::StepEvaluator &steps) const
 {
-    GaState state = seedState(ctx, steps);
-    return runFrom(ctx, steps, state, generations_, nullptr);
+    return std::make_unique<Run>(*this, ctx, steps,
+                                 seedState(ctx, steps));
 }
 
-RefineOutcome
-GeneticRefiner::refinePartial(const RefineContext &ctx,
-                              eval::StepEvaluator &steps, int max_steps,
-                              RefineCheckpoint *checkpoint) const
-{
-    GaState state = seedState(ctx, steps);
-    return runFrom(ctx, steps, state,
-                   std::clamp(max_steps, 0, generations_), checkpoint);
-}
-
-RefineOutcome
-GeneticRefiner::resume(const RefineContext &ctx,
-                       eval::StepEvaluator &steps,
-                       const RefineCheckpoint &checkpoint) const
+std::unique_ptr<RefineRun>
+GeneticRefiner::beginFrom(const RefineContext &ctx,
+                          eval::StepEvaluator &steps,
+                          const RefineCheckpoint &checkpoint) const
 {
     GaState state;
-    // A foreign or damaged checkpoint degrades to a cold refine: the
+    // A foreign or damaged checkpoint degrades to a cold run: the
     // resume then re-runs the identical deterministic search rather
     // than continuing from state it cannot trust.
     if (checkpoint.engine != name() || checkpoint.population.empty() ||
         checkpoint.population.size() != checkpoint.scores.size() ||
         !restoreRng(checkpoint.rng_state, state.rng))
-        return refine(ctx, steps);
+        return begin(ctx, steps);
     state.population = checkpoint.population;
     state.scores = checkpoint.scores;
     state.best = checkpoint.best;
     state.best_fitness = checkpoint.best_fitness;
     state.fitness_queries = checkpoint.fitness_queries;
     state.generations_done = checkpoint.steps_done;
-    return runFrom(ctx, steps, state, generations_, nullptr);
+    return std::make_unique<Run>(*this, ctx, steps, std::move(state));
 }
 
 // ---------------------------------------------------------------------
@@ -656,59 +794,70 @@ AnnealingRefiner::stepRound(const RefineContext &ctx,
     ++state.rounds_done;
 }
 
-RefineOutcome
-AnnealingRefiner::runFrom(const RefineContext &ctx,
-                          eval::StepEvaluator &steps, AnnealState &state,
-                          int until_step,
-                          RefineCheckpoint *checkpoint) const
+/// One in-flight annealing walk: an AnnealState advanced one
+/// proposal round per slice.
+class AnnealingRefiner::Run : public RefineRun
 {
-    while (state.rounds_done < until_step)
-        stepRound(ctx, steps, state);
-    if (checkpoint) {
-        *checkpoint = RefineCheckpoint{};
-        checkpoint->engine = name();
-        checkpoint->steps_done = state.rounds_done;
-        checkpoint->fitness_queries = state.fitness_queries;
-        checkpoint->best = state.best;
-        checkpoint->best_fitness = state.best_fitness;
-        checkpoint->current = state.current;
-        checkpoint->current_fitness = state.current_fitness;
-        checkpoint->temperature = state.temp;
-        checkpoint->rng_state = rngStateOf(state.rng);
+  public:
+    Run(const AnnealingRefiner &owner, const RefineContext &ctx,
+        eval::StepEvaluator &steps, AnnealState state)
+        : owner_(owner), ctx_(ctx), steps_(steps),
+          state_(std::move(state))
+    {
     }
-    return {state.best, state.best_fitness, state.fitness_queries};
-}
 
-RefineOutcome
-AnnealingRefiner::refine(const RefineContext &ctx,
-                         eval::StepEvaluator &steps) const
+    const char *engine() const override { return owner_.name(); }
+    int stepsDone() const override { return state_.rounds_done; }
+    bool done() const override
+    {
+        return state_.rounds_done >= owner_.config_.iterations;
+    }
+    void step() override { owner_.stepRound(ctx_, steps_, state_); }
+    RefineOutcome outcome() const override
+    {
+        return {state_.best, state_.best_fitness,
+                state_.fitness_queries};
+    }
+    void writeCheckpoint(RefineCheckpoint *checkpoint) const override
+    {
+        *checkpoint = RefineCheckpoint{};
+        checkpoint->engine = owner_.name();
+        checkpoint->steps_done = state_.rounds_done;
+        checkpoint->fitness_queries = state_.fitness_queries;
+        checkpoint->best = state_.best;
+        checkpoint->best_fitness = state_.best_fitness;
+        checkpoint->current = state_.current;
+        checkpoint->current_fitness = state_.current_fitness;
+        checkpoint->temperature = state_.temp;
+        Rng rng = state_.rng;
+        checkpoint->rng_state = rngStateOf(rng);
+    }
+
+  private:
+    const AnnealingRefiner &owner_;
+    const RefineContext &ctx_;
+    eval::StepEvaluator &steps_;
+    AnnealState state_;
+};
+
+std::unique_ptr<RefineRun>
+AnnealingRefiner::begin(const RefineContext &ctx,
+                        eval::StepEvaluator &steps) const
 {
-    AnnealState state = initState(ctx, steps);
-    return runFrom(ctx, steps, state, config_.iterations, nullptr);
+    return std::make_unique<Run>(*this, ctx, steps,
+                                 initState(ctx, steps));
 }
 
-RefineOutcome
-AnnealingRefiner::refinePartial(const RefineContext &ctx,
-                                eval::StepEvaluator &steps,
-                                int max_steps,
-                                RefineCheckpoint *checkpoint) const
-{
-    AnnealState state = initState(ctx, steps);
-    return runFrom(ctx, steps, state,
-                   std::clamp(max_steps, 0, config_.iterations),
-                   checkpoint);
-}
-
-RefineOutcome
-AnnealingRefiner::resume(const RefineContext &ctx,
-                         eval::StepEvaluator &steps,
-                         const RefineCheckpoint &checkpoint) const
+std::unique_ptr<RefineRun>
+AnnealingRefiner::beginFrom(const RefineContext &ctx,
+                            eval::StepEvaluator &steps,
+                            const RefineCheckpoint &checkpoint) const
 {
     AnnealState state;
     if (checkpoint.engine != name() || checkpoint.best.empty() ||
         checkpoint.current.empty() ||
         !restoreRng(checkpoint.rng_state, state.rng))
-        return refine(ctx, steps);
+        return begin(ctx, steps);
     state.current = checkpoint.current;
     state.current_fitness = checkpoint.current_fitness;
     state.best = checkpoint.best;
@@ -716,7 +865,7 @@ AnnealingRefiner::resume(const RefineContext &ctx,
     state.temp = checkpoint.temperature;
     state.fitness_queries = checkpoint.fitness_queries;
     state.rounds_done = checkpoint.steps_done;
-    return runFrom(ctx, steps, state, config_.iterations, nullptr);
+    return std::make_unique<Run>(*this, ctx, steps, std::move(state));
 }
 
 // ---------------------------------------------------------------------
@@ -739,6 +888,25 @@ makeSearchEngine(const SolverConfig &config)
     case SearchEngineKind::Annealing:
         return std::make_unique<AnnealingRefiner>(config.annealing,
                                                   config.seed);
+    case SearchEngineKind::BeamTabu:
+        return std::make_unique<BeamTabuRefiner>(config.ga_generations,
+                                                 config.seed);
+    case SearchEngineKind::Exact:
+        return std::make_unique<ExactChainEngine>();
+    case SearchEngineKind::Portfolio: {
+        // The portfolio races the three metaheuristics round-robin on
+        // one budget; every member sees the same warm-seed pool via
+        // the shared RefineContext.
+        std::vector<std::unique_ptr<SearchEngine>> members;
+        members.push_back(std::make_unique<GeneticRefiner>(
+            config.ga_population, config.ga_generations,
+            config.ga_mutation_rate, config.seed));
+        members.push_back(std::make_unique<AnnealingRefiner>(
+            config.annealing, config.seed));
+        members.push_back(std::make_unique<BeamTabuRefiner>(
+            config.ga_generations, config.seed));
+        return std::make_unique<PortfolioEngine>(std::move(members));
+    }
     }
     return std::make_unique<NoRefineEngine>();
 }

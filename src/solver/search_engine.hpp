@@ -16,6 +16,14 @@
  * seeded Rng drawn *before* fitness batches dispatch, and the
  * StepEvaluator's batches are bit-exact across thread counts, so a
  * (config, seed) pair reproduces the same plan on any machine width.
+ *
+ * Quantum slicing: every engine runs as a sequence of deterministic
+ * quantum slices (a GA generation, an annealing round, a beam-tabu
+ * round, a portfolio member slice) behind the RefineRun interface.
+ * Budgets (common::BudgetGauge via RefineContext::gauge) are observed
+ * only *between* slices, never inside one, so a budget-truncated run
+ * is always the bit-exact prefix of the unbudgeted run — the same
+ * boundary rule the refinePartial()/resume() checkpoints use.
  */
 #pragma once
 
@@ -23,7 +31,12 @@
 #include <string>
 #include <vector>
 
+#include "common/budget.hpp"
 #include "eval/step_evaluator.hpp"
+
+namespace temp::cost {
+class WaferCostModel;
+}
 
 namespace temp::solver {
 
@@ -38,14 +51,23 @@ enum class SearchEngineKind
     Genetic,
     /// Simulated annealing over the same genome encoding.
     Annealing,
+    /// Deterministic beam search with a tabu set over genome hashes.
+    BeamTabu,
+    /// Exact branch-and-bound over the additive matrix (small chains);
+    /// certifies the heuristics' optimality gap.
+    Exact,
+    /// Races Genetic/Annealing/BeamTabu round-robin under one budget.
+    Portfolio,
 };
 
-/// Printable engine name ("none", "genetic", "annealing").
+/// Printable engine name ("none", "genetic", "annealing", "beamtabu",
+/// "exact", "portfolio").
 const char *searchEngineName(SearchEngineKind kind);
 
 /**
  * Parses an engine name; accepts the canonical names plus the aliases
- * "dp" (NoRefine), "ga" (Genetic) and "anneal" (Annealing).
+ * "dp" (NoRefine), "ga" (Genetic), "anneal" (Annealing) and "beam"
+ * (BeamTabu).
  * @return false when the name is unknown.
  */
 bool searchEngineFromName(const std::string &name, SearchEngineKind *kind);
@@ -100,6 +122,36 @@ struct RefineContext
      * builds. Null when no warm seeds exist.
      */
     const std::vector<std::vector<int>> *seeds = nullptr;
+    /**
+     * Optional solve-budget meter. Engines charge every fitness query
+     * through it (via the StepEvaluator) and the SearchEngine drivers
+     * observe it between quantum slices only, so a budgeted refine is
+     * the bit-exact prefix of the unbudgeted one. Null = unbudgeted.
+     */
+    common::BudgetGauge *gauge = nullptr;
+    /**
+     * The RAW additive (op, candidate) cost matrix — before the
+     * solver's memory-pressure penalties — for engines that reason
+     * about the additive objective directly (ExactChainEngine's
+     * branch-and-bound matches ExhaustiveSolver bit-for-bit only on
+     * the unpenalised matrix). Null when unavailable.
+     */
+    const std::vector<std::vector<double>> *op_cost = nullptr;
+    /// Cost model for inter-op resharding transitions (with op_cost,
+    /// what the exact engine needs). Null when unavailable.
+    const cost::WaferCostModel *cost_model = nullptr;
+};
+
+/// Per-engine accounting of one refinement (every engine reports one;
+/// the portfolio reports one per member that ran at least one slice).
+struct EngineAccount
+{
+    std::string engine;        ///< engine name()
+    int steps = 0;             ///< quantum slices completed
+    long fitness_queries = 0;  ///< full-step queries issued
+    double best_fitness = 0.0; ///< best fitness found (when feasible)
+    bool feasible = false;     ///< best_fitness is finite
+    bool winner = false;       ///< produced the returned assignment
 };
 
 /// What a refinement returns.
@@ -110,6 +162,12 @@ struct RefineOutcome
     /// Full-step fitness queries the engine issued (cache-served or
     /// not) — folded into SolverResult::evaluations.
     long fitness_queries = 0;
+    /// True when the run stopped at a quantum boundary because the
+    /// budget gauge tripped; the outcome is the best-so-far prefix.
+    bool budget_exhausted = false;
+    /// Per-engine accounting (one entry for single engines, one per
+    /// raced member for the portfolio).
+    std::vector<EngineAccount> accounts;
 };
 
 /**
@@ -151,7 +209,53 @@ bool decodeRefineCheckpoint(const std::string &bytes,
                             RefineCheckpoint *out,
                             std::string *error = nullptr);
 
-/// The level-2 refinement interface.
+/**
+ * One in-flight refinement, sliced into deterministic quanta. A run is
+ * created by SearchEngine::begin()/beginFrom() (which may already
+ * issue the engine's seed batch) and advanced one quantum slice — one
+ * GA generation, one annealing round, one beam round, one portfolio
+ * member slice — per step() call. outcome() is valid between any two
+ * slices: it returns the best-so-far incumbent, which is what makes
+ * cancellation, deadlines and engine racing all fall out of the same
+ * structure.
+ */
+class RefineRun
+{
+  public:
+    virtual ~RefineRun() = default;
+
+    /// name() of the engine that owns this run.
+    virtual const char *engine() const = 0;
+
+    /// Quantum slices completed so far (includes checkpointed ones
+    /// when the run was resumed).
+    virtual int stepsDone() const = 0;
+
+    /// True when the engine has no more slices to run.
+    virtual bool done() const = 0;
+
+    /// Advances one quantum slice. Precondition: !done(). Budgets are
+    /// never consulted inside a slice — callers check between calls.
+    virtual void step() = 0;
+
+    /// The incumbent so far (valid between any two slices; never worse
+    /// than the DP plan the context carries).
+    virtual RefineOutcome outcome() const = 0;
+
+    /// Captures the run into a checkpoint at the current boundary.
+    virtual void writeCheckpoint(RefineCheckpoint *checkpoint) const = 0;
+
+    /// Per-engine accounting; single-engine runs report themselves.
+    virtual std::vector<EngineAccount> accounts() const;
+};
+
+/**
+ * The level-2 refinement interface. Engines implement begin() (and
+ * optionally beginFrom()); the refine()/refinePartial()/resume()
+ * entry points are shared drivers that advance the run slice by slice
+ * under the context's budget gauge — every engine is budget-aware by
+ * construction.
+ */
 class SearchEngine
 {
   public:
@@ -159,23 +263,42 @@ class SearchEngine
 
     virtual const char *name() const = 0;
 
-    /// Refines the DP plan; never returns a worse fitness than
-    /// ctx.dp_fitness (engines keep the incumbent).
-    virtual RefineOutcome refine(const RefineContext &ctx,
-                                 eval::StepEvaluator &steps) const = 0;
+    /// Starts a fresh run (seeding batches may already be issued and
+    /// charged to ctx.gauge here — the seed pool is the run's first
+    /// quantum).
+    virtual std::unique_ptr<RefineRun> begin(
+        const RefineContext &ctx, eval::StepEvaluator &steps) const = 0;
 
     /**
-     * Runs at most @p max_steps generations/rounds, then captures the
+     * Starts a run continuing @p checkpoint. A checkpoint written by a
+     * different engine kind (or with unparsable state) is ignored: the
+     * engine degrades to a cold begin() — never a wrong answer. The
+     * base implementation accepts any same-name checkpoint with an
+     * incumbent and returns a completed run holding it.
+     */
+    virtual std::unique_ptr<RefineRun> beginFrom(
+        const RefineContext &ctx, eval::StepEvaluator &steps,
+        const RefineCheckpoint &checkpoint) const;
+
+    /**
+     * Refines the DP plan; never returns a worse fitness than
+     * ctx.dp_fitness (engines keep the incumbent). Runs slices until
+     * the engine completes or ctx.gauge trips; a tripped run returns
+     * the best-so-far prefix with budget_exhausted set.
+     */
+    RefineOutcome refine(const RefineContext &ctx,
+                         eval::StepEvaluator &steps) const;
+
+    /**
+     * Runs at most @p max_steps quantum slices, then captures the
      * in-flight state into @p checkpoint. The returned outcome is the
      * incumbent so far (usable as-is). Engines without internal steps
      * (NoRefine) complete immediately. max_steps >= the configured
      * total is a full refine whose checkpoint resumes as a no-op.
      */
-    virtual RefineOutcome refinePartial(const RefineContext &ctx,
-                                        eval::StepEvaluator &steps,
-                                        int max_steps,
-                                        RefineCheckpoint *checkpoint)
-        const;
+    RefineOutcome refinePartial(const RefineContext &ctx,
+                                eval::StepEvaluator &steps, int max_steps,
+                                RefineCheckpoint *checkpoint) const;
 
     /**
      * Continues a checkpointed run to the configured total step count,
@@ -184,19 +307,20 @@ class SearchEngine
      * stream) is ignored: resume degrades to a full cold refine —
      * never a wrong answer.
      */
-    virtual RefineOutcome resume(const RefineContext &ctx,
-                                 eval::StepEvaluator &steps,
-                                 const RefineCheckpoint &checkpoint)
-        const;
+    RefineOutcome resume(const RefineContext &ctx,
+                         eval::StepEvaluator &steps,
+                         const RefineCheckpoint &checkpoint) const;
 };
 
-/// DP-only engine: returns the level-1 plan untouched.
+/// DP-only engine: returns the level-1 plan untouched (warm seeds
+/// still compete — the seed batch is the run's only quantum).
 class NoRefineEngine : public SearchEngine
 {
   public:
     const char *name() const override { return "none"; }
-    RefineOutcome refine(const RefineContext &ctx,
-                         eval::StepEvaluator &steps) const override;
+    std::unique_ptr<RefineRun> begin(
+        const RefineContext &ctx,
+        eval::StepEvaluator &steps) const override;
 };
 
 /**
@@ -214,27 +338,20 @@ class GeneticRefiner : public SearchEngine
                    std::uint64_t seed);
 
     const char *name() const override { return "genetic"; }
-    RefineOutcome refine(const RefineContext &ctx,
-                         eval::StepEvaluator &steps) const override;
-    RefineOutcome refinePartial(const RefineContext &ctx,
-                                eval::StepEvaluator &steps, int max_steps,
-                                RefineCheckpoint *checkpoint)
-        const override;
-    RefineOutcome resume(const RefineContext &ctx,
-                         eval::StepEvaluator &steps,
-                         const RefineCheckpoint &checkpoint)
-        const override;
+    std::unique_ptr<RefineRun> begin(
+        const RefineContext &ctx,
+        eval::StepEvaluator &steps) const override;
+    std::unique_ptr<RefineRun> beginFrom(
+        const RefineContext &ctx, eval::StepEvaluator &steps,
+        const RefineCheckpoint &checkpoint) const override;
 
   private:
+    class Run;
     struct GaState;
     GaState seedState(const RefineContext &ctx,
                       eval::StepEvaluator &steps) const;
     void stepGeneration(const RefineContext &ctx,
                         eval::StepEvaluator &steps, GaState &state) const;
-    RefineOutcome runFrom(const RefineContext &ctx,
-                          eval::StepEvaluator &steps, GaState &state,
-                          int until_step,
-                          RefineCheckpoint *checkpoint) const;
 
     int population_;
     int generations_;
@@ -255,27 +372,20 @@ class AnnealingRefiner : public SearchEngine
     AnnealingRefiner(AnnealingConfig config, std::uint64_t seed);
 
     const char *name() const override { return "annealing"; }
-    RefineOutcome refine(const RefineContext &ctx,
-                         eval::StepEvaluator &steps) const override;
-    RefineOutcome refinePartial(const RefineContext &ctx,
-                                eval::StepEvaluator &steps, int max_steps,
-                                RefineCheckpoint *checkpoint)
-        const override;
-    RefineOutcome resume(const RefineContext &ctx,
-                         eval::StepEvaluator &steps,
-                         const RefineCheckpoint &checkpoint)
-        const override;
+    std::unique_ptr<RefineRun> begin(
+        const RefineContext &ctx,
+        eval::StepEvaluator &steps) const override;
+    std::unique_ptr<RefineRun> beginFrom(
+        const RefineContext &ctx, eval::StepEvaluator &steps,
+        const RefineCheckpoint &checkpoint) const override;
 
   private:
+    class Run;
     struct AnnealState;
     AnnealState initState(const RefineContext &ctx,
                           eval::StepEvaluator &steps) const;
     void stepRound(const RefineContext &ctx, eval::StepEvaluator &steps,
                    AnnealState &state) const;
-    RefineOutcome runFrom(const RefineContext &ctx,
-                          eval::StepEvaluator &steps, AnnealState &state,
-                          int until_step,
-                          RefineCheckpoint *checkpoint) const;
 
     AnnealingConfig config_;
     std::uint64_t seed_;

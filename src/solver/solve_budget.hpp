@@ -1,0 +1,76 @@
+/**
+ * @file
+ * SolveBudget: the deadline a solve runs under, threaded from the
+ * config / CLI / dispatcher down to the refinement engines.
+ *
+ * A budget combines three independent caps (each 0 / unarmed =
+ * unlimited):
+ *
+ *  - max_quanta: deterministic cap on full-step fitness queries. The
+ *    portable, reproducible deadline — equal (request, max_quanta)
+ *    yields bit-identical results on any machine or thread count.
+ *  - max_wall_ms: wall-clock cap, observed only at quantum boundaries,
+ *    so it rounds the run down to a boundary the quantum cap could
+ *    have produced.
+ *  - cancel: cooperative cancel token (the dispatcher's in-flight
+ *    deadline channel), same boundary rule.
+ *
+ * solver.deadline.* config keys populate the quanta/wall caps;
+ * runtime callers (serve::Dispatcher) merge their remaining deadline
+ * and token in via mergedWith().
+ */
+#pragma once
+
+#include <algorithm>
+
+#include "common/budget.hpp"
+
+namespace temp::solver {
+
+struct SolveBudget
+{
+    /// Cap on full-step fitness queries (0 = unlimited). The
+    /// deterministic deadline: part of the framework identity.
+    long max_quanta = 0;
+    /// Wall-clock cap in milliseconds (0 = unlimited). Only rounds a
+    /// run down to a quantum boundary — never changes what any
+    /// boundary's partial result contains.
+    double max_wall_ms = 0.0;
+    /// Cooperative cancel channel (unarmed by default).
+    common::CancelToken cancel;
+
+    /// True when any cap binds.
+    bool limited() const
+    {
+        return max_quanta > 0 || max_wall_ms > 0.0 || cancel.armed();
+    }
+
+    /**
+     * The tighter of two budgets: per-cap minimum over the armed caps.
+     * The other budget's cancel token wins when armed (a runtime
+     * caller's token must stay observable through a config deadline).
+     */
+    SolveBudget mergedWith(const SolveBudget &other) const
+    {
+        auto tighter = [](auto a, auto b) {
+            if (a <= 0)
+                return b;
+            if (b <= 0)
+                return a;
+            return std::min(a, b);
+        };
+        SolveBudget merged;
+        merged.max_quanta = tighter(max_quanta, other.max_quanta);
+        merged.max_wall_ms = tighter(max_wall_ms, other.max_wall_ms);
+        merged.cancel = other.cancel.armed() ? other.cancel : cancel;
+        return merged;
+    }
+
+    /// A gauge metering this budget, started now.
+    common::BudgetGauge gauge() const
+    {
+        return common::BudgetGauge(max_quanta, max_wall_ms, cancel);
+    }
+};
+
+}  // namespace temp::solver

@@ -9,7 +9,7 @@
 
 #include "baselines/strategies.hpp"
 #include "core/framework.hpp"
-#include "solver/surrogate_search.hpp"
+#include "eval/surrogate_evaluator.hpp"
 
 namespace temp {
 namespace {
@@ -277,9 +277,9 @@ TEST(SurrogateSearch, FeaturesDistinguishSpecs)
 {
     const auto graph = model::ComputeGraph::transformer(
         model::modelByName("GPT-3 6.7B"));
-    const auto f1 = solver::OpCostSurrogate::features(graph.op(1),
+    const auto f1 = eval::OpCostSurrogate::features(graph.op(1),
                                                       spec(4, 1, 1, 8));
-    const auto f2 = solver::OpCostSurrogate::features(graph.op(1),
+    const auto f2 = eval::OpCostSurrogate::features(graph.op(1),
                                                       spec(1, 8, 1, 4));
     EXPECT_EQ(f1.size(), f2.size());
     EXPECT_NE(f1, f2);

@@ -533,4 +533,58 @@ TEST(ScenarioService, RunsTimelineAndRejectsEmptyOne)
               std::string::npos);
 }
 
+TEST(ScenarioEngine, QuantumBudgetBoundsEveryRecoveryDeterministically)
+{
+    // A refining engine so the unbudgeted replay has real work the
+    // budget can cut off.
+    core::FrameworkOptions options = cheapOptions();
+    options.solver.engine = solver::SearchEngineKind::Genetic;
+    options.solver.ga_population = 8;
+    options.solver.ga_generations = 4;
+    auto framework = [&] {
+        return std::make_shared<core::TempFramework>(
+            hw::WaferConfig::paperDefault(), options);
+    };
+    const std::vector<scenario::Event> events = stormTimeline();
+
+    scenario::ScenarioEngine free_engine(framework());
+    const scenario::ScenarioReport free_replay =
+        free_engine.replay(kModel, events);
+
+    // The budget bounds EACH re-solve (baseline included), not the
+    // whole timeline: a fault storm of N events costs at most N bounded
+    // recoveries.
+    scenario::ScenarioEngine::Options bounded;
+    bounded.solve_budget.max_quanta = 1;
+    scenario::ScenarioEngine first(framework(), bounded);
+    scenario::ScenarioEngine second(framework(), bounded);
+    const scenario::ScenarioReport a = first.replay(kModel, events);
+    const scenario::ScenarioReport b = second.replay(kModel, events);
+
+    // Quantum budgets keep the replay bit-identical; the budget fields
+    // are folded into the digest, so equality covers them too.
+    EXPECT_EQ(a.replay_digest, b.replay_digest);
+    EXPECT_EQ(a.total_quanta, b.total_quanta);
+    EXPECT_EQ(a.budget_exhausted_events, b.budget_exhausted_events);
+
+    // Every re-solve was truncated (flagged, not silent) yet still
+    // produced a fully simulated feasible plan from the preamble.
+    ASSERT_EQ(a.events.size(), events.size());
+    EXPECT_GT(a.budget_exhausted_events, 0);
+    for (const scenario::EventReport &er : a.events) {
+        if (!er.resolved)
+            continue;
+        EXPECT_TRUE(er.budget_exhausted) << "event " << er.index;
+        EXPECT_GT(er.quanta_used, 0) << "event " << er.index;
+        EXPECT_FALSE(er.fallback_to_last_feasible)
+            << "event " << er.index;
+    }
+
+    // Bounded recovery is strictly cheaper than open-ended recovery,
+    // and the truncation is visible in the replay identity.
+    EXPECT_GT(free_replay.total_quanta, a.total_quanta);
+    EXPECT_EQ(free_replay.budget_exhausted_events, 0);
+    EXPECT_NE(free_replay.replay_digest, a.replay_digest);
+}
+
 }  // namespace

@@ -113,7 +113,8 @@ TEST(Dispatcher, NIdenticalRequestsCostOneSolve)
     std::atomic<int> solves{0};
     DispatcherOptions options;
     options.workers = 2;
-    options.executor = [&](const api::Request &) {
+    options.executor = [&](const api::Request &,
+                           const solver::SolveBudget &) {
         ++solves;
         gate.waitOpen();
         api::Response response;
@@ -170,7 +171,8 @@ TEST(Dispatcher, CacheStatsIsNeverCoalesced)
     Gate gate;
     DispatcherOptions options;
     options.workers = 2;
-    options.executor = [&](const api::Request &) {
+    options.executor = [&](const api::Request &,
+                           const solver::SolveBudget &) {
         gate.waitOpen();
         api::Response response;
         response.ok = true;
@@ -201,7 +203,8 @@ TEST(Dispatcher, QueueFullSheds)
     DispatcherOptions options;
     options.workers = 1;
     options.max_queue = 1;
-    options.executor = [&](const api::Request &) {
+    options.executor = [&](const api::Request &,
+                           const solver::SolveBudget &) {
         gate.waitOpen();
         api::Response response;
         response.ok = true;
@@ -256,7 +259,8 @@ TEST(Dispatcher, TenantsAreServedRoundRobin)
     std::vector<std::uint64_t> order;
     DispatcherOptions options;
     options.workers = 1;
-    options.executor = [&](const api::Request &request) {
+    options.executor = [&](const api::Request &request,
+                           const solver::SolveBudget &) {
         gate.waitOpen();
         {
             std::lock_guard<std::mutex> lock(order_mutex);
@@ -310,7 +314,8 @@ TEST(Dispatcher, DrainRefusesNewWorkAndFinishesAdmitted)
     api::TempService service;
     DispatcherOptions options;
     options.workers = 2;
-    options.executor = [](const api::Request &) {
+    options.executor = [](const api::Request &,
+                          const solver::SolveBudget &) {
         api::Response response;
         response.ok = true;
         return response;
@@ -340,7 +345,8 @@ TEST(Dispatcher, GracefulDrainUnderConcurrentLoad)
     api::TempService service;
     DispatcherOptions options;
     options.workers = 2;
-    options.executor = [](const api::Request &) {
+    options.executor = [](const api::Request &,
+                          const solver::SolveBudget &) {
         std::this_thread::sleep_for(std::chrono::milliseconds(1));
         api::Response response;
         response.ok = true;
@@ -720,7 +726,8 @@ TEST(Dispatcher, DeadlineExpiredRequestsAreShedExplicitly)
     DispatcherOptions options;
     options.workers = 1;
     options.deadline_ms = 10;
-    options.executor = [&](const api::Request &) {
+    options.executor = [&](const api::Request &,
+                           const solver::SolveBudget &) {
         gate.waitOpen();
         api::Response response;
         response.ok = true;
@@ -770,7 +777,8 @@ TEST(Dispatcher, DeadlineZeroMeansNoDeadline)
     DispatcherOptions options;
     options.workers = 1;
     options.deadline_ms = 0;
-    options.executor = [&](const api::Request &) {
+    options.executor = [&](const api::Request &,
+                           const solver::SolveBudget &) {
         gate.waitOpen();
         api::Response response;
         response.ok = true;
@@ -795,6 +803,100 @@ TEST(Dispatcher, DeadlineZeroMeansNoDeadline)
     second.join();
     EXPECT_EQ(dispatcher.stats().deadline_expired, 0);
     EXPECT_EQ(dispatcher.stats().executed, 2);
+}
+
+TEST(Dispatcher, DeadlineCancelsInFlightSolveAtBudgetBoundary)
+{
+    api::TempService service;
+    Gate gate;
+    std::atomic<bool> budget_armed{false};
+    DispatcherOptions options;
+    options.workers = 1;
+    // Generous enough that the dequeue-time check never sheds: the
+    // cancellation below is purely the in-flight channel.
+    options.deadline_ms = 60000;
+    options.executor = [&](const api::Request &,
+                           const solver::SolveBudget &budget) {
+        // Under a serve deadline every executed request carries a
+        // wall-capped, cancellable budget.
+        budget_armed = budget.limited() && budget.cancel.armed() &&
+                       budget.max_wall_ms > 0.0;
+        gate.waitOpen();
+        // Model the solver's contract: cancellation is observed at the
+        // next quantum boundary and the run returns its best-so-far
+        // partial, flagged.
+        budget.cancel.requestCancel();
+        common::BudgetGauge gauge = budget.gauge();
+        gauge.charge(3);
+        EXPECT_TRUE(gauge.exhausted());
+        api::Response response;
+        response.ok = true;
+        response.budget_exhausted = gauge.exhausted();
+        response.quanta_used = gauge.used();
+        return response;
+    };
+    Dispatcher dispatcher(service, options);
+
+    // A host request held in flight plus a rider coalesced onto it:
+    // one truncated solve must answer both.
+    const api::Request request = optimizeWithSeed(31);
+    api::Response host_response;
+    api::Response rider_response;
+    std::thread host(
+        [&] { host_response = dispatcher.dispatch(request, "a"); });
+    ASSERT_TRUE(waitUntil([&] { return gate.startedCount() == 1; }));
+    std::thread rider(
+        [&] { rider_response = dispatcher.dispatch(request, "b"); });
+    ASSERT_TRUE(
+        waitUntil([&] { return dispatcher.stats().coalesced == 1; }));
+    gate.release();
+    host.join();
+    rider.join();
+
+    EXPECT_TRUE(budget_armed.load());
+    for (const api::Response *r : {&host_response, &rider_response}) {
+        EXPECT_TRUE(r->ok);
+        EXPECT_TRUE(r->budget_exhausted);
+        EXPECT_EQ(r->quanta_used, 3);
+        EXPECT_FALSE(r->deadline_exceeded);
+        EXPECT_FALSE(r->shed);
+    }
+    const DispatchStats stats = dispatcher.stats();
+    EXPECT_EQ(stats.executed, 1);
+    EXPECT_EQ(stats.coalesced, 1);
+    EXPECT_EQ(stats.deadline_cancelled, 1);
+    EXPECT_EQ(stats.deadline_expired, 0);
+    // deadline_cancelled is a subset of executed: the drain identity
+    // still balances.
+    EXPECT_EQ(stats.accepted,
+              stats.coalesced + stats.executed + stats.shed);
+}
+
+TEST(Dispatcher, DeadlineTruncatesRealSolveEndToEnd)
+{
+    // No executor seam: the remainder budget flows into a real solve,
+    // whose wall cap is far below a cold solve's runtime. Depending on
+    // scheduling the millisecond is gone either before dequeue (an
+    // explicit shed) or mid-solve (a flagged best-so-far partial) —
+    // both are deadline enforcement, neither holds the worker.
+    api::TempService service;
+    DispatcherOptions options;
+    options.workers = 1;
+    options.deadline_ms = 1;
+    Dispatcher dispatcher(service, options);
+    const api::Response response =
+        dispatcher.dispatch(optimizeWithSeed(99), "t");
+    if (response.deadline_exceeded) {
+        EXPECT_FALSE(response.ok);
+        EXPECT_TRUE(response.shed);
+        EXPECT_EQ(dispatcher.stats().deadline_expired, 1);
+    } else {
+        ASSERT_TRUE(response.ok) << response.error;
+        EXPECT_TRUE(response.budget_exhausted);
+        EXPECT_GT(response.quanta_used, 0);
+        EXPECT_TRUE(response.solver.feasible);
+        EXPECT_EQ(dispatcher.stats().deadline_cancelled, 1);
+    }
 }
 
 /// Reserves an ephemeral TCP port and releases it: the number is free

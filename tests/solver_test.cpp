@@ -10,13 +10,18 @@
 #include <string>
 #include <vector>
 
+#include "common/budget.hpp"
 #include "common/thread_pool.hpp"
+#include "cost/breakdown_reduce.hpp"
+#include "eval/cost_evaluator.hpp"
 #include "eval/step_evaluator.hpp"
 #include "model/graph.hpp"
 #include "model/model_zoo.hpp"
 #include "sim/trainer_sim.hpp"
 #include "solver/dls_solver.hpp"
+#include "solver/portfolio.hpp"
 #include "solver/search_engine.hpp"
+#include "solver/solve_budget.hpp"
 #include "solver/strategy_space.hpp"
 
 namespace temp::solver {
@@ -530,6 +535,252 @@ TEST_F(SolverTest, ForeignCheckpointDegradesToColdRefine)
     EXPECT_EQ(resumed.assignment, cold.assignment);
     EXPECT_DOUBLE_EQ(resumed.fitness, cold.fitness);
     EXPECT_EQ(resumed.fitness_queries, cold.fitness_queries);
+}
+
+// ---------------------------------------------------------------------
+// SolveBudget: quantum caps, prefix identity, the portfolio race and
+// the exact certification engine.
+// ---------------------------------------------------------------------
+
+TEST_F(SolverTest, BudgetedRefineIsBitExactPrefixOfUnbudgeted)
+{
+    RefineHarness harness(sim_);
+    const GeneticRefiner engine(/*population=*/8, /*generations=*/6,
+                                /*mutation_rate=*/0.15, /*seed=*/42);
+
+    const RefineOutcome full = engine.refine(harness.ctx(), harness.steps());
+    EXPECT_FALSE(full.budget_exhausted);
+    ASSERT_EQ(full.accounts.size(), 1u);
+    const int total_steps = full.accounts[0].steps;
+    EXPECT_EQ(total_steps, 6);
+
+    // A quantum cap that trips mid-run: the driver stops at the next
+    // slice boundary and returns the best-so-far prefix, flagged.
+    SolveBudget budget;
+    budget.max_quanta = full.fitness_queries / 2;
+    common::BudgetGauge gauge = budget.gauge();
+    RefineContext capped = harness.ctx();
+    capped.gauge = &gauge;
+    const RefineOutcome truncated =
+        engine.refine(capped, harness.steps());
+    EXPECT_TRUE(truncated.budget_exhausted);
+    ASSERT_EQ(truncated.accounts.size(), 1u);
+    const int k = truncated.accounts[0].steps;
+    EXPECT_LT(k, total_steps);
+    EXPECT_GE(gauge.used(), budget.max_quanta);
+
+    // The truncated run is bit-identical to an explicit k-step partial
+    // of the unbudgeted run — same incumbent, fitness and accounting.
+    RefineCheckpoint ignored;
+    const RefineOutcome prefix = engine.refinePartial(
+        harness.ctx(), harness.steps(), k, &ignored);
+    EXPECT_EQ(truncated.assignment, prefix.assignment);
+    EXPECT_DOUBLE_EQ(truncated.fitness, prefix.fitness);
+    EXPECT_EQ(truncated.fitness_queries, prefix.fitness_queries);
+
+    // And the trip point is deterministic: a repeat under the same
+    // quantum budget stops at the same boundary with the same plan.
+    common::BudgetGauge again_gauge = budget.gauge();
+    RefineContext again_ctx = harness.ctx();
+    again_ctx.gauge = &again_gauge;
+    const RefineOutcome again = engine.refine(again_ctx, harness.steps());
+    EXPECT_EQ(again.assignment, truncated.assignment);
+    EXPECT_EQ(again.fitness_queries, truncated.fitness_queries);
+    EXPECT_EQ(again.accounts[0].steps, k);
+}
+
+TEST_F(SolverTest, SolverQuantumBudgetReturnsDeterministicBestSoFar)
+{
+    const auto graph = model::ComputeGraph::transformer(
+        model::modelByName("GPT-3 6.7B"));
+    SolverConfig cfg;
+    cfg.ga_generations = 8;
+    const SolverResult full = DlsSolver(sim_, cfg).solve(graph);
+    ASSERT_TRUE(full.feasible);
+    EXPECT_FALSE(full.budget_exhausted);
+    ASSERT_GT(full.quanta_used, 0);
+
+    // A budget of exactly the full run's quanta never trips between
+    // slices: the solve is bit-identical and unflagged.
+    SolverConfig enough = cfg;
+    enough.deadline.max_quanta = full.quanta_used;
+    const SolverResult same = DlsSolver(sim_, enough).solve(graph);
+    ASSERT_TRUE(same.feasible);
+    EXPECT_FALSE(same.budget_exhausted);
+    EXPECT_EQ(same.per_op_specs, full.per_op_specs);
+    EXPECT_DOUBLE_EQ(same.step_time_s, full.step_time_s);
+    EXPECT_EQ(same.quanta_used, full.quanta_used);
+
+    // A tight cap truncates: still feasible (the preamble always
+    // completes), flagged, cheaper than the full run, and bit-identical
+    // across repeats — the budget is part of the result identity.
+    SolverConfig tight = cfg;
+    tight.deadline.max_quanta = full.quanta_used / 2;
+    const SolverResult a = DlsSolver(sim_, tight).solve(graph);
+    const SolverResult b = DlsSolver(sim_, tight).solve(graph);
+    ASSERT_TRUE(a.feasible);
+    EXPECT_TRUE(a.budget_exhausted);
+    EXPECT_GE(a.quanta_used, tight.deadline.max_quanta);
+    EXPECT_LT(a.quanta_used, full.quanta_used);
+    // The prefix can only be as good as the full search.
+    EXPECT_LE(full.step_time_s, a.step_time_s * 1.0001);
+    EXPECT_EQ(a.per_op_specs, b.per_op_specs);
+    EXPECT_DOUBLE_EQ(a.step_time_s, b.step_time_s);
+    EXPECT_EQ(a.quanta_used, b.quanta_used);
+    EXPECT_EQ(a.budget_exhausted, b.budget_exhausted);
+}
+
+TEST_F(SolverTest, PortfolioDeterministicAcrossEvalThreadsUnderBudget)
+{
+    const auto graph = model::ComputeGraph::transformer(
+        model::modelByName("GPT-3 6.7B"));
+    SolverConfig cfg;
+    cfg.engine = SearchEngineKind::Portfolio;
+    cfg.ga_generations = 6;
+    cfg.annealing.iterations = 6;
+    const SolverResult free_run = DlsSolver(sim_, cfg).solve(graph);
+    ASSERT_TRUE(free_run.feasible);
+    ASSERT_GT(free_run.quanta_used, 0);
+
+    // Race the members under a binding quantum budget at three pool
+    // widths: the truncated race must be bit-identical everywhere,
+    // per-member accounts included.
+    std::vector<SolverResult> results;
+    for (int threads : {1, 2, 4}) {
+        SolverConfig capped = cfg;
+        capped.eval_threads = threads;
+        capped.deadline.max_quanta = free_run.quanta_used * 2 / 3;
+        results.push_back(DlsSolver(sim_, capped).solve(graph));
+        ASSERT_TRUE(results.back().feasible);
+    }
+    const SolverResult &first = results.front();
+    EXPECT_TRUE(first.budget_exhausted);
+    ASSERT_FALSE(first.engine_accounts.empty());
+    int winners = 0;
+    for (const EngineAccount &account : first.engine_accounts)
+        winners += account.winner ? 1 : 0;
+    EXPECT_LE(winners, 1);
+    for (std::size_t r = 1; r < results.size(); ++r) {
+        const SolverResult &other = results[r];
+        EXPECT_EQ(other.per_op_specs, first.per_op_specs);
+        EXPECT_DOUBLE_EQ(other.step_time_s, first.step_time_s);
+        EXPECT_EQ(other.quanta_used, first.quanta_used);
+        EXPECT_EQ(other.budget_exhausted, first.budget_exhausted);
+        ASSERT_EQ(other.engine_accounts.size(),
+                  first.engine_accounts.size());
+        for (std::size_t e = 0; e < first.engine_accounts.size(); ++e) {
+            const EngineAccount &want = first.engine_accounts[e];
+            const EngineAccount &got = other.engine_accounts[e];
+            EXPECT_EQ(got.engine, want.engine);
+            EXPECT_EQ(got.steps, want.steps);
+            EXPECT_EQ(got.fitness_queries, want.fitness_queries);
+            EXPECT_DOUBLE_EQ(got.best_fitness, want.best_fitness);
+            EXPECT_EQ(got.feasible, want.feasible);
+            EXPECT_EQ(got.winner, want.winner);
+        }
+    }
+}
+
+TEST_F(SolverTest, PortfolioNeverWorseThanAnyMemberEngine)
+{
+    // Unbudgeted, every member runs to completion inside the race, so
+    // the portfolio's pick is the best member outcome by construction.
+    const auto graph = model::ComputeGraph::transformer(
+        model::modelByName("Llama2 7B"));
+    auto solveWith = [&](SearchEngineKind kind) {
+        SolverConfig cfg;
+        cfg.engine = kind;
+        cfg.ga_generations = 6;
+        cfg.annealing.iterations = 6;
+        return DlsSolver(sim_, cfg).solve(graph);
+    };
+    const SolverResult portfolio =
+        solveWith(SearchEngineKind::Portfolio);
+    ASSERT_TRUE(portfolio.feasible);
+    EXPECT_FALSE(portfolio.budget_exhausted);
+    EXPECT_EQ(portfolio.engine_accounts.size(), 3u);
+    for (const SearchEngineKind kind :
+         {SearchEngineKind::Genetic, SearchEngineKind::Annealing,
+          SearchEngineKind::BeamTabu}) {
+        const SolverResult single = solveWith(kind);
+        ASSERT_TRUE(single.feasible);
+        EXPECT_LE(portfolio.step_time_s, single.step_time_s * 1.0001)
+            << searchEngineName(kind) << " beat the portfolio";
+    }
+}
+
+TEST_F(SolverTest, ExactEngineMatchesExhaustiveBitForBit)
+{
+    // Same space, same truncated chain: the B&B inside the engine and
+    // the exhaustive baseline must agree on the additive optimum
+    // exactly — same assignment, same objective bits.
+    StrategySpaceOptions space;
+    space.allow_sp = false;
+    space.allow_cp = false;
+    const auto graph = model::ComputeGraph::transformer(
+        model::modelByName("GPT-3 6.7B"));
+    constexpr int kOps = 4;
+
+    ExhaustiveSolver exhaustive(sim_, space);
+    const SolverResult ex =
+        exhaustive.solve(graph, /*op_limit=*/kOps, /*time_budget_s=*/60.0);
+    ASSERT_TRUE(ex.feasible);
+
+    // Rebuild the identical additive matrix the exhaustive pass used.
+    const std::vector<ParallelSpec> candidates = enumerateStrategies(
+        sim_.wafer().dieCount(), graph.config(), space);
+    ASSERT_LE(static_cast<int>(candidates.size()),
+              ExactChainEngine::kMaxCands);
+    eval::ExactEvaluator eval(sim_.costModel());
+    std::vector<eval::EvalRequest> requests;
+    for (int i = 0; i < kOps; ++i)
+        for (const ParallelSpec &spec : candidates)
+            requests.push_back({i, spec, true});
+    const std::vector<cost::OpCostBreakdown> cells =
+        eval.evaluateBatch(graph, requests);
+    std::vector<double> totals(cells.size());
+    cost::breakdownTotals(cells, totals.data());
+    std::vector<std::vector<double>> op_cost(kOps);
+    for (int i = 0; i < kOps; ++i) {
+        const double *row = totals.data() +
+                            static_cast<std::size_t>(i) *
+                                candidates.size();
+        op_cost[i].assign(row, row + candidates.size());
+    }
+
+    const ExactChainEngine::BnbResult bnb =
+        ExactChainEngine::branchAndBound(graph, candidates, op_cost,
+                                         sim_.costModel(),
+                                         ExactChainEngine::kMaxNodes);
+    EXPECT_TRUE(bnb.complete);
+    ASSERT_EQ(bnb.assignment.size(), static_cast<std::size_t>(kOps));
+    EXPECT_EQ(bnb.additive_cost, ex.step_time_s);  // bit-for-bit
+    for (int i = 0; i < kOps; ++i)
+        EXPECT_TRUE(candidates[static_cast<std::size_t>(
+                        bnb.assignment[i])] == ex.per_op_specs[i])
+            << "op " << i << " disagrees";
+}
+
+TEST_F(SolverTest, ExactEngineEndToEndCertifiesOrKeepsDpPlan)
+{
+    const auto graph = model::ComputeGraph::transformer(
+        model::modelByName("GPT-3 6.7B"));
+    SolverConfig dp_cfg;
+    dp_cfg.engine = SearchEngineKind::NoRefine;
+    SolverConfig exact_cfg;
+    exact_cfg.engine = SearchEngineKind::Exact;
+    const SolverResult dp = DlsSolver(sim_, dp_cfg).solve(graph);
+    const SolverResult exact = DlsSolver(sim_, exact_cfg).solve(graph);
+    const SolverResult repeat = DlsSolver(sim_, exact_cfg).solve(graph);
+    ASSERT_TRUE(dp.feasible);
+    ASSERT_TRUE(exact.feasible);
+    // The engine keeps the better of {DP incumbent, certified additive
+    // optimum}, so it can never end up worse than DP-only.
+    EXPECT_LE(exact.step_time_s, dp.step_time_s * 1.0001);
+    ASSERT_EQ(exact.engine_accounts.size(), 1u);
+    EXPECT_EQ(exact.engine_accounts[0].engine, "exact");
+    EXPECT_EQ(exact.per_op_specs, repeat.per_op_specs);
+    EXPECT_DOUBLE_EQ(exact.step_time_s, repeat.step_time_s);
 }
 
 }  // namespace

@@ -103,6 +103,9 @@ struct CliArgs
     std::string request_file;  ///< "" or "-" = stdin
     std::string connect;       ///< HOST:PORT ("" = run in-process)
     int retries = 0;           ///< --connect dial retries (0 = off)
+    /// --deadline-ms: wall-clock budget per solve (and, for `serve`,
+    /// the per-request queue deadline). -1 = unset, config wins.
+    int deadline_ms = -1;
     // scenario
     std::string scenario_file;  ///< timeline document (positional)
     // snapshot / persist
@@ -139,7 +142,10 @@ usage(const char *argv0)
         "snapshot save|load|info FILE [model]\n\n"
         "model: zoo name (e.g. \"GPT-3 6.7B\") or path/to/model.conf\n"
         "options: --wafer FILE.conf, --opts FILE.conf,\n"
-        "  --refiner none|genetic|annealing (level-2 search engine),\n"
+        "  --refiner none|genetic|annealing|beamtabu|exact|portfolio\n"
+        "    (level-2 search engine),\n"
+        "  --deadline-ms N (wall-clock budget per solve; for serve,\n"
+        "    also the per-request queue deadline),\n"
         "  --load FILE (warm-start from a snapshot), --save FILE,\n"
         "  --json\n",
         argv0);
@@ -208,6 +214,8 @@ parseArgs(int argc, char **argv, CliArgs *args)
             args->connect = value();
         else if (arg == "--retries")
             args->retries = std::atoi(value());
+        else if (arg == "--deadline-ms")
+            args->deadline_ms = std::atoi(value());
         else if (arg == "--load")
             args->load_path = value();
         else if (arg == "--save")
@@ -273,11 +281,21 @@ resolveOptions(const CliArgs &args)
     if (!args.refiner.empty() &&
         !solver::searchEngineFromName(args.refiner,
                                       &options.solver.engine)) {
-        std::fprintf(stderr,
-                     "unknown --refiner '%s' "
-                     "(use none/genetic/annealing)\n",
-                     args.refiner.c_str());
+        std::fprintf(
+            stderr,
+            "unknown --refiner '%s' "
+            "(use none/genetic/annealing/beamtabu/exact/portfolio)\n",
+            args.refiner.c_str());
         std::exit(1);
+    }
+    // The flag is a one-stop deadline: it caps every solve's wall
+    // clock (solver.deadline.wall_ms) and, for `serve`, doubles as
+    // the per-request queue deadline (serve.deadline_ms). Quantum
+    // caps — the deterministic budget — come from the config surface.
+    if (args.deadline_ms >= 0) {
+        options.solver.deadline.max_wall_ms =
+            static_cast<double>(args.deadline_ms);
+        options.serve.deadline_ms = args.deadline_ms;
     }
     return options;
 }
